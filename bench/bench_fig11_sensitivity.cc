@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Figure 11 — Sensitivity analysis of RainbowCake's three
+ * parameters: cost knob alpha (0.990..0.999), IAT quantile p
+ * (0.1..0.9), and sliding-window size n (1..10). For each setting,
+ * reports the total startup cost, the total memory-waste cost, and
+ * the unified cost of Eq. 1.
+ */
+
+#include <iostream>
+
+#include "core/ablations.hh"
+#include "core/cost_model.hh"
+#include "exp/experiment.hh"
+#include "exp/standard_traces.hh"
+#include "stats/table.hh"
+#include "workload/catalog.hh"
+
+namespace {
+
+using namespace rc;
+
+exp::RunResult
+runWith(const workload::Catalog& catalog, const trace::TraceSet& traceSet,
+        core::RainbowCakeConfig config)
+{
+    return exp::runExperiment(
+        catalog,
+        [&catalog, config] {
+            return core::makeRainbowCake(catalog, config);
+        },
+        traceSet);
+}
+
+void
+reportRow(stats::Table& table, const std::string& label,
+          const exp::RunResult& result, double alpha)
+{
+    // Unified cost (Eq. 1): alpha * C_startup[s] + (1-alpha) *
+    // C_memory[MB*s]; both contributions printed separately as in the
+    // stacked bars of Fig. 11.
+    core::CostModel model(core::CostConfig{alpha, 160.0});
+    const double unified = model.unifiedCost(result.totalStartupSeconds,
+                                             result.totalWasteMbSeconds);
+    table.row()
+        .text(label)
+        .num(result.totalStartupSeconds, 0)
+        .num(result.wasteGbSeconds(), 0)
+        .num(alpha * result.totalStartupSeconds, 0)
+        .num((1.0 - alpha) * result.totalWasteMbSeconds, 0)
+        .num(unified, 0);
+}
+
+} // namespace
+
+int
+main()
+{
+    const auto catalog = workload::Catalog::standard20();
+    const auto traceSet = exp::eightHourTrace(catalog);
+
+    const std::vector<std::string> header{
+        "Setting",       "Startup(s)",       "Waste(GBxs)",
+        "a*C_startup(s)", "(1-a)*C_mem(MBxs)", "UnifiedCost"};
+
+    // (a) Cost knob alpha.
+    stats::Table alphaTable("Fig. 11(a): sensitivity to cost knob alpha");
+    alphaTable.setHeader(header);
+    for (double alpha = 0.990; alpha < 0.9995; alpha += 0.001) {
+        core::RainbowCakeConfig config;
+        config.alpha = alpha;
+        reportRow(alphaTable, stats::formatNumber(alpha, 3),
+                  runWith(catalog, traceSet, config), alpha);
+    }
+    alphaTable.print(std::cout);
+    std::cout << '\n';
+
+    // (b) IAT quantile p.
+    stats::Table pTable("Fig. 11(b): sensitivity to IAT quantile p");
+    pTable.setHeader(header);
+    for (double p = 0.1; p < 0.95; p += 0.1) {
+        core::RainbowCakeConfig config;
+        config.quantile = p;
+        reportRow(pTable, stats::formatNumber(p, 1),
+                  runWith(catalog, traceSet, config), config.alpha);
+    }
+    pTable.print(std::cout);
+    std::cout << '\n';
+
+    // (c) Sliding-window size n.
+    stats::Table nTable("Fig. 11(c): sensitivity to window size n");
+    nTable.setHeader(header);
+    for (std::size_t n = 1; n <= 10; ++n) {
+        core::RainbowCakeConfig config;
+        config.windowSize = n;
+        reportRow(nTable, std::to_string(n),
+                  runWith(catalog, traceSet, config), config.alpha);
+    }
+    nTable.print(std::cout);
+
+    std::cout << "\nPaper reference: minima at alpha=0.996, p=0.8, n=6.\n";
+    return 0;
+}

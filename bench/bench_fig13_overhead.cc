@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Figure 13 — Inter-transition overhead under concurrency.
+ *
+ * The paper measures the Bare-to-Lang, Lang-to-User, and User-to-Run
+ * transition delays of its OpenWhisk actor implementation while 100
+ * to 1,000 invocations run concurrently, showing they stay trivial
+ * (a few ms) and flat.
+ *
+ * In this reproduction the simulated transition delays are inputs
+ * (per-function constants, reported below), so the measurable analog
+ * is the *platform machinery's* per-event overhead: the host-side
+ * cost of the container pool, invoker, and policy processing one
+ * lifecycle transition, as the number of concurrent invocations
+ * scales. google-benchmark drives the sweep; the per-transition cost
+ * must stay flat (no super-linear behaviour in the pool's lookups or
+ * the keep-alive machinery).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <iostream>
+
+#include "core/ablations.hh"
+#include "platform/node.hh"
+#include "stats/table.hh"
+#include "workload/catalog.hh"
+
+namespace {
+
+using namespace rc;
+
+/** One batch of n concurrent invocations spread over a minute. */
+void
+BM_ConcurrentInvocations(benchmark::State& state)
+{
+    const auto catalog = workload::Catalog::standard20();
+    const auto n = static_cast<std::size_t>(state.range(0));
+
+    std::vector<trace::Arrival> arrivals;
+    arrivals.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        arrivals.push_back(
+            {static_cast<sim::Tick>(i) * sim::kMinute /
+                 static_cast<sim::Tick>(n),
+             static_cast<workload::FunctionId>(i % catalog.size())});
+    }
+
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        platform::Node node(catalog, core::makeRainbowCake(catalog));
+        node.run(arrivals);
+        events += node.engine().executedEvents();
+        benchmark::DoNotOptimize(node.metrics().total());
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(events));
+    state.counters["events"] = static_cast<double>(events) /
+                               static_cast<double>(state.iterations());
+}
+
+} // namespace
+
+BENCHMARK(BM_ConcurrentInvocations)
+    ->Arg(100)
+    ->Arg(200)
+    ->Arg(400)
+    ->Arg(600)
+    ->Arg(800)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+int
+main(int argc, char** argv)
+{
+    // Print the simulated transition-delay constants first (the
+    // quantities Fig. 13 plots), then run the scalability sweep.
+    const auto catalog = rc::workload::Catalog::standard20();
+    rc::stats::Table table(
+        "Fig. 13 inputs: inter-transition delays per function (ms)");
+    table.setHeader({"Function", "B-L", "L-U", "U-Run"});
+    double maxTotal = 0.0;
+    for (const auto& p : catalog) {
+        const auto& c = p.costs();
+        table.row()
+            .text(p.shortName())
+            .num(rc::sim::toMillis(c.bareToLang), 1)
+            .num(rc::sim::toMillis(c.langToUser), 1)
+            .num(rc::sim::toMillis(c.userToRun), 1);
+        maxTotal = std::max(
+            maxTotal, rc::sim::toMillis(c.bareToLang + c.langToUser +
+                                        c.userToRun));
+    }
+    table.print(std::cout);
+    std::cout << "Max total transition delay: "
+              << rc::stats::formatNumber(maxTotal, 1)
+              << " ms (paper: <30 ms, flat in concurrency)\n\n";
+
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 14 — Relative startup-latency breakdown of the 20 functions:
+ * each function's cold start split into the three layer installs and
+ * the three inter-transition overheads (B-L, L-U, U-Run), normalized
+ * to 1.0. The paper's claim to reproduce: total transition overhead
+ * is below 3% of startup for every function.
+ */
+
+#include <iostream>
+
+#include "stats/table.hh"
+#include "workload/catalog.hh"
+
+int
+main()
+{
+    using namespace rc;
+
+    const auto catalog = workload::Catalog::standard20();
+
+    stats::Table table(
+        "Fig. 14: relative startup latency breakdown (ratios of cold "
+        "start)");
+    table.setHeader({"Function", "Bare", "B-L", "Lang", "L-U", "User",
+                     "U-Run", "TransitionsTotal"});
+
+    double worstTransitionShare = 0.0;
+    for (const auto& p : catalog) {
+        const auto& c = p.costs();
+        const double total =
+            static_cast<double>(p.coldStartLatency());
+        const double bl = static_cast<double>(c.bareToLang) / total;
+        const double lu = static_cast<double>(c.langToUser) / total;
+        const double ur = static_cast<double>(c.userToRun) / total;
+        worstTransitionShare =
+            std::max(worstTransitionShare, bl + lu + ur);
+        table.row()
+            .text(p.shortName())
+            .num(static_cast<double>(c.bareInit) / total, 3)
+            .num(bl, 3)
+            .num(static_cast<double>(c.langInit) / total, 3)
+            .num(lu, 3)
+            .num(static_cast<double>(c.userInit) / total, 3)
+            .num(ur, 3)
+            .num(bl + lu + ur, 3);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nWorst-case transition share: "
+              << stats::formatNumber(worstTransitionShare * 100.0, 2)
+              << "% (paper: <3%)\n";
+    return 0;
+}

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Figure 3 — Motivation timelines: cumulative function end-to-end
+ * latency and cumulative memory waste of Histogram (full caching),
+ * SEUSS (partial caching), Pagurus (sharing), and RainbowCake over
+ * the 8-hour trace set.
+ *
+ * The paper's takeaway this bench must reproduce: partial caching
+ * (SEUSS) cuts memory but leaves latency on the table; sharing
+ * (Pagurus) cuts latency but wastes memory on over-packed
+ * containers; RainbowCake ends lowest on the memory axis while
+ * staying at the front of the latency race.
+ */
+
+#include <iostream>
+
+#include "core/ablations.hh"
+#include "exp/experiment.hh"
+#include "exp/report.hh"
+#include "exp/standard_traces.hh"
+#include "policy/histogram_policy.hh"
+#include "policy/pagurus.hh"
+#include "policy/seuss.hh"
+#include "workload/catalog.hh"
+
+int
+main()
+{
+    using namespace rc;
+
+    const auto catalog = workload::Catalog::standard20();
+    const auto traceSet = exp::eightHourTrace(catalog);
+    std::cout << "Fig. 3 workload: " << traceSet.totalInvocations()
+              << " invocations over " << traceSet.durationMinutes()
+              << " minutes\n\n";
+
+    std::vector<exp::NamedPolicy> policies;
+    policies.push_back({"Histogram", [] {
+        return std::make_unique<policy::HistogramPolicy>();
+    }});
+    policies.push_back({"SEUSS", [] {
+        return std::make_unique<policy::SeussPolicy>();
+    }});
+    policies.push_back({"Pagurus", [] {
+        return std::make_unique<policy::PagurusPolicy>();
+    }});
+    policies.push_back({"RainbowCake", [&catalog] {
+        return core::makeRainbowCake(catalog);
+    }});
+
+    std::vector<exp::RunResult> results;
+    for (const auto& policy : policies) {
+        results.push_back(
+            exp::runExperiment(catalog, policy.make, traceSet));
+        const auto& r = results.back();
+        std::cout << "== " << r.policyName << " ==\n";
+        exp::printTimeline(std::cout, "cumulative E2E latency (s)",
+                           r.metrics.endToEndTimeline(), 16,
+                           /*cumulative=*/true);
+        exp::printTimeline(std::cout, "cumulative memory waste (GB*s)",
+                           [&r] {
+                               auto t = r.waste.timeline();
+                               // scale MB*s -> GB*s per bucket
+                               stats::TimeSeries scaled;
+                               const auto& v = t.values();
+                               for (std::size_t m = 0; m < v.size(); ++m) {
+                                   scaled.add(static_cast<sim::Tick>(m) *
+                                                  sim::kMinute,
+                                              v[m] / 1024.0);
+                               }
+                               return scaled;
+                           }(),
+                           16, /*cumulative=*/true);
+        std::cout << '\n';
+    }
+
+    exp::printSummaryTable(std::cout, "Fig. 3 endpoint summary", results);
+    return 0;
+}

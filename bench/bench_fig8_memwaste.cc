@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 8 — Timeline of wasted memory for the six baselines, split
+ * into memory that was wasted but eventually hit by an invocation
+ * (green in the paper) and memory never hit again (red).
+ */
+
+#include <iostream>
+
+#include "exp/experiment.hh"
+#include "exp/report.hh"
+#include "exp/standard_traces.hh"
+#include "stats/table.hh"
+#include "workload/catalog.hh"
+
+int
+main()
+{
+    using namespace rc;
+
+    const auto catalog = workload::Catalog::standard20();
+    const auto traceSet = exp::eightHourTrace(catalog);
+
+    stats::Table table("Fig. 8: total memory waste per baseline (GB*s)");
+    table.setHeader({"Policy", "Total", "EventuallyHit(green)",
+                     "NeverHit(red)", "NeverHitShare"});
+
+    std::vector<exp::RunResult> results;
+    for (const auto& policy : exp::standardBaselines(catalog)) {
+        results.push_back(
+            exp::runExperiment(catalog, policy.make, traceSet));
+        const auto& r = results.back();
+        const double total = r.totalWasteMbSeconds / 1024.0;
+        const double hit = r.hitWasteMbSeconds / 1024.0;
+        const double never = r.neverHitWasteMbSeconds / 1024.0;
+        table.row()
+            .text(r.policyName)
+            .num(total, 0)
+            .num(hit, 0)
+            .num(never, 0)
+            .num(total > 0.0 ? never / total : 0.0, 2);
+    }
+    table.print(std::cout);
+
+    std::cout << "\nPer-policy waste timelines (GB*s per bucket):\n";
+    for (const auto& r : results) {
+        std::cout << "== " << r.policyName << " ==\n";
+        auto scale = [](const stats::TimeSeries& t) {
+            stats::TimeSeries scaled;
+            const auto& v = t.values();
+            for (std::size_t m = 0; m < v.size(); ++m) {
+                scaled.add(static_cast<sim::Tick>(m) * sim::kMinute,
+                           v[m] / 1024.0);
+            }
+            return scaled;
+        };
+        exp::printTimeline(
+            std::cout, "hit (green)",
+            scale(r.waste.timeline(stats::IntervalLog::Select::Hit)), 16);
+        exp::printTimeline(
+            std::cout, "never-hit (red)",
+            scale(r.waste.timeline(stats::IntervalLog::Select::NeverHit)),
+            16);
+    }
+
+    const auto& ours = results.back();
+    std::cout << "RainbowCake total-waste reduction:\n";
+    for (std::size_t i = 0; i + 1 < results.size(); ++i) {
+        std::cout << "  vs " << results[i].policyName << ": "
+                  << exp::percentChange(results[i].totalWasteMbSeconds,
+                                        ours.totalWasteMbSeconds)
+                  << '\n';
+    }
+    return 0;
+}

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * Microbenchmarks of the simulator's hot paths: event scheduling and
+ * dispatch, sliding-window rate estimation, the compound-rate query
+ * of the History Recorder, and container-pool lookups. These back
+ * the §3.1 "lightweight and high scalability" requirement: policy
+ * decisions are constant-time and the engine sustains millions of
+ * events per second.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/history_recorder.hh"
+#include "core/sliding_window.hh"
+#include "platform/pool.hh"
+#include "sim/engine.hh"
+#include "workload/catalog.hh"
+
+namespace {
+
+using namespace rc;
+
+void
+BM_EngineScheduleDispatch(benchmark::State& state)
+{
+    const auto batch = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sim::Engine engine;
+        long long sum = 0;
+        for (int i = 0; i < batch; ++i) {
+            engine.schedule((i * 37) % 1000,
+                            [&sum, i] { sum += i; });
+        }
+        engine.run();
+        benchmark::DoNotOptimize(sum);
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+
+void
+BM_EngineCancelHeavy(benchmark::State& state)
+{
+    const auto batch = static_cast<int>(state.range(0));
+    for (auto _ : state) {
+        sim::Engine engine;
+        std::vector<sim::EventId> ids;
+        ids.reserve(static_cast<std::size_t>(batch));
+        for (int i = 0; i < batch; ++i)
+            ids.push_back(engine.schedule(i + 1, [] {}));
+        // Cancel every other event (the keep-alive renewal pattern).
+        for (std::size_t i = 0; i < ids.size(); i += 2)
+            engine.cancel(ids[i]);
+        engine.run();
+        benchmark::DoNotOptimize(engine.executedEvents());
+    }
+    state.SetItemsProcessed(state.iterations() * batch);
+}
+
+void
+BM_SlidingWindowRate(benchmark::State& state)
+{
+    core::SlidingWindow window(6);
+    sim::Tick t = 0;
+    for (auto _ : state) {
+        t += sim::kSecond;
+        window.push(t);
+        benchmark::DoNotOptimize(window.ratePerSecond(t + sim::kSecond));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_HistoryRecorderCompoundRate(benchmark::State& state)
+{
+    const auto catalog = workload::Catalog::standard20();
+    core::HistoryRecorder recorder(catalog, 6);
+    sim::Tick t = 0;
+    for (const auto& p : catalog) {
+        for (int i = 0; i < 6; ++i)
+            recorder.recordArrival(p.id(), t += sim::kSecond);
+    }
+    for (auto _ : state) {
+        t += sim::kSecond;
+        benchmark::DoNotOptimize(recorder.globalRate(t));
+        benchmark::DoNotOptimize(
+            recorder.languageRate(workload::Language::Python, t));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_PoolLookup(benchmark::State& state)
+{
+    const auto catalog = workload::Catalog::standard20();
+    sim::Engine engine;
+    platform::PoolConfig config;
+    config.memoryBudgetMb = 1024.0 * 1024.0;
+    platform::ContainerPool pool(engine, config);
+    // Populate the pool with one idle container per function.
+    for (const auto& p : catalog) {
+        auto* c = pool.create(p, workload::Layer::User, false);
+        pool.finishInit(*c);
+    }
+    workload::FunctionId f = 0;
+    for (auto _ : state) {
+        f = (f + 1) % static_cast<workload::FunctionId>(catalog.size());
+        benchmark::DoNotOptimize(pool.findIdleUser(f));
+        benchmark::DoNotOptimize(pool.userAvailable(f));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+} // namespace
+
+BENCHMARK(BM_EngineScheduleDispatch)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_EngineCancelHeavy)->Arg(1000)->Arg(100000);
+BENCHMARK(BM_SlidingWindowRate);
+BENCHMARK(BM_HistoryRecorderCompoundRate);
+BENCHMARK(BM_PoolLookup);
+
+BENCHMARK_MAIN();

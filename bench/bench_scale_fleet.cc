@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Scalability study beyond the paper's 20-function workload: fleets
+ * of 20-500 synthetic functions (calibrated Fig. 2 ranges) on one
+ * node, comparing RainbowCake with the fixed keep-alive baseline.
+ *
+ * Two claims are checked at scale: (a) the cold-start problem gets
+ * *worse* for fixed windows as the fleet grows (more functions, same
+ * budget, sparser per-function traffic) while layer sharing keeps
+ * absorbing it — the Lang pool generalizes across the whole fleet;
+ * (b) the policy machinery stays cheap (§3.1 "lightweight and high
+ * scalability"): wall-clock per simulated invocation is reported per
+ * fleet size.
+ */
+
+#include <chrono>
+#include <iostream>
+
+#include "core/ablations.hh"
+#include "exp/experiment.hh"
+#include "policy/openwhisk_fixed.hh"
+#include "stats/table.hh"
+#include "trace/generator.hh"
+#include "workload/catalog.hh"
+
+int
+main()
+{
+    using namespace rc;
+    using Clock = std::chrono::steady_clock;
+
+    stats::Table table("Fleet scalability: 2-hour workload, 64 GB node");
+    table.setHeader({"Functions", "Invocations", "Policy", "Cold",
+                     "MeanStartup(s)", "Waste(GBxs)", "HostUs/Invocation"});
+
+    for (const std::size_t fleet : {20u, 50u, 100u, 200u, 500u}) {
+        const auto catalog = workload::Catalog::syntheticFleet(fleet, 7);
+        trace::WorkloadTraceConfig config;
+        config.minutes = 120;
+        config.targetInvocations = fleet * 60; // sparse per function
+        config.seed = 99;
+        const auto traceSet = trace::generateAzureLike(catalog, config);
+
+        platform::NodeConfig nodeConfig;
+        nodeConfig.pool.memoryBudgetMb = 64.0 * 1024.0;
+
+        struct Entry
+        {
+            const char* label;
+            exp::PolicyFactory make;
+        };
+        const Entry entries[] = {
+            {"OpenWhisk",
+             [] { return std::make_unique<policy::OpenWhiskFixedPolicy>(); }},
+            {"RainbowCake",
+             [&catalog, fleet] {
+                 core::RainbowCakeConfig rcConfig;
+                 // The shared-pool cap is a per-node concurrency knob:
+                 // scale it with the fleet so the Lang pool can cover
+                 // proportionally more concurrent misses.
+                 rcConfig.maxIdleSharedPerGroup =
+                     std::max<std::size_t>(2, fleet / 25);
+                 return core::makeRainbowCake(catalog, rcConfig);
+             }},
+        };
+        for (const auto& entry : entries) {
+            const auto start = Clock::now();
+            const auto result = exp::runExperiment(catalog, entry.make,
+                                                   traceSet, nodeConfig);
+            const auto elapsed =
+                std::chrono::duration_cast<std::chrono::microseconds>(
+                    Clock::now() - start)
+                    .count();
+            table.row()
+                .integer(static_cast<long long>(fleet))
+                .integer(static_cast<long long>(result.metrics.total()))
+                .text(entry.label)
+                .integer(static_cast<long long>(result.metrics.countOf(
+                    platform::StartupType::Cold)))
+                .num(result.metrics.meanStartupSeconds(), 3)
+                .num(result.wasteGbSeconds(), 0)
+                .num(static_cast<double>(elapsed) /
+                         static_cast<double>(result.metrics.total()),
+                     1);
+        }
+    }
+    table.print(std::cout);
+
+    std::cout << "\nExpected shape: the fixed window's cold-start share "
+                 "and waste grow with fleet size while RainbowCake's "
+                 "shared layers keep absorbing the sparse tail; host "
+                 "cost per simulated invocation stays in the "
+                 "microseconds.\n";
+    return 0;
+}

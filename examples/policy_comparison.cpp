@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Compare all six §7.2 policies on the same one-hour workload.
+ *
+ * This is the miniature version of the paper's headline experiment:
+ * identical trace, identical function profiles, identical node — only
+ * the pre-warm/keep-alive policy differs.
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "exp/experiment.hh"
+#include "exp/report.hh"
+#include "trace/generator.hh"
+#include "workload/catalog.hh"
+
+int
+main(int argc, char** argv)
+{
+    using namespace rc;
+
+    // Optional overrides: policy_comparison [minutes] [budget-gb]
+    const std::size_t minutes =
+        argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 60;
+    const double budgetGb = argc > 2 ? std::atof(argv[2]) : 64.0;
+
+    const auto catalog = workload::Catalog::standard20();
+
+    trace::WorkloadTraceConfig traceConfig;
+    traceConfig.minutes = minutes;
+    traceConfig.targetInvocations = minutes * 17;
+    traceConfig.seed = 11;
+    const auto traceSet = trace::generateAzureLike(catalog, traceConfig);
+
+    platform::NodeConfig nodeConfig;
+    nodeConfig.pool.memoryBudgetMb = budgetGb * 1024.0;
+
+    std::vector<exp::RunResult> results;
+    for (const auto& policy : exp::standardBaselines(catalog)) {
+        results.push_back(
+            exp::runExperiment(catalog, policy.make, traceSet, nodeConfig));
+        std::cout << "ran " << results.back().policyName << "\n";
+    }
+    std::cout << '\n';
+    exp::printSummaryTable(std::cout, "Policy comparison (1h, 64 GB node)",
+                           results);
+
+    // Headline relative numbers versus RainbowCake (last row).
+    const auto& ours = results.back();
+    std::cout << "\nRainbowCake vs baselines:\n";
+    for (std::size_t i = 0; i + 1 < results.size(); ++i) {
+        const auto& base = results[i];
+        std::cout << "  vs " << base.policyName << ": startup "
+                  << exp::percentChange(
+                         base.metrics.totalStartupSeconds(),
+                         ours.metrics.totalStartupSeconds())
+                  << ", memory waste "
+                  << exp::percentChange(base.totalWasteMbSeconds,
+                                        ours.totalWasteMbSeconds)
+                  << '\n';
+    }
+    return 0;
+}

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Quickstart: simulate one hour of a small serverless workload under
+ * RainbowCake and print what happened.
+ *
+ * Build & run:
+ *   cmake -B build -G Ninja && cmake --build build
+ *   ./build/examples/quickstart
+ */
+
+#include <iostream>
+
+#include "core/ablations.hh"
+#include "exp/experiment.hh"
+#include "exp/report.hh"
+#include "exp/standard_traces.hh"
+#include "trace/generator.hh"
+#include "workload/catalog.hh"
+
+int
+main()
+{
+    using namespace rc;
+
+    // 1. Deploy the paper's 20-function workload (Table 1).
+    const auto catalog = workload::Catalog::standard20();
+    std::cout << "Deployed " << catalog.size() << " functions.\n";
+
+    // 2. Synthesize one hour of Azure-like invocations.
+    trace::WorkloadTraceConfig traceConfig;
+    traceConfig.minutes = 60;
+    traceConfig.targetInvocations = 3000;
+    traceConfig.seed = 7;
+    const auto traceSet = trace::generateAzureLike(catalog, traceConfig);
+    std::cout << "Generated " << traceSet.totalInvocations()
+              << " invocations over " << traceSet.durationMinutes()
+              << " minutes.\n\n";
+
+    // 3. Run the workload under RainbowCake on a 32 GB worker node.
+    platform::NodeConfig nodeConfig;
+    nodeConfig.pool.memoryBudgetMb = 32.0 * 1024.0;
+    const auto result = exp::runExperiment(
+        catalog, [&catalog] { return core::makeRainbowCake(catalog); },
+        traceSet, nodeConfig);
+
+    // 4. Report.
+    exp::printSummaryTable(std::cout, "Quickstart (1h, RainbowCake)",
+                           {result});
+
+    std::cout << "\nStartup-type mix: every non-Cold row above is an "
+                 "invocation that avoided a full cold start by reusing a "
+                 "cached layer, a pre-warmed container, or an in-flight "
+                 "initialization.\n";
+    return 0;
+}

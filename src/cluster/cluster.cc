@@ -1,0 +1,57 @@
+#include "cluster/cluster.hh"
+
+#include "sim/logging.hh"
+
+namespace rc::cluster {
+
+Cluster::Cluster(const workload::Catalog& catalog,
+                 const PolicyFactory& factory, ClusterConfig config)
+    : _catalog(catalog), _config(config), _scheduler(config.scheduling)
+{
+    if (config.nodes == 0)
+        sim::fatal("Cluster: need at least one node");
+    for (std::size_t i = 0; i < config.nodes; ++i) {
+        platform::NodeConfig nodeConfig = config.node;
+        nodeConfig.seed = config.node.seed + i; // independent exec draws
+        _nodes.push_back(std::make_unique<platform::Node>(
+            _catalog, factory(), nodeConfig));
+    }
+}
+
+ClusterResult
+Cluster::run(const std::vector<trace::Arrival>& arrivals)
+{
+    // Route each arrival with every node synchronized to the arrival
+    // instant, so the scheduler sees current pool states.
+    for (const auto& arrival : arrivals) {
+        for (auto& node : _nodes)
+            node->advanceTo(arrival.time);
+        const std::size_t target =
+            _scheduler.pick(_nodes, arrival.function);
+        _nodes[target]->invokeNow(arrival.function);
+    }
+    for (auto& node : _nodes) {
+        node->engine().run();
+        node->finalize();
+    }
+
+    ClusterResult result;
+    result.schedulingName = toString(_config.scheduling);
+    for (const auto& node : _nodes) {
+        const auto& metrics = node->metrics();
+        result.invocations += metrics.total();
+        result.coldStarts += metrics.countOf(platform::StartupType::Cold);
+        result.totalStartupSeconds += metrics.totalStartupSeconds();
+        result.totalWasteMbSeconds +=
+            node->pool().wasteLog().totalWasteMbSeconds();
+        result.strandedInvocations += node->strandedInvocations();
+        result.perNodeInvocations.push_back(metrics.total());
+    }
+    if (result.invocations > 0) {
+        result.meanStartupSeconds = result.totalStartupSeconds /
+            static_cast<double>(result.invocations);
+    }
+    return result;
+}
+
+} // namespace rc::cluster

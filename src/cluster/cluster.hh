@@ -1,0 +1,83 @@
+/**
+ * @file
+ * A multi-node worker cluster with a shared logical timeline.
+ *
+ * Each node owns its own event engine; the cluster keeps them
+ * synchronized by advancing every node to each arrival instant before
+ * routing it, which is exactly the information a real inter-node
+ * scheduler would act on (current pool states at arrival time).
+ */
+
+#ifndef RC_CLUSTER_CLUSTER_HH_
+#define RC_CLUSTER_CLUSTER_HH_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cluster/scheduler.hh"
+#include "platform/node.hh"
+#include "trace/replay.hh"
+#include "workload/catalog.hh"
+
+namespace rc::cluster {
+
+/** Cluster configuration. */
+struct ClusterConfig
+{
+    /** Number of worker nodes. */
+    std::size_t nodes = 4;
+    /** Per-node configuration (budget divides a cluster total). */
+    platform::NodeConfig node;
+    /** Routing policy. */
+    Scheduling scheduling = Scheduling::LocalityAware;
+};
+
+/** Aggregated outcome of a cluster run. */
+struct ClusterResult
+{
+    std::string schedulingName;
+    std::uint64_t invocations = 0;
+    std::uint64_t coldStarts = 0;
+    double totalStartupSeconds = 0.0;
+    double meanStartupSeconds = 0.0;
+    double totalWasteMbSeconds = 0.0;
+    std::size_t strandedInvocations = 0;
+    /** Per-node invocation counts (load balance view). */
+    std::vector<std::uint64_t> perNodeInvocations;
+};
+
+/** A set of worker nodes behind one scheduler. */
+class Cluster
+{
+  public:
+    using PolicyFactory =
+        std::function<std::unique_ptr<policy::Policy>()>;
+
+    /**
+     * @param catalog  Deployed functions (shared by all nodes).
+     * @param factory  Creates one policy instance per node.
+     * @param config   Node count, per-node config, scheduling.
+     */
+    Cluster(const workload::Catalog& catalog, const PolicyFactory& factory,
+            ClusterConfig config);
+
+    /** Route and replay @p arrivals to completion on all nodes. */
+    ClusterResult run(const std::vector<trace::Arrival>& arrivals);
+
+    /** Nodes (for inspection in tests). */
+    const std::vector<std::unique_ptr<platform::Node>>& nodes() const
+    {
+        return _nodes;
+    }
+
+  private:
+    const workload::Catalog& _catalog;
+    ClusterConfig _config;
+    ClusterScheduler _scheduler;
+    std::vector<std::unique_ptr<platform::Node>> _nodes;
+};
+
+} // namespace rc::cluster
+
+#endif // RC_CLUSTER_CLUSTER_HH_

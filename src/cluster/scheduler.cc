@@ -1,0 +1,84 @@
+#include "cluster/scheduler.hh"
+
+#include <limits>
+
+#include "sim/logging.hh"
+
+namespace rc::cluster {
+
+const char*
+toString(Scheduling scheduling)
+{
+    switch (scheduling) {
+      case Scheduling::RoundRobin: return "round-robin";
+      case Scheduling::LeastLoaded: return "least-loaded";
+      case Scheduling::LocalityAware: return "locality-aware";
+    }
+    return "?";
+}
+
+std::size_t
+ClusterScheduler::leastLoaded(
+    const std::vector<std::unique_ptr<platform::Node>>& nodes) const
+{
+    std::size_t best = 0;
+    std::size_t bestInFlight = std::numeric_limits<std::size_t>::max();
+    double bestMemory = std::numeric_limits<double>::max();
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const std::size_t inFlight =
+            nodes[i]->invoker().inFlightInvocations() +
+            nodes[i]->invoker().queuedInvocations();
+        const double memory = nodes[i]->pool().usedMemoryMb();
+        if (inFlight < bestInFlight ||
+            (inFlight == bestInFlight && memory < bestMemory)) {
+            best = i;
+            bestInFlight = inFlight;
+            bestMemory = memory;
+        }
+    }
+    return best;
+}
+
+std::size_t
+ClusterScheduler::pick(
+    const std::vector<std::unique_ptr<platform::Node>>& nodes,
+    workload::FunctionId function)
+{
+    if (nodes.empty())
+        sim::panic("ClusterScheduler::pick: no nodes");
+
+    switch (_scheduling) {
+      case Scheduling::RoundRobin:
+        return _cursor++ % nodes.size();
+
+      case Scheduling::LeastLoaded:
+        return leastLoaded(nodes);
+
+      case Scheduling::LocalityAware: {
+        // 1. Locality: a node holding warm capacity for the function
+        //    (an idle full container or an in-flight pre-warm).
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            if (nodes[i]->pool().userAvailable(function))
+                return i;
+        }
+        // 2. Sharing: the node with the best layer-sharing
+        //    opportunity — an idle Lang container of the function's
+        //    language beats an idle Bare container.
+        const auto language =
+            nodes[0]->catalog().at(function).language();
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            if (nodes[i]->pool().findIdleLang(language))
+                return i;
+        }
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            if (nodes[i]->pool().findIdleBare())
+                return i;
+        }
+        // 3. Load: spread out.
+        return leastLoaded(nodes);
+      }
+    }
+    return 0;
+}
+
+} // namespace rc::cluster

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Multi-node scheduling (§8, "RainbowCake on distributed clusters").
+ *
+ * The paper sketches an inter-node scheduler built on three factors:
+ *   1. Locality — prefer a node holding a fully warmed (User)
+ *      container for the function;
+ *   2. Sharing — otherwise prefer the node with the best
+ *      layer-sharing opportunity (idle Lang of the function's
+ *      language, then idle Bare);
+ *   3. Load — otherwise distribute to avoid contention.
+ *
+ * ClusterScheduler implements that policy plus two classic baselines
+ * (round-robin and least-loaded) so the benefit of warmth-aware
+ * routing is measurable.
+ */
+
+#ifndef RC_CLUSTER_SCHEDULER_HH_
+#define RC_CLUSTER_SCHEDULER_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "platform/node.hh"
+#include "workload/types.hh"
+
+namespace rc::cluster {
+
+/** Inter-node routing policies. */
+enum class Scheduling : std::uint8_t
+{
+    RoundRobin,    //!< ignore state; rotate
+    LeastLoaded,   //!< fewest in-flight invocations, then least memory
+    LocalityAware, //!< §8: locality, then sharing, then load
+};
+
+/** Human-readable name. */
+const char* toString(Scheduling scheduling);
+
+/** Routes arrivals to worker nodes. */
+class ClusterScheduler
+{
+  public:
+    explicit ClusterScheduler(Scheduling scheduling)
+        : _scheduling(scheduling)
+    {
+    }
+
+    /**
+     * Pick the node that should serve an invocation of @p function.
+     * All nodes have been advanced to the arrival time before the
+     * call, so pool states are current.
+     */
+    std::size_t
+    pick(const std::vector<std::unique_ptr<platform::Node>>& nodes,
+         workload::FunctionId function);
+
+    Scheduling scheduling() const { return _scheduling; }
+
+  private:
+    std::size_t
+    leastLoaded(const std::vector<std::unique_ptr<platform::Node>>& nodes)
+        const;
+
+    Scheduling _scheduling;
+    std::size_t _cursor = 0;
+};
+
+} // namespace rc::cluster
+
+#endif // RC_CLUSTER_SCHEDULER_HH_

@@ -1,0 +1,258 @@
+#include "container/container.hh"
+
+#include "sim/logging.hh"
+
+namespace rc::container {
+
+using workload::Layer;
+
+const char*
+toString(State state)
+{
+    switch (state) {
+      case State::Initializing: return "Initializing";
+      case State::Idle: return "Idle";
+      case State::Busy: return "Busy";
+      case State::Dead: return "Dead";
+    }
+    return "?";
+}
+
+Container::Container(ContainerId id,
+                     const workload::FunctionProfile& profile,
+                     Layer target, sim::Tick now)
+    : _id(id), _target(target), _initFunction(profile.id()),
+      _bareMemoryMb(profile.memoryAtLayer(Layer::Bare)),
+      _langMemoryMb(profile.memoryAtLayer(Layer::Lang)),
+      _userMemoryMb(profile.memoryAtLayer(Layer::User)), _createdAt(now)
+{
+    if (target == Layer::None)
+        sim::panic("Container: cannot initialize toward Layer::None");
+    if (static_cast<int>(target) >= static_cast<int>(Layer::Lang))
+        _language = profile.language();
+    if (target == Layer::User)
+        _function = profile.id();
+}
+
+double
+Container::memoryMb() const
+{
+    // While initializing, charge the target footprint: the platform
+    // must have reserved it for the stage installs to proceed.
+    const Layer effective =
+        (_state == State::Initializing) ? _target : _layer;
+    double base = 0.0;
+    switch (effective) {
+      case Layer::None: base = 0.0; break;
+      case Layer::Bare: base = _bareMemoryMb; break;
+      case Layer::Lang: base = _langMemoryMb; break;
+      case Layer::User: base = _userMemoryMb; break;
+    }
+    return base + _auxMemoryMb + _packedMemoryMb;
+}
+
+void
+Container::setPackedFunctions(std::vector<workload::FunctionId> packed,
+                              double packedMemoryMb)
+{
+    if (packedMemoryMb < 0.0)
+        sim::panic("Container: negative packed memory");
+    _packed = std::move(packed);
+    _packedMemoryMb = packedMemoryMb;
+}
+
+void
+Container::demoteToZygote()
+{
+    if (_state != State::Idle || _layer != Layer::User)
+        sim::panic("Container::demoteToZygote: needs an idle User container");
+    _function = workload::kInvalidFunction;
+}
+
+void
+Container::setAuxiliaryMemoryMb(double mb)
+{
+    if (mb < 0.0)
+        sim::panic("Container: negative auxiliary memory");
+    _auxMemoryMb = mb;
+}
+
+void
+Container::openIdleInterval(sim::Tick now)
+{
+    _idleSince = now;
+    _idleOpen = true;
+}
+
+void
+Container::closeIdleInterval(sim::Tick now)
+{
+    if (!_idleOpen)
+        return;
+    if (now > _idleSince) {
+        stats::IdleInterval interval;
+        interval.begin = _idleSince;
+        interval.end = now;
+        interval.memoryMb = memoryMb();
+        interval.layer = _layer;
+        interval.function = _function;
+        _pendingIntervals.push_back(interval);
+    }
+    _idleOpen = false;
+}
+
+void
+Container::finishInit(sim::Tick now)
+{
+    if (_state != State::Initializing)
+        sim::panic("Container::finishInit: not initializing");
+    _layer = _target;
+    if ((_layer == Layer::Lang || _layer == Layer::User) && !_language)
+        sim::panic("Container::finishInit: missing language");
+    if (_layer == Layer::User && _function == workload::kInvalidFunction)
+        sim::panic("Container::finishInit: missing owning function");
+    _state = State::Idle;
+    openIdleInterval(now);
+}
+
+void
+Container::beginUpgrade(const workload::FunctionProfile& profile,
+                        Layer target, sim::Tick now)
+{
+    if (_state != State::Idle)
+        sim::panic("Container::beginUpgrade: container not idle");
+    if (static_cast<int>(target) <= static_cast<int>(_layer))
+        sim::panic("Container::beginUpgrade: target not above current layer");
+    if (_language && profile.language() != *_language)
+        sim::panic("Container::beginUpgrade: language mismatch");
+
+    // Reusing the container: the idle time so far paid off.
+    closeIdleInterval(now);
+    for (auto& interval : _pendingIntervals)
+        interval.eventuallyHit = true;
+
+    _initFunction = profile.id();
+    _target = target;
+    if (static_cast<int>(target) >= static_cast<int>(Layer::Lang))
+        _language = profile.language();
+    if (target == Layer::User)
+        _function = profile.id();
+    _state = State::Initializing;
+    // Adopt the upgrading function's footprints for the layers it
+    // installs; layers already present keep their original size.
+    if (_layer == Layer::None)
+        _bareMemoryMb = profile.memoryAtLayer(Layer::Bare);
+    if (static_cast<int>(_layer) < static_cast<int>(Layer::Lang)) {
+        _langMemoryMb = profile.memoryAtLayer(Layer::Lang);
+    }
+    if (static_cast<int>(_layer) < static_cast<int>(Layer::User)) {
+        // New user layer on an existing lang layer: total = existing
+        // lang footprint + the function's user-layer delta.
+        const double delta = profile.memoryAtLayer(Layer::User) -
+                             profile.memoryAtLayer(Layer::Lang);
+        _userMemoryMb = _langMemoryMb + delta;
+    }
+}
+
+void
+Container::beginRepurpose(const workload::FunctionProfile& profile,
+                          sim::Tick now)
+{
+    if (_state != State::Idle)
+        sim::panic("Container::beginRepurpose: container not idle");
+    if (_layer != Layer::User)
+        sim::panic("Container::beginRepurpose: container below User layer");
+    if (!_language || profile.language() != *_language)
+        sim::panic("Container::beginRepurpose: language mismatch");
+
+    closeIdleInterval(now);
+    for (auto& interval : _pendingIntervals)
+        interval.eventuallyHit = true;
+
+    _initFunction = profile.id();
+    _function = profile.id();
+    _target = Layer::User;
+    // The new owner's user layer replaces the previous one on top of
+    // the resident lang layer; packed libraries (if any) stay.
+    const double delta = profile.memoryAtLayer(Layer::User) -
+                         profile.memoryAtLayer(Layer::Lang);
+    _userMemoryMb = _langMemoryMb + delta;
+    _state = State::Initializing;
+}
+
+void
+Container::markSharedHit(sim::Tick now)
+{
+    if (_state != State::Idle)
+        sim::panic("Container::markSharedHit: container not idle");
+    closeIdleInterval(now);
+    for (auto& interval : _pendingIntervals)
+        interval.eventuallyHit = true;
+    openIdleInterval(now);
+}
+
+void
+Container::beginExecution(sim::Tick now)
+{
+    if (_state != State::Idle)
+        sim::panic("Container::beginExecution: container not idle");
+    if (_layer != Layer::User)
+        sim::panic("Container::beginExecution: container below User layer");
+    closeIdleInterval(now);
+    for (auto& interval : _pendingIntervals)
+        interval.eventuallyHit = true;
+    _state = State::Busy;
+}
+
+void
+Container::finishExecution(sim::Tick now)
+{
+    if (_state != State::Busy)
+        sim::panic("Container::finishExecution: container not busy");
+    ++_executions;
+    _state = State::Idle;
+    openIdleInterval(now);
+}
+
+void
+Container::downgrade(sim::Tick now)
+{
+    if (_state != State::Idle)
+        sim::panic("Container::downgrade: container not idle");
+    if (_layer == Layer::Bare || _layer == Layer::None)
+        sim::panic("Container::downgrade: nothing to peel off");
+    closeIdleInterval(now);
+    if (_layer == Layer::User) {
+        _layer = Layer::Lang;
+        _function = workload::kInvalidFunction;
+        _packed.clear();
+        _packedMemoryMb = 0.0;
+    } else {
+        _layer = Layer::Bare;
+        _language.reset();
+    }
+    openIdleInterval(now);
+}
+
+void
+Container::kill(sim::Tick now)
+{
+    if (_state == State::Dead)
+        sim::panic("Container::kill: already dead");
+    if (_state == State::Busy)
+        sim::panic("Container::kill: cannot kill a busy container");
+    closeIdleInterval(now);
+    _state = State::Dead;
+}
+
+std::vector<stats::IdleInterval>
+Container::drainIdleIntervals(bool eventuallyHit)
+{
+    for (auto& interval : _pendingIntervals)
+        interval.eventuallyHit = eventuallyHit || interval.eventuallyHit;
+    std::vector<stats::IdleInterval> out;
+    out.swap(_pendingIntervals);
+    return out;
+}
+
+} // namespace rc::container

@@ -1,0 +1,31 @@
+#include "core/ablations.hh"
+
+namespace rc::core {
+
+std::unique_ptr<RainbowCakePolicy>
+makeRainbowCake(const workload::Catalog& catalog, RainbowCakeConfig config)
+{
+    return std::make_unique<RainbowCakePolicy>(catalog, config);
+}
+
+std::unique_ptr<RainbowCakePolicy>
+makeRainbowCakeNoSharing(const workload::Catalog& catalog)
+{
+    RainbowCakeConfig config;
+    config.sharingAwareModeling = false;
+    auto policy = std::make_unique<RainbowCakePolicy>(catalog, config);
+    policy->setName("RainbowCake w/o sharing");
+    return policy;
+}
+
+std::unique_ptr<RainbowCakePolicy>
+makeRainbowCakeNoLayers(const workload::Catalog& catalog)
+{
+    RainbowCakeConfig config;
+    config.layerCaching = false;
+    auto policy = std::make_unique<RainbowCakePolicy>(catalog, config);
+    policy->setName("RainbowCake w/o layers");
+    return policy;
+}
+
+} // namespace rc::core

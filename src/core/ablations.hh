@@ -1,0 +1,37 @@
+/**
+ * @file
+ * The §7.3 ablation variants of RainbowCake, as ready-made factories.
+ *
+ * 1. "w/o sharing": the sharing-aware TTL modeling is replaced with a
+ *    fixed keep-alive TTL policy (5 / 3 / 2 minutes for User / Lang /
+ *    Bare), like the OpenWhisk default but layered.
+ * 2. "w/o layers": only User containers are pre-warmed and kept
+ *    alive; on expiry they are terminated, skipping the Bare and
+ *    Lang phases entirely.
+ */
+
+#ifndef RC_CORE_ABLATIONS_HH_
+#define RC_CORE_ABLATIONS_HH_
+
+#include <memory>
+
+#include "core/rainbowcake_policy.hh"
+
+namespace rc::core {
+
+/** Full RainbowCake with paper-default parameters. */
+std::unique_ptr<RainbowCakePolicy>
+makeRainbowCake(const workload::Catalog& catalog,
+                RainbowCakeConfig config = {});
+
+/** Ablation 1: fixed 5/3/2-minute TTLs instead of modeling. */
+std::unique_ptr<RainbowCakePolicy>
+makeRainbowCakeNoSharing(const workload::Catalog& catalog);
+
+/** Ablation 2: User-only caching, no layers, no partial sharing. */
+std::unique_ptr<RainbowCakePolicy>
+makeRainbowCakeNoLayers(const workload::Catalog& catalog);
+
+} // namespace rc::core
+
+#endif // RC_CORE_ABLATIONS_HH_

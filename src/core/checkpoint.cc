@@ -1,0 +1,124 @@
+#include "core/checkpoint.hh"
+
+#include "sim/logging.hh"
+
+namespace rc::core {
+
+CheckpointPolicy::CheckpointPolicy(std::unique_ptr<policy::Policy> base,
+                                   CheckpointConfig config)
+    : _base(std::move(base)), _config(config)
+{
+    if (!_base)
+        sim::fatal("CheckpointPolicy: base policy must not be null");
+    if (config.restoreFactor <= 0.0 || config.restoreFactor > 1.0)
+        sim::fatal("CheckpointPolicy: restore factor outside (0,1]");
+    if (config.imageMemoryFraction < 0.0)
+        sim::fatal("CheckpointPolicy: negative image memory fraction");
+}
+
+std::string
+CheckpointPolicy::name() const
+{
+    return _base->name() + " + checkpoint";
+}
+
+void
+CheckpointPolicy::attach(policy::PlatformView& view)
+{
+    Policy::attach(view);
+    _base->attach(view);
+}
+
+void
+CheckpointPolicy::onArrival(workload::FunctionId function)
+{
+    _base->onArrival(function);
+}
+
+void
+CheckpointPolicy::onStartupResolved(const policy::StartupObservation& obs)
+{
+    _base->onStartupResolved(obs);
+}
+
+sim::Tick
+CheckpointPolicy::keepAliveTtl(const container::Container& c)
+{
+    return _base->keepAliveTtl(c);
+}
+
+policy::IdleDecision
+CheckpointPolicy::onIdleExpired(const container::Container& c)
+{
+    return _base->onIdleExpired(c);
+}
+
+bool
+CheckpointPolicy::layerSharingEnabled() const
+{
+    return _base->layerSharingEnabled();
+}
+
+bool
+CheckpointPolicy::allowForeignUserContainer(
+    const container::Container& c, workload::FunctionId f) const
+{
+    return _base->allowForeignUserContainer(c, f);
+}
+
+sim::Tick
+CheckpointPolicy::foreignUserStartupLatency(
+    const container::Container& c, workload::FunctionId f) const
+{
+    return _base->foreignUserStartupLatency(c, f);
+}
+
+std::vector<container::ContainerId>
+CheckpointPolicy::rankEvictionVictims(
+    const std::vector<const container::Container*>& idle)
+{
+    return _base->rankEvictionVictims(idle);
+}
+
+bool
+CheckpointPolicy::forkSharedLayers() const
+{
+    return _base->forkSharedLayers();
+}
+
+sim::Tick
+CheckpointPolicy::forkLatency() const
+{
+    return _base->forkLatency();
+}
+
+double
+CheckpointPolicy::partialStartLatencyFactor() const
+{
+    // Partial starts restore the missing layers from checkpoint
+    // images instead of re-initializing them, so the restore speedup
+    // applies to them as well as to full cold starts.
+    return _config.restoreFactor * _base->partialStartLatencyFactor();
+}
+
+sim::Tick
+CheckpointPolicy::partialStartLatencyBias() const
+{
+    return _base->partialStartLatencyBias();
+}
+
+double
+CheckpointPolicy::coldStartFactor() const
+{
+    return _config.restoreFactor * _base->coldStartFactor();
+}
+
+double
+CheckpointPolicy::auxiliaryMemoryMb(
+    const workload::FunctionProfile& p) const
+{
+    return _config.imageMemoryFraction * p.memoryAtLayer(
+               workload::Layer::User) + _base->auxiliaryMemoryMb(p);
+}
+
+} // namespace rc::core

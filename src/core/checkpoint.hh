@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Checkpoint/restore integration (§7.8).
+ *
+ * The paper demonstrates RainbowCake composing with an orthogonal
+ * technique: Docker/CRIU checkpointing. Containers are restored from
+ * checkpoint files instead of initializing from scratch, cutting
+ * startup latency (-36% average in the paper) at the cost of caching
+ * checkpoint images in memory (+15% memory waste).
+ *
+ * CheckpointPolicy is a transparent decorator over any base policy:
+ * it forwards every decision to the wrapped policy and only overrides
+ * the cold-start latency factor and the per-container auxiliary
+ * (checkpoint image) memory.
+ */
+
+#ifndef RC_CORE_CHECKPOINT_HH_
+#define RC_CORE_CHECKPOINT_HH_
+
+#include <memory>
+
+#include "policy/policy.hh"
+
+namespace rc::core {
+
+/** Knobs of the checkpoint integration. */
+struct CheckpointConfig
+{
+    /** Cold-init latency multiplier when restoring (restore speed). */
+    double restoreFactor = 0.55;
+    /** Checkpoint image size as a fraction of the user footprint. */
+    double imageMemoryFraction = 0.12;
+};
+
+/** Decorator adding checkpoint/restore to any policy. */
+class CheckpointPolicy : public policy::Policy
+{
+  public:
+    CheckpointPolicy(std::unique_ptr<policy::Policy> base,
+                     CheckpointConfig config = {});
+
+    std::string name() const override;
+    void attach(policy::PlatformView& view) override;
+    void onArrival(workload::FunctionId function) override;
+    void
+    onStartupResolved(const policy::StartupObservation& obs) override;
+    sim::Tick keepAliveTtl(const container::Container& c) override;
+    policy::IdleDecision
+    onIdleExpired(const container::Container& c) override;
+    bool layerSharingEnabled() const override;
+    bool
+    allowForeignUserContainer(const container::Container& c,
+                              workload::FunctionId f) const override;
+    sim::Tick
+    foreignUserStartupLatency(const container::Container& c,
+                              workload::FunctionId f) const override;
+    std::vector<container::ContainerId>
+    rankEvictionVictims(
+        const std::vector<const container::Container*>& idle) override;
+    double partialStartLatencyFactor() const override;
+    sim::Tick partialStartLatencyBias() const override;
+    bool forkSharedLayers() const override;
+    sim::Tick forkLatency() const override;
+
+    // The checkpoint-specific overrides:
+    double coldStartFactor() const override;
+    double
+    auxiliaryMemoryMb(const workload::FunctionProfile& p) const override;
+
+  private:
+    std::unique_ptr<policy::Policy> _base;
+    CheckpointConfig _config;
+};
+
+} // namespace rc::core
+
+#endif // RC_CORE_CHECKPOINT_HH_

@@ -1,0 +1,66 @@
+#include "core/history_recorder.hh"
+
+#include <stdexcept>
+
+namespace rc::core {
+
+HistoryRecorder::HistoryRecorder(const workload::Catalog& catalog,
+                                 std::size_t windowSize)
+    : _catalog(catalog), _windowSize(windowSize),
+      _windows(catalog.size(), SlidingWindow(windowSize)),
+      _arrivals(catalog.size(), 0)
+{
+}
+
+void
+HistoryRecorder::recordArrival(workload::FunctionId function, sim::Tick when)
+{
+    if (function >= _windows.size())
+        throw std::out_of_range("HistoryRecorder: unknown function");
+    _windows[function].push(when);
+    ++_arrivals[function];
+}
+
+std::optional<double>
+HistoryRecorder::functionRate(workload::FunctionId function,
+                              sim::Tick now) const
+{
+    if (function >= _windows.size())
+        throw std::out_of_range("HistoryRecorder: unknown function");
+    return _windows[function].ratePerSecond(now);
+}
+
+double
+HistoryRecorder::languageRate(workload::Language language,
+                              sim::Tick now) const
+{
+    double total = 0.0;
+    for (const auto& profile : _catalog) {
+        if (profile.language() != language)
+            continue;
+        if (auto rate = _windows[profile.id()].ratePerSecond(now))
+            total += *rate;
+    }
+    return total;
+}
+
+double
+HistoryRecorder::globalRate(sim::Tick now) const
+{
+    double total = 0.0;
+    for (const auto& window : _windows) {
+        if (auto rate = window.ratePerSecond(now))
+            total += *rate;
+    }
+    return total;
+}
+
+std::uint64_t
+HistoryRecorder::arrivals(workload::FunctionId function) const
+{
+    if (function >= _arrivals.size())
+        throw std::out_of_range("HistoryRecorder: unknown function");
+    return _arrivals[function];
+}
+
+} // namespace rc::core

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * The History Recorder (§3.2, §5.1).
+ *
+ * Keeps one sliding window per function and answers the three
+ * sharing-aware rate queries of Eq. 2:
+ *   * User layer: lambda_f of the single owning function;
+ *   * Lang layer: the sum of lambda_f over all functions of that
+ *     language (any of them can hit the Lang container);
+ *   * Bare layer: the sum over all functions (Bare containers are
+ *     compatible with everything).
+ *
+ * The paper notes the recorder's footprint is trivial (250 MB per
+ * million functions, §6.2); here each function costs one deque of at
+ * most n timestamps.
+ */
+
+#ifndef RC_CORE_HISTORY_RECORDER_HH_
+#define RC_CORE_HISTORY_RECORDER_HH_
+
+#include <optional>
+#include <vector>
+
+#include "core/sliding_window.hh"
+#include "workload/catalog.hh"
+
+namespace rc::core {
+
+/** Per-function sliding windows + compound rate queries. */
+class HistoryRecorder
+{
+  public:
+    /**
+     * @param catalog     Deployed functions (defines language groups).
+     * @param windowSize  Sliding-window size n (paper default: 6).
+     */
+    HistoryRecorder(const workload::Catalog& catalog,
+                    std::size_t windowSize = 6);
+
+    /** Record an invocation arrival of @p function at @p when. */
+    void recordArrival(workload::FunctionId function, sim::Tick when);
+
+    /** lambda_f in events/second; nullopt without enough history. */
+    std::optional<double> functionRate(workload::FunctionId function,
+                                       sim::Tick now) const;
+
+    /** Compound rate of all functions of @p language (Lang layer). */
+    double languageRate(workload::Language language, sim::Tick now) const;
+
+    /** Compound rate of all functions (Bare layer). */
+    double globalRate(sim::Tick now) const;
+
+    /** Number of arrivals ever recorded for @p function. */
+    std::uint64_t arrivals(workload::FunctionId function) const;
+
+    /** Window size n. */
+    std::size_t windowSize() const { return _windowSize; }
+
+  private:
+    const workload::Catalog& _catalog;
+    std::size_t _windowSize;
+    std::vector<SlidingWindow> _windows;
+    std::vector<std::uint64_t> _arrivals;
+};
+
+} // namespace rc::core
+
+#endif // RC_CORE_HISTORY_RECORDER_HH_

@@ -1,0 +1,45 @@
+#include "core/poisson_model.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rc::core {
+
+double
+compoundRate(const std::vector<std::optional<double>>& rates)
+{
+    double total = 0.0;
+    for (const auto& rate : rates) {
+        if (rate)
+            total += *rate;
+    }
+    return total;
+}
+
+double
+exponentialCdf(double x, double lambda)
+{
+    if (lambda <= 0.0)
+        throw std::invalid_argument("exponentialCdf: lambda must be > 0");
+    if (x < 0.0)
+        return 0.0;
+    return 1.0 - std::exp(-lambda * x);
+}
+
+double
+quantileIatSeconds(double lambda, double p)
+{
+    if (lambda <= 0.0)
+        throw std::invalid_argument("quantileIatSeconds: lambda must be > 0");
+    if (p < 0.0 || p >= 1.0)
+        throw std::invalid_argument("quantileIatSeconds: p outside [0,1)");
+    return -std::log(1.0 - p) / lambda;
+}
+
+sim::Tick
+quantileIat(double lambda, double p)
+{
+    return sim::fromSeconds(quantileIatSeconds(lambda, p));
+}
+
+} // namespace rc::core

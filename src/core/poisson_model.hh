@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Sharing-aware Poisson arrival modeling (§5.1, Eqs. 2-4).
+ *
+ * Each function is modeled as Poisson(lambda_f); for a container type
+ * k the hit process is the superposition of the member functions'
+ * processes, again Poisson with lambda(k) = sum of lambda_f over
+ * F(k) (Eq. 2). Inter-arrival times of a Poisson process are
+ * exponential, so given a confidence quantile p the predicted IAT is
+ * the exponential quantile function (Eq. 4):
+ *
+ *     IAT(k, p) = -ln(1 - p) / lambda(k).
+ */
+
+#ifndef RC_CORE_POISSON_MODEL_HH_
+#define RC_CORE_POISSON_MODEL_HH_
+
+#include <optional>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace rc::core {
+
+/** Sum per-function rates into a compound rate (Eq. 2); skips gaps. */
+double compoundRate(const std::vector<std::optional<double>>& rates);
+
+/**
+ * Exponential CDF at @p x seconds for rate @p lambda (Eq. 3).
+ * Returns 0 for x < 0.
+ */
+double exponentialCdf(double x, double lambda);
+
+/**
+ * Quantile-p inter-arrival time in seconds for rate @p lambda
+ * (Eq. 4). Requires lambda > 0 and 0 <= p < 1.
+ */
+double quantileIatSeconds(double lambda, double p);
+
+/** Same as quantileIatSeconds but returned in ticks. */
+sim::Tick quantileIat(double lambda, double p);
+
+} // namespace rc::core
+
+#endif // RC_CORE_POISSON_MODEL_HH_

@@ -1,0 +1,194 @@
+#include "core/rainbowcake_policy.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace rc::core {
+
+using workload::Language;
+using workload::Layer;
+
+RainbowCakePolicy::RainbowCakePolicy(const workload::Catalog& catalog,
+                                     RainbowCakeConfig config)
+    : _catalog(catalog), _config(config),
+      _cost(CostConfig{config.alpha, config.betaMemoryUnitMb}),
+      _history(catalog, config.windowSize)
+{
+    if (config.quantile < 0.0 || config.quantile >= 1.0)
+        sim::fatal("RainbowCakePolicy: quantile must lie in [0,1)");
+
+    // Precompute the Eq. 5 averages for shared layers: per-language
+    // lang-stage figures and global bare-stage figures.
+    std::array<double, workload::kLanguageCount> langCount{};
+    for (const auto& profile : _catalog) {
+        const auto idx = workload::languageIndex(profile.language());
+        _avgLangInitSeconds[idx] +=
+            sim::toSeconds(profile.stageLatency(Layer::Lang));
+        _avgLangMemoryMb[idx] += profile.memoryAtLayer(Layer::Lang);
+        langCount[idx] += 1.0;
+        _avgBareInitSeconds +=
+            sim::toSeconds(profile.stageLatency(Layer::Bare));
+        _avgBareMemoryMb += profile.memoryAtLayer(Layer::Bare);
+    }
+    for (std::size_t i = 0; i < workload::kLanguageCount; ++i) {
+        if (langCount[i] > 0.0) {
+            _avgLangInitSeconds[i] /= langCount[i];
+            _avgLangMemoryMb[i] /= langCount[i];
+        }
+    }
+    if (!_catalog.empty()) {
+        const auto n = static_cast<double>(_catalog.size());
+        _avgBareInitSeconds /= n;
+        _avgBareMemoryMb /= n;
+    }
+}
+
+void
+RainbowCakePolicy::onArrival(workload::FunctionId function)
+{
+    const sim::Tick now = _view->now();
+    _history.recordArrival(function, now);
+
+    if (!_config.prewarmEnabled)
+        return;
+
+    // Algorithm 1: schedule an async pre-warm one predicted IAT out;
+    // the platform re-checks Available() at fire time.
+    const auto rate = _history.functionRate(function, now);
+    if (rate && *rate > 0.0) {
+        _view->schedulePrewarm(
+            function, quantileIat(*rate, _config.prewarmQuantile));
+    }
+}
+
+sim::Tick
+RainbowCakePolicy::predictedIat(workload::FunctionId function,
+                                Layer layer) const
+{
+    const sim::Tick now = _view->now();
+    double lambda = 0.0;
+    switch (layer) {
+      case Layer::User: {
+        const auto rate = _history.functionRate(function, now);
+        if (!rate)
+            return -1;
+        lambda = *rate;
+        break;
+      }
+      case Layer::Lang:
+        lambda = _history.languageRate(_catalog.at(function).language(),
+                                       now);
+        break;
+      case Layer::Bare:
+        lambda = _history.globalRate(now);
+        break;
+      case Layer::None:
+        return -1;
+    }
+    if (lambda <= 0.0)
+        return -1;
+    return quantileIat(lambda, _config.quantile);
+}
+
+sim::Tick
+RainbowCakePolicy::sharedBeta(Language language, Layer layer) const
+{
+    if (layer == Layer::Lang) {
+        const auto idx = workload::languageIndex(language);
+        return _cost.betaFromRaw(_avgLangInitSeconds[idx],
+                                 _avgLangMemoryMb[idx]);
+    }
+    if (layer == Layer::Bare)
+        return _cost.betaFromRaw(_avgBareInitSeconds, _avgBareMemoryMb);
+    sim::panic("RainbowCakePolicy::sharedBeta: bad layer");
+}
+
+sim::Tick
+RainbowCakePolicy::currentTtl(workload::FunctionId function,
+                              Layer layer) const
+{
+    if (!_config.sharingAwareModeling) {
+        switch (layer) {
+          case Layer::User: return _config.fixedUserTtl;
+          case Layer::Lang: return _config.fixedLangTtl;
+          case Layer::Bare: return _config.fixedBareTtl;
+          case Layer::None: return 0;
+        }
+    }
+
+    if (layer == Layer::User) {
+        // Eq. 7 for the User layer; keepAliveTtl() decides whether a
+        // specific container gets this window or the plain beta bound.
+        const sim::Tick iat = predictedIat(function, Layer::User);
+        return _cost.ttl(_catalog.at(function), Layer::User, iat);
+    }
+
+    const sim::Tick bound =
+        sharedBeta(_catalog.at(function).language(), layer);
+    if (!_config.quantileBoundsSharedLayers)
+        return bound;
+    const sim::Tick iat = predictedIat(function, layer);
+    if (iat < 0)
+        return bound;
+    return std::min(iat, bound);
+}
+
+sim::Tick
+RainbowCakePolicy::keepAliveTtl(const container::Container& c)
+{
+    // Freshly idle containers are always full User containers (after
+    // execution or a completed pre-warm).
+    const workload::FunctionId f =
+        c.function() != workload::kInvalidFunction ? c.function()
+                                                   : c.initFunction();
+    if (!_config.sharingAwareModeling)
+        return _config.fixedUserTtl;
+
+    // Per §7.1, the initial keep-alive TTL of a container that served
+    // an invocation is the upper bound beta(u): it may stay idle
+    // until its memory cost reaches the startup cost its User layer
+    // saves; Eq. 7's min(IAT, beta) applies at the downgrade
+    // transitions of Algorithm 2. Speculative (pre-warmed, never
+    // executed) containers exist for one predicted arrival only, so
+    // their window is quantile-bounded: if the predicted invocation
+    // does not materialize, they downgrade promptly.
+    if (c.everExecuted() && !_config.quantileBoundsUserLayer)
+        return _cost.beta(_catalog.at(f), Layer::User);
+    return currentTtl(f, Layer::User);
+}
+
+policy::IdleDecision
+RainbowCakePolicy::onIdleExpired(const container::Container& c)
+{
+    if (!_config.layerCaching)
+        return policy::IdleDecision::kill();
+
+    if (c.layer() == Layer::Bare)
+        return policy::IdleDecision::kill();
+
+    // Algorithm 2: peel the top layer and ask the recorder for the
+    // next keep-alive window at the downgraded type — unless the
+    // shared pool the container would join is already saturated, in
+    // which case terminating is strictly cheaper.
+    const Layer next = workload::layerBelow(c.layer());
+    std::size_t poolMates = 0;
+    for (const auto* other : _view->idleContainers()) {
+        if (other->id() == c.id() || other->layer() != next)
+            continue;
+        if (next == Layer::Lang &&
+            (!other->language() || *other->language() != *c.language())) {
+            continue;
+        }
+        ++poolMates;
+    }
+    if (poolMates >= _config.maxIdleSharedPerGroup)
+        return policy::IdleDecision::kill();
+
+    const workload::FunctionId f =
+        c.function() != workload::kInvalidFunction ? c.function()
+                                                   : c.initFunction();
+    return policy::IdleDecision::downgrade(currentTtl(f, next));
+}
+
+} // namespace rc::core

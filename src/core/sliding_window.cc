@@ -1,0 +1,56 @@
+#include "core/sliding_window.hh"
+
+#include "sim/logging.hh"
+
+namespace rc::core {
+
+SlidingWindow::SlidingWindow(std::size_t capacity) : _capacity(capacity)
+{
+    if (capacity == 0)
+        sim::fatal("SlidingWindow: capacity must be >= 1");
+}
+
+void
+SlidingWindow::push(sim::Tick when)
+{
+    if (!_window.empty() && when < _window.back())
+        sim::panic("SlidingWindow::push: timestamps must be non-decreasing");
+    _window.push_back(when);
+    if (_window.size() > _capacity)
+        _window.pop_front();
+}
+
+std::optional<sim::Tick>
+SlidingWindow::stalest() const
+{
+    if (_window.empty())
+        return std::nullopt;
+    return _window.front();
+}
+
+std::optional<sim::Tick>
+SlidingWindow::newest() const
+{
+    if (_window.empty())
+        return std::nullopt;
+    return _window.back();
+}
+
+std::optional<double>
+SlidingWindow::ratePerSecond(sim::Tick now) const
+{
+    if (_window.size() < 2)
+        return std::nullopt;
+    const sim::Tick span = now - _window.front();
+    if (span <= 0)
+        return std::nullopt;
+    return static_cast<double>(_window.size()) / sim::toSeconds(span);
+}
+
+void
+SlidingWindow::reset()
+{
+    _window.clear();
+}
+
+} // namespace rc::core

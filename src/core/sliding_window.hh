@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Sliding window of recent invocation timestamps (§5.1).
+ *
+ * The History Recorder fits each function's invocation pattern over
+ * its latest n invocations: with j the current timestamp and j' the
+ * stalest timestamp in the window, the Poisson rate parameter is
+ * lambda_f = n / (j - j'). The window size n is the paper's third
+ * tunable (default 6, sensitivity in Fig. 11c).
+ */
+
+#ifndef RC_CORE_SLIDING_WINDOW_HH_
+#define RC_CORE_SLIDING_WINDOW_HH_
+
+#include <deque>
+#include <optional>
+
+#include "sim/time.hh"
+
+namespace rc::core {
+
+/** Fixed-capacity window of arrival timestamps with rate estimation. */
+class SlidingWindow
+{
+  public:
+    /** @param capacity Window size n (>= 1). */
+    explicit SlidingWindow(std::size_t capacity = 6);
+
+    /** Record an arrival at @p when (non-decreasing). */
+    void push(sim::Tick when);
+
+    /** Number of recorded arrivals currently in the window. */
+    std::size_t size() const { return _window.size(); }
+
+    /** Window capacity n. */
+    std::size_t capacity() const { return _capacity; }
+
+    /** Stalest timestamp j' in the window; nullopt when empty. */
+    std::optional<sim::Tick> stalest() const;
+
+    /** Most recent timestamp; nullopt when empty. */
+    std::optional<sim::Tick> newest() const;
+
+    /**
+     * Rate estimate lambda = size / (now - j') in events per second.
+     * Returns nullopt when fewer than two arrivals were recorded or
+     * when the elapsed span is zero (burst within one tick).
+     */
+    std::optional<double> ratePerSecond(sim::Tick now) const;
+
+    /** Drop all recorded arrivals. */
+    void reset();
+
+  private:
+    std::size_t _capacity;
+    std::deque<sim::Tick> _window;
+};
+
+} // namespace rc::core
+
+#endif // RC_CORE_SLIDING_WINDOW_HH_

@@ -1,0 +1,64 @@
+#include "exp/csv.hh"
+
+#include <ostream>
+
+#include "workload/types.hh"
+
+namespace rc::exp {
+
+void
+writeInvocationsCsv(std::ostream& out, const platform::Metrics& metrics)
+{
+    out << "function,arrival_s,type,queue_s,startup_s,exec_s,e2e_s\n";
+    for (const auto& rec : metrics.records()) {
+        out << rec.function << ',' << sim::toSeconds(rec.arrival) << ','
+            << platform::toString(rec.type) << ','
+            << sim::toSeconds(rec.queueWait) << ','
+            << sim::toSeconds(rec.startupLatency) << ','
+            << sim::toSeconds(rec.execution) << ','
+            << sim::toSeconds(rec.endToEnd) << '\n';
+    }
+}
+
+void
+writeWasteCsv(std::ostream& out, const stats::IntervalLog& waste)
+{
+    out << "begin_s,end_s,memory_mb,layer,function,eventually_hit\n";
+    for (const auto& interval : waste.intervals()) {
+        out << sim::toSeconds(interval.begin) << ','
+            << sim::toSeconds(interval.end) << ','
+            << interval.memoryMb << ','
+            << workload::toString(interval.layer) << ',';
+        if (interval.function == workload::kInvalidFunction)
+            out << "-";
+        else
+            out << interval.function;
+        out << ',' << (interval.eventuallyHit ? 1 : 0) << '\n';
+    }
+}
+
+void
+writeSummaryCsv(std::ostream& out, const std::vector<RunResult>& results)
+{
+    out << "policy,invocations,cold,bare,lang,user,load,mean_startup_s,"
+           "total_startup_s,mean_e2e_s,p99_e2e_s,waste_gbs,"
+           "never_hit_gbs,stranded\n";
+    for (const auto& result : results) {
+        const auto& m = result.metrics;
+        out << result.policyName << ',' << m.total() << ','
+            << m.countOf(platform::StartupType::Cold) << ','
+            << m.countOf(platform::StartupType::Bare) << ','
+            << m.countOf(platform::StartupType::Lang) << ','
+            << m.countOf(platform::StartupType::User) << ','
+            << m.countOf(platform::StartupType::Load) << ','
+            << m.meanStartupSeconds() << ','
+            << m.totalStartupSeconds() << ','
+            << m.meanEndToEndSeconds() << ','
+            << m.p99EndToEndSeconds() << ','
+            << result.wasteGbSeconds() << ','
+            << result.neverHitWasteMbSeconds / 1024.0 << ','
+            << result.strandedInvocations << '\n';
+    }
+}
+
+} // namespace rc::exp

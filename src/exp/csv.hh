@@ -1,0 +1,45 @@
+/**
+ * @file
+ * CSV export of run results for external plotting/analysis.
+ *
+ * Three flat files cover everything the paper's figures plot:
+ * per-invocation records (Figs. 6, 7, 10), per-interval idle waste
+ * (Figs. 3, 8), and per-policy summaries (all comparison tables).
+ */
+
+#ifndef RC_EXP_CSV_HH_
+#define RC_EXP_CSV_HH_
+
+#include <iosfwd>
+#include <vector>
+
+#include "exp/experiment.hh"
+#include "platform/metrics.hh"
+#include "stats/interval_log.hh"
+
+namespace rc::exp {
+
+/**
+ * One row per completed invocation:
+ * function,arrival_s,type,queue_s,startup_s,exec_s,e2e_s
+ */
+void writeInvocationsCsv(std::ostream& out,
+                         const platform::Metrics& metrics);
+
+/**
+ * One row per closed idle interval:
+ * begin_s,end_s,memory_mb,layer,function,eventually_hit
+ */
+void writeWasteCsv(std::ostream& out, const stats::IntervalLog& waste);
+
+/**
+ * One row per policy:
+ * policy,invocations,cold,bare,lang,user,load,mean_startup_s,
+ * total_startup_s,mean_e2e_s,p99_e2e_s,waste_gbs,never_hit_gbs,stranded
+ */
+void writeSummaryCsv(std::ostream& out,
+                     const std::vector<RunResult>& results);
+
+} // namespace rc::exp
+
+#endif // RC_EXP_CSV_HH_

@@ -1,0 +1,67 @@
+#include "exp/experiment.hh"
+
+#include "core/ablations.hh"
+#include "policy/faascache.hh"
+#include "policy/histogram_policy.hh"
+#include "policy/openwhisk_fixed.hh"
+#include "policy/pagurus.hh"
+#include "policy/seuss.hh"
+#include "trace/replay.hh"
+
+namespace rc::exp {
+
+RunResult
+runExperiment(const workload::Catalog& catalog, const PolicyFactory& factory,
+              const std::vector<trace::Arrival>& arrivals,
+              platform::NodeConfig config)
+{
+    platform::Node node(catalog, factory(), config);
+    const std::string name = node.policy().name();
+    node.run(arrivals);
+
+    RunResult result;
+    result.policyName = name;
+    result.metrics = node.metrics();
+    result.waste = node.pool().wasteLog();
+    result.totalStartupSeconds = result.metrics.totalStartupSeconds();
+    result.totalWasteMbSeconds = result.waste.totalWasteMbSeconds();
+    result.hitWasteMbSeconds = result.waste.hitWasteMbSeconds();
+    result.neverHitWasteMbSeconds = result.waste.neverHitWasteMbSeconds();
+    result.strandedInvocations = node.strandedInvocations();
+    return result;
+}
+
+RunResult
+runExperiment(const workload::Catalog& catalog, const PolicyFactory& factory,
+              const trace::TraceSet& set, platform::NodeConfig config)
+{
+    return runExperiment(catalog, factory, trace::expandArrivals(set),
+                         config);
+}
+
+std::vector<NamedPolicy>
+standardBaselines(const workload::Catalog& catalog)
+{
+    std::vector<NamedPolicy> out;
+    out.push_back({"OpenWhisk", [] {
+        return std::make_unique<policy::OpenWhiskFixedPolicy>();
+    }});
+    out.push_back({"Histogram", [] {
+        return std::make_unique<policy::HistogramPolicy>();
+    }});
+    out.push_back({"FaaSCache", [] {
+        return std::make_unique<policy::FaasCachePolicy>();
+    }});
+    out.push_back({"SEUSS", [] {
+        return std::make_unique<policy::SeussPolicy>();
+    }});
+    out.push_back({"Pagurus", [] {
+        return std::make_unique<policy::PagurusPolicy>();
+    }});
+    out.push_back({"RainbowCake", [&catalog] {
+        return core::makeRainbowCake(catalog);
+    }});
+    return out;
+}
+
+} // namespace rc::exp

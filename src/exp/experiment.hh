@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Shared experiment harness: run (policy x trace x catalog) to
+ * completion and collect everything the paper's figures need.
+ *
+ * Every bench binary builds on these helpers so that all baselines
+ * are compared under identical traces, seeds, and node configuration.
+ */
+
+#ifndef RC_EXP_EXPERIMENT_HH_
+#define RC_EXP_EXPERIMENT_HH_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "platform/node.hh"
+#include "policy/policy.hh"
+#include "stats/interval_log.hh"
+#include "trace/trace_set.hh"
+#include "workload/catalog.hh"
+
+namespace rc::exp {
+
+/** Creates a fresh policy instance per run. */
+using PolicyFactory = std::function<std::unique_ptr<policy::Policy>()>;
+
+/** A named policy factory (for tables). */
+struct NamedPolicy
+{
+    std::string label;
+    PolicyFactory make;
+};
+
+/** Everything collected from one run. */
+struct RunResult
+{
+    std::string policyName;
+    platform::Metrics metrics;
+    stats::IntervalLog waste;
+    double totalStartupSeconds = 0.0;
+    double totalWasteMbSeconds = 0.0;
+    double hitWasteMbSeconds = 0.0;
+    double neverHitWasteMbSeconds = 0.0;
+    std::size_t strandedInvocations = 0;
+
+    /** Total waste in GB*s (the unit of Figs. 9 and 12c). */
+    double wasteGbSeconds() const { return totalWasteMbSeconds / 1024.0; }
+};
+
+/** Run @p factory's policy over @p arrivals on a fresh node. */
+RunResult runExperiment(const workload::Catalog& catalog,
+                        const PolicyFactory& factory,
+                        const std::vector<trace::Arrival>& arrivals,
+                        platform::NodeConfig config = {});
+
+/** Convenience: expand @p set and run. */
+RunResult runExperiment(const workload::Catalog& catalog,
+                        const PolicyFactory& factory,
+                        const trace::TraceSet& set,
+                        platform::NodeConfig config = {});
+
+/**
+ * The paper's six §7.2 baselines in presentation order: OpenWhisk,
+ * Histogram, FaaSCache, SEUSS, Pagurus, RainbowCake.
+ */
+std::vector<NamedPolicy>
+standardBaselines(const workload::Catalog& catalog);
+
+} // namespace rc::exp
+
+#endif // RC_EXP_EXPERIMENT_HH_

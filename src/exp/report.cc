@@ -1,0 +1,85 @@
+#include "exp/report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "stats/table.hh"
+
+namespace rc::exp {
+
+void
+printSummaryTable(std::ostream& os, const std::string& title,
+                  const std::vector<RunResult>& results)
+{
+    stats::Table table(title);
+    table.setHeader({"Policy", "Invocations", "Cold", "Bare", "Lang",
+                     "User", "Load", "MeanStartup(s)", "TotalStartup(s)",
+                     "MeanE2E(s)", "P99E2E(s)", "Waste(GBs)",
+                     "NeverHit(GBs)", "Stranded"});
+    for (const auto& result : results) {
+        const auto& m = result.metrics;
+        table.row()
+            .text(result.policyName)
+            .integer(static_cast<long long>(m.total()))
+            .integer(static_cast<long long>(
+                m.countOf(platform::StartupType::Cold)))
+            .integer(static_cast<long long>(
+                m.countOf(platform::StartupType::Bare)))
+            .integer(static_cast<long long>(
+                m.countOf(platform::StartupType::Lang)))
+            .integer(static_cast<long long>(
+                m.countOf(platform::StartupType::User)))
+            .integer(static_cast<long long>(
+                m.countOf(platform::StartupType::Load)))
+            .num(m.meanStartupSeconds(), 3)
+            .num(m.totalStartupSeconds(), 0)
+            .num(m.meanEndToEndSeconds(), 3)
+            .num(m.p99EndToEndSeconds(), 3)
+            .num(result.wasteGbSeconds(), 0)
+            .num(result.neverHitWasteMbSeconds / 1024.0, 0)
+            .integer(static_cast<long long>(result.strandedInvocations));
+    }
+    table.print(os);
+}
+
+void
+printTimeline(std::ostream& os, const std::string& label,
+              const stats::TimeSeries& series, std::size_t maxRows,
+              bool cumulative)
+{
+    const auto values =
+        cumulative ? series.cumulative() : series.values();
+    if (values.empty()) {
+        os << label << ": (empty)\n";
+        return;
+    }
+    const std::size_t stride =
+        std::max<std::size_t>(1, (values.size() + maxRows - 1) / maxRows);
+
+    os << label << " (minute: value, stride " << stride << "):\n";
+    for (std::size_t start = 0; start < values.size(); start += stride) {
+        const std::size_t end = std::min(values.size(), start + stride);
+        double v = 0.0;
+        if (cumulative) {
+            v = values[end - 1]; // cumulative: take the last point
+        } else {
+            for (std::size_t i = start; i < end; ++i)
+                v += values[i];
+        }
+        os << "  " << start << ": " << stats::formatNumber(v, 2) << '\n';
+    }
+}
+
+std::string
+percentChange(double baseline, double ours)
+{
+    if (baseline == 0.0)
+        return "n/a";
+    const double change = (ours - baseline) / baseline * 100.0;
+    const char sign = change >= 0.0 ? '+' : '-';
+    return std::string(1, sign) +
+           stats::formatNumber(std::abs(change), 1) + "%";
+}
+
+} // namespace rc::exp

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Report rendering shared by the bench binaries.
+ */
+
+#ifndef RC_EXP_REPORT_HH_
+#define RC_EXP_REPORT_HH_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hh"
+#include "stats/time_series.hh"
+
+namespace rc::exp {
+
+/**
+ * One row per policy: invocations, startup-type shares, mean/total
+ * startup, mean/P99 end-to-end, total and never-hit memory waste.
+ */
+void printSummaryTable(std::ostream& os, const std::string& title,
+                       const std::vector<RunResult>& results);
+
+/**
+ * Print a time series as rows of "minute value", downsampled to at
+ * most @p maxRows rows (summing within each stride for additive
+ * series).
+ */
+void printTimeline(std::ostream& os, const std::string& label,
+                   const stats::TimeSeries& series,
+                   std::size_t maxRows = 48, bool cumulative = false);
+
+/** "-68%" style relative change of @p ours versus @p baseline. */
+std::string percentChange(double baseline, double ours);
+
+} // namespace rc::exp
+
+#endif // RC_EXP_REPORT_HH_

@@ -1,0 +1,39 @@
+#include "exp/standard_traces.hh"
+
+#include "trace/generator.hh"
+#include "trace/sampler.hh"
+
+namespace rc::exp {
+
+trace::TraceSet
+eightHourTrace(const workload::Catalog& catalog)
+{
+    trace::WorkloadTraceConfig config;
+    config.minutes = 480;
+    config.targetInvocations = 8000;
+    config.popularitySkew = 0.5;
+    config.seed = 20240427; // fixed: the conference's opening day
+    return trace::generateAzureLike(catalog, config);
+}
+
+trace::TraceSet
+cvTrace(const workload::Catalog& catalog, double targetCv)
+{
+    trace::CvSampleConfig config;
+    config.minutes = 60;
+    config.invocations = 3600;
+    config.targetCv = targetCv;
+    // Distinct deterministic seed per CV level.
+    config.seed = 1000 + static_cast<std::uint64_t>(targetCv * 10.0);
+    return trace::sampleWithTargetCv(catalog, config);
+}
+
+const std::vector<double>&
+standardCvLevels()
+{
+    static const std::vector<double> levels = {0.2, 0.4, 0.6, 0.8,
+                                               1.0, 2.0, 4.0};
+    return levels;
+}
+
+} // namespace rc::exp

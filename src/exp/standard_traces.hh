@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The fixed trace sets of the evaluation (§7.1).
+ *
+ * Eight sets total, mirroring the paper's sampling of the Azure
+ * Functions dataset: one 8-hour set driving the overall comparison
+ * (§7.2-§7.5) and seven 1-hour sets with IAT CVs from 0.2 to 4.0
+ * driving the robustness study (§7.6). Seeds are fixed so every bench
+ * and test sees the same workload.
+ */
+
+#ifndef RC_EXP_STANDARD_TRACES_HH_
+#define RC_EXP_STANDARD_TRACES_HH_
+
+#include <vector>
+
+#include "trace/trace_set.hh"
+#include "workload/catalog.hh"
+
+namespace rc::exp {
+
+/** The 8-hour Azure-like overall-evaluation trace set. */
+trace::TraceSet eightHourTrace(const workload::Catalog& catalog);
+
+/** A 1-hour, 3600-invocation set with the given target IAT CV. */
+trace::TraceSet cvTrace(const workload::Catalog& catalog, double targetCv);
+
+/** The seven CV levels of Fig. 12: 0.2 ... 4.0. */
+const std::vector<double>& standardCvLevels();
+
+} // namespace rc::exp
+
+#endif // RC_EXP_STANDARD_TRACES_HH_

@@ -1,0 +1,373 @@
+#include "platform/invoker.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace rc::platform {
+
+using container::Container;
+using container::State;
+using workload::Layer;
+
+Invoker::Invoker(sim::Engine& engine, const workload::Catalog& catalog,
+                 ContainerPool& pool, policy::Policy& policy,
+                 Metrics& metrics, sim::Rng& rng)
+    : _engine(engine), _catalog(catalog), _pool(pool), _policy(policy),
+      _metrics(metrics), _rng(rng)
+{
+    _policy.attach(*this);
+}
+
+sim::Tick
+Invoker::coldInitLatency(const workload::FunctionProfile& p) const
+{
+    // All three stage installs plus the transitions crossed on the
+    // way up; the final User-to-Run dispatch is added at execution
+    // start so it is charged uniformly across every startup type.
+    const auto& costs = p.costs();
+    return costs.bareInit + costs.bareToLang + costs.langInit +
+           costs.langToUser + costs.userInit;
+}
+
+void
+Invoker::onArrival(workload::FunctionId function)
+{
+    _policy.onArrival(function);
+    const Pending inv{function, _engine.now(), 0};
+    if (!tryDispatch(inv))
+        _queue.push_back(inv);
+}
+
+bool
+Invoker::tryDispatch(const Pending& inv)
+{
+    const auto& profile = _catalog.at(inv.function);
+
+    // 1. Idle User container of this function: complete warm start.
+    // Containers that already executed are kept-alive reuses ("Load"
+    // in the Fig. 10 taxonomy); never-executed ones are consumed
+    // pre-warms ("User").
+    if (Container* c = _pool.findIdleUser(inv.function)) {
+        const StartupType type = c->everExecuted() ? StartupType::Load
+                                                   : StartupType::User;
+        dispatchUserHit(inv, *c, type, 0);
+        return true;
+    }
+
+    // 2. In-flight initialization toward this function: latch on.
+    if (Container* c = _pool.findUnclaimedInit(inv.function)) {
+        _pool.claim(*c);
+        _attachments[c->id()] = Attachment{inv, StartupType::Load};
+        return true;
+    }
+
+    // 3. Policy-approved foreign User container (zygote sharing).
+    for (Container* c : _pool.idleForeignUsers(inv.function)) {
+        if (!_policy.allowForeignUserContainer(*c, inv.function))
+            continue;
+        const sim::Tick specialize =
+            _policy.foreignUserStartupLatency(*c, inv.function);
+        if (!_pool.beginRepurpose(*c, profile))
+            continue;
+        _pool.claim(*c);
+        _attachments[c->id()] = Attachment{inv, StartupType::User};
+        const container::ContainerId cid = c->id();
+        _engine.scheduleAfter(specialize,
+                              [this, cid] { onInitComplete(cid); });
+        return true;
+    }
+
+    // 4./5. Layer-wise sharing: idle Lang, then idle Bare container.
+    if (_policy.layerSharingEnabled()) {
+        if (Container* c = _pool.findIdleLang(profile.language())) {
+            if (tryDispatchPartial(inv, *c, StartupType::Lang))
+                return true;
+        }
+        if (Container* c = _pool.findIdleBare()) {
+            if (tryDispatchPartial(inv, *c, StartupType::Bare))
+                return true;
+        }
+    }
+
+    // 6. Cold start.
+    return tryDispatchCold(inv);
+}
+
+void
+Invoker::dispatchUserHit(const Pending& inv, Container& c,
+                         StartupType type, sim::Tick extraLatency)
+{
+    _pool.beginExecution(c);
+    startExecution(inv, c, type,
+                   _catalog.at(inv.function).costs().userToRun +
+                       extraLatency);
+}
+
+bool
+Invoker::tryDispatchPartial(const Pending& inv, Container& c,
+                            StartupType type)
+{
+    const auto& profile = _catalog.at(inv.function);
+    const auto& costs = profile.costs();
+
+    sim::Tick install = 0;
+    switch (c.layer()) {
+      case Layer::Lang:
+        install = costs.langToUser + costs.userInit;
+        break;
+      case Layer::Bare:
+        install = costs.bareToLang + costs.langInit + costs.langToUser +
+                  costs.userInit;
+        break;
+      default:
+        sim::panic("Invoker::tryDispatchPartial: unexpected layer");
+    }
+    install = static_cast<sim::Tick>(
+                  static_cast<double>(install) *
+                  _policy.partialStartLatencyFactor()) +
+              _policy.partialStartLatencyBias();
+
+    container::Container* target = nullptr;
+    if (_policy.forkSharedLayers()) {
+        // Zygote-template mode (§8): clone the shared container and
+        // leave the template resident for further hits.
+        target = _pool.forkFrom(c, profile);
+        if (!target)
+            return false;
+        install += _policy.forkLatency();
+    } else {
+        if (!_pool.beginUpgrade(c, profile, Layer::User))
+            return false;
+        _pool.claim(c);
+        target = &c;
+    }
+    _attachments[target->id()] = Attachment{inv, type};
+    const container::ContainerId cid = target->id();
+    _engine.scheduleAfter(install, [this, cid] { onInitComplete(cid); });
+    return true;
+}
+
+bool
+Invoker::tryDispatchCold(const Pending& inv)
+{
+    const auto& profile = _catalog.at(inv.function);
+    const double auxMb = _policy.auxiliaryMemoryMb(profile);
+    const double needed = profile.memoryAtLayer(Layer::User) + auxMb;
+
+    if (!_pool.canFit(needed) && !evictToFit(needed))
+        return false;
+
+    Container* c = _pool.create(profile, Layer::User, /*claimed=*/true);
+    if (!c)
+        return false;
+    if (auxMb > 0.0)
+        _pool.setAuxiliaryMemory(*c, auxMb);
+
+    const auto install = static_cast<sim::Tick>(
+        static_cast<double>(coldInitLatency(profile)) *
+        _policy.coldStartFactor());
+    _attachments[c->id()] = Attachment{inv, StartupType::Cold};
+    const container::ContainerId cid = c->id();
+    _engine.scheduleAfter(install, [this, cid] { onInitComplete(cid); });
+    return true;
+}
+
+void
+Invoker::onInitComplete(container::ContainerId cid)
+{
+    Container* c = _pool.byId(cid);
+    if (!c || c->state() != State::Initializing)
+        sim::panic("Invoker::onInitComplete: container vanished mid-init");
+    _pool.finishInit(*c);
+
+    auto it = _attachments.find(cid);
+    if (it == _attachments.end()) {
+        // Unclaimed pre-warm finished: enter keep-alive and see if a
+        // queued invocation can use the new capacity.
+        scheduleKeepAlive(*c);
+        drainQueue();
+        return;
+    }
+    const Attachment attachment = it->second;
+    _attachments.erase(it);
+    _pool.beginExecution(*c);
+    startExecution(attachment.pending, *c, attachment.type,
+                   _catalog.at(attachment.pending.function)
+                       .costs().userToRun);
+}
+
+void
+Invoker::startExecution(const Pending& inv, Container& c, StartupType type,
+                        sim::Tick dispatchOverhead)
+{
+    const auto& profile = _catalog.at(inv.function);
+    const sim::Tick execution = profile.sampleExecution(_rng);
+    const sim::Tick bindTime = _engine.now();
+    const sim::Tick startupLatency =
+        (bindTime - inv.arrival) + dispatchOverhead;
+
+    policy::StartupObservation obs;
+    obs.function = inv.function;
+    obs.type = type;
+    obs.startupLatency = startupLatency;
+    _policy.onStartupResolved(obs);
+
+    ++_inFlight;
+    const container::ContainerId cid = c.id();
+    _engine.scheduleAfter(
+        dispatchOverhead + execution,
+        [this, inv, cid, type, startupLatency, execution] {
+            Container* done = _pool.byId(cid);
+            if (!done || done->state() != State::Busy)
+                sim::panic("Invoker: executing container vanished");
+            _pool.finishExecution(*done);
+            --_inFlight;
+
+            InvocationRecord record;
+            record.function = inv.function;
+            record.arrival = inv.arrival;
+            record.type = type;
+            record.queueWait = inv.queueWait;
+            record.startupLatency = startupLatency;
+            record.execution = execution;
+            record.endToEnd = _engine.now() - inv.arrival;
+            _metrics.record(record);
+
+            scheduleKeepAlive(*done);
+            drainQueue();
+        });
+}
+
+void
+Invoker::scheduleKeepAlive(Container& c)
+{
+    const sim::Tick ttl = _policy.keepAliveTtl(c);
+    if (ttl < 0)
+        return; // policy keeps the container until evicted
+    const container::ContainerId cid = c.id();
+    c.setTimeoutEvent(
+        _engine.scheduleAfter(ttl, [this, cid] { onIdleTimeout(cid); }));
+}
+
+void
+Invoker::onIdleTimeout(container::ContainerId cid)
+{
+    Container* c = _pool.byId(cid);
+    if (!c || c->state() != State::Idle)
+        return; // stale event; reuse should have cancelled it
+    c->setTimeoutEvent(sim::kNoEvent);
+
+    policy::IdleDecision decision = _policy.onIdleExpired(*c);
+    switch (decision.action) {
+      case policy::IdleDecision::Action::Kill:
+        _pool.kill(*c);
+        drainQueue();
+        return;
+
+      case policy::IdleDecision::Action::Downgrade:
+        if (c->layer() == Layer::Bare) {
+            // Nothing left to peel: Bare timeout terminates (Fig. 5).
+            _pool.kill(*c);
+            drainQueue();
+            return;
+        }
+        _pool.downgrade(*c);
+        break;
+
+      case policy::IdleDecision::Action::Renew:
+        break;
+
+      case policy::IdleDecision::Action::Repack:
+        if (c->layer() == Layer::User &&
+            _pool.setPacked(*c, std::move(decision.packedFunctions),
+                            decision.packedMemoryMb)) {
+            // The zygote's image is wiped of the owner's code: every
+            // claimant (owner included) pays the specialize cost.
+            c->demoteToZygote();
+            break;
+        }
+        // Packing impossible (wrong layer or no memory): recycling
+        // failed, so the container terminates as it would have
+        // without the sharing scheme. Renewing instead would leave an
+        // immortal container under memory pressure.
+        _pool.kill(*c);
+        drainQueue();
+        return;
+    }
+
+    if (decision.nextTtl < 0)
+        return;
+    const container::ContainerId id = c->id();
+    c->setTimeoutEvent(_engine.scheduleAfter(
+        decision.nextTtl, [this, id] { onIdleTimeout(id); }));
+    drainQueue();
+}
+
+void
+Invoker::schedulePrewarm(workload::FunctionId function, sim::Tick delay)
+{
+    _engine.scheduleAfter(delay,
+                          [this, function] { firePrewarm(function); });
+}
+
+void
+Invoker::firePrewarm(workload::FunctionId function)
+{
+    // Algorithm 1: skip when warm capacity for the function exists.
+    if (_pool.userAvailable(function))
+        return;
+
+    const auto& profile = _catalog.at(function);
+    const double auxMb = _policy.auxiliaryMemoryMb(profile);
+    const double needed = profile.memoryAtLayer(Layer::User) + auxMb;
+    if (!_pool.canFit(needed))
+        return; // pre-warms never evict or queue
+
+    Container* c = _pool.create(profile, Layer::User, /*claimed=*/false);
+    if (!c)
+        return;
+    if (auxMb > 0.0)
+        _pool.setAuxiliaryMemory(*c, auxMb);
+
+    const auto install = static_cast<sim::Tick>(
+        static_cast<double>(coldInitLatency(profile)) *
+        _policy.coldStartFactor());
+    const container::ContainerId cid = c->id();
+    _engine.scheduleAfter(install, [this, cid] { onInitComplete(cid); });
+}
+
+bool
+Invoker::evictToFit(double mb)
+{
+    if (_pool.canFit(mb))
+        return true;
+    const auto victims = _policy.rankEvictionVictims(_pool.idleContainers());
+    for (const auto id : victims) {
+        Container* victim = _pool.byId(id);
+        if (!victim || victim->state() != State::Idle)
+            continue;
+        _pool.kill(*victim);
+        if (_pool.canFit(mb))
+            return true;
+    }
+    return _pool.canFit(mb);
+}
+
+void
+Invoker::drainQueue()
+{
+    if (_draining)
+        return;
+    _draining = true;
+    while (!_queue.empty()) {
+        Pending head = _queue.front();
+        head.queueWait = _engine.now() - head.arrival;
+        if (!tryDispatch(head))
+            break;
+        _queue.pop_front();
+    }
+    _draining = false;
+}
+
+} // namespace rc::platform

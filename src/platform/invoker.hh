@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The invoker: event-driven orchestration of invocations.
+ *
+ * The invoker is the platform's control loop (OpenWhisk's container
+ * pool actor in §6.1): it receives arrivals, resolves each one to a
+ * startup type via the lookup ladder below, drives container
+ * initialization / execution / keep-alive events on the simulation
+ * engine, maintains the admission queue under memory pressure, and
+ * records metrics. It also implements the PlatformView services that
+ * policies use (pre-warm scheduling, warm-availability checks).
+ *
+ * Lookup ladder for an arrival of function f (first match wins):
+ *   1. idle User container of f            -> User (complete warm)
+ *   2. unclaimed in-flight init toward f   -> Load (wait remaining)
+ *   3. idle foreign User container allowed
+ *      by the policy (Pagurus zygote)      -> User (+ specialize cost)
+ *   4. idle Lang container of f's language -> Lang (partial warm)
+ *      [policy must enable layer sharing]
+ *   5. idle Bare container                 -> Bare (partial warm)
+ *   6. none                                -> Cold (new container)
+ * Cold starts that do not fit in memory first evict policy-ranked
+ * idle victims and otherwise wait in a FIFO admission queue.
+ */
+
+#ifndef RC_PLATFORM_INVOKER_HH_
+#define RC_PLATFORM_INVOKER_HH_
+
+#include <deque>
+#include <unordered_map>
+
+#include "platform/metrics.hh"
+#include "platform/pool.hh"
+#include "policy/policy.hh"
+#include "sim/engine.hh"
+#include "sim/rng.hh"
+#include "workload/catalog.hh"
+
+namespace rc::platform {
+
+/** Event-driven invocation orchestrator; one per worker node. */
+class Invoker : public policy::PlatformView
+{
+  public:
+    Invoker(sim::Engine& engine, const workload::Catalog& catalog,
+            ContainerPool& pool, policy::Policy& policy, Metrics& metrics,
+            sim::Rng& rng);
+
+    Invoker(const Invoker&) = delete;
+    Invoker& operator=(const Invoker&) = delete;
+
+    /** Handle an invocation arriving now. */
+    void onArrival(workload::FunctionId function);
+
+    /** Invocations currently waiting for memory. */
+    std::size_t queuedInvocations() const { return _queue.size(); }
+
+    /** Retry queued invocations (used by end-of-run finalization). */
+    void retryQueued() { drainQueue(); }
+
+    /** Invocations dispatched but not yet completed. */
+    std::size_t inFlightInvocations() const { return _inFlight; }
+
+    // ---- PlatformView --------------------------------------------------
+
+    sim::Tick now() const override { return _engine.now(); }
+    const workload::Catalog& catalog() const override { return _catalog; }
+    bool
+    userContainerAvailable(workload::FunctionId function) const override
+    {
+        return _pool.userAvailable(function);
+    }
+    void schedulePrewarm(workload::FunctionId function,
+                         sim::Tick delay) override;
+    std::vector<const container::Container*> idleContainers() const override
+    {
+        return _pool.idleContainers();
+    }
+
+  private:
+    /** An invocation waiting to be bound to a container. */
+    struct Pending
+    {
+        workload::FunctionId function = workload::kInvalidFunction;
+        sim::Tick arrival = 0;
+        sim::Tick queueWait = 0; //!< admission-queue wait before binding
+    };
+
+    /** Bookkeeping for a claimed in-flight initialization. */
+    struct Attachment
+    {
+        Pending pending;
+        StartupType type = StartupType::Cold;
+    };
+
+    /** Try to bind @p inv to a container; false -> caller queues it. */
+    bool tryDispatch(const Pending& inv);
+
+    /** Paths of the lookup ladder. */
+    void dispatchUserHit(const Pending& inv, container::Container& c,
+                         StartupType type, sim::Tick extraLatency);
+    bool tryDispatchPartial(const Pending& inv, container::Container& c,
+                            StartupType type);
+    bool tryDispatchCold(const Pending& inv);
+
+    /** Execution start once a container is ready at the User layer. */
+    void startExecution(const Pending& inv, container::Container& c,
+                        StartupType type, sim::Tick dispatchOverhead);
+
+    /** Init-completion event body. */
+    void onInitComplete(container::ContainerId cid);
+
+    /** Keep-alive: schedule / handle idle timeouts. */
+    void scheduleKeepAlive(container::Container& c);
+    void onIdleTimeout(container::ContainerId cid);
+
+    /** Pre-warm event body (Algorithm 1's async task). */
+    void firePrewarm(workload::FunctionId function);
+
+    /** Evict policy-ranked idle victims until @p mb fits. */
+    bool evictToFit(double mb);
+
+    /** Retry queued invocations after capacity may have freed. */
+    void drainQueue();
+
+    /** Full init latency from scratch for @p f (incl. overheads). */
+    sim::Tick coldInitLatency(const workload::FunctionProfile& p) const;
+
+    sim::Engine& _engine;
+    const workload::Catalog& _catalog;
+    ContainerPool& _pool;
+    policy::Policy& _policy;
+    Metrics& _metrics;
+    sim::Rng& _rng;
+
+    std::deque<Pending> _queue;
+    std::unordered_map<container::ContainerId, Attachment> _attachments;
+    std::size_t _inFlight = 0;
+    bool _draining = false;
+};
+
+} // namespace rc::platform
+
+#endif // RC_PLATFORM_INVOKER_HH_

@@ -1,0 +1,97 @@
+#include "platform/node.hh"
+
+#include "sim/logging.hh"
+
+namespace rc::platform {
+
+namespace {
+
+/** Validate the policy before any member dereferences it. */
+std::unique_ptr<policy::Policy>
+requirePolicy(std::unique_ptr<policy::Policy> policy)
+{
+    if (!policy)
+        sim::fatal("Node: policy must not be null");
+    return policy;
+}
+
+} // namespace
+
+Node::Node(const workload::Catalog& catalog,
+           std::unique_ptr<policy::Policy> policy, NodeConfig config)
+    : _catalog(catalog), _policy(requirePolicy(std::move(policy))),
+      _rng(config.seed), _pool(_engine, config.pool),
+      _invoker(_engine, _catalog, _pool, *_policy, _metrics, _rng)
+{
+}
+
+void
+Node::run(const std::vector<trace::Arrival>& arrivals)
+{
+    for (const auto& arrival : arrivals) {
+        _engine.schedule(arrival.time, [this, f = arrival.function] {
+            _invoker.onArrival(f);
+        });
+    }
+    _engine.run();
+    finalize();
+}
+
+void
+Node::invokeNow(workload::FunctionId function)
+{
+    _invoker.onArrival(function);
+}
+
+void
+Node::advanceTo(sim::Tick when)
+{
+    _engine.runUntil(when);
+}
+
+void
+Node::finalize()
+{
+    // Kill every surviving idle container so its open idle interval
+    // lands in the waste log (classified never-hit unless the
+    // container was reused earlier). Policies like FaaSCache keep
+    // containers without timeouts, so this flush is what bounds
+    // their accounted waste at the end of the run.
+    bool killed = true;
+    while (killed) {
+        killed = false;
+        for (const auto* c : _pool.idleContainers()) {
+            container::Container* victim = _pool.byId(c->id());
+            if (victim && victim->state() == container::State::Idle) {
+                _pool.kill(*victim);
+                killed = true;
+                break; // idleContainers() view invalidated; rescan
+            }
+        }
+    }
+    // Retry anything stranded in the admission queue now that memory
+    // freed, and run the events that dispatch may have produced. A
+    // retried invocation can leave fresh idle containers behind, so
+    // loop until the pool is empty or no progress is possible.
+    std::size_t before = _invoker.queuedInvocations();
+    while (true) {
+        _invoker.retryQueued();
+        _engine.run();
+        bool killed = false;
+        for (const auto* c : _pool.idleContainers()) {
+            container::Container* victim = _pool.byId(c->id());
+            if (victim && victim->state() == container::State::Idle) {
+                _pool.kill(*victim);
+                killed = true;
+            }
+        }
+        const std::size_t after = _invoker.queuedInvocations();
+        if (!killed && after == before)
+            break;
+        if (after == 0 && _pool.liveCount() == 0)
+            break;
+        before = after;
+    }
+}
+
+} // namespace rc::platform

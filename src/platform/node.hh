@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Worker-node facade: the library's main entry point.
+ *
+ * A Node wires together the simulation engine, container pool,
+ * invoker, metrics, and one policy, then replays an arrival stream to
+ * completion. It corresponds to the paper's single worker server
+ * (§6.2 focuses on server-level policy; multi-node scheduling is
+ * explicitly out of scope).
+ *
+ * Typical use:
+ * @code
+ *   auto catalog = workload::Catalog::standard20();
+ *   auto trace = trace::generateAzureLike(catalog, {});
+ *   platform::Node node(catalog,
+ *                       std::make_unique<core::RainbowCakePolicy>(catalog),
+ *                       {});
+ *   node.run(trace::expandArrivals(trace));
+ *   std::cout << node.metrics().meanStartupSeconds();
+ * @endcode
+ */
+
+#ifndef RC_PLATFORM_NODE_HH_
+#define RC_PLATFORM_NODE_HH_
+
+#include <memory>
+#include <vector>
+
+#include "platform/invoker.hh"
+#include "platform/metrics.hh"
+#include "platform/pool.hh"
+#include "policy/policy.hh"
+#include "sim/engine.hh"
+#include "sim/rng.hh"
+#include "trace/replay.hh"
+#include "workload/catalog.hh"
+
+namespace rc::platform {
+
+/** Node-level configuration. */
+struct NodeConfig
+{
+    PoolConfig pool;
+    /** Seed for execution-time sampling. */
+    std::uint64_t seed = 1;
+};
+
+/** One simulated worker node running one policy. */
+class Node
+{
+  public:
+    Node(const workload::Catalog& catalog,
+         std::unique_ptr<policy::Policy> policy, NodeConfig config = {});
+
+    Node(const Node&) = delete;
+    Node& operator=(const Node&) = delete;
+
+    /**
+     * Replay @p arrivals to completion: schedules every arrival,
+     * runs the engine until all events (executions, keep-alive
+     * chains, pre-warms) drain, then terminates surviving idle
+     * containers so their waste is fully accounted.
+     */
+    void run(const std::vector<trace::Arrival>& arrivals);
+
+    /** Inject a single invocation at the current simulated time. */
+    void invokeNow(workload::FunctionId function);
+
+    /** Advance simulated time, draining due events. */
+    void advanceTo(sim::Tick when);
+
+    /** Terminate all surviving idle containers (end-of-run flush). */
+    void finalize();
+
+    const Metrics& metrics() const { return _metrics; }
+    const ContainerPool& pool() const { return _pool; }
+    ContainerPool& pool() { return _pool; }
+    sim::Engine& engine() { return _engine; }
+    Invoker& invoker() { return _invoker; }
+    policy::Policy& policy() { return *_policy; }
+    const workload::Catalog& catalog() const { return _catalog; }
+
+    /** Invocations still queued when the run ended (should be 0). */
+    std::size_t strandedInvocations() const
+    {
+        return _invoker.queuedInvocations();
+    }
+
+  private:
+    const workload::Catalog& _catalog;
+    std::unique_ptr<policy::Policy> _policy;
+    sim::Engine _engine;
+    sim::Rng _rng;
+    ContainerPool _pool;
+    Metrics _metrics;
+    Invoker _invoker;
+};
+
+} // namespace rc::platform
+
+#endif // RC_PLATFORM_NODE_HH_

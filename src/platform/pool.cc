@@ -1,0 +1,335 @@
+#include "platform/pool.hh"
+
+#include "sim/logging.hh"
+
+namespace rc::platform {
+
+using container::Container;
+using container::State;
+using workload::Layer;
+
+ContainerPool::ContainerPool(sim::Engine& engine, PoolConfig config)
+    : _engine(engine), _config(config)
+{
+    if (config.memoryBudgetMb <= 0.0)
+        sim::fatal("ContainerPool: memory budget must be positive");
+}
+
+Container*
+ContainerPool::findIdleUser(workload::FunctionId function)
+{
+    Container* best = nullptr;
+    for (auto& [id, c] : _containers) {
+        if (c->state() == State::Idle && c->layer() == Layer::User &&
+            c->function() == function) {
+            // Prefer the most recently idled container (LIFO keeps
+            // the working set warm and lets older ones expire).
+            if (!best || c->idleSince() > best->idleSince())
+                best = c.get();
+        }
+    }
+    return best;
+}
+
+std::vector<Container*>
+ContainerPool::idleForeignUsers(workload::FunctionId function)
+{
+    std::vector<Container*> out;
+    for (auto& [id, c] : _containers) {
+        if (c->state() == State::Idle && c->layer() == Layer::User &&
+            c->function() != function) {
+            out.push_back(c.get());
+        }
+    }
+    return out;
+}
+
+Container*
+ContainerPool::findIdleLang(workload::Language language)
+{
+    Container* best = nullptr;
+    for (auto& [id, c] : _containers) {
+        if (c->state() == State::Idle && c->layer() == Layer::Lang &&
+            c->language() && *c->language() == language) {
+            if (!best || c->idleSince() > best->idleSince())
+                best = c.get();
+        }
+    }
+    return best;
+}
+
+Container*
+ContainerPool::findIdleBare()
+{
+    Container* best = nullptr;
+    for (auto& [id, c] : _containers) {
+        if (c->state() == State::Idle && c->layer() == Layer::Bare) {
+            if (!best || c->idleSince() > best->idleSince())
+                best = c.get();
+        }
+    }
+    return best;
+}
+
+Container*
+ContainerPool::findUnclaimedInit(workload::FunctionId function)
+{
+    Container* best = nullptr;
+    for (auto& [id, c] : _containers) {
+        if (c->state() == State::Initializing &&
+            c->targetLayer() == Layer::User &&
+            c->initFunction() == function &&
+            _claimed.find(c->id()) == _claimed.end()) {
+            // Prefer the oldest in-flight init: it finishes soonest.
+            if (!best || c->createdAt() < best->createdAt())
+                best = c.get();
+        }
+    }
+    return best;
+}
+
+bool
+ContainerPool::userAvailable(workload::FunctionId function)
+{
+    // Algorithm 1's Available(): "skip if warm containers exist". A
+    // busy container is warm — it will serve again the moment it
+    // finishes — so idle, in-flight, and executing containers all
+    // count.
+    if (findIdleUser(function) || findUnclaimedInit(function))
+        return true;
+    for (auto& [id, c] : _containers) {
+        if (c->state() == State::Busy && c->function() == function)
+            return true;
+    }
+    return false;
+}
+
+std::vector<const Container*>
+ContainerPool::idleContainers() const
+{
+    std::vector<const Container*> out;
+    for (const auto& [id, c] : _containers) {
+        if (c->state() == State::Idle)
+            out.push_back(c.get());
+    }
+    return out;
+}
+
+Container*
+ContainerPool::byId(container::ContainerId id)
+{
+    auto it = _containers.find(id);
+    return it == _containers.end() ? nullptr : it->second.get();
+}
+
+Container*
+ContainerPool::create(const workload::FunctionProfile& profile,
+                      Layer target, bool claimed)
+{
+    // The target footprint must be reservable up front.
+    const double needed = profile.memoryAtLayer(target);
+    if (!canFit(needed))
+        return nullptr;
+    auto c = std::make_unique<Container>(_nextId++, profile, target,
+                                         _engine.now());
+    Container* raw = c.get();
+    _containers.emplace(raw->id(), std::move(c));
+    _usedMb += raw->memoryMb();
+    if (claimed)
+        _claimed.insert(raw->id());
+    return raw;
+}
+
+void
+ContainerPool::claim(Container& c)
+{
+    if (c.state() != State::Initializing)
+        sim::panic("ContainerPool::claim: container not initializing");
+    if (!_claimed.insert(c.id()).second)
+        sim::panic("ContainerPool::claim: already claimed");
+}
+
+bool
+ContainerPool::isClaimed(const Container& c) const
+{
+    return _claimed.find(c.id()) != _claimed.end();
+}
+
+void
+ContainerPool::retrack(Container& c, double beforeMb)
+{
+    _usedMb += c.memoryMb() - beforeMb;
+    if (_usedMb < -1e-6)
+        sim::panic("ContainerPool: negative memory accounting");
+    if (_usedMb < 0.0)
+        _usedMb = 0.0;
+    if (_usedMb > _config.memoryBudgetMb + 1e-6)
+        sim::panic("ContainerPool: memory budget exceeded");
+}
+
+bool
+ContainerPool::beginUpgrade(Container& c,
+                            const workload::FunctionProfile& profile,
+                            Layer target)
+{
+    // Compute the upgrade delta without mutating: target footprint is
+    // the existing lower layers plus the profile's new layer sizes.
+    const double before = c.memoryMb();
+    double after = 0.0;
+    if (target == Layer::User) {
+        const double langPart =
+            (static_cast<int>(c.layer()) >= static_cast<int>(Layer::Lang))
+                ? c.memoryMb() - c.auxiliaryMemoryMb()
+                : profile.memoryAtLayer(Layer::Lang);
+        after = langPart + profile.memoryAtLayer(Layer::User) -
+                profile.memoryAtLayer(Layer::Lang) + c.auxiliaryMemoryMb();
+    } else if (target == Layer::Lang) {
+        after = profile.memoryAtLayer(Layer::Lang) + c.auxiliaryMemoryMb();
+    } else {
+        sim::panic("ContainerPool::beginUpgrade: bad target");
+    }
+    const double delta = after - before;
+    if (delta > 0.0 && !canFit(delta))
+        return false;
+
+    // Reuse cancels any pending keep-alive timeout.
+    if (c.timeoutEvent() != sim::kNoEvent) {
+        _engine.cancel(c.timeoutEvent());
+        c.setTimeoutEvent(sim::kNoEvent);
+    }
+    c.beginUpgrade(profile, target, _engine.now());
+    for (auto& interval : c.drainIdleIntervals(true))
+        _waste.record(interval);
+    retrack(c, before);
+    return true;
+}
+
+Container*
+ContainerPool::forkFrom(Container& source,
+                        const workload::FunctionProfile& profile)
+{
+    if (source.state() != State::Idle ||
+        (source.layer() != Layer::Lang && source.layer() != Layer::Bare)) {
+        sim::panic("ContainerPool::forkFrom: source must be an idle "
+                   "shared container");
+    }
+    if (source.layer() == Layer::Lang &&
+        (!source.language() || *source.language() != profile.language())) {
+        sim::panic("ContainerPool::forkFrom: language mismatch");
+    }
+    Container* clone = create(profile, Layer::User, /*claimed=*/true);
+    if (!clone)
+        return nullptr;
+    source.markSharedHit(_engine.now());
+    for (auto& interval : source.drainIdleIntervals(true))
+        _waste.record(interval);
+    return clone;
+}
+
+bool
+ContainerPool::beginRepurpose(Container& c,
+                              const workload::FunctionProfile& profile)
+{
+    const double before = c.memoryMb();
+    // Post-repurpose footprint: resident lang layer + the new owner's
+    // user-layer delta, plus unchanged aux/packed memory. This is the
+    // same formula Container::beginRepurpose applies.
+    const double newUserDelta = profile.memoryAtLayer(Layer::User) -
+                                profile.memoryAtLayer(Layer::Lang);
+    const double after = c.langLayerMb() + newUserDelta +
+                         c.auxiliaryMemoryMb() + c.packedMemoryMb();
+    const double delta = after - before;
+    if (delta > 0.0 && !canFit(delta))
+        return false;
+
+    if (c.timeoutEvent() != sim::kNoEvent) {
+        _engine.cancel(c.timeoutEvent());
+        c.setTimeoutEvent(sim::kNoEvent);
+    }
+    c.beginRepurpose(profile, _engine.now());
+    for (auto& interval : c.drainIdleIntervals(true))
+        _waste.record(interval);
+    retrack(c, before);
+    return true;
+}
+
+bool
+ContainerPool::setPacked(Container& c,
+                         std::vector<workload::FunctionId> packed,
+                         double packedMemoryMb)
+{
+    const double before = c.memoryMb();
+    const double delta = packedMemoryMb - c.packedMemoryMb();
+    if (delta > 0.0 && !canFit(delta))
+        return false;
+    c.setPackedFunctions(std::move(packed), packedMemoryMb);
+    retrack(c, before);
+    return true;
+}
+
+bool
+ContainerPool::setAuxiliaryMemory(Container& c, double mb)
+{
+    const double before = c.memoryMb();
+    const double delta = mb - c.auxiliaryMemoryMb();
+    if (delta > 0.0 && !canFit(delta))
+        return false;
+    c.setAuxiliaryMemoryMb(mb);
+    retrack(c, before);
+    return true;
+}
+
+void
+ContainerPool::finishInit(Container& c)
+{
+    const double before = c.memoryMb();
+    c.finishInit(_engine.now());
+    _claimed.erase(c.id());
+    retrack(c, before);
+}
+
+void
+ContainerPool::beginExecution(Container& c)
+{
+    if (c.timeoutEvent() != sim::kNoEvent) {
+        _engine.cancel(c.timeoutEvent());
+        c.setTimeoutEvent(sim::kNoEvent);
+    }
+    c.beginExecution(_engine.now());
+    for (auto& interval : c.drainIdleIntervals(true))
+        _waste.record(interval);
+}
+
+void
+ContainerPool::finishExecution(Container& c)
+{
+    c.finishExecution(_engine.now());
+}
+
+void
+ContainerPool::downgrade(Container& c)
+{
+    const double before = c.memoryMb();
+    c.downgrade(_engine.now());
+    retrack(c, before);
+}
+
+void
+ContainerPool::kill(Container& c)
+{
+    if (c.timeoutEvent() != sim::kNoEvent) {
+        _engine.cancel(c.timeoutEvent());
+        c.setTimeoutEvent(sim::kNoEvent);
+    }
+    const double before = c.memoryMb();
+    c.kill(_engine.now());
+    for (auto& interval : c.drainIdleIntervals(false))
+        _waste.record(interval);
+    _usedMb -= before;
+    if (_usedMb < 0.0)
+        _usedMb = 0.0;
+    _claimed.erase(c.id());
+    _containers.erase(c.id());
+}
+
+} // namespace rc::platform

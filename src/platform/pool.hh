@@ -1,0 +1,185 @@
+/**
+ * @file
+ * The container pool: storage, lookup, memory accounting, waste log.
+ *
+ * The pool owns every container on the worker node, enforces the
+ * node's memory budget (initializations reserve the target layer's
+ * footprint up front), answers the lookup queries the invoker and
+ * policies need, and maintains the idle-memory waste log that
+ * produces the Fig. 8 green/red split.
+ *
+ * Container counts on one node are at most a few thousand, so the
+ * lookups are deliberate linear scans: simple, exact, and cheap
+ * relative to event dispatch.
+ */
+
+#ifndef RC_PLATFORM_POOL_HH_
+#define RC_PLATFORM_POOL_HH_
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "container/container.hh"
+#include "sim/engine.hh"
+#include "stats/interval_log.hh"
+#include "workload/catalog.hh"
+
+namespace rc::platform {
+
+/** Static configuration of one worker node's pool. */
+struct PoolConfig
+{
+    /** Memory available for containers, in MB (paper: 240 GB node). */
+    double memoryBudgetMb = 240.0 * 1024.0;
+};
+
+/** Owner of all container instances on a node. */
+class ContainerPool
+{
+  public:
+    ContainerPool(sim::Engine& engine, PoolConfig config);
+
+    // ---- capacity ------------------------------------------------------
+
+    double memoryBudgetMb() const { return _config.memoryBudgetMb; }
+    double usedMemoryMb() const { return _usedMb; }
+    double freeMemoryMb() const { return _config.memoryBudgetMb - _usedMb; }
+    bool canFit(double mb) const { return mb <= freeMemoryMb() + 1e-9; }
+
+    /** Number of live (non-dead) containers. */
+    std::size_t liveCount() const { return _containers.size(); }
+
+    // ---- lookup --------------------------------------------------------
+
+    /** Idle full container owned by @p function; nullptr if none. */
+    container::Container* findIdleUser(workload::FunctionId function);
+
+    /**
+     * Idle full container owned by another function (candidate for
+     * Pagurus-style sharing); all of them, for the policy to filter.
+     */
+    std::vector<container::Container*>
+    idleForeignUsers(workload::FunctionId function);
+
+    /** Idle Lang container of @p language; nullptr if none. */
+    container::Container* findIdleLang(workload::Language language);
+
+    /** Any idle Bare container; nullptr if none. */
+    container::Container* findIdleBare();
+
+    /**
+     * Unclaimed container currently initializing toward a User layer
+     * of @p function (an in-flight pre-warm); nullptr if none.
+     */
+    container::Container*
+    findUnclaimedInit(workload::FunctionId function);
+
+    /** True if an idle or unclaimed in-flight User container exists. */
+    bool userAvailable(workload::FunctionId function);
+
+    /** All idle containers (const view, for policy eviction ranking). */
+    std::vector<const container::Container*> idleContainers() const;
+
+    /** Container by id; nullptr if dead/unknown. */
+    container::Container* byId(container::ContainerId id);
+
+    // ---- mutations -----------------------------------------------------
+
+    /**
+     * Create a container initializing toward @p target for
+     * @p profile. Fails (nullptr) if the target footprint does not
+     * fit the budget; the caller decides whether to evict first.
+     *
+     * @param claimed True when the container is created on behalf of
+     *                a waiting invocation (cold start); false for
+     *                pre-warms.
+     */
+    container::Container* create(const workload::FunctionProfile& profile,
+                                 workload::Layer target, bool claimed);
+
+    /** Mark an in-flight container as claimed by an invocation. */
+    void claim(container::Container& c);
+
+    /** True if the in-flight container is claimed. */
+    bool isClaimed(const container::Container& c) const;
+
+    /**
+     * Begin upgrading an idle container toward @p target for
+     * @p profile (partial warm start). Returns false without side
+     * effects if the memory delta does not fit.
+     */
+    bool beginUpgrade(container::Container& c,
+                      const workload::FunctionProfile& profile,
+                      workload::Layer target);
+
+    /**
+     * Fork a claimed clone of an idle shared (Lang/Bare) template for
+     * @p profile: the template stays resident (its idle time so far
+     * is classified as hit), the clone initializes toward the User
+     * layer. Returns nullptr when the clone's footprint does not fit.
+     */
+    container::Container* forkFrom(container::Container& source,
+                                   const workload::FunctionProfile& profile);
+
+    /**
+     * Repurpose an idle foreign User container for @p profile
+     * (Pagurus sharing). Returns false if the memory delta of the new
+     * user layer does not fit.
+     */
+    bool beginRepurpose(container::Container& c,
+                        const workload::FunctionProfile& profile);
+
+    /** Initialization complete: container becomes idle. */
+    void finishInit(container::Container& c);
+
+    /** Idle User container starts executing; waste intervals -> hit. */
+    void beginExecution(container::Container& c);
+
+    /** Execution complete: container idles again. */
+    void finishExecution(container::Container& c);
+
+    /** Peel the top layer; releases the memory delta. */
+    void downgrade(container::Container& c);
+
+    /**
+     * Terminate a container: releases memory, flushes its idle
+     * intervals (never-hit unless already classified), cancels any
+     * pending timeout event, and destroys it.
+     */
+    void kill(container::Container& c);
+
+    /**
+     * Attach packed-function metadata and its extra memory to an idle
+     * User container (Pagurus zygote). Returns false if the extra
+     * memory does not fit.
+     */
+    bool setPacked(container::Container& c,
+                   std::vector<workload::FunctionId> packed,
+                   double packedMemoryMb);
+
+    /** Charge auxiliary memory (checkpoint images) to a container. */
+    bool setAuxiliaryMemory(container::Container& c, double mb);
+
+    // ---- waste ---------------------------------------------------------
+
+    /** Closed, classified idle intervals (Fig. 8 data). */
+    const stats::IntervalLog& wasteLog() const { return _waste; }
+
+  private:
+    void retrack(container::Container& c, double beforeMb);
+
+    sim::Engine& _engine;
+    PoolConfig _config;
+    double _usedMb = 0.0;
+    container::ContainerId _nextId = 1;
+    std::unordered_map<container::ContainerId,
+                       std::unique_ptr<container::Container>> _containers;
+    std::unordered_set<container::ContainerId> _claimed;
+    stats::IntervalLog _waste;
+};
+
+} // namespace rc::platform
+
+#endif // RC_PLATFORM_POOL_HH_

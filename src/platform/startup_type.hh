@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Startup-type taxonomy (the Fig. 10 legend).
+ *
+ * Every invocation resolves to exactly one startup type:
+ *   * User — hit an idle full (User) container: complete warm start.
+ *   * Lang — hit an idle Lang container of the same language and
+ *     installed only the user layer: partial warm start.
+ *   * Bare — hit an idle Bare container: partial warm start that
+ *     still installs runtime + user layers.
+ *   * Load — latched onto a container whose initialization toward a
+ *     matching User layer was already in flight (typically a
+ *     pre-warm) and waited only the remaining load time.
+ *   * Cold — no reusable container: full initialization from nothing.
+ */
+
+#ifndef RC_PLATFORM_STARTUP_TYPE_HH_
+#define RC_PLATFORM_STARTUP_TYPE_HH_
+
+#include <cstdint>
+
+namespace rc::platform {
+
+/** How an invocation's container was obtained. */
+enum class StartupType : std::uint8_t
+{
+    Cold,
+    Bare,
+    Lang,
+    User,
+    Load,
+};
+
+/** Number of startup types (for array-indexed counters). */
+inline constexpr std::size_t kStartupTypeCount = 5;
+
+/** Human-readable name. */
+constexpr const char*
+toString(StartupType type)
+{
+    switch (type) {
+      case StartupType::Cold: return "Cold";
+      case StartupType::Bare: return "Bare";
+      case StartupType::Lang: return "Lang";
+      case StartupType::User: return "User";
+      case StartupType::Load: return "Load";
+    }
+    return "?";
+}
+
+/** Dense index for counters. */
+constexpr std::size_t
+startupTypeIndex(StartupType type)
+{
+    return static_cast<std::size_t>(type);
+}
+
+} // namespace rc::platform
+
+#endif // RC_PLATFORM_STARTUP_TYPE_HH_

@@ -1,0 +1,63 @@
+#include "policy/faascache.hh"
+
+#include <algorithm>
+
+namespace rc::policy {
+
+void
+FaasCachePolicy::onArrival(workload::FunctionId function)
+{
+    ++_frequency[function];
+}
+
+sim::Tick
+FaasCachePolicy::keepAliveTtl(const container::Container& c)
+{
+    (void)c;
+    return -1; // cached until evicted
+}
+
+IdleDecision
+FaasCachePolicy::onIdleExpired(const container::Container& c)
+{
+    (void)c;
+    // Unreachable in normal operation (no TTLs are scheduled); be
+    // conservative if a caller drives it directly.
+    return IdleDecision::kill();
+}
+
+double
+FaasCachePolicy::priorityOf(const container::Container& c) const
+{
+    const workload::FunctionId f = c.function();
+    double freq = 1.0;
+    if (auto it = _frequency.find(f); it != _frequency.end())
+        freq = static_cast<double>(it->second);
+    const auto& profile = _view->catalog().at(
+        f != workload::kInvalidFunction ? f : c.initFunction());
+    const double costSeconds = sim::toSeconds(profile.coldStartLatency());
+    const double sizeMb = std::max(1.0, c.memoryMb());
+    return _clock + freq * costSeconds / sizeMb;
+}
+
+std::vector<container::ContainerId>
+FaasCachePolicy::rankEvictionVictims(
+    const std::vector<const container::Container*>& idle)
+{
+    std::vector<std::pair<double, container::ContainerId>> ranked;
+    ranked.reserve(idle.size());
+    for (const auto* c : idle)
+        ranked.emplace_back(priorityOf(*c), c->id());
+    std::sort(ranked.begin(), ranked.end());
+    // Advance the clock to the lowest priority: the Greedy-Dual aging
+    // step (the head of this list is what the platform evicts first).
+    if (!ranked.empty())
+        _clock = std::max(_clock, ranked.front().first);
+    std::vector<container::ContainerId> out;
+    out.reserve(ranked.size());
+    for (const auto& [priority, id] : ranked)
+        out.push_back(id);
+    return out;
+}
+
+} // namespace rc::policy

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * FaasCache baseline (Fuerst & Sharma, ASPLOS'21).
+ *
+ * FaasCache treats keep-alive as a caching problem and applies
+ * Greedy-Dual-Size-Frequency: idle containers are never terminated
+ * by a timer; they are only evicted when a new container needs the
+ * memory, in ascending order of priority
+ *
+ *     priority = clock + frequency * cost / size
+ *
+ * where cost is the function's cold-start latency, size its container
+ * footprint, frequency its observed invocation count, and clock the
+ * running eviction clock (raised to the priority of each evicted
+ * container, which ages older entries). This yields excellent warm
+ * rates but the pool stays full ("no container termination", §7.2),
+ * which is where its memory waste comes from.
+ */
+
+#ifndef RC_POLICY_FAASCACHE_HH_
+#define RC_POLICY_FAASCACHE_HH_
+
+#include <unordered_map>
+
+#include "policy/policy.hh"
+
+namespace rc::policy {
+
+/** Greedy-Dual keep-alive: no TTLs, priority eviction. */
+class FaasCachePolicy : public Policy
+{
+  public:
+    FaasCachePolicy() = default;
+
+    std::string name() const override { return "FaaSCache"; }
+    void onArrival(workload::FunctionId function) override;
+    sim::Tick keepAliveTtl(const container::Container& c) override;
+    IdleDecision onIdleExpired(const container::Container& c) override;
+    std::vector<container::ContainerId>
+    rankEvictionVictims(
+        const std::vector<const container::Container*>& idle) override;
+
+    /** Testing hook: current Greedy-Dual clock. */
+    double clock() const { return _clock; }
+
+    /** Testing hook: priority a container would be ranked with. */
+    double priorityOf(const container::Container& c) const;
+
+  private:
+    double _clock = 0.0;
+    std::unordered_map<workload::FunctionId, std::uint64_t> _frequency;
+};
+
+} // namespace rc::policy
+
+#endif // RC_POLICY_FAASCACHE_HH_

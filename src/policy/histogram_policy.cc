@@ -1,0 +1,94 @@
+#include "policy/histogram_policy.hh"
+
+#include <algorithm>
+
+namespace rc::policy {
+
+HistogramPolicy::HistogramPolicy(HistogramConfig config) : _config(config) {}
+
+HistogramPolicy::FunctionState&
+HistogramPolicy::stateFor(workload::FunctionId function)
+{
+    auto it = _functions.find(function);
+    if (it == _functions.end()) {
+        it = _functions.emplace(function, FunctionState(_config.bins)).first;
+    }
+    return it->second;
+}
+
+bool
+HistogramPolicy::predictable(const FunctionState& state) const
+{
+    return state.iatMinutes.count() >= _config.minSamples &&
+           state.iatMinutes.oobFraction() <= _config.maxOobFraction;
+}
+
+void
+HistogramPolicy::onArrival(workload::FunctionId function)
+{
+    FunctionState& state = stateFor(function);
+    const sim::Tick now = _view->now();
+    if (state.lastArrival >= 0) {
+        const double iatMinutes =
+            sim::toSeconds(now - state.lastArrival) / 60.0;
+        state.iatMinutes.add(iatMinutes);
+    }
+    state.lastArrival = now;
+
+    // Pre-warm shortly before the head-percentile IAT elapses, but
+    // only when the head window is wide enough that keeping the
+    // container the whole time would be wasteful; for tight patterns
+    // the keep-alive window alone covers the next arrival.
+    if (!predictable(state))
+        return;
+    const double headMinutes =
+        state.iatMinutes.quantileLowerEdge(_config.headQuantile);
+    const auto headTicks = static_cast<sim::Tick>(
+        headMinutes * 60.0 * static_cast<double>(sim::kSecond));
+    if (headTicks > 2 * _config.prewarmMargin) {
+        _view->schedulePrewarm(function, headTicks - _config.prewarmMargin);
+    }
+}
+
+sim::Tick
+HistogramPolicy::keepAliveTtl(const container::Container& c)
+{
+    const auto it = _functions.find(c.function());
+    if (it == _functions.end() || !predictable(it->second))
+        return _config.fallbackKeepAlive;
+
+    // Hybrid behaviour: when the head of the IAT distribution is far
+    // out, keeping the container the whole time is wasteful — the
+    // policy releases it early and counts on the pre-warm scheduled
+    // at the head window to bring it back just in time.
+    const double headMinutes =
+        it->second.iatMinutes.quantileLowerEdge(_config.headQuantile);
+    const auto headTicks = static_cast<sim::Tick>(
+        headMinutes * 60.0 * static_cast<double>(sim::kSecond));
+    if (headTicks > 2 * _config.prewarmMargin)
+        return _config.releasedKeepAlive;
+
+    const double tailMinutes =
+        it->second.iatMinutes.quantileUpperEdge(_config.tailQuantile);
+    const auto ttl = static_cast<sim::Tick>(
+        tailMinutes * 60.0 * static_cast<double>(sim::kSecond));
+    return std::clamp<sim::Tick>(ttl, sim::kMinute,
+                                 static_cast<sim::Tick>(_config.bins) *
+                                     sim::kMinute);
+}
+
+IdleDecision
+HistogramPolicy::onIdleExpired(const container::Container& c)
+{
+    (void)c;
+    return IdleDecision::kill();
+}
+
+const stats::Histogram*
+HistogramPolicy::histogramFor(workload::FunctionId f) const
+{
+    auto it = _functions.find(f);
+    return it == _functions.end() ? nullptr : &it->second.iatMinutes;
+}
+
+} // namespace rc::policy

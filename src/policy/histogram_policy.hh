@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Histogram baseline (Shahrad et al., USENIX ATC'20).
+ *
+ * The Azure "hybrid histogram" policy tracks, per function, a
+ * histogram of inter-arrival times in one-minute bins and derives
+ * two windows from it: the pre-warming window (head percentile: the
+ * platform may release the container and re-warm it shortly before
+ * the next predicted arrival) and the keep-alive window (tail
+ * percentile: how long to keep the container after it went idle).
+ * When the pattern is not representable (too few samples or too many
+ * out-of-bounds IATs) the policy falls back to a fixed keep-alive.
+ *
+ * Full containers only: no partial layers and no sharing.
+ */
+
+#ifndef RC_POLICY_HISTOGRAM_POLICY_HH_
+#define RC_POLICY_HISTOGRAM_POLICY_HH_
+
+#include <unordered_map>
+
+#include "policy/policy.hh"
+#include "stats/histogram.hh"
+
+namespace rc::policy {
+
+/** Tunables of the histogram policy. */
+struct HistogramConfig
+{
+    /** Histogram range: one-minute bins over four hours. */
+    std::size_t bins = 240;
+    /** Head percentile driving the pre-warm window. */
+    double headQuantile = 0.05;
+    /** Tail percentile driving the keep-alive window. */
+    double tailQuantile = 0.99;
+    /** Safety margin subtracted from the pre-warm point. */
+    sim::Tick prewarmMargin = sim::kMinute;
+    /** Fallback keep-alive when the pattern is unpredictable. */
+    sim::Tick fallbackKeepAlive = 10 * sim::kMinute;
+    /**
+     * Hybrid release: when the head window is wide enough to rely on
+     * pre-warming, the idle container is only kept this long and the
+     * scheduled pre-warm re-creates it before the predicted next
+     * arrival (the Azure policy's unload/pre-load cycle).
+     */
+    sim::Tick releasedKeepAlive = 5 * sim::kMinute;
+    /** Samples needed before trusting the histogram. */
+    std::uint64_t minSamples = 4;
+    /** OOB share above which the pattern counts as unpredictable. */
+    double maxOobFraction = 0.5;
+};
+
+/** Per-function histogram-driven pre-warming and keep-alive. */
+class HistogramPolicy : public Policy
+{
+  public:
+    explicit HistogramPolicy(HistogramConfig config = {});
+
+    std::string name() const override { return "Histogram"; }
+    void onArrival(workload::FunctionId function) override;
+    sim::Tick keepAliveTtl(const container::Container& c) override;
+    IdleDecision onIdleExpired(const container::Container& c) override;
+
+    /** Testing hook: the histogram tracked for @p function. */
+    const stats::Histogram* histogramFor(workload::FunctionId f) const;
+
+  private:
+    struct FunctionState
+    {
+        stats::Histogram iatMinutes;
+        sim::Tick lastArrival = -1;
+
+        explicit FunctionState(std::size_t bins)
+            : iatMinutes(1.0, bins)
+        {
+        }
+    };
+
+    FunctionState& stateFor(workload::FunctionId function);
+    bool predictable(const FunctionState& state) const;
+
+    HistogramConfig _config;
+    std::unordered_map<workload::FunctionId, FunctionState> _functions;
+};
+
+} // namespace rc::policy
+
+#endif // RC_POLICY_HISTOGRAM_POLICY_HH_

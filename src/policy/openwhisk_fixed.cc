@@ -1,0 +1,28 @@
+#include "policy/openwhisk_fixed.hh"
+
+#include "sim/logging.hh"
+
+namespace rc::policy {
+
+OpenWhiskFixedPolicy::OpenWhiskFixedPolicy(sim::Tick keepAlive)
+    : _keepAlive(keepAlive)
+{
+    if (keepAlive <= 0)
+        sim::fatal("OpenWhiskFixedPolicy: keep-alive must be positive");
+}
+
+sim::Tick
+OpenWhiskFixedPolicy::keepAliveTtl(const container::Container& c)
+{
+    (void)c;
+    return _keepAlive;
+}
+
+IdleDecision
+OpenWhiskFixedPolicy::onIdleExpired(const container::Container& c)
+{
+    (void)c;
+    return IdleDecision::kill();
+}
+
+} // namespace rc::policy

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * OpenWhisk's default keep-alive baseline.
+ *
+ * The stock OpenWhisk policy (and, approximately, AWS Lambda /
+ * Google Cloud Functions / Azure Functions per §7.1) keeps every
+ * idle full container alive for a fixed window — 10 minutes — and
+ * then terminates it. No pre-warming, no partial layers, no sharing.
+ */
+
+#ifndef RC_POLICY_OPENWHISK_FIXED_HH_
+#define RC_POLICY_OPENWHISK_FIXED_HH_
+
+#include "policy/policy.hh"
+
+namespace rc::policy {
+
+/** Fixed keep-alive, full containers only. */
+class OpenWhiskFixedPolicy : public Policy
+{
+  public:
+    /** @param keepAlive Fixed idle window (default: 10 minutes). */
+    explicit OpenWhiskFixedPolicy(sim::Tick keepAlive = 10 * sim::kMinute);
+
+    std::string name() const override { return "OpenWhisk"; }
+    sim::Tick keepAliveTtl(const container::Container& c) override;
+    IdleDecision onIdleExpired(const container::Container& c) override;
+
+  private:
+    sim::Tick _keepAlive;
+};
+
+} // namespace rc::policy
+
+#endif // RC_POLICY_OPENWHISK_FIXED_HH_

@@ -1,0 +1,125 @@
+#include "policy/pagurus.hh"
+
+#include "sim/logging.hh"
+
+namespace rc::policy {
+
+using workload::Layer;
+
+PagurusPolicy::PagurusPolicy(PagurusConfig config) : _config(config)
+{
+    if (config.privateTtl <= 0 || config.zygoteTtl <= 0)
+        sim::fatal("PagurusPolicy: TTLs must be positive");
+    if (config.packedMemoryFraction < 0.0 ||
+        config.packedMemoryFraction > 1.0) {
+        sim::fatal("PagurusPolicy: packed memory fraction outside [0,1]");
+    }
+}
+
+void
+PagurusPolicy::onArrival(workload::FunctionId function)
+{
+    _lastArrival[function] = _view->now();
+}
+
+sim::Tick
+PagurusPolicy::keepAliveTtl(const container::Container& c)
+{
+    (void)c;
+    return _config.privateTtl;
+}
+
+std::vector<workload::FunctionId>
+PagurusPolicy::selectHelpers(workload::FunctionId owner) const
+{
+    // Helper candidates: same-language functions ordered by recency
+    // of their last invocation (a deterministic stand-in for the
+    // paper's weighted sampling — recently active functions are
+    // exactly the high-weight ones).
+    const auto& catalog = _view->catalog();
+    const auto language = catalog.at(owner).language();
+
+    std::vector<std::pair<sim::Tick, workload::FunctionId>> candidates;
+    for (const auto& profile : catalog) {
+        if (profile.id() == owner || profile.language() != language)
+            continue;
+        sim::Tick recency = -1;
+        if (auto it = _lastArrival.find(profile.id());
+            it != _lastArrival.end()) {
+            recency = it->second;
+        }
+        candidates.emplace_back(recency, profile.id());
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const auto& a, const auto& b) {
+                  if (a.first != b.first)
+                      return a.first > b.first; // most recent first
+                  return a.second < b.second;
+              });
+
+    // The owner itself stays a valid claimant of the zygote (its
+    // libraries remain in the image even though its code is wiped).
+    std::vector<workload::FunctionId> helpers;
+    helpers.push_back(owner);
+    for (const auto& [recency, id] : candidates) {
+        if (helpers.size() >= _config.maxPacked + 1)
+            break;
+        if (recency < 0)
+            continue; // never invoked: not worth packing
+        helpers.push_back(id);
+    }
+    return helpers;
+}
+
+IdleDecision
+PagurusPolicy::onIdleExpired(const container::Container& c)
+{
+    if (c.layer() != Layer::User)
+        return IdleDecision::kill();
+
+    if (!c.packedFunctions().empty()) {
+        // Zygote lifetime over: terminate.
+        return IdleDecision::kill();
+    }
+
+    const auto helpers = selectHelpers(c.function());
+    if (helpers.empty())
+        return IdleDecision::kill();
+
+    // Pack the helpers' user layers (deduplicated) into the image.
+    // The owner's own libraries are already part of the container's
+    // resident user layer, so only the helpers add memory.
+    const auto& catalog = _view->catalog();
+    double packedMb = 0.0;
+    for (const auto id : helpers) {
+        if (id == c.function())
+            continue;
+        const auto& profile = catalog.at(id);
+        const double delta = profile.memoryAtLayer(Layer::User) -
+                             profile.memoryAtLayer(Layer::Lang);
+        packedMb += delta * _config.packedMemoryFraction;
+    }
+    return IdleDecision::repack(_config.zygoteTtl, helpers, packedMb);
+}
+
+bool
+PagurusPolicy::allowForeignUserContainer(
+    const container::Container& c, workload::FunctionId function) const
+{
+    const auto& packed = c.packedFunctions();
+    return std::find(packed.begin(), packed.end(), function) != packed.end();
+}
+
+sim::Tick
+PagurusPolicy::foreignUserStartupLatency(
+    const container::Container& c, workload::FunctionId function) const
+{
+    (void)c;
+    const auto& profile = _view->catalog().at(function);
+    return _config.specializeBias +
+           static_cast<sim::Tick>(
+               static_cast<double>(profile.costs().userInit) *
+               _config.specializeFraction);
+}
+
+} // namespace rc::policy

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Pagurus baseline (Li et al., USENIX ATC'22): inter-function
+ * container sharing.
+ *
+ * Pagurus recycles idle containers instead of terminating them: when
+ * a function's private container has been idle for a window, it is
+ * re-packed into a "zygote" container that additionally carries the
+ * libraries of a set of helper candidate functions (selected by
+ * weighted sampling over recent activity). Any of those functions can
+ * then claim the zygote with a cheap specialization instead of a cold
+ * start. The price is the over-packed image: zygotes are heavy, which
+ * is exactly the memory-waste downside §2.3 and Fig. 8 attribute to
+ * container sharing.
+ */
+
+#ifndef RC_POLICY_PAGURUS_HH_
+#define RC_POLICY_PAGURUS_HH_
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "policy/policy.hh"
+
+namespace rc::policy {
+
+/** Tunables of the Pagurus baseline. */
+struct PagurusConfig
+{
+    /**
+     * Private keep-alive before re-packing into a zygote (Pagurus
+     * recycles containers the platform would otherwise terminate, so
+     * this matches the platform's default window).
+     */
+    sim::Tick privateTtl = 10 * sim::kMinute;
+    /** Zygote lifetime after re-packing. */
+    sim::Tick zygoteTtl = 4 * sim::kMinute;
+    /** Maximum helper functions packed into one zygote. */
+    std::size_t maxPacked = 6;
+    /**
+     * Fraction of each helper's user-layer delta charged to the
+     * zygote (shared dependencies dedup some of it).
+     */
+    double packedMemoryFraction = 0.8;
+    /**
+     * Fixed specialization latency when a claimant takes a zygote
+     * (loading its code package into the pre-packed image).
+     */
+    sim::Tick specializeBias = 150 * sim::kMillisecond;
+    /**
+     * Fraction of the claimant's user-init latency paid on claim:
+     * libraries are pre-packed but the code package still loads.
+     */
+    double specializeFraction = 0.55;
+};
+
+/** Idle-container recycling via over-packed zygotes. */
+class PagurusPolicy : public Policy
+{
+  public:
+    explicit PagurusPolicy(PagurusConfig config = {});
+
+    std::string name() const override { return "Pagurus"; }
+    void onArrival(workload::FunctionId function) override;
+    sim::Tick keepAliveTtl(const container::Container& c) override;
+    IdleDecision onIdleExpired(const container::Container& c) override;
+    bool
+    allowForeignUserContainer(const container::Container& c,
+                              workload::FunctionId function) const override;
+    sim::Tick
+    foreignUserStartupLatency(const container::Container& c,
+                              workload::FunctionId function) const override;
+
+    /** Testing hook: helper candidates for @p function's zygote. */
+    std::vector<workload::FunctionId>
+    selectHelpers(workload::FunctionId owner) const;
+
+  private:
+    PagurusConfig _config;
+    /** Last arrival time per function (recency-weighted selection). */
+    std::unordered_map<workload::FunctionId, sim::Tick> _lastArrival;
+};
+
+} // namespace rc::policy
+
+#endif // RC_POLICY_PAGURUS_HH_

@@ -1,0 +1,29 @@
+#include "policy/policy.hh"
+
+#include <algorithm>
+
+namespace rc::policy {
+
+std::vector<container::ContainerId>
+Policy::rankEvictionVictims(
+    const std::vector<const container::Container*>& idle)
+{
+    // Default eviction: longest idle first (LRU over idle time), with
+    // lower layers (cheaper to rebuild) preferred on ties.
+    std::vector<const container::Container*> sorted(idle);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const container::Container* a,
+                 const container::Container* b) {
+                  if (a->idleSince() != b->idleSince())
+                      return a->idleSince() < b->idleSince();
+                  return static_cast<int>(a->layer()) <
+                         static_cast<int>(b->layer());
+              });
+    std::vector<container::ContainerId> out;
+    out.reserve(sorted.size());
+    for (const auto* c : sorted)
+        out.push_back(c->id());
+    return out;
+}
+
+} // namespace rc::policy

@@ -1,0 +1,43 @@
+#include "policy/seuss.hh"
+
+#include "sim/logging.hh"
+
+namespace rc::policy {
+
+using workload::Layer;
+
+SeussPolicy::SeussPolicy(SeussConfig config) : _config(config)
+{
+    if (config.userTtl <= 0 || config.langTtl <= 0 || config.bareTtl <= 0)
+        sim::fatal("SeussPolicy: TTLs must be positive");
+    if (config.restoreFactor < 1.0)
+        sim::fatal("SeussPolicy: restore factor below 1 is a speedup");
+}
+
+sim::Tick
+SeussPolicy::ttlFor(Layer layer) const
+{
+    switch (layer) {
+      case Layer::User: return _config.userTtl;
+      case Layer::Lang: return _config.langTtl;
+      case Layer::Bare: return _config.bareTtl;
+      case Layer::None: break;
+    }
+    sim::panic("SeussPolicy::ttlFor: bad layer");
+}
+
+sim::Tick
+SeussPolicy::keepAliveTtl(const container::Container& c)
+{
+    return ttlFor(c.layer());
+}
+
+IdleDecision
+SeussPolicy::onIdleExpired(const container::Container& c)
+{
+    if (c.layer() == Layer::Bare)
+        return IdleDecision::kill();
+    return IdleDecision::downgrade(ttlFor(workload::layerBelow(c.layer())));
+}
+
+} // namespace rc::policy

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * SEUSS baseline (Cadden et al., EuroSys'20): partial container
+ * caching.
+ *
+ * SEUSS snapshots function environments at intermediate points of the
+ * initialization path and serves invocations from the most-derived
+ * cached snapshot, skipping redundant paths. Mapped onto this
+ * platform's layer vocabulary: containers are cached layer-wise with
+ * *fixed* per-layer windows (no workload modeling, no pre-warming),
+ * lower layers are shared across functions, and starting from a
+ * cached layer pays a snapshot-restore penalty on the remaining
+ * initialization (partial warm starts "fail to match the latency
+ * reduction of complete warm-starts", §2.3).
+ */
+
+#ifndef RC_POLICY_SEUSS_HH_
+#define RC_POLICY_SEUSS_HH_
+
+#include "policy/policy.hh"
+
+namespace rc::policy {
+
+/** Tunables of the SEUSS baseline. */
+struct SeussConfig
+{
+    /** Fixed keep-alive of full (User) containers. */
+    sim::Tick userTtl = 6 * sim::kMinute;
+    /** Fixed keep-alive at the Lang layer (snapshots are cheap, so
+     *  SEUSS caches them aggressively). */
+    sim::Tick langTtl = 30 * sim::kMinute;
+    /** Fixed keep-alive at the Bare layer. */
+    sim::Tick bareTtl = 30 * sim::kMinute;
+    /** Multiplier on remaining init when restoring from a snapshot. */
+    double restoreFactor = 1.15;
+    /** Fixed restore cost added to every partial start. */
+    sim::Tick restoreBias = 50 * sim::kMillisecond;
+};
+
+/** Fixed-window layer-wise caching with restore penalties. */
+class SeussPolicy : public Policy
+{
+  public:
+    explicit SeussPolicy(SeussConfig config = {});
+
+    std::string name() const override { return "SEUSS"; }
+    sim::Tick keepAliveTtl(const container::Container& c) override;
+    IdleDecision onIdleExpired(const container::Container& c) override;
+    bool layerSharingEnabled() const override { return true; }
+    double partialStartLatencyFactor() const override
+    {
+        return _config.restoreFactor;
+    }
+    sim::Tick partialStartLatencyBias() const override
+    {
+        return _config.restoreBias;
+    }
+
+  private:
+    sim::Tick ttlFor(workload::Layer layer) const;
+
+    SeussConfig _config;
+};
+
+} // namespace rc::policy
+
+#endif // RC_POLICY_SEUSS_HH_

@@ -1,0 +1,102 @@
+#include "sim/engine.hh"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace rc::sim {
+
+EventId
+Engine::schedule(Tick when, Callback cb)
+{
+    if (when < _now) {
+        throw std::invalid_argument(
+            "Engine::schedule: event time is in the past");
+    }
+    const EventId id = _nextId++;
+    _queue.push(QueueEntry{when, _nextSeq++, id});
+    _callbacks.emplace(id, std::move(cb));
+    return id;
+}
+
+EventId
+Engine::scheduleAfter(Tick delay, Callback cb)
+{
+    if (delay < 0)
+        throw std::invalid_argument("Engine::scheduleAfter: negative delay");
+    return schedule(_now + delay, std::move(cb));
+}
+
+bool
+Engine::cancel(EventId id)
+{
+    return _callbacks.erase(id) > 0;
+}
+
+bool
+Engine::pending(EventId id) const
+{
+    return _callbacks.find(id) != _callbacks.end();
+}
+
+void
+Engine::dispatchFront()
+{
+    const QueueEntry entry = _queue.top();
+    _queue.pop();
+
+    auto it = _callbacks.find(entry.id);
+    if (it == _callbacks.end())
+        return; // cancelled
+
+    assert(entry.when >= _now && "event queue must be monotonic");
+    _now = entry.when;
+
+    // Move the callback out before erasing so the callback may freely
+    // schedule or cancel other events (including re-entrant patterns).
+    Callback cb = std::move(it->second);
+    _callbacks.erase(it);
+    ++_executed;
+    cb();
+}
+
+bool
+Engine::step()
+{
+    // Skip over tombstones of cancelled events.
+    while (!_queue.empty()) {
+        if (_callbacks.find(_queue.top().id) == _callbacks.end()) {
+            _queue.pop();
+            continue;
+        }
+        dispatchFront();
+        return true;
+    }
+    return false;
+}
+
+void
+Engine::run()
+{
+    while (step()) {
+    }
+}
+
+void
+Engine::runUntil(Tick horizon)
+{
+    while (!_queue.empty()) {
+        // Drop cancelled entries without advancing time.
+        if (_callbacks.find(_queue.top().id) == _callbacks.end()) {
+            _queue.pop();
+            continue;
+        }
+        if (_queue.top().when > horizon)
+            break;
+        dispatchFront();
+    }
+    if (_now < horizon)
+        _now = horizon;
+}
+
+} // namespace rc::sim

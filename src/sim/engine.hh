@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Discrete-event simulation engine.
+ *
+ * The engine owns a priority queue of timestamped events. Events
+ * scheduled for the same tick fire in scheduling order (FIFO), which
+ * makes runs fully deterministic. Scheduled events can be cancelled,
+ * which is the mechanism behind keep-alive TTL renewal: a container
+ * cancels its pending timeout when it is reused and schedules a fresh
+ * one when it goes idle again.
+ */
+
+#ifndef RC_SIM_ENGINE_HH_
+#define RC_SIM_ENGINE_HH_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace rc::sim {
+
+/** Opaque handle to a scheduled event; 0 is never a valid id. */
+using EventId = std::uint64_t;
+
+/** Sentinel id meaning "no event". */
+inline constexpr EventId kNoEvent = 0;
+
+/**
+ * Deterministic discrete-event engine.
+ *
+ * Not thread-safe by design: a simulation run is a single logical
+ * timeline, and determinism (same seed, same schedule, same results)
+ * is a hard requirement of the experiment harness.
+ */
+class Engine
+{
+  public:
+    using Callback = std::function<void()>;
+
+    Engine() = default;
+    Engine(const Engine&) = delete;
+    Engine& operator=(const Engine&) = delete;
+
+    /**
+     * Schedule @p cb to run at absolute time @p when.
+     *
+     * @param when  Absolute tick; must be >= now().
+     * @param cb    Callback invoked when simulated time reaches @p when.
+     * @return Handle usable with cancel().
+     */
+    EventId schedule(Tick when, Callback cb);
+
+    /** Schedule @p cb to run @p delay ticks after the current time. */
+    EventId scheduleAfter(Tick delay, Callback cb);
+
+    /**
+     * Cancel a pending event.
+     *
+     * Cancelling an id that already fired or was already cancelled is
+     * a harmless no-op so callers do not need to track firing order.
+     *
+     * @return true if the event was pending and is now cancelled.
+     */
+    bool cancel(EventId id);
+
+    /** @return true if @p id refers to a still-pending event. */
+    bool pending(EventId id) const;
+
+    /** Run until the event queue drains. */
+    void run();
+
+    /**
+     * Run until the queue drains or simulated time would pass
+     * @p horizon. Events at exactly @p horizon still fire; the clock
+     * never exceeds the horizon.
+     */
+    void runUntil(Tick horizon);
+
+    /** Execute at most one event. @return false if the queue is empty. */
+    bool step();
+
+    /** Current simulated time. */
+    Tick now() const { return _now; }
+
+    /** Number of events executed since construction. */
+    std::uint64_t executedEvents() const { return _executed; }
+
+    /** Number of events currently pending. */
+    std::size_t pendingEvents() const { return _callbacks.size(); }
+
+  private:
+    struct QueueEntry
+    {
+        Tick when;
+        std::uint64_t seq; // tie-break: earlier scheduling fires first
+        EventId id;
+
+        bool
+        operator>(const QueueEntry& other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    /** Pop and run the front event; precondition: queue not empty. */
+    void dispatchFront();
+
+    Tick _now = 0;
+    std::uint64_t _nextSeq = 0;
+    EventId _nextId = 1;
+    std::uint64_t _executed = 0;
+    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
+                        std::greater<QueueEntry>> _queue;
+    std::unordered_map<EventId, Callback> _callbacks;
+};
+
+} // namespace rc::sim
+
+#endif // RC_SIM_ENGINE_HH_

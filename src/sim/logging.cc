@@ -1,0 +1,58 @@
+#include "sim/logging.hh"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace rc::sim {
+
+namespace {
+
+LogLevel gLevel = LogLevel::Quiet;
+
+const char*
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "DEBUG";
+      case LogLevel::Info: return "INFO";
+      case LogLevel::Warn: return "WARN";
+      case LogLevel::Quiet: return "QUIET";
+    }
+    return "?";
+}
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return gLevel;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    gLevel = level;
+}
+
+void
+logMessage(LogLevel level, const std::string& msg)
+{
+    if (level < gLevel || gLevel == LogLevel::Quiet)
+        return;
+    std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
+}
+
+void
+fatal(const std::string& msg)
+{
+    throw std::runtime_error("fatal: " + msg);
+}
+
+void
+panic(const std::string& msg)
+{
+    throw std::logic_error("panic: " + msg);
+}
+
+} // namespace rc::sim

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Minimal leveled logging used across the simulator.
+ *
+ * Follows the gem5 split between conditions that are the user's fault
+ * (fatal) and conditions that indicate a simulator bug (panic). Debug
+ * tracing is compiled in but off by default; experiments run with
+ * logging disabled so timing-insensitive output never perturbs
+ * results.
+ */
+
+#ifndef RC_SIM_LOGGING_HH_
+#define RC_SIM_LOGGING_HH_
+
+#include <sstream>
+#include <string>
+
+namespace rc::sim {
+
+/** Severity levels for the global logger. */
+enum class LogLevel
+{
+    Debug,
+    Info,
+    Warn,
+    Quiet, // suppress everything below fatal/panic
+};
+
+/** Global log level; default Quiet so experiments stay clean. */
+LogLevel logLevel();
+
+/** Set the global log level. */
+void setLogLevel(LogLevel level);
+
+/** Emit a message at @p level if enabled. */
+void logMessage(LogLevel level, const std::string& msg);
+
+/**
+ * Abort with a message: a condition the user caused (bad config,
+ * invalid arguments). Throws std::runtime_error so tests can assert
+ * on it; main()s translate it to exit(1).
+ */
+[[noreturn]] void fatal(const std::string& msg);
+
+/**
+ * Abort with a message: a condition that should never happen
+ * regardless of user input (an internal invariant violation).
+ */
+[[noreturn]] void panic(const std::string& msg);
+
+} // namespace rc::sim
+
+#endif // RC_SIM_LOGGING_HH_

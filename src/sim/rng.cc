@@ -1,0 +1,119 @@
+#include "sim/rng.hh"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace rc::sim {
+
+double
+Rng::uniform()
+{
+    return std::uniform_real_distribution<double>(0.0, 1.0)(_gen);
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    if (lo > hi)
+        throw std::invalid_argument("Rng::uniform: lo > hi");
+    if (lo == hi)
+        return lo;
+    return std::uniform_real_distribution<double>(lo, hi)(_gen);
+}
+
+std::int64_t
+Rng::uniformInt(std::int64_t lo, std::int64_t hi)
+{
+    if (lo > hi)
+        throw std::invalid_argument("Rng::uniformInt: lo > hi");
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(_gen);
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return std::bernoulli_distribution(p)(_gen);
+}
+
+double
+Rng::exponential(double lambda)
+{
+    if (lambda <= 0.0)
+        throw std::invalid_argument("Rng::exponential: lambda must be > 0");
+    return std::exponential_distribution<double>(lambda)(_gen);
+}
+
+std::int64_t
+Rng::poisson(double mean)
+{
+    if (mean < 0.0)
+        throw std::invalid_argument("Rng::poisson: negative mean");
+    if (mean == 0.0)
+        return 0;
+    return std::poisson_distribution<std::int64_t>(mean)(_gen);
+}
+
+double
+Rng::normal(double mean, double stddev)
+{
+    if (stddev < 0.0)
+        throw std::invalid_argument("Rng::normal: negative stddev");
+    if (stddev == 0.0)
+        return mean;
+    return std::normal_distribution<double>(mean, stddev)(_gen);
+}
+
+double
+Rng::lognormalMeanCv(double mean, double cv)
+{
+    if (mean <= 0.0)
+        throw std::invalid_argument("Rng::lognormalMeanCv: mean must be > 0");
+    if (cv < 0.0)
+        throw std::invalid_argument("Rng::lognormalMeanCv: negative cv");
+    if (cv == 0.0)
+        return mean;
+    // For lognormal: mean = exp(mu + sigma^2/2), cv^2 = exp(sigma^2) - 1.
+    const double sigma2 = std::log(1.0 + cv * cv);
+    const double mu = std::log(mean) - sigma2 / 2.0;
+    return std::lognormal_distribution<double>(mu, std::sqrt(sigma2))(_gen);
+}
+
+std::size_t
+Rng::zipf(std::size_t n, double s)
+{
+    if (n == 0)
+        throw std::invalid_argument("Rng::zipf: empty support");
+    // Inverse-CDF over the (small) support; n is at most a few
+    // thousand functions so linear scan is fine and exact.
+    double norm = 0.0;
+    for (std::size_t i = 1; i <= n; ++i)
+        norm += 1.0 / std::pow(static_cast<double>(i), s);
+    double u = uniform() * norm;
+    for (std::size_t i = 1; i <= n; ++i) {
+        u -= 1.0 / std::pow(static_cast<double>(i), s);
+        if (u <= 0.0)
+            return i - 1;
+    }
+    return n - 1;
+}
+
+Rng
+Rng::fork(std::uint64_t streamIndex) const
+{
+    // Mix the stream index into a copy of the generator state by
+    // seeding from a hash of (state draw, index). Deterministic and
+    // independent enough for workload synthesis.
+    std::mt19937_64 copy = _gen;
+    const std::uint64_t base = copy();
+    const std::uint64_t mixed =
+        base ^ (streamIndex * 0x9e3779b97f4a7c15ULL + 0x7f4a7c15ULL);
+    return Rng(mixed);
+}
+
+} // namespace rc::sim

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Random number generation for workload synthesis.
+ *
+ * A single seeded Rng instance is the source of all randomness in a
+ * simulation run, which makes runs reproducible. The distribution
+ * helpers cover everything the trace generator and workload models
+ * need: exponential inter-arrival times, Poisson counts, lognormal
+ * execution times, Zipf popularity skew, and a two-state
+ * Markov-modulated Poisson process (MMPP) used to synthesize bursty
+ * Azure-like traces with a controllable coefficient of variation.
+ */
+
+#ifndef RC_SIM_RNG_HH_
+#define RC_SIM_RNG_HH_
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace rc::sim {
+
+/** Deterministic, seedable random source with distribution helpers. */
+class Rng
+{
+  public:
+    /** @param seed Seed for the underlying 64-bit Mersenne twister. */
+    explicit Rng(std::uint64_t seed = 0x5eed5eedULL) : _gen(seed) {}
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). Requires lo <= hi. */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [lo, hi] inclusive. Requires lo <= hi. */
+    std::int64_t uniformInt(std::int64_t lo, std::int64_t hi);
+
+    /** Bernoulli trial with probability @p p of returning true. */
+    bool bernoulli(double p);
+
+    /** Exponential variate with rate @p lambda (> 0). */
+    double exponential(double lambda);
+
+    /** Poisson count with mean @p mean (>= 0). */
+    std::int64_t poisson(double mean);
+
+    /** Normal variate. */
+    double normal(double mean, double stddev);
+
+    /**
+     * Lognormal variate parameterized by the *target* mean and
+     * coefficient of variation of the resulting distribution (not the
+     * underlying normal), which is the natural way to express
+     * execution-time models.
+     */
+    double lognormalMeanCv(double mean, double cv);
+
+    /**
+     * Sample an index in [0, n) from a Zipf distribution with skew
+     * @p s. Used to assign trace popularity ranks to functions.
+     */
+    std::size_t zipf(std::size_t n, double s);
+
+    /** Shuffle a vector in place. */
+    template <typename T>
+    void
+    shuffle(std::vector<T>& v)
+    {
+        std::shuffle(v.begin(), v.end(), _gen);
+    }
+
+    /** Access the raw engine (for std distributions in tests). */
+    std::mt19937_64& engine() { return _gen; }
+
+    /** Derive an independent child stream; deterministic per index. */
+    Rng fork(std::uint64_t streamIndex) const;
+
+  private:
+    std::mt19937_64 _gen;
+    std::uint64_t _seed = 0;
+};
+
+} // namespace rc::sim
+
+#endif // RC_SIM_RNG_HH_

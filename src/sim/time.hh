@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Simulation time base for the RainbowCake simulator.
+ *
+ * All simulated time is kept as a signed 64-bit count of microseconds
+ * (a Tick), mirroring the fixed-point "tick" convention of classic
+ * architecture simulators. Helper constants and conversion functions
+ * keep call sites free of magic numbers; cost arithmetic that follows
+ * the paper's Eq. 1/6 converts to floating-point seconds explicitly.
+ */
+
+#ifndef RC_SIM_TIME_HH_
+#define RC_SIM_TIME_HH_
+
+#include <cstdint>
+
+namespace rc::sim {
+
+/** Simulated time or duration in microseconds. */
+using Tick = std::int64_t;
+
+/** One microsecond, the base resolution of the simulator. */
+inline constexpr Tick kMicrosecond = 1;
+/** One millisecond in ticks. */
+inline constexpr Tick kMillisecond = 1000 * kMicrosecond;
+/** One second in ticks. */
+inline constexpr Tick kSecond = 1000 * kMillisecond;
+/** One minute in ticks. */
+inline constexpr Tick kMinute = 60 * kSecond;
+/** One hour in ticks. */
+inline constexpr Tick kHour = 60 * kMinute;
+
+/** Convert a floating-point number of seconds to ticks (truncating). */
+constexpr Tick
+fromSeconds(double seconds)
+{
+    return static_cast<Tick>(seconds * static_cast<double>(kSecond));
+}
+
+/** Convert a floating-point number of milliseconds to ticks. */
+constexpr Tick
+fromMillis(double millis)
+{
+    return static_cast<Tick>(millis * static_cast<double>(kMillisecond));
+}
+
+/** Convert ticks to floating-point seconds. */
+constexpr double
+toSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/** Convert ticks to floating-point milliseconds. */
+constexpr double
+toMillis(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+/** Convert ticks to whole minutes (floor); used for minute bucketing. */
+constexpr std::int64_t
+toMinuteBucket(Tick t)
+{
+    return t / kMinute;
+}
+
+} // namespace rc::sim
+
+#endif // RC_SIM_TIME_HH_

@@ -1,0 +1,73 @@
+#include "stats/accumulator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rc::stats {
+
+void
+Accumulator::add(double x)
+{
+    if (_count == 0) {
+        _min = x;
+        _max = x;
+    } else {
+        _min = std::min(_min, x);
+        _max = std::max(_max, x);
+    }
+    ++_count;
+    const double delta = x - _mean;
+    _mean += delta / static_cast<double>(_count);
+    _m2 += delta * (x - _mean);
+}
+
+void
+Accumulator::merge(const Accumulator& other)
+{
+    if (other._count == 0)
+        return;
+    if (_count == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(_count);
+    const double nb = static_cast<double>(other._count);
+    const double delta = other._mean - _mean;
+    const double total = na + nb;
+    _mean += delta * nb / total;
+    _m2 += other._m2 + delta * delta * na * nb / total;
+    _count += other._count;
+    _min = std::min(_min, other._min);
+    _max = std::max(_max, other._max);
+}
+
+void
+Accumulator::reset()
+{
+    *this = Accumulator();
+}
+
+double
+Accumulator::variance() const
+{
+    if (_count < 2)
+        return 0.0;
+    return _m2 / static_cast<double>(_count);
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Accumulator::cv() const
+{
+    const double m = mean();
+    if (m == 0.0)
+        return 0.0;
+    return stddev() / m;
+}
+
+} // namespace rc::stats

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Streaming scalar statistics (count/mean/variance/min/max).
+ *
+ * Uses Welford's online algorithm so long runs do not lose precision;
+ * this is the workhorse behind every "average startup latency" number
+ * in the experiment reports.
+ */
+
+#ifndef RC_STATS_ACCUMULATOR_HH_
+#define RC_STATS_ACCUMULATOR_HH_
+
+#include <cstdint>
+
+namespace rc::stats {
+
+/** Online mean/variance/extrema accumulator. */
+class Accumulator
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const Accumulator& other);
+
+    /** Reset to the empty state. */
+    void reset();
+
+    /** Number of samples added. */
+    std::uint64_t count() const { return _count; }
+
+    /** Sum of all samples. */
+    double sum() const { return _mean * static_cast<double>(_count); }
+
+    /** Mean of samples; 0 when empty. */
+    double mean() const { return _count ? _mean : 0.0; }
+
+    /** Population variance; 0 with fewer than two samples. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /** Coefficient of variation (stddev/mean); 0 when mean is 0. */
+    double cv() const;
+
+    /** Smallest sample; 0 when empty. */
+    double min() const { return _count ? _min : 0.0; }
+
+    /** Largest sample; 0 when empty. */
+    double max() const { return _count ? _max : 0.0; }
+
+  private:
+    std::uint64_t _count = 0;
+    double _mean = 0.0;
+    double _m2 = 0.0;
+    double _min = 0.0;
+    double _max = 0.0;
+};
+
+} // namespace rc::stats
+
+#endif // RC_STATS_ACCUMULATOR_HH_

@@ -1,0 +1,72 @@
+#include "stats/histogram.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace rc::stats {
+
+Histogram::Histogram(double binWidth, std::size_t binCount)
+    : _binWidth(binWidth), _bins(binCount, 0)
+{
+    if (binWidth <= 0.0)
+        throw std::invalid_argument("Histogram: binWidth must be > 0");
+    if (binCount == 0)
+        throw std::invalid_argument("Histogram: binCount must be > 0");
+}
+
+void
+Histogram::add(double x)
+{
+    ++_total;
+    if (x < 0.0)
+        x = 0.0;
+    const auto idx = static_cast<std::size_t>(x / _binWidth);
+    if (idx >= _bins.size()) {
+        ++_oob;
+        return;
+    }
+    ++_bins[idx];
+}
+
+double
+Histogram::quantileLowerEdge(double q) const
+{
+    if (q < 0.0 || q > 1.0)
+        throw std::invalid_argument("Histogram::quantile: q outside [0,1]");
+    const std::uint64_t inBounds = _total - _oob;
+    if (inBounds == 0)
+        return _binWidth * static_cast<double>(_bins.size());
+    const double target = q * static_cast<double>(inBounds);
+    double cumulative = 0.0;
+    for (std::size_t i = 0; i < _bins.size(); ++i) {
+        cumulative += static_cast<double>(_bins[i]);
+        if (cumulative >= target)
+            return _binWidth * static_cast<double>(i);
+    }
+    return _binWidth * static_cast<double>(_bins.size());
+}
+
+double
+Histogram::quantileUpperEdge(double q) const
+{
+    const double lower = quantileLowerEdge(q);
+    return lower + _binWidth;
+}
+
+double
+Histogram::oobFraction() const
+{
+    if (_total == 0)
+        return 0.0;
+    return static_cast<double>(_oob) / static_cast<double>(_total);
+}
+
+void
+Histogram::reset()
+{
+    std::fill(_bins.begin(), _bins.end(), 0);
+    _total = 0;
+    _oob = 0;
+}
+
+} // namespace rc::stats

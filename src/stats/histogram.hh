@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Fixed-width bucket histogram.
+ *
+ * Two users: the Histogram baseline policy (Shahrad et al.), which
+ * keeps per-function inter-arrival-time histograms in one-minute
+ * bins, and report rendering. Values beyond the last bucket land in
+ * an explicit out-of-bounds bucket, mirroring the paper's OOB
+ * handling in the Azure policy.
+ */
+
+#ifndef RC_STATS_HISTOGRAM_HH_
+#define RC_STATS_HISTOGRAM_HH_
+
+#include <cstdint>
+#include <vector>
+
+namespace rc::stats {
+
+/** Linear-bucket histogram over [0, binWidth * binCount). */
+class Histogram
+{
+  public:
+    /**
+     * @param binWidth Width of each bucket (> 0), in the caller's unit.
+     * @param binCount Number of regular buckets (> 0).
+     */
+    Histogram(double binWidth, std::size_t binCount);
+
+    /** Add one sample; negative samples clamp into the first bin. */
+    void add(double x);
+
+    /** Total samples including out-of-bounds. */
+    std::uint64_t count() const { return _total; }
+
+    /** Samples that fell beyond the last bucket. */
+    std::uint64_t outOfBounds() const { return _oob; }
+
+    /** Count in bucket @p i. */
+    std::uint64_t binCountAt(std::size_t i) const { return _bins.at(i); }
+
+    /** Number of regular buckets. */
+    std::size_t bins() const { return _bins.size(); }
+
+    /** Bucket width. */
+    double binWidth() const { return _binWidth; }
+
+    /**
+     * Value at the lower edge of the smallest bucket whose cumulative
+     * share reaches quantile @p q over in-bounds samples. Returns the
+     * histogram's upper bound when everything is out of bounds or the
+     * histogram is empty.
+     */
+    double quantileLowerEdge(double q) const;
+
+    /**
+     * Value at the *upper* edge of the bucket reaching quantile @p q;
+     * the Azure histogram policy uses head/tail edges as pre-warm and
+     * keep-alive windows.
+     */
+    double quantileUpperEdge(double q) const;
+
+    /** Fraction of samples that were out of bounds; 0 when empty. */
+    double oobFraction() const;
+
+    /** Reset all buckets. */
+    void reset();
+
+  private:
+    double _binWidth;
+    std::vector<std::uint64_t> _bins;
+    std::uint64_t _total = 0;
+    std::uint64_t _oob = 0;
+};
+
+} // namespace rc::stats
+
+#endif // RC_STATS_HISTOGRAM_HH_

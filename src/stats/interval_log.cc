@@ -1,0 +1,65 @@
+#include "stats/interval_log.hh"
+
+#include <stdexcept>
+
+namespace rc::stats {
+
+void
+IntervalLog::record(const IdleInterval& interval)
+{
+    if (interval.end < interval.begin)
+        throw std::invalid_argument("IntervalLog::record: end < begin");
+    if (interval.memoryMb < 0.0)
+        throw std::invalid_argument("IntervalLog::record: negative memory");
+    _intervals.push_back(interval);
+}
+
+double
+IntervalLog::totalWasteMbSeconds() const
+{
+    double total = 0.0;
+    for (const auto& interval : _intervals)
+        total += interval.wasteMbSeconds();
+    return total;
+}
+
+double
+IntervalLog::hitWasteMbSeconds() const
+{
+    double total = 0.0;
+    for (const auto& interval : _intervals) {
+        if (interval.eventuallyHit)
+            total += interval.wasteMbSeconds();
+    }
+    return total;
+}
+
+double
+IntervalLog::neverHitWasteMbSeconds() const
+{
+    double total = 0.0;
+    for (const auto& interval : _intervals) {
+        if (!interval.eventuallyHit)
+            total += interval.wasteMbSeconds();
+    }
+    return total;
+}
+
+stats::TimeSeries
+IntervalLog::timeline(Select select) const
+{
+    TimeSeries series;
+    for (const auto& interval : _intervals) {
+        if (select == Select::Hit && !interval.eventuallyHit)
+            continue;
+        if (select == Select::NeverHit && interval.eventuallyHit)
+            continue;
+        if (interval.end == interval.begin)
+            continue;
+        series.addSpread(interval.begin, interval.end,
+                         interval.wasteMbSeconds());
+    }
+    return series;
+}
+
+} // namespace rc::stats

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Log of idle-memory intervals with retroactive hit classification.
+ *
+ * Fig. 8 distinguishes memory that was wasted but *eventually hit*
+ * (the idle container later served an invocation — green) from memory
+ * *never hit* (the container died idle — red). Whether an interval
+ * was useful is only known after it closes, so the platform logs
+ * closed idle intervals here and classifies them when the container
+ * is either reused (hit) or killed (never hit).
+ */
+
+#ifndef RC_STATS_INTERVAL_LOG_HH_
+#define RC_STATS_INTERVAL_LOG_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hh"
+#include "stats/time_series.hh"
+#include "workload/types.hh"
+
+namespace rc::stats {
+
+/** One closed idle interval of one container. */
+struct IdleInterval
+{
+    sim::Tick begin = 0;      //!< idle start
+    sim::Tick end = 0;        //!< idle end (reuse or death)
+    double memoryMb = 0.0;    //!< resident memory during the interval
+    bool eventuallyHit = false; //!< true if the container served again
+    /** Layer the container idled at. */
+    workload::Layer layer = workload::Layer::None;
+    /** Owning function at the time (invalid below User layer). */
+    workload::FunctionId function = workload::kInvalidFunction;
+
+    /** Memory waste of this interval in MB * seconds. */
+    double
+    wasteMbSeconds() const
+    {
+        return memoryMb * sim::toSeconds(end - begin);
+    }
+};
+
+/** Append-only store of idle intervals plus aggregate queries. */
+class IntervalLog
+{
+  public:
+    /** Record a closed interval. */
+    void record(const IdleInterval& interval);
+
+    /** All recorded intervals in record order. */
+    const std::vector<IdleInterval>& intervals() const { return _intervals; }
+
+    /** Total waste in MB*s (both classes). */
+    double totalWasteMbSeconds() const;
+
+    /** Waste in MB*s over intervals that were eventually hit. */
+    double hitWasteMbSeconds() const;
+
+    /** Waste in MB*s over intervals never hit again. */
+    double neverHitWasteMbSeconds() const;
+
+    /**
+     * Per-minute waste timeline in MB*s per minute, optionally
+     * restricted to one class.
+     */
+    enum class Select { All, Hit, NeverHit };
+    TimeSeries timeline(Select select = Select::All) const;
+
+    /** Number of recorded intervals. */
+    std::size_t size() const { return _intervals.size(); }
+
+  private:
+    std::vector<IdleInterval> _intervals;
+};
+
+} // namespace rc::stats
+
+#endif // RC_STATS_INTERVAL_LOG_HH_

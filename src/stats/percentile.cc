@@ -1,0 +1,57 @@
+#include "stats/percentile.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace rc::stats {
+
+void
+Percentile::add(double x)
+{
+    // Keep insertion order until a quantile is requested; repeated
+    // adds stay O(1).
+    if (_sorted && !_samples.empty() && x < _samples.back())
+        _sorted = false;
+    _samples.push_back(x);
+}
+
+double
+Percentile::quantile(double q) const
+{
+    if (q < 0.0 || q > 1.0)
+        throw std::invalid_argument("Percentile::quantile: q outside [0,1]");
+    if (_samples.empty())
+        return 0.0;
+    if (!_sorted) {
+        std::sort(_samples.begin(), _samples.end());
+        _sorted = true;
+    }
+    const double rank = q * static_cast<double>(_samples.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+    const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+    if (lo == hi)
+        return _samples[lo];
+    const double frac = rank - static_cast<double>(lo);
+    return _samples[lo] * (1.0 - frac) + _samples[hi] * frac;
+}
+
+double
+Percentile::mean() const
+{
+    if (_samples.empty())
+        return 0.0;
+    const double total =
+        std::accumulate(_samples.begin(), _samples.end(), 0.0);
+    return total / static_cast<double>(_samples.size());
+}
+
+void
+Percentile::reset()
+{
+    _samples.clear();
+    _sorted = true;
+}
+
+} // namespace rc::stats

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Exact percentile tracking over a bounded sample set.
+ *
+ * Experiment runs produce at most a few hundred thousand invocation
+ * records, so we keep exact samples and sort lazily; P99 numbers in
+ * Fig. 7 are therefore exact rather than sketched.
+ */
+
+#ifndef RC_STATS_PERCENTILE_HH_
+#define RC_STATS_PERCENTILE_HH_
+
+#include <cstddef>
+#include <vector>
+
+namespace rc::stats {
+
+/** Exact quantile estimator with lazy sorting. */
+class Percentile
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Number of samples. */
+    std::size_t count() const { return _samples.size(); }
+
+    /**
+     * Quantile @p q in [0, 1] using linear interpolation between
+     * closest ranks; 0 when empty.
+     */
+    double quantile(double q) const;
+
+    /** Convenience: 50th percentile. */
+    double median() const { return quantile(0.5); }
+
+    /** Convenience: 99th percentile (the paper's P99). */
+    double p99() const { return quantile(0.99); }
+
+    /** Mean of samples; 0 when empty. */
+    double mean() const;
+
+    /** Clear all samples. */
+    void reset();
+
+    /** Read-only view of the raw samples (unsorted insertion order). */
+    const std::vector<double>& samples() const { return _samples; }
+
+  private:
+    mutable std::vector<double> _samples;
+    mutable bool _sorted = true;
+};
+
+} // namespace rc::stats
+
+#endif // RC_STATS_PERCENTILE_HH_

@@ -1,0 +1,109 @@
+#include "stats/table.hh"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rc::stats {
+
+std::string
+formatNumber(double v, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << v;
+    return oss.str();
+}
+
+Table::Table(std::string title) : _title(std::move(title)) {}
+
+void
+Table::setHeader(std::vector<std::string> header)
+{
+    _header = std::move(header);
+}
+
+void
+Table::addRow(std::vector<std::string> row)
+{
+    if (!_header.empty() && row.size() != _header.size()) {
+        throw std::invalid_argument(
+            "Table::addRow: row width does not match header");
+    }
+    _rows.push_back(std::move(row));
+}
+
+Table::RowBuilder&
+Table::RowBuilder::text(const std::string& s)
+{
+    _cells.push_back(s);
+    return *this;
+}
+
+Table::RowBuilder&
+Table::RowBuilder::num(double v, int precision)
+{
+    _cells.push_back(formatNumber(v, precision));
+    return *this;
+}
+
+Table::RowBuilder&
+Table::RowBuilder::integer(long long v)
+{
+    _cells.push_back(std::to_string(v));
+    return *this;
+}
+
+Table::RowBuilder::~RowBuilder()
+{
+    if (!_cells.empty())
+        _table.addRow(std::move(_cells));
+}
+
+void
+Table::print(std::ostream& os) const
+{
+    // Compute column widths across header and rows.
+    std::vector<std::size_t> widths;
+    auto grow = [&widths](const std::vector<std::string>& row) {
+        if (row.size() > widths.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t i = 0; i < row.size(); ++i)
+            widths[i] = std::max(widths[i], row[i].size());
+    };
+    if (!_header.empty())
+        grow(_header);
+    for (const auto& row : _rows)
+        grow(row);
+
+    auto emit = [&os, &widths](const std::vector<std::string>& row) {
+        for (std::size_t i = 0; i < row.size(); ++i) {
+            os << std::left << std::setw(static_cast<int>(widths[i]) + 2)
+               << row[i];
+        }
+        os << '\n';
+    };
+
+    if (!_title.empty())
+        os << "== " << _title << " ==\n";
+    if (!_header.empty()) {
+        emit(_header);
+        std::size_t total = 0;
+        for (const auto w : widths)
+            total += w + 2;
+        os << std::string(total, '-') << '\n';
+    }
+    for (const auto& row : _rows)
+        emit(row);
+}
+
+std::string
+Table::toString() const
+{
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+} // namespace rc::stats

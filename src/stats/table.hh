@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Plain-text table rendering for experiment reports.
+ *
+ * Every bench binary prints paper-style rows through this renderer so
+ * output is uniform, alignable, and easy to diff across runs.
+ */
+
+#ifndef RC_STATS_TABLE_HH_
+#define RC_STATS_TABLE_HH_
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace rc::stats {
+
+/** Column-aligned text table with an optional title and header row. */
+class Table
+{
+  public:
+    explicit Table(std::string title = "");
+
+    /** Set the header row; column count is inferred from it. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row; must match the header width if one is set. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience for mixed text/number rows. */
+    class RowBuilder
+    {
+      public:
+        explicit RowBuilder(Table& table) : _table(table) {}
+        RowBuilder& text(const std::string& s);
+        /** Format a double with @p precision decimals. */
+        RowBuilder& num(double v, int precision = 2);
+        RowBuilder& integer(long long v);
+        ~RowBuilder();
+        RowBuilder(const RowBuilder&) = delete;
+        RowBuilder& operator=(const RowBuilder&) = delete;
+
+      private:
+        Table& _table;
+        std::vector<std::string> _cells;
+    };
+
+    /** Start building a row cell by cell; commits on destruction. */
+    RowBuilder row() { return RowBuilder(*this); }
+
+    /** Render to a stream with aligned columns. */
+    void print(std::ostream& os) const;
+
+    /** Render as a string. */
+    std::string toString() const;
+
+    /** Number of data rows. */
+    std::size_t rows() const { return _rows.size(); }
+
+  private:
+    std::string _title;
+    std::vector<std::string> _header;
+    std::vector<std::vector<std::string>> _rows;
+};
+
+/** Format a double with fixed precision (helper for ad-hoc output). */
+std::string formatNumber(double v, int precision = 2);
+
+} // namespace rc::stats
+
+#endif // RC_STATS_TABLE_HH_

@@ -1,0 +1,73 @@
+#include "stats/time_series.hh"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace rc::stats {
+
+void
+TimeSeries::ensure(std::size_t minute)
+{
+    if (minute >= _buckets.size())
+        _buckets.resize(minute + 1, 0.0);
+}
+
+void
+TimeSeries::add(sim::Tick when, double value)
+{
+    if (when < 0)
+        throw std::invalid_argument("TimeSeries::add: negative time");
+    const auto minute = static_cast<std::size_t>(sim::toMinuteBucket(when));
+    ensure(minute);
+    _buckets[minute] += value;
+}
+
+void
+TimeSeries::addSpread(sim::Tick from, sim::Tick to, double value)
+{
+    if (from < 0 || to < from)
+        throw std::invalid_argument("TimeSeries::addSpread: bad interval");
+    if (to == from) {
+        add(from, value);
+        return;
+    }
+    const double span = static_cast<double>(to - from);
+    sim::Tick cursor = from;
+    while (cursor < to) {
+        const auto minute =
+            static_cast<std::size_t>(sim::toMinuteBucket(cursor));
+        const sim::Tick minuteEnd =
+            static_cast<sim::Tick>(minute + 1) * sim::kMinute;
+        const sim::Tick sliceEnd = std::min(minuteEnd, to);
+        const double share =
+            value * static_cast<double>(sliceEnd - cursor) / span;
+        ensure(minute);
+        _buckets[minute] += share;
+        cursor = sliceEnd;
+    }
+}
+
+double
+TimeSeries::at(std::size_t minute) const
+{
+    if (minute >= _buckets.size())
+        return 0.0;
+    return _buckets[minute];
+}
+
+std::vector<double>
+TimeSeries::cumulative() const
+{
+    std::vector<double> out(_buckets.size());
+    std::partial_sum(_buckets.begin(), _buckets.end(), out.begin());
+    return out;
+}
+
+double
+TimeSeries::total() const
+{
+    return std::accumulate(_buckets.begin(), _buckets.end(), 0.0);
+}
+
+} // namespace rc::stats

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Minute-bucketed time series for timeline figures.
+ *
+ * The paper plots cumulative latency and memory-waste timelines in
+ * per-minute resolution (Figs. 3, 8, 10, 12a). TimeSeries accumulates
+ * a value per minute bucket and can render either the raw buckets or
+ * a cumulative prefix sum.
+ */
+
+#ifndef RC_STATS_TIME_SERIES_HH_
+#define RC_STATS_TIME_SERIES_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace rc::stats {
+
+/** Accumulates doubles into per-minute buckets keyed by sim time. */
+class TimeSeries
+{
+  public:
+    /** Add @p value into the bucket that contains @p when. */
+    void add(sim::Tick when, double value);
+
+    /**
+     * Spread @p value uniformly across [from, to): each overlapped
+     * minute bucket receives its proportional share. Used for memory
+     * waste, where an idle interval may span many minutes.
+     */
+    void addSpread(sim::Tick from, sim::Tick to, double value);
+
+    /** Number of buckets (index of last touched bucket + 1). */
+    std::size_t buckets() const { return _buckets.size(); }
+
+    /** Value in bucket @p minute; 0 for untouched buckets. */
+    double at(std::size_t minute) const;
+
+    /** Raw per-minute values, padded with zeros up to buckets(). */
+    const std::vector<double>& values() const { return _buckets; }
+
+    /** Cumulative prefix sums of the buckets. */
+    std::vector<double> cumulative() const;
+
+    /** Sum over all buckets. */
+    double total() const;
+
+  private:
+    void ensure(std::size_t minute);
+
+    std::vector<double> _buckets;
+};
+
+} // namespace rc::stats
+
+#endif // RC_STATS_TIME_SERIES_HH_

@@ -1,0 +1,106 @@
+#include "trace/azure_io.hh"
+
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace rc::trace {
+
+namespace {
+
+/** Split one CSV line on commas (the dataset has no quoting). */
+std::vector<std::string>
+splitCsv(const std::string& line)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    std::istringstream iss(line);
+    while (std::getline(iss, cell, ','))
+        cells.push_back(cell);
+    return cells;
+}
+
+constexpr std::size_t kMetaColumns = 4; // owner, app, function, trigger
+
+} // namespace
+
+TraceSet
+loadAzureCsv(std::istream& in, const workload::Catalog& catalog,
+             std::size_t minutes)
+{
+    TraceSet set(minutes);
+    std::string line;
+    bool headerSkipped = false;
+    workload::FunctionId next = 0;
+
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        if (!headerSkipped) {
+            // The dataset's first row is a header (column names).
+            headerSkipped = true;
+            if (line.find("HashOwner") != std::string::npos ||
+                line.find("owner") != std::string::npos) {
+                continue;
+            }
+            // No header: fall through and parse as data.
+        }
+        if (next >= catalog.size())
+            break; // surplus rows ignored
+
+        const auto cells = splitCsv(line);
+        if (cells.size() <= kMetaColumns) {
+            throw std::runtime_error(
+                "loadAzureCsv: row has no per-minute columns");
+        }
+        FunctionTrace trace;
+        trace.function = next++;
+        trace.perMinute.reserve(minutes);
+        for (std::size_t i = kMetaColumns;
+             i < cells.size() && trace.perMinute.size() < minutes; ++i) {
+            try {
+                const long v = std::stol(cells[i]);
+                if (v < 0) {
+                    throw std::runtime_error(
+                        "loadAzureCsv: negative invocation count");
+                }
+                trace.perMinute.push_back(
+                    static_cast<std::uint32_t>(v));
+            } catch (const std::invalid_argument&) {
+                throw std::runtime_error(
+                    "loadAzureCsv: non-numeric count '" + cells[i] + "'");
+            }
+        }
+        set.add(std::move(trace));
+    }
+    // Silent functions for missing rows keep function ids aligned.
+    while (next < catalog.size()) {
+        FunctionTrace empty;
+        empty.function = next++;
+        set.add(std::move(empty));
+    }
+    return set;
+}
+
+void
+saveAzureCsv(std::ostream& out, const TraceSet& set,
+             const workload::Catalog& catalog)
+{
+    out << "HashOwner,HashApp,HashFunction,Trigger";
+    for (std::size_t m = 1; m <= set.durationMinutes(); ++m)
+        out << ',' << m;
+    out << '\n';
+    for (const auto& trace : set.traces()) {
+        const auto& name = trace.function < catalog.size()
+                               ? catalog.at(trace.function).shortName()
+                               : std::to_string(trace.function);
+        out << name << ',' << name << ',' << name << ",sim";
+        for (const auto count : trace.perMinute)
+            out << ',' << count;
+        out << '\n';
+    }
+}
+
+} // namespace rc::trace

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Import/export of traces in the Azure Functions dataset format.
+ *
+ * The public Azure Functions 2019 dataset ships CSV files with one
+ * row per function: three hash columns (owner, app, function), a
+ * trigger column, then one invocation-count column per minute of the
+ * day. This module reads that shape — so real dataset files can
+ * drive the simulator when available — and writes synthetic trace
+ * sets back out in the same shape for external tooling.
+ *
+ * Mapping: row k of the CSV drives function id k of the catalog;
+ * surplus rows are ignored, missing rows leave functions silent.
+ */
+
+#ifndef RC_TRACE_AZURE_IO_HH_
+#define RC_TRACE_AZURE_IO_HH_
+
+#include <iosfwd>
+
+#include "trace/trace_set.hh"
+#include "workload/catalog.hh"
+
+namespace rc::trace {
+
+/**
+ * Parse an Azure-format CSV into a trace set over @p minutes buckets
+ * (rows longer than the horizon are truncated, shorter ones padded).
+ *
+ * @throws std::runtime_error on malformed rows (non-numeric counts,
+ *         missing columns).
+ */
+TraceSet loadAzureCsv(std::istream& in, const workload::Catalog& catalog,
+                      std::size_t minutes);
+
+/**
+ * Write @p set in Azure CSV shape. Hash columns carry the catalog's
+ * short names (owner/app duplicated); the trigger column is "sim".
+ */
+void saveAzureCsv(std::ostream& out, const TraceSet& set,
+                  const workload::Catalog& catalog);
+
+} // namespace rc::trace
+
+#endif // RC_TRACE_AZURE_IO_HH_

@@ -1,0 +1,60 @@
+#include "trace/replay.hh"
+
+#include <algorithm>
+
+#include "stats/accumulator.hh"
+
+namespace rc::trace {
+
+std::vector<Arrival>
+expandArrivals(const TraceSet& set)
+{
+    std::vector<Arrival> arrivals;
+    arrivals.reserve(set.totalInvocations());
+    for (const auto& trace : set.traces()) {
+        for (std::size_t minute = 0; minute < trace.perMinute.size();
+             ++minute) {
+            const std::uint32_t count = trace.perMinute[minute];
+            if (count == 0)
+                continue;
+            const sim::Tick minuteStart =
+                static_cast<sim::Tick>(minute) * sim::kMinute;
+            if (count == 1) {
+                arrivals.push_back(Arrival{minuteStart, trace.function});
+                continue;
+            }
+            // Evenly distribute: invocation i at start + i * (60s / count).
+            const sim::Tick step = sim::kMinute / static_cast<sim::Tick>(count);
+            for (std::uint32_t i = 0; i < count; ++i) {
+                arrivals.push_back(Arrival{
+                    minuteStart + static_cast<sim::Tick>(i) * step,
+                    trace.function});
+            }
+        }
+    }
+    std::sort(arrivals.begin(), arrivals.end());
+    return arrivals;
+}
+
+double
+iatCv(const std::vector<Arrival>& arrivals)
+{
+    if (arrivals.size() < 3)
+        return 0.0;
+    stats::Accumulator acc;
+    for (std::size_t i = 1; i < arrivals.size(); ++i) {
+        acc.add(static_cast<double>(arrivals[i].time - arrivals[i - 1].time));
+    }
+    return acc.cv();
+}
+
+sim::Tick
+meanIat(const std::vector<Arrival>& arrivals)
+{
+    if (arrivals.size() < 2)
+        return 0;
+    const sim::Tick span = arrivals.back().time - arrivals.front().time;
+    return span / static_cast<sim::Tick>(arrivals.size() - 1);
+}
+
+} // namespace rc::trace

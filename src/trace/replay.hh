@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Expansion of minute-bucketed traces into concrete arrival events.
+ *
+ * Implements the replay semantics of §7.2 verbatim: one invocation in
+ * a minute bucket is injected at the beginning of the minute; for
+ * multiple invocations the bucket is distributed evenly throughout
+ * the minute (the FaaSCache methodology the paper cites).
+ */
+
+#ifndef RC_TRACE_REPLAY_HH_
+#define RC_TRACE_REPLAY_HH_
+
+#include <vector>
+
+#include "sim/time.hh"
+#include "trace/trace_set.hh"
+#include "workload/types.hh"
+
+namespace rc::trace {
+
+/** One invocation arrival. */
+struct Arrival
+{
+    sim::Tick time = 0;
+    workload::FunctionId function = workload::kInvalidFunction;
+
+    bool
+    operator<(const Arrival& other) const
+    {
+        if (time != other.time)
+            return time < other.time;
+        return function < other.function;
+    }
+};
+
+/** Expand a trace set into a time-sorted arrival list. */
+std::vector<Arrival> expandArrivals(const TraceSet& set);
+
+/**
+ * Coefficient of variation of the inter-arrival times of the merged
+ * arrival stream; this is the "IAT CV" knob of §7.6. Returns 0 for
+ * fewer than three arrivals.
+ */
+double iatCv(const std::vector<Arrival>& arrivals);
+
+/** Mean inter-arrival time of the merged stream in ticks. */
+sim::Tick meanIat(const std::vector<Arrival>& arrivals);
+
+} // namespace rc::trace
+
+#endif // RC_TRACE_REPLAY_HH_

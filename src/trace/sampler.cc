@@ -1,0 +1,129 @@
+#include "trace/sampler.hh"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/accumulator.hh"
+#include "trace/replay.hh"
+
+namespace rc::trace {
+
+double
+sampleIatSeconds(double meanSeconds, double cv, sim::Rng& rng)
+{
+    if (meanSeconds <= 0.0)
+        throw std::invalid_argument("sampleIatSeconds: mean must be > 0");
+    if (cv < 0.0)
+        throw std::invalid_argument("sampleIatSeconds: negative cv");
+
+    if (cv == 0.0)
+        return meanSeconds;
+
+    if (cv <= 1.0) {
+        // Gamma renewal process: shape k = 1/cv^2, scale = mean/k.
+        const double shape = 1.0 / (cv * cv);
+        const double scale = meanSeconds / shape;
+        std::gamma_distribution<double> dist(shape, scale);
+        return dist(rng.engine());
+    }
+
+    // Balanced-means two-phase hyperexponential H2: with probability
+    // p use rate lambda1, else lambda2, where
+    //   p = (1 + sqrt((cv^2-1)/(cv^2+1))) / 2,
+    //   lambda1 = 2p/mean, lambda2 = 2(1-p)/mean.
+    const double c2 = cv * cv;
+    const double p = 0.5 * (1.0 + std::sqrt((c2 - 1.0) / (c2 + 1.0)));
+    const double lambda1 = 2.0 * p / meanSeconds;
+    const double lambda2 = 2.0 * (1.0 - p) / meanSeconds;
+    const double lambda = rng.bernoulli(p) ? lambda1 : lambda2;
+    return rng.exponential(lambda);
+}
+
+TraceSet
+sampleWithTargetCv(const workload::Catalog& catalog,
+                   const CvSampleConfig& config)
+{
+    if (catalog.empty())
+        throw std::invalid_argument("sampleWithTargetCv: empty catalog");
+    if (config.invocations == 0)
+        throw std::invalid_argument("sampleWithTargetCv: zero invocations");
+
+    // The paper maps one sampled Azure trace with the target IAT CV
+    // to each function (§7.6), so the CV here is a *per-function*
+    // property: every function receives its own renewal process with
+    // the target mean and CV. Invocations are split evenly so the
+    // total count is exact.
+    sim::Rng rng(config.seed);
+    const double horizonSeconds =
+        static_cast<double>(config.minutes) * 60.0;
+    const std::size_t n = catalog.size();
+    const std::uint64_t perFunction = config.invocations / n;
+    std::uint64_t leftover = config.invocations % n;
+
+    TraceSet set(config.minutes);
+    for (const auto& profile : catalog) {
+        std::uint64_t quota = perFunction;
+        if (leftover > 0) {
+            ++quota;
+            --leftover;
+        }
+        FunctionTrace trace;
+        trace.function = profile.id();
+        trace.perMinute.assign(config.minutes, 0);
+        if (quota == 0) {
+            set.add(std::move(trace));
+            continue;
+        }
+        const double meanIatSeconds =
+            horizonSeconds / static_cast<double>(quota);
+        // Random phase start; wrap around the horizon so the count
+        // stays exact even for very bursty draws.
+        double t = rng.uniform(0.0, meanIatSeconds);
+        for (std::uint64_t i = 0; i < quota; ++i) {
+            if (t >= horizonSeconds)
+                t = std::fmod(t, horizonSeconds);
+            auto minute = static_cast<std::size_t>(t / 60.0);
+            if (minute >= config.minutes)
+                minute = config.minutes - 1;
+            ++trace.perMinute[minute];
+            t += sampleIatSeconds(meanIatSeconds, config.targetCv, rng);
+        }
+        set.add(std::move(trace));
+    }
+    return set;
+}
+
+double
+measureBucketedCv(const TraceSet& set)
+{
+    return iatCv(expandArrivals(set));
+}
+
+double
+meanPerFunctionCv(const TraceSet& set)
+{
+    double weighted = 0.0;
+    double arrivals = 0.0;
+    for (const auto& trace : set.traces()) {
+        if (trace.totalInvocations() < 3)
+            continue;
+        TraceSet single(set.durationMinutes());
+        single.add(trace);
+        const auto n = static_cast<double>(trace.totalInvocations());
+        weighted += iatCv(expandArrivals(single)) * n;
+        arrivals += n;
+    }
+    return arrivals > 0.0 ? weighted / arrivals : 0.0;
+}
+
+double
+perMinuteCountCv(const TraceSet& set)
+{
+    stats::Accumulator acc;
+    for (const auto count : set.arrivalsPerMinute())
+        acc.add(static_cast<double>(count));
+    return acc.cv();
+}
+
+} // namespace rc::trace

@@ -1,0 +1,59 @@
+#include "trace/trace_set.hh"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace rc::trace {
+
+std::uint64_t
+FunctionTrace::totalInvocations() const
+{
+    return std::accumulate(perMinute.begin(), perMinute.end(),
+                           std::uint64_t{0});
+}
+
+std::size_t
+FunctionTrace::activeMinutes() const
+{
+    std::size_t active = 0;
+    for (const auto count : perMinute) {
+        if (count > 0)
+            ++active;
+    }
+    return active;
+}
+
+TraceSet::TraceSet(std::size_t minutes) : _minutes(minutes)
+{
+    if (minutes == 0)
+        throw std::invalid_argument("TraceSet: zero-length horizon");
+}
+
+void
+TraceSet::add(FunctionTrace trace)
+{
+    trace.perMinute.resize(_minutes, 0);
+    _traces.push_back(std::move(trace));
+}
+
+std::uint64_t
+TraceSet::totalInvocations() const
+{
+    std::uint64_t total = 0;
+    for (const auto& trace : _traces)
+        total += trace.totalInvocations();
+    return total;
+}
+
+std::vector<std::uint64_t>
+TraceSet::arrivalsPerMinute() const
+{
+    std::vector<std::uint64_t> totals(_minutes, 0);
+    for (const auto& trace : _traces) {
+        for (std::size_t minute = 0; minute < _minutes; ++minute)
+            totals[minute] += trace.perMinute[minute];
+    }
+    return totals;
+}
+
+} // namespace rc::trace

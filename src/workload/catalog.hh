@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Catalog of deployed functions.
+ *
+ * Catalog owns the set of FunctionProfiles of one workload and
+ * provides the lookups the platform and policies need: by id, by
+ * short name, and by language (container sharing is scoped by
+ * language for Lang containers). Catalog::standard20() reproduces
+ * the paper's Table 1 workload.
+ */
+
+#ifndef RC_WORKLOAD_CATALOG_HH_
+#define RC_WORKLOAD_CATALOG_HH_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workload/function_profile.hh"
+
+namespace rc::workload {
+
+/** Immutable-after-build set of function profiles. */
+class Catalog
+{
+  public:
+    Catalog() = default;
+
+    /**
+     * Add a profile; its id must equal the next index (ids are dense
+     * so policies can use flat arrays keyed by FunctionId).
+     */
+    void add(FunctionProfile profile);
+
+    /** Number of functions. */
+    std::size_t size() const { return _profiles.size(); }
+
+    bool empty() const { return _profiles.empty(); }
+
+    /** Profile by id; throws if out of range. */
+    const FunctionProfile& at(FunctionId id) const;
+
+    /** Profile by short name (e.g. "IR-Py"); nullopt if unknown. */
+    std::optional<FunctionId> findByShortName(const std::string& name) const;
+
+    /** All ids of functions in @p language. */
+    std::vector<FunctionId> functionsOfLanguage(Language language) const;
+
+    /** Iteration support. */
+    const std::vector<FunctionProfile>& profiles() const { return _profiles; }
+    auto begin() const { return _profiles.begin(); }
+    auto end() const { return _profiles.end(); }
+
+    /**
+     * The paper's 20-function workload (Table 1): six Node.js, nine
+     * Python, five Java functions across five domains, with stage
+     * costs calibrated to Fig. 2 / Fig. 14.
+     */
+    static Catalog standard20();
+
+    /**
+     * A small synthetic catalog for tests: @p perLanguage functions
+     * per language with uniform mid-range costs.
+     */
+    static Catalog synthetic(std::size_t perLanguage);
+
+    /**
+     * A randomized fleet of @p count functions whose stage costs,
+     * footprints, and execution models are drawn from the calibrated
+     * Fig. 2 ranges (language mix 30% Node.js / 45% Python / 25%
+     * Java). Deterministic per seed. Used for scalability studies
+     * beyond the paper's 20-function workload.
+     */
+    static Catalog syntheticFleet(std::size_t count,
+                                  std::uint64_t seed = 1);
+
+  private:
+    std::vector<FunctionProfile> _profiles;
+};
+
+} // namespace rc::workload
+
+#endif // RC_WORKLOAD_CATALOG_HH_

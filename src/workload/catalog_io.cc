@@ -1,0 +1,136 @@
+#include "workload/catalog_io.hh"
+
+#include <array>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace rc::workload {
+
+namespace {
+
+constexpr std::size_t kColumns = 15;
+
+std::vector<std::string>
+splitCsv(const std::string& line)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    std::istringstream iss(line);
+    while (std::getline(iss, cell, ','))
+        cells.push_back(cell);
+    return cells;
+}
+
+Language
+parseLanguage(const std::string& name)
+{
+    if (name == "Node.js")
+        return Language::NodeJs;
+    if (name == "Python")
+        return Language::Python;
+    if (name == "Java")
+        return Language::Java;
+    throw std::runtime_error("loadCatalogCsv: unknown language '" + name +
+                             "'");
+}
+
+Domain
+parseDomain(const std::string& name)
+{
+    if (name == "Web App")
+        return Domain::WebApp;
+    if (name == "Multimedia")
+        return Domain::Multimedia;
+    if (name == "Scientific Computing")
+        return Domain::ScientificComputing;
+    if (name == "Machine Learning")
+        return Domain::MachineLearning;
+    if (name == "Data Analysis")
+        return Domain::DataAnalysis;
+    throw std::runtime_error("loadCatalogCsv: unknown domain '" + name +
+                             "'");
+}
+
+double
+parseNumber(const std::string& cell, const char* what)
+{
+    try {
+        return std::stod(cell);
+    } catch (const std::exception&) {
+        throw std::runtime_error(std::string("loadCatalogCsv: bad ") +
+                                 what + " '" + cell + "'");
+    }
+}
+
+} // namespace
+
+Catalog
+loadCatalogCsv(std::istream& in)
+{
+    Catalog catalog;
+    std::string line;
+    bool headerSeen = false;
+    FunctionId next = 0;
+
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        if (!headerSeen) {
+            headerSeen = true;
+            if (line.find("short_name") != std::string::npos)
+                continue; // skip the header row
+        }
+        const auto cells = splitCsv(line);
+        if (cells.size() != kColumns) {
+            throw std::runtime_error(
+                "loadCatalogCsv: expected " + std::to_string(kColumns) +
+                " columns, got " + std::to_string(cells.size()));
+        }
+        StageCosts costs;
+        costs.bareInit = sim::fromMillis(parseNumber(cells[4], "bare_ms"));
+        costs.langInit = sim::fromMillis(parseNumber(cells[5], "lang_ms"));
+        costs.userInit = sim::fromMillis(parseNumber(cells[6], "user_ms"));
+        costs.bareToLang = sim::fromMillis(parseNumber(cells[7], "bl_ms"));
+        costs.langToUser = sim::fromMillis(parseNumber(cells[8], "lu_ms"));
+        costs.userToRun = sim::fromMillis(parseNumber(cells[9], "ur_ms"));
+        costs.bareMemoryMb = parseNumber(cells[10], "bare_mb");
+        costs.langMemoryMb = parseNumber(cells[11], "lang_mb");
+        costs.userMemoryMb = parseNumber(cells[12], "user_mb");
+        // FunctionProfile::validate (called by the constructor)
+        // enforces the cost invariants and throws on violations.
+        catalog.add(FunctionProfile(
+            next++, cells[0], cells[1], parseLanguage(cells[2]),
+            parseDomain(cells[3]), costs,
+            sim::fromMillis(parseNumber(cells[13], "exec_ms")),
+            parseNumber(cells[14], "exec_cv")));
+    }
+    if (catalog.empty())
+        throw std::runtime_error("loadCatalogCsv: no function rows");
+    return catalog;
+}
+
+void
+saveCatalogCsv(std::ostream& out, const Catalog& catalog)
+{
+    out << "short_name,full_name,language,domain,bare_ms,lang_ms,"
+           "user_ms,bl_ms,lu_ms,ur_ms,bare_mb,lang_mb,user_mb,exec_ms,"
+           "exec_cv\n";
+    for (const auto& p : catalog) {
+        const auto& c = p.costs();
+        out << p.shortName() << ',' << p.fullName() << ','
+            << toString(p.language()) << ',' << toString(p.domain()) << ','
+            << sim::toMillis(c.bareInit) << ','
+            << sim::toMillis(c.langInit) << ','
+            << sim::toMillis(c.userInit) << ','
+            << sim::toMillis(c.bareToLang) << ','
+            << sim::toMillis(c.langToUser) << ','
+            << sim::toMillis(c.userToRun) << ',' << c.bareMemoryMb << ','
+            << c.langMemoryMb << ',' << c.userMemoryMb << ','
+            << sim::toMillis(p.meanExecution()) << ',' << p.executionCv()
+            << '\n';
+    }
+}
+
+} // namespace rc::workload

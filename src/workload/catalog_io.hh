@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Import/export of function catalogs as CSV.
+ *
+ * Lets downstream users deploy their own workloads: measure their
+ * functions' stage latencies and footprints, write one row per
+ * function, and drive the whole simulator (policies, benches, the
+ * rainbow_sim CLI) with them.
+ *
+ * Columns (header required):
+ *   short_name,full_name,language,domain,
+ *   bare_ms,lang_ms,user_ms,bl_ms,lu_ms,ur_ms,
+ *   bare_mb,lang_mb,user_mb,exec_ms,exec_cv
+ * language in {Node.js, Python, Java}; domain is one of the Table 1
+ * domain names.
+ */
+
+#ifndef RC_WORKLOAD_CATALOG_IO_HH_
+#define RC_WORKLOAD_CATALOG_IO_HH_
+
+#include <iosfwd>
+
+#include "workload/catalog.hh"
+
+namespace rc::workload {
+
+/**
+ * Parse a catalog CSV. Function ids are assigned in row order.
+ * @throws std::runtime_error on malformed rows, unknown enum names,
+ *         or profile-invariant violations.
+ */
+Catalog loadCatalogCsv(std::istream& in);
+
+/** Write @p catalog in the same CSV shape (round-trips losslessly). */
+void saveCatalogCsv(std::ostream& out, const Catalog& catalog);
+
+} // namespace rc::workload
+
+#endif // RC_WORKLOAD_CATALOG_IO_HH_

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Shared vocabulary types for the serverless workload model.
+ *
+ * Layer mirrors the paper's three container types (§2.3): a Bare
+ * container has only the infrastructural environment, a Lang
+ * container adds a language runtime, and a User container adds the
+ * user deployment package. Layer::None describes a container that
+ * does not exist yet (cold).
+ */
+
+#ifndef RC_WORKLOAD_TYPES_HH_
+#define RC_WORKLOAD_TYPES_HH_
+
+#include <cstdint>
+#include <string>
+
+namespace rc::workload {
+
+/** Stable identifier of a deployed function. */
+using FunctionId = std::uint32_t;
+
+/** Sentinel for "no function". */
+inline constexpr FunctionId kInvalidFunction = 0xffffffffU;
+
+/** Language runtimes used by the paper's 20-function workload. */
+enum class Language : std::uint8_t
+{
+    NodeJs,
+    Python,
+    Java,
+};
+
+/** Number of distinct languages (for array-indexed per-language state). */
+inline constexpr std::size_t kLanguageCount = 3;
+
+/** Application domains from Table 1. */
+enum class Domain : std::uint8_t
+{
+    WebApp,
+    Multimedia,
+    ScientificComputing,
+    MachineLearning,
+    DataAnalysis,
+};
+
+/** Container layers in bottom-up order (§2.3, Fig. 5). */
+enum class Layer : std::uint8_t
+{
+    None, //!< container does not exist (cold)
+    Bare, //!< environment + utilities only; shareable by any function
+    Lang, //!< language runtime installed; shareable within a language
+    User, //!< full container; private to one function
+};
+
+/** Human-readable names. */
+std::string toString(Language language);
+std::string toString(Domain domain);
+std::string toString(Layer layer);
+
+/** Index of a language in [0, kLanguageCount). */
+constexpr std::size_t
+languageIndex(Language language)
+{
+    return static_cast<std::size_t>(language);
+}
+
+/** The layer below @p layer; None stays None. */
+constexpr Layer
+layerBelow(Layer layer)
+{
+    switch (layer) {
+      case Layer::User: return Layer::Lang;
+      case Layer::Lang: return Layer::Bare;
+      case Layer::Bare: return Layer::None;
+      case Layer::None: return Layer::None;
+    }
+    return Layer::None;
+}
+
+/** The layer above @p layer; User stays User. */
+constexpr Layer
+layerAbove(Layer layer)
+{
+    switch (layer) {
+      case Layer::None: return Layer::Bare;
+      case Layer::Bare: return Layer::Lang;
+      case Layer::Lang: return Layer::User;
+      case Layer::User: return Layer::User;
+    }
+    return Layer::User;
+}
+
+} // namespace rc::workload
+
+#endif // RC_WORKLOAD_TYPES_HH_

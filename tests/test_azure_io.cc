@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Tests for Azure-format CSV trace import/export: round-tripping,
+ * header handling, padding/truncation, and malformed-input errors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "trace/azure_io.hh"
+#include "trace/generator.hh"
+#include "workload/catalog.hh"
+
+namespace rc::trace {
+namespace {
+
+class AzureIoTest : public ::testing::Test
+{
+  protected:
+    AzureIoTest() : catalog(workload::Catalog::standard20()) {}
+
+    workload::Catalog catalog;
+};
+
+TEST_F(AzureIoTest, RoundTripPreservesCounts)
+{
+    WorkloadTraceConfig config;
+    config.minutes = 30;
+    config.targetInvocations = 400;
+    config.seed = 5;
+    const auto original = generateAzureLike(catalog, config);
+
+    std::stringstream buffer;
+    saveAzureCsv(buffer, original, catalog);
+    const auto loaded = loadAzureCsv(buffer, catalog, 30);
+
+    ASSERT_EQ(loaded.functionCount(), original.functionCount());
+    for (std::size_t i = 0; i < original.traces().size(); ++i) {
+        EXPECT_EQ(loaded.traces()[i].perMinute,
+                  original.traces()[i].perMinute)
+            << "function " << i;
+    }
+}
+
+TEST_F(AzureIoTest, HeaderRowIsSkipped)
+{
+    std::stringstream in;
+    in << "HashOwner,HashApp,HashFunction,Trigger,1,2,3\n";
+    in << "a,a,a,http,1,0,2\n";
+    const auto set = loadAzureCsv(in, catalog, 3);
+    EXPECT_EQ(set.traces()[0].perMinute,
+              (std::vector<std::uint32_t>{1, 0, 2}));
+}
+
+TEST_F(AzureIoTest, HeaderlessInputParsesFirstRow)
+{
+    std::stringstream in;
+    in << "a,a,a,http,5,0,0\n";
+    const auto set = loadAzureCsv(in, catalog, 3);
+    EXPECT_EQ(set.traces()[0].perMinute[0], 5u);
+}
+
+TEST_F(AzureIoTest, RowsPadAndTruncateToHorizon)
+{
+    std::stringstream in;
+    in << "a,a,a,t,1,1,1,1,1,1,1,1\n"; // 8 minutes of data
+    const auto set = loadAzureCsv(in, catalog, 4);
+    EXPECT_EQ(set.traces()[0].totalInvocations(), 4u); // truncated
+    std::stringstream shortRow;
+    shortRow << "a,a,a,t,7\n"; // 1 minute of data
+    const auto padded = loadAzureCsv(shortRow, catalog, 4);
+    EXPECT_EQ(padded.traces()[0].perMinute,
+              (std::vector<std::uint32_t>{7, 0, 0, 0}));
+}
+
+TEST_F(AzureIoTest, MissingRowsLeaveFunctionsSilent)
+{
+    std::stringstream in;
+    in << "a,a,a,t,1\n"; // only one function row
+    const auto set = loadAzureCsv(in, catalog, 2);
+    EXPECT_EQ(set.functionCount(), catalog.size());
+    for (std::size_t i = 1; i < set.traces().size(); ++i)
+        EXPECT_EQ(set.traces()[i].totalInvocations(), 0u);
+}
+
+TEST_F(AzureIoTest, SurplusRowsAreIgnored)
+{
+    std::stringstream in;
+    for (std::size_t i = 0; i < catalog.size() + 5; ++i)
+        in << "f" << i << ",f,f,t,1\n";
+    const auto set = loadAzureCsv(in, catalog, 2);
+    EXPECT_EQ(set.functionCount(), catalog.size());
+    EXPECT_EQ(set.totalInvocations(), catalog.size());
+}
+
+TEST_F(AzureIoTest, RejectsMalformedRows)
+{
+    std::stringstream noCounts;
+    noCounts << "a,a,a,t\n";
+    EXPECT_THROW(loadAzureCsv(noCounts, catalog, 2), std::runtime_error);
+
+    std::stringstream garbage;
+    garbage << "a,a,a,t,abc\n";
+    EXPECT_THROW(loadAzureCsv(garbage, catalog, 2), std::runtime_error);
+
+    std::stringstream negative;
+    negative << "a,a,a,t,-3\n";
+    EXPECT_THROW(loadAzureCsv(negative, catalog, 2), std::runtime_error);
+}
+
+TEST_F(AzureIoTest, SaveEmitsHeaderAndShortNames)
+{
+    TraceSet set(2);
+    FunctionTrace t;
+    t.function = 0;
+    t.perMinute = {3, 1};
+    set.add(t);
+    std::stringstream out;
+    saveAzureCsv(out, set, catalog);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("HashOwner,HashApp,HashFunction,Trigger,1,2"),
+              std::string::npos);
+    EXPECT_NE(text.find("AC-Js,AC-Js,AC-Js,sim,3,1"), std::string::npos);
+}
+
+} // namespace
+} // namespace rc::trace

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for catalog CSV import/export: round-trip fidelity, id
+ * assignment, and rejection of malformed/invalid rows.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/catalog_io.hh"
+
+namespace rc::workload {
+namespace {
+
+TEST(CatalogIo, RoundTripsStandard20)
+{
+    const auto original = Catalog::standard20();
+    std::stringstream buffer;
+    saveCatalogCsv(buffer, original);
+    const auto loaded = loadCatalogCsv(buffer);
+
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        const auto& a = original.at(static_cast<FunctionId>(i));
+        const auto& b = loaded.at(static_cast<FunctionId>(i));
+        EXPECT_EQ(a.shortName(), b.shortName());
+        EXPECT_EQ(a.fullName(), b.fullName());
+        EXPECT_EQ(a.language(), b.language());
+        EXPECT_EQ(a.domain(), b.domain());
+        EXPECT_EQ(a.coldStartLatency(), b.coldStartLatency());
+        EXPECT_DOUBLE_EQ(a.memoryAtLayer(Layer::User),
+                         b.memoryAtLayer(Layer::User));
+        EXPECT_EQ(a.meanExecution(), b.meanExecution());
+        EXPECT_DOUBLE_EQ(a.executionCv(), b.executionCv());
+    }
+}
+
+TEST(CatalogIo, AssignsDenseIdsInRowOrder)
+{
+    std::stringstream in;
+    in << "short_name,full_name,language,domain,bare_ms,lang_ms,user_ms,"
+          "bl_ms,lu_ms,ur_ms,bare_mb,lang_mb,user_mb,exec_ms,exec_cv\n";
+    in << "B-Py,Bee,Python,Web App,100,500,200,5,5,5,10,80,120,400,0.3\n";
+    in << "A-Js,Ay,Node.js,Multimedia,100,300,200,5,5,5,10,50,90,400,"
+          "0.3\n";
+    const auto catalog = loadCatalogCsv(in);
+    ASSERT_EQ(catalog.size(), 2u);
+    EXPECT_EQ(catalog.at(0).shortName(), "B-Py");
+    EXPECT_EQ(catalog.at(1).shortName(), "A-Js");
+    EXPECT_EQ(catalog.at(0).id(), 0u);
+    EXPECT_EQ(catalog.at(1).id(), 1u);
+}
+
+TEST(CatalogIo, HeaderlessInputIsAccepted)
+{
+    std::stringstream in;
+    in << "F-Py,Fn,Python,Web App,100,500,200,5,5,5,10,80,120,400,0.3\n";
+    const auto catalog = loadCatalogCsv(in);
+    EXPECT_EQ(catalog.size(), 1u);
+}
+
+TEST(CatalogIo, RejectsBadInput)
+{
+    std::stringstream empty;
+    EXPECT_THROW(loadCatalogCsv(empty), std::runtime_error);
+
+    std::stringstream fewColumns;
+    fewColumns << "F-Py,Fn,Python,Web App,100\n";
+    EXPECT_THROW(loadCatalogCsv(fewColumns), std::runtime_error);
+
+    std::stringstream badLanguage;
+    badLanguage << "F,Fn,COBOL,Web App,100,500,200,5,5,5,10,80,120,400,"
+                   "0.3\n";
+    EXPECT_THROW(loadCatalogCsv(badLanguage), std::runtime_error);
+
+    std::stringstream badDomain;
+    badDomain << "F,Fn,Python,Quantum,100,500,200,5,5,5,10,80,120,400,"
+                 "0.3\n";
+    EXPECT_THROW(loadCatalogCsv(badDomain), std::runtime_error);
+
+    std::stringstream badNumber;
+    badNumber << "F,Fn,Python,Web App,abc,500,200,5,5,5,10,80,120,400,"
+                 "0.3\n";
+    EXPECT_THROW(loadCatalogCsv(badNumber), std::runtime_error);
+
+    // Memory invariant violation (lang below bare) is caught by the
+    // profile validator.
+    std::stringstream badInvariant;
+    badInvariant << "F,Fn,Python,Web App,100,500,200,5,5,5,80,10,120,"
+                    "400,0.3\n";
+    EXPECT_THROW(loadCatalogCsv(badInvariant), std::runtime_error);
+}
+
+TEST(CatalogIo, LoadedCatalogDrivesASimulation)
+{
+    std::stringstream in;
+    in << "H-Py,Hot,Python,Web App,100,500,200,5,5,5,10,80,120,400,0.3\n";
+    in << "C-Java,Cold,Java,Data Analysis,150,3500,2000,8,10,12,12,"
+          "128,300,2000,0.3\n";
+    const auto catalog = loadCatalogCsv(in);
+    // Quick smoke: the loaded catalog works end to end.
+    EXPECT_EQ(catalog.functionsOfLanguage(Language::Python).size(), 1u);
+    EXPECT_GT(catalog.at(1).coldStartLatency(),
+              catalog.at(0).coldStartLatency());
+}
+
+} // namespace
+} // namespace rc::workload

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the §7.8 checkpoint/restore decorator: forwarding
+ * behaviour, restore-latency reduction, and checkpoint-image memory.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ablations.hh"
+#include "core/checkpoint.hh"
+#include "platform/node.hh"
+#include "policy/openwhisk_fixed.hh"
+#include "workload/catalog.hh"
+
+namespace rc::core {
+namespace {
+
+using platform::Node;
+using platform::StartupType;
+using rc::sim::kMinute;
+
+class CheckpointTest : public ::testing::Test
+{
+  protected:
+    CheckpointTest() : catalog(workload::Catalog::standard20()) {}
+
+    workload::FunctionId
+    fid(const char* name) const
+    {
+        return *catalog.findByShortName(name);
+    }
+
+    workload::Catalog catalog;
+};
+
+TEST_F(CheckpointTest, ValidatesConfig)
+{
+    EXPECT_THROW(CheckpointPolicy(nullptr, {}), std::runtime_error);
+    CheckpointConfig bad;
+    bad.restoreFactor = 0.0;
+    EXPECT_THROW(CheckpointPolicy(makeRainbowCake(catalog), bad),
+                 std::runtime_error);
+    bad.restoreFactor = 1.2;
+    EXPECT_THROW(CheckpointPolicy(makeRainbowCake(catalog), bad),
+                 std::runtime_error);
+    CheckpointConfig negMem;
+    negMem.imageMemoryFraction = -0.1;
+    EXPECT_THROW(CheckpointPolicy(makeRainbowCake(catalog), negMem),
+                 std::runtime_error);
+}
+
+TEST_F(CheckpointTest, NameAdvertisesDecoration)
+{
+    CheckpointPolicy policy(makeRainbowCake(catalog));
+    EXPECT_EQ(policy.name(), "RainbowCake + checkpoint");
+}
+
+TEST_F(CheckpointTest, RestoreShortensColdStarts)
+{
+    CheckpointConfig config;
+    config.restoreFactor = 0.5;
+    config.imageMemoryFraction = 0.0;
+    Node node(catalog,
+              std::make_unique<CheckpointPolicy>(
+                  std::make_unique<policy::OpenWhiskFixedPolicy>(),
+                  config));
+    node.run({{0, fid("DG-Java")}});
+    ASSERT_EQ(node.metrics().total(), 1u);
+    const auto& rec = node.metrics().records()[0];
+    EXPECT_EQ(rec.type, StartupType::Cold);
+    // Cold init halved; the final dispatch overhead is unchanged.
+    const auto& p = catalog.at(fid("DG-Java"));
+    const auto fullInit = p.coldStartLatency() - p.costs().userToRun;
+    EXPECT_EQ(rec.startupLatency,
+              fullInit / 2 + p.costs().userToRun);
+}
+
+TEST_F(CheckpointTest, ImagesChargeExtraMemory)
+{
+    CheckpointConfig config;
+    config.restoreFactor = 0.9;
+    config.imageMemoryFraction = 0.5;
+    Node node(catalog,
+              std::make_unique<CheckpointPolicy>(
+                  std::make_unique<policy::OpenWhiskFixedPolicy>(),
+                  config));
+    node.invokeNow(fid("MD-Py"));
+    node.engine().runUntil(kMinute);
+    const auto& p = catalog.at(fid("MD-Py"));
+    const double expected =
+        p.memoryAtLayer(workload::Layer::User) * 1.5;
+    EXPECT_NEAR(node.pool().usedMemoryMb(), expected, 1e-6);
+    node.finalize();
+}
+
+TEST_F(CheckpointTest, ForwardsDecisionsToBasePolicy)
+{
+    // The decorator wraps OpenWhisk: fixed 10-minute keep-alive must
+    // shine through.
+    CheckpointConfig config;
+    Node node(catalog,
+              std::make_unique<CheckpointPolicy>(
+                  std::make_unique<policy::OpenWhiskFixedPolicy>(),
+                  config));
+    node.invokeNow(fid("MD-Py"));
+    node.advanceTo(9 * kMinute);
+    EXPECT_EQ(node.pool().liveCount(), 1u);
+    node.advanceTo(15 * kMinute);
+    EXPECT_EQ(node.pool().liveCount(), 0u);
+}
+
+TEST_F(CheckpointTest, ComposesWithRainbowCake)
+{
+    // §7.8's experiment: checkpoint-support RainbowCake should lower
+    // total startup latency and raise memory waste versus plain
+    // RainbowCake on the same workload.
+    std::vector<trace::Arrival> arrivals;
+    for (int i = 0; i < 40; ++i) {
+        arrivals.push_back(
+            {i * 7 * kMinute, fid(i % 2 ? "DS-Java" : "IR-Py")});
+    }
+
+    Node plain(catalog, makeRainbowCake(catalog));
+    plain.run(arrivals);
+
+    CheckpointConfig config;
+    config.restoreFactor = 0.55;
+    config.imageMemoryFraction = 0.3;
+    Node checkpointed(catalog,
+                      std::make_unique<CheckpointPolicy>(
+                          makeRainbowCake(catalog), config));
+    checkpointed.run(arrivals);
+
+    EXPECT_LT(checkpointed.metrics().totalStartupSeconds(),
+              plain.metrics().totalStartupSeconds());
+    EXPECT_GT(checkpointed.pool().wasteLog().totalWasteMbSeconds(),
+              plain.pool().wasteLog().totalWasteMbSeconds());
+}
+
+} // namespace
+} // namespace rc::core

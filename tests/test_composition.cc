@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Decorator-composition tests: checkpoint and tiered-cache wrappers
+ * stack over any base policy (including each other) and the combined
+ * effects compose as expected.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ablations.hh"
+#include "core/checkpoint.hh"
+#include "core/tiered.hh"
+#include "platform/node.hh"
+#include "policy/openwhisk_fixed.hh"
+#include "workload/catalog.hh"
+
+namespace rc::core {
+namespace {
+
+using platform::Node;
+using rc::sim::kMinute;
+
+class CompositionTest : public ::testing::Test
+{
+  protected:
+    CompositionTest() : catalog(workload::Catalog::standard20()) {}
+
+    workload::FunctionId
+    fid(const char* name) const
+    {
+        return *catalog.findByShortName(name);
+    }
+
+    workload::Catalog catalog;
+};
+
+TEST_F(CompositionTest, StackedNameAdvertisesBothDecorators)
+{
+    auto stacked = std::make_unique<TieredCachePolicy>(
+        std::make_unique<CheckpointPolicy>(makeRainbowCake(catalog)));
+    EXPECT_EQ(stacked->name(), "RainbowCake + checkpoint + NVM tier");
+}
+
+TEST_F(CompositionTest, StackedDecoratorsComposeLatencyEffects)
+{
+    // Checkpoint halves partial-install latency; the NVM tier adds a
+    // fixed fetch. Both must show up in a Lang partial start.
+    CheckpointConfig checkpoint;
+    checkpoint.restoreFactor = 0.5;
+    checkpoint.imageMemoryFraction = 0.0;
+    TieredConfig tier;
+    tier.nvmFetchLatency = 100 * sim::kMillisecond;
+
+    auto runLangHit = [&](std::unique_ptr<policy::Policy> policy) {
+        Node node(catalog, std::move(policy));
+        node.invokeNow(fid("MD-Py"));
+        node.advanceTo(4 * kMinute);
+        node.invokeNow(fid("GB-Py"));
+        node.engine().run();
+        node.finalize();
+        EXPECT_EQ(node.metrics().records()[1].type,
+                  platform::StartupType::Lang);
+        return node.metrics().records()[1].startupLatency;
+    };
+
+    const auto plain = runLangHit(makeRainbowCake(catalog));
+    const auto stacked = runLangHit(std::make_unique<TieredCachePolicy>(
+        std::make_unique<CheckpointPolicy>(makeRainbowCake(catalog),
+                                           checkpoint),
+        tier));
+
+    const auto& costs = catalog.at(fid("GB-Py")).costs();
+    const sim::Tick install = costs.langToUser + costs.userInit;
+    // plain = install + userToRun; stacked = install/2 + fetch + u2r.
+    EXPECT_EQ(plain - stacked, install / 2 - tier.nvmFetchLatency);
+}
+
+TEST_F(CompositionTest, DecoratorsForwardKeepAliveSemantics)
+{
+    // A checkpointed OpenWhisk policy must still keep containers for
+    // exactly the fixed window — the decorator adds no TTL behaviour.
+    Node node(catalog,
+              std::make_unique<TieredCachePolicy>(
+                  std::make_unique<CheckpointPolicy>(
+                      std::make_unique<policy::OpenWhiskFixedPolicy>())));
+    node.invokeNow(fid("MD-Py"));
+    node.advanceTo(9 * kMinute);
+    EXPECT_EQ(node.pool().liveCount(), 1u);
+    node.advanceTo(15 * kMinute);
+    EXPECT_EQ(node.pool().liveCount(), 0u);
+}
+
+TEST_F(CompositionTest, ForkFlagSurvivesDecoration)
+{
+    RainbowCakeConfig config;
+    config.shareByFork = true;
+    config.forkLatency = 42 * sim::kMillisecond;
+    auto stacked = std::make_unique<CheckpointPolicy>(
+        std::make_unique<RainbowCakePolicy>(catalog, config));
+    EXPECT_TRUE(stacked->forkSharedLayers());
+    EXPECT_EQ(stacked->forkLatency(), 42 * sim::kMillisecond);
+}
+
+TEST_F(CompositionTest, AuxMemoryAddsAcrossDecorators)
+{
+    CheckpointConfig checkpoint;
+    checkpoint.imageMemoryFraction = 0.5;
+    TieredCachePolicy stacked(
+        std::make_unique<CheckpointPolicy>(makeRainbowCake(catalog),
+                                           checkpoint));
+    const auto& profile = catalog.at(fid("MD-Py"));
+    EXPECT_DOUBLE_EQ(
+        stacked.auxiliaryMemoryMb(profile),
+        0.5 * profile.memoryAtLayer(workload::Layer::User));
+}
+
+} // namespace
+} // namespace rc::core

@@ -1,0 +1,235 @@
+/**
+ * @file
+ * Unit tests for the container lifecycle FSM (Fig. 5): legal and
+ * illegal transitions, per-layer memory, idle-interval bookkeeping,
+ * zygote support.
+ */
+
+#include <gtest/gtest.h>
+
+#include "container/container.hh"
+#include "workload/catalog.hh"
+
+namespace rc::container {
+namespace {
+
+using workload::Layer;
+using rc::sim::kMinute;
+using rc::sim::kSecond;
+
+class ContainerTest : public ::testing::Test
+{
+  protected:
+    ContainerTest() : catalog(workload::Catalog::standard20()) {}
+
+    const workload::FunctionProfile&
+    profile(const char* name) const
+    {
+        return catalog.at(*catalog.findByShortName(name));
+    }
+
+    workload::Catalog catalog;
+};
+
+TEST_F(ContainerTest, InitializesTowardTarget)
+{
+    Container c(1, profile("IR-Py"), Layer::User, 0);
+    EXPECT_EQ(c.state(), State::Initializing);
+    EXPECT_EQ(c.layer(), Layer::None);
+    EXPECT_EQ(c.targetLayer(), Layer::User);
+    EXPECT_EQ(c.initFunction(), profile("IR-Py").id());
+    ASSERT_TRUE(c.language().has_value());
+    EXPECT_EQ(*c.language(), workload::Language::Python);
+    EXPECT_EQ(c.function(), profile("IR-Py").id());
+    // Target footprint charged during init.
+    EXPECT_DOUBLE_EQ(c.memoryMb(),
+                     profile("IR-Py").memoryAtLayer(Layer::User));
+}
+
+TEST_F(ContainerTest, BareTargetHasNoLanguage)
+{
+    Container c(1, profile("IR-Py"), Layer::Bare, 0);
+    EXPECT_FALSE(c.language().has_value());
+    EXPECT_EQ(c.function(), workload::kInvalidFunction);
+    EXPECT_THROW(Container(2, profile("IR-Py"), Layer::None, 0),
+                 std::logic_error);
+}
+
+TEST_F(ContainerTest, FullLifecycle)
+{
+    const auto& p = profile("IR-Py");
+    Container c(1, p, Layer::User, 0);
+    c.finishInit(5 * kSecond);
+    EXPECT_EQ(c.state(), State::Idle);
+    EXPECT_EQ(c.layer(), Layer::User);
+    EXPECT_EQ(c.idleSince(), 5 * kSecond);
+
+    c.beginExecution(8 * kSecond);
+    EXPECT_EQ(c.state(), State::Busy);
+    c.finishExecution(12 * kSecond);
+    EXPECT_EQ(c.state(), State::Idle);
+    EXPECT_TRUE(c.everExecuted());
+    EXPECT_EQ(c.executions(), 1u);
+
+    c.downgrade(20 * kSecond);
+    EXPECT_EQ(c.layer(), Layer::Lang);
+    EXPECT_EQ(c.function(), workload::kInvalidFunction);
+    EXPECT_TRUE(c.language().has_value());
+    EXPECT_DOUBLE_EQ(c.memoryMb(), p.memoryAtLayer(Layer::Lang));
+
+    c.downgrade(30 * kSecond);
+    EXPECT_EQ(c.layer(), Layer::Bare);
+    EXPECT_FALSE(c.language().has_value());
+    EXPECT_DOUBLE_EQ(c.memoryMb(), p.memoryAtLayer(Layer::Bare));
+
+    c.kill(40 * kSecond);
+    EXPECT_EQ(c.state(), State::Dead);
+}
+
+TEST_F(ContainerTest, IllegalTransitionsPanic)
+{
+    const auto& p = profile("IR-Py");
+    Container c(1, p, Layer::User, 0);
+    EXPECT_THROW(c.beginExecution(1), std::logic_error); // not idle
+    EXPECT_THROW(c.downgrade(1), std::logic_error);
+    EXPECT_THROW(c.finishExecution(1), std::logic_error);
+    c.finishInit(1);
+    EXPECT_THROW(c.finishInit(2), std::logic_error); // already idle
+    c.beginExecution(2);
+    EXPECT_THROW(c.kill(3), std::logic_error); // busy containers stay
+    c.finishExecution(3);
+    c.downgrade(4);
+    c.downgrade(5);
+    EXPECT_THROW(c.downgrade(6), std::logic_error); // nothing left
+    c.kill(7);
+    EXPECT_THROW(c.kill(8), std::logic_error); // already dead
+}
+
+TEST_F(ContainerTest, BareContainerCannotExecute)
+{
+    Container c(1, profile("IR-Py"), Layer::Bare, 0);
+    c.finishInit(1);
+    EXPECT_THROW(c.beginExecution(2), std::logic_error);
+}
+
+TEST_F(ContainerTest, UpgradeFromLangAdoptsNewUserDelta)
+{
+    const auto& irPy = profile("IR-Py");
+    const auto& mdPy = profile("MD-Py");
+    Container c(1, irPy, Layer::Lang, 0);
+    c.finishInit(1);
+
+    c.beginUpgrade(mdPy, Layer::User, 2 * kSecond);
+    EXPECT_EQ(c.state(), State::Initializing);
+    EXPECT_EQ(c.initFunction(), mdPy.id());
+    c.finishInit(3 * kSecond);
+    EXPECT_EQ(c.function(), mdPy.id());
+    // Memory: IR's lang layer + MD's user delta.
+    const double expected =
+        irPy.memoryAtLayer(Layer::Lang) +
+        (mdPy.memoryAtLayer(Layer::User) - mdPy.memoryAtLayer(Layer::Lang));
+    EXPECT_DOUBLE_EQ(c.memoryMb(), expected);
+}
+
+TEST_F(ContainerTest, UpgradeRejectsLanguageMismatch)
+{
+    Container c(1, profile("IR-Py"), Layer::Lang, 0);
+    c.finishInit(1);
+    EXPECT_THROW(c.beginUpgrade(profile("DG-Java"), Layer::User, 2),
+                 std::logic_error);
+}
+
+TEST_F(ContainerTest, UpgradeRequiresHigherTarget)
+{
+    Container c(1, profile("IR-Py"), Layer::Lang, 0);
+    c.finishInit(1);
+    EXPECT_THROW(c.beginUpgrade(profile("MD-Py"), Layer::Lang, 2),
+                 std::logic_error);
+}
+
+TEST_F(ContainerTest, RepurposeSwapsOwnerSameLanguage)
+{
+    const auto& irPy = profile("IR-Py");
+    const auto& mdPy = profile("MD-Py");
+    Container c(1, irPy, Layer::User, 0);
+    c.finishInit(1);
+    c.beginRepurpose(mdPy, 2 * kSecond);
+    EXPECT_EQ(c.state(), State::Initializing);
+    c.finishInit(3 * kSecond);
+    EXPECT_EQ(c.function(), mdPy.id());
+    EXPECT_EQ(c.layer(), Layer::User);
+    EXPECT_THROW(c.beginRepurpose(profile("DG-Java"), 4), std::logic_error);
+}
+
+TEST_F(ContainerTest, ZygoteDemotionClearsOwner)
+{
+    Container c(1, profile("IR-Py"), Layer::User, 0);
+    c.finishInit(1);
+    c.setPackedFunctions({3, 4}, 50.0);
+    EXPECT_EQ(c.packedFunctions().size(), 2u);
+    const double before = c.memoryMb();
+    c.demoteToZygote();
+    EXPECT_EQ(c.function(), workload::kInvalidFunction);
+    EXPECT_EQ(c.layer(), Layer::User);
+    EXPECT_DOUBLE_EQ(c.memoryMb(), before);
+    // Downgrading a zygote drops packed memory with the user layer.
+    c.downgrade(2 * kSecond);
+    EXPECT_TRUE(c.packedFunctions().empty());
+    EXPECT_DOUBLE_EQ(c.memoryMb(),
+                     profile("IR-Py").memoryAtLayer(Layer::Lang));
+}
+
+TEST_F(ContainerTest, AuxiliaryMemoryIsAdditive)
+{
+    const auto& p = profile("MD-Py");
+    Container c(1, p, Layer::User, 0);
+    c.setAuxiliaryMemoryMb(25.0);
+    EXPECT_DOUBLE_EQ(c.memoryMb(), p.memoryAtLayer(Layer::User) + 25.0);
+    EXPECT_THROW(c.setAuxiliaryMemoryMb(-1.0), std::logic_error);
+}
+
+TEST_F(ContainerTest, IdleIntervalsRecordLayerAndClassification)
+{
+    const auto& p = profile("IR-Py");
+    Container c(1, p, Layer::User, 0);
+    c.finishInit(0);
+    c.beginExecution(10 * kSecond); // idle [0, 10s) -> hit
+    c.finishExecution(20 * kSecond);
+    c.downgrade(50 * kSecond); // idle [20s, 50s) at User -> pending
+    c.kill(80 * kSecond);      // idle [50s, 80s) at Lang -> never hit
+
+    auto intervals = c.drainIdleIntervals(false);
+    ASSERT_EQ(intervals.size(), 3u);
+    EXPECT_TRUE(intervals[0].eventuallyHit); // marked at beginExecution
+    EXPECT_EQ(intervals[0].layer, Layer::User);
+    EXPECT_EQ(intervals[0].function, p.id());
+    EXPECT_FALSE(intervals[1].eventuallyHit);
+    EXPECT_EQ(intervals[1].layer, Layer::User);
+    EXPECT_FALSE(intervals[2].eventuallyHit);
+    EXPECT_EQ(intervals[2].layer, Layer::Lang);
+    EXPECT_EQ(intervals[2].function, workload::kInvalidFunction);
+
+    // Drain is destructive.
+    EXPECT_TRUE(c.drainIdleIntervals(false).empty());
+}
+
+TEST_F(ContainerTest, ZeroLengthIdleIntervalsAreDropped)
+{
+    Container c(1, profile("MD-Py"), Layer::User, 0);
+    c.finishInit(5);
+    c.beginExecution(5); // idle for zero ticks
+    c.finishExecution(10);
+    c.kill(10);
+    EXPECT_TRUE(c.drainIdleIntervals(false).empty());
+}
+
+TEST_F(ContainerTest, StateNames)
+{
+    EXPECT_STREQ(toString(State::Initializing), "Initializing");
+    EXPECT_STREQ(toString(State::Idle), "Idle");
+    EXPECT_STREQ(toString(State::Busy), "Busy");
+    EXPECT_STREQ(toString(State::Dead), "Dead");
+}
+
+} // namespace
+} // namespace rc::container

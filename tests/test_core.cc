@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Unit tests pinning the paper's equations: the sliding-window rate
+ * estimate (§5.1), the compound Poisson model (Eq. 2), the
+ * exponential CDF / quantile inversion (Eqs. 3-4), and the cost
+ * model (Eqs. 1, 5-7).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/cost_model.hh"
+#include "core/history_recorder.hh"
+#include "core/poisson_model.hh"
+#include "core/sliding_window.hh"
+#include "workload/catalog.hh"
+
+namespace rc::core {
+namespace {
+
+using workload::Layer;
+using rc::sim::kMinute;
+using rc::sim::kSecond;
+
+// ---- SlidingWindow -----------------------------------------------------
+
+TEST(SlidingWindow, RejectsZeroCapacity)
+{
+    EXPECT_THROW(SlidingWindow(0), std::runtime_error);
+}
+
+TEST(SlidingWindow, KeepsOnlyLatestN)
+{
+    SlidingWindow w(3);
+    for (int i = 1; i <= 5; ++i)
+        w.push(i * kSecond);
+    EXPECT_EQ(w.size(), 3u);
+    EXPECT_EQ(*w.stalest(), 3 * kSecond);
+    EXPECT_EQ(*w.newest(), 5 * kSecond);
+}
+
+TEST(SlidingWindow, RateMatchesPaperFormula)
+{
+    // lambda_f = n / (j - j') with j the *current* time and j' the
+    // stalest arrival in the window.
+    SlidingWindow w(6);
+    for (int i = 0; i < 6; ++i)
+        w.push(i * 10 * kSecond); // arrivals at 0,10,...,50 s
+    const sim::Tick now = 60 * kSecond;
+    const auto rate = w.ratePerSecond(now);
+    ASSERT_TRUE(rate.has_value());
+    EXPECT_DOUBLE_EQ(*rate, 6.0 / 60.0);
+}
+
+TEST(SlidingWindow, RateDecaysAsTimePasses)
+{
+    SlidingWindow w(6);
+    for (int i = 0; i < 6; ++i)
+        w.push(i * kSecond);
+    const double fresh = *w.ratePerSecond(6 * kSecond);
+    const double stale = *w.ratePerSecond(60 * kSecond);
+    EXPECT_GT(fresh, stale);
+}
+
+TEST(SlidingWindow, NoEstimateWithoutHistory)
+{
+    SlidingWindow w(6);
+    EXPECT_FALSE(w.ratePerSecond(kSecond).has_value());
+    EXPECT_FALSE(w.stalest().has_value());
+    w.push(kSecond);
+    EXPECT_FALSE(w.ratePerSecond(2 * kSecond).has_value()); // one sample
+    w.push(kSecond); // same-tick burst
+    EXPECT_FALSE(w.ratePerSecond(kSecond).has_value()); // zero span
+}
+
+TEST(SlidingWindow, RejectsTimeTravel)
+{
+    SlidingWindow w(3);
+    w.push(10 * kSecond);
+    EXPECT_THROW(w.push(5 * kSecond), std::logic_error);
+}
+
+TEST(SlidingWindow, ResetForgets)
+{
+    SlidingWindow w(3);
+    w.push(kSecond);
+    w.reset();
+    EXPECT_EQ(w.size(), 0u);
+    w.push(0); // allowed again after reset
+}
+
+// ---- Poisson model -----------------------------------------------------
+
+TEST(PoissonModel, CompoundRateSumsAndSkipsGaps)
+{
+    std::vector<std::optional<double>> rates{0.5, std::nullopt, 1.5};
+    EXPECT_DOUBLE_EQ(compoundRate(rates), 2.0);
+    EXPECT_DOUBLE_EQ(compoundRate({}), 0.0);
+}
+
+TEST(PoissonModel, ExponentialCdfMatchesClosedForm)
+{
+    EXPECT_DOUBLE_EQ(exponentialCdf(-1.0, 2.0), 0.0);
+    EXPECT_DOUBLE_EQ(exponentialCdf(0.0, 2.0), 0.0);
+    EXPECT_NEAR(exponentialCdf(1.0, 2.0), 1.0 - std::exp(-2.0), 1e-12);
+    EXPECT_THROW(exponentialCdf(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(PoissonModel, QuantileInvertsTheCdf)
+{
+    const double lambda = 0.25;
+    for (const double p : {0.1, 0.5, 0.8, 0.99}) {
+        const double iat = quantileIatSeconds(lambda, p);
+        EXPECT_NEAR(exponentialCdf(iat, lambda), p, 1e-12);
+    }
+    // Paper example shape: IAT(k, 0.8) = -ln(0.2)/lambda.
+    EXPECT_NEAR(quantileIatSeconds(1.0, 0.8), -std::log(0.2), 1e-12);
+}
+
+TEST(PoissonModel, QuantileIsMonotoneInP)
+{
+    EXPECT_LT(quantileIatSeconds(1.0, 0.5), quantileIatSeconds(1.0, 0.8));
+    EXPECT_LT(quantileIatSeconds(1.0, 0.8), quantileIatSeconds(1.0, 0.95));
+}
+
+TEST(PoissonModel, QuantileValidatesArguments)
+{
+    EXPECT_THROW(quantileIatSeconds(0.0, 0.5), std::invalid_argument);
+    EXPECT_THROW(quantileIatSeconds(1.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(quantileIatSeconds(1.0, -0.1), std::invalid_argument);
+}
+
+TEST(PoissonModel, TickConversion)
+{
+    EXPECT_EQ(quantileIat(1.0, 0.8),
+              sim::fromSeconds(-std::log(0.2)));
+}
+
+// ---- HistoryRecorder ---------------------------------------------------
+
+TEST(HistoryRecorder, FunctionRatesAreIndependent)
+{
+    const auto catalog = workload::Catalog::standard20();
+    HistoryRecorder recorder(catalog, 6);
+    const auto md = *catalog.findByShortName("MD-Py");
+    const auto fc = *catalog.findByShortName("FC-Py");
+    for (int i = 0; i < 6; ++i)
+        recorder.recordArrival(md, i * 10 * kSecond);
+    EXPECT_TRUE(recorder.functionRate(md, kMinute).has_value());
+    EXPECT_FALSE(recorder.functionRate(fc, kMinute).has_value());
+    EXPECT_EQ(recorder.arrivals(md), 6u);
+    EXPECT_EQ(recorder.arrivals(fc), 0u);
+}
+
+TEST(HistoryRecorder, LanguageRateIsCompound)
+{
+    const auto catalog = workload::Catalog::standard20();
+    HistoryRecorder recorder(catalog, 6);
+    const auto md = *catalog.findByShortName("MD-Py");
+    const auto fc = *catalog.findByShortName("FC-Py");
+    const auto dg = *catalog.findByShortName("DG-Java");
+    for (int i = 0; i < 6; ++i) {
+        recorder.recordArrival(md, i * 10 * kSecond);
+        recorder.recordArrival(fc, i * 20 * kSecond);
+        recorder.recordArrival(dg, i * 30 * kSecond);
+    }
+    const sim::Tick now = 3 * kMinute;
+    const double python =
+        recorder.languageRate(workload::Language::Python, now);
+    const double expected = *recorder.functionRate(md, now) +
+                            *recorder.functionRate(fc, now);
+    EXPECT_DOUBLE_EQ(python, expected);
+
+    // The global (Bare) rate adds every language (Eq. 2 with F(b)).
+    const double global = recorder.globalRate(now);
+    EXPECT_DOUBLE_EQ(global,
+                     python + recorder.languageRate(
+                                  workload::Language::Java, now));
+}
+
+TEST(HistoryRecorder, UnknownFunctionThrows)
+{
+    const auto catalog = workload::Catalog::standard20();
+    HistoryRecorder recorder(catalog);
+    EXPECT_THROW(recorder.recordArrival(999, 0), std::out_of_range);
+    EXPECT_THROW(recorder.functionRate(999, 0), std::out_of_range);
+    EXPECT_THROW(recorder.arrivals(999), std::out_of_range);
+}
+
+// ---- CostModel ---------------------------------------------------------
+
+TEST(CostModel, AlphaMustBeInsideOpenInterval)
+{
+    EXPECT_THROW(CostModel(CostConfig{0.0, 160.0}), std::runtime_error);
+    EXPECT_THROW(CostModel(CostConfig{1.0, 160.0}), std::runtime_error);
+    EXPECT_NO_THROW(CostModel(CostConfig{0.996, 160.0}));
+}
+
+TEST(CostModel, BetaMatchesEquationSix)
+{
+    CostModel model(CostConfig{0.996, 160.0});
+    // beta = alpha * t / ((1-alpha) * m/unit).
+    const double t = 2.0;   // seconds
+    const double m = 320.0; // MB -> 2 units
+    const double expected = 0.996 * t / (0.004 * (m / 160.0));
+    EXPECT_NEAR(sim::toSeconds(model.betaFromRaw(t, m)), expected, 1e-6);
+}
+
+TEST(CostModel, BetaScalesWithLatencyAndInverselyWithMemory)
+{
+    CostModel model;
+    const double base = sim::toSeconds(model.betaFromRaw(1.0, 160.0));
+    EXPECT_NEAR(sim::toSeconds(model.betaFromRaw(2.0, 160.0)), 2 * base,
+                1e-5);
+    EXPECT_NEAR(sim::toSeconds(model.betaFromRaw(1.0, 320.0)), base / 2,
+                1e-5);
+    EXPECT_EQ(model.betaFromRaw(1.0, 0.0), 0);
+}
+
+TEST(CostModel, BetaPerLayerUsesStageCosts)
+{
+    const auto catalog = workload::Catalog::standard20();
+    const auto& ir = catalog.at(*catalog.findByShortName("IR-Py"));
+    CostModel model;
+    EXPECT_EQ(model.beta(ir, Layer::User),
+              model.betaFromRaw(
+                  sim::toSeconds(ir.stageLatency(Layer::User)),
+                  ir.memoryAtLayer(Layer::User)));
+    EXPECT_EQ(model.beta(ir, Layer::None), 0);
+}
+
+TEST(CostModel, TtlIsMinOfIatAndBeta)
+{
+    const auto catalog = workload::Catalog::standard20();
+    const auto& ir = catalog.at(*catalog.findByShortName("IR-Py"));
+    CostModel model;
+    const auto beta = model.beta(ir, Layer::User);
+    EXPECT_EQ(model.ttl(ir, Layer::User, beta / 2), beta / 2);
+    EXPECT_EQ(model.ttl(ir, Layer::User, beta * 2), beta);
+    // Negative IAT means "no estimate": beta alone bounds the TTL.
+    EXPECT_EQ(model.ttl(ir, Layer::User, -1), beta);
+}
+
+TEST(CostModel, UnifiedCostWeighsBothTerms)
+{
+    CostModel model(CostConfig{0.996, 160.0});
+    EXPECT_NEAR(model.unifiedCost(100.0, 50000.0),
+                0.996 * 100.0 + 0.004 * 50000.0, 1e-9);
+    EXPECT_DOUBLE_EQ(model.alpha(), 0.996);
+}
+
+} // namespace
+} // namespace rc::core

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * Unit tests for the discrete-event engine: ordering, cancellation,
+ * re-entrancy, horizons, and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.hh"
+#include "sim/logging.hh"
+
+namespace rc::sim {
+namespace {
+
+TEST(Engine, StartsAtTimeZero)
+{
+    Engine engine;
+    EXPECT_EQ(engine.now(), 0);
+    EXPECT_EQ(engine.pendingEvents(), 0u);
+    EXPECT_EQ(engine.executedEvents(), 0u);
+}
+
+TEST(Engine, ExecutesEventsInTimeOrder)
+{
+    Engine engine;
+    std::vector<int> order;
+    engine.schedule(30, [&] { order.push_back(3); });
+    engine.schedule(10, [&] { order.push_back(1); });
+    engine.schedule(20, [&] { order.push_back(2); });
+    engine.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(engine.now(), 30);
+}
+
+TEST(Engine, SameTickEventsFireInSchedulingOrder)
+{
+    Engine engine;
+    std::vector<int> order;
+    for (int i = 0; i < 10; ++i)
+        engine.schedule(42, [&order, i] { order.push_back(i); });
+    engine.run();
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, ClockAdvancesToEventTime)
+{
+    Engine engine;
+    Tick seen = -1;
+    engine.schedule(5 * kSecond, [&] { seen = engine.now(); });
+    engine.run();
+    EXPECT_EQ(seen, 5 * kSecond);
+}
+
+TEST(Engine, ScheduleAfterUsesCurrentTime)
+{
+    Engine engine;
+    Tick seen = -1;
+    engine.schedule(kSecond, [&] {
+        engine.scheduleAfter(2 * kSecond, [&] { seen = engine.now(); });
+    });
+    engine.run();
+    EXPECT_EQ(seen, 3 * kSecond);
+}
+
+TEST(Engine, SchedulingInThePastThrows)
+{
+    Engine engine;
+    engine.schedule(10, [] {});
+    engine.run();
+    EXPECT_THROW(engine.schedule(5, [] {}), std::invalid_argument);
+    EXPECT_THROW(engine.scheduleAfter(-1, [] {}), std::invalid_argument);
+}
+
+TEST(Engine, CancelPreventsExecution)
+{
+    Engine engine;
+    bool fired = false;
+    const EventId id = engine.schedule(10, [&] { fired = true; });
+    EXPECT_TRUE(engine.pending(id));
+    EXPECT_TRUE(engine.cancel(id));
+    EXPECT_FALSE(engine.pending(id));
+    engine.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Engine, CancelIsIdempotent)
+{
+    Engine engine;
+    const EventId id = engine.schedule(10, [] {});
+    EXPECT_TRUE(engine.cancel(id));
+    EXPECT_FALSE(engine.cancel(id));
+    EXPECT_FALSE(engine.cancel(987654u)); // never existed
+}
+
+TEST(Engine, CancelAfterFiringIsHarmless)
+{
+    Engine engine;
+    const EventId id = engine.schedule(10, [] {});
+    engine.run();
+    EXPECT_FALSE(engine.cancel(id));
+}
+
+TEST(Engine, EventsMayScheduleMoreEvents)
+{
+    Engine engine;
+    int count = 0;
+    std::function<void()> chain = [&] {
+        ++count;
+        if (count < 5)
+            engine.scheduleAfter(1, chain);
+    };
+    engine.schedule(0, chain);
+    engine.run();
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(engine.now(), 4);
+}
+
+TEST(Engine, EventsMayCancelOtherEvents)
+{
+    Engine engine;
+    bool victimFired = false;
+    const EventId victim =
+        engine.schedule(20, [&] { victimFired = true; });
+    engine.schedule(10, [&] { engine.cancel(victim); });
+    engine.run();
+    EXPECT_FALSE(victimFired);
+}
+
+TEST(Engine, RunUntilStopsAtHorizon)
+{
+    Engine engine;
+    int fired = 0;
+    engine.schedule(10, [&] { ++fired; });
+    engine.schedule(20, [&] { ++fired; });
+    engine.schedule(30, [&] { ++fired; });
+    engine.runUntil(20);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(engine.now(), 20);
+    engine.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(Engine, RunUntilAdvancesClockWithoutEvents)
+{
+    Engine engine;
+    engine.runUntil(kMinute);
+    EXPECT_EQ(engine.now(), kMinute);
+}
+
+TEST(Engine, StepExecutesExactlyOneEvent)
+{
+    Engine engine;
+    int fired = 0;
+    engine.schedule(1, [&] { ++fired; });
+    engine.schedule(2, [&] { ++fired; });
+    EXPECT_TRUE(engine.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(engine.step());
+    EXPECT_EQ(fired, 2);
+    EXPECT_FALSE(engine.step());
+}
+
+TEST(Engine, ExecutedEventsCountsOnlyFired)
+{
+    Engine engine;
+    engine.schedule(1, [] {});
+    const EventId id = engine.schedule(2, [] {});
+    engine.cancel(id);
+    engine.run();
+    EXPECT_EQ(engine.executedEvents(), 1u);
+}
+
+TEST(Engine, ManyEventsStressOrdering)
+{
+    Engine engine;
+    Tick last = -1;
+    bool monotonic = true;
+    for (int i = 0; i < 10000; ++i) {
+        const Tick when = (i * 7919) % 1000; // pseudo-shuffled times
+        engine.schedule(when, [&, when] {
+            if (when < last)
+                monotonic = false;
+            last = when;
+        });
+    }
+    engine.run();
+    EXPECT_TRUE(monotonic);
+    EXPECT_EQ(engine.executedEvents(), 10000u);
+}
+
+TEST(Time, ConversionRoundTrips)
+{
+    EXPECT_EQ(fromSeconds(1.5), kSecond + 500 * kMillisecond);
+    EXPECT_EQ(fromMillis(250.0), 250 * kMillisecond);
+    EXPECT_DOUBLE_EQ(toSeconds(2 * kMinute), 120.0);
+    EXPECT_DOUBLE_EQ(toMillis(kSecond), 1000.0);
+    EXPECT_EQ(toMinuteBucket(59 * kSecond), 0);
+    EXPECT_EQ(toMinuteBucket(60 * kSecond), 1);
+    EXPECT_EQ(toMinuteBucket(119 * kSecond), 1);
+}
+
+TEST(Logging, FatalThrowsRuntimeError)
+{
+    EXPECT_THROW(fatal("boom"), std::runtime_error);
+}
+
+TEST(Logging, PanicThrowsLogicError)
+{
+    EXPECT_THROW(panic("bug"), std::logic_error);
+}
+
+TEST(Logging, LevelsFilterMessages)
+{
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    logMessage(LogLevel::Info, "suppressed"); // must not crash
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(LogLevel::Quiet);
+}
+
+} // namespace
+} // namespace rc::sim

@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Randomized stress tests: seeded random walks over the container
+ * FSM, the event engine, and whole-platform runs. Every walk checks
+ * that legal operation sequences never violate invariants and that
+ * the platform conserves its accounting under arbitrary interleaving.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "container/container.hh"
+#include "core/ablations.hh"
+#include "platform/node.hh"
+#include "sim/engine.hh"
+#include "sim/rng.hh"
+#include "trace/generator.hh"
+#include "trace/replay.hh"
+#include "workload/catalog.hh"
+
+namespace rc {
+namespace {
+
+using container::Container;
+using container::State;
+using workload::Layer;
+using rc::sim::kSecond;
+
+// ---- Container FSM random walk -------------------------------------------
+
+class FsmWalk : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(FsmWalk, LegalWalksNeverPanicAndMemoryStaysConsistent)
+{
+    const auto catalog = workload::Catalog::standard20();
+    sim::Rng rng(GetParam());
+    sim::Tick now = 0;
+
+    for (int round = 0; round < 200; ++round) {
+        const auto& profile = catalog.at(static_cast<workload::FunctionId>(
+            rng.uniformInt(0, static_cast<std::int64_t>(catalog.size()) -
+                                  1)));
+        Container c(1, profile, Layer::User, now);
+        now += kSecond;
+        c.finishInit(now);
+
+        // Random walk over the legal moves from each state.
+        for (int step = 0; step < 30 && c.state() != State::Dead;
+             ++step) {
+            now += kSecond;
+            switch (c.state()) {
+              case State::Idle: {
+                const auto roll = rng.uniformInt(0, 3);
+                if (roll == 0 && c.layer() == Layer::User) {
+                    c.beginExecution(now);
+                } else if (roll == 1 && c.layer() != Layer::Bare &&
+                           c.layer() != Layer::None) {
+                    c.downgrade(now);
+                } else if (roll == 2 && c.layer() != Layer::User) {
+                    c.beginUpgrade(profile, Layer::User, now);
+                } else {
+                    c.kill(now);
+                }
+                break;
+              }
+              case State::Busy:
+                c.finishExecution(now);
+                break;
+              case State::Initializing:
+                c.finishInit(now);
+                break;
+              case State::Dead:
+                break;
+            }
+            // Memory must always equal the footprint of the current
+            // (or target) layer — never negative, never stale.
+            EXPECT_GE(c.memoryMb(), 0.0);
+            if (c.state() == State::Idle) {
+                EXPECT_DOUBLE_EQ(c.memoryMb(),
+                                 c.layer() == Layer::User
+                                     ? c.userLayerMb()
+                                     : (c.layer() == Layer::Lang
+                                            ? c.langLayerMb()
+                                            : c.bareLayerMb()));
+            }
+        }
+        if (c.state() == State::Idle)
+            c.kill(now + kSecond);
+        else if (c.state() == State::Busy) {
+            c.finishExecution(now + kSecond);
+            c.kill(now + 2 * kSecond);
+        } else if (c.state() == State::Initializing) {
+            c.finishInit(now + kSecond);
+            c.kill(now + 2 * kSecond);
+        }
+        // Every idle second must be accounted for in drained
+        // intervals: total drained time equals total idle time.
+        const auto intervals = c.drainIdleIntervals(false);
+        for (const auto& interval : intervals)
+            EXPECT_GT(interval.end, interval.begin);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FsmWalk,
+                         ::testing::Values(11u, 42u, 1234u, 987654u));
+
+// ---- Engine random schedule/cancel walk -----------------------------------
+
+class EngineWalk : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(EngineWalk, RandomScheduleCancelPreservesCountInvariants)
+{
+    sim::Rng rng(GetParam());
+    sim::Engine engine;
+    std::set<sim::EventId> live;
+    std::uint64_t scheduled = 0, cancelled = 0, fired = 0;
+
+    for (int step = 0; step < 5000; ++step) {
+        const auto roll = rng.uniformInt(0, 9);
+        if (roll < 6) {
+            const sim::Tick when =
+                engine.now() + rng.uniformInt(0, 1000);
+            const auto id = engine.schedule(when, [&fired] { ++fired; });
+            live.insert(id);
+            ++scheduled;
+        } else if (roll < 8 && !live.empty()) {
+            // Cancel a random live (possibly already-fired) event.
+            auto it = live.begin();
+            std::advance(it, static_cast<long>(rng.uniformInt(
+                                 0, static_cast<std::int64_t>(
+                                        live.size()) - 1)));
+            if (engine.cancel(*it))
+                ++cancelled;
+            live.erase(it);
+        } else {
+            engine.step();
+        }
+    }
+    engine.run();
+    EXPECT_EQ(fired, scheduled - cancelled);
+    EXPECT_EQ(engine.executedEvents(), fired);
+    EXPECT_EQ(engine.pendingEvents(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineWalk,
+                         ::testing::Values(3u, 77u, 2024u));
+
+// ---- Whole-platform randomized runs ----------------------------------------
+
+class PlatformFuzz : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(PlatformFuzz, RandomWorkloadsConserveAccountingForEveryPolicy)
+{
+    const auto catalog = workload::Catalog::standard20();
+    sim::Rng knobs(GetParam());
+
+    trace::WorkloadTraceConfig config;
+    config.minutes = 45;
+    config.targetInvocations =
+        static_cast<std::uint64_t>(knobs.uniformInt(100, 1500));
+    config.seed = GetParam();
+    const auto set = trace::generateAzureLike(catalog, config);
+    const auto arrivals = trace::expandArrivals(set);
+
+    platform::NodeConfig nodeConfig;
+    nodeConfig.pool.memoryBudgetMb = knobs.uniform(1.0, 64.0) * 1024.0;
+
+    core::RainbowCakeConfig rcConfig;
+    rcConfig.alpha = knobs.uniform(0.991, 0.999);
+    rcConfig.quantile = knobs.uniform(0.1, 0.9);
+    rcConfig.windowSize =
+        static_cast<std::size_t>(knobs.uniformInt(1, 10));
+    rcConfig.shareByFork = knobs.bernoulli(0.5);
+
+    platform::Node node(catalog,
+                        std::make_unique<core::RainbowCakePolicy>(
+                            catalog, rcConfig),
+                        nodeConfig);
+    node.run(arrivals);
+
+    // Conservation invariants, whatever the knobs were:
+    EXPECT_EQ(node.metrics().total() + node.strandedInvocations(),
+              arrivals.size());
+    for (const auto& rec : node.metrics().records()) {
+        EXPECT_GE(rec.startupLatency, 0);
+        EXPECT_EQ(rec.endToEnd, rec.startupLatency + rec.execution);
+    }
+    const auto& waste = node.pool().wasteLog();
+    EXPECT_NEAR(waste.hitWasteMbSeconds() +
+                    waste.neverHitWasteMbSeconds(),
+                waste.totalWasteMbSeconds(), 1e-6);
+    // After finalize, the pool must be empty and memory fully
+    // released.
+    EXPECT_EQ(node.pool().liveCount(), 0u);
+    EXPECT_NEAR(node.pool().usedMemoryMb(), 0.0, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlatformFuzz,
+                         ::testing::Values(5u, 21u, 404u, 8080u, 31337u));
+
+} // namespace
+} // namespace rc

@@ -1,0 +1,234 @@
+/**
+ * @file
+ * Integration tests: full workload runs per policy asserting the
+ * cross-cutting invariants of the platform (memory budget, latency
+ * arithmetic, waste conservation, determinism) and the paper's
+ * qualitative ordering relations on a common trace.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ablations.hh"
+#include "exp/experiment.hh"
+#include "exp/report.hh"
+#include "exp/standard_traces.hh"
+#include "trace/generator.hh"
+#include "trace/replay.hh"
+#include "workload/catalog.hh"
+
+namespace rc::exp {
+namespace {
+
+using platform::StartupType;
+using rc::sim::kMinute;
+
+class IntegrationTest : public ::testing::Test
+{
+  protected:
+    IntegrationTest() : catalog(workload::Catalog::standard20())
+    {
+        trace::WorkloadTraceConfig config;
+        config.minutes = 120;
+        config.targetInvocations = 2000;
+        config.seed = 21;
+        traceSet = std::make_unique<trace::TraceSet>(
+            trace::generateAzureLike(catalog, config));
+    }
+
+    workload::Catalog catalog;
+    std::unique_ptr<trace::TraceSet> traceSet;
+};
+
+TEST_F(IntegrationTest, EveryPolicyServesEveryInvocation)
+{
+    const auto expected = traceSet->totalInvocations();
+    for (const auto& policy : standardBaselines(catalog)) {
+        const auto result = runExperiment(catalog, policy.make, *traceSet);
+        EXPECT_EQ(result.metrics.total(), expected)
+            << policy.label << " dropped invocations";
+        EXPECT_EQ(result.strandedInvocations, 0u) << policy.label;
+    }
+}
+
+TEST_F(IntegrationTest, LatencyArithmeticHolds)
+{
+    for (const auto& policy : standardBaselines(catalog)) {
+        const auto result = runExperiment(catalog, policy.make, *traceSet);
+        for (const auto& rec : result.metrics.records()) {
+            EXPECT_GE(rec.startupLatency, 0) << policy.label;
+            EXPECT_GE(rec.queueWait, 0) << policy.label;
+            EXPECT_GE(rec.startupLatency, rec.queueWait) << policy.label;
+            EXPECT_EQ(rec.endToEnd, rec.startupLatency + rec.execution)
+                << policy.label;
+            EXPECT_GT(rec.execution, 0) << policy.label;
+        }
+    }
+}
+
+TEST_F(IntegrationTest, WasteSplitsConserve)
+{
+    for (const auto& policy : standardBaselines(catalog)) {
+        const auto result = runExperiment(catalog, policy.make, *traceSet);
+        EXPECT_NEAR(result.hitWasteMbSeconds +
+                        result.neverHitWasteMbSeconds,
+                    result.totalWasteMbSeconds, 1e-6)
+            << policy.label;
+        for (const auto& interval : result.waste.intervals()) {
+            EXPECT_GE(interval.end, interval.begin) << policy.label;
+            EXPECT_GE(interval.memoryMb, 0.0) << policy.label;
+        }
+    }
+}
+
+TEST_F(IntegrationTest, StartupTypeCountsSumToTotal)
+{
+    for (const auto& policy : standardBaselines(catalog)) {
+        const auto result = runExperiment(catalog, policy.make, *traceSet);
+        std::uint64_t sum = 0;
+        for (std::size_t i = 0; i < platform::kStartupTypeCount; ++i)
+            sum += result.metrics.countOf(static_cast<StartupType>(i));
+        EXPECT_EQ(sum, result.metrics.total()) << policy.label;
+    }
+}
+
+TEST_F(IntegrationTest, RunsAreDeterministic)
+{
+    const auto a = runExperiment(
+        catalog, [this] { return core::makeRainbowCake(catalog); },
+        *traceSet);
+    const auto b = runExperiment(
+        catalog, [this] { return core::makeRainbowCake(catalog); },
+        *traceSet);
+    EXPECT_EQ(a.metrics.total(), b.metrics.total());
+    EXPECT_DOUBLE_EQ(a.totalStartupSeconds, b.totalStartupSeconds);
+    EXPECT_DOUBLE_EQ(a.totalWasteMbSeconds, b.totalWasteMbSeconds);
+    ASSERT_EQ(a.metrics.records().size(), b.metrics.records().size());
+    for (std::size_t i = 0; i < a.metrics.records().size(); ++i) {
+        EXPECT_EQ(a.metrics.records()[i].endToEnd,
+                  b.metrics.records()[i].endToEnd);
+    }
+}
+
+TEST_F(IntegrationTest, MemoryBudgetIsNeverExceeded)
+{
+    // A pool panic aborts the run, so completing a pressured workload
+    // is itself the assertion; also check stranded invocations drain.
+    platform::NodeConfig config;
+    config.pool.memoryBudgetMb = 2.0 * 1024.0; // tight: 2 GB
+    for (const auto& policy : standardBaselines(catalog)) {
+        const auto result =
+            runExperiment(catalog, policy.make, *traceSet, config);
+        EXPECT_EQ(result.metrics.total(), traceSet->totalInvocations())
+            << policy.label;
+    }
+}
+
+TEST_F(IntegrationTest, TightBudgetRaisesStartupLatency)
+{
+    platform::NodeConfig roomy;
+    roomy.pool.memoryBudgetMb = 240.0 * 1024.0;
+    platform::NodeConfig tight;
+    tight.pool.memoryBudgetMb = 1.5 * 1024.0;
+    auto factory = [this] { return core::makeRainbowCake(catalog); };
+    const auto big = runExperiment(catalog, factory, *traceSet, roomy);
+    const auto small = runExperiment(catalog, factory, *traceSet, tight);
+    EXPECT_GT(small.totalStartupSeconds, big.totalStartupSeconds);
+    EXPECT_LT(small.totalWasteMbSeconds, big.totalWasteMbSeconds);
+}
+
+TEST_F(IntegrationTest, PaperOrderingHoldsOnStandardTrace)
+{
+    // The §7.2 headline orderings on the full 8-hour standard set.
+    const auto set = eightHourTrace(catalog);
+    std::vector<RunResult> results;
+    for (const auto& policy : standardBaselines(catalog))
+        results.push_back(runExperiment(catalog, policy.make, set));
+    ASSERT_EQ(results.size(), 6u);
+    const auto& openwhisk = results[0];
+    const auto& histogram = results[1];
+    const auto& faascache = results[2];
+    const auto& seuss = results[3];
+    const auto& pagurus = results[4];
+    const auto& rainbowcake = results[5];
+
+    // Startup latency: FaaSCache < RainbowCake < Pagurus < SEUSS <
+    // Histogram < OpenWhisk (Fig. 6 ordering).
+    EXPECT_LT(faascache.totalStartupSeconds,
+              rainbowcake.totalStartupSeconds);
+    EXPECT_LT(rainbowcake.totalStartupSeconds,
+              pagurus.totalStartupSeconds);
+    EXPECT_LT(pagurus.totalStartupSeconds, seuss.totalStartupSeconds);
+    EXPECT_LT(seuss.totalStartupSeconds, histogram.totalStartupSeconds);
+    EXPECT_LT(histogram.totalStartupSeconds,
+              openwhisk.totalStartupSeconds);
+
+    // Memory waste: RainbowCake lowest; sharing/caching-everything
+    // baselines highest (Fig. 8 ordering).
+    EXPECT_LT(rainbowcake.totalWasteMbSeconds,
+              seuss.totalWasteMbSeconds);
+    EXPECT_LT(rainbowcake.totalWasteMbSeconds,
+              openwhisk.totalWasteMbSeconds);
+    EXPECT_LT(openwhisk.totalWasteMbSeconds,
+              histogram.totalWasteMbSeconds);
+    EXPECT_LT(histogram.totalWasteMbSeconds,
+              pagurus.totalWasteMbSeconds);
+    EXPECT_LT(histogram.totalWasteMbSeconds,
+              faascache.totalWasteMbSeconds);
+
+    // RainbowCake uses all three shareable layers (§7.4).
+    EXPECT_GT(rainbowcake.metrics.countOf(StartupType::Lang), 0u);
+    EXPECT_GT(rainbowcake.metrics.countOf(StartupType::Bare), 0u);
+    EXPECT_GT(rainbowcake.metrics.countOf(StartupType::User), 0u);
+}
+
+TEST_F(IntegrationTest, AblationsRegressBothMetrics)
+{
+    // Fig. 9: removing sharing-aware modeling or layer caching must
+    // hurt at least one axis of the trade-off materially.
+    const auto set = eightHourTrace(catalog);
+    const auto full = runExperiment(
+        catalog, [this] { return core::makeRainbowCake(catalog); }, set);
+    const auto noSharing = runExperiment(
+        catalog, [this] { return core::makeRainbowCakeNoSharing(catalog); },
+        set);
+    const auto noLayers = runExperiment(
+        catalog, [this] { return core::makeRainbowCakeNoLayers(catalog); },
+        set);
+
+    EXPECT_GT(noSharing.totalStartupSeconds + 1.0,
+              full.totalStartupSeconds);
+    EXPECT_GT(noSharing.totalWasteMbSeconds, full.totalWasteMbSeconds);
+    EXPECT_GT(noLayers.totalStartupSeconds, full.totalStartupSeconds);
+}
+
+TEST_F(IntegrationTest, ReportRenderingDoesNotChoke)
+{
+    const auto result = runExperiment(
+        catalog, [this] { return core::makeRainbowCake(catalog); },
+        *traceSet);
+    std::ostringstream oss;
+    printSummaryTable(oss, "test", {result});
+    EXPECT_NE(oss.str().find("RainbowCake"), std::string::npos);
+    printTimeline(oss, "waste", result.waste.timeline(), 10);
+    printTimeline(oss, "e2e", result.metrics.endToEndTimeline(), 10,
+                  /*cumulative=*/true);
+    EXPECT_FALSE(oss.str().empty());
+    EXPECT_EQ(percentChange(100.0, 50.0), "-50.0%");
+    EXPECT_EQ(percentChange(100.0, 150.0), "+50.0%");
+    EXPECT_EQ(percentChange(0.0, 1.0), "n/a");
+}
+
+TEST_F(IntegrationTest, CvTraceLevelsAreOrdered)
+{
+    double previous = -1.0;
+    for (const double level : standardCvLevels()) {
+        EXPECT_GT(level, previous);
+        previous = level;
+        const auto set = cvTrace(catalog, level);
+        EXPECT_EQ(set.totalInvocations(), 3600u);
+        EXPECT_EQ(set.durationMinutes(), 60u);
+    }
+}
+
+} // namespace
+} // namespace rc::exp

@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Unit tests for the invoker: the dispatch ladder, startup-type
+ * resolution, latency accounting, pre-warm semantics (Algorithm 1's
+ * Available() check), memory-pressure eviction, and the admission
+ * queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/node.hh"
+#include "policy/openwhisk_fixed.hh"
+#include "policy/policy.hh"
+#include "workload/catalog.hh"
+
+namespace rc::platform {
+namespace {
+
+using workload::Layer;
+using rc::sim::kMinute;
+using rc::sim::kSecond;
+using rc::sim::Tick;
+
+/** Minimal controllable policy for driving the invoker in tests. */
+class TestPolicy : public policy::Policy
+{
+  public:
+    std::string name() const override { return "test"; }
+
+    sim::Tick
+    keepAliveTtl(const container::Container& c) override
+    {
+        (void)c;
+        return ttl;
+    }
+
+    policy::IdleDecision
+    onIdleExpired(const container::Container& c) override
+    {
+        if (downgradeChain && c.layer() != Layer::Bare) {
+            const sim::Tick next =
+                (c.layer() == Layer::User) ? langTtl : bareTtl;
+            return policy::IdleDecision::downgrade(next);
+        }
+        return policy::IdleDecision::kill();
+    }
+
+    bool layerSharingEnabled() const override { return sharing; }
+
+    policy::PlatformView* view() { return _view; }
+
+    sim::Tick ttl = 10 * kMinute;   //!< initial (User) keep-alive
+    sim::Tick langTtl = 10 * kMinute;
+    sim::Tick bareTtl = 10 * kMinute;
+    bool sharing = false;
+    bool downgradeChain = false;
+};
+
+class InvokerTest : public ::testing::Test
+{
+  protected:
+    InvokerTest() : catalog(workload::Catalog::standard20()) {}
+
+    /** Build a node owning a TestPolicy; keep a borrowed pointer. */
+    void
+    makeNode(double budgetMb = 240.0 * 1024.0)
+    {
+        auto policy = std::make_unique<TestPolicy>();
+        policyPtr = policy.get();
+        NodeConfig config;
+        config.pool.memoryBudgetMb = budgetMb;
+        node = std::make_unique<Node>(catalog, std::move(policy), config);
+    }
+
+    workload::FunctionId
+    fid(const char* name) const
+    {
+        return *catalog.findByShortName(name);
+    }
+
+    const workload::FunctionProfile&
+    profile(const char* name) const
+    {
+        return catalog.at(fid(name));
+    }
+
+    workload::Catalog catalog;
+    std::unique_ptr<Node> node;
+    TestPolicy* policyPtr = nullptr;
+};
+
+TEST_F(InvokerTest, FirstInvocationIsCold)
+{
+    makeNode();
+    node->invokeNow(fid("MD-Py"));
+    node->engine().run();
+    node->finalize();
+    ASSERT_EQ(node->metrics().total(), 1u);
+    const auto& rec = node->metrics().records()[0];
+    EXPECT_EQ(rec.type, StartupType::Cold);
+    // Startup = all stages + all transitions.
+    EXPECT_EQ(rec.startupLatency, profile("MD-Py").coldStartLatency());
+    EXPECT_EQ(rec.endToEnd, rec.startupLatency + rec.execution);
+    EXPECT_EQ(rec.queueWait, 0);
+}
+
+TEST_F(InvokerTest, SecondInvocationReusesWarmContainer)
+{
+    makeNode();
+    node->invokeNow(fid("MD-Py"));
+    node->advanceTo(2 * kMinute); // completed; still inside the TTL
+    node->invokeNow(fid("MD-Py"));
+    node->engine().run();
+    node->finalize();
+    ASSERT_EQ(node->metrics().total(), 2u);
+    const auto& rec = node->metrics().records()[1];
+    // Warm reuse of an executed container is a "Load" start.
+    EXPECT_EQ(rec.type, StartupType::Load);
+    EXPECT_EQ(rec.startupLatency, profile("MD-Py").costs().userToRun);
+}
+
+TEST_F(InvokerTest, ConcurrentInvocationsGetSeparateContainers)
+{
+    makeNode();
+    node->invokeNow(fid("MD-Py"));
+    node->invokeNow(fid("MD-Py")); // first is still initializing
+    node->engine().run();
+    node->finalize();
+    ASSERT_EQ(node->metrics().total(), 2u);
+    // Second latches onto the first's in-flight init? No: that one is
+    // claimed, so a second container cold-starts.
+    EXPECT_EQ(node->metrics().countOf(StartupType::Cold), 2u);
+}
+
+TEST_F(InvokerTest, LangShareRequiresPolicyOptIn)
+{
+    makeNode();
+    policyPtr->sharing = false;
+    policyPtr->downgradeChain = true;
+    policyPtr->ttl = kSecond;
+    node->invokeNow(fid("MD-Py"));
+    node->advanceTo(30 * kSecond); // container now downgraded to Lang
+    node->invokeNow(fid("FC-Py")); // same language
+    node->engine().run();
+    node->finalize();
+    // Without sharing the second invocation cold-starts.
+    EXPECT_EQ(node->metrics().countOf(StartupType::Cold), 2u);
+}
+
+TEST_F(InvokerTest, LangShareServesSameLanguage)
+{
+    makeNode();
+    policyPtr->sharing = true;
+    policyPtr->downgradeChain = true;
+    policyPtr->ttl = kSecond; // User downgrades quickly; Lang persists
+    node->invokeNow(fid("MD-Py"));
+    node->advanceTo(30 * kSecond); // well past the User window
+    node->invokeNow(fid("FC-Py"));
+    node->engine().run();
+    node->finalize();
+    ASSERT_EQ(node->metrics().total(), 2u);
+    const auto& rec = node->metrics().records()[1];
+    EXPECT_EQ(rec.type, StartupType::Lang);
+    const auto& costs = profile("FC-Py").costs();
+    EXPECT_EQ(rec.startupLatency,
+              costs.langToUser + costs.userInit + costs.userToRun);
+}
+
+TEST_F(InvokerTest, BareShareServesAnyLanguage)
+{
+    makeNode();
+    policyPtr->sharing = true;
+    policyPtr->downgradeChain = true;
+    policyPtr->ttl = kSecond;     // User -> Lang quickly
+    policyPtr->langTtl = kSecond; // Lang -> Bare quickly; Bare persists
+    node->invokeNow(fid("MD-Py"));
+    node->advanceTo(2 * kMinute);
+    node->invokeNow(fid("DG-Java")); // different language
+    node->engine().run();
+    node->finalize();
+    ASSERT_EQ(node->metrics().total(), 2u);
+    const auto& rec = node->metrics().records()[1];
+    EXPECT_EQ(rec.type, StartupType::Bare);
+    const auto& costs = profile("DG-Java").costs();
+    EXPECT_EQ(rec.startupLatency, costs.bareToLang + costs.langInit +
+                                      costs.langToUser + costs.userInit +
+                                      costs.userToRun);
+}
+
+TEST_F(InvokerTest, PrewarmCreatesIdleUserContainer)
+{
+    makeNode();
+    node->invokeNow(fid("MD-Py"));
+    node->advanceTo(30 * kSecond);
+    // Schedule a pre-warm through the platform view.
+    policyPtr->view()->schedulePrewarm(fid("DG-Java"), kMinute);
+    node->advanceTo(3 * kMinute); // fired + initialized, TTL pending
+    EXPECT_NE(node->pool().findIdleUser(fid("DG-Java")), nullptr);
+    node->finalize();
+}
+
+TEST_F(InvokerTest, PrewarmSkipsWhenWarmCapacityExists)
+{
+    makeNode();
+    node->invokeNow(fid("MD-Py"));
+    node->advanceTo(30 * kSecond); // completed; idle inside its TTL
+    EXPECT_EQ(node->pool().liveCount(), 1u);
+    policyPtr->view()->schedulePrewarm(fid("MD-Py"), kMinute);
+    node->advanceTo(3 * kMinute);
+    // Algorithm 1's Available() check suppressed the duplicate.
+    EXPECT_EQ(node->pool().liveCount(), 1u);
+    node->finalize();
+}
+
+TEST_F(InvokerTest, ArrivalLatchesOntoInFlightPrewarm)
+{
+    makeNode();
+    policyPtr->view()->schedulePrewarm(fid("DG-Java"), 0);
+    node->engine().step(); // fire the pre-warm; init in flight (7.2s)
+    node->advanceTo(kSecond);
+    node->invokeNow(fid("DG-Java"));
+    node->engine().run();
+    node->finalize();
+    ASSERT_EQ(node->metrics().total(), 1u);
+    const auto& rec = node->metrics().records()[0];
+    EXPECT_EQ(rec.type, StartupType::Load);
+    // Startup = remaining init + dispatch, strictly less than cold.
+    EXPECT_LT(rec.startupLatency, profile("DG-Java").coldStartLatency());
+    EXPECT_GT(rec.startupLatency, profile("DG-Java").costs().userToRun);
+}
+
+TEST_F(InvokerTest, ConsumedPrewarmCountsAsUserStart)
+{
+    makeNode();
+    policyPtr->view()->schedulePrewarm(fid("DG-Java"), 0);
+    node->advanceTo(kMinute); // init completed; container idle
+    node->invokeNow(fid("DG-Java"));
+    node->engine().run();
+    node->finalize();
+    ASSERT_EQ(node->metrics().total(), 1u);
+    EXPECT_EQ(node->metrics().records()[0].type, StartupType::User);
+}
+
+TEST_F(InvokerTest, PrewarmNeverEvictsOrQueues)
+{
+    makeNode(/*budgetMb=*/150.0);
+    node->invokeNow(fid("MD-Py"));
+    node->advanceTo(30 * kSecond); // idle, 106 MB resident
+    policyPtr->view()->schedulePrewarm(fid("FC-Py"), 0);
+    node->advanceTo(kMinute);
+    // FC-Py needs 118 MB; only 44 free; pre-warm silently skipped.
+    EXPECT_EQ(node->pool().liveCount(), 1u);
+    node->finalize();
+}
+
+TEST_F(InvokerTest, MemoryPressureEvictsIdleVictims)
+{
+    makeNode(/*budgetMb=*/250.0);
+    node->invokeNow(fid("MD-Py")); // idle afterwards: 106 MB
+    node->advanceTo(30 * kSecond);
+    node->invokeNow(fid("FC-Py")); // 118 MB: fits alongside
+    node->advanceTo(kMinute);
+    EXPECT_EQ(node->pool().liveCount(), 2u);
+    node->invokeNow(fid("GB-Py")); // 132 MB: must evict an idle one
+    node->advanceTo(2 * kMinute);
+    node->finalize();
+    EXPECT_EQ(node->metrics().total(), 3u);
+    EXPECT_EQ(node->strandedInvocations(), 0u);
+}
+
+TEST_F(InvokerTest, QueueWaitsWhenNothingEvictable)
+{
+    makeNode(/*budgetMb=*/430.0);
+    node->invokeNow(fid("IR-Py"))
+        ; // 412 MB busy container; nothing idle to evict
+    node->invokeNow(fid("MD-Py")); // 106 MB does not fit -> queued
+    EXPECT_EQ(node->invoker().queuedInvocations(), 1u);
+    node->engine().run(); // IR completes -> idles -> evicted for MD
+    node->finalize();
+    ASSERT_EQ(node->metrics().total(), 2u);
+    const auto& rec = node->metrics().records()[1];
+    EXPECT_EQ(rec.function, fid("MD-Py"));
+    EXPECT_GT(rec.queueWait, 0);
+    EXPECT_GE(rec.startupLatency, rec.queueWait);
+    EXPECT_EQ(node->strandedInvocations(), 0u);
+}
+
+TEST_F(InvokerTest, KeepAliveTimeoutKillsContainer)
+{
+    makeNode();
+    policyPtr->ttl = kMinute;
+    node->invokeNow(fid("MD-Py"));
+    node->engine().run();
+    node->finalize();
+    EXPECT_EQ(node->pool().liveCount(), 0u);
+}
+
+TEST_F(InvokerTest, NegativeTtlKeepsContainerForever)
+{
+    makeNode();
+    policyPtr->ttl = -1;
+    node->invokeNow(fid("MD-Py"));
+    node->engine().run();
+    node->advanceTo(30 * kMinute); // idle long past any fixed window
+    // No timeout event: container survives until finalize.
+    EXPECT_EQ(node->pool().liveCount(), 1u);
+    node->finalize();
+    EXPECT_EQ(node->pool().liveCount(), 0u);
+    // The finalize flush classifies its idle time as never-hit.
+    EXPECT_GT(node->pool().wasteLog().neverHitWasteMbSeconds(), 0.0);
+}
+
+TEST_F(InvokerTest, ReuseCancelsPendingTimeout)
+{
+    makeNode();
+    policyPtr->ttl = 10 * kMinute;
+    node->invokeNow(fid("MD-Py"));
+    node->advanceTo(2 * kMinute); // completed; timeout still pending
+    // Reuse well before the timeout fires.
+    node->invokeNow(fid("MD-Py"));
+    node->engine().run();
+    node->finalize();
+    EXPECT_EQ(node->metrics().total(), 2u);
+    EXPECT_EQ(node->metrics().countOf(StartupType::Cold), 1u);
+    EXPECT_EQ(node->metrics().countOf(StartupType::Load), 1u);
+}
+
+TEST_F(InvokerTest, RunReplaysArrivalsAtTheirTimes)
+{
+    makeNode();
+    std::vector<trace::Arrival> arrivals{
+        {0, fid("MD-Py")},
+        {5 * kMinute, fid("MD-Py")},
+        {20 * kMinute, fid("MD-Py")}, // beyond the 10-minute TTL
+    };
+    node->run(arrivals);
+    ASSERT_EQ(node->metrics().total(), 3u);
+    EXPECT_EQ(node->metrics().records()[0].type, StartupType::Cold);
+    EXPECT_EQ(node->metrics().records()[1].type, StartupType::Load);
+    EXPECT_EQ(node->metrics().records()[2].type, StartupType::Cold);
+}
+
+TEST_F(InvokerTest, NodeRejectsNullPolicy)
+{
+    EXPECT_THROW(Node(catalog, nullptr), std::runtime_error);
+}
+
+} // namespace
+} // namespace rc::platform

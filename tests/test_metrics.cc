@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Unit tests for the metrics collector and the experiment harness
+ * glue (standard trace sets, runner plumbing).
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/ablations.hh"
+#include "exp/csv.hh"
+#include "exp/experiment.hh"
+#include "exp/standard_traces.hh"
+#include "platform/metrics.hh"
+#include "workload/catalog.hh"
+
+namespace rc::platform {
+namespace {
+
+using rc::sim::kMinute;
+using rc::sim::kSecond;
+
+InvocationRecord
+record(workload::FunctionId f, sim::Tick arrival, StartupType type,
+       double startupSeconds, double executionSeconds)
+{
+    InvocationRecord r;
+    r.function = f;
+    r.arrival = arrival;
+    r.type = type;
+    r.startupLatency = sim::fromSeconds(startupSeconds);
+    r.execution = sim::fromSeconds(executionSeconds);
+    r.endToEnd = r.startupLatency + r.execution;
+    return r;
+}
+
+TEST(Metrics, EmptyAggregatesAreZero)
+{
+    Metrics metrics;
+    EXPECT_EQ(metrics.total(), 0u);
+    EXPECT_DOUBLE_EQ(metrics.meanStartupSeconds(), 0.0);
+    EXPECT_DOUBLE_EQ(metrics.meanEndToEndSeconds(), 0.0);
+    EXPECT_DOUBLE_EQ(metrics.p99EndToEndSeconds(), 0.0);
+    EXPECT_DOUBLE_EQ(metrics.totalStartupSeconds(), 0.0);
+}
+
+TEST(Metrics, AggregatesAccumulate)
+{
+    Metrics metrics;
+    metrics.record(record(0, 0, StartupType::Cold, 2.0, 1.0));
+    metrics.record(record(0, kMinute, StartupType::Load, 0.5, 1.5));
+    metrics.record(record(1, 2 * kMinute, StartupType::Lang, 1.5, 3.0));
+
+    EXPECT_EQ(metrics.total(), 3u);
+    EXPECT_EQ(metrics.countOf(StartupType::Cold), 1u);
+    EXPECT_EQ(metrics.countOf(StartupType::Load), 1u);
+    EXPECT_EQ(metrics.countOf(StartupType::Lang), 1u);
+    EXPECT_EQ(metrics.countOf(StartupType::Bare), 0u);
+    EXPECT_NEAR(metrics.totalStartupSeconds(), 4.0, 1e-9);
+    EXPECT_NEAR(metrics.meanStartupSeconds(), 4.0 / 3.0, 1e-9);
+    EXPECT_NEAR(metrics.meanEndToEndSeconds(), (3.0 + 2.0 + 4.5) / 3.0,
+                1e-9);
+}
+
+TEST(Metrics, PerFunctionAccumulatorsFilter)
+{
+    Metrics metrics;
+    metrics.record(record(0, 0, StartupType::Cold, 2.0, 1.0));
+    metrics.record(record(1, 0, StartupType::Cold, 4.0, 1.0));
+    metrics.record(record(0, kMinute, StartupType::Load, 1.0, 1.0));
+
+    const auto f0 = metrics.startupByFunction(0);
+    EXPECT_EQ(f0.count(), 2u);
+    EXPECT_NEAR(f0.mean(), 1.5, 1e-9);
+    const auto f1 = metrics.endToEndByFunction(1);
+    EXPECT_EQ(f1.count(), 1u);
+    EXPECT_NEAR(f1.mean(), 5.0, 1e-9);
+    EXPECT_EQ(metrics.startupByFunction(7).count(), 0u);
+}
+
+TEST(Metrics, TimelinesBucketByArrivalMinute)
+{
+    Metrics metrics;
+    metrics.record(record(0, 30 * kSecond, StartupType::Cold, 1.0, 1.0));
+    metrics.record(record(0, 90 * kSecond, StartupType::Cold, 1.0, 1.0));
+    metrics.record(record(0, 95 * kSecond, StartupType::Load, 1.0, 1.0));
+
+    const auto colds = metrics.startupTypeTimeline(StartupType::Cold);
+    EXPECT_DOUBLE_EQ(colds.at(0), 1.0);
+    EXPECT_DOUBLE_EQ(colds.at(1), 1.0);
+    const auto e2e = metrics.endToEndTimeline();
+    EXPECT_DOUBLE_EQ(e2e.at(1), 4.0);
+}
+
+TEST(Metrics, P99TracksTail)
+{
+    Metrics metrics;
+    for (int i = 0; i < 300; ++i)
+        metrics.record(record(0, 0, StartupType::Load, 0.0, 1.0));
+    for (int i = 0; i < 10; ++i)
+        metrics.record(record(0, 0, StartupType::Cold, 9.0, 1.0));
+    EXPECT_GT(metrics.p99EndToEndSeconds(), 5.0);
+    EXPECT_NEAR(metrics.meanEndToEndSeconds(),
+                (300.0 * 1.0 + 10.0 * 10.0) / 310.0, 1e-9);
+}
+
+} // namespace
+} // namespace rc::platform
+
+namespace rc::exp {
+namespace {
+
+TEST(StandardTraces, EightHourSetIsStable)
+{
+    const auto catalog = workload::Catalog::standard20();
+    const auto a = eightHourTrace(catalog);
+    const auto b = eightHourTrace(catalog);
+    EXPECT_EQ(a.totalInvocations(), b.totalInvocations());
+    EXPECT_EQ(a.durationMinutes(), 480u);
+    EXPECT_GT(a.totalInvocations(), 1000u);
+}
+
+TEST(StandardTraces, CvLevelsMatchPaper)
+{
+    const auto& levels = standardCvLevels();
+    ASSERT_EQ(levels.size(), 7u);
+    EXPECT_DOUBLE_EQ(levels.front(), 0.2);
+    EXPECT_DOUBLE_EQ(levels.back(), 4.0);
+}
+
+TEST(Experiment, BaselineListMatchesPaperOrder)
+{
+    const auto catalog = workload::Catalog::standard20();
+    const auto baselines = standardBaselines(catalog);
+    ASSERT_EQ(baselines.size(), 6u);
+    EXPECT_EQ(baselines[0].label, "OpenWhisk");
+    EXPECT_EQ(baselines[1].label, "Histogram");
+    EXPECT_EQ(baselines[2].label, "FaaSCache");
+    EXPECT_EQ(baselines[3].label, "SEUSS");
+    EXPECT_EQ(baselines[4].label, "Pagurus");
+    EXPECT_EQ(baselines[5].label, "RainbowCake");
+    // Factories must produce policies whose names match the labels.
+    for (const auto& baseline : baselines)
+        EXPECT_EQ(baseline.make()->name(), baseline.label);
+}
+
+TEST(Csv, InvocationRowsMatchRecords)
+{
+    platform::Metrics metrics;
+    platform::InvocationRecord rec;
+    rec.function = 3;
+    rec.arrival = 90 * rc::sim::kSecond;
+    rec.type = platform::StartupType::Lang;
+    rec.startupLatency = rc::sim::fromSeconds(1.5);
+    rec.execution = rc::sim::fromSeconds(2.0);
+    rec.endToEnd = rc::sim::fromSeconds(3.5);
+    metrics.record(rec);
+
+    std::ostringstream out;
+    writeInvocationsCsv(out, metrics);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("function,arrival_s,type"), std::string::npos);
+    EXPECT_NE(text.find("3,90,Lang,0,1.5,2,3.5"), std::string::npos);
+}
+
+TEST(Csv, WasteRowsCarryClassification)
+{
+    stats::IntervalLog log;
+    stats::IdleInterval interval;
+    interval.begin = 0;
+    interval.end = rc::sim::kSecond;
+    interval.memoryMb = 50.0;
+    interval.layer = workload::Layer::Bare;
+    interval.eventuallyHit = true;
+    log.record(interval);
+
+    std::ostringstream out;
+    writeWasteCsv(out, log);
+    EXPECT_NE(out.str().find("0,1,50,Bare,-,1"), std::string::npos);
+}
+
+TEST(Csv, SummaryHasOneRowPerPolicy)
+{
+    const auto catalog = workload::Catalog::standard20();
+    trace::TraceSet tiny(2);
+    trace::FunctionTrace t;
+    t.function = 0;
+    t.perMinute = {1, 0};
+    tiny.add(t);
+    std::vector<RunResult> results;
+    results.push_back(runExperiment(
+        catalog, [&] { return core::makeRainbowCake(catalog); }, tiny));
+    std::ostringstream out;
+    writeSummaryCsv(out, results);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("policy,invocations"), std::string::npos);
+    EXPECT_NE(text.find("RainbowCake,1,1,0,0,0,0"), std::string::npos);
+}
+
+} // namespace
+} // namespace rc::exp

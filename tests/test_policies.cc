@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Unit tests for the five baseline policies: OpenWhisk fixed
+ * keep-alive, the Azure hybrid histogram, FaaSCache Greedy-Dual,
+ * SEUSS layered snapshots, and Pagurus zygote sharing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/node.hh"
+#include "policy/faascache.hh"
+#include "policy/histogram_policy.hh"
+#include "policy/openwhisk_fixed.hh"
+#include "policy/pagurus.hh"
+#include "policy/seuss.hh"
+#include "workload/catalog.hh"
+
+namespace rc::policy {
+namespace {
+
+using platform::Node;
+using platform::NodeConfig;
+using platform::StartupType;
+using workload::Layer;
+using rc::sim::kMinute;
+using rc::sim::kSecond;
+
+class PolicyTest : public ::testing::Test
+{
+  protected:
+    PolicyTest() : catalog(workload::Catalog::standard20()) {}
+
+    workload::FunctionId
+    fid(const char* name) const
+    {
+        return *catalog.findByShortName(name);
+    }
+
+    workload::Catalog catalog;
+};
+
+// ---- OpenWhisk fixed ---------------------------------------------------
+
+TEST_F(PolicyTest, OpenWhiskKeepsContainersTenMinutes)
+{
+    Node node(catalog, std::make_unique<OpenWhiskFixedPolicy>());
+    node.invokeNow(fid("MD-Py"));
+    node.advanceTo(9 * kMinute);
+    EXPECT_EQ(node.pool().liveCount(), 1u);
+    node.advanceTo(15 * kMinute);
+    EXPECT_EQ(node.pool().liveCount(), 0u);
+}
+
+TEST_F(PolicyTest, OpenWhiskNeverDowngrades)
+{
+    OpenWhiskFixedPolicy policy;
+    EXPECT_FALSE(policy.layerSharingEnabled());
+    Node node(catalog, std::make_unique<OpenWhiskFixedPolicy>());
+    node.run({{0, fid("MD-Py")}, {5 * kMinute, fid("FC-Py")}});
+    EXPECT_EQ(node.metrics().countOf(StartupType::Lang), 0u);
+    EXPECT_EQ(node.metrics().countOf(StartupType::Bare), 0u);
+    EXPECT_EQ(node.metrics().countOf(StartupType::Cold), 2u);
+}
+
+TEST_F(PolicyTest, OpenWhiskRejectsBadWindow)
+{
+    EXPECT_THROW(OpenWhiskFixedPolicy(0), std::runtime_error);
+}
+
+// ---- Histogram ---------------------------------------------------------
+
+TEST_F(PolicyTest, HistogramFallsBackWithoutHistory)
+{
+    HistogramConfig config;
+    Node node(catalog,
+              std::make_unique<HistogramPolicy>(config));
+    node.invokeNow(fid("MD-Py"));
+    // No IAT samples yet: fallback window applies, container alive
+    // just before it and dead just after.
+    node.advanceTo(9 * kMinute);
+    EXPECT_EQ(node.pool().liveCount(), 1u);
+    node.advanceTo(12 * kMinute);
+    EXPECT_EQ(node.pool().liveCount(), 0u);
+}
+
+TEST_F(PolicyTest, HistogramLearnsTailWindow)
+{
+    auto policyOwner = std::make_unique<HistogramPolicy>();
+    HistogramPolicy* policy = policyOwner.get();
+    Node node(catalog, std::move(policyOwner));
+    // Arrivals every 20 minutes: the learned keep-alive tail must
+    // eventually cover a 20-minute gap that the 10-minute fallback
+    // would miss.
+    std::vector<trace::Arrival> arrivals;
+    for (int i = 0; i < 12; ++i)
+        arrivals.push_back({i * 20 * kMinute, fid("DG-Java")});
+    node.run(arrivals);
+    const auto* hist = policy->histogramFor(fid("DG-Java"));
+    ASSERT_NE(hist, nullptr);
+    EXPECT_EQ(hist->count(), 11u);
+    // Later arrivals must stop cold-starting.
+    const auto& records = node.metrics().records();
+    EXPECT_EQ(records.front().type, StartupType::Cold);
+    EXPECT_NE(records.back().type, StartupType::Cold);
+}
+
+TEST_F(PolicyTest, HistogramReleasesEarlyWhenHeadIsWide)
+{
+    // With a stable 20-minute IAT the head window is wide: after the
+    // short released keep-alive the container must be gone, and the
+    // scheduled pre-warm must re-create one before the next arrival.
+    Node node(catalog, std::make_unique<HistogramPolicy>());
+    std::vector<trace::Arrival> arrivals;
+    for (int i = 0; i < 8; ++i)
+        arrivals.push_back({i * 20 * kMinute, fid("DG-Java")});
+    node.run(arrivals);
+    const auto& records = node.metrics().records();
+    // Once learned, arrivals are served warm (User via pre-warm or
+    // Load via kept container), not cold.
+    std::size_t warmTail = 0;
+    for (std::size_t i = 5; i < records.size(); ++i) {
+        if (records[i].type != StartupType::Cold)
+            ++warmTail;
+    }
+    EXPECT_GE(warmTail, 2u);
+}
+
+// ---- FaaSCache ---------------------------------------------------------
+
+TEST_F(PolicyTest, FaasCacheNeverTimesOut)
+{
+    Node node(catalog, std::make_unique<FaasCachePolicy>());
+    node.invokeNow(fid("MD-Py"));
+    node.advanceTo(4 * 60 * kMinute); // four hours
+    EXPECT_EQ(node.pool().liveCount(), 1u);
+    node.finalize();
+}
+
+TEST_F(PolicyTest, FaasCachePriorityOrdersEviction)
+{
+    auto policyOwner = std::make_unique<FaasCachePolicy>();
+    FaasCachePolicy* policy = policyOwner.get();
+    NodeConfig config;
+    config.pool.memoryBudgetMb = 600.0;
+    Node node(catalog, std::move(policyOwner), config);
+
+    // Make MD frequent (high priority) and FC rare (low priority).
+    for (int i = 0; i < 5; ++i)
+        node.run({{node.engine().now(), fid("MD-Py")}});
+    node.run({{node.engine().now() + kSecond, fid("FC-Py")}});
+    // (run() finalizes, so drive manually instead for the eviction.)
+    // Rebuild state: both idle now? finalize killed them. Re-invoke:
+    node.invokeNow(fid("MD-Py"));
+    node.invokeNow(fid("FC-Py"));
+    node.engine().run();
+
+    const auto idle = node.pool().idleContainers();
+    ASSERT_EQ(idle.size(), 2u);
+    auto ranked = policy->rankEvictionVictims(idle);
+    ASSERT_EQ(ranked.size(), 2u);
+    // The rare function's container must rank first (evicted first).
+    auto* first = node.pool().byId(ranked[0]);
+    ASSERT_NE(first, nullptr);
+    EXPECT_EQ(first->function(), fid("FC-Py"));
+    node.finalize();
+}
+
+TEST_F(PolicyTest, FaasCacheClockAdvancesOnRanking)
+{
+    auto policyOwner = std::make_unique<FaasCachePolicy>();
+    FaasCachePolicy* policy = policyOwner.get();
+    Node node(catalog, std::move(policyOwner));
+    node.invokeNow(fid("MD-Py"));
+    node.engine().run();
+    EXPECT_DOUBLE_EQ(policy->clock(), 0.0);
+    const auto idle = node.pool().idleContainers();
+    policy->rankEvictionVictims(idle);
+    EXPECT_GT(policy->clock(), 0.0);
+    node.finalize();
+}
+
+// ---- SEUSS -------------------------------------------------------------
+
+TEST_F(PolicyTest, SeussDowngradesThroughLayers)
+{
+    SeussConfig config;
+    config.userTtl = kMinute;
+    config.langTtl = 2 * kMinute;
+    config.bareTtl = 2 * kMinute;
+    Node node(catalog, std::make_unique<SeussPolicy>(config));
+    node.invokeNow(fid("MD-Py"));
+    node.engine().runUntil(30 * kSecond);
+    ASSERT_EQ(node.pool().idleContainers().size(), 1u);
+    EXPECT_EQ(node.pool().idleContainers()[0]->layer(), Layer::User);
+    node.advanceTo(2 * kMinute);
+    ASSERT_EQ(node.pool().idleContainers().size(), 1u);
+    EXPECT_EQ(node.pool().idleContainers()[0]->layer(), Layer::Lang);
+    node.advanceTo(4 * kMinute);
+    ASSERT_EQ(node.pool().idleContainers().size(), 1u);
+    EXPECT_EQ(node.pool().idleContainers()[0]->layer(), Layer::Bare);
+    node.advanceTo(7 * kMinute);
+    EXPECT_EQ(node.pool().liveCount(), 0u);
+}
+
+TEST_F(PolicyTest, SeussPartialStartPaysRestorePenalty)
+{
+    SeussConfig config;
+    config.userTtl = kSecond;
+    Node node(catalog, std::make_unique<SeussPolicy>(config));
+    node.run({{0, fid("MD-Py")}, {3 * kMinute, fid("FC-Py")}});
+    ASSERT_EQ(node.metrics().total(), 2u);
+    const auto& rec = node.metrics().records()[1];
+    EXPECT_EQ(rec.type, StartupType::Lang);
+    const auto& costs = catalog.at(fid("FC-Py")).costs();
+    const sim::Tick plain =
+        costs.langToUser + costs.userInit + costs.userToRun;
+    EXPECT_GT(rec.startupLatency, plain); // restore penalty applied
+}
+
+TEST_F(PolicyTest, SeussValidatesConfig)
+{
+    SeussConfig bad;
+    bad.userTtl = 0;
+    EXPECT_THROW(SeussPolicy{bad}, std::runtime_error);
+    SeussConfig speedup;
+    speedup.restoreFactor = 0.5;
+    EXPECT_THROW(SeussPolicy{speedup}, std::runtime_error);
+}
+
+// ---- Pagurus -----------------------------------------------------------
+
+TEST_F(PolicyTest, PagurusRepacksIntoZygote)
+{
+    PagurusConfig config;
+    config.privateTtl = kMinute;
+    config.zygoteTtl = 30 * kMinute;
+    Node node(catalog, std::make_unique<PagurusPolicy>(config));
+    node.invokeNow(fid("MD-Py"));
+    node.advanceTo(10 * kMinute);
+    // The container was re-packed, not killed: it is now an ownerless
+    // zygote packing same-language helpers.
+    ASSERT_EQ(node.pool().liveCount(), 1u);
+    const auto idle = node.pool().idleContainers();
+    ASSERT_EQ(idle.size(), 1u);
+    EXPECT_EQ(idle[0]->function(), workload::kInvalidFunction);
+    EXPECT_FALSE(idle[0]->packedFunctions().empty());
+    node.finalize();
+}
+
+TEST_F(PolicyTest, PagurusZygoteServesPackedFunction)
+{
+    PagurusConfig config;
+    config.privateTtl = kMinute;
+    config.zygoteTtl = 30 * kMinute;
+    Node node(catalog, std::make_unique<PagurusPolicy>(config));
+    // Invoke two python functions so both are known/recent, then let
+    // the MD container become a zygote and hit it with FC.
+    node.run({{0, fid("FC-Py")},
+              {kSecond, fid("MD-Py")},
+              {10 * kMinute, fid("FC-Py")}});
+    const auto& records = node.metrics().records();
+    ASSERT_EQ(records.size(), 3u);
+    // The last FC arrival claims a zygote: a warm (User) start with
+    // the specialize cost, far below a cold start.
+    EXPECT_EQ(records[2].type, StartupType::User);
+    EXPECT_LT(records[2].startupLatency,
+              catalog.at(fid("FC-Py")).coldStartLatency());
+    EXPECT_GT(records[2].startupLatency,
+              catalog.at(fid("FC-Py")).costs().userToRun);
+}
+
+TEST_F(PolicyTest, PagurusOwnerAlsoPaysSpecialize)
+{
+    PagurusConfig config;
+    config.privateTtl = kMinute;
+    config.zygoteTtl = 30 * kMinute;
+    Node node(catalog, std::make_unique<PagurusPolicy>(config));
+    node.run({{0, fid("MD-Py")},
+              {kSecond, fid("FC-Py")},
+              {10 * kMinute, fid("MD-Py")}});
+    const auto& rec = node.metrics().records()[2];
+    // The owner's code was wiped at re-packing: its return costs the
+    // specialize latency, not a pure warm dispatch.
+    EXPECT_EQ(rec.type, StartupType::User);
+    EXPECT_GT(rec.startupLatency,
+              catalog.at(fid("MD-Py")).costs().userToRun);
+}
+
+TEST_F(PolicyTest, PagurusHelpersAreSameLanguageAndRecent)
+{
+    auto policyOwner = std::make_unique<PagurusPolicy>();
+    PagurusPolicy* policy = policyOwner.get();
+    Node node(catalog, std::move(policyOwner));
+    node.invokeNow(fid("MD-Py"));
+    node.invokeNow(fid("FC-Py"));
+    node.invokeNow(fid("DG-Java"));
+    node.engine().run();
+    const auto helpers = policy->selectHelpers(fid("MD-Py"));
+    // Owner itself plus FC (recent python); never the java function,
+    // never functions that were never invoked.
+    ASSERT_GE(helpers.size(), 2u);
+    EXPECT_EQ(helpers[0], fid("MD-Py"));
+    for (const auto id : helpers) {
+        EXPECT_EQ(catalog.at(id).language(), workload::Language::Python);
+    }
+    EXPECT_EQ(std::count(helpers.begin(), helpers.end(), fid("DG-Java")),
+              0);
+    node.finalize();
+}
+
+TEST_F(PolicyTest, PagurusZygoteDiesAfterZygoteTtl)
+{
+    PagurusConfig config;
+    config.privateTtl = kMinute;
+    config.zygoteTtl = 2 * kMinute;
+    Node node(catalog, std::make_unique<PagurusPolicy>(config));
+    node.invokeNow(fid("MD-Py"));
+    node.invokeNow(fid("FC-Py"));
+    node.advanceTo(20 * kMinute);
+    EXPECT_EQ(node.pool().liveCount(), 0u);
+}
+
+TEST_F(PolicyTest, PagurusValidatesConfig)
+{
+    PagurusConfig bad;
+    bad.privateTtl = 0;
+    EXPECT_THROW(PagurusPolicy{bad}, std::runtime_error);
+    PagurusConfig badFraction;
+    badFraction.packedMemoryFraction = 1.5;
+    EXPECT_THROW(PagurusPolicy{badFraction}, std::runtime_error);
+}
+
+} // namespace
+} // namespace rc::policy

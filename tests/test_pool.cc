@@ -1,0 +1,264 @@
+/**
+ * @file
+ * Unit tests for the container pool: lookup preferences, memory
+ * budget enforcement, claims, and waste-log integration.
+ */
+
+#include <gtest/gtest.h>
+
+#include "platform/pool.hh"
+#include "workload/catalog.hh"
+
+namespace rc::platform {
+namespace {
+
+using container::Container;
+using container::State;
+using workload::Layer;
+using rc::sim::kSecond;
+
+class PoolTest : public ::testing::Test
+{
+  protected:
+    PoolTest() : catalog(workload::Catalog::standard20())
+    {
+        PoolConfig config;
+        config.memoryBudgetMb = 2048.0;
+        pool = std::make_unique<ContainerPool>(engine, config);
+    }
+
+    const workload::FunctionProfile&
+    profile(const char* name) const
+    {
+        return catalog.at(*catalog.findByShortName(name));
+    }
+
+    Container&
+    makeIdle(const char* name, Layer layer = Layer::User,
+             bool claimed = false)
+    {
+        Container* c = pool->create(profile(name), layer, claimed);
+        EXPECT_NE(c, nullptr);
+        pool->finishInit(*c);
+        return *c;
+    }
+
+    workload::Catalog catalog;
+    sim::Engine engine;
+    std::unique_ptr<ContainerPool> pool;
+};
+
+TEST_F(PoolTest, RejectsNonPositiveBudget)
+{
+    PoolConfig config;
+    config.memoryBudgetMb = 0.0;
+    EXPECT_THROW(ContainerPool(engine, config), std::runtime_error);
+}
+
+TEST_F(PoolTest, CreateReservesTargetMemory)
+{
+    const auto& p = profile("IR-Py");
+    Container* c = pool->create(p, Layer::User, false);
+    ASSERT_NE(c, nullptr);
+    EXPECT_DOUBLE_EQ(pool->usedMemoryMb(), p.memoryAtLayer(Layer::User));
+    EXPECT_EQ(pool->liveCount(), 1u);
+}
+
+TEST_F(PoolTest, CreateFailsWhenOverBudget)
+{
+    // Budget 2048 MB; IR-Py user layer is 412 MB. Five fitreasonably,
+    // the sixth would not if we shrink the budget first.
+    PoolConfig tiny;
+    tiny.memoryBudgetMb = 500.0;
+    ContainerPool small(engine, tiny);
+    EXPECT_NE(small.create(profile("IR-Py"), Layer::User, false), nullptr);
+    EXPECT_EQ(small.create(profile("IR-Py"), Layer::User, false), nullptr);
+    EXPECT_EQ(small.liveCount(), 1u);
+}
+
+TEST_F(PoolTest, FindIdleUserMatchesFunctionOnly)
+{
+    makeIdle("IR-Py");
+    makeIdle("MD-Py");
+    Container* hit = pool->findIdleUser(profile("IR-Py").id());
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->function(), profile("IR-Py").id());
+    EXPECT_EQ(pool->findIdleUser(profile("DG-Java").id()), nullptr);
+}
+
+TEST_F(PoolTest, FindIdleUserPrefersMostRecentlyIdled)
+{
+    Container& old = makeIdle("IR-Py");
+    engine.runUntil(10 * kSecond);
+    Container& fresh = makeIdle("IR-Py");
+    Container* hit = pool->findIdleUser(profile("IR-Py").id());
+    ASSERT_NE(hit, nullptr);
+    EXPECT_EQ(hit->id(), fresh.id());
+    (void)old;
+}
+
+TEST_F(PoolTest, FindIdleLangMatchesLanguage)
+{
+    makeIdle("IR-Py", Layer::Lang);
+    EXPECT_NE(pool->findIdleLang(workload::Language::Python), nullptr);
+    EXPECT_EQ(pool->findIdleLang(workload::Language::Java), nullptr);
+}
+
+TEST_F(PoolTest, FindIdleBare)
+{
+    EXPECT_EQ(pool->findIdleBare(), nullptr);
+    makeIdle("AC-Js", Layer::Bare);
+    EXPECT_NE(pool->findIdleBare(), nullptr);
+}
+
+TEST_F(PoolTest, BusyContainersAreInvisibleToLookups)
+{
+    Container& c = makeIdle("IR-Py");
+    pool->beginExecution(c);
+    EXPECT_EQ(pool->findIdleUser(profile("IR-Py").id()), nullptr);
+    EXPECT_TRUE(pool->idleContainers().empty());
+}
+
+TEST_F(PoolTest, ClaimsGateInFlightMatches)
+{
+    const auto f = profile("IR-Py").id();
+    Container* c = pool->create(profile("IR-Py"), Layer::User, false);
+    ASSERT_NE(c, nullptr);
+    EXPECT_EQ(pool->findUnclaimedInit(f), c);
+    EXPECT_TRUE(pool->userAvailable(f));
+    pool->claim(*c);
+    EXPECT_TRUE(pool->isClaimed(*c));
+    EXPECT_EQ(pool->findUnclaimedInit(f), nullptr);
+    EXPECT_FALSE(pool->userAvailable(f));
+    EXPECT_THROW(pool->claim(*c), std::logic_error); // double claim
+    pool->finishInit(*c);
+    EXPECT_FALSE(pool->isClaimed(*c)); // claims clear on completion
+}
+
+TEST_F(PoolTest, ClaimedCreateIsClaimedFromStart)
+{
+    Container* c =
+        pool->create(profile("IR-Py"), Layer::User, /*claimed=*/true);
+    ASSERT_NE(c, nullptr);
+    EXPECT_TRUE(pool->isClaimed(*c));
+    EXPECT_EQ(pool->findUnclaimedInit(profile("IR-Py").id()), nullptr);
+}
+
+TEST_F(PoolTest, UserAvailableSeesIdleUsers)
+{
+    const auto f = profile("IR-Py").id();
+    EXPECT_FALSE(pool->userAvailable(f));
+    makeIdle("IR-Py");
+    EXPECT_TRUE(pool->userAvailable(f));
+}
+
+TEST_F(PoolTest, BeginUpgradeAdjustsMemoryAndCancelsTimeout)
+{
+    Container& c = makeIdle("IR-Py", Layer::Lang);
+    const sim::EventId timeout = engine.schedule(kSecond, [] {});
+    c.setTimeoutEvent(timeout);
+    const double before = pool->usedMemoryMb();
+    ASSERT_TRUE(pool->beginUpgrade(c, profile("IR-Py"), Layer::User));
+    EXPECT_GT(pool->usedMemoryMb(), before);
+    EXPECT_FALSE(engine.pending(timeout));
+    EXPECT_EQ(c.timeoutEvent(), sim::kNoEvent);
+}
+
+TEST_F(PoolTest, BeginUpgradeFailsWithoutMemory)
+{
+    PoolConfig tiny;
+    tiny.memoryBudgetMb = 120.0;
+    ContainerPool small(engine, tiny);
+    Container* c = small.create(profile("IR-Py"), Layer::Lang, false);
+    ASSERT_NE(c, nullptr);
+    small.finishInit(*c);
+    // User layer needs 412 MB total; budget is 120.
+    EXPECT_FALSE(small.beginUpgrade(*c, profile("IR-Py"), Layer::User));
+    EXPECT_EQ(c->state(), State::Idle); // unchanged on failure
+}
+
+TEST_F(PoolTest, DowngradeReleasesMemory)
+{
+    Container& c = makeIdle("IR-Py");
+    const double atUser = pool->usedMemoryMb();
+    pool->downgrade(c);
+    EXPECT_LT(pool->usedMemoryMb(), atUser);
+    EXPECT_DOUBLE_EQ(pool->usedMemoryMb(),
+                     profile("IR-Py").memoryAtLayer(Layer::Lang));
+}
+
+TEST_F(PoolTest, KillReleasesEverythingAndLogsWaste)
+{
+    Container& c = makeIdle("IR-Py");
+    engine.runUntil(30 * kSecond);
+    pool->kill(c);
+    EXPECT_DOUBLE_EQ(pool->usedMemoryMb(), 0.0);
+    EXPECT_EQ(pool->liveCount(), 0u);
+    ASSERT_EQ(pool->wasteLog().size(), 1u);
+    const auto& interval = pool->wasteLog().intervals()[0];
+    EXPECT_FALSE(interval.eventuallyHit);
+    EXPECT_EQ(interval.end - interval.begin, 30 * kSecond);
+}
+
+TEST_F(PoolTest, ReuseClassifiesWasteAsHit)
+{
+    Container& c = makeIdle("IR-Py");
+    engine.runUntil(10 * kSecond);
+    pool->beginExecution(c);
+    ASSERT_EQ(pool->wasteLog().size(), 1u);
+    EXPECT_TRUE(pool->wasteLog().intervals()[0].eventuallyHit);
+}
+
+TEST_F(PoolTest, RepurposeSwapsOwnerWithinBudget)
+{
+    Container& c = makeIdle("IR-Py");
+    ASSERT_TRUE(pool->beginRepurpose(c, profile("MD-Py")));
+    EXPECT_EQ(c.state(), State::Initializing);
+    pool->finishInit(c);
+    EXPECT_EQ(c.function(), profile("MD-Py").id());
+}
+
+TEST_F(PoolTest, SetPackedChargesMemory)
+{
+    Container& c = makeIdle("IR-Py");
+    const double before = pool->usedMemoryMb();
+    ASSERT_TRUE(pool->setPacked(c, {1, 2, 3}, 100.0));
+    EXPECT_DOUBLE_EQ(pool->usedMemoryMb(), before + 100.0);
+    // Re-packing with less memory shrinks the charge.
+    ASSERT_TRUE(pool->setPacked(c, {1}, 40.0));
+    EXPECT_DOUBLE_EQ(pool->usedMemoryMb(), before + 40.0);
+}
+
+TEST_F(PoolTest, SetAuxiliaryMemoryBudgetChecked)
+{
+    PoolConfig tiny;
+    tiny.memoryBudgetMb = 450.0;
+    ContainerPool small(engine, tiny);
+    Container* c = small.create(profile("IR-Py"), Layer::User, false);
+    ASSERT_NE(c, nullptr);
+    small.finishInit(*c);
+    EXPECT_FALSE(small.setAuxiliaryMemory(*c, 100.0)); // 412+100 > 450
+    EXPECT_TRUE(small.setAuxiliaryMemory(*c, 30.0));
+}
+
+TEST_F(PoolTest, IdleForeignUsersExcludesOwnFunction)
+{
+    makeIdle("IR-Py");
+    makeIdle("MD-Py");
+    const auto foreign = pool->idleForeignUsers(profile("IR-Py").id());
+    ASSERT_EQ(foreign.size(), 1u);
+    EXPECT_EQ(foreign[0]->function(), profile("MD-Py").id());
+}
+
+TEST_F(PoolTest, ByIdReturnsNullForDead)
+{
+    Container& c = makeIdle("IR-Py");
+    const auto id = c.id();
+    EXPECT_EQ(pool->byId(id), &c);
+    pool->kill(c);
+    EXPECT_EQ(pool->byId(id), nullptr);
+    EXPECT_EQ(pool->byId(424242), nullptr);
+}
+
+} // namespace
+} // namespace rc::platform

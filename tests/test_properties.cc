@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Property-style tests (parameterized gtest sweeps) over the model's
+ * invariants: TTL monotonicity in p, beta monotonicity in alpha,
+ * waste bounded by the beta invariant, quantile/CDF duality across
+ * rates, trace-sampler accuracy across CV levels, and engine
+ * determinism across seeds.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/ablations.hh"
+#include "core/cost_model.hh"
+#include "core/poisson_model.hh"
+#include "core/rainbowcake_policy.hh"
+#include "exp/experiment.hh"
+#include "platform/node.hh"
+#include "trace/generator.hh"
+#include "trace/replay.hh"
+#include "trace/sampler.hh"
+#include "workload/catalog.hh"
+
+namespace rc {
+namespace {
+
+using rc::sim::kMinute;
+using rc::sim::kSecond;
+
+// ---- Quantile/CDF duality across rates and quantiles --------------------
+
+class QuantileDuality
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(QuantileDuality, CdfOfQuantileIsP)
+{
+    const auto [lambda, p] = GetParam();
+    const double iat = core::quantileIatSeconds(lambda, p);
+    EXPECT_NEAR(core::exponentialCdf(iat, lambda), p, 1e-9);
+    EXPECT_GT(iat, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rates, QuantileDuality,
+    ::testing::Combine(::testing::Values(0.001, 0.1, 1.0, 50.0),
+                       ::testing::Values(0.1, 0.5, 0.8, 0.99)));
+
+// ---- TTL monotonicity in the confidence quantile p ----------------------
+
+class TtlMonotonicity : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(TtlMonotonicity, HigherPGivesLongerOrEqualTtl)
+{
+    const double lambda = GetParam();
+    double previous = 0.0;
+    for (const double p : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+        const double iat = core::quantileIatSeconds(lambda, p);
+        EXPECT_GE(iat, previous);
+        previous = iat;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, TtlMonotonicity,
+                         ::testing::Values(0.01, 0.2, 1.0, 10.0));
+
+// ---- Beta monotonicity in alpha ------------------------------------------
+
+class BetaMonotonicity : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(BetaMonotonicity, HigherAlphaExtendsBeta)
+{
+    const double memoryMb = GetParam();
+    double previous = 0.0;
+    for (const double alpha : {0.990, 0.993, 0.996, 0.999}) {
+        core::CostModel model(core::CostConfig{alpha, 160.0});
+        const double beta =
+            sim::toSeconds(model.betaFromRaw(1.0, memoryMb));
+        EXPECT_GT(beta, previous);
+        previous = beta;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Footprints, BetaMonotonicity,
+                         ::testing::Values(50.0, 160.0, 400.0));
+
+// ---- The beta invariant: waste per idle period <= startup parity --------
+
+class BetaInvariant : public ::testing::TestWithParam<const char*>
+{
+};
+
+TEST_P(BetaInvariant, IdleWasteBoundedByParity)
+{
+    // Section 5.2: beta "constrain[s] a container's memory waste cost
+    // cannot exceed its startup cost". For every layer, beta * m
+    // converted through the exchange rate equals alpha/(1-alpha) * t.
+    const auto catalog = workload::Catalog::standard20();
+    const auto& p = catalog.at(*catalog.findByShortName(GetParam()));
+    core::CostModel model;
+    for (const auto layer :
+         {workload::Layer::Bare, workload::Layer::Lang,
+          workload::Layer::User}) {
+        const double betaSeconds = sim::toSeconds(model.beta(p, layer));
+        const double wasteUnits = betaSeconds *
+            p.memoryAtLayer(layer) / 160.0;
+        const double parity = model.alpha() / (1.0 - model.alpha()) *
+            sim::toSeconds(p.stageLatency(layer));
+        // Tolerance covers the tick (microsecond) truncation of beta.
+        EXPECT_NEAR(wasteUnits, parity, parity * 1e-6 + 0.01);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Functions, BetaInvariant,
+                         ::testing::Values("AC-Js", "IR-Py", "DG-Java",
+                                           "VP-Py", "MD-Py"));
+
+// ---- Sampler accuracy across CV levels -----------------------------------
+
+class SamplerAccuracy : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(SamplerAccuracy, RawIatCvHitsTarget)
+{
+    const double target = GetParam();
+    sim::Rng rng(31);
+    stats::Accumulator acc;
+    for (int i = 0; i < 200000; ++i)
+        acc.add(trace::sampleIatSeconds(1.0, target, rng));
+    EXPECT_NEAR(acc.mean(), 1.0, 0.05);
+    EXPECT_NEAR(acc.cv(), target, std::max(0.05, target * 0.1));
+}
+
+INSTANTIATE_TEST_SUITE_P(CvLevels, SamplerAccuracy,
+                         ::testing::Values(0.2, 0.4, 0.6, 0.8, 1.0, 2.0,
+                                           4.0));
+
+// ---- Compound rate additivity --------------------------------------------
+
+class CompoundAdditivity : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(CompoundAdditivity, LanguagePlusLanguageEqualsGlobal)
+{
+    const int arrivalsPerFunction = GetParam();
+    const auto catalog = workload::Catalog::standard20();
+    core::HistoryRecorder recorder(catalog, 6);
+    sim::Tick t = 0;
+    for (int i = 0; i < arrivalsPerFunction; ++i) {
+        for (const auto& p : catalog) {
+            t += kSecond;
+            recorder.recordArrival(p.id(), t);
+        }
+    }
+    const sim::Tick now = t + kMinute;
+    double byLanguage = 0.0;
+    byLanguage += recorder.languageRate(workload::Language::NodeJs, now);
+    byLanguage += recorder.languageRate(workload::Language::Python, now);
+    byLanguage += recorder.languageRate(workload::Language::Java, now);
+    EXPECT_NEAR(byLanguage, recorder.globalRate(now), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(WindowFill, CompoundAdditivity,
+                         ::testing::Values(1, 2, 6, 10));
+
+// ---- End-to-end engine determinism across seeds ---------------------------
+
+class SeedDeterminism : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SeedDeterminism, IdenticalSeedsIdenticalRuns)
+{
+    const std::uint64_t seed = GetParam();
+    const auto catalog = workload::Catalog::standard20();
+    trace::WorkloadTraceConfig config;
+    config.minutes = 60;
+    config.targetInvocations = 800;
+    config.seed = seed;
+    const auto set = trace::generateAzureLike(catalog, config);
+
+    auto runOnce = [&] {
+        return exp::runExperiment(
+            catalog, [&] { return core::makeRainbowCake(catalog); }, set);
+    };
+    const auto a = runOnce();
+    const auto b = runOnce();
+    EXPECT_DOUBLE_EQ(a.totalStartupSeconds, b.totalStartupSeconds);
+    EXPECT_DOUBLE_EQ(a.totalWasteMbSeconds, b.totalWasteMbSeconds);
+    EXPECT_EQ(a.metrics.total(), b.metrics.total());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedDeterminism,
+                         ::testing::Values(1u, 17u, 23u, 99u));
+
+// ---- Pool lookup preference order across functions ------------------------
+
+class LookupPreference : public ::testing::TestWithParam<const char*>
+{
+};
+
+TEST_P(LookupPreference, UserBeatsLangBeatsBareBeatsCold)
+{
+    // Whatever the function, the startup latency of the four paths
+    // must be strictly ordered (the premise behind the whole layered
+    // design).
+    const auto catalog = workload::Catalog::standard20();
+    const auto& p = catalog.at(*catalog.findByShortName(GetParam()));
+    using workload::Layer;
+    EXPECT_LT(p.startupLatencyFrom(Layer::User),
+              p.startupLatencyFrom(Layer::Lang));
+    EXPECT_LT(p.startupLatencyFrom(Layer::Lang),
+              p.startupLatencyFrom(Layer::Bare));
+    EXPECT_LT(p.startupLatencyFrom(Layer::Bare), p.coldStartLatency());
+}
+
+INSTANTIATE_TEST_SUITE_P(Functions, LookupPreference,
+                         ::testing::Values("AC-Js", "DH-Js", "UL-Js",
+                                           "IS-Js", "TN-Js", "OI-Js",
+                                           "DV-Py", "GB-Py", "GM-Py",
+                                           "GP-Py", "IR-Py", "SA-Py",
+                                           "FC-Py", "MD-Py", "VP-Py",
+                                           "DT-Java", "DL-Java",
+                                           "DQ-Java", "DS-Java",
+                                           "DG-Java"));
+
+// ---- Memory budget monotonicity -------------------------------------------
+
+class BudgetMonotonicity : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(BudgetMonotonicity, SmallerBudgetNeverReducesStartupCost)
+{
+    const double budgetGb = GetParam();
+    const auto catalog = workload::Catalog::standard20();
+    trace::WorkloadTraceConfig config;
+    config.minutes = 60;
+    config.targetInvocations = 1200;
+    config.seed = 5;
+    const auto set = trace::generateAzureLike(catalog, config);
+
+    platform::NodeConfig tight;
+    tight.pool.memoryBudgetMb = budgetGb * 1024.0;
+    platform::NodeConfig roomy;
+    roomy.pool.memoryBudgetMb = 240.0 * 1024.0;
+    auto factory = [&] { return core::makeRainbowCake(catalog); };
+    const auto constrained =
+        exp::runExperiment(catalog, factory, set, tight);
+    const auto unconstrained =
+        exp::runExperiment(catalog, factory, set, roomy);
+    EXPECT_GE(constrained.totalStartupSeconds + 1e-9,
+              unconstrained.totalStartupSeconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, BudgetMonotonicity,
+                         ::testing::Values(1.0, 2.0, 4.0, 8.0));
+
+} // namespace
+} // namespace rc

@@ -1,0 +1,294 @@
+/**
+ * @file
+ * Behavioural tests of the RainbowCake policy: Algorithm 1's
+ * event-driven pre-warming, Algorithm 2's layer-wise keep-alive,
+ * sharing-aware TTLs, the ablation variants, and the shared-pool
+ * saturation rule.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ablations.hh"
+#include "core/rainbowcake_policy.hh"
+#include "platform/node.hh"
+#include "trace/replay.hh"
+#include "workload/catalog.hh"
+
+namespace rc::core {
+namespace {
+
+using platform::Node;
+using platform::NodeConfig;
+using platform::StartupType;
+using workload::Layer;
+using rc::sim::kMinute;
+using rc::sim::kSecond;
+
+class RainbowCakeTest : public ::testing::Test
+{
+  protected:
+    RainbowCakeTest() : catalog(workload::Catalog::standard20()) {}
+
+    workload::FunctionId
+    fid(const char* name) const
+    {
+        return *catalog.findByShortName(name);
+    }
+
+    /** Node owning a RainbowCake policy; keeps a borrowed pointer. */
+    void
+    makeNode(RainbowCakeConfig config = {})
+    {
+        auto policy = std::make_unique<RainbowCakePolicy>(catalog, config);
+        policyPtr = policy.get();
+        node = std::make_unique<Node>(catalog, std::move(policy));
+    }
+
+    workload::Catalog catalog;
+    std::unique_ptr<Node> node;
+    RainbowCakePolicy* policyPtr = nullptr;
+};
+
+TEST_F(RainbowCakeTest, RejectsBadQuantile)
+{
+    RainbowCakeConfig config;
+    config.quantile = 1.0;
+    EXPECT_THROW(RainbowCakePolicy(catalog, config), std::runtime_error);
+}
+
+TEST_F(RainbowCakeTest, ArrivalsFeedTheHistoryRecorder)
+{
+    makeNode();
+    node->invokeNow(fid("MD-Py"));
+    node->engine().run();
+    EXPECT_EQ(policyPtr->history().arrivals(fid("MD-Py")), 1u);
+    node->finalize();
+}
+
+TEST_F(RainbowCakeTest, UserTtlIsBetaWithoutHistory)
+{
+    makeNode();
+    node->invokeNow(fid("IR-Py")); // installs the platform view
+    node->engine().run();
+    // One arrival: no rate estimate yet, so the User TTL falls back
+    // to the upper bound beta(u).
+    const auto expected =
+        policyPtr->costModel().beta(catalog.at(fid("IR-Py")), Layer::User);
+    EXPECT_EQ(policyPtr->currentTtl(fid("IR-Py"), Layer::User), expected);
+    node->finalize();
+}
+
+TEST_F(RainbowCakeTest, UserTtlIsCappedByBeta)
+{
+    makeNode();
+    // Sparse arrivals: the predicted IAT far exceeds beta, so beta
+    // must cap the TTL (Eq. 7).
+    std::vector<trace::Arrival> arrivals;
+    for (int i = 0; i < 8; ++i)
+        arrivals.push_back({i * 30 * kMinute, fid("MD-Py")});
+    node->run(arrivals);
+    const auto beta =
+        policyPtr->costModel().beta(catalog.at(fid("MD-Py")), Layer::User);
+    EXPECT_EQ(policyPtr->currentTtl(fid("MD-Py"), Layer::User), beta);
+}
+
+TEST_F(RainbowCakeTest, UserTtlFollowsIatForHotFunctions)
+{
+    makeNode();
+    // Dense arrivals: 1.61/lambda is far below beta, so the IAT term
+    // binds and the TTL shrinks to seconds. Query right after the
+    // last arrival (the rate estimate decays as time passes).
+    for (int i = 0; i < 20; ++i) {
+        node->advanceTo(i * 2 * kSecond);
+        node->invokeNow(fid("IR-Py"));
+    }
+    node->advanceTo(40 * kSecond);
+    const auto ttl = policyPtr->currentTtl(fid("IR-Py"), Layer::User);
+    const auto beta =
+        policyPtr->costModel().beta(catalog.at(fid("IR-Py")), Layer::User);
+    EXPECT_LT(ttl, beta);
+    EXPECT_LT(ttl, kMinute);
+}
+
+TEST_F(RainbowCakeTest, IdleUserDowngradesThenDies)
+{
+    makeNode();
+    node->invokeNow(fid("MD-Py"));
+    node->engine().run(); // runs the whole keep-alive chain dry
+    // After User beta, Lang beta, and Bare beta all expire, nothing
+    // survives — the Fig. 5 lifecycle completed.
+    EXPECT_EQ(node->pool().liveCount(), 0u);
+    node->finalize();
+}
+
+TEST_F(RainbowCakeTest, DowngradeChainPassesThroughLangAndBare)
+{
+    makeNode();
+    node->invokeNow(fid("MD-Py"));
+    // Step until the container reaches the Lang layer.
+    bool sawLang = false, sawBare = false;
+    while (node->engine().step()) {
+        for (const auto* c : node->pool().idleContainers()) {
+            sawLang |= (c->layer() == Layer::Lang);
+            sawBare |= (c->layer() == Layer::Bare);
+        }
+    }
+    EXPECT_TRUE(sawLang);
+    EXPECT_TRUE(sawBare);
+    node->finalize();
+}
+
+TEST_F(RainbowCakeTest, PrewarmCoversPredictableSparseFunction)
+{
+    makeNode();
+    // Regular 15-minute arrivals of a heavy function: after the
+    // recorder warms up, arrivals must be served warm (User/Load),
+    // not cold — the Algorithm 1 + Algorithm 2 interplay.
+    std::vector<trace::Arrival> arrivals;
+    for (int i = 0; i < 12; ++i)
+        arrivals.push_back({i * 15 * kMinute, fid("DS-Java")});
+    node->run(arrivals);
+    const auto& m = node->metrics();
+    EXPECT_EQ(m.total(), 12u);
+    // At most the first couple of arrivals may cold-start.
+    EXPECT_LE(m.countOf(StartupType::Cold), 3u);
+    EXPECT_GE(m.countOf(StartupType::User) + m.countOf(StartupType::Load),
+              6u);
+}
+
+TEST_F(RainbowCakeTest, LangContainerServesSameLanguageFunction)
+{
+    makeNode();
+    // Drive MD-Py until its User window expires, leaving a Lang
+    // container, then invoke another python function.
+    node->invokeNow(fid("MD-Py"));
+    node->advanceTo(4 * kMinute);
+    // The MD container has downgraded to Lang by now (its User beta
+    // is ~75 s) but the python Lang window is still open.
+    node->invokeNow(fid("GB-Py"));
+    node->engine().run();
+    node->finalize();
+    const auto& records = node->metrics().records();
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[1].type, StartupType::Lang);
+}
+
+TEST_F(RainbowCakeTest, SharedPoolSaturationKillsInsteadOfDowngrading)
+{
+    RainbowCakeConfig config;
+    config.maxIdleSharedPerGroup = 1;
+    makeNode(config);
+    // Three python containers going idle in parallel: only one may
+    // survive as an idle Lang container.
+    node->invokeNow(fid("MD-Py"));
+    node->invokeNow(fid("FC-Py"));
+    node->invokeNow(fid("GB-Py"));
+    node->engine().run();
+    std::size_t maxIdleLang = 0;
+    // Re-run with stepping to observe intermediate pool states.
+    makeNode(config);
+    node->invokeNow(fid("MD-Py"));
+    node->invokeNow(fid("FC-Py"));
+    node->invokeNow(fid("GB-Py"));
+    while (node->engine().step()) {
+        std::size_t idleLang = 0;
+        for (const auto* c : node->pool().idleContainers()) {
+            if (c->layer() == Layer::Lang)
+                ++idleLang;
+        }
+        maxIdleLang = std::max(maxIdleLang, idleLang);
+    }
+    EXPECT_LE(maxIdleLang, 1u);
+    node->finalize();
+}
+
+TEST_F(RainbowCakeTest, LayerTtlsComeFromSharedBetas)
+{
+    makeNode();
+    node->invokeNow(fid("MD-Py"));
+    node->engine().run();
+    // Shared-layer TTLs default to the cost-parity bound; Java lang
+    // runtimes are far more expensive to rebuild per MB than python
+    // ones, so their Lang windows must be longer.
+    const auto pyTtl = policyPtr->currentTtl(fid("MD-Py"), Layer::Lang);
+    const auto javaTtl = policyPtr->currentTtl(fid("DG-Java"), Layer::Lang);
+    EXPECT_GT(javaTtl, pyTtl);
+    EXPECT_GT(pyTtl, 0);
+    node->finalize();
+}
+
+// ---- Ablations ---------------------------------------------------------
+
+TEST_F(RainbowCakeTest, NoSharingVariantUsesFixedTtls)
+{
+    auto policy = makeRainbowCakeNoSharing(catalog);
+    EXPECT_EQ(policy->name(), "RainbowCake w/o sharing");
+    Node n(catalog, std::move(policy));
+    auto* p = dynamic_cast<RainbowCakePolicy*>(&n.policy());
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->currentTtl(fid("IR-Py"), Layer::User), 5 * kMinute);
+    EXPECT_EQ(p->currentTtl(fid("IR-Py"), Layer::Lang), 3 * kMinute);
+    EXPECT_EQ(p->currentTtl(fid("IR-Py"), Layer::Bare), 2 * kMinute);
+}
+
+TEST_F(RainbowCakeTest, NoLayersVariantKillsOnExpiry)
+{
+    auto policy = makeRainbowCakeNoLayers(catalog);
+    EXPECT_EQ(policy->name(), "RainbowCake w/o layers");
+    EXPECT_FALSE(policy->layerSharingEnabled());
+    Node n(catalog, std::move(policy));
+    n.invokeNow(fid("MD-Py"));
+    bool sawPartialLayer = false;
+    while (n.engine().step()) {
+        for (const auto* c : n.pool().idleContainers())
+            sawPartialLayer |= (c->layer() != Layer::User);
+    }
+    EXPECT_FALSE(sawPartialLayer);
+    EXPECT_EQ(n.pool().liveCount(), 0u);
+}
+
+TEST_F(RainbowCakeTest, FullVariantKeepsDefaultName)
+{
+    auto policy = makeRainbowCake(catalog);
+    EXPECT_EQ(policy->name(), "RainbowCake");
+    EXPECT_TRUE(policy->layerSharingEnabled());
+}
+
+TEST_F(RainbowCakeTest, LiteralEqSevenShortensSharedWindows)
+{
+    // With the literal Eq. 7 min(IAT, beta) on shared layers, a busy
+    // platform must give *shorter* Lang windows than the beta-only
+    // default.
+    RainbowCakeConfig literal;
+    literal.quantileBoundsSharedLayers = true;
+    makeNode(literal);
+    std::vector<trace::Arrival> arrivals;
+    for (int i = 0; i < 30; ++i)
+        arrivals.push_back({i * kSecond, fid("MD-Py")});
+    node->run(arrivals);
+    const auto literalTtl =
+        policyPtr->currentTtl(fid("MD-Py"), Layer::Lang);
+
+    makeNode(); // default config
+    node->run(arrivals);
+    const auto defaultTtl =
+        policyPtr->currentTtl(fid("MD-Py"), Layer::Lang);
+    EXPECT_LT(literalTtl, defaultTtl);
+}
+
+TEST_F(RainbowCakeTest, PrewarmCanBeDisabled)
+{
+    RainbowCakeConfig config;
+    config.prewarmEnabled = false;
+    makeNode(config);
+    std::vector<trace::Arrival> arrivals;
+    for (int i = 0; i < 10; ++i)
+        arrivals.push_back({i * 15 * kMinute, fid("DS-Java")});
+    node->run(arrivals);
+    // Without pre-warming, 15-minute gaps exceed DS-Java's beta and
+    // most arrivals degrade to partial or cold starts.
+    EXPECT_LE(node->metrics().countOf(StartupType::User), 2u);
+}
+
+} // namespace
+} // namespace rc::core

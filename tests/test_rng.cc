@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Unit tests for the seeded random source: determinism, distribution
+ * moments, and argument validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.hh"
+#include "stats/accumulator.hh"
+
+namespace rc::sim {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.uniform() == b.uniform())
+            ++equal;
+    }
+    EXPECT_LT(equal, 5);
+}
+
+TEST(Rng, UniformStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(5.0, 9.0);
+        EXPECT_GE(u, 5.0);
+        EXPECT_LT(u, 9.0);
+    }
+}
+
+TEST(Rng, UniformValidatesBounds)
+{
+    Rng rng(7);
+    EXPECT_THROW(rng.uniform(2.0, 1.0), std::invalid_argument);
+    EXPECT_DOUBLE_EQ(rng.uniform(3.0, 3.0), 3.0);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive)
+{
+    Rng rng(7);
+    bool sawLo = false, sawHi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.uniformInt(0, 9);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 9);
+        sawLo |= (v == 0);
+        sawHi |= (v == 9);
+    }
+    EXPECT_TRUE(sawLo);
+    EXPECT_TRUE(sawHi);
+    EXPECT_THROW(rng.uniformInt(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, BernoulliEdgeCases)
+{
+    Rng rng(7);
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+    EXPECT_FALSE(rng.bernoulli(-0.5));
+    EXPECT_TRUE(rng.bernoulli(1.5));
+}
+
+TEST(Rng, BernoulliMeanApproximatesP)
+{
+    Rng rng(7);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.bernoulli(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMeanIsOneOverLambda)
+{
+    Rng rng(7);
+    stats::Accumulator acc;
+    for (int i = 0; i < 50000; ++i)
+        acc.add(rng.exponential(0.5));
+    EXPECT_NEAR(acc.mean(), 2.0, 0.05);
+    EXPECT_THROW(rng.exponential(0.0), std::invalid_argument);
+    EXPECT_THROW(rng.exponential(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, PoissonMeanMatches)
+{
+    Rng rng(7);
+    stats::Accumulator acc;
+    for (int i = 0; i < 50000; ++i)
+        acc.add(static_cast<double>(rng.poisson(3.5)));
+    EXPECT_NEAR(acc.mean(), 3.5, 0.1);
+    EXPECT_EQ(rng.poisson(0.0), 0);
+    EXPECT_THROW(rng.poisson(-1.0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMomentsMatch)
+{
+    Rng rng(7);
+    stats::Accumulator acc;
+    for (int i = 0; i < 50000; ++i)
+        acc.add(rng.normal(10.0, 2.0));
+    EXPECT_NEAR(acc.mean(), 10.0, 0.1);
+    EXPECT_NEAR(acc.stddev(), 2.0, 0.1);
+    EXPECT_DOUBLE_EQ(rng.normal(5.0, 0.0), 5.0);
+    EXPECT_THROW(rng.normal(0.0, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, LognormalHitsTargetMeanAndCv)
+{
+    Rng rng(7);
+    stats::Accumulator acc;
+    for (int i = 0; i < 100000; ++i)
+        acc.add(rng.lognormalMeanCv(4.0, 0.5));
+    EXPECT_NEAR(acc.mean(), 4.0, 0.1);
+    EXPECT_NEAR(acc.cv(), 0.5, 0.05);
+}
+
+TEST(Rng, LognormalZeroCvIsDeterministic)
+{
+    Rng rng(7);
+    EXPECT_DOUBLE_EQ(rng.lognormalMeanCv(3.0, 0.0), 3.0);
+    EXPECT_THROW(rng.lognormalMeanCv(0.0, 1.0), std::invalid_argument);
+    EXPECT_THROW(rng.lognormalMeanCv(1.0, -1.0), std::invalid_argument);
+}
+
+TEST(Rng, ZipfPrefersLowRanks)
+{
+    Rng rng(7);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 20000; ++i)
+        ++counts[rng.zipf(10, 1.0)];
+    EXPECT_GT(counts[0], counts[4]);
+    EXPECT_GT(counts[4], counts[9]);
+    EXPECT_THROW(rng.zipf(0, 1.0), std::invalid_argument);
+}
+
+TEST(Rng, ZipfZeroSkewIsUniformish)
+{
+    Rng rng(7);
+    std::vector<int> counts(4, 0);
+    for (int i = 0; i < 40000; ++i)
+        ++counts[rng.zipf(4, 0.0)];
+    for (const int c : counts)
+        EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(Rng, ShuffleKeepsAllElements)
+{
+    Rng rng(7);
+    std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+    auto sorted = v;
+    rng.shuffle(v);
+    std::sort(v.begin(), v.end());
+    EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, ForkIsDeterministicPerIndex)
+{
+    const Rng base(99);
+    Rng a = base.fork(3);
+    Rng b = base.fork(3);
+    Rng c = base.fork(4);
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+    // Different stream indexes should diverge almost surely.
+    EXPECT_NE(a.uniform(), c.uniform());
+}
+
+} // namespace
+} // namespace rc::sim

@@ -1,0 +1,346 @@
+/**
+ * @file
+ * Unit tests for the statistics toolkit: accumulator, percentile,
+ * histogram, time series, interval log, and table rendering.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "stats/accumulator.hh"
+#include "stats/histogram.hh"
+#include "stats/interval_log.hh"
+#include "stats/percentile.hh"
+#include "stats/table.hh"
+#include "stats/time_series.hh"
+
+namespace rc::stats {
+namespace {
+
+using rc::sim::kMinute;
+using rc::sim::kSecond;
+
+// ---- Accumulator -------------------------------------------------------
+
+TEST(Accumulator, EmptyIsAllZero)
+{
+    Accumulator acc;
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 0.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 0.0);
+}
+
+TEST(Accumulator, BasicMoments)
+{
+    Accumulator acc;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        acc.add(x);
+    EXPECT_EQ(acc.count(), 8u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(acc.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(acc.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+    EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+    EXPECT_DOUBLE_EQ(acc.sum(), 40.0);
+}
+
+TEST(Accumulator, CvIsStddevOverMean)
+{
+    Accumulator acc;
+    acc.add(1.0);
+    acc.add(3.0);
+    EXPECT_DOUBLE_EQ(acc.cv(), acc.stddev() / 2.0);
+}
+
+TEST(Accumulator, MergeEqualsCombinedStream)
+{
+    Accumulator a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        const double x = 0.37 * i - 3.0;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(Accumulator, MergeWithEmptySides)
+{
+    Accumulator a, empty;
+    a.add(5.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    Accumulator c;
+    c.merge(a);
+    EXPECT_EQ(c.count(), 1u);
+    EXPECT_DOUBLE_EQ(c.mean(), 5.0);
+}
+
+TEST(Accumulator, ResetClearsEverything)
+{
+    Accumulator acc;
+    acc.add(1.0);
+    acc.reset();
+    EXPECT_EQ(acc.count(), 0u);
+    EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+}
+
+// ---- Percentile --------------------------------------------------------
+
+TEST(Percentile, EmptyQuantileIsZero)
+{
+    Percentile p;
+    EXPECT_DOUBLE_EQ(p.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(p.mean(), 0.0);
+}
+
+TEST(Percentile, ExactQuantilesOnKnownData)
+{
+    Percentile p;
+    for (int i = 1; i <= 100; ++i)
+        p.add(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(p.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(p.quantile(1.0), 100.0);
+    EXPECT_NEAR(p.median(), 50.5, 1e-9);
+    EXPECT_NEAR(p.p99(), 99.01, 0.1);
+    EXPECT_DOUBLE_EQ(p.mean(), 50.5);
+}
+
+TEST(Percentile, UnsortedInsertionOrderIsFine)
+{
+    Percentile p;
+    for (const double x : {9.0, 1.0, 5.0, 3.0, 7.0})
+        p.add(x);
+    EXPECT_DOUBLE_EQ(p.median(), 5.0);
+    // Adding after a quantile query must keep working.
+    p.add(0.0);
+    EXPECT_DOUBLE_EQ(p.quantile(0.0), 0.0);
+}
+
+TEST(Percentile, RejectsOutOfRangeQuantile)
+{
+    Percentile p;
+    p.add(1.0);
+    EXPECT_THROW(p.quantile(-0.1), std::invalid_argument);
+    EXPECT_THROW(p.quantile(1.1), std::invalid_argument);
+}
+
+TEST(Percentile, ResetClears)
+{
+    Percentile p;
+    p.add(4.0);
+    p.reset();
+    EXPECT_EQ(p.count(), 0u);
+}
+
+// ---- Histogram ---------------------------------------------------------
+
+TEST(Histogram, RejectsBadConstruction)
+{
+    EXPECT_THROW(Histogram(0.0, 10), std::invalid_argument);
+    EXPECT_THROW(Histogram(1.0, 0), std::invalid_argument);
+}
+
+TEST(Histogram, BucketsAndOutOfBounds)
+{
+    Histogram h(1.0, 4); // [0,1) [1,2) [2,3) [3,4)
+    h.add(0.5);
+    h.add(1.5);
+    h.add(1.7);
+    h.add(3.9);
+    h.add(10.0); // OOB
+    h.add(-2.0); // clamps into first bin
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_EQ(h.outOfBounds(), 1u);
+    EXPECT_EQ(h.binCountAt(0), 2u);
+    EXPECT_EQ(h.binCountAt(1), 2u);
+    EXPECT_EQ(h.binCountAt(2), 0u);
+    EXPECT_EQ(h.binCountAt(3), 1u);
+    EXPECT_NEAR(h.oobFraction(), 1.0 / 6.0, 1e-12);
+}
+
+TEST(Histogram, QuantileEdges)
+{
+    Histogram h(1.0, 10);
+    // 90 samples in bin 0, 10 samples in bin 5.
+    for (int i = 0; i < 90; ++i)
+        h.add(0.1);
+    for (int i = 0; i < 10; ++i)
+        h.add(5.5);
+    EXPECT_DOUBLE_EQ(h.quantileLowerEdge(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.quantileLowerEdge(0.95), 5.0);
+    EXPECT_DOUBLE_EQ(h.quantileUpperEdge(0.95), 6.0);
+}
+
+TEST(Histogram, QuantileOfEmptyIsUpperBound)
+{
+    Histogram h(2.0, 5);
+    EXPECT_DOUBLE_EQ(h.quantileLowerEdge(0.5), 10.0);
+}
+
+TEST(Histogram, ResetZeroesBuckets)
+{
+    Histogram h(1.0, 2);
+    h.add(0.5);
+    h.add(99.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.outOfBounds(), 0u);
+    EXPECT_EQ(h.binCountAt(0), 0u);
+}
+
+// ---- TimeSeries --------------------------------------------------------
+
+TEST(TimeSeries, AddLandsInMinuteBucket)
+{
+    TimeSeries ts;
+    ts.add(30 * kSecond, 2.0);
+    ts.add(59 * kSecond, 1.0);
+    ts.add(61 * kSecond, 5.0);
+    EXPECT_EQ(ts.buckets(), 2u);
+    EXPECT_DOUBLE_EQ(ts.at(0), 3.0);
+    EXPECT_DOUBLE_EQ(ts.at(1), 5.0);
+    EXPECT_DOUBLE_EQ(ts.at(7), 0.0);
+    EXPECT_DOUBLE_EQ(ts.total(), 8.0);
+}
+
+TEST(TimeSeries, RejectsNegativeTime)
+{
+    TimeSeries ts;
+    EXPECT_THROW(ts.add(-1, 1.0), std::invalid_argument);
+}
+
+TEST(TimeSeries, SpreadIsProportional)
+{
+    TimeSeries ts;
+    // 90 seconds spanning 1.5 minute buckets: 2/3 in bucket 0.
+    ts.addSpread(30 * kSecond, 2 * kMinute, 9.0);
+    EXPECT_DOUBLE_EQ(ts.at(0), 3.0); // 30s of 90s
+    EXPECT_DOUBLE_EQ(ts.at(1), 6.0); // 60s of 90s
+    EXPECT_NEAR(ts.total(), 9.0, 1e-9);
+}
+
+TEST(TimeSeries, SpreadDegenerateInterval)
+{
+    TimeSeries ts;
+    ts.addSpread(kMinute, kMinute, 4.0);
+    EXPECT_DOUBLE_EQ(ts.at(1), 4.0);
+    EXPECT_THROW(ts.addSpread(10, 5, 1.0), std::invalid_argument);
+}
+
+TEST(TimeSeries, CumulativeIsPrefixSum)
+{
+    TimeSeries ts;
+    ts.add(0, 1.0);
+    ts.add(kMinute, 2.0);
+    ts.add(2 * kMinute, 3.0);
+    const auto cum = ts.cumulative();
+    ASSERT_EQ(cum.size(), 3u);
+    EXPECT_DOUBLE_EQ(cum[0], 1.0);
+    EXPECT_DOUBLE_EQ(cum[1], 3.0);
+    EXPECT_DOUBLE_EQ(cum[2], 6.0);
+}
+
+// ---- IntervalLog -------------------------------------------------------
+
+TEST(IntervalLog, WasteArithmetic)
+{
+    IdleInterval interval;
+    interval.begin = 0;
+    interval.end = 10 * kSecond;
+    interval.memoryMb = 100.0;
+    EXPECT_DOUBLE_EQ(interval.wasteMbSeconds(), 1000.0);
+}
+
+TEST(IntervalLog, SplitsByClassification)
+{
+    IntervalLog log;
+    IdleInterval hit;
+    hit.begin = 0;
+    hit.end = kSecond;
+    hit.memoryMb = 10.0;
+    hit.eventuallyHit = true;
+    IdleInterval missed = hit;
+    missed.eventuallyHit = false;
+    missed.memoryMb = 30.0;
+    log.record(hit);
+    log.record(missed);
+    EXPECT_DOUBLE_EQ(log.totalWasteMbSeconds(), 40.0);
+    EXPECT_DOUBLE_EQ(log.hitWasteMbSeconds(), 10.0);
+    EXPECT_DOUBLE_EQ(log.neverHitWasteMbSeconds(), 30.0);
+    EXPECT_EQ(log.size(), 2u);
+}
+
+TEST(IntervalLog, RejectsBadIntervals)
+{
+    IntervalLog log;
+    IdleInterval bad;
+    bad.begin = 10;
+    bad.end = 5;
+    EXPECT_THROW(log.record(bad), std::invalid_argument);
+    bad.end = 20;
+    bad.memoryMb = -1.0;
+    EXPECT_THROW(log.record(bad), std::invalid_argument);
+}
+
+TEST(IntervalLog, TimelineSelectsClasses)
+{
+    IntervalLog log;
+    IdleInterval hit;
+    hit.begin = 0;
+    hit.end = kMinute;
+    hit.memoryMb = 60.0;
+    hit.eventuallyHit = true;
+    IdleInterval missed;
+    missed.begin = kMinute;
+    missed.end = 2 * kMinute;
+    missed.memoryMb = 120.0;
+    log.record(hit);
+    log.record(missed);
+
+    const auto all = log.timeline(IntervalLog::Select::All);
+    EXPECT_NEAR(all.total(),
+                log.totalWasteMbSeconds(), 1e-6);
+    const auto green = log.timeline(IntervalLog::Select::Hit);
+    EXPECT_NEAR(green.total(), log.hitWasteMbSeconds(), 1e-6);
+    const auto red = log.timeline(IntervalLog::Select::NeverHit);
+    EXPECT_NEAR(red.total(), log.neverHitWasteMbSeconds(), 1e-6);
+}
+
+// ---- Table -------------------------------------------------------------
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t("demo");
+    t.setHeader({"a", "long-column", "c"});
+    t.row().text("x").num(1.5, 1).integer(42);
+    const std::string out = t.toString();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("long-column"), std::string::npos);
+    EXPECT_NE(out.find("1.5"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+    EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, RowWidthMustMatchHeader)
+{
+    Table t;
+    t.setHeader({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, FormatNumberPrecision)
+{
+    EXPECT_EQ(formatNumber(3.14159, 2), "3.14");
+    EXPECT_EQ(formatNumber(2.0, 0), "2");
+}
+
+} // namespace
+} // namespace rc::stats

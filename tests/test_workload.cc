@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Unit tests for the workload model: profile cost arithmetic,
+ * catalog contents (Table 1), and invariant validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/catalog.hh"
+
+namespace rc::workload {
+namespace {
+
+StageCosts
+sampleCosts()
+{
+    StageCosts costs;
+    costs.bareInit = sim::fromMillis(100);
+    costs.langInit = sim::fromMillis(500);
+    costs.userInit = sim::fromMillis(300);
+    costs.bareToLang = sim::fromMillis(5);
+    costs.langToUser = sim::fromMillis(6);
+    costs.userToRun = sim::fromMillis(7);
+    costs.bareMemoryMb = 10.0;
+    costs.langMemoryMb = 80.0;
+    costs.userMemoryMb = 200.0;
+    return costs;
+}
+
+FunctionProfile
+sampleProfile()
+{
+    return FunctionProfile(0, "T-Py", "Test", Language::Python,
+                           Domain::WebApp, sampleCosts(),
+                           sim::fromMillis(1000), 0.3);
+}
+
+TEST(FunctionProfile, StartupLatencyFromEachLayer)
+{
+    const auto p = sampleProfile();
+    // From User: only the dispatch overhead.
+    EXPECT_EQ(p.startupLatencyFrom(Layer::User), sim::fromMillis(7));
+    // From Lang: L-U transition + user install + dispatch.
+    EXPECT_EQ(p.startupLatencyFrom(Layer::Lang),
+              sim::fromMillis(6 + 300 + 7));
+    // From Bare: adds B-L + lang install.
+    EXPECT_EQ(p.startupLatencyFrom(Layer::Bare),
+              sim::fromMillis(5 + 500 + 6 + 300 + 7));
+    // Cold: everything.
+    EXPECT_EQ(p.coldStartLatency(),
+              sim::fromMillis(100 + 5 + 500 + 6 + 300 + 7));
+}
+
+TEST(FunctionProfile, ColdStartDominatesPartials)
+{
+    const auto p = sampleProfile();
+    EXPECT_GT(p.coldStartLatency(), p.startupLatencyFrom(Layer::Bare));
+    EXPECT_GT(p.startupLatencyFrom(Layer::Bare),
+              p.startupLatencyFrom(Layer::Lang));
+    EXPECT_GT(p.startupLatencyFrom(Layer::Lang),
+              p.startupLatencyFrom(Layer::User));
+}
+
+TEST(FunctionProfile, MemoryPerLayerIsMonotone)
+{
+    const auto p = sampleProfile();
+    EXPECT_DOUBLE_EQ(p.memoryAtLayer(Layer::None), 0.0);
+    EXPECT_LT(p.memoryAtLayer(Layer::Bare), p.memoryAtLayer(Layer::Lang));
+    EXPECT_LT(p.memoryAtLayer(Layer::Lang), p.memoryAtLayer(Layer::User));
+}
+
+TEST(FunctionProfile, StageLatencyPicksSingleStage)
+{
+    const auto p = sampleProfile();
+    EXPECT_EQ(p.stageLatency(Layer::Bare), sim::fromMillis(100));
+    EXPECT_EQ(p.stageLatency(Layer::Lang), sim::fromMillis(500));
+    EXPECT_EQ(p.stageLatency(Layer::User), sim::fromMillis(300));
+    EXPECT_EQ(p.stageLatency(Layer::None), 0);
+}
+
+TEST(FunctionProfile, ExecutionSamplingRespectsMoments)
+{
+    const auto p = sampleProfile();
+    sim::Rng rng(5);
+    double total = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const auto e = p.sampleExecution(rng);
+        EXPECT_GT(e, 0);
+        total += sim::toSeconds(e);
+    }
+    EXPECT_NEAR(total / n, 1.0, 0.05);
+}
+
+TEST(FunctionProfile, ZeroCvExecutionIsDeterministic)
+{
+    auto costs = sampleCosts();
+    FunctionProfile p(0, "D", "D", Language::Java, Domain::DataAnalysis,
+                      costs, sim::fromMillis(700), 0.0);
+    sim::Rng rng(5);
+    EXPECT_EQ(p.sampleExecution(rng), sim::fromMillis(700));
+}
+
+TEST(FunctionProfile, ValidationRejectsNonsense)
+{
+    auto costs = sampleCosts();
+    costs.langMemoryMb = 5.0; // below bare memory
+    EXPECT_THROW(FunctionProfile(0, "X", "X", Language::Python,
+                                 Domain::WebApp, costs, 1000, 0.1),
+                 std::runtime_error);
+}
+
+TEST(LayerHelpers, AboveAndBelow)
+{
+    EXPECT_EQ(layerBelow(Layer::User), Layer::Lang);
+    EXPECT_EQ(layerBelow(Layer::Lang), Layer::Bare);
+    EXPECT_EQ(layerBelow(Layer::Bare), Layer::None);
+    EXPECT_EQ(layerBelow(Layer::None), Layer::None);
+    EXPECT_EQ(layerAbove(Layer::None), Layer::Bare);
+    EXPECT_EQ(layerAbove(Layer::Bare), Layer::Lang);
+    EXPECT_EQ(layerAbove(Layer::Lang), Layer::User);
+    EXPECT_EQ(layerAbove(Layer::User), Layer::User);
+}
+
+TEST(Types, NamesAreHuman)
+{
+    EXPECT_EQ(toString(Language::NodeJs), "Node.js");
+    EXPECT_EQ(toString(Language::Python), "Python");
+    EXPECT_EQ(toString(Language::Java), "Java");
+    EXPECT_EQ(toString(Layer::Bare), "Bare");
+    EXPECT_EQ(toString(Domain::MachineLearning), "Machine Learning");
+}
+
+// ---- Catalog -----------------------------------------------------------
+
+TEST(Catalog, Standard20MatchesTable1)
+{
+    const auto c = Catalog::standard20();
+    EXPECT_EQ(c.size(), 20u);
+    EXPECT_EQ(c.functionsOfLanguage(Language::NodeJs).size(), 6u);
+    EXPECT_EQ(c.functionsOfLanguage(Language::Python).size(), 9u);
+    EXPECT_EQ(c.functionsOfLanguage(Language::Java).size(), 5u);
+
+    // Spot-check named functions from Table 1.
+    ASSERT_TRUE(c.findByShortName("IR-Py").has_value());
+    ASSERT_TRUE(c.findByShortName("DG-Java").has_value());
+    ASSERT_TRUE(c.findByShortName("AC-Js").has_value());
+    EXPECT_FALSE(c.findByShortName("nope").has_value());
+
+    const auto& ir = c.at(*c.findByShortName("IR-Py"));
+    EXPECT_EQ(ir.language(), Language::Python);
+    EXPECT_EQ(ir.domain(), Domain::MachineLearning);
+    EXPECT_EQ(ir.fullName(), "Image Recognition");
+}
+
+TEST(Catalog, Standard20CostShapesMatchFig2)
+{
+    const auto c = Catalog::standard20();
+    // Java lang-runtime init dominates Python, which dominates Node.
+    double javaLang = 0, pyLang = 0, jsLang = 0;
+    int nJava = 0, nPy = 0, nJs = 0;
+    for (const auto& p : c) {
+        const double lang = sim::toMillis(p.stageLatency(Layer::Lang));
+        switch (p.language()) {
+          case Language::Java: javaLang += lang; ++nJava; break;
+          case Language::Python: pyLang += lang; ++nPy; break;
+          case Language::NodeJs: jsLang += lang; ++nJs; break;
+        }
+    }
+    EXPECT_GT(javaLang / nJava, 2.0 * pyLang / nPy);
+    EXPECT_GT(pyLang / nPy, jsLang / nJs);
+
+    for (const auto& p : c) {
+        // Transition overheads are <3% of cold-start (Fig. 14).
+        const double transitions = sim::toMillis(
+            p.costs().bareToLang + p.costs().langToUser +
+            p.costs().userToRun);
+        EXPECT_LT(transitions,
+                  0.03 * sim::toMillis(p.coldStartLatency()));
+        // Total cold-start latency in the realistic 0.5-10 s band.
+        EXPECT_GE(sim::toMillis(p.coldStartLatency()), 500.0);
+        EXPECT_LE(sim::toMillis(p.coldStartLatency()), 10000.0);
+        // Memory footprints within the Fig. 2(b) envelope.
+        EXPECT_GE(p.memoryAtLayer(Layer::Bare), 5.0);
+        EXPECT_LE(p.memoryAtLayer(Layer::User), 450.0);
+    }
+}
+
+TEST(Catalog, IdsAreDenseAndChecked)
+{
+    Catalog c;
+    auto costs = sampleCosts();
+    c.add(FunctionProfile(0, "A", "A", Language::Python, Domain::WebApp,
+                          costs, 1000, 0.1));
+    EXPECT_THROW(
+        c.add(FunctionProfile(5, "B", "B", Language::Python,
+                              Domain::WebApp, costs, 1000, 0.1)),
+        std::runtime_error);
+    EXPECT_THROW(c.at(99), std::out_of_range);
+}
+
+TEST(Catalog, SyntheticFleetIsValidAndDeterministic)
+{
+    const auto a = Catalog::syntheticFleet(150, 42);
+    const auto b = Catalog::syntheticFleet(150, 42);
+    EXPECT_EQ(a.size(), 150u);
+    for (const auto& p : a)
+        EXPECT_NO_THROW(p.validate());
+    // Deterministic per seed.
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.at(static_cast<FunctionId>(i)).coldStartLatency(),
+                  b.at(static_cast<FunctionId>(i)).coldStartLatency());
+    }
+    // Different seeds differ.
+    const auto c = Catalog::syntheticFleet(150, 43);
+    bool anyDifferent = false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        anyDifferent |=
+            a.at(static_cast<FunctionId>(i)).coldStartLatency() !=
+            c.at(static_cast<FunctionId>(i)).coldStartLatency();
+    }
+    EXPECT_TRUE(anyDifferent);
+    // All three languages appear in a fleet this large.
+    EXPECT_GT(a.functionsOfLanguage(Language::NodeJs).size(), 10u);
+    EXPECT_GT(a.functionsOfLanguage(Language::Python).size(), 10u);
+    EXPECT_GT(a.functionsOfLanguage(Language::Java).size(), 10u);
+}
+
+TEST(Catalog, SyntheticHasRequestedShape)
+{
+    const auto c = Catalog::synthetic(4);
+    EXPECT_EQ(c.size(), 12u);
+    EXPECT_EQ(c.functionsOfLanguage(Language::Java).size(), 4u);
+    for (const auto& p : c)
+        EXPECT_NO_THROW(p.validate());
+}
+
+} // namespace
+} // namespace rc::workload

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * rainbow_sim — command-line driver for the RainbowCake simulator.
+ *
+ * Runs one policy over one workload and prints the summary table,
+ * optional timelines, and optional per-function breakdowns. Typical
+ * uses:
+ *
+ *   rainbow_sim                                   # defaults
+ *   rainbow_sim --policy openwhisk --minutes 480
+ *   rainbow_sim --policy rainbowcake --checkpoint --budget-gb 64
+ *   rainbow_sim --cv 2.0                          # a Fig.12 trace
+ *   rainbow_sim --trace my_azure.csv --minutes 1440
+ *   rainbow_sim --all --timelines                 # all six baselines
+ */
+
+#include <cctype>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/ablations.hh"
+#include "core/checkpoint.hh"
+#include "exp/experiment.hh"
+#include "exp/csv.hh"
+#include "exp/report.hh"
+#include "exp/standard_traces.hh"
+#include "stats/table.hh"
+#include "trace/azure_io.hh"
+#include "trace/generator.hh"
+#include "trace/sampler.hh"
+#include "workload/catalog.hh"
+#include "workload/catalog_io.hh"
+
+namespace {
+
+using namespace rc;
+
+struct Options
+{
+    std::string policy = "rainbowcake";
+    bool all = false;
+    bool checkpoint = false;
+    bool timelines = false;
+    bool perFunction = false;
+    std::size_t minutes = 480;
+    std::uint64_t invocations = 0; // 0: scale with minutes
+    double budgetGb = 240.0;
+    std::uint64_t seed = 20240427;
+    double cv = -1.0;          // >= 0: use a CV-targeted trace
+    std::string traceFile;     // non-empty: load Azure CSV
+    std::string csvDir;        // non-empty: dump CSVs per policy
+    std::string catalogFile;   // non-empty: load a custom catalog CSV
+};
+
+[[noreturn]] void
+usage(int code)
+{
+    std::cout <<
+        "rainbow_sim [options]\n"
+        "  --policy NAME     openwhisk | histogram | faascache | seuss |\n"
+        "                    pagurus | rainbowcake | rc-nosharing |\n"
+        "                    rc-nolayers (default rainbowcake)\n"
+        "  --all             run all six baselines and compare\n"
+        "  --checkpoint      wrap the policy with checkpoint/restore\n"
+        "  --minutes N       trace horizon (default 480)\n"
+        "  --invocations N   target invocation count (default 16.7/min)\n"
+        "  --budget-gb G     node memory budget (default 240)\n"
+        "  --seed S          trace seed (default 20240427)\n"
+        "  --cv C            use a CV-targeted 1-hour trace instead\n"
+        "  --trace FILE      load an Azure-format CSV trace\n"
+        "  --catalog FILE    load a custom function-catalog CSV\n"
+        "  --timelines       print waste/latency timelines\n"
+        "  --csv-dir DIR     write per-policy CSV dumps into DIR\n"
+        "  --per-function    print per-function latency averages\n"
+        "  --help            this text\n";
+    std::exit(code);
+}
+
+Options
+parseArgs(int argc, char** argv)
+{
+    Options options;
+    auto need = [&](int& i) -> const char* {
+        if (i + 1 >= argc) {
+            std::cerr << "missing value for " << argv[i] << "\n";
+            usage(2);
+        }
+        return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--policy") {
+            options.policy = need(i);
+        } else if (arg == "--all") {
+            options.all = true;
+        } else if (arg == "--checkpoint") {
+            options.checkpoint = true;
+        } else if (arg == "--minutes") {
+            options.minutes = static_cast<std::size_t>(
+                std::stoul(need(i)));
+        } else if (arg == "--invocations") {
+            options.invocations = std::stoull(need(i));
+        } else if (arg == "--budget-gb") {
+            options.budgetGb = std::stod(need(i));
+        } else if (arg == "--seed") {
+            options.seed = std::stoull(need(i));
+        } else if (arg == "--cv") {
+            options.cv = std::stod(need(i));
+        } else if (arg == "--trace") {
+            options.traceFile = need(i);
+        } else if (arg == "--catalog") {
+            options.catalogFile = need(i);
+        } else if (arg == "--csv-dir") {
+            options.csvDir = need(i);
+        } else if (arg == "--timelines") {
+            options.timelines = true;
+        } else if (arg == "--per-function") {
+            options.perFunction = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else {
+            std::cerr << "unknown option " << arg << "\n";
+            usage(2);
+        }
+    }
+    return options;
+}
+
+exp::PolicyFactory
+makeFactory(const std::string& name, const workload::Catalog& catalog,
+            bool checkpoint)
+{
+    exp::PolicyFactory base;
+    for (const auto& policy : exp::standardBaselines(catalog)) {
+        std::string key = policy.label;
+        for (auto& c : key)
+            c = static_cast<char>(std::tolower(c));
+        if (key == name)
+            base = policy.make;
+    }
+    if (name == "rc-nosharing") {
+        base = [&catalog] { return core::makeRainbowCakeNoSharing(catalog); };
+    } else if (name == "rc-nolayers") {
+        base = [&catalog] { return core::makeRainbowCakeNoLayers(catalog); };
+    }
+    if (!base) {
+        std::cerr << "unknown policy '" << name << "'\n";
+        usage(2);
+    }
+    if (!checkpoint)
+        return base;
+    return [base] {
+        return std::make_unique<core::CheckpointPolicy>(base());
+    };
+}
+
+trace::TraceSet
+buildTrace(const Options& options, const workload::Catalog& catalog)
+{
+    if (!options.traceFile.empty()) {
+        std::ifstream in(options.traceFile);
+        if (!in) {
+            std::cerr << "cannot open " << options.traceFile << "\n";
+            std::exit(2);
+        }
+        return trace::loadAzureCsv(in, catalog, options.minutes);
+    }
+    if (options.cv >= 0.0) {
+        trace::CvSampleConfig config;
+        config.minutes = options.minutes;
+        config.invocations = options.invocations
+                                 ? options.invocations
+                                 : options.minutes * 60;
+        config.targetCv = options.cv;
+        config.seed = options.seed;
+        return trace::sampleWithTargetCv(catalog, config);
+    }
+    trace::WorkloadTraceConfig config;
+    config.minutes = options.minutes;
+    config.targetInvocations =
+        options.invocations ? options.invocations
+                            : options.minutes * 50 / 3;
+    config.seed = options.seed;
+    return trace::generateAzureLike(catalog, config);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const Options options = parseArgs(argc, argv);
+    workload::Catalog catalog = workload::Catalog::standard20();
+    if (!options.catalogFile.empty()) {
+        std::ifstream in(options.catalogFile);
+        if (!in) {
+            std::cerr << "cannot open " << options.catalogFile << "\n";
+            return 2;
+        }
+        catalog = workload::loadCatalogCsv(in);
+        std::cout << "loaded custom catalog: " << catalog.size()
+                  << " functions\n";
+    }
+    const auto traceSet = buildTrace(options, catalog);
+
+    std::cout << "workload: " << traceSet.totalInvocations()
+              << " invocations / " << traceSet.durationMinutes()
+              << " min; node budget " << options.budgetGb << " GB\n\n";
+
+    platform::NodeConfig nodeConfig;
+    nodeConfig.pool.memoryBudgetMb = options.budgetGb * 1024.0;
+
+    std::vector<exp::RunResult> results;
+    if (options.all) {
+        for (const auto& policy : exp::standardBaselines(catalog)) {
+            auto factory = options.checkpoint
+                ? makeFactory([&] {
+                      std::string key = policy.label;
+                      for (auto& c : key)
+                          c = static_cast<char>(std::tolower(c));
+                      return key;
+                  }(), catalog, true)
+                : policy.make;
+            results.push_back(exp::runExperiment(catalog, factory,
+                                                 traceSet, nodeConfig));
+        }
+    } else {
+        results.push_back(exp::runExperiment(
+            catalog,
+            makeFactory(options.policy, catalog, options.checkpoint),
+            traceSet, nodeConfig));
+    }
+
+    exp::printSummaryTable(std::cout, "rainbow_sim", results);
+
+    if (!options.csvDir.empty()) {
+        std::ofstream summary(options.csvDir + "/summary.csv");
+        exp::writeSummaryCsv(summary, results);
+        for (const auto& result : results) {
+            std::string slug = result.policyName;
+            for (auto& c : slug) {
+                if (!std::isalnum(static_cast<unsigned char>(c)))
+                    c = '_';
+            }
+            std::ofstream inv(options.csvDir + "/" + slug +
+                              "_invocations.csv");
+            exp::writeInvocationsCsv(inv, result.metrics);
+            std::ofstream waste(options.csvDir + "/" + slug +
+                                "_waste.csv");
+            exp::writeWasteCsv(waste, result.waste);
+        }
+        std::cout << "\nCSV dumps written to " << options.csvDir << "\n";
+    }
+
+    if (options.timelines) {
+        for (const auto& result : results) {
+            std::cout << "\n== " << result.policyName << " ==\n";
+            exp::printTimeline(std::cout, "memory waste (MB*s/min)",
+                               result.waste.timeline(), 24);
+            exp::printTimeline(std::cout, "cumulative E2E latency (s)",
+                               result.metrics.endToEndTimeline(), 24,
+                               /*cumulative=*/true);
+        }
+    }
+    if (options.perFunction) {
+        for (const auto& result : results) {
+            stats::Table table(result.policyName +
+                               ": per-function averages (s)");
+            table.setHeader({"Function", "MeanStartup", "MeanE2E",
+                             "Invocations"});
+            for (const auto& profile : catalog) {
+                const auto startup =
+                    result.metrics.startupByFunction(profile.id());
+                const auto e2e =
+                    result.metrics.endToEndByFunction(profile.id());
+                table.row()
+                    .text(profile.shortName())
+                    .num(startup.mean(), 3)
+                    .num(e2e.mean(), 3)
+                    .integer(static_cast<long long>(startup.count()));
+            }
+            std::cout << '\n';
+            table.print(std::cout);
+        }
+    }
+    return 0;
+}
