@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_types.dir/bench_fig10_types.cc.o"
+  "CMakeFiles/bench_fig10_types.dir/bench_fig10_types.cc.o.d"
+  "bench_fig10_types"
+  "bench_fig10_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

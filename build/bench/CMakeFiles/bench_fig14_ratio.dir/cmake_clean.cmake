@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_ratio.dir/bench_fig14_ratio.cc.o"
+  "CMakeFiles/bench_fig14_ratio.dir/bench_fig14_ratio.cc.o.d"
+  "bench_fig14_ratio"
+  "bench_fig14_ratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_ratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_invocations.dir/bench_fig7_invocations.cc.o"
+  "CMakeFiles/bench_fig7_invocations.dir/bench_fig7_invocations.cc.o.d"
+  "bench_fig7_invocations"
+  "bench_fig7_invocations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_invocations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_memwaste.dir/bench_fig8_memwaste.cc.o"
+  "CMakeFiles/bench_fig8_memwaste.dir/bench_fig8_memwaste.cc.o.d"
+  "bench_fig8_memwaste"
+  "bench_fig8_memwaste.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_memwaste.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_scale_fleet.dir/bench_scale_fleet.cc.o"
+  "CMakeFiles/bench_scale_fleet.dir/bench_scale_fleet.cc.o.d"
+  "bench_scale_fleet"
+  "bench_scale_fleet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_scale_fleet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

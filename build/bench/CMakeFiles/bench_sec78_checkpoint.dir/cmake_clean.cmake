@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec78_checkpoint.dir/bench_sec78_checkpoint.cc.o"
+  "CMakeFiles/bench_sec78_checkpoint.dir/bench_sec78_checkpoint.cc.o.d"
+  "bench_sec78_checkpoint"
+  "bench_sec78_checkpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec78_checkpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

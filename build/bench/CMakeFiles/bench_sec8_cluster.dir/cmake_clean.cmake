@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec8_cluster.dir/bench_sec8_cluster.cc.o"
+  "CMakeFiles/bench_sec8_cluster.dir/bench_sec8_cluster.cc.o.d"
+  "bench_sec8_cluster"
+  "bench_sec8_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec8_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

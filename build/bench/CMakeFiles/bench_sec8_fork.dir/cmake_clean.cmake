@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec8_fork.dir/bench_sec8_fork.cc.o"
+  "CMakeFiles/bench_sec8_fork.dir/bench_sec8_fork.cc.o.d"
+  "bench_sec8_fork"
+  "bench_sec8_fork.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec8_fork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

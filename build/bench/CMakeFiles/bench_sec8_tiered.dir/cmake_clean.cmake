@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec8_tiered.dir/bench_sec8_tiered.cc.o"
+  "CMakeFiles/bench_sec8_tiered.dir/bench_sec8_tiered.cc.o.d"
+  "bench_sec8_tiered"
+  "bench_sec8_tiered.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec8_tiered.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/burst_stress.dir/burst_stress.cpp.o"
+  "CMakeFiles/burst_stress.dir/burst_stress.cpp.o.d"
+  "burst_stress"
+  "burst_stress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/burst_stress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for burst_stress.
+# This may be replaced when dependencies are built.

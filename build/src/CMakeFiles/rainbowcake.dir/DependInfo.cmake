@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cc" "src/CMakeFiles/rainbowcake.dir/cluster/cluster.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/cluster/cluster.cc.o.d"
+  "/root/repo/src/cluster/scheduler.cc" "src/CMakeFiles/rainbowcake.dir/cluster/scheduler.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/cluster/scheduler.cc.o.d"
+  "/root/repo/src/container/container.cc" "src/CMakeFiles/rainbowcake.dir/container/container.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/container/container.cc.o.d"
+  "/root/repo/src/core/ablations.cc" "src/CMakeFiles/rainbowcake.dir/core/ablations.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/core/ablations.cc.o.d"
+  "/root/repo/src/core/checkpoint.cc" "src/CMakeFiles/rainbowcake.dir/core/checkpoint.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/core/checkpoint.cc.o.d"
+  "/root/repo/src/core/cost_model.cc" "src/CMakeFiles/rainbowcake.dir/core/cost_model.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/core/cost_model.cc.o.d"
+  "/root/repo/src/core/history_recorder.cc" "src/CMakeFiles/rainbowcake.dir/core/history_recorder.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/core/history_recorder.cc.o.d"
+  "/root/repo/src/core/poisson_model.cc" "src/CMakeFiles/rainbowcake.dir/core/poisson_model.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/core/poisson_model.cc.o.d"
+  "/root/repo/src/core/rainbowcake_policy.cc" "src/CMakeFiles/rainbowcake.dir/core/rainbowcake_policy.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/core/rainbowcake_policy.cc.o.d"
+  "/root/repo/src/core/sliding_window.cc" "src/CMakeFiles/rainbowcake.dir/core/sliding_window.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/core/sliding_window.cc.o.d"
+  "/root/repo/src/core/tiered.cc" "src/CMakeFiles/rainbowcake.dir/core/tiered.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/core/tiered.cc.o.d"
+  "/root/repo/src/exp/csv.cc" "src/CMakeFiles/rainbowcake.dir/exp/csv.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/exp/csv.cc.o.d"
+  "/root/repo/src/exp/experiment.cc" "src/CMakeFiles/rainbowcake.dir/exp/experiment.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/exp/experiment.cc.o.d"
+  "/root/repo/src/exp/report.cc" "src/CMakeFiles/rainbowcake.dir/exp/report.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/exp/report.cc.o.d"
+  "/root/repo/src/exp/standard_traces.cc" "src/CMakeFiles/rainbowcake.dir/exp/standard_traces.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/exp/standard_traces.cc.o.d"
+  "/root/repo/src/platform/invoker.cc" "src/CMakeFiles/rainbowcake.dir/platform/invoker.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/platform/invoker.cc.o.d"
+  "/root/repo/src/platform/metrics.cc" "src/CMakeFiles/rainbowcake.dir/platform/metrics.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/platform/metrics.cc.o.d"
+  "/root/repo/src/platform/node.cc" "src/CMakeFiles/rainbowcake.dir/platform/node.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/platform/node.cc.o.d"
+  "/root/repo/src/platform/pool.cc" "src/CMakeFiles/rainbowcake.dir/platform/pool.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/platform/pool.cc.o.d"
+  "/root/repo/src/policy/faascache.cc" "src/CMakeFiles/rainbowcake.dir/policy/faascache.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/policy/faascache.cc.o.d"
+  "/root/repo/src/policy/histogram_policy.cc" "src/CMakeFiles/rainbowcake.dir/policy/histogram_policy.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/policy/histogram_policy.cc.o.d"
+  "/root/repo/src/policy/openwhisk_fixed.cc" "src/CMakeFiles/rainbowcake.dir/policy/openwhisk_fixed.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/policy/openwhisk_fixed.cc.o.d"
+  "/root/repo/src/policy/pagurus.cc" "src/CMakeFiles/rainbowcake.dir/policy/pagurus.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/policy/pagurus.cc.o.d"
+  "/root/repo/src/policy/policy.cc" "src/CMakeFiles/rainbowcake.dir/policy/policy.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/policy/policy.cc.o.d"
+  "/root/repo/src/policy/seuss.cc" "src/CMakeFiles/rainbowcake.dir/policy/seuss.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/policy/seuss.cc.o.d"
+  "/root/repo/src/sim/engine.cc" "src/CMakeFiles/rainbowcake.dir/sim/engine.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/sim/engine.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/rainbowcake.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/rng.cc" "src/CMakeFiles/rainbowcake.dir/sim/rng.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/sim/rng.cc.o.d"
+  "/root/repo/src/stats/accumulator.cc" "src/CMakeFiles/rainbowcake.dir/stats/accumulator.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/stats/accumulator.cc.o.d"
+  "/root/repo/src/stats/histogram.cc" "src/CMakeFiles/rainbowcake.dir/stats/histogram.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/stats/histogram.cc.o.d"
+  "/root/repo/src/stats/interval_log.cc" "src/CMakeFiles/rainbowcake.dir/stats/interval_log.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/stats/interval_log.cc.o.d"
+  "/root/repo/src/stats/percentile.cc" "src/CMakeFiles/rainbowcake.dir/stats/percentile.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/stats/percentile.cc.o.d"
+  "/root/repo/src/stats/table.cc" "src/CMakeFiles/rainbowcake.dir/stats/table.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/stats/table.cc.o.d"
+  "/root/repo/src/stats/time_series.cc" "src/CMakeFiles/rainbowcake.dir/stats/time_series.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/stats/time_series.cc.o.d"
+  "/root/repo/src/trace/azure_io.cc" "src/CMakeFiles/rainbowcake.dir/trace/azure_io.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/trace/azure_io.cc.o.d"
+  "/root/repo/src/trace/generator.cc" "src/CMakeFiles/rainbowcake.dir/trace/generator.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/trace/generator.cc.o.d"
+  "/root/repo/src/trace/replay.cc" "src/CMakeFiles/rainbowcake.dir/trace/replay.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/trace/replay.cc.o.d"
+  "/root/repo/src/trace/sampler.cc" "src/CMakeFiles/rainbowcake.dir/trace/sampler.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/trace/sampler.cc.o.d"
+  "/root/repo/src/trace/trace_set.cc" "src/CMakeFiles/rainbowcake.dir/trace/trace_set.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/trace/trace_set.cc.o.d"
+  "/root/repo/src/workload/catalog.cc" "src/CMakeFiles/rainbowcake.dir/workload/catalog.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/workload/catalog.cc.o.d"
+  "/root/repo/src/workload/catalog_io.cc" "src/CMakeFiles/rainbowcake.dir/workload/catalog_io.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/workload/catalog_io.cc.o.d"
+  "/root/repo/src/workload/function_profile.cc" "src/CMakeFiles/rainbowcake.dir/workload/function_profile.cc.o" "gcc" "src/CMakeFiles/rainbowcake.dir/workload/function_profile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

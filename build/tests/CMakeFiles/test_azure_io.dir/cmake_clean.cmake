@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_azure_io.dir/test_azure_io.cc.o"
+  "CMakeFiles/test_azure_io.dir/test_azure_io.cc.o.d"
+  "test_azure_io"
+  "test_azure_io.pdb"
+  "test_azure_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_azure_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

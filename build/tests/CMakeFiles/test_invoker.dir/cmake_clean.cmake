@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_invoker.dir/test_invoker.cc.o"
+  "CMakeFiles/test_invoker.dir/test_invoker.cc.o.d"
+  "test_invoker"
+  "test_invoker.pdb"
+  "test_invoker[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_invoker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rainbowcake.dir/test_rainbowcake.cc.o"
+  "CMakeFiles/test_rainbowcake.dir/test_rainbowcake.cc.o.d"
+  "test_rainbowcake"
+  "test_rainbowcake.pdb"
+  "test_rainbowcake[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rainbowcake.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
