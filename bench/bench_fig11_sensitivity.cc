@@ -12,25 +12,15 @@
 #include "core/ablations.hh"
 #include "core/cost_model.hh"
 #include "exp/experiment.hh"
+#include "exp/parallel_runner.hh"
 #include "exp/standard_traces.hh"
 #include "stats/table.hh"
+#include "trace/replay.hh"
 #include "workload/catalog.hh"
 
 namespace {
 
 using namespace rc;
-
-exp::RunResult
-runWith(const workload::Catalog& catalog, const trace::TraceSet& traceSet,
-        core::RainbowCakeConfig config)
-{
-    return exp::runExperiment(
-        catalog,
-        [&catalog, config] {
-            return core::makeRainbowCake(catalog, config);
-        },
-        traceSet);
-}
 
 void
 reportRow(stats::Table& table, const std::string& label,
@@ -57,45 +47,70 @@ int
 main()
 {
     const auto catalog = workload::Catalog::standard20();
-    const auto traceSet = exp::eightHourTrace(catalog);
+    const auto arrivals =
+        trace::expandArrivals(exp::eightHourTrace(catalog));
+
+    // Flatten all three parameter sweeps into one job list so the
+    // whole figure fans out across cores in a single pass.
+    struct Setting
+    {
+        std::string label;
+        core::RainbowCakeConfig config;
+    };
+    std::vector<Setting> settings;
+    std::size_t alphaCount = 0;
+    for (double alpha = 0.990; alpha < 0.9995; alpha += 0.001) {
+        core::RainbowCakeConfig config;
+        config.alpha = alpha;
+        settings.push_back({stats::formatNumber(alpha, 3), config});
+        ++alphaCount;
+    }
+    std::size_t pCount = 0;
+    for (double p = 0.1; p < 0.95; p += 0.1) {
+        core::RainbowCakeConfig config;
+        config.quantile = p;
+        settings.push_back({stats::formatNumber(p, 1), config});
+        ++pCount;
+    }
+    for (std::size_t n = 1; n <= 10; ++n) {
+        core::RainbowCakeConfig config;
+        config.windowSize = n;
+        settings.push_back({std::to_string(n), config});
+    }
+
+    std::vector<exp::NamedPolicy> policies;
+    for (const auto& setting : settings) {
+        const core::RainbowCakeConfig config = setting.config;
+        policies.push_back({setting.label, [&catalog, config] {
+            return core::makeRainbowCake(catalog, config);
+        }});
+    }
+    const auto results = exp::ParallelRunner().run(
+        exp::specsForPolicies(catalog, policies, arrivals));
 
     const std::vector<std::string> header{
         "Setting",       "Startup(s)",       "Waste(GBxs)",
         "a*C_startup(s)", "(1-a)*C_mem(MBxs)", "UnifiedCost"};
+    const auto sliceInto = [&](stats::Table& table, std::size_t begin,
+                               std::size_t end) {
+        table.setHeader(header);
+        for (std::size_t i = begin; i < end; ++i)
+            reportRow(table, settings[i].label, results[i],
+                      settings[i].config.alpha);
+    };
 
-    // (a) Cost knob alpha.
     stats::Table alphaTable("Fig. 11(a): sensitivity to cost knob alpha");
-    alphaTable.setHeader(header);
-    for (double alpha = 0.990; alpha < 0.9995; alpha += 0.001) {
-        core::RainbowCakeConfig config;
-        config.alpha = alpha;
-        reportRow(alphaTable, stats::formatNumber(alpha, 3),
-                  runWith(catalog, traceSet, config), alpha);
-    }
+    sliceInto(alphaTable, 0, alphaCount);
     alphaTable.print(std::cout);
     std::cout << '\n';
 
-    // (b) IAT quantile p.
     stats::Table pTable("Fig. 11(b): sensitivity to IAT quantile p");
-    pTable.setHeader(header);
-    for (double p = 0.1; p < 0.95; p += 0.1) {
-        core::RainbowCakeConfig config;
-        config.quantile = p;
-        reportRow(pTable, stats::formatNumber(p, 1),
-                  runWith(catalog, traceSet, config), config.alpha);
-    }
+    sliceInto(pTable, alphaCount, alphaCount + pCount);
     pTable.print(std::cout);
     std::cout << '\n';
 
-    // (c) Sliding-window size n.
     stats::Table nTable("Fig. 11(c): sensitivity to window size n");
-    nTable.setHeader(header);
-    for (std::size_t n = 1; n <= 10; ++n) {
-        core::RainbowCakeConfig config;
-        config.windowSize = n;
-        reportRow(nTable, std::to_string(n),
-                  runWith(catalog, traceSet, config), config.alpha);
-    }
+    sliceInto(nTable, alphaCount + pCount, settings.size());
     nTable.print(std::cout);
 
     std::cout << "\nPaper reference: minima at alpha=0.996, p=0.8, n=6.\n";

@@ -11,9 +11,11 @@
 #include <iostream>
 
 #include "exp/experiment.hh"
+#include "exp/parallel_runner.hh"
 #include "exp/report.hh"
 #include "exp/standard_traces.hh"
 #include "stats/table.hh"
+#include "trace/replay.hh"
 #include "workload/catalog.hh"
 
 int
@@ -22,12 +24,11 @@ main()
     using namespace rc;
 
     const auto catalog = workload::Catalog::standard20();
-    const auto traceSet = exp::eightHourTrace(catalog);
+    const auto arrivals =
+        trace::expandArrivals(exp::eightHourTrace(catalog));
 
-    std::vector<exp::RunResult> results;
-    for (const auto& policy : exp::standardBaselines(catalog))
-        results.push_back(
-            exp::runExperiment(catalog, policy.make, traceSet));
+    const auto results = exp::ParallelRunner().run(exp::specsForPolicies(
+        catalog, exp::standardBaselines(catalog), arrivals));
 
     stats::Table startup(
         "Fig. 6 (bottom): average startup latency per function (s)");

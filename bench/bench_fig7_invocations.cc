@@ -8,9 +8,11 @@
 #include <iostream>
 
 #include "exp/experiment.hh"
+#include "exp/parallel_runner.hh"
 #include "exp/report.hh"
 #include "exp/standard_traces.hh"
 #include "stats/table.hh"
+#include "trace/replay.hh"
 #include "workload/catalog.hh"
 
 int
@@ -19,7 +21,8 @@ main()
     using namespace rc;
 
     const auto catalog = workload::Catalog::standard20();
-    const auto traceSet = exp::eightHourTrace(catalog);
+    const auto arrivals =
+        trace::expandArrivals(exp::eightHourTrace(catalog));
 
     stats::Table table(
         "Fig. 7: per-invocation end-to-end latency, avg (solid) and "
@@ -27,11 +30,9 @@ main()
     table.setHeader({"Policy", "Invocations", "Mean", "P50", "P90",
                      "P99", "Max"});
 
-    std::vector<exp::RunResult> results;
-    for (const auto& policy : exp::standardBaselines(catalog)) {
-        results.push_back(
-            exp::runExperiment(catalog, policy.make, traceSet));
-        const auto& r = results.back();
+    const auto results = exp::ParallelRunner().run(exp::specsForPolicies(
+        catalog, exp::standardBaselines(catalog), arrivals));
+    for (const auto& r : results) {
         stats::Percentile p;
         for (const auto& rec : r.metrics.records())
             p.add(sim::toSeconds(rec.endToEnd));

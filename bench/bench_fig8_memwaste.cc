@@ -8,9 +8,11 @@
 #include <iostream>
 
 #include "exp/experiment.hh"
+#include "exp/parallel_runner.hh"
 #include "exp/report.hh"
 #include "exp/standard_traces.hh"
 #include "stats/table.hh"
+#include "trace/replay.hh"
 #include "workload/catalog.hh"
 
 int
@@ -19,17 +21,16 @@ main()
     using namespace rc;
 
     const auto catalog = workload::Catalog::standard20();
-    const auto traceSet = exp::eightHourTrace(catalog);
+    const auto arrivals =
+        trace::expandArrivals(exp::eightHourTrace(catalog));
 
     stats::Table table("Fig. 8: total memory waste per baseline (GB*s)");
     table.setHeader({"Policy", "Total", "EventuallyHit(green)",
                      "NeverHit(red)", "NeverHitShare"});
 
-    std::vector<exp::RunResult> results;
-    for (const auto& policy : exp::standardBaselines(catalog)) {
-        results.push_back(
-            exp::runExperiment(catalog, policy.make, traceSet));
-        const auto& r = results.back();
+    const auto results = exp::ParallelRunner().run(exp::specsForPolicies(
+        catalog, exp::standardBaselines(catalog), arrivals));
+    for (const auto& r : results) {
         const double total = r.totalWasteMbSeconds / 1024.0;
         const double hit = r.hitWasteMbSeconds / 1024.0;
         const double never = r.neverHitWasteMbSeconds / 1024.0;

@@ -10,9 +10,11 @@
 
 #include "core/ablations.hh"
 #include "exp/experiment.hh"
+#include "exp/parallel_runner.hh"
 #include "exp/report.hh"
 #include "exp/standard_traces.hh"
 #include "stats/table.hh"
+#include "trace/replay.hh"
 #include "workload/catalog.hh"
 
 int
@@ -21,7 +23,8 @@ main()
     using namespace rc;
 
     const auto catalog = workload::Catalog::standard20();
-    const auto traceSet = exp::eightHourTrace(catalog);
+    const auto arrivals =
+        trace::expandArrivals(exp::eightHourTrace(catalog));
 
     std::vector<exp::NamedPolicy> variants;
     variants.push_back({"RainbowCake", [&catalog] {
@@ -34,10 +37,8 @@ main()
         return core::makeRainbowCakeNoLayers(catalog);
     }});
 
-    std::vector<exp::RunResult> results;
-    for (const auto& variant : variants)
-        results.push_back(
-            exp::runExperiment(catalog, variant.make, traceSet));
+    const auto results = exp::ParallelRunner().run(
+        exp::specsForPolicies(catalog, variants, arrivals));
 
     stats::Table table("Fig. 9: ablation study (8-hour trace)");
     table.setHeader({"Variant", "TotalStartup(s)", "TotalWaste(GBxs)",

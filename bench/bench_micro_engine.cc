@@ -1,121 +1,315 @@
 /**
  * @file
- * Microbenchmarks of the simulator's hot paths: event scheduling and
- * dispatch, sliding-window rate estimation, the compound-rate query
- * of the History Recorder, and container-pool lookups. These back
- * the §3.1 "lightweight and high scalability" requirement: policy
- * decisions are constant-time and the engine sustains millions of
- * events per second.
+ * Engine hot-path benchmark suite with machine-readable output.
+ *
+ * Measures (a) raw event throughput of the indexed-heap engine,
+ * (b) schedule/cancel throughput under the keep-alive renewal
+ * pattern, (c) the same workloads on an in-file copy of the seed
+ * engine (`LegacyEngine`: std::priority_queue + unordered_map of
+ * std::function) so the speedup is computed in place, and (d)
+ * end-to-end sweep wall-clock through `rc::exp::ParallelRunner` at 1
+ * and N threads.
+ *
+ * Every measurement is appended to `BENCH_engine.json` with the
+ * schema `{bench, metric, value, unit, threads}` so the performance
+ * trajectory is tracked PR-over-PR.
+ *
+ * Flags:
+ *   --quick        smaller batches/repetitions (CI smoke run)
+ *   --out PATH     JSON output path (default BENCH_engine.json)
+ *   --threads N    thread count for the parallel sweep (default
+ *                  ParallelRunner::defaultThreadCount())
  */
 
-#include <benchmark/benchmark.h>
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <queue>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
-#include "core/history_recorder.hh"
-#include "core/sliding_window.hh"
-#include "platform/pool.hh"
+#include "exp/parallel_runner.hh"
+#include "exp/standard_traces.hh"
 #include "sim/engine.hh"
+#include "trace/replay.hh"
 #include "workload/catalog.hh"
 
 namespace {
 
 using namespace rc;
 
-void
-BM_EngineScheduleDispatch(benchmark::State& state)
+/**
+ * Faithful copy of the seed engine (PR 0): binary priority_queue of
+ * {when, seq, id} plus an unordered_map<EventId, std::function> with
+ * lazy tombstone skipping. Kept here, not in src/, purely as the
+ * measurement baseline for speedup_vs_legacy.
+ */
+class LegacyEngine
 {
-    const auto batch = static_cast<int>(state.range(0));
-    for (auto _ : state) {
-        sim::Engine engine;
-        long long sum = 0;
-        for (int i = 0; i < batch; ++i) {
-            engine.schedule((i * 37) % 1000,
-                            [&sum, i] { sum += i; });
+  public:
+    using Callback = std::function<void()>;
+
+    std::uint64_t
+    schedule(sim::Tick when, Callback cb)
+    {
+        const std::uint64_t id = _nextId++;
+        _queue.push(Entry{when, _nextSeq++, id});
+        _callbacks.emplace(id, std::move(cb));
+        return id;
+    }
+
+    bool cancel(std::uint64_t id) { return _callbacks.erase(id) > 0; }
+
+    void
+    run()
+    {
+        while (!_queue.empty()) {
+            const Entry entry = _queue.top();
+            _queue.pop();
+            auto it = _callbacks.find(entry.id);
+            if (it == _callbacks.end())
+                continue;
+            _now = entry.when;
+            Callback cb = std::move(it->second);
+            _callbacks.erase(it);
+            ++_executed;
+            cb();
         }
-        engine.run();
-        benchmark::DoNotOptimize(sum);
     }
-    state.SetItemsProcessed(state.iterations() * batch);
+
+    std::uint64_t executedEvents() const { return _executed; }
+
+  private:
+    struct Entry
+    {
+        sim::Tick when;
+        std::uint64_t seq;
+        std::uint64_t id;
+
+        bool
+        operator>(const Entry& other) const
+        {
+            if (when != other.when)
+                return when > other.when;
+            return seq > other.seq;
+        }
+    };
+
+    sim::Tick _now = 0;
+    std::uint64_t _nextSeq = 0;
+    std::uint64_t _nextId = 1;
+    std::uint64_t _executed = 0;
+    std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>>
+        _queue;
+    std::unordered_map<std::uint64_t, Callback> _callbacks;
+};
+
+struct BenchRecord
+{
+    std::string bench;
+    std::string metric;
+    double value;
+    std::string unit;
+    std::size_t threads;
+};
+
+double
+secondsOf(const std::function<void()>& fn)
+{
+    using Clock = std::chrono::steady_clock;
+    const auto start = Clock::now();
+    fn();
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Best-of-reps wall-clock: robust against scheduler noise. */
+double
+bestSeconds(int reps, const std::function<void()>& fn)
+{
+    double best = secondsOf(fn);
+    for (int i = 1; i < reps; ++i)
+        best = std::min(best, secondsOf(fn));
+    return best;
+}
+
+/**
+ * schedule-then-drain pattern shared by new and legacy engines.
+ * @p ticks controls same-tick multiplicity: ticks == batch gives
+ * all-distinct timestamps (37 is coprime to the batch sizes used),
+ * smaller values pile batch/ticks events onto each tick.
+ */
+template <typename EngineT>
+void
+scheduleDispatch(int batch, int ticks)
+{
+    EngineT engine;
+    long long sum = 0;
+    for (int i = 0; i < batch; ++i)
+        engine.schedule((i * 37) % ticks, [&sum, i] { sum += i; });
+    engine.run();
+    if (sum < 0)
+        std::abort(); // defeat dead-code elimination
+}
+
+/** keep-alive renewal pattern: schedule all, cancel every other. */
+template <typename EngineT>
+void
+cancelHeavy(int batch)
+{
+    EngineT engine;
+    std::vector<std::uint64_t> ids;
+    ids.reserve(static_cast<std::size_t>(batch));
+    for (int i = 0; i < batch; ++i)
+        ids.push_back(engine.schedule(i + 1, [] {}));
+    for (std::size_t i = 0; i < ids.size(); i += 2)
+        engine.cancel(ids[i]);
+    engine.run();
+    if (engine.executedEvents() == 0)
+        std::abort();
 }
 
 void
-BM_EngineCancelHeavy(benchmark::State& state)
+writeJson(const std::string& path, const std::vector<BenchRecord>& records)
 {
-    const auto batch = static_cast<int>(state.range(0));
-    for (auto _ : state) {
-        sim::Engine engine;
-        std::vector<sim::EventId> ids;
-        ids.reserve(static_cast<std::size_t>(batch));
-        for (int i = 0; i < batch; ++i)
-            ids.push_back(engine.schedule(i + 1, [] {}));
-        // Cancel every other event (the keep-alive renewal pattern).
-        for (std::size_t i = 0; i < ids.size(); i += 2)
-            engine.cancel(ids[i]);
-        engine.run();
-        benchmark::DoNotOptimize(engine.executedEvents());
+    std::ofstream out(path);
+    out << "[\n";
+    for (std::size_t i = 0; i < records.size(); ++i) {
+        const auto& r = records[i];
+        out << "  {\"bench\": \"" << r.bench << "\", \"metric\": \""
+            << r.metric << "\", \"value\": " << r.value
+            << ", \"unit\": \"" << r.unit << "\", \"threads\": "
+            << r.threads << "}" << (i + 1 < records.size() ? "," : "")
+            << "\n";
     }
-    state.SetItemsProcessed(state.iterations() * batch);
+    out << "]\n";
 }
 
 void
-BM_SlidingWindowRate(benchmark::State& state)
+report(std::vector<BenchRecord>& records, const BenchRecord& record)
 {
-    core::SlidingWindow window(6);
-    sim::Tick t = 0;
-    for (auto _ : state) {
-        t += sim::kSecond;
-        window.push(t);
-        benchmark::DoNotOptimize(window.ratePerSecond(t + sim::kSecond));
-    }
-    state.SetItemsProcessed(state.iterations());
-}
-
-void
-BM_HistoryRecorderCompoundRate(benchmark::State& state)
-{
-    const auto catalog = workload::Catalog::standard20();
-    core::HistoryRecorder recorder(catalog, 6);
-    sim::Tick t = 0;
-    for (const auto& p : catalog) {
-        for (int i = 0; i < 6; ++i)
-            recorder.recordArrival(p.id(), t += sim::kSecond);
-    }
-    for (auto _ : state) {
-        t += sim::kSecond;
-        benchmark::DoNotOptimize(recorder.globalRate(t));
-        benchmark::DoNotOptimize(
-            recorder.languageRate(workload::Language::Python, t));
-    }
-    state.SetItemsProcessed(state.iterations());
-}
-
-void
-BM_PoolLookup(benchmark::State& state)
-{
-    const auto catalog = workload::Catalog::standard20();
-    sim::Engine engine;
-    platform::PoolConfig config;
-    config.memoryBudgetMb = 1024.0 * 1024.0;
-    platform::ContainerPool pool(engine, config);
-    // Populate the pool with one idle container per function.
-    for (const auto& p : catalog) {
-        auto* c = pool.create(p, workload::Layer::User, false);
-        pool.finishInit(*c);
-    }
-    workload::FunctionId f = 0;
-    for (auto _ : state) {
-        f = (f + 1) % static_cast<workload::FunctionId>(catalog.size());
-        benchmark::DoNotOptimize(pool.findIdleUser(f));
-        benchmark::DoNotOptimize(pool.userAvailable(f));
-    }
-    state.SetItemsProcessed(state.iterations());
+    records.push_back(record);
+    std::cout << record.bench << " :: " << record.metric << " = "
+              << record.value << " " << record.unit << " (threads="
+              << record.threads << ")\n";
 }
 
 } // namespace
 
-BENCHMARK(BM_EngineScheduleDispatch)->Arg(1000)->Arg(100000);
-BENCHMARK(BM_EngineCancelHeavy)->Arg(1000)->Arg(100000);
-BENCHMARK(BM_SlidingWindowRate);
-BENCHMARK(BM_HistoryRecorderCompoundRate);
-BENCHMARK(BM_PoolLookup);
+int
+main(int argc, char** argv)
+{
+    bool quick = false;
+    std::string outPath = "BENCH_engine.json";
+    std::size_t sweepThreads = exp::ParallelRunner::defaultThreadCount();
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--quick") == 0) {
+            quick = true;
+        } else if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+            outPath = argv[++i];
+        } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+            sweepThreads = static_cast<std::size_t>(
+                std::max(1, std::atoi(argv[++i])));
+        } else {
+            std::cerr << "usage: bench_micro_engine [--quick] [--out PATH]"
+                         " [--threads N]\n";
+            return 2;
+        }
+    }
 
-BENCHMARK_MAIN();
+    const int reps = quick ? 3 : 7;
+    const int largeBatch = quick ? 20000 : 100000;
+    std::vector<BenchRecord> records;
+
+    // (a) Raw schedule+dispatch throughput, new engine vs. legacy, at
+    // three same-tick multiplicities. "mixed_sim" mirrors the measured
+    // eight-hour-sweep behaviour (~1.17 events per distinct tick);
+    // "shared20" is the bucket-friendly regime the tick-bucketed heap
+    // is built for; "distinct" is the adversarial all-unique case.
+    struct Pattern
+    {
+        const char* name;
+        int ticks;
+    };
+    const Pattern patterns[] = {
+        {"distinct", largeBatch},
+        {"mixed_sim", largeBatch * 6 / 7},
+        {"shared20", largeBatch / 20},
+    };
+    for (const Pattern& pat : patterns) {
+        const int batch = largeBatch;
+        const std::string suffix = std::string("/") + pat.name;
+        const double engineSec = bestSeconds(reps, [batch, &pat] {
+            scheduleDispatch<sim::Engine>(batch, pat.ticks);
+        });
+        const double legacySec = bestSeconds(reps, [batch, &pat] {
+            scheduleDispatch<LegacyEngine>(batch, pat.ticks);
+        });
+        report(records, {"engine_schedule_dispatch" + suffix,
+                         "events_per_sec", batch / engineSec, "events/s",
+                         1});
+        report(records, {"legacy_schedule_dispatch" + suffix,
+                         "events_per_sec", batch / legacySec, "events/s",
+                         1});
+        report(records, {"engine_schedule_dispatch" + suffix,
+                         "speedup_vs_legacy", legacySec / engineSec, "x",
+                         1});
+    }
+
+    // (b) Schedule/cancel throughput (keep-alive renewal pattern).
+    {
+        const int batch = largeBatch;
+        // ops = batch schedules + batch/2 cancels + batch/2 dispatches.
+        const double ops = 2.0 * batch;
+        const double engineSec =
+            bestSeconds(reps, [batch] { cancelHeavy<sim::Engine>(batch); });
+        const double legacySec =
+            bestSeconds(reps, [batch] { cancelHeavy<LegacyEngine>(batch); });
+        report(records, {"engine_cancel_heavy", "ops_per_sec",
+                         ops / engineSec, "ops/s", 1});
+        report(records, {"legacy_cancel_heavy", "ops_per_sec",
+                         ops / legacySec, "ops/s", 1});
+        report(records, {"engine_cancel_heavy", "speedup_vs_legacy",
+                         legacySec / engineSec, "x", 1});
+    }
+
+    // (c) End-to-end sweep wall-clock: the six §7.2 baselines on the
+    // 8-hour trace, repeated to fill the pool, sequential vs parallel.
+    {
+        const auto catalog = workload::Catalog::standard20();
+        const auto arrivals =
+            trace::expandArrivals(exp::eightHourTrace(catalog));
+        const int repeats = quick ? 2 : 8;
+        std::vector<exp::RunSpec> specs;
+        for (int r = 0; r < repeats; ++r) {
+            auto batch = exp::specsForPolicies(
+                catalog, exp::standardBaselines(catalog), arrivals);
+            for (auto& spec : batch)
+                specs.push_back(std::move(spec));
+        }
+
+        const int sweepReps = quick ? 2 : 3;
+        const double seqSec = bestSeconds(sweepReps, [&] {
+            exp::ParallelRunner(1).run(specs);
+        });
+        const double parSec = bestSeconds(sweepReps, [&] {
+            exp::ParallelRunner(sweepThreads).run(specs);
+        });
+        report(records, {"sweep_baselines_x" + std::to_string(repeats),
+                         "wall_clock", seqSec, "s", 1});
+        report(records, {"sweep_baselines_x" + std::to_string(repeats),
+                         "wall_clock", parSec, "s", sweepThreads});
+        report(records, {"sweep_baselines_x" + std::to_string(repeats),
+                         "parallel_speedup", seqSec / parSec, "x",
+                         sweepThreads});
+    }
+
+    writeJson(outPath, records);
+    std::cout << "wrote " << records.size() << " records to " << outPath
+              << "\n";
+    return 0;
+}

@@ -18,9 +18,11 @@
 
 #include "core/ablations.hh"
 #include "exp/experiment.hh"
+#include "exp/parallel_runner.hh"
 #include "policy/openwhisk_fixed.hh"
 #include "stats/table.hh"
 #include "trace/generator.hh"
+#include "trace/replay.hh"
 #include "workload/catalog.hh"
 
 int
@@ -33,56 +35,92 @@ main()
     table.setHeader({"Functions", "Invocations", "Policy", "Cold",
                      "MeanStartup(s)", "Waste(GBxs)", "HostUs/Invocation"});
 
-    for (const std::size_t fleet : {20u, 50u, 100u, 200u, 500u}) {
-        const auto catalog = workload::Catalog::syntheticFleet(fleet, 7);
+    // Per-fleet inputs are built up front (jobs hold pointers into
+    // them), then every (fleet x policy) run fans out across cores.
+    // Each job times itself so the host-cost column survives the
+    // parallel execution.
+    struct FleetInputs
+    {
+        std::size_t fleet;
+        workload::Catalog catalog;
+        std::vector<trace::Arrival> arrivals;
+        platform::NodeConfig nodeConfig;
+    };
+    const std::size_t fleets[] = {20, 50, 100, 200, 500};
+    std::vector<FleetInputs> inputs;
+    inputs.reserve(std::size(fleets));
+    for (const std::size_t fleet : fleets) {
+        FleetInputs in;
+        in.fleet = fleet;
+        in.catalog = workload::Catalog::syntheticFleet(fleet, 7);
         trace::WorkloadTraceConfig config;
         config.minutes = 120;
         config.targetInvocations = fleet * 60; // sparse per function
         config.seed = 99;
-        const auto traceSet = trace::generateAzureLike(catalog, config);
+        in.arrivals = trace::expandArrivals(
+            trace::generateAzureLike(in.catalog, config));
+        in.nodeConfig.pool.memoryBudgetMb = 64.0 * 1024.0;
+        inputs.push_back(std::move(in));
+    }
 
-        platform::NodeConfig nodeConfig;
-        nodeConfig.pool.memoryBudgetMb = 64.0 * 1024.0;
+    struct Job
+    {
+        const FleetInputs* in;
+        const char* label;
+        exp::PolicyFactory make;
+        exp::RunResult result;
+        long long elapsedUs = 0;
+    };
+    std::vector<Job> jobs;
+    for (const FleetInputs& in : inputs) {
+        jobs.push_back({&in, "OpenWhisk",
+                        [] {
+                            return std::make_unique<
+                                policy::OpenWhiskFixedPolicy>();
+                        },
+                        {}, 0});
+        const workload::Catalog* catalog = &in.catalog;
+        const std::size_t fleet = in.fleet;
+        jobs.push_back({&in, "RainbowCake",
+                        [catalog, fleet] {
+                            core::RainbowCakeConfig rcConfig;
+                            // The shared-pool cap is a per-node
+                            // concurrency knob: scale it with the
+                            // fleet so the Lang pool can cover
+                            // proportionally more concurrent misses.
+                            rcConfig.maxIdleSharedPerGroup =
+                                std::max<std::size_t>(2, fleet / 25);
+                            return core::makeRainbowCake(*catalog,
+                                                         rcConfig);
+                        },
+                        {}, 0});
+    }
 
-        struct Entry
-        {
-            const char* label;
-            exp::PolicyFactory make;
-        };
-        const Entry entries[] = {
-            {"OpenWhisk",
-             [] { return std::make_unique<policy::OpenWhiskFixedPolicy>(); }},
-            {"RainbowCake",
-             [&catalog, fleet] {
-                 core::RainbowCakeConfig rcConfig;
-                 // The shared-pool cap is a per-node concurrency knob:
-                 // scale it with the fleet so the Lang pool can cover
-                 // proportionally more concurrent misses.
-                 rcConfig.maxIdleSharedPerGroup =
-                     std::max<std::size_t>(2, fleet / 25);
-                 return core::makeRainbowCake(catalog, rcConfig);
-             }},
-        };
-        for (const auto& entry : entries) {
-            const auto start = Clock::now();
-            const auto result = exp::runExperiment(catalog, entry.make,
-                                                   traceSet, nodeConfig);
-            const auto elapsed =
-                std::chrono::duration_cast<std::chrono::microseconds>(
-                    Clock::now() - start)
-                    .count();
-            table.row()
-                .integer(static_cast<long long>(fleet))
-                .integer(static_cast<long long>(result.metrics.total()))
-                .text(entry.label)
-                .integer(static_cast<long long>(result.metrics.countOf(
-                    platform::StartupType::Cold)))
-                .num(result.metrics.meanStartupSeconds(), 3)
-                .num(result.wasteGbSeconds(), 0)
-                .num(static_cast<double>(elapsed) /
-                         static_cast<double>(result.metrics.total()),
-                     1);
-        }
+    exp::ParallelRunner().forEach(jobs.size(), [&jobs](std::size_t i) {
+        Job& job = jobs[i];
+        const auto start = Clock::now();
+        job.result = exp::runExperiment(job.in->catalog, job.make,
+                                        job.in->arrivals,
+                                        job.in->nodeConfig);
+        job.elapsedUs =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - start)
+                .count();
+    });
+
+    for (const Job& job : jobs) {
+        const auto& result = job.result;
+        table.row()
+            .integer(static_cast<long long>(job.in->fleet))
+            .integer(static_cast<long long>(result.metrics.total()))
+            .text(job.label)
+            .integer(static_cast<long long>(result.metrics.countOf(
+                platform::StartupType::Cold)))
+            .num(result.metrics.meanStartupSeconds(), 3)
+            .num(result.wasteGbSeconds(), 0)
+            .num(static_cast<double>(job.elapsedUs) /
+                     static_cast<double>(result.metrics.total()),
+                 1);
     }
     table.print(std::cout);
 

@@ -2,24 +2,45 @@
  * @file
  * Discrete-event simulation engine.
  *
- * The engine owns a priority queue of timestamped events. Events
- * scheduled for the same tick fire in scheduling order (FIFO), which
- * makes runs fully deterministic. Scheduled events can be cancelled,
- * which is the mechanism behind keep-alive TTL renewal: a container
- * cancels its pending timeout when it is reused and schedules a fresh
- * one when it goes idle again.
+ * The engine owns an indexed 4-ary min-heap of *tick buckets*: one
+ * heap node per distinct pending timestamp, each holding an intrusive
+ * FIFO list of that tick's events. Events scheduled for the same tick
+ * fire in scheduling order (FIFO), which makes runs fully
+ * deterministic. Scheduled events can be cancelled, which is the
+ * mechanism behind keep-alive TTL renewal: a container cancels its
+ * pending timeout when it is reused and schedules a fresh one when it
+ * goes idle again.
+ *
+ * Hot-path layout:
+ *  - callbacks are `InplaceCallback`s (48-byte small-buffer storage,
+ *    no per-event heap allocation) living in a stable slot table;
+ *  - heap nodes are 16-byte PODs, so sift operations move PODs only,
+ *    and because simulated workloads pile many events onto the same
+ *    tick (keep-alive expiries, per-minute arrival buckets) the heap
+ *    holds one node per *distinct* tick — sift work is amortised over
+ *    every event sharing the timestamp;
+ *  - a flat open-addressing table maps tick -> bucket for O(1)
+ *    same-tick appends;
+ *  - cancel() unlinks from the bucket list in O(1). A bucket drained
+ *    by cancellation stays in the heap as an empty node that a later
+ *    same-tick schedule revives in O(1); exhausted buckets are
+ *    collected with an O(log n) pop when they surface at the heap
+ *    front. Removal only ever happens at the front, so sifting never
+ *    maintains back-pointers. Unlike the earlier priority_queue
+ *    design there is no per-event tombstone and no per-pop map
+ *    lookup, and pendingEvents() is always exact;
+ *  - slots carry a generation counter so stale handles stay harmless
+ *    no-ops.
  */
 
 #ifndef RC_SIM_ENGINE_HH_
 #define RC_SIM_ENGINE_HH_
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "sim/inplace_callback.hh"
 #include "sim/time.hh"
 
 namespace rc::sim {
@@ -35,12 +56,13 @@ inline constexpr EventId kNoEvent = 0;
  *
  * Not thread-safe by design: a simulation run is a single logical
  * timeline, and determinism (same seed, same schedule, same results)
- * is a hard requirement of the experiment harness.
+ * is a hard requirement of the experiment harness. Parallel sweeps
+ * (`rc::exp::ParallelRunner`) give each run its own Engine.
  */
 class Engine
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InplaceCallback;
 
     Engine() = default;
     Engine(const Engine&) = delete;
@@ -84,41 +106,120 @@ class Engine
     /** Execute at most one event. @return false if the queue is empty. */
     bool step();
 
+    /**
+     * Reset to a freshly-constructed state for reuse between runs:
+     * drops all pending events and rewinds the clock and counters.
+     * Handles issued before clear() remain safely cancellable no-ops
+     * (every slot generation is bumped).
+     */
+    void clear();
+
     /** Current simulated time. */
     Tick now() const { return _now; }
 
-    /** Number of events executed since construction. */
+    /** Number of events executed since construction (or clear()). */
     std::uint64_t executedEvents() const { return _executed; }
 
-    /** Number of events currently pending. */
-    std::size_t pendingEvents() const { return _callbacks.size(); }
+    /** Number of live (scheduled, non-cancelled) events. */
+    std::size_t pendingEvents() const { return _live; }
 
   private:
-    struct QueueEntry
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+    static constexpr Tick kEmptyKey = -1; // valid whens are >= 0
+
+    /** POD heap node: one per distinct pending tick. */
+    struct HeapNode
     {
         Tick when;
-        std::uint64_t seq; // tie-break: earlier scheduling fires first
-        EventId id;
-
-        bool
-        operator>(const QueueEntry& other) const
-        {
-            if (when != other.when)
-                return when > other.when;
-            return seq > other.seq;
-        }
+        std::uint32_t bucket;
     };
 
-    /** Pop and run the front event; precondition: queue not empty. */
+    /** FIFO list of the events pending at one tick. */
+    struct Bucket
+    {
+        Tick when;
+        std::uint32_t head;
+        std::uint32_t tail;
+        std::uint32_t mapIndex; // this bucket's slot in _map
+    };
+
+    /**
+     * Per-event bookkeeping, kept separate from the callback storage
+     * so link updates touch a dense 16-byte-stride array. A slot is
+     * live iff bucket != kNil.
+     */
+    struct EventMeta
+    {
+        std::uint32_t next = kNil;
+        std::uint32_t prev = kNil;
+        std::uint32_t bucket = kNil;
+        std::uint32_t generation = 1;
+    };
+
+    /** Open-addressing tick -> bucket entry. */
+    struct MapEntry
+    {
+        Tick key = kEmptyKey;
+        std::uint32_t value = 0;
+        std::uint32_t hash = 0; // low bits of hashTick(key), cached
+    };
+
+    static bool
+    before(const HeapNode& a, const HeapNode& b)
+    {
+        // One bucket per tick, so keys are unique and FIFO ordering
+        // lives entirely inside the bucket lists.
+        return a.when < b.when;
+    }
+
+    static EventId
+    makeId(std::uint32_t slot, std::uint32_t generation)
+    {
+        // Low word: slot + 1, so id 0 is never produced. High word:
+        // generation, so slot reuse invalidates old handles.
+        return (static_cast<EventId>(generation) << 32) |
+               static_cast<EventId>(slot + 1);
+    }
+
+    static std::size_t hashTick(Tick when);
+
+    /** @return slot index for @p id, or kNil if not pending. */
+    std::uint32_t decodeLive(EventId id) const;
+
+    std::uint32_t acquireSlot(InplaceCallback&& cb);
+    void releaseSlot(std::uint32_t slot);
+    std::uint32_t acquireBucket(Tick when, std::uint32_t slot);
+    void releaseBucket(std::uint32_t bucket);
+
+    /** Backward-shift erase of _map[hole] (keeps probes chain-free). */
+    void mapEraseAt(std::size_t hole);
+    void mapGrow();
+
+    void siftUp(std::size_t pos, HeapNode node);
+    void siftDown(std::size_t pos, HeapNode node);
+    /** Remove the heap front, restoring heap order. */
+    void popFront();
+
+    /** Collect exhausted tick buckets sitting at the heap front. */
+    void pruneFront();
+
+    /**
+     * Pop and run the front event; precondition: pruneFront() has
+     * run and the heap is not empty.
+     */
     void dispatchFront();
 
     Tick _now = 0;
-    std::uint64_t _nextSeq = 0;
-    EventId _nextId = 1;
     std::uint64_t _executed = 0;
-    std::priority_queue<QueueEntry, std::vector<QueueEntry>,
-                        std::greater<QueueEntry>> _queue;
-    std::unordered_map<EventId, Callback> _callbacks;
+    std::size_t _live = 0;
+    std::vector<HeapNode> _heap;
+    std::vector<Bucket> _buckets;
+    std::vector<std::uint32_t> _freeBuckets;
+    std::vector<EventMeta> _events;    // indexed by slot
+    std::vector<InplaceCallback> _cbs; // indexed by slot
+    std::vector<std::uint32_t> _freeSlots;
+    std::vector<MapEntry> _map; // power-of-two open addressing
+    std::size_t _mapLive = 0;
 };
 
 } // namespace rc::sim

@@ -6,6 +6,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "sim/engine.hh"
@@ -189,6 +193,167 @@ TEST(Engine, ManyEventsStressOrdering)
     engine.run();
     EXPECT_TRUE(monotonic);
     EXPECT_EQ(engine.executedEvents(), 10000u);
+}
+
+TEST(Engine, PendingEventsCountsLiveEventsOnly)
+{
+    Engine engine;
+    const EventId a = engine.schedule(10, [] {});
+    engine.schedule(20, [] {});
+    const EventId c = engine.schedule(30, [] {});
+    EXPECT_EQ(engine.pendingEvents(), 3u);
+    engine.cancel(a);
+    engine.cancel(c);
+    EXPECT_EQ(engine.pendingEvents(), 1u);
+    engine.run();
+    EXPECT_EQ(engine.pendingEvents(), 0u);
+}
+
+TEST(Engine, ClearResetsToFreshState)
+{
+    Engine engine;
+    int fired = 0;
+    engine.schedule(10, [&] { ++fired; });
+    engine.schedule(20, [&] { ++fired; });
+    engine.run();
+    engine.schedule(30, [&] { ++fired; });
+
+    engine.clear();
+    EXPECT_EQ(engine.now(), 0);
+    EXPECT_EQ(engine.pendingEvents(), 0u);
+    EXPECT_EQ(engine.executedEvents(), 0u);
+
+    // The engine is reusable: events schedule from tick 0 again.
+    engine.schedule(5, [&] { ++fired; });
+    engine.run();
+    EXPECT_EQ(fired, 3); // the cleared tick-30 event never fired
+    EXPECT_EQ(engine.now(), 5);
+}
+
+TEST(Engine, HandlesFromBeforeClearAreHarmless)
+{
+    Engine engine;
+    bool stale = false;
+    const EventId old = engine.schedule(10, [&] { stale = true; });
+    engine.clear();
+
+    bool fresh = false;
+    const EventId id = engine.schedule(10, [&] { fresh = true; });
+    EXPECT_FALSE(engine.pending(old));
+    EXPECT_FALSE(engine.cancel(old)); // must not cancel the new event
+    EXPECT_TRUE(engine.pending(id));
+    engine.run();
+    EXPECT_TRUE(fresh);
+    EXPECT_FALSE(stale);
+}
+
+TEST(Engine, SameTickCancelBeforeFire)
+{
+    // An event may cancel a later-scheduled event on its own tick.
+    Engine engine;
+    bool victimFired = false;
+    EventId victim = kNoEvent;
+    engine.schedule(10, [&] { engine.cancel(victim); });
+    victim = engine.schedule(10, [&] { victimFired = true; });
+    engine.run();
+    EXPECT_FALSE(victimFired);
+    EXPECT_EQ(engine.executedEvents(), 1u);
+}
+
+TEST(Engine, CancelledIdIsNeverReportedPending)
+{
+    Engine engine;
+    const EventId a = engine.schedule(10, [] {});
+    EXPECT_TRUE(engine.cancel(a));
+    // The slot is reused, but the stale handle stays dead.
+    const EventId b = engine.schedule(10, [] {});
+    EXPECT_NE(a, b);
+    EXPECT_FALSE(engine.pending(a));
+    EXPECT_FALSE(engine.cancel(a));
+    EXPECT_TRUE(engine.pending(b));
+}
+
+TEST(Engine, InterleavedScheduleCancelMatchesReferenceModel)
+{
+    // Reference model: a plain list of (when, seq, tag) stably sorted
+    // by (when, seq), minus cancelled entries, gives the firing order
+    // the engine must reproduce exactly.
+    struct RefEvent
+    {
+        Tick when;
+        std::uint64_t seq;
+        int tag;
+        bool cancelled = false;
+    };
+
+    std::vector<RefEvent> reference;
+    std::vector<std::pair<EventId, std::size_t>> live; // id -> ref index
+    std::vector<int> fired;
+    Engine engine;
+
+    // Deterministic xorshift so the test needs no <random> seeding.
+    std::uint64_t rng = 0x9e3779b97f4a7c15ull;
+    const auto next = [&rng] {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        return rng;
+    };
+
+    std::uint64_t seq = 0;
+    for (int i = 0; i < 5000; ++i) {
+        const bool doCancel = !live.empty() && next() % 4 == 0;
+        if (doCancel) {
+            const std::size_t pick = next() % live.size();
+            const auto [id, refIndex] = live[pick];
+            EXPECT_TRUE(engine.cancel(id));
+            reference[refIndex].cancelled = true;
+            live[pick] = live.back();
+            live.pop_back();
+        } else {
+            const Tick when = static_cast<Tick>(next() % 997);
+            const int tag = i;
+            const EventId id =
+                engine.schedule(when, [&fired, tag] { fired.push_back(tag); });
+            reference.push_back(RefEvent{when, seq++, tag});
+            live.emplace_back(id, reference.size() - 1);
+        }
+    }
+
+    engine.run();
+
+    std::vector<RefEvent> expected;
+    for (const auto& e : reference)
+        if (!e.cancelled)
+            expected.push_back(e);
+    std::stable_sort(expected.begin(), expected.end(),
+                     [](const RefEvent& a, const RefEvent& b) {
+                         return a.when != b.when ? a.when < b.when
+                                                 : a.seq < b.seq;
+                     });
+
+    ASSERT_EQ(fired.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+        EXPECT_EQ(fired[i], expected[i].tag) << "at position " << i;
+    EXPECT_EQ(engine.executedEvents(), expected.size());
+    EXPECT_EQ(engine.pendingEvents(), 0u);
+}
+
+TEST(Engine, LargeCapturesFallBackToHeapStorage)
+{
+    // Captures larger than the inline buffer must still work (the
+    // callback type heap-allocates them transparently).
+    Engine engine;
+    std::array<std::uint64_t, 16> payload{};
+    for (std::size_t i = 0; i < payload.size(); ++i)
+        payload[i] = i + 1;
+    std::uint64_t sum = 0;
+    engine.schedule(1, [payload, &sum] {
+        for (const auto v : payload)
+            sum += v;
+    });
+    engine.run();
+    EXPECT_EQ(sum, 136u);
 }
 
 TEST(Time, ConversionRoundTrips)

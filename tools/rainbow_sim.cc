@@ -23,11 +23,13 @@
 #include "core/ablations.hh"
 #include "core/checkpoint.hh"
 #include "exp/experiment.hh"
+#include "exp/parallel_runner.hh"
 #include "exp/csv.hh"
 #include "exp/report.hh"
 #include "exp/standard_traces.hh"
 #include "stats/table.hh"
 #include "trace/azure_io.hh"
+#include "trace/replay.hh"
 #include "trace/generator.hh"
 #include "trace/sampler.hh"
 #include "workload/catalog.hh"
@@ -52,6 +54,7 @@ struct Options
     std::string traceFile;     // non-empty: load Azure CSV
     std::string csvDir;        // non-empty: dump CSVs per policy
     std::string catalogFile;   // non-empty: load a custom catalog CSV
+    std::size_t threads = 0;   // 0: ParallelRunner default
 };
 
 [[noreturn]] void
@@ -71,6 +74,8 @@ usage(int code)
         "  --cv C            use a CV-targeted 1-hour trace instead\n"
         "  --trace FILE      load an Azure-format CSV trace\n"
         "  --catalog FILE    load a custom function-catalog CSV\n"
+        "  --threads N       worker threads for --all sweeps\n"
+        "                    (default: RC_THREADS or all cores)\n"
         "  --timelines       print waste/latency timelines\n"
         "  --csv-dir DIR     write per-policy CSV dumps into DIR\n"
         "  --per-function    print per-function latency averages\n"
@@ -89,41 +94,53 @@ parseArgs(int argc, char** argv)
         }
         return argv[++i];
     };
-    for (int i = 1; i < argc; ++i) {
-        const std::string arg = argv[i];
-        if (arg == "--policy") {
-            options.policy = need(i);
-        } else if (arg == "--all") {
-            options.all = true;
-        } else if (arg == "--checkpoint") {
-            options.checkpoint = true;
-        } else if (arg == "--minutes") {
-            options.minutes = static_cast<std::size_t>(
-                std::stoul(need(i)));
-        } else if (arg == "--invocations") {
-            options.invocations = std::stoull(need(i));
-        } else if (arg == "--budget-gb") {
-            options.budgetGb = std::stod(need(i));
-        } else if (arg == "--seed") {
-            options.seed = std::stoull(need(i));
-        } else if (arg == "--cv") {
-            options.cv = std::stod(need(i));
-        } else if (arg == "--trace") {
-            options.traceFile = need(i);
-        } else if (arg == "--catalog") {
-            options.catalogFile = need(i);
-        } else if (arg == "--csv-dir") {
-            options.csvDir = need(i);
-        } else if (arg == "--timelines") {
-            options.timelines = true;
-        } else if (arg == "--per-function") {
-            options.perFunction = true;
-        } else if (arg == "--help" || arg == "-h") {
-            usage(0);
-        } else {
-            std::cerr << "unknown option " << arg << "\n";
-            usage(2);
+    std::string arg;
+    try {
+        for (int i = 1; i < argc; ++i) {
+            arg = argv[i];
+            if (arg == "--policy") {
+                options.policy = need(i);
+            } else if (arg == "--all") {
+                options.all = true;
+            } else if (arg == "--checkpoint") {
+                options.checkpoint = true;
+            } else if (arg == "--minutes") {
+                options.minutes = static_cast<std::size_t>(
+                    std::stoul(need(i)));
+            } else if (arg == "--invocations") {
+                options.invocations = std::stoull(need(i));
+            } else if (arg == "--budget-gb") {
+                options.budgetGb = std::stod(need(i));
+            } else if (arg == "--seed") {
+                options.seed = std::stoull(need(i));
+            } else if (arg == "--cv") {
+                options.cv = std::stod(need(i));
+            } else if (arg == "--trace") {
+                options.traceFile = need(i);
+            } else if (arg == "--catalog") {
+                options.catalogFile = need(i);
+            } else if (arg == "--csv-dir") {
+                options.csvDir = need(i);
+            } else if (arg == "--threads") {
+                options.threads = static_cast<std::size_t>(
+                    std::stoul(need(i)));
+            } else if (arg == "--timelines") {
+                options.timelines = true;
+            } else if (arg == "--per-function") {
+                options.perFunction = true;
+            } else if (arg == "--help" || arg == "-h") {
+                usage(0);
+            } else {
+                std::cerr << "unknown option " << arg << "\n";
+                usage(2);
+            }
         }
+    } catch (const std::invalid_argument&) {
+        std::cerr << "bad value for " << arg << "\n";
+        usage(2);
+    } catch (const std::out_of_range&) {
+        std::cerr << "value out of range for " << arg << "\n";
+        usage(2);
     }
     return options;
 }
@@ -214,6 +231,10 @@ main(int argc, char** argv)
 
     std::vector<exp::RunResult> results;
     if (options.all) {
+        // Fan the six baselines out across cores; results come back
+        // in submission order and are identical to a sequential run.
+        const auto arrivals = trace::expandArrivals(traceSet);
+        std::vector<exp::RunSpec> specs;
         for (const auto& policy : exp::standardBaselines(catalog)) {
             auto factory = options.checkpoint
                 ? makeFactory([&] {
@@ -223,9 +244,10 @@ main(int argc, char** argv)
                       return key;
                   }(), catalog, true)
                 : policy.make;
-            results.push_back(exp::runExperiment(catalog, factory,
-                                                 traceSet, nodeConfig));
+            specs.push_back({&catalog, std::move(factory), &arrivals,
+                             nodeConfig});
         }
+        results = exp::ParallelRunner(options.threads).run(specs);
     } else {
         results.push_back(exp::runExperiment(
             catalog,
