@@ -67,7 +67,7 @@ main()
     std::vector<exp::RunSpec> specs;
     for (const auto& policy : baselines)
         for (const auto& arrivals : expanded)
-            specs.push_back({&catalog, policy.make, &arrivals, {}});
+            specs.push_back({&catalog, policy.make, &arrivals, {}, {}});
     const auto results = exp::ParallelRunner().run(specs);
 
     for (std::size_t p = 0; p < baselines.size(); ++p) {

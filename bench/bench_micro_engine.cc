@@ -33,9 +33,12 @@
 #include <unordered_map>
 #include <vector>
 
+#include "exp/experiment.hh"
 #include "exp/parallel_runner.hh"
 #include "exp/standard_traces.hh"
+#include "obs/observer.hh"
 #include "sim/engine.hh"
+#include "trace/generator.hh"
 #include "trace/replay.hh"
 #include "workload/catalog.hh"
 
@@ -306,6 +309,40 @@ main(int argc, char** argv)
         report(records, {"sweep_baselines_x" + std::to_string(repeats),
                          "parallel_speedup", seqSec / parSec, "x",
                          sweepThreads});
+    }
+
+    // (d) Observability overhead: the same RainbowCake run with no
+    // Observer (every emit site reduces to one nullptr branch) vs a
+    // full Observer (event buffer + counters + profiling). The
+    // tracked number is the ratio; the obs-off run must stay within
+    // ~2% of the pre-observability engine, which section (a-c)
+    // regressions and this ratio together pin down.
+    {
+        const auto catalog = workload::Catalog::standard20();
+        trace::WorkloadTraceConfig traceConfig;
+        traceConfig.minutes = quick ? 60 : 240;
+        traceConfig.targetInvocations = quick ? 3000u : 20000u;
+        traceConfig.seed = 5;
+        const auto arrivals = trace::expandArrivals(
+            trace::generateAzureLike(catalog, traceConfig));
+        const auto rainbowcake = exp::standardBaselines(catalog).back();
+        const int obsReps = quick ? 3 : 5;
+        const double offSec = bestSeconds(obsReps, [&] {
+            exp::runExperiment(catalog, rainbowcake.make, arrivals);
+        });
+        const double onSec = bestSeconds(obsReps, [&] {
+            obs::Observer observer;
+            platform::NodeConfig node;
+            node.observer = &observer;
+            exp::runExperiment(catalog, rainbowcake.make, arrivals,
+                               node);
+        });
+        report(records, {"obs_overhead", "uninstrumented_wall_clock",
+                         offSec, "s", 1});
+        report(records, {"obs_overhead", "instrumented_wall_clock",
+                         onSec, "s", 1});
+        report(records, {"obs_overhead", "overhead_ratio",
+                         onSec / offSec, "x", 1});
     }
 
     writeJson(outPath, records);

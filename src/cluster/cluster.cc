@@ -10,9 +10,16 @@ Cluster::Cluster(const workload::Catalog& catalog,
 {
     if (config.nodes == 0)
         sim::fatal("Cluster: need at least one node");
+    // One Observer cannot serve several nodes: each node runs its own
+    // engine timeline (ticks would interleave non-monotonically) and
+    // pools restart container ids at 1 (ids would collide). The
+    // cluster therefore keeps the configured observer for its own
+    // routing events only and runs the nodes uninstrumented.
+    _obs = config.node.observer;
     for (std::size_t i = 0; i < config.nodes; ++i) {
         platform::NodeConfig nodeConfig = config.node;
         nodeConfig.seed = config.node.seed + i; // independent exec draws
+        nodeConfig.observer = nullptr;
         _nodes.push_back(std::make_unique<platform::Node>(
             _catalog, factory(), nodeConfig));
     }
@@ -28,6 +35,11 @@ Cluster::run(const std::vector<trace::Arrival>& arrivals)
             node->advanceTo(arrival.time);
         const std::size_t target =
             _scheduler.pick(_nodes, arrival.function);
+        if (_obs != nullptr) {
+            _obs->emit(arrival.time, obs::EventType::ClusterRouted, 0,
+                       arrival.function,
+                       static_cast<std::uint8_t>(target));
+        }
         _nodes[target]->invokeNow(arrival.function);
     }
     for (auto& node : _nodes) {

@@ -76,6 +76,12 @@ class Cluster
     ClusterConfig _config;
     ClusterScheduler _scheduler;
     std::vector<std::unique_ptr<platform::Node>> _nodes;
+    /**
+     * Routing-event sink. Taken from ClusterConfig::node.observer;
+     * the nodes themselves run uninstrumented (see Cluster ctor for
+     * why one Observer cannot span several engine timelines).
+     */
+    obs::Observer* _obs = nullptr;
 };
 
 } // namespace rc::cluster

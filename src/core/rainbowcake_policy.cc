@@ -142,20 +142,32 @@ RainbowCakePolicy::keepAliveTtl(const container::Container& c)
     const workload::FunctionId f =
         c.function() != workload::kInvalidFunction ? c.function()
                                                    : c.initFunction();
-    if (!_config.sharingAwareModeling)
-        return _config.fixedUserTtl;
-
-    // Per §7.1, the initial keep-alive TTL of a container that served
-    // an invocation is the upper bound beta(u): it may stay idle
-    // until its memory cost reaches the startup cost its User layer
-    // saves; Eq. 7's min(IAT, beta) applies at the downgrade
-    // transitions of Algorithm 2. Speculative (pre-warmed, never
-    // executed) containers exist for one predicted arrival only, so
-    // their window is quantile-bounded: if the predicted invocation
-    // does not materialize, they downgrade promptly.
-    if (c.everExecuted() && !_config.quantileBoundsUserLayer)
-        return _cost.beta(_catalog.at(f), Layer::User);
-    return currentTtl(f, Layer::User);
+    sim::Tick ttl = 0;
+    if (!_config.sharingAwareModeling) {
+        ttl = _config.fixedUserTtl;
+    } else if (c.everExecuted() && !_config.quantileBoundsUserLayer) {
+        // Per §7.1, the initial keep-alive TTL of a container that
+        // served an invocation is the upper bound beta(u): it may stay
+        // idle until its memory cost reaches the startup cost its User
+        // layer saves; Eq. 7's min(IAT, beta) applies at the downgrade
+        // transitions of Algorithm 2. Speculative (pre-warmed, never
+        // executed) containers exist for one predicted arrival only,
+        // so their window is quantile-bounded: if the predicted
+        // invocation does not materialize, they downgrade promptly.
+        ttl = _cost.beta(_catalog.at(f), Layer::User);
+    } else {
+        ttl = currentTtl(f, Layer::User);
+    }
+    if (_obs != nullptr) {
+        // Decision audit: the model inputs behind this TTL (arg1 is
+        // the quantile-predicted IAT; -1 when no history exists).
+        const sim::Tick iat = predictedIat(f, Layer::User);
+        _obs->emit(_view->now(), obs::EventType::PolicyDecision, c.id(),
+                   f, static_cast<std::uint8_t>(Layer::User),
+                   c.everExecuted() ? 1 : 0, sim::toSeconds(ttl),
+                   iat < 0 ? -1.0 : sim::toSeconds(iat));
+    }
+    return ttl;
 }
 
 policy::IdleDecision
@@ -165,7 +177,7 @@ RainbowCakePolicy::onIdleExpired(const container::Container& c)
         return policy::IdleDecision::kill();
 
     if (c.layer() == Layer::Bare)
-        return policy::IdleDecision::kill();
+        return policy::IdleDecision::kill(obs::KillCause::BareExpired);
 
     // Algorithm 2: peel the top layer and ask the recorder for the
     // next keep-alive window at the downgraded type — unless the
@@ -183,12 +195,20 @@ RainbowCakePolicy::onIdleExpired(const container::Container& c)
         ++poolMates;
     }
     if (poolMates >= _config.maxIdleSharedPerGroup)
-        return policy::IdleDecision::kill();
+        return policy::IdleDecision::kill(obs::KillCause::PoolSaturated);
 
     const workload::FunctionId f =
         c.function() != workload::kInvalidFunction ? c.function()
                                                    : c.initFunction();
-    return policy::IdleDecision::downgrade(currentTtl(f, next));
+    const sim::Tick ttl = currentTtl(f, next);
+    if (_obs != nullptr) {
+        const sim::Tick iat = predictedIat(f, next);
+        _obs->emit(_view->now(), obs::EventType::PolicyDecision, c.id(),
+                   f, static_cast<std::uint8_t>(next), 0,
+                   sim::toSeconds(ttl),
+                   iat < 0 ? -1.0 : sim::toSeconds(iat));
+    }
+    return policy::IdleDecision::downgrade(ttl);
 }
 
 } // namespace rc::core

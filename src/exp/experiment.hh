@@ -45,6 +45,19 @@ struct RunResult
     double neverHitWasteMbSeconds = 0.0;
     std::size_t strandedInvocations = 0;
 
+    /**
+     * Artifact tag of this run (the observer's runId, or empty when
+     * the run was uninstrumented). ParallelRunner and rainbow_sim use
+     * it to name per-run trace/event files.
+     */
+    std::string runId;
+    /**
+     * The observer the run was instrumented with, or nullptr.
+     * Non-owning: points at the caller's NodeConfig::observer, which
+     * holds the run's events, counters, and profile after run().
+     */
+    obs::Observer* observer = nullptr;
+
     /** Total waste in GB*s (the unit of Figs. 9 and 12c). */
     double wasteGbSeconds() const { return totalWasteMbSeconds / 1024.0; }
 };

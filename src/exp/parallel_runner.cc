@@ -76,6 +76,8 @@ ParallelRunner::run(const std::vector<RunSpec>& specs) const
     std::vector<RunResult> results(specs.size());
     forEach(specs.size(), [&](std::size_t i) {
         const RunSpec& spec = specs[i];
+        if (spec.config.observer != nullptr && !spec.runId.empty())
+            spec.config.observer->setRunId(spec.runId);
         results[i] = runExperiment(*spec.catalog, spec.make,
                                    *spec.arrivals, spec.config);
     });

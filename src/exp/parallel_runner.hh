@@ -24,13 +24,23 @@
 
 namespace rc::exp {
 
-/** One experiment job; the pointed-to inputs must outlive run(). */
+/**
+ * One experiment job; the pointed-to inputs must outlive run().
+ *
+ * Instrumented sweeps attach a *distinct* obs::Observer per spec via
+ * config.observer — an Observer is single-run state (no atomics), so
+ * sharing one across concurrently executing specs is undefined. The
+ * runner stamps runId into the observer before the run so every
+ * artifact the run produces carries the tag.
+ */
 struct RunSpec
 {
     const workload::Catalog* catalog = nullptr;
     PolicyFactory make;
     const std::vector<trace::Arrival>* arrivals = nullptr;
     platform::NodeConfig config = {};
+    /** Artifact tag for this run (e.g. a policy slug); may be empty. */
+    std::string runId;
 };
 
 class ParallelRunner

@@ -1,9 +1,11 @@
 #include "exp/report.hh"
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <ostream>
 
+#include "obs/json.hh"
 #include "stats/table.hh"
 
 namespace rc::exp {
@@ -69,6 +71,118 @@ printTimeline(std::ostream& os, const std::string& label,
         }
         os << "  " << start << ": " << stats::formatNumber(v, 2) << '\n';
     }
+}
+
+namespace {
+
+std::string
+lowerCased(const char* s)
+{
+    std::string out(s);
+    std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return out;
+}
+
+/** Doubles in the report: plain decimal, NaN/Inf degrade to null. */
+void
+writeNumber(std::ostream& os, double v)
+{
+    if (std::isfinite(v))
+        os << v;
+    else
+        os << "null";
+}
+
+void
+writeObservability(std::ostream& os, const obs::Observer& observer,
+                   const char* indent)
+{
+    const auto& registry = observer.counters();
+    os << indent << "\"counters\": {";
+    for (std::size_t i = 0; i < obs::kCounterCount; ++i) {
+        const auto counter = static_cast<obs::Counter>(i);
+        os << (i == 0 ? "" : ", ") << '"' << obs::toString(counter)
+           << "\": " << registry.total(counter);
+    }
+    os << "},\n" << indent << "\"gauges\": {";
+    for (std::size_t i = 0; i < obs::kGaugeCount; ++i) {
+        const auto gauge = static_cast<obs::Gauge>(i);
+        os << (i == 0 ? "" : ", ") << '"' << obs::toString(gauge)
+           << "\": ";
+        writeNumber(os, registry.highWater(gauge));
+    }
+    os << "},\n" << indent << "\"profile\": [";
+    const auto& profile = observer.profileData();
+    bool first = true;
+    for (std::size_t i = 0; i < obs::kScopeCount; ++i) {
+        const auto scope = static_cast<obs::Scope>(i);
+        if (profile.calls(scope) == 0)
+            continue;
+        os << (first ? "" : ", ") << "{\"scope\": \""
+           << obs::toString(scope) << "\", \"calls\": "
+           << profile.calls(scope) << ", \"total_ns\": "
+           << profile.totalNs(scope) << ", \"mean_ns\": ";
+        writeNumber(os, profile.meanNs(scope));
+        os << '}';
+        first = false;
+    }
+    os << "],\n"
+       << indent << "\"events_recorded\": " << observer.events().size()
+       << ",\n"
+       << indent << "\"events_dropped\": " << observer.droppedEvents()
+       << ",\n";
+}
+
+} // namespace
+
+void
+writeReportJson(std::ostream& os, const std::string& title,
+                const std::vector<RunResult>& results)
+{
+    os << "{\n"
+       << "  \"schema\": \"rainbowcake-report-v1\",\n"
+       << "  \"title\": \"" << obs::jsonEscape(title) << "\",\n"
+       << "  \"policies\": [\n";
+    for (std::size_t r = 0; r < results.size(); ++r) {
+        const RunResult& result = results[r];
+        const auto& m = result.metrics;
+        os << "    {\n"
+           << "      \"policy\": \""
+           << obs::jsonEscape(result.policyName) << "\",\n"
+           << "      \"run_id\": \"" << obs::jsonEscape(result.runId)
+           << "\",\n"
+           << "      \"invocations\": " << m.total() << ",\n"
+           << "      \"startup_counts\": {";
+        for (std::size_t t = 0; t < platform::kStartupTypeCount; ++t) {
+            const auto type = static_cast<platform::StartupType>(t);
+            os << (t == 0 ? "" : ", ") << '"'
+               << lowerCased(platform::toString(type)) << "\": "
+               << m.countOf(type);
+        }
+        os << "},\n"
+           << "      \"mean_startup_seconds\": ";
+        writeNumber(os, m.meanStartupSeconds());
+        os << ",\n      \"total_startup_seconds\": ";
+        writeNumber(os, m.totalStartupSeconds());
+        os << ",\n      \"mean_e2e_seconds\": ";
+        writeNumber(os, m.meanEndToEndSeconds());
+        os << ",\n      \"p99_e2e_seconds\": ";
+        writeNumber(os, m.p99EndToEndSeconds());
+        os << ",\n      \"waste_gb_seconds\": ";
+        writeNumber(os, result.wasteGbSeconds());
+        os << ",\n      \"never_hit_waste_gb_seconds\": ";
+        writeNumber(os, result.neverHitWasteMbSeconds / 1024.0);
+        os << ",\n      \"stranded\": " << result.strandedInvocations
+           << ",\n";
+        if (result.observer != nullptr)
+            writeObservability(os, *result.observer, "      ");
+        os << "      \"instrumented\": "
+           << (result.observer != nullptr ? "true" : "false") << "\n"
+           << "    }" << (r + 1 < results.size() ? "," : "") << "\n";
+    }
+    os << "  ]\n}\n";
 }
 
 std::string

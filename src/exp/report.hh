@@ -34,6 +34,22 @@ void printTimeline(std::ostream& os, const std::string& label,
 /** "-68%" style relative change of @p ours versus @p baseline. */
 std::string percentChange(double baseline, double ours);
 
+/**
+ * Machine-readable run report ("rainbowcake-report-v1"): the same
+ * per-policy comparison printSummaryTable renders, as JSON. Top-level
+ * keys: "schema", "title", "policies" (array). Each policy object
+ * carries "policy", "run_id", "invocations", "startup_counts" (one
+ * key per lower-cased StartupType), "mean_startup_seconds",
+ * "total_startup_seconds", "mean_e2e_seconds", "p99_e2e_seconds",
+ * "waste_gb_seconds", "never_hit_waste_gb_seconds", "stranded", and —
+ * when the run was instrumented — "counters" / "gauges" keyed by the
+ * stable obs names, "profile" (per-scope calls/total_ns/mean_ns),
+ * "events_recorded", and "events_dropped". Full schema reference:
+ * docs/OBSERVABILITY.md.
+ */
+void writeReportJson(std::ostream& os, const std::string& title,
+                     const std::vector<RunResult>& results);
+
 } // namespace rc::exp
 
 #endif // RC_EXP_REPORT_HH_

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Exporters for the structured event trace.
+ *
+ * Two formats:
+ *
+ *  * Chrome trace_event JSON (open in Perfetto / chrome://tracing):
+ *    containers become tracks carrying their Fig. 5 lifecycle as
+ *    slices (init / idle / busy, labeled with the resident layer),
+ *    invocations become slices on per-function tracks colored by
+ *    startup type, and policy decisions appear as instant markers.
+ *
+ *  * JSONL event dump: one flat JSON object per TraceEvent with the
+ *    stable string names from trace_event.hh. parseJsonlEvents()
+ *    re-ingests the dump, and the round-trip is pinned by tests so
+ *    external notebooks can rely on the schema.
+ */
+
+#ifndef RC_OBS_EXPORT_HH_
+#define RC_OBS_EXPORT_HH_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/observer.hh"
+
+namespace rc::obs {
+
+/** Write the Perfetto-loadable Chrome trace of @p observer. */
+void writeChromeTrace(std::ostream& os, const Observer& observer);
+
+/** Write one JSON object per recorded event, newline-delimited. */
+void writeJsonlEvents(std::ostream& os, const Observer& observer);
+
+/**
+ * Parse a JSONL event dump back into TraceEvents.
+ *
+ * @param in     Stream positioned at the first line.
+ * @param error  Optional; receives a line-tagged message on failure.
+ * @return Parsed events; empty (with @p error set) on parse failure.
+ */
+std::vector<TraceEvent> parseJsonlEvents(std::istream& in,
+                                         std::string* error = nullptr);
+
+} // namespace rc::obs
+
+#endif // RC_OBS_EXPORT_HH_

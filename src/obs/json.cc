@@ -1,0 +1,284 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace rc::obs {
+
+const JsonValue*
+JsonValue::find(const std::string& key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto& [name, value] : object) {
+        if (name == key)
+            return &value;
+    }
+    return nullptr;
+}
+
+double
+JsonValue::numberAt(const std::string& key, double fallback) const
+{
+    const JsonValue* v = find(key);
+    return (v != nullptr && v->isNumber()) ? v->number : fallback;
+}
+
+std::string
+JsonValue::stringAt(const std::string& key,
+                    const std::string& fallback) const
+{
+    const JsonValue* v = find(key);
+    return (v != nullptr && v->isString()) ? v->str : fallback;
+}
+
+namespace {
+
+/** Recursive-descent state over the input text. */
+class Parser
+{
+  public:
+    Parser(const std::string& text, std::string* error)
+        : _text(text), _error(error)
+    {
+    }
+
+    bool
+    parse(JsonValue& out)
+    {
+        skipWs();
+        if (!value(out))
+            return false;
+        skipWs();
+        if (_pos != _text.size())
+            return fail("trailing characters after document");
+        return true;
+    }
+
+  private:
+    bool
+    fail(const char* message)
+    {
+        if (_error != nullptr) {
+            *_error = std::string(message) + " at offset " +
+                      std::to_string(_pos);
+        }
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (_pos < _text.size() &&
+               std::isspace(static_cast<unsigned char>(_text[_pos]))) {
+            ++_pos;
+        }
+    }
+
+    bool
+    literal(const char* word, JsonValue& out, JsonValue::Kind kind,
+            bool boolean)
+    {
+        const std::size_t len = std::string(word).size();
+        if (_text.compare(_pos, len, word) != 0)
+            return fail("unexpected token");
+        _pos += len;
+        out.kind = kind;
+        out.boolean = boolean;
+        return true;
+    }
+
+    bool
+    value(JsonValue& out)
+    {
+        if (_pos >= _text.size())
+            return fail("unexpected end of input");
+        switch (_text[_pos]) {
+          case '{': return objectValue(out);
+          case '[': return arrayValue(out);
+          case '"': return stringValue(out);
+          case 't': return literal("true", out, JsonValue::Kind::Bool, true);
+          case 'f':
+            return literal("false", out, JsonValue::Kind::Bool, false);
+          case 'n': return literal("null", out, JsonValue::Kind::Null, false);
+          default: return numberValue(out);
+        }
+    }
+
+    bool
+    stringBody(std::string& out)
+    {
+        ++_pos; // opening quote
+        while (_pos < _text.size() && _text[_pos] != '"') {
+            char c = _text[_pos];
+            if (c == '\\') {
+                if (_pos + 1 >= _text.size())
+                    return fail("truncated escape");
+                const char esc = _text[_pos + 1];
+                switch (esc) {
+                  case '"': c = '"'; break;
+                  case '\\': c = '\\'; break;
+                  case '/': c = '/'; break;
+                  case 'b': c = '\b'; break;
+                  case 'f': c = '\f'; break;
+                  case 'n': c = '\n'; break;
+                  case 'r': c = '\r'; break;
+                  case 't': c = '\t'; break;
+                  case 'u': {
+                    // The exporters never emit \u; decode to '?' so
+                    // foreign files still round-trip structurally.
+                    if (_pos + 5 >= _text.size())
+                        return fail("truncated \\u escape");
+                    _pos += 4;
+                    c = '?';
+                    break;
+                  }
+                  default: return fail("unknown escape");
+                }
+                _pos += 2;
+                out.push_back(c);
+                continue;
+            }
+            out.push_back(c);
+            ++_pos;
+        }
+        if (_pos >= _text.size())
+            return fail("unterminated string");
+        ++_pos; // closing quote
+        return true;
+    }
+
+    bool
+    stringValue(JsonValue& out)
+    {
+        out.kind = JsonValue::Kind::String;
+        return stringBody(out.str);
+    }
+
+    bool
+    numberValue(JsonValue& out)
+    {
+        const char* start = _text.c_str() + _pos;
+        char* end = nullptr;
+        const double parsed = std::strtod(start, &end);
+        if (end == start)
+            return fail("invalid number");
+        _pos += static_cast<std::size_t>(end - start);
+        out.kind = JsonValue::Kind::Number;
+        out.number = parsed;
+        return true;
+    }
+
+    bool
+    arrayValue(JsonValue& out)
+    {
+        out.kind = JsonValue::Kind::Array;
+        ++_pos; // '['
+        skipWs();
+        if (_pos < _text.size() && _text[_pos] == ']') {
+            ++_pos;
+            return true;
+        }
+        for (;;) {
+            JsonValue element;
+            if (!value(element))
+                return false;
+            out.array.push_back(std::move(element));
+            skipWs();
+            if (_pos >= _text.size())
+                return fail("unterminated array");
+            if (_text[_pos] == ',') {
+                ++_pos;
+                skipWs();
+                continue;
+            }
+            if (_text[_pos] == ']') {
+                ++_pos;
+                return true;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    bool
+    objectValue(JsonValue& out)
+    {
+        out.kind = JsonValue::Kind::Object;
+        ++_pos; // '{'
+        skipWs();
+        if (_pos < _text.size() && _text[_pos] == '}') {
+            ++_pos;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (_pos >= _text.size() || _text[_pos] != '"')
+                return fail("expected object key");
+            std::string key;
+            if (!stringBody(key))
+                return false;
+            skipWs();
+            if (_pos >= _text.size() || _text[_pos] != ':')
+                return fail("expected ':'");
+            ++_pos;
+            skipWs();
+            JsonValue member;
+            if (!value(member))
+                return false;
+            out.object.emplace_back(std::move(key), std::move(member));
+            skipWs();
+            if (_pos >= _text.size())
+                return fail("unterminated object");
+            if (_text[_pos] == ',') {
+                ++_pos;
+                continue;
+            }
+            if (_text[_pos] == '}') {
+                ++_pos;
+                return true;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    const std::string& _text;
+    std::string* _error;
+    std::size_t _pos = 0;
+};
+
+} // namespace
+
+bool
+parseJson(const std::string& text, JsonValue& out, std::string* error)
+{
+    return Parser(text, error).parse(out);
+}
+
+std::string
+jsonEscape(const std::string& raw)
+{
+    std::string out;
+    out.reserve(raw.size());
+    for (const char c : raw) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out.push_back(c);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace rc::obs

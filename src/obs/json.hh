@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Minimal JSON reader for validating and re-ingesting the artifacts
+ * the observability layer writes.
+ *
+ * The simulator emits three JSON artifact kinds (Chrome trace, JSONL
+ * event dump, run report); tests and the CI checker must parse them
+ * back without external dependencies, so this is a small recursive-
+ * descent parser producing a plain DOM. It accepts strict JSON (no
+ * comments, no trailing commas) — exactly what the exporters write —
+ * and is not a performance path.
+ */
+
+#ifndef RC_OBS_JSON_HH_
+#define RC_OBS_JSON_HH_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rc::obs {
+
+/** One parsed JSON value (a small tagged tree). */
+struct JsonValue
+{
+    enum class Kind
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string str;
+    std::vector<JsonValue> array;
+    std::vector<std::pair<std::string, JsonValue>> object;
+
+    bool isObject() const { return kind == Kind::Object; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+
+    /** Member lookup on an object; nullptr when absent or not one. */
+    const JsonValue* find(const std::string& key) const;
+
+    /** Number value of member @p key, or @p fallback. */
+    double numberAt(const std::string& key, double fallback = 0.0) const;
+
+    /** String value of member @p key, or @p fallback. */
+    std::string stringAt(const std::string& key,
+                         const std::string& fallback = "") const;
+};
+
+/**
+ * Parse @p text as one JSON document.
+ *
+ * @param text   Complete JSON text.
+ * @param out    Receives the parsed tree on success.
+ * @param error  Optional; receives a position-tagged message on failure.
+ * @return true on success.
+ */
+bool parseJson(const std::string& text, JsonValue& out,
+               std::string* error = nullptr);
+
+/** Escape @p raw for embedding inside a JSON string literal. */
+std::string jsonEscape(const std::string& raw);
+
+} // namespace rc::obs
+
+#endif // RC_OBS_JSON_HH_

@@ -1,0 +1,232 @@
+#include "obs/observer.hh"
+
+#include "sim/logging.hh"
+
+namespace rc::obs {
+
+// ---------------------------------------------------------------------------
+// Name tables
+
+const char*
+toString(Category category)
+{
+    switch (category) {
+      case Category::Engine: return "engine";
+      case Category::Container: return "container";
+      case Category::Pool: return "pool";
+      case Category::Invoker: return "invoker";
+      case Category::Policy: return "policy";
+      case Category::Cluster: return "cluster";
+    }
+    return "?";
+}
+
+const char*
+toString(EventType type)
+{
+    switch (type) {
+      case EventType::ContainerCreated: return "container_created";
+      case EventType::ContainerInitDone: return "container_init_done";
+      case EventType::ContainerUpgrade: return "container_upgrade";
+      case EventType::ContainerRepurpose: return "container_repurpose";
+      case EventType::ContainerExecBegin: return "container_exec_begin";
+      case EventType::ContainerExecEnd: return "container_exec_end";
+      case EventType::ContainerDowngraded: return "container_downgraded";
+      case EventType::ContainerKilled: return "container_killed";
+      case EventType::ContainerSharedHit: return "container_shared_hit";
+      case EventType::InvocationArrived: return "invocation_arrived";
+      case EventType::InvocationQueued: return "invocation_queued";
+      case EventType::InvocationDispatched: return "invocation_dispatched";
+      case EventType::InvocationCompleted: return "invocation_completed";
+      case EventType::KeepAliveSet: return "keep_alive_set";
+      case EventType::IdleExpired: return "idle_expired";
+      case EventType::PrewarmScheduled: return "prewarm_scheduled";
+      case EventType::PrewarmFired: return "prewarm_fired";
+      case EventType::PrewarmSkipped: return "prewarm_skipped";
+      case EventType::PolicyDecision: return "policy_decision";
+      case EventType::EvictionForMemory: return "eviction_for_memory";
+      case EventType::ClusterRouted: return "cluster_routed";
+      case EventType::EngineStats: return "engine_stats";
+    }
+    return "?";
+}
+
+const char*
+toString(KillCause cause)
+{
+    switch (cause) {
+      case KillCause::Unknown: return "unknown";
+      case KillCause::TtlExpired: return "ttl_expired";
+      case KillCause::BareExpired: return "bare_expired";
+      case KillCause::MemoryPressure: return "memory_pressure";
+      case KillCause::PoolSaturated: return "pool_saturated";
+      case KillCause::RepackFailed: return "repack_failed";
+      case KillCause::Finalize: return "finalize";
+    }
+    return "?";
+}
+
+bool
+categoryFromString(const char* name, Category& out)
+{
+    for (std::size_t i = 0; i < kCategoryCount; ++i) {
+        const auto candidate = static_cast<Category>(i);
+        if (std::string(toString(candidate)) == name) {
+            out = candidate;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+eventTypeFromString(const char* name, EventType& out)
+{
+    for (std::size_t i = 0; i < kEventTypeCount; ++i) {
+        const auto candidate = static_cast<EventType>(i);
+        if (std::string(toString(candidate)) == name) {
+            out = candidate;
+            return true;
+        }
+    }
+    return false;
+}
+
+Category
+categoryOf(EventType type)
+{
+    switch (type) {
+      case EventType::ContainerCreated:
+      case EventType::ContainerInitDone:
+      case EventType::ContainerUpgrade:
+      case EventType::ContainerRepurpose:
+      case EventType::ContainerExecBegin:
+      case EventType::ContainerExecEnd:
+      case EventType::ContainerDowngraded:
+      case EventType::ContainerKilled:
+      case EventType::ContainerSharedHit:
+        return Category::Container;
+      case EventType::InvocationArrived:
+      case EventType::InvocationQueued:
+      case EventType::InvocationDispatched:
+      case EventType::InvocationCompleted:
+        return Category::Invoker;
+      case EventType::KeepAliveSet:
+      case EventType::IdleExpired:
+      case EventType::PrewarmScheduled:
+      case EventType::PrewarmFired:
+      case EventType::PrewarmSkipped:
+      case EventType::PolicyDecision:
+        return Category::Policy;
+      case EventType::EvictionForMemory:
+        return Category::Pool;
+      case EventType::ClusterRouted:
+        return Category::Cluster;
+      case EventType::EngineStats:
+        return Category::Engine;
+    }
+    return Category::Engine;
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+const char*
+toString(Counter counter)
+{
+    switch (counter) {
+      case Counter::HitUser: return "hit_user";
+      case Counter::HitLoad: return "hit_load";
+      case Counter::HitForeignUser: return "hit_foreign_user";
+      case Counter::HitLang: return "hit_lang";
+      case Counter::HitBare: return "hit_bare";
+      case Counter::ColdStart: return "cold_start";
+      case Counter::KillUnknown: return "kill_unknown";
+      case Counter::KillTtlExpired: return "kill_ttl_expired";
+      case Counter::KillBareExpired: return "kill_bare_expired";
+      case Counter::KillMemoryPressure: return "kill_memory_pressure";
+      case Counter::KillPoolSaturated: return "kill_pool_saturated";
+      case Counter::KillRepackFailed: return "kill_repack_failed";
+      case Counter::KillFinalize: return "kill_finalize";
+      case Counter::Queued: return "queued";
+      case Counter::PrewarmScheduled: return "prewarm_scheduled";
+      case Counter::PrewarmFired: return "prewarm_fired";
+      case Counter::PrewarmSkipped: return "prewarm_skipped";
+      case Counter::EngineExecuted: return "engine_executed";
+      case Counter::EngineScheduled: return "engine_scheduled";
+      case Counter::EngineCancelled: return "engine_cancelled";
+    }
+    return "?";
+}
+
+const char*
+toString(Gauge gauge)
+{
+    switch (gauge) {
+      case Gauge::QueueDepth: return "queue_depth_high_water";
+      case Gauge::PoolMemoryMb: return "pool_memory_mb_high_water";
+      case Gauge::LiveContainers: return "live_containers_high_water";
+    }
+    return "?";
+}
+
+Registry::Registry(sim::Tick interval) : _interval(interval)
+{
+    if (interval <= 0)
+        sim::fatal("obs::Registry: snapshot interval must be positive");
+}
+
+Counter
+killCounter(std::uint8_t cause)
+{
+    if (cause >= kKillCauseCount)
+        return Counter::KillUnknown;
+    return static_cast<Counter>(
+        static_cast<std::size_t>(Counter::KillUnknown) + cause);
+}
+
+const char*
+toString(Scope scope)
+{
+    switch (scope) {
+      case Scope::EngineRun: return "engine_run";
+      case Scope::PolicyKeepAlive: return "policy_keep_alive";
+      case Scope::PolicyIdle: return "policy_idle_decision";
+      case Scope::PolicyEvictRank: return "policy_evict_rank";
+      case Scope::PoolScan: return "pool_scan";
+      case Scope::Finalize: return "finalize";
+      case Scope::Export: return "export";
+    }
+    return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Observer
+
+Observer::Observer(ObserverConfig config)
+    : _config(config), _registry(config.counterInterval)
+{
+}
+
+void
+Observer::recordEngineStats(sim::Tick now, std::uint64_t executed,
+                            std::uint64_t scheduled,
+                            std::uint64_t cancelled)
+{
+    _registry.bump(Counter::EngineExecuted, now, executed);
+    _registry.bump(Counter::EngineScheduled, now, scheduled);
+    _registry.bump(Counter::EngineCancelled, now, cancelled);
+    emit(now, EventType::EngineStats, 0, 0xffffffffU, 0, 0,
+         static_cast<double>(executed), static_cast<double>(cancelled));
+}
+
+void
+Observer::reset()
+{
+    _events.clear();
+    _dropped = 0;
+    _registry = Registry(_config.counterInterval);
+    _profiler = Profiler();
+}
+
+} // namespace rc::obs

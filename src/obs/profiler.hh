@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Scoped wall-clock profiling of the simulator's own hot paths.
+ *
+ * The Profiler answers "where does a run's real time go": the engine
+ * dispatch loop, policy decision hooks, and pool scans each get a
+ * labeled accumulator of call count and total nanoseconds. A scope is
+ * two steady_clock reads when profiling is on and a single null check
+ * when off (RC_OBS_SCOPE expands around a nullable Profiler*), so the
+ * instrumentation itself satisfies the zero-cost-when-disabled rule.
+ *
+ * Wall-clock numbers are host noise, not simulation results: they are
+ * reported per run but never fed back into simulated time.
+ */
+
+#ifndef RC_OBS_PROFILER_HH_
+#define RC_OBS_PROFILER_HH_
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+
+namespace rc::obs {
+
+/** Instrumented code regions. */
+enum class Scope : std::uint8_t
+{
+    EngineRun,      //!< Engine::run drain inside Node::run
+    PolicyKeepAlive,//!< Policy::keepAliveTtl
+    PolicyIdle,     //!< Policy::onIdleExpired
+    PolicyEvictRank,//!< Policy::rankEvictionVictims
+    PoolScan,       //!< pool lookup-ladder scans
+    Finalize,       //!< Node::finalize end-of-run flush
+    Export,         //!< writing trace/report artifacts
+};
+
+/** Number of scopes. */
+inline constexpr std::size_t kScopeCount =
+    static_cast<std::size_t>(Scope::Export) + 1;
+
+/** Stable snake_case scope names. */
+const char* toString(Scope scope);
+
+/** Per-run accumulator of scoped timings. */
+class Profiler
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /** Charge @p ns of wall time to @p scope. */
+    void
+    add(Scope scope, std::uint64_t ns)
+    {
+        auto& entry = _entries[static_cast<std::size_t>(scope)];
+        ++entry.calls;
+        entry.totalNs += ns;
+    }
+
+    /** Number of times @p scope was entered. */
+    std::uint64_t
+    calls(Scope scope) const
+    {
+        return _entries[static_cast<std::size_t>(scope)].calls;
+    }
+
+    /** Total wall nanoseconds spent inside @p scope. */
+    std::uint64_t
+    totalNs(Scope scope) const
+    {
+        return _entries[static_cast<std::size_t>(scope)].totalNs;
+    }
+
+    /** Mean nanoseconds per call; 0 when never entered. */
+    double
+    meanNs(Scope scope) const
+    {
+        const auto& entry = _entries[static_cast<std::size_t>(scope)];
+        if (entry.calls == 0)
+            return 0.0;
+        return static_cast<double>(entry.totalNs) /
+               static_cast<double>(entry.calls);
+    }
+
+  private:
+    struct Entry
+    {
+        std::uint64_t calls = 0;
+        std::uint64_t totalNs = 0;
+    };
+
+    std::array<Entry, kScopeCount> _entries{};
+};
+
+/**
+ * RAII timer charging its lifetime to a scope of a *nullable*
+ * profiler: `ScopedTimer t(profiler, Scope::PoolScan);` does nothing
+ * but a null check when @p profiler is nullptr.
+ */
+class ScopedTimer
+{
+  public:
+    ScopedTimer(Profiler* profiler, Scope scope)
+        : _profiler(profiler), _scope(scope)
+    {
+        if (_profiler != nullptr)
+            _start = Profiler::Clock::now();
+    }
+
+    ~ScopedTimer()
+    {
+        if (_profiler != nullptr) {
+            const auto ns =
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    Profiler::Clock::now() - _start)
+                    .count();
+            _profiler->add(_scope, static_cast<std::uint64_t>(ns));
+        }
+    }
+
+    ScopedTimer(const ScopedTimer&) = delete;
+    ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  private:
+    Profiler* _profiler;
+    Scope _scope;
+    Profiler::Clock::time_point _start{};
+};
+
+} // namespace rc::obs
+
+#endif // RC_OBS_PROFILER_HH_

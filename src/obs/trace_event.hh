@@ -1,0 +1,136 @@
+/**
+ * @file
+ * The structured event vocabulary of the observability layer.
+ *
+ * A TraceEvent is a 40-byte POD: the emitting site pays one branch on
+ * a null Observer pointer plus, when enabled, a bounds-checked append
+ * into a flat buffer. Categories partition the simulator's layers
+ * (engine, container FSM, pool, invoker, policy, cluster); types name
+ * the specific occurrence. Small enum-like arguments (layer, startup
+ * type, decision action, kill cause) travel in two uint8 slots and
+ * two doubles carry quantitative payload (memory MB, TTL seconds,
+ * latencies), so no event ever allocates.
+ *
+ * The taxonomy deliberately mirrors the paper's Fig. 5 container
+ * state machine: every container transition the FSM permits has
+ * exactly one event type, which is what lets the exporter rebuild
+ * per-container lifecycle tracks and the tests assert transition
+ * legality (docs/OBSERVABILITY.md maps types to Fig. 5 edges).
+ */
+
+#ifndef RC_OBS_TRACE_EVENT_HH_
+#define RC_OBS_TRACE_EVENT_HH_
+
+#include <cstdint>
+
+#include "sim/time.hh"
+
+namespace rc::obs {
+
+/** Simulator layer an event originates from. */
+enum class Category : std::uint8_t
+{
+    Engine,    //!< event-queue statistics
+    Container, //!< Fig. 5 FSM transitions
+    Pool,      //!< admissions, evictions, memory accounting
+    Invoker,   //!< arrival-to-completion orchestration
+    Policy,    //!< keep-alive / pre-warm / eviction decisions
+    Cluster,   //!< inter-node routing
+};
+
+/** Number of categories (for mask bits and name tables). */
+inline constexpr std::size_t kCategoryCount = 6;
+
+/** What happened. Grouped by the Category it belongs to. */
+enum class EventType : std::uint8_t
+{
+    // Container (Fig. 5): a = layer reached / target, b = extra.
+    ContainerCreated,     //!< None -> Initializing (arg0 = memory MB)
+    ContainerInitDone,    //!< Initializing -> Idle at layer a
+    ContainerUpgrade,     //!< Idle -> Initializing toward layer a
+    ContainerRepurpose,   //!< Idle(User, foreign) -> Initializing (Pagurus)
+    ContainerExecBegin,   //!< Idle -> Busy
+    ContainerExecEnd,     //!< Busy -> Idle
+    ContainerDowngraded,  //!< layer peeled; a = new layer (arg0 = MB after)
+    ContainerKilled,      //!< any -> Dead; b = KillCause (arg0 = MB freed)
+    ContainerSharedHit,   //!< idle template forked/shared without consuming
+
+    // Invoker: a = StartupType where meaningful.
+    InvocationArrived,    //!< arrival entered the lookup ladder
+    InvocationQueued,     //!< no memory; parked in the admission queue
+    InvocationDispatched, //!< bound to container; a = StartupType
+    InvocationCompleted,  //!< a = StartupType; arg0/arg1 = startup/e2e s
+
+    // Policy decisions.
+    KeepAliveSet,         //!< TTL granted to a fresh idle container
+                          //!< (arg0 = TTL s; negative: keep forever)
+    IdleExpired,          //!< TTL fired; a = IdleDecision action,
+                          //!< b = layer; arg0 = next TTL s
+    PrewarmScheduled,     //!< Algorithm 1 armed (arg0 = delay s)
+    PrewarmFired,         //!< pre-warm created a container
+    PrewarmSkipped,       //!< Available() or memory vetoed it
+    PolicyDecision,       //!< policy-specific audit record (RainbowCake:
+                          //!< a = layer, arg0 = TTL s, arg1 = IAT/beta s)
+
+    // Pool.
+    EvictionForMemory,    //!< policy-ranked victim killed to fit a cold
+                          //!< start (arg0 = MB freed)
+
+    // Cluster: a = node index picked.
+    ClusterRouted,
+
+    // Engine (snapshot at end of run via Observer::recordEngineStats).
+    EngineStats,          //!< arg0 = executed, arg1 = cancelled
+};
+
+/** Number of event types (for name tables). */
+inline constexpr std::size_t kEventTypeCount =
+    static_cast<std::size_t>(EventType::EngineStats) + 1;
+
+/** Why a container was terminated (travels in TraceEvent::b). */
+enum class KillCause : std::uint8_t
+{
+    Unknown,        //!< direct kill with no recorded reason
+    TtlExpired,     //!< policy decided Kill on idle expiry
+    BareExpired,    //!< Bare container timed out (nothing left to peel)
+    MemoryPressure, //!< evicted to fit an incoming cold start
+    PoolSaturated,  //!< would downgrade into a full shared pool
+    RepackFailed,   //!< Pagurus re-pack had no memory / wrong layer
+    Finalize,       //!< end-of-run flush of survivors
+};
+
+/** Number of kill causes (for counter arrays and name tables). */
+inline constexpr std::size_t kKillCauseCount =
+    static_cast<std::size_t>(KillCause::Finalize) + 1;
+
+/** One structured trace record; POD, fixed size, no ownership. */
+struct TraceEvent
+{
+    sim::Tick tick = 0;            //!< simulated time (microseconds)
+    std::uint64_t container = 0;   //!< container id; 0 = none
+    std::uint32_t function = 0xffffffffU; //!< FunctionId; ~0 = none
+    Category category = Category::Engine;
+    EventType type = EventType::EngineStats;
+    std::uint8_t a = 0;            //!< small arg (layer/type/action/node)
+    std::uint8_t b = 0;            //!< small arg (cause/layer)
+    double arg0 = 0.0;             //!< payload (MB, seconds, counts)
+    double arg1 = 0.0;             //!< payload
+};
+
+static_assert(sizeof(TraceEvent) == 40, "TraceEvent must stay compact");
+
+/** Stable name tables (used by both exporters and the parser). */
+const char* toString(Category category);
+const char* toString(EventType type);
+const char* toString(KillCause cause);
+
+/** Reverse lookups; return false when @p name is unknown. */
+bool categoryFromString(const char* name, Category& out);
+bool eventTypeFromString(const char* name, EventType& out);
+
+/** Category an event type belongs to. */
+Category categoryOf(EventType type);
+
+} // namespace rc::obs
+
+#endif // RC_OBS_TRACE_EVENT_HH_

@@ -12,11 +12,24 @@ using workload::Layer;
 
 Invoker::Invoker(sim::Engine& engine, const workload::Catalog& catalog,
                  ContainerPool& pool, policy::Policy& policy,
-                 Metrics& metrics, sim::Rng& rng)
+                 Metrics& metrics, sim::Rng& rng, obs::Observer* observer)
     : _engine(engine), _catalog(catalog), _pool(pool), _policy(policy),
-      _metrics(metrics), _rng(rng)
+      _metrics(metrics), _rng(rng), _obs(observer)
 {
     _policy.attach(*this);
+    _policy.setObserver(observer);
+}
+
+void
+Invoker::noteDispatch(const Pending& inv, container::ContainerId cid,
+                      StartupType type, obs::Counter counter)
+{
+    if (_obs == nullptr)
+        return;
+    _obs->counters().bump(counter, _engine.now());
+    _obs->emit(_engine.now(), obs::EventType::InvocationDispatched, cid,
+               inv.function, static_cast<std::uint8_t>(type), 0,
+               sim::toSeconds(inv.queueWait));
 }
 
 sim::Tick
@@ -33,15 +46,32 @@ Invoker::coldInitLatency(const workload::FunctionProfile& p) const
 void
 Invoker::onArrival(workload::FunctionId function)
 {
+    if (_obs != nullptr) {
+        _obs->emit(_engine.now(), obs::EventType::InvocationArrived, 0,
+                   function);
+    }
     _policy.onArrival(function);
     const Pending inv{function, _engine.now(), 0};
-    if (!tryDispatch(inv))
+    if (!tryDispatch(inv)) {
         _queue.push_back(inv);
+        RC_LOG(Debug, "queueing invocation of f" << function
+                      << " (queue depth " << _queue.size() << ")");
+        if (_obs != nullptr) {
+            _obs->counters().bump(obs::Counter::Queued, _engine.now());
+            _obs->counters().gaugeMax(
+                obs::Gauge::QueueDepth,
+                static_cast<double>(_queue.size()));
+            _obs->emit(_engine.now(), obs::EventType::InvocationQueued, 0,
+                       function, 0, 0,
+                       static_cast<double>(_queue.size()));
+        }
+    }
 }
 
 bool
 Invoker::tryDispatch(const Pending& inv)
 {
+    const obs::ScopedTimer scanTimer(profiler(), obs::Scope::PoolScan);
     const auto& profile = _catalog.at(inv.function);
 
     // 1. Idle User container of this function: complete warm start.
@@ -51,6 +81,7 @@ Invoker::tryDispatch(const Pending& inv)
     if (Container* c = _pool.findIdleUser(inv.function)) {
         const StartupType type = c->everExecuted() ? StartupType::Load
                                                    : StartupType::User;
+        noteDispatch(inv, c->id(), type, obs::Counter::HitUser);
         dispatchUserHit(inv, *c, type, 0);
         return true;
     }
@@ -59,6 +90,8 @@ Invoker::tryDispatch(const Pending& inv)
     if (Container* c = _pool.findUnclaimedInit(inv.function)) {
         _pool.claim(*c);
         _attachments[c->id()] = Attachment{inv, StartupType::Load};
+        noteDispatch(inv, c->id(), StartupType::Load,
+                     obs::Counter::HitLoad);
         return true;
     }
 
@@ -72,6 +105,8 @@ Invoker::tryDispatch(const Pending& inv)
             continue;
         _pool.claim(*c);
         _attachments[c->id()] = Attachment{inv, StartupType::User};
+        noteDispatch(inv, c->id(), StartupType::User,
+                     obs::Counter::HitForeignUser);
         const container::ContainerId cid = c->id();
         _engine.scheduleAfter(specialize,
                               [this, cid] { onInitComplete(cid); });
@@ -143,6 +178,9 @@ Invoker::tryDispatchPartial(const Pending& inv, Container& c,
         target = &c;
     }
     _attachments[target->id()] = Attachment{inv, type};
+    noteDispatch(inv, target->id(), type,
+                 type == StartupType::Lang ? obs::Counter::HitLang
+                                           : obs::Counter::HitBare);
     const container::ContainerId cid = target->id();
     _engine.scheduleAfter(install, [this, cid] { onInitComplete(cid); });
     return true;
@@ -168,6 +206,8 @@ Invoker::tryDispatchCold(const Pending& inv)
         static_cast<double>(coldInitLatency(profile)) *
         _policy.coldStartFactor());
     _attachments[c->id()] = Attachment{inv, StartupType::Cold};
+    noteDispatch(inv, c->id(), StartupType::Cold,
+                 obs::Counter::ColdStart);
     const container::ContainerId cid = c->id();
     _engine.scheduleAfter(install, [this, cid] { onInitComplete(cid); });
     return true;
@@ -207,11 +247,11 @@ Invoker::startExecution(const Pending& inv, Container& c, StartupType type,
     const sim::Tick startupLatency =
         (bindTime - inv.arrival) + dispatchOverhead;
 
-    policy::StartupObservation obs;
-    obs.function = inv.function;
-    obs.type = type;
-    obs.startupLatency = startupLatency;
-    _policy.onStartupResolved(obs);
+    policy::StartupObservation observation;
+    observation.function = inv.function;
+    observation.type = type;
+    observation.startupLatency = startupLatency;
+    _policy.onStartupResolved(observation);
 
     ++_inFlight;
     const container::ContainerId cid = c.id();
@@ -234,6 +274,15 @@ Invoker::startExecution(const Pending& inv, Container& c, StartupType type,
             record.endToEnd = _engine.now() - inv.arrival;
             _metrics.record(record);
 
+            if (_obs != nullptr) {
+                _obs->emit(_engine.now(),
+                           obs::EventType::InvocationCompleted, cid,
+                           inv.function,
+                           static_cast<std::uint8_t>(type), 0,
+                           sim::toSeconds(record.startupLatency),
+                           sim::toSeconds(record.endToEnd));
+            }
+
             scheduleKeepAlive(*done);
             drainQueue();
         });
@@ -242,7 +291,17 @@ Invoker::startExecution(const Pending& inv, Container& c, StartupType type,
 void
 Invoker::scheduleKeepAlive(Container& c)
 {
-    const sim::Tick ttl = _policy.keepAliveTtl(c);
+    sim::Tick ttl = 0;
+    {
+        const obs::ScopedTimer timer(profiler(),
+                                     obs::Scope::PolicyKeepAlive);
+        ttl = _policy.keepAliveTtl(c);
+    }
+    if (_obs != nullptr) {
+        _obs->emit(_engine.now(), obs::EventType::KeepAliveSet, c.id(),
+                   c.function(), static_cast<std::uint8_t>(c.layer()), 0,
+                   ttl < 0 ? -1.0 : sim::toSeconds(ttl));
+    }
     if (ttl < 0)
         return; // policy keeps the container until evicted
     const container::ContainerId cid = c.id();
@@ -258,17 +317,28 @@ Invoker::onIdleTimeout(container::ContainerId cid)
         return; // stale event; reuse should have cancelled it
     c->setTimeoutEvent(sim::kNoEvent);
 
-    policy::IdleDecision decision = _policy.onIdleExpired(*c);
+    policy::IdleDecision decision;
+    {
+        const obs::ScopedTimer timer(profiler(), obs::Scope::PolicyIdle);
+        decision = _policy.onIdleExpired(*c);
+    }
+    if (_obs != nullptr) {
+        _obs->emit(_engine.now(), obs::EventType::IdleExpired, c->id(),
+                   c->function(),
+                   static_cast<std::uint8_t>(decision.action),
+                   static_cast<std::uint8_t>(c->layer()),
+                   sim::toSeconds(decision.nextTtl));
+    }
     switch (decision.action) {
       case policy::IdleDecision::Action::Kill:
-        _pool.kill(*c);
+        _pool.kill(*c, decision.killCause);
         drainQueue();
         return;
 
       case policy::IdleDecision::Action::Downgrade:
         if (c->layer() == Layer::Bare) {
             // Nothing left to peel: Bare timeout terminates (Fig. 5).
-            _pool.kill(*c);
+            _pool.kill(*c, obs::KillCause::BareExpired);
             drainQueue();
             return;
         }
@@ -291,7 +361,7 @@ Invoker::onIdleTimeout(container::ContainerId cid)
         // failed, so the container terminates as it would have
         // without the sharing scheme. Renewing instead would leave an
         // immortal container under memory pressure.
-        _pool.kill(*c);
+        _pool.kill(*c, obs::KillCause::RepackFailed);
         drainQueue();
         return;
     }
@@ -307,6 +377,12 @@ Invoker::onIdleTimeout(container::ContainerId cid)
 void
 Invoker::schedulePrewarm(workload::FunctionId function, sim::Tick delay)
 {
+    if (_obs != nullptr) {
+        _obs->counters().bump(obs::Counter::PrewarmScheduled,
+                              _engine.now());
+        _obs->emit(_engine.now(), obs::EventType::PrewarmScheduled, 0,
+                   function, 0, 0, sim::toSeconds(delay));
+    }
     _engine.scheduleAfter(delay,
                           [this, function] { firePrewarm(function); });
 }
@@ -314,19 +390,40 @@ Invoker::schedulePrewarm(workload::FunctionId function, sim::Tick delay)
 void
 Invoker::firePrewarm(workload::FunctionId function)
 {
+    // a-slot encoding of the PrewarmSkipped reasons below.
+    const auto skip = [this, function](std::uint8_t reason) {
+        if (_obs != nullptr) {
+            _obs->counters().bump(obs::Counter::PrewarmSkipped,
+                                  _engine.now());
+            _obs->emit(_engine.now(), obs::EventType::PrewarmSkipped, 0,
+                       function, reason);
+        }
+    };
+
     // Algorithm 1: skip when warm capacity for the function exists.
-    if (_pool.userAvailable(function))
+    if (_pool.userAvailable(function)) {
+        skip(0); // warm capacity already available
         return;
+    }
 
     const auto& profile = _catalog.at(function);
     const double auxMb = _policy.auxiliaryMemoryMb(profile);
     const double needed = profile.memoryAtLayer(Layer::User) + auxMb;
-    if (!_pool.canFit(needed))
-        return; // pre-warms never evict or queue
+    if (!_pool.canFit(needed)) {
+        skip(1); // memory veto: pre-warms never evict or queue
+        return;
+    }
 
     Container* c = _pool.create(profile, Layer::User, /*claimed=*/false);
-    if (!c)
+    if (!c) {
+        skip(1);
         return;
+    }
+    if (_obs != nullptr) {
+        _obs->counters().bump(obs::Counter::PrewarmFired, _engine.now());
+        _obs->emit(_engine.now(), obs::EventType::PrewarmFired, c->id(),
+                   function);
+    }
     if (auxMb > 0.0)
         _pool.setAuxiliaryMemory(*c, auxMb);
 
@@ -342,12 +439,25 @@ Invoker::evictToFit(double mb)
 {
     if (_pool.canFit(mb))
         return true;
-    const auto victims = _policy.rankEvictionVictims(_pool.idleContainers());
+    std::vector<container::ContainerId> victims;
+    {
+        const obs::ScopedTimer timer(profiler(),
+                                     obs::Scope::PolicyEvictRank);
+        victims = _policy.rankEvictionVictims(_pool.idleContainers());
+    }
     for (const auto id : victims) {
         Container* victim = _pool.byId(id);
         if (!victim || victim->state() != State::Idle)
             continue;
-        _pool.kill(*victim);
+        const double freedMb = victim->memoryMb();
+        const auto function = victim->function();
+        RC_LOG(Debug, "evicting container " << id << " (" << freedMb
+                      << " MB) to fit " << mb << " MB");
+        _pool.kill(*victim, obs::KillCause::MemoryPressure);
+        if (_obs != nullptr) {
+            _obs->emit(_engine.now(), obs::EventType::EvictionForMemory,
+                       id, function, 0, 0, freedMb);
+        }
         if (_pool.canFit(mb))
             return true;
     }

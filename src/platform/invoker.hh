@@ -29,6 +29,7 @@
 #include <deque>
 #include <unordered_map>
 
+#include "obs/observer.hh"
 #include "platform/metrics.hh"
 #include "platform/pool.hh"
 #include "policy/policy.hh"
@@ -42,9 +43,14 @@ namespace rc::platform {
 class Invoker : public policy::PlatformView
 {
   public:
+    /**
+     * @param observer  Optional trace/counter/profiler sink, shared
+     *                  with the pool and forwarded to the policy;
+     *                  nullptr disables instrumentation.
+     */
     Invoker(sim::Engine& engine, const workload::Catalog& catalog,
             ContainerPool& pool, policy::Policy& policy, Metrics& metrics,
-            sim::Rng& rng);
+            sim::Rng& rng, obs::Observer* observer = nullptr);
 
     Invoker(const Invoker&) = delete;
     Invoker& operator=(const Invoker&) = delete;
@@ -126,12 +132,24 @@ class Invoker : public policy::PlatformView
     /** Full init latency from scratch for @p f (incl. overheads). */
     sim::Tick coldInitLatency(const workload::FunctionProfile& p) const;
 
+    /** Trace a successful ladder binding and bump its hit counter. */
+    void noteDispatch(const Pending& inv, container::ContainerId cid,
+                      StartupType type, obs::Counter counter);
+
+    /** Profiler of the attached observer, or nullptr. */
+    obs::Profiler*
+    profiler()
+    {
+        return _obs != nullptr ? _obs->profiler() : nullptr;
+    }
+
     sim::Engine& _engine;
     const workload::Catalog& _catalog;
     ContainerPool& _pool;
     policy::Policy& _policy;
     Metrics& _metrics;
     sim::Rng& _rng;
+    obs::Observer* _obs = nullptr;
 
     std::deque<Pending> _queue;
     std::unordered_map<container::ContainerId, Attachment> _attachments;

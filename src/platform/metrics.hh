@@ -61,8 +61,24 @@ class Metrics
     /** Mean end-to-end latency in seconds. */
     double meanEndToEndSeconds() const;
 
-    /** Exact P99 of end-to-end latency in seconds. */
+    /**
+     * Exact P99 of end-to-end latency in seconds.
+     *
+     * Thread-safety: genuinely const. Earlier versions sorted a
+     * `mutable` sample store here, which made concurrent const reads
+     * of one Metrics (report writers walking RunResults produced by
+     * exp::ParallelRunner) a data race; the percentile store now
+     * never mutates on read. Call sortLatencyCache() from the owning
+     * thread first to make repeated reads O(1).
+     */
     double p99EndToEndSeconds() const;
+
+    /**
+     * Explicitly sort the latency sample store so subsequent
+     * percentile reads skip the per-call copy. Mutator: call it
+     * before sharing this Metrics across threads, never after.
+     */
+    void sortLatencyCache() { _e2ePercentile.sortSamples(); }
 
     /** Per-function startup latency accumulator (seconds). */
     stats::Accumulator startupByFunction(workload::FunctionId f) const;
@@ -84,7 +100,7 @@ class Metrics
     std::array<std::uint64_t, kStartupTypeCount> _typeCounts{};
     double _totalStartupSeconds = 0.0;
     double _totalEndToEndSeconds = 0.0;
-    mutable stats::Percentile _e2ePercentile;
+    stats::Percentile _e2ePercentile;
 };
 
 } // namespace rc::platform

@@ -20,8 +20,10 @@ requirePolicy(std::unique_ptr<policy::Policy> policy)
 Node::Node(const workload::Catalog& catalog,
            std::unique_ptr<policy::Policy> policy, NodeConfig config)
     : _catalog(catalog), _policy(requirePolicy(std::move(policy))),
-      _rng(config.seed), _pool(_engine, config.pool),
-      _invoker(_engine, _catalog, _pool, *_policy, _metrics, _rng)
+      _obs(config.observer), _rng(config.seed),
+      _pool(_engine, config.pool, config.observer),
+      _invoker(_engine, _catalog, _pool, *_policy, _metrics, _rng,
+               config.observer)
 {
 }
 
@@ -33,8 +35,22 @@ Node::run(const std::vector<trace::Arrival>& arrivals)
             _invoker.onArrival(f);
         });
     }
-    _engine.run();
+    {
+        const obs::ScopedTimer timer(
+            _obs != nullptr ? _obs->profiler() : nullptr,
+            obs::Scope::EngineRun);
+        _engine.run();
+    }
     finalize();
+    if (_obs != nullptr) {
+        _obs->recordEngineStats(_engine.now(), _engine.executedEvents(),
+                                _engine.scheduledEvents(),
+                                _engine.cancelledEvents());
+    }
+    RC_LOG(Info, "run complete: " << _metrics.total()
+                 << " invocations, " << _engine.executedEvents()
+                 << " events over " << sim::toSeconds(_engine.now())
+                 << " s simulated");
 }
 
 void
@@ -52,6 +68,9 @@ Node::advanceTo(sim::Tick when)
 void
 Node::finalize()
 {
+    const obs::ScopedTimer timer(
+        _obs != nullptr ? _obs->profiler() : nullptr,
+        obs::Scope::Finalize);
     // Kill every surviving idle container so its open idle interval
     // lands in the waste log (classified never-hit unless the
     // container was reused earlier). Policies like FaaSCache keep
@@ -63,7 +82,7 @@ Node::finalize()
         for (const auto* c : _pool.idleContainers()) {
             container::Container* victim = _pool.byId(c->id());
             if (victim && victim->state() == container::State::Idle) {
-                _pool.kill(*victim);
+                _pool.kill(*victim, obs::KillCause::Finalize);
                 killed = true;
                 break; // idleContainers() view invalidated; rescan
             }
@@ -81,7 +100,7 @@ Node::finalize()
         for (const auto* c : _pool.idleContainers()) {
             container::Container* victim = _pool.byId(c->id());
             if (victim && victim->state() == container::State::Idle) {
-                _pool.kill(*victim);
+                _pool.kill(*victim, obs::KillCause::Finalize);
                 killed = true;
             }
         }

@@ -43,6 +43,12 @@ struct NodeConfig
     PoolConfig pool;
     /** Seed for execution-time sampling. */
     std::uint64_t seed = 1;
+    /**
+     * Optional observability sink shared by the node's pool, invoker,
+     * and policy (non-owning; must outlive the node). nullptr — the
+     * default — runs the node fully uninstrumented.
+     */
+    obs::Observer* observer = nullptr;
 };
 
 /** One simulated worker node running one policy. */
@@ -80,6 +86,9 @@ class Node
     policy::Policy& policy() { return *_policy; }
     const workload::Catalog& catalog() const { return _catalog; }
 
+    /** Observability sink the node was built with (may be nullptr). */
+    obs::Observer* observer() { return _obs; }
+
     /** Invocations still queued when the run ended (should be 0). */
     std::size_t strandedInvocations() const
     {
@@ -89,6 +98,7 @@ class Node
   private:
     const workload::Catalog& _catalog;
     std::unique_ptr<policy::Policy> _policy;
+    obs::Observer* _obs = nullptr;
     sim::Engine _engine;
     sim::Rng _rng;
     ContainerPool _pool;

@@ -8,11 +8,22 @@ using container::Container;
 using container::State;
 using workload::Layer;
 
-ContainerPool::ContainerPool(sim::Engine& engine, PoolConfig config)
-    : _engine(engine), _config(config)
+ContainerPool::ContainerPool(sim::Engine& engine, PoolConfig config,
+                             obs::Observer* observer)
+    : _engine(engine), _config(config), _obs(observer)
 {
     if (config.memoryBudgetMb <= 0.0)
         sim::fatal("ContainerPool: memory budget must be positive");
+}
+
+void
+ContainerPool::trackGauges()
+{
+    if (_obs == nullptr)
+        return;
+    _obs->counters().gaugeMax(obs::Gauge::PoolMemoryMb, _usedMb);
+    _obs->counters().gaugeMax(obs::Gauge::LiveContainers,
+                              static_cast<double>(_containers.size()));
 }
 
 Container*
@@ -137,6 +148,13 @@ ContainerPool::create(const workload::FunctionProfile& profile,
     _usedMb += raw->memoryMb();
     if (claimed)
         _claimed.insert(raw->id());
+    if (_obs != nullptr) {
+        _obs->emit(_engine.now(), obs::EventType::ContainerCreated,
+                   raw->id(), profile.id(),
+                   static_cast<std::uint8_t>(target),
+                   claimed ? 1 : 0, raw->memoryMb());
+        trackGauges();
+    }
     return raw;
 }
 
@@ -197,10 +215,18 @@ ContainerPool::beginUpgrade(Container& c,
         _engine.cancel(c.timeoutEvent());
         c.setTimeoutEvent(sim::kNoEvent);
     }
+    const auto fromLayer = static_cast<std::uint8_t>(c.layer());
     c.beginUpgrade(profile, target, _engine.now());
     for (auto& interval : c.drainIdleIntervals(true))
         _waste.record(interval);
     retrack(c, before);
+    if (_obs != nullptr) {
+        _obs->emit(_engine.now(), obs::EventType::ContainerUpgrade,
+                   c.id(), profile.id(),
+                   static_cast<std::uint8_t>(target), fromLayer,
+                   c.memoryMb());
+        trackGauges();
+    }
     return true;
 }
 
@@ -223,6 +249,14 @@ ContainerPool::forkFrom(Container& source,
     source.markSharedHit(_engine.now());
     for (auto& interval : source.drainIdleIntervals(true))
         _waste.record(interval);
+    if (_obs != nullptr) {
+        // The clone's birth was traced by create(); this records the
+        // template side of the fork (arg0 = clone id for correlation).
+        _obs->emit(_engine.now(), obs::EventType::ContainerSharedHit,
+                   source.id(), profile.id(),
+                   static_cast<std::uint8_t>(source.layer()), 0,
+                   static_cast<double>(clone->id()));
+    }
     return clone;
 }
 
@@ -250,6 +284,11 @@ ContainerPool::beginRepurpose(Container& c,
     for (auto& interval : c.drainIdleIntervals(true))
         _waste.record(interval);
     retrack(c, before);
+    if (_obs != nullptr) {
+        _obs->emit(_engine.now(), obs::EventType::ContainerRepurpose,
+                   c.id(), profile.id(), 0, 0, c.memoryMb());
+        trackGauges();
+    }
     return true;
 }
 
@@ -286,6 +325,12 @@ ContainerPool::finishInit(Container& c)
     c.finishInit(_engine.now());
     _claimed.erase(c.id());
     retrack(c, before);
+    if (_obs != nullptr) {
+        _obs->emit(_engine.now(), obs::EventType::ContainerInitDone,
+                   c.id(), c.function(),
+                   static_cast<std::uint8_t>(c.layer()), 0, c.memoryMb());
+        trackGauges();
+    }
 }
 
 void
@@ -298,12 +343,20 @@ ContainerPool::beginExecution(Container& c)
     c.beginExecution(_engine.now());
     for (auto& interval : c.drainIdleIntervals(true))
         _waste.record(interval);
+    if (_obs != nullptr) {
+        _obs->emit(_engine.now(), obs::EventType::ContainerExecBegin,
+                   c.id(), c.function());
+    }
 }
 
 void
 ContainerPool::finishExecution(Container& c)
 {
     c.finishExecution(_engine.now());
+    if (_obs != nullptr) {
+        _obs->emit(_engine.now(), obs::EventType::ContainerExecEnd,
+                   c.id(), c.function());
+    }
 }
 
 void
@@ -312,16 +365,30 @@ ContainerPool::downgrade(Container& c)
     const double before = c.memoryMb();
     c.downgrade(_engine.now());
     retrack(c, before);
+    if (_obs != nullptr) {
+        _obs->emit(_engine.now(), obs::EventType::ContainerDowngraded,
+                   c.id(), c.function(),
+                   static_cast<std::uint8_t>(c.layer()), 0, c.memoryMb());
+    }
 }
 
 void
-ContainerPool::kill(Container& c)
+ContainerPool::kill(Container& c, obs::KillCause cause)
 {
     if (c.timeoutEvent() != sim::kNoEvent) {
         _engine.cancel(c.timeoutEvent());
         c.setTimeoutEvent(sim::kNoEvent);
     }
     const double before = c.memoryMb();
+    if (_obs != nullptr) {
+        _obs->emit(_engine.now(), obs::EventType::ContainerKilled,
+                   c.id(), c.function(),
+                   static_cast<std::uint8_t>(c.layer()),
+                   static_cast<std::uint8_t>(cause), before);
+        _obs->counters().bump(
+            obs::killCounter(static_cast<std::uint8_t>(cause)),
+            _engine.now());
+    }
     c.kill(_engine.now());
     for (auto& interval : c.drainIdleIntervals(false))
         _waste.record(interval);

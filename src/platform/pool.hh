@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "container/container.hh"
+#include "obs/observer.hh"
 #include "sim/engine.hh"
 #include "stats/interval_log.hh"
 #include "workload/catalog.hh"
@@ -39,7 +40,13 @@ struct PoolConfig
 class ContainerPool
 {
   public:
-    ContainerPool(sim::Engine& engine, PoolConfig config);
+    /**
+     * @param observer  Optional trace/counter sink; nullptr (the
+     *                  default) disables all instrumentation at the
+     *                  cost of one branch per mutation.
+     */
+    ContainerPool(sim::Engine& engine, PoolConfig config,
+                  obs::Observer* observer = nullptr);
 
     // ---- capacity ------------------------------------------------------
 
@@ -146,9 +153,11 @@ class ContainerPool
     /**
      * Terminate a container: releases memory, flushes its idle
      * intervals (never-hit unless already classified), cancels any
-     * pending timeout event, and destroys it.
+     * pending timeout event, and destroys it. @p cause is recorded in
+     * the trace and the per-cause eviction counters.
      */
-    void kill(container::Container& c);
+    void kill(container::Container& c,
+              obs::KillCause cause = obs::KillCause::Unknown);
 
     /**
      * Attach packed-function metadata and its extra memory to an idle
@@ -170,8 +179,12 @@ class ContainerPool
   private:
     void retrack(container::Container& c, double beforeMb);
 
+    /** Record memory/live-count high-water marks after a mutation. */
+    void trackGauges();
+
     sim::Engine& _engine;
     PoolConfig _config;
+    obs::Observer* _obs = nullptr;
     double _usedMb = 0.0;
     container::ContainerId _nextId = 1;
     std::unordered_map<container::ContainerId,

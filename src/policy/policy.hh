@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "container/container.hh"
+#include "obs/observer.hh"
 #include "platform/startup_type.hh"
 #include "sim/time.hh"
 #include "workload/catalog.hh"
@@ -45,12 +46,25 @@ struct IdleDecision
     Action action = Action::Kill;
     sim::Tick nextTtl = 0;
 
+    /**
+     * Kill only: why the policy chose to terminate rather than keep
+     * the container — recorded in the trace so eviction breakdowns
+     * (Fig. 8 analysis) can distinguish TTL expiry from saturation.
+     */
+    obs::KillCause killCause = obs::KillCause::TtlExpired;
+
     /** Repack only: functions the zygote will additionally serve. */
     std::vector<workload::FunctionId> packedFunctions;
     /** Repack only: extra memory of the packed libraries (MB). */
     double packedMemoryMb = 0.0;
 
-    static IdleDecision kill() { return {}; }
+    static IdleDecision
+    kill(obs::KillCause cause = obs::KillCause::TtlExpired)
+    {
+        IdleDecision d;
+        d.killCause = cause;
+        return d;
+    }
     static IdleDecision
     downgrade(sim::Tick ttl)
     {
@@ -136,6 +150,13 @@ class Policy
 
     /** Called once when the policy is installed on a platform. */
     virtual void attach(PlatformView& view) { _view = &view; }
+
+    /**
+     * Install the observability sink (may be nullptr). The platform
+     * calls this alongside attach(); policies emit PolicyDecision
+     * audit events through it when set.
+     */
+    void setObserver(obs::Observer* obs) { _obs = obs; }
 
     /** An invocation for @p function arrived (before any lookup). */
     virtual void onArrival(workload::FunctionId function)
@@ -246,6 +267,7 @@ class Policy
 
   protected:
     PlatformView* _view = nullptr;
+    obs::Observer* _obs = nullptr; //!< optional trace sink, may be null
 };
 
 } // namespace rc::policy

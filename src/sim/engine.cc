@@ -212,6 +212,7 @@ Engine::schedule(Tick when, Callback cb)
         siftUp(_heap.size() - 1, HeapNode{when, bucket});
     }
     ++_live;
+    ++_scheduled;
     return makeId(slot, ev.generation);
 }
 
@@ -265,6 +266,7 @@ Engine::cancel(EventId id)
     // and reschedules constantly.
     releaseSlot(slot);
     --_live;
+    ++_cancelled;
     return true;
 }
 
@@ -378,6 +380,8 @@ Engine::clear()
     }
     _now = 0;
     _executed = 0;
+    _scheduled = 0;
+    _cancelled = 0;
     _live = 0;
 }
 

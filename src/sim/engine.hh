@@ -120,6 +120,12 @@ class Engine
     /** Number of events executed since construction (or clear()). */
     std::uint64_t executedEvents() const { return _executed; }
 
+    /** Number of schedule() calls since construction (or clear()). */
+    std::uint64_t scheduledEvents() const { return _scheduled; }
+
+    /** Number of successful cancels since construction (or clear()). */
+    std::uint64_t cancelledEvents() const { return _cancelled; }
+
     /** Number of live (scheduled, non-cancelled) events. */
     std::size_t pendingEvents() const { return _live; }
 
@@ -211,6 +217,8 @@ class Engine
 
     Tick _now = 0;
     std::uint64_t _executed = 0;
+    std::uint64_t _scheduled = 0;
+    std::uint64_t _cancelled = 0;
     std::size_t _live = 0;
     std::vector<HeapNode> _heap;
     std::vector<Bucket> _buckets;

@@ -35,10 +35,17 @@ setLogLevel(LogLevel level)
     gLevel = level;
 }
 
+bool
+logEnabled(LogLevel level)
+{
+    return level >= gLevel && gLevel != LogLevel::Quiet &&
+           level != LogLevel::Quiet;
+}
+
 void
 logMessage(LogLevel level, const std::string& msg)
 {
-    if (level < gLevel || gLevel == LogLevel::Quiet)
+    if (!logEnabled(level))
         return;
     std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
 }

@@ -14,6 +14,7 @@
 
 #include <sstream>
 #include <string>
+#include <utility>
 
 namespace rc::sim {
 
@@ -32,8 +33,27 @@ LogLevel logLevel();
 /** Set the global log level. */
 void setLogLevel(LogLevel level);
 
+/** True if a message at @p level would be emitted right now. */
+bool logEnabled(LogLevel level);
+
 /** Emit a message at @p level if enabled. */
 void logMessage(LogLevel level, const std::string& msg);
+
+/**
+ * Lazy overload: @p makeMsg (any callable returning something
+ * streamable into std::string, typically a lambda) is only invoked
+ * when @p level is enabled, so disabled logging does zero formatting
+ * work. Prefer RC_LOG below at call sites — it additionally skips
+ * evaluating the argument expressions.
+ */
+template <typename MakeMsg,
+          typename = decltype(std::declval<MakeMsg>()())>
+inline void
+logMessage(LogLevel level, MakeMsg&& makeMsg)
+{
+    if (logEnabled(level))
+        logMessage(level, std::string(makeMsg()));
+}
 
 /**
  * Abort with a message: a condition the user caused (bad config,
@@ -49,5 +69,24 @@ void logMessage(LogLevel level, const std::string& msg);
 [[noreturn]] void panic(const std::string& msg);
 
 } // namespace rc::sim
+
+/**
+ * Leveled logging with zero-cost disabled paths: the streamed
+ * expression after the level is not evaluated unless the level is
+ * enabled (the whole statement is behind the logEnabled() branch).
+ *
+ *   RC_LOG(Debug, "evicting container " << id << " (" << mb << " MB)");
+ *
+ * Levels are the bare LogLevel enumerator names.
+ */
+#define RC_LOG(level, expr)                                                 \
+    do {                                                                    \
+        if (::rc::sim::logEnabled(::rc::sim::LogLevel::level)) {            \
+            std::ostringstream rcLogStream_;                                \
+            rcLogStream_ << expr;                                           \
+            ::rc::sim::logMessage(::rc::sim::LogLevel::level,               \
+                                  rcLogStream_.str());                      \
+        }                                                                   \
+    } while (0)
 
 #endif // RC_SIM_LOGGING_HH_

@@ -17,6 +17,23 @@ Percentile::add(double x)
     _samples.push_back(x);
 }
 
+namespace {
+
+/** Interpolated rank-q read of an ascending-sorted sample vector. */
+double
+sortedQuantile(const std::vector<double>& sorted, double q)
+{
+    const double rank = q * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
+    const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
+    if (lo == hi)
+        return sorted[lo];
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+} // namespace
+
 double
 Percentile::quantile(double q) const
 {
@@ -24,17 +41,25 @@ Percentile::quantile(double q) const
         throw std::invalid_argument("Percentile::quantile: q outside [0,1]");
     if (_samples.empty())
         return 0.0;
-    if (!_sorted) {
-        std::sort(_samples.begin(), _samples.end());
-        _sorted = true;
-    }
-    const double rank = q * static_cast<double>(_samples.size() - 1);
-    const std::size_t lo = static_cast<std::size_t>(std::floor(rank));
-    const std::size_t hi = static_cast<std::size_t>(std::ceil(rank));
-    if (lo == hi)
-        return _samples[lo];
-    const double frac = rank - static_cast<double>(lo);
-    return _samples[lo] * (1.0 - frac) + _samples[hi] * frac;
+    if (_sorted)
+        return sortedQuantile(_samples, q);
+    // Unsorted: select into a local copy so const access never
+    // mutates shared state (see the thread-safety contract in the
+    // header). Quantiles are read a handful of times per run, so the
+    // copy is irrelevant next to the run itself; hot callers opt into
+    // the explicit sortSamples() cache instead.
+    std::vector<double> sorted(_samples);
+    std::sort(sorted.begin(), sorted.end());
+    return sortedQuantile(sorted, q);
+}
+
+void
+Percentile::sortSamples()
+{
+    if (_sorted)
+        return;
+    std::sort(_samples.begin(), _samples.end());
+    _sorted = true;
 }
 
 double

@@ -15,7 +15,17 @@
 
 namespace rc::stats {
 
-/** Exact quantile estimator with lazy sorting. */
+/**
+ * Exact quantile estimator.
+ *
+ * Thread-safety contract: quantile()/p99()/median() are genuinely
+ * const — they never mutate the sample store, so concurrent reads of
+ * one Percentile (e.g. report writers walking RunResults produced by
+ * exp::ParallelRunner) are safe. The sort cache is opt-in and
+ * explicit: call sortSamples() (non-const) once after the run to make
+ * subsequent quantile reads O(1); otherwise each quantile call on an
+ * unsorted store selects into a local copy.
+ */
 class Percentile
 {
   public:
@@ -27,7 +37,7 @@ class Percentile
 
     /**
      * Quantile @p q in [0, 1] using linear interpolation between
-     * closest ranks; 0 when empty.
+     * closest ranks; 0 when empty. Never mutates (see class doc).
      */
     double quantile(double q) const;
 
@@ -40,15 +50,28 @@ class Percentile
     /** Mean of samples; 0 when empty. */
     double mean() const;
 
+    /**
+     * Explicit cache: sort the samples in place so later quantile
+     * reads skip the per-call copy. Not thread-safe (mutator); call
+     * it from the owning thread before sharing the object.
+     */
+    void sortSamples();
+
+    /** True once the store is sorted (ascending). */
+    bool sorted() const { return _sorted; }
+
     /** Clear all samples. */
     void reset();
 
-    /** Read-only view of the raw samples (unsorted insertion order). */
+    /**
+     * Read-only view of the raw samples: insertion order until
+     * sortSamples() is called, ascending after.
+     */
     const std::vector<double>& samples() const { return _samples; }
 
   private:
-    mutable std::vector<double> _samples;
-    mutable bool _sorted = true;
+    std::vector<double> _samples;
+    bool _sorted = true;
 };
 
 } // namespace rc::stats

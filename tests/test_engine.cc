@@ -381,10 +381,25 @@ TEST(Logging, LevelsFilterMessages)
 {
     setLogLevel(LogLevel::Quiet);
     EXPECT_EQ(logLevel(), LogLevel::Quiet);
-    logMessage(LogLevel::Info, "suppressed"); // must not crash
+    // RC_LOG must not evaluate its argument expression (and the lazy
+    // overload must not invoke its callable) while the level is off.
+    bool touched = false;
+    auto sideEffect = [&touched] {
+        touched = true;
+        return "built";
+    };
+    RC_LOG(Info, sideEffect());
+    EXPECT_FALSE(touched);
+    logMessage(LogLevel::Info, [&touched] {
+        touched = true;
+        return "built";
+    });
+    EXPECT_FALSE(touched);
     setLogLevel(LogLevel::Debug);
     EXPECT_EQ(logLevel(), LogLevel::Debug);
+    EXPECT_TRUE(logEnabled(LogLevel::Info));
     setLogLevel(LogLevel::Quiet);
+    EXPECT_FALSE(logEnabled(LogLevel::Info));
 }
 
 } // namespace

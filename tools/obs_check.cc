@@ -1,0 +1,237 @@
+/**
+ * @file
+ * obs_check — validator for the observability artifacts rainbow_sim
+ * writes. CI runs it after a simulation to guarantee the artifacts
+ * stay loadable by external consumers (Perfetto, notebooks, report
+ * tooling):
+ *
+ *   obs_check --report report.json --trace trace.json --events ev.jsonl
+ *
+ * Checks per artifact:
+ *  * report: parses, schema tag is "rainbowcake-report-v1", at least
+ *    one policy entry, every entry carries the required metric keys,
+ *    instrumented entries carry counters consistent with invocations.
+ *  * trace: parses as JSON, has a non-empty "traceEvents" array with
+ *    at least one complete slice ("X"), one instant ("i"), and one
+ *    process_name metadata record ("M").
+ *  * events: every line parses, ticks are non-decreasing (emission
+ *    order is simulated-time order), categories/types are known
+ *    names.
+ *
+ * Exit status 0 when every requested check passes, 1 otherwise.
+ */
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/export.hh"
+#include "obs/json.hh"
+#include "obs/trace_event.hh"
+
+namespace {
+
+using namespace rc;
+
+int gFailures = 0;
+
+void
+fail(const std::string& what)
+{
+    std::cerr << "obs_check: FAIL: " << what << "\n";
+    ++gFailures;
+}
+
+std::string
+slurp(const std::string& path, bool& ok)
+{
+    std::ifstream in(path);
+    if (!in) {
+        fail("cannot open " + path);
+        ok = false;
+        return "";
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    ok = true;
+    return buffer.str();
+}
+
+void
+checkReport(const std::string& path)
+{
+    bool ok = false;
+    const std::string text = slurp(path, ok);
+    if (!ok)
+        return;
+    obs::JsonValue root;
+    std::string error;
+    if (!obs::parseJson(text, root, &error)) {
+        fail(path + ": " + error);
+        return;
+    }
+    if (root.stringAt("schema") != "rainbowcake-report-v1") {
+        fail(path + ": schema is not rainbowcake-report-v1");
+        return;
+    }
+    const obs::JsonValue* policies = root.find("policies");
+    if (!policies || !policies->isArray() || policies->array.empty()) {
+        fail(path + ": missing or empty policies array");
+        return;
+    }
+    static const char* kRequired[] = {
+        "policy",
+        "invocations",
+        "startup_counts",
+        "mean_startup_seconds",
+        "total_startup_seconds",
+        "mean_e2e_seconds",
+        "p99_e2e_seconds",
+        "waste_gb_seconds",
+        "never_hit_waste_gb_seconds",
+        "stranded",
+    };
+    for (const auto& entry : policies->array) {
+        const std::string name = entry.stringAt("policy", "<unnamed>");
+        for (const char* key : kRequired) {
+            if (!entry.find(key))
+                fail(path + ": policy " + name + " lacks key " + key);
+        }
+        // Instrumented runs must expose a lookup-ladder breakdown
+        // that accounts for every invocation.
+        const obs::JsonValue* counters = entry.find("counters");
+        if (!counters)
+            continue;
+        double ladder = 0.0;
+        for (const char* key :
+             {"hit_user", "hit_load", "hit_foreign_user", "hit_lang",
+              "hit_bare", "cold_start"}) {
+            ladder += counters->numberAt(key);
+        }
+        const double invocations = entry.numberAt("invocations");
+        if (ladder < invocations) {
+            fail(path + ": policy " + name +
+                 ": ladder counters cover fewer dispatches than "
+                 "invocations");
+        }
+    }
+    std::cout << "obs_check: report ok (" << policies->array.size()
+              << " policies)\n";
+}
+
+void
+checkTrace(const std::string& path)
+{
+    bool ok = false;
+    const std::string text = slurp(path, ok);
+    if (!ok)
+        return;
+    obs::JsonValue root;
+    std::string error;
+    if (!obs::parseJson(text, root, &error)) {
+        fail(path + ": " + error);
+        return;
+    }
+    const obs::JsonValue* events = root.find("traceEvents");
+    if (!events || !events->isArray() || events->array.empty()) {
+        fail(path + ": missing or empty traceEvents array");
+        return;
+    }
+    std::size_t slices = 0;
+    std::size_t instants = 0;
+    std::size_t metadata = 0;
+    for (const auto& event : events->array) {
+        const std::string phase = event.stringAt("ph");
+        if (phase == "X") {
+            ++slices;
+            if (event.numberAt("dur", -1.0) < 0.0)
+                fail(path + ": X slice without non-negative dur");
+        } else if (phase == "i") {
+            ++instants;
+        } else if (phase == "M") {
+            ++metadata;
+        } else if (phase.empty()) {
+            fail(path + ": trace event without ph");
+        }
+    }
+    if (slices == 0)
+        fail(path + ": no lifecycle/invocation slices");
+    if (metadata == 0)
+        fail(path + ": no track metadata records");
+    if (gFailures == 0) {
+        std::cout << "obs_check: trace ok (" << slices << " slices, "
+                  << instants << " instants, " << metadata
+                  << " metadata)\n";
+    }
+}
+
+void
+checkEvents(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        fail("cannot open " + path);
+        return;
+    }
+    std::string error;
+    const auto events = obs::parseJsonlEvents(in, &error);
+    if (!error.empty()) {
+        fail(path + ": " + error);
+        return;
+    }
+    if (events.empty()) {
+        fail(path + ": no events");
+        return;
+    }
+    sim::Tick last = events.front().tick;
+    for (const auto& event : events) {
+        if (event.tick < last) {
+            fail(path + ": ticks go backwards");
+            return;
+        }
+        last = event.tick;
+    }
+    std::cout << "obs_check: events ok (" << events.size()
+              << " events)\n";
+}
+
+[[noreturn]] void
+usage(int code)
+{
+    std::cout << "obs_check [--report FILE] [--trace FILE] "
+                 "[--events FILE]\n";
+    std::exit(code);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    bool any = false;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (i + 1 >= argc) {
+            if (arg == "--help" || arg == "-h")
+                usage(0);
+            std::cerr << "missing value for " << arg << "\n";
+            usage(2);
+        }
+        const std::string value = argv[++i];
+        if (arg == "--report") {
+            checkReport(value);
+        } else if (arg == "--trace") {
+            checkTrace(value);
+        } else if (arg == "--events") {
+            checkEvents(value);
+        } else {
+            std::cerr << "unknown option " << arg << "\n";
+            usage(2);
+        }
+        any = true;
+    }
+    if (!any)
+        usage(2);
+    return gFailures == 0 ? 0 : 1;
+}

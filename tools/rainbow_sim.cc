@@ -18,10 +18,14 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "core/ablations.hh"
 #include "core/checkpoint.hh"
+#include "obs/export.hh"
+#include "obs/observer.hh"
 #include "exp/experiment.hh"
 #include "exp/parallel_runner.hh"
 #include "exp/csv.hh"
@@ -55,6 +59,18 @@ struct Options
     std::string csvDir;        // non-empty: dump CSVs per policy
     std::string catalogFile;   // non-empty: load a custom catalog CSV
     std::size_t threads = 0;   // 0: ParallelRunner default
+    std::string traceOut;      // non-empty: write Chrome trace JSON
+    std::string eventsOut;     // non-empty: write JSONL event dump
+    std::string reportJson;    // non-empty: write machine-readable report
+    double obsIntervalSeconds = 60.0; // counter snapshot interval
+
+    /** Any artifact flag turns instrumentation on. */
+    bool
+    observabilityEnabled() const
+    {
+        return !traceOut.empty() || !eventsOut.empty() ||
+               !reportJson.empty();
+    }
 };
 
 [[noreturn]] void
@@ -79,6 +95,14 @@ usage(int code)
         "  --timelines       print waste/latency timelines\n"
         "  --csv-dir DIR     write per-policy CSV dumps into DIR\n"
         "  --per-function    print per-function latency averages\n"
+        "  --trace-out FILE  write a Chrome trace (Perfetto-loadable);\n"
+        "                    with --all, files are tagged per policy\n"
+        "  --events-out FILE write a JSONL structured event dump\n"
+        "  --report-json FILE\n"
+        "                    write the comparison as JSON\n"
+        "                    (schema rainbowcake-report-v1)\n"
+        "  --obs-interval S  counter snapshot interval in seconds\n"
+        "                    (default 60)\n"
         "  --help            this text\n";
     std::exit(code);
 }
@@ -124,6 +148,16 @@ parseArgs(int argc, char** argv)
             } else if (arg == "--threads") {
                 options.threads = static_cast<std::size_t>(
                     std::stoul(need(i)));
+            } else if (arg == "--trace-out") {
+                options.traceOut = need(i);
+            } else if (arg == "--events-out") {
+                options.eventsOut = need(i);
+            } else if (arg == "--report-json") {
+                options.reportJson = need(i);
+            } else if (arg == "--obs-interval") {
+                options.obsIntervalSeconds = std::stod(need(i));
+                if (options.obsIntervalSeconds <= 0.0)
+                    throw std::invalid_argument("non-positive interval");
             } else if (arg == "--timelines") {
                 options.timelines = true;
             } else if (arg == "--per-function") {
@@ -203,6 +237,93 @@ buildTrace(const Options& options, const workload::Catalog& catalog)
     return trace::generateAzureLike(catalog, config);
 }
 
+std::string
+policySlug(const std::string& name)
+{
+    std::string slug = name;
+    for (auto& c : slug) {
+        c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+        if (!std::isalnum(static_cast<unsigned char>(c)))
+            c = '_';
+    }
+    return slug;
+}
+
+/** "trace.json" + tag "seuss" -> "trace.seuss.json" (multi-run). */
+std::string
+taggedPath(const std::string& path, const std::string& tag, bool multiple)
+{
+    if (!multiple || tag.empty())
+        return path;
+    const auto dot = path.rfind('.');
+    const auto slash = path.rfind('/');
+    if (dot == std::string::npos ||
+        (slash != std::string::npos && dot < slash)) {
+        return path + "." + tag;
+    }
+    return path.substr(0, dot) + "." + tag + path.substr(dot);
+}
+
+obs::ObserverConfig
+observerConfig(const Options& options)
+{
+    obs::ObserverConfig config;
+    // The event buffer is only worth filling when an event artifact
+    // was requested; counters and profiling are cheap and always on.
+    config.traceEnabled =
+        !options.traceOut.empty() || !options.eventsOut.empty();
+    config.profilingEnabled = true;
+    config.counterInterval = sim::fromSeconds(options.obsIntervalSeconds);
+    return config;
+}
+
+void
+writeArtifacts(const Options& options,
+               const std::vector<exp::RunResult>& results)
+{
+    const bool multiple = results.size() > 1;
+    for (const auto& result : results) {
+        obs::Observer* observer = result.observer;
+        if (observer == nullptr)
+            continue;
+        const obs::ScopedTimer timer(observer->profiler(),
+                                     obs::Scope::Export);
+        if (!options.traceOut.empty()) {
+            const std::string path =
+                taggedPath(options.traceOut, result.runId, multiple);
+            std::ofstream out(path);
+            if (!out) {
+                std::cerr << "cannot write " << path << "\n";
+                std::exit(2);
+            }
+            obs::writeChromeTrace(out, *observer);
+            std::cout << "chrome trace written to " << path << "\n";
+        }
+        if (!options.eventsOut.empty()) {
+            const std::string path =
+                taggedPath(options.eventsOut, result.runId, multiple);
+            std::ofstream out(path);
+            if (!out) {
+                std::cerr << "cannot write " << path << "\n";
+                std::exit(2);
+            }
+            obs::writeJsonlEvents(out, *observer);
+            std::cout << "event dump written to " << path << "\n";
+        }
+    }
+    // The report aggregates all runs, so it is written once, last —
+    // after the per-run exports above charged their Export scopes.
+    if (!options.reportJson.empty()) {
+        std::ofstream out(options.reportJson);
+        if (!out) {
+            std::cerr << "cannot write " << options.reportJson << "\n";
+            std::exit(2);
+        }
+        exp::writeReportJson(out, "rainbow_sim", results);
+        std::cout << "report written to " << options.reportJson << "\n";
+    }
+}
+
 } // namespace
 
 int
@@ -229,6 +350,10 @@ main(int argc, char** argv)
     platform::NodeConfig nodeConfig;
     nodeConfig.pool.memoryBudgetMb = options.budgetGb * 1024.0;
 
+    // One Observer per run (never shared: an Observer is single-run
+    // state); kept alive here because RunResult::observer only points.
+    std::vector<std::unique_ptr<obs::Observer>> observers;
+
     std::vector<exp::RunResult> results;
     if (options.all) {
         // Fan the six baselines out across cores; results come back
@@ -244,11 +369,24 @@ main(int argc, char** argv)
                       return key;
                   }(), catalog, true)
                 : policy.make;
-            specs.push_back({&catalog, std::move(factory), &arrivals,
-                             nodeConfig});
+            exp::RunSpec spec{&catalog, std::move(factory), &arrivals,
+                              nodeConfig, {}};
+            if (options.observabilityEnabled()) {
+                observers.push_back(std::make_unique<obs::Observer>(
+                    observerConfig(options)));
+                spec.config.observer = observers.back().get();
+                spec.runId = policySlug(policy.label);
+            }
+            specs.push_back(std::move(spec));
         }
         results = exp::ParallelRunner(options.threads).run(specs);
     } else {
+        if (options.observabilityEnabled()) {
+            observers.push_back(std::make_unique<obs::Observer>(
+                observerConfig(options)));
+            observers.back()->setRunId(policySlug(options.policy));
+            nodeConfig.observer = observers.back().get();
+        }
         results.push_back(exp::runExperiment(
             catalog,
             makeFactory(options.policy, catalog, options.checkpoint),
@@ -256,6 +394,9 @@ main(int argc, char** argv)
     }
 
     exp::printSummaryTable(std::cout, "rainbow_sim", results);
+
+    if (options.observabilityEnabled())
+        writeArtifacts(options, results);
 
     if (!options.csvDir.empty()) {
         std::ofstream summary(options.csvDir + "/summary.csv");
