@@ -1,6 +1,10 @@
 #include "cluster/cluster.hh"
 
+#include <algorithm>
+#include <string>
+
 #include "sim/logging.hh"
+#include "sim/rng.hh"
 
 namespace rc::cluster {
 
@@ -28,9 +32,95 @@ Cluster::Cluster(const workload::Catalog& catalog,
 ClusterResult
 Cluster::run(const std::vector<trace::Arrival>& arrivals)
 {
+    ClusterResult result;
+    result.schedulingName = toString(_config.scheduling);
+
+    sim::Tick horizon = 0;
+    for (const auto& arrival : arrivals)
+        horizon = std::max(horizon, arrival.time);
+
+    // The cluster owns node crashes: it must observe each one to
+    // fail the lost work over, so nodes arm only their local fault
+    // chains (init/exec faults, overload windows) and the crash
+    // schedule is pre-drawn here from a dedicated per-node stream.
+    // Pre-drawing keeps the schedule independent of routing noise.
+    struct CrashEvent
+    {
+        sim::Tick at = 0;
+        std::size_t node = 0;
+        sim::Tick downUntil = 0;
+    };
+    std::vector<CrashEvent> crashes;
+    const fault::FaultPlan& plan = _config.node.fault;
+    if (plan.active()) {
+        for (auto& node : _nodes)
+            node->armFaults(horizon, /*manageNodeCrashes=*/false);
+        if (plan.nodeMtbfSeconds > 0.0) {
+            const sim::Rng base(_config.node.seed);
+            const sim::Tick downtime =
+                sim::fromSeconds(plan.nodeDowntimeSeconds);
+            for (std::size_t i = 0; i < _nodes.size(); ++i) {
+                sim::Rng rng = base.stream("cluster-fault-node-" +
+                                           std::to_string(i));
+                sim::Tick t = 0;
+                while (true) {
+                    const double gap =
+                        rng.exponential(1.0 / plan.nodeMtbfSeconds);
+                    t += std::max<sim::Tick>(1, sim::fromSeconds(gap));
+                    if (t > horizon)
+                        break;
+                    crashes.push_back(CrashEvent{t, i, t + downtime});
+                    t += downtime; // next crash after the restart
+                }
+            }
+            std::sort(crashes.begin(), crashes.end(),
+                      [](const CrashEvent& a, const CrashEvent& b) {
+                          return a.at != b.at ? a.at < b.at
+                                              : a.node < b.node;
+                      });
+        }
+    }
+
+    // Fail over everything a crashing node loses: advance the whole
+    // cluster to the crash instant, extract the node's queued and
+    // in-flight work, and re-route it to healthy nodes immediately.
+    std::size_t nextCrash = 0;
+    const auto processCrashesUntil = [&](sim::Tick when) {
+        while (nextCrash < crashes.size() &&
+               crashes[nextCrash].at <= when) {
+            const CrashEvent ev = crashes[nextCrash++];
+            for (auto& node : _nodes)
+                node->advanceTo(ev.at);
+            const auto lost = _nodes[ev.node]->crashNow(ev.downUntil);
+            ++result.nodeCrashes;
+            if (_obs != nullptr) {
+                _obs->counters().bump(obs::Counter::NodeCrashes, ev.at);
+                _obs->emit(ev.at, obs::EventType::NodeCrashed, 0, 0,
+                           static_cast<std::uint8_t>(ev.node), 0,
+                           sim::toSeconds(ev.downUntil - ev.at),
+                           static_cast<double>(lost.size()));
+            }
+            for (const auto function : lost) {
+                const std::size_t target =
+                    _scheduler.pick(_nodes, function);
+                ++result.reroutedInvocations;
+                if (_obs != nullptr) {
+                    _obs->counters().bump(obs::Counter::FailoverRouted,
+                                          ev.at);
+                    _obs->emit(ev.at, obs::EventType::FailoverRouted, 0,
+                               function,
+                               static_cast<std::uint8_t>(target),
+                               static_cast<std::uint8_t>(ev.node));
+                }
+                _nodes[target]->invokeNow(function);
+            }
+        }
+    };
+
     // Route each arrival with every node synchronized to the arrival
     // instant, so the scheduler sees current pool states.
     for (const auto& arrival : arrivals) {
+        processCrashesUntil(arrival.time);
         for (auto& node : _nodes)
             node->advanceTo(arrival.time);
         const std::size_t target =
@@ -42,13 +132,12 @@ Cluster::run(const std::vector<trace::Arrival>& arrivals)
         }
         _nodes[target]->invokeNow(arrival.function);
     }
+    processCrashesUntil(horizon);
     for (auto& node : _nodes) {
         node->engine().run();
         node->finalize();
     }
 
-    ClusterResult result;
-    result.schedulingName = toString(_config.scheduling);
     for (const auto& node : _nodes) {
         const auto& metrics = node->metrics();
         result.invocations += metrics.total();
@@ -58,6 +147,8 @@ Cluster::run(const std::vector<trace::Arrival>& arrivals)
             node->pool().wasteLog().totalWasteMbSeconds();
         result.strandedInvocations += node->strandedInvocations();
         result.perNodeInvocations.push_back(metrics.total());
+        result.failedInvocations +=
+            node->invoker().failedInvocations();
     }
     if (result.invocations > 0) {
         result.meanStartupSeconds = result.totalStartupSeconds /

@@ -45,6 +45,12 @@ struct ClusterResult
     std::size_t strandedInvocations = 0;
     /** Per-node invocation counts (load balance view). */
     std::vector<std::uint64_t> perNodeInvocations;
+    /** Node crashes the cluster injected and failed over. */
+    std::uint64_t nodeCrashes = 0;
+    /** Invocations re-routed off a crashed node (queued + in-flight). */
+    std::uint64_t reroutedInvocations = 0;
+    /** Invocations that exhausted their retries on some node. */
+    std::uint64_t failedInvocations = 0;
 };
 
 /** A set of worker nodes behind one scheduler. */

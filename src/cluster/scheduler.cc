@@ -21,22 +21,30 @@ std::size_t
 ClusterScheduler::leastLoaded(
     const std::vector<std::unique_ptr<platform::Node>>& nodes) const
 {
-    std::size_t best = 0;
-    std::size_t bestInFlight = std::numeric_limits<std::size_t>::max();
-    double bestMemory = std::numeric_limits<double>::max();
-    for (std::size_t i = 0; i < nodes.size(); ++i) {
-        const std::size_t inFlight =
-            nodes[i]->invoker().inFlightInvocations() +
-            nodes[i]->invoker().queuedInvocations();
-        const double memory = nodes[i]->pool().usedMemoryMb();
-        if (inFlight < bestInFlight ||
-            (inFlight == bestInFlight && memory < bestMemory)) {
-            best = i;
-            bestInFlight = inFlight;
-            bestMemory = memory;
+    // Two passes: prefer healthy nodes; when the whole cluster is
+    // down, still place the work (it queues and drains at restart).
+    for (const bool healthyOnly : {true, false}) {
+        std::size_t best = nodes.size();
+        std::size_t bestInFlight = std::numeric_limits<std::size_t>::max();
+        double bestMemory = std::numeric_limits<double>::max();
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            if (healthyOnly && nodes[i]->isDown())
+                continue;
+            const std::size_t inFlight =
+                nodes[i]->invoker().inFlightInvocations() +
+                nodes[i]->invoker().queuedInvocations();
+            const double memory = nodes[i]->pool().usedMemoryMb();
+            if (inFlight < bestInFlight ||
+                (inFlight == bestInFlight && memory < bestMemory)) {
+                best = i;
+                bestInFlight = inFlight;
+                bestMemory = memory;
+            }
         }
+        if (best != nodes.size())
+            return best;
     }
-    return best;
+    return 0;
 }
 
 std::size_t
@@ -48,8 +56,16 @@ ClusterScheduler::pick(
         sim::panic("ClusterScheduler::pick: no nodes");
 
     switch (_scheduling) {
-      case Scheduling::RoundRobin:
+      case Scheduling::RoundRobin: {
+        // Health-aware rotation: skip crashed nodes. If every node is
+        // down, rotate anyway — the pick queues and drains at restart.
+        for (std::size_t tried = 0; tried < nodes.size(); ++tried) {
+            const std::size_t i = _cursor++ % nodes.size();
+            if (!nodes[i]->isDown())
+                return i;
+        }
         return _cursor++ % nodes.size();
+      }
 
       case Scheduling::LeastLoaded:
         return leastLoaded(nodes);
@@ -57,8 +73,11 @@ ClusterScheduler::pick(
       case Scheduling::LocalityAware: {
         // 1. Locality: a node holding warm capacity for the function
         //    (an idle full container or an in-flight pre-warm).
+        //    Crashed nodes have no pool, but isDown() still guards
+        //    the window where a pick races a pending crash.
         for (std::size_t i = 0; i < nodes.size(); ++i) {
-            if (nodes[i]->pool().userAvailable(function))
+            if (!nodes[i]->isDown() &&
+                nodes[i]->pool().userAvailable(function))
                 return i;
         }
         // 2. Sharing: the node with the best layer-sharing
@@ -67,11 +86,12 @@ ClusterScheduler::pick(
         const auto language =
             nodes[0]->catalog().at(function).language();
         for (std::size_t i = 0; i < nodes.size(); ++i) {
-            if (nodes[i]->pool().findIdleLang(language))
+            if (!nodes[i]->isDown() &&
+                nodes[i]->pool().findIdleLang(language))
                 return i;
         }
         for (std::size_t i = 0; i < nodes.size(); ++i) {
-            if (nodes[i]->pool().findIdleBare())
+            if (!nodes[i]->isDown() && nodes[i]->pool().findIdleBare())
                 return i;
         }
         // 3. Load: spread out.

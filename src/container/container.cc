@@ -235,11 +235,11 @@ Container::downgrade(sim::Tick now)
 }
 
 void
-Container::kill(sim::Tick now)
+Container::kill(sim::Tick now, bool force)
 {
     if (_state == State::Dead)
         sim::panic("Container::kill: already dead");
-    if (_state == State::Busy)
+    if (_state == State::Busy && !force)
         sim::panic("Container::kill: cannot kill a busy container");
     closeIdleInterval(now);
     _state = State::Dead;

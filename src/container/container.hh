@@ -171,8 +171,13 @@ class Container
      */
     void downgrade(sim::Tick now);
 
-    /** Terminate the container; closes any open idle interval. */
-    void kill(sim::Tick now);
+    /**
+     * Terminate the container; closes any open idle interval. Killing
+     * a Busy container is only legal with @p force — the fault paths
+     * (execution crash, wedge-timeout watchdog, node crash) use it to
+     * model abrupt termination; orderly paths never do.
+     */
+    void kill(sim::Tick now, bool force = false);
 
     /**
      * Drain idle intervals closed since the last drain, marking them

@@ -135,6 +135,30 @@ class RainbowCakePolicy : public policy::Policy
     bool forkSharedLayers() const override { return _config.shareByFork; }
     sim::Tick forkLatency() const override { return _config.forkLatency; }
 
+    /**
+     * Fault hooks (rc::fault). A container killed by an injected
+     * fault is not idle-timeout evidence: the History Recorder only
+     * ever learns from arrivals, and retries re-dispatch without
+     * re-recording, so these overrides merely count what was lost —
+     * tests assert the history of a faulty run matches a fault-free
+     * twin fed the same arrival sequence.
+     */
+    void onContainerFailed(const container::Container& c) override
+    {
+        (void)c;
+        ++_failureKills;
+    }
+    void onNodeDown(sim::Tick downtime) override
+    {
+        (void)downtime;
+        ++_nodeDownEvents;
+    }
+
+    /** Containers lost to injected faults (not policy decisions). */
+    std::uint64_t failureKills() const { return _failureKills; }
+    /** Node crashes this policy's node suffered. */
+    std::uint64_t nodeDownEvents() const { return _nodeDownEvents; }
+
     /** The recorder (read access for tests and diagnostics). */
     const HistoryRecorder& history() const { return _history; }
 
@@ -172,6 +196,10 @@ class RainbowCakePolicy : public policy::Policy
     /** Global average bare-stage latency (s) and footprint (MB). */
     double _avgBareInitSeconds = 0.0;
     double _avgBareMemoryMb = 0.0;
+
+    /** Fault bookkeeping (see onContainerFailed / onNodeDown). */
+    std::uint64_t _failureKills = 0;
+    std::uint64_t _nodeDownEvents = 0;
 };
 
 } // namespace rc::core

@@ -28,6 +28,9 @@ runExperiment(const workload::Catalog& catalog, const PolicyFactory& factory,
     result.hitWasteMbSeconds = result.waste.hitWasteMbSeconds();
     result.neverHitWasteMbSeconds = result.waste.neverHitWasteMbSeconds();
     result.strandedInvocations = node.strandedInvocations();
+    result.failedInvocations = node.invoker().failedInvocations();
+    result.retriesScheduled = node.invoker().retriesScheduled();
+    result.finalizeDrained = node.invoker().finalizeDrained();
     result.observer = config.observer;
     if (config.observer != nullptr)
         result.runId = config.observer->runId();

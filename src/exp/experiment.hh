@@ -45,6 +45,11 @@ struct RunResult
     double neverHitWasteMbSeconds = 0.0;
     std::size_t strandedInvocations = 0;
 
+    /** rc::fault accounting (all zero on fault-free runs). */
+    std::uint64_t failedInvocations = 0;
+    std::uint64_t retriesScheduled = 0;
+    std::uint64_t finalizeDrained = 0;
+
     /**
      * Artifact tag of this run (the observer's runId, or empty when
      * the run was uninstrumented). ParallelRunner and rainbow_sim use

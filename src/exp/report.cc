@@ -175,6 +175,9 @@ writeReportJson(std::ostream& os, const std::string& title,
         os << ",\n      \"never_hit_waste_gb_seconds\": ";
         writeNumber(os, result.neverHitWasteMbSeconds / 1024.0);
         os << ",\n      \"stranded\": " << result.strandedInvocations
+           << ",\n      \"failed\": " << result.failedInvocations
+           << ",\n      \"retries\": " << result.retriesScheduled
+           << ",\n      \"finalize_drained\": " << result.finalizeDrained
            << ",\n";
         if (result.observer != nullptr)
             writeObservability(os, *result.observer, "      ");

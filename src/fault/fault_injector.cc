@@ -1,0 +1,74 @@
+#include "fault/fault_injector.hh"
+
+#include <algorithm>
+
+namespace rc::fault {
+
+std::optional<workload::Layer>
+FaultInjector::sampleInitFault(bool bare, bool lang, bool user)
+{
+    // Rng::bernoulli(p <= 0) draws nothing, so stages with a zero
+    // knob cost no randomness and an all-zero plan stays draw-free.
+    if (bare && _rng.bernoulli(_plan.bareInitFailProb))
+        return workload::Layer::Bare;
+    if (lang && _rng.bernoulli(_plan.langInitFailProb))
+        return workload::Layer::Lang;
+    if (user && _rng.bernoulli(_plan.userInitFailProb))
+        return workload::Layer::User;
+    return std::nullopt;
+}
+
+ExecFault
+FaultInjector::sampleExecFault()
+{
+    if (_rng.bernoulli(_plan.execCrashProb))
+        return ExecFault::Crash;
+    if (_rng.bernoulli(_plan.wedgeProb))
+        return ExecFault::Wedge;
+    return ExecFault::None;
+}
+
+double
+FaultInjector::crashFraction()
+{
+    // Open interval: a crash at exactly 0 or 1 would alias the
+    // dispatch or completion event.
+    const double u = _rng.uniform();
+    return std::clamp(u, 1e-6, 1.0 - 1e-6);
+}
+
+sim::Tick
+FaultInjector::retryBackoff(std::uint32_t attempt)
+{
+    const std::uint32_t exponent = attempt > 0 ? attempt - 1 : 0;
+    double backoff = static_cast<double>(_plan.retryBackoffBase);
+    for (std::uint32_t i = 0; i < exponent && i < 32; ++i) {
+        backoff *= 2.0;
+        if (backoff >= static_cast<double>(_plan.retryBackoffCap))
+            break;
+    }
+    backoff = std::min(backoff, static_cast<double>(_plan.retryBackoffCap));
+    if (_plan.retryJitterFrac > 0.0) {
+        backoff *= 1.0 + _rng.uniform(-_plan.retryJitterFrac,
+                                      _plan.retryJitterFrac);
+    }
+    return std::max<sim::Tick>(1, static_cast<sim::Tick>(backoff));
+}
+
+sim::Tick
+FaultInjector::nextNodeCrashDelay()
+{
+    const double gap = _rng.exponential(1.0 / _plan.nodeMtbfSeconds);
+    return std::max<sim::Tick>(1, sim::fromSeconds(gap));
+}
+
+sim::Tick
+FaultInjector::nextOverloadDelay()
+{
+    const double gapHours =
+        _rng.exponential(_plan.overloadRatePerHour);
+    return std::max<sim::Tick>(1,
+                               sim::fromSeconds(gapHours * 3600.0));
+}
+
+} // namespace rc::fault

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * FaultInjector: turns a FaultPlan into concrete, deterministic fault
+ * samples.
+ *
+ * The injector owns a dedicated Rng sub-stream (derived from the
+ * node's seed via Rng::stream("fault")), so fault draws can never
+ * perturb trace generation or execution-time sampling: a run with an
+ * all-zero plan draws nothing, and two runs with the same seed and
+ * plan inject the identical fault sequence — including under
+ * exp::ParallelRunner, which only requires per-run determinism.
+ *
+ * All sampling happens at well-defined platform events (dispatch,
+ * execution start, crash arming), in simulated-time order, which is
+ * what makes the sequence reproducible.
+ */
+
+#ifndef RC_FAULT_FAULT_INJECTOR_HH_
+#define RC_FAULT_FAULT_INJECTOR_HH_
+
+#include <optional>
+
+#include "fault/fault_plan.hh"
+#include "sim/rng.hh"
+#include "workload/types.hh"
+
+namespace rc::fault {
+
+/** Outcome classes an execution can be assigned at start. */
+enum class ExecFault : std::uint8_t
+{
+    None,  //!< runs to completion
+    Crash, //!< dies after a uniform fraction of its runtime
+    Wedge, //!< never completes; the watchdog kills it
+};
+
+/** Stateful fault sampler; one per node, fed by one Rng stream. */
+class FaultInjector
+{
+  public:
+    FaultInjector(FaultPlan plan, sim::Rng rng)
+        : _plan(plan), _rng(rng)
+    {
+    }
+
+    const FaultPlan& plan() const { return _plan; }
+
+    /**
+     * Sample whether an init covering the given stage installs fails,
+     * and at which stage. Stages are tried bottom-up (Bare, then
+     * Lang, then User) — the first failing stage aborts the install.
+     * Returns the failing stage, or nullopt for a clean init.
+     */
+    std::optional<workload::Layer> sampleInitFault(bool bare, bool lang,
+                                                   bool user);
+
+    /** Assign an outcome class to an execution that is starting. */
+    ExecFault sampleExecFault();
+
+    /**
+     * Fraction of the execution's runtime that elapses before a
+     * Crash-class execution dies (uniform in (0, 1)).
+     */
+    double crashFraction();
+
+    /**
+     * Backoff before retry attempt @p attempt (1-based): capped
+     * exponential plus uniform jitter. Always positive so a retry
+     * never races the event that scheduled it.
+     */
+    sim::Tick retryBackoff(std::uint32_t attempt);
+
+    /** Exponential inter-crash gap; plan.nodeMtbfSeconds must be > 0. */
+    sim::Tick nextNodeCrashDelay();
+
+    /** Exponential gap to the next overload window; rate must be > 0. */
+    sim::Tick nextOverloadDelay();
+
+    /** Raw stream access (chaos harness builds randomized plans). */
+    sim::Rng& rng() { return _rng; }
+
+  private:
+    FaultPlan _plan;
+    sim::Rng _rng;
+};
+
+} // namespace rc::fault
+
+#endif // RC_FAULT_FAULT_INJECTOR_HH_

@@ -1,0 +1,162 @@
+#include "fault/fault_plan.hh"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hh"
+
+namespace rc::fault {
+
+bool
+FaultPlan::active() const
+{
+    return bareInitFailProb > 0.0 || langInitFailProb > 0.0 ||
+           userInitFailProb > 0.0 || execCrashProb > 0.0 ||
+           wedgeProb > 0.0 || nodeMtbfSeconds > 0.0 ||
+           overloadRatePerHour > 0.0;
+}
+
+namespace {
+
+/** One knob of the flat JSON schema. */
+struct Knob
+{
+    const char* key;
+    enum class Kind : std::uint8_t { Prob, Seconds, Tick, Count, Flag };
+    Kind kind;
+    void* target;
+};
+
+bool
+applyKnob(const Knob& knob, const obs::JsonValue& value,
+          std::string* error)
+{
+    const auto fail = [&](const std::string& what) {
+        if (error != nullptr)
+            *error = std::string(knob.key) + ": " + what;
+        return false;
+    };
+    if (knob.kind == Knob::Kind::Flag) {
+        if (value.kind != obs::JsonValue::Kind::Bool)
+            return fail("expected a boolean");
+        *static_cast<bool*>(knob.target) = value.boolean;
+        return true;
+    }
+    if (!value.isNumber())
+        return fail("expected a number");
+    const double v = value.number;
+    switch (knob.kind) {
+      case Knob::Kind::Prob:
+        if (v < 0.0 || v > 1.0)
+            return fail("probability must be in [0, 1]");
+        *static_cast<double*>(knob.target) = v;
+        return true;
+      case Knob::Kind::Seconds:
+        if (v < 0.0)
+            return fail("must be non-negative");
+        *static_cast<double*>(knob.target) = v;
+        return true;
+      case Knob::Kind::Tick:
+        if (v < 0.0)
+            return fail("must be non-negative");
+        *static_cast<sim::Tick*>(knob.target) = sim::fromSeconds(v);
+        return true;
+      case Knob::Kind::Count:
+        if (v < 0.0 || v != std::floor(v))
+            return fail("must be a non-negative integer");
+        *static_cast<std::uint32_t*>(knob.target) =
+            static_cast<std::uint32_t>(v);
+        return true;
+      case Knob::Kind::Flag:
+        break;
+    }
+    return fail("bad knob kind");
+}
+
+} // namespace
+
+bool
+parseFaultPlan(const std::string& text, FaultPlan& out, std::string* error)
+{
+    obs::JsonValue root;
+    if (!obs::parseJson(text, root, error))
+        return false;
+    if (!root.isObject()) {
+        if (error != nullptr)
+            *error = "fault plan must be a JSON object";
+        return false;
+    }
+
+    FaultPlan plan;
+    const Knob knobs[] = {
+        {"bare_init_fail_prob", Knob::Kind::Prob,
+         &plan.bareInitFailProb},
+        {"lang_init_fail_prob", Knob::Kind::Prob,
+         &plan.langInitFailProb},
+        {"user_init_fail_prob", Knob::Kind::Prob,
+         &plan.userInitFailProb},
+        {"exec_crash_prob", Knob::Kind::Prob, &plan.execCrashProb},
+        {"wedge_prob", Knob::Kind::Prob, &plan.wedgeProb},
+        {"exec_timeout_seconds", Knob::Kind::Tick, &plan.execTimeout},
+        {"node_mtbf_seconds", Knob::Kind::Seconds,
+         &plan.nodeMtbfSeconds},
+        {"node_downtime_seconds", Knob::Kind::Seconds,
+         &plan.nodeDowntimeSeconds},
+        {"overload_rate_per_hour", Knob::Kind::Seconds,
+         &plan.overloadRatePerHour},
+        {"overload_duration_seconds", Knob::Kind::Seconds,
+         &plan.overloadDurationSeconds},
+        {"overload_slowdown", Knob::Kind::Seconds,
+         &plan.overloadSlowdown},
+        {"max_retries", Knob::Kind::Count, &plan.maxRetries},
+        {"retry_backoff_base_seconds", Knob::Kind::Tick,
+         &plan.retryBackoffBase},
+        {"retry_backoff_cap_seconds", Knob::Kind::Tick,
+         &plan.retryBackoffCap},
+        {"retry_jitter_frac", Knob::Kind::Prob, &plan.retryJitterFrac},
+        {"shed_prewarms_under_pressure", Knob::Kind::Flag,
+         &plan.shedPrewarmsUnderPressure},
+    };
+
+    for (const auto& [key, value] : root.object) {
+        bool known = false;
+        for (const Knob& knob : knobs) {
+            if (key == knob.key) {
+                known = true;
+                if (!applyKnob(knob, value, error))
+                    return false;
+                break;
+            }
+        }
+        if (!known) {
+            if (error != nullptr)
+                *error = "unknown fault-plan key '" + key + "'";
+            return false;
+        }
+    }
+    if (plan.overloadSlowdown < 1.0) {
+        if (error != nullptr)
+            *error = "overload_slowdown: must be >= 1";
+        return false;
+    }
+    out = plan;
+    return true;
+}
+
+bool
+loadFaultPlanFile(const std::string& path, FaultPlan& out,
+                  std::string* error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (error != nullptr)
+            *error = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parseFaultPlan(buffer.str(), out, error);
+}
+
+} // namespace rc::fault

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * FaultPlan: the pure configuration half of rc::fault.
+ *
+ * A plan is a bag of per-class probability/rate knobs describing how
+ * unreliable the simulated substrate is, plus the recovery parameters
+ * the platform uses to survive it. It contains no state and draws no
+ * randomness — the FaultInjector turns a plan into concrete fault
+ * samples from a dedicated Rng stream.
+ *
+ * Every knob defaults to zero (or to a pure-recovery parameter that
+ * is never consulted without faults), so a default-constructed plan
+ * is inert: installing it changes nothing, draws nothing, and keeps
+ * runs bit-identical to an uninstrumented platform. That is the
+ * pay-for-what-you-use contract the zero-fault CI diff test pins.
+ *
+ * Plans load from flat snake_case JSON (rainbow_sim --fault-plan):
+ *
+ *   {"user_init_fail_prob": 0.02, "exec_crash_prob": 0.01,
+ *    "node_mtbf_seconds": 1800, "max_retries": 3}
+ */
+
+#ifndef RC_FAULT_FAULT_PLAN_HH_
+#define RC_FAULT_FAULT_PLAN_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hh"
+
+namespace rc::fault {
+
+/** All fault-injection and recovery knobs. Pure data. */
+struct FaultPlan
+{
+    // ---- container init faults (per stage-install attempt) ------------
+    double bareInitFailProb = 0.0; //!< bare stage install fails
+    double langInitFailProb = 0.0; //!< lang stage install fails
+    double userInitFailProb = 0.0; //!< user stage install fails
+
+    // ---- execution faults (per started execution) ----------------------
+    double execCrashProb = 0.0; //!< container crashes mid-execution
+    double wedgeProb = 0.0;     //!< container wedges (never completes)
+    /** Watchdog: a wedged execution is killed after this long. */
+    sim::Tick execTimeout = 5 * sim::kMinute;
+
+    // ---- node faults ----------------------------------------------------
+    /** Mean time between whole-node crashes; 0 disables them. */
+    double nodeMtbfSeconds = 0.0;
+    /** Downtime before a crashed node restarts. */
+    double nodeDowntimeSeconds = 30.0;
+
+    // ---- transient overload windows ------------------------------------
+    /** Mean windows per hour; 0 disables them. */
+    double overloadRatePerHour = 0.0;
+    /** Length of one overload window. */
+    double overloadDurationSeconds = 60.0;
+    /** Execution-time multiplier while a window is open (>= 1). */
+    double overloadSlowdown = 2.0;
+
+    // ---- recovery -------------------------------------------------------
+    /** Retries per invocation after a fault (0 = fail immediately). */
+    std::uint32_t maxRetries = 3;
+    /** Base of the capped exponential backoff between retries. */
+    sim::Tick retryBackoffBase = 100 * sim::kMillisecond;
+    /** Backoff cap. */
+    sim::Tick retryBackoffCap = 10 * sim::kSecond;
+    /** Uniform jitter fraction applied to each backoff (0..1). */
+    double retryJitterFrac = 0.1;
+    /**
+     * Graceful degradation: under memory pressure, evict idle
+     * never-executed pre-warm containers before policy-ranked victims
+     * so queued user work is admitted first.
+     */
+    bool shedPrewarmsUnderPressure = true;
+
+    /**
+     * True when any fault-generating knob is set — the platform only
+     * installs an injector (and only then pays any bookkeeping) for
+     * active plans.
+     */
+    bool active() const;
+};
+
+/**
+ * Parse a plan from flat snake_case JSON text. Unknown keys fail (a
+ * typoed knob silently running fault-free would be worse). Returns
+ * false and sets @p error on malformed input.
+ */
+bool parseFaultPlan(const std::string& text, FaultPlan& out,
+                    std::string* error = nullptr);
+
+/** Load a plan from a JSON file via parseFaultPlan. */
+bool loadFaultPlanFile(const std::string& path, FaultPlan& out,
+                       std::string* error = nullptr);
+
+} // namespace rc::fault
+
+#endif // RC_FAULT_FAULT_PLAN_HH_

@@ -62,6 +62,7 @@ constexpr int kPidContainers = 1;
 constexpr int kPidInvocations = 2;
 constexpr int kPidPolicy = 3;
 constexpr int kPidCluster = 4;
+constexpr int kPidFaults = 5;
 
 /** One emitted Chrome event, buffered so metadata can come first. */
 struct ChromeEvent
@@ -187,6 +188,7 @@ writeChromeTrace(std::ostream& os, const Observer& observer)
     out.push_back({processName(kPidContainers, "containers")});
     out.push_back({processName(kPidInvocations, "invocations")});
     out.push_back({processName(kPidPolicy, "policy")});
+    out.push_back({processName(kPidFaults, "faults")});
 
     auto closeSpan = [&](std::uint64_t cid, ContainerTrack& track,
                          sim::Tick now) {
@@ -350,6 +352,57 @@ writeChromeTrace(std::ostream& os, const Observer& observer)
                  << "\"";
             out.push_back({instant("routed", kPidCluster, event.a,
                                    event.tick, args.str())});
+            break;
+          }
+          case EventType::FaultInjected: {
+            std::ostringstream args;
+            args << "\"function\": \"" << functionLabel(event.function)
+                 << "\", \"stage\": \"" << layerName(event.b) << "\"";
+            out.push_back({instant("fault", kPidFaults, event.container,
+                                   event.tick, args.str())});
+            break;
+          }
+          case EventType::RetryScheduled: {
+            std::ostringstream args;
+            args << "\"function\": \"" << functionLabel(event.function)
+                 << "\", \"attempt\": " << static_cast<int>(event.a)
+                 << ", \"backoff_s\": " << event.arg0;
+            out.push_back({instant("retry", kPidFaults, 0, event.tick,
+                                   args.str())});
+            break;
+          }
+          case EventType::InvocationFailed: {
+            std::ostringstream args;
+            args << "\"function\": \"" << functionLabel(event.function)
+                 << "\", \"attempts\": " << static_cast<int>(event.a);
+            out.push_back({instant("failed", kPidFaults, 0, event.tick,
+                                   args.str())});
+            break;
+          }
+          case EventType::ExecTimeoutKill: {
+            out.push_back({instant("timeout_kill", kPidFaults,
+                                   event.container, event.tick, "")});
+            break;
+          }
+          case EventType::NodeCrashed: {
+            std::ostringstream args;
+            args << "\"downtime_s\": " << event.arg0
+                 << ", \"retried\": " << event.arg1;
+            out.push_back({instant("node_crash", kPidFaults, 0,
+                                   event.tick, args.str())});
+            break;
+          }
+          case EventType::NodeRestarted: {
+            out.push_back({instant("node_restart", kPidFaults, 0,
+                                   event.tick, "")});
+            break;
+          }
+          case EventType::FailoverRouted: {
+            std::ostringstream args;
+            args << "\"to_node\": " << static_cast<int>(event.a)
+                 << ", \"from_node\": " << static_cast<int>(event.b);
+            out.push_back({instant("failover", kPidFaults, 0, event.tick,
+                                   args.str())});
             break;
           }
           case EventType::InvocationArrived:

@@ -17,6 +17,7 @@ toString(Category category)
       case Category::Invoker: return "invoker";
       case Category::Policy: return "policy";
       case Category::Cluster: return "cluster";
+      case Category::Fault: return "fault";
     }
     return "?";
 }
@@ -47,6 +48,13 @@ toString(EventType type)
       case EventType::EvictionForMemory: return "eviction_for_memory";
       case EventType::ClusterRouted: return "cluster_routed";
       case EventType::EngineStats: return "engine_stats";
+      case EventType::FaultInjected: return "fault_injected";
+      case EventType::RetryScheduled: return "retry_scheduled";
+      case EventType::InvocationFailed: return "invocation_failed";
+      case EventType::ExecTimeoutKill: return "exec_timeout_kill";
+      case EventType::NodeCrashed: return "node_crashed";
+      case EventType::NodeRestarted: return "node_restarted";
+      case EventType::FailoverRouted: return "failover_routed";
     }
     return "?";
 }
@@ -62,6 +70,10 @@ toString(KillCause cause)
       case KillCause::PoolSaturated: return "pool_saturated";
       case KillCause::RepackFailed: return "repack_failed";
       case KillCause::Finalize: return "finalize";
+      case KillCause::InitFault: return "init_fault";
+      case KillCause::ExecFault: return "exec_fault";
+      case KillCause::WedgeTimeout: return "wedge_timeout";
+      case KillCause::NodeCrash: return "node_crash";
     }
     return "?";
 }
@@ -124,6 +136,14 @@ categoryOf(EventType type)
         return Category::Cluster;
       case EventType::EngineStats:
         return Category::Engine;
+      case EventType::FaultInjected:
+      case EventType::RetryScheduled:
+      case EventType::InvocationFailed:
+      case EventType::ExecTimeoutKill:
+      case EventType::NodeCrashed:
+      case EventType::NodeRestarted:
+      case EventType::FailoverRouted:
+        return Category::Fault;
     }
     return Category::Engine;
 }
@@ -148,10 +168,21 @@ toString(Counter counter)
       case Counter::KillPoolSaturated: return "kill_pool_saturated";
       case Counter::KillRepackFailed: return "kill_repack_failed";
       case Counter::KillFinalize: return "kill_finalize";
+      case Counter::KillInitFault: return "kill_init_fault";
+      case Counter::KillExecFault: return "kill_exec_fault";
+      case Counter::KillWedgeTimeout: return "kill_wedge_timeout";
+      case Counter::KillNodeCrash: return "kill_node_crash";
       case Counter::Queued: return "queued";
+      case Counter::FinalizeDrained: return "finalize_drained";
       case Counter::PrewarmScheduled: return "prewarm_scheduled";
       case Counter::PrewarmFired: return "prewarm_fired";
       case Counter::PrewarmSkipped: return "prewarm_skipped";
+      case Counter::PrewarmShed: return "prewarm_shed";
+      case Counter::FaultInjected: return "fault_injected";
+      case Counter::RetryScheduled: return "retry_scheduled";
+      case Counter::RetryExhausted: return "retry_exhausted";
+      case Counter::NodeCrashes: return "node_crashes";
+      case Counter::FailoverRouted: return "failover_routed";
       case Counter::EngineExecuted: return "engine_executed";
       case Counter::EngineScheduled: return "engine_scheduled";
       case Counter::EngineCancelled: return "engine_cancelled";

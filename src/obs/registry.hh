@@ -45,14 +45,27 @@ enum class Counter : std::uint8_t
     KillPoolSaturated,
     KillRepackFailed,
     KillFinalize,
+    KillInitFault,
+    KillExecFault,
+    KillWedgeTimeout,
+    KillNodeCrash,
 
     // Queueing.
     Queued,           //!< invocations parked for memory
+    FinalizeDrained,  //!< still queued at end of run, force-drained
 
     // Pre-warming.
     PrewarmScheduled,
     PrewarmFired,
     PrewarmSkipped,
+    PrewarmShed,      //!< pre-warm evicted to admit queued user work
+
+    // Fault injection and recovery (rc::fault).
+    FaultInjected,
+    RetryScheduled,
+    RetryExhausted,   //!< invocation failed after max retries
+    NodeCrashes,
+    FailoverRouted,
 
     // Engine (recorded once per run from Engine's own totals).
     EngineExecuted,

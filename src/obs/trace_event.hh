@@ -36,10 +36,11 @@ enum class Category : std::uint8_t
     Invoker,   //!< arrival-to-completion orchestration
     Policy,    //!< keep-alive / pre-warm / eviction decisions
     Cluster,   //!< inter-node routing
+    Fault,     //!< injected failures and recovery actions
 };
 
 /** Number of categories (for mask bits and name tables). */
-inline constexpr std::size_t kCategoryCount = 6;
+inline constexpr std::size_t kCategoryCount = 7;
 
 /** What happened. Grouped by the Category it belongs to. */
 enum class EventType : std::uint8_t
@@ -81,11 +82,22 @@ enum class EventType : std::uint8_t
 
     // Engine (snapshot at end of run via Observer::recordEngineStats).
     EngineStats,          //!< arg0 = executed, arg1 = cancelled
+
+    // Fault injection and recovery (rc::fault; appended after
+    // EngineStats so pre-fault traces keep their numeric type ids).
+    FaultInjected,        //!< a = FaultKind, b = layer/stage where apt
+    RetryScheduled,       //!< a = attempt number; arg0 = backoff s
+    InvocationFailed,     //!< retries exhausted; a = attempts used
+    ExecTimeoutKill,      //!< watchdog killed a wedged container
+    NodeCrashed,          //!< full pool loss; arg0 = downtime s,
+                          //!< arg1 = invocations sent to retry
+    NodeRestarted,        //!< node back up after its downtime
+    FailoverRouted,       //!< a = new node; b = crashed node
 };
 
 /** Number of event types (for name tables). */
 inline constexpr std::size_t kEventTypeCount =
-    static_cast<std::size_t>(EventType::EngineStats) + 1;
+    static_cast<std::size_t>(EventType::FailoverRouted) + 1;
 
 /** Why a container was terminated (travels in TraceEvent::b). */
 enum class KillCause : std::uint8_t
@@ -97,11 +109,15 @@ enum class KillCause : std::uint8_t
     PoolSaturated,  //!< would downgrade into a full shared pool
     RepackFailed,   //!< Pagurus re-pack had no memory / wrong layer
     Finalize,       //!< end-of-run flush of survivors
+    InitFault,      //!< injected stage-install failure (rc::fault)
+    ExecFault,      //!< injected mid-execution crash (rc::fault)
+    WedgeTimeout,   //!< execution watchdog killed a wedged container
+    NodeCrash,      //!< whole-node failure took the pool down
 };
 
 /** Number of kill causes (for counter arrays and name tables). */
 inline constexpr std::size_t kKillCauseCount =
-    static_cast<std::size_t>(KillCause::Finalize) + 1;
+    static_cast<std::size_t>(KillCause::NodeCrash) + 1;
 
 /** One structured trace record; POD, fixed size, no ownership. */
 struct TraceEvent

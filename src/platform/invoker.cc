@@ -46,31 +46,38 @@ Invoker::coldInitLatency(const workload::FunctionProfile& p) const
 void
 Invoker::onArrival(workload::FunctionId function)
 {
+    ++_admitted;
     if (_obs != nullptr) {
         _obs->emit(_engine.now(), obs::EventType::InvocationArrived, 0,
                    function);
     }
     _policy.onArrival(function);
-    const Pending inv{function, _engine.now(), 0};
-    if (!tryDispatch(inv)) {
-        _queue.push_back(inv);
-        RC_LOG(Debug, "queueing invocation of f" << function
-                      << " (queue depth " << _queue.size() << ")");
-        if (_obs != nullptr) {
-            _obs->counters().bump(obs::Counter::Queued, _engine.now());
-            _obs->counters().gaugeMax(
-                obs::Gauge::QueueDepth,
-                static_cast<double>(_queue.size()));
-            _obs->emit(_engine.now(), obs::EventType::InvocationQueued, 0,
-                       function, 0, 0,
-                       static_cast<double>(_queue.size()));
-        }
+    const Pending inv{function, _engine.now(), 0, 0};
+    if (isDown() || !tryDispatch(inv))
+        enqueue(inv);
+}
+
+void
+Invoker::enqueue(const Pending& inv)
+{
+    _queue.push_back(inv);
+    RC_LOG(Debug, "queueing invocation of f" << inv.function
+                  << " (queue depth " << _queue.size() << ")");
+    if (_obs != nullptr) {
+        _obs->counters().bump(obs::Counter::Queued, _engine.now());
+        _obs->counters().gaugeMax(obs::Gauge::QueueDepth,
+                                  static_cast<double>(_queue.size()));
+        _obs->emit(_engine.now(), obs::EventType::InvocationQueued, 0,
+                   inv.function, 0, 0,
+                   static_cast<double>(_queue.size()));
     }
 }
 
 bool
 Invoker::tryDispatch(const Pending& inv)
 {
+    if (isDown())
+        return false; // crashed node: everything waits for the restart
     const obs::ScopedTimer scanTimer(profiler(), obs::Scope::PoolScan);
     const auto& profile = _catalog.at(inv.function);
 
@@ -107,9 +114,7 @@ Invoker::tryDispatch(const Pending& inv)
         _attachments[c->id()] = Attachment{inv, StartupType::User};
         noteDispatch(inv, c->id(), StartupType::User,
                      obs::Counter::HitForeignUser);
-        const container::ContainerId cid = c->id();
-        _engine.scheduleAfter(specialize,
-                              [this, cid] { onInitComplete(cid); });
+        scheduleInit(c->id(), specialize, false, false, true);
         return true;
     }
 
@@ -181,8 +186,10 @@ Invoker::tryDispatchPartial(const Pending& inv, Container& c,
     noteDispatch(inv, target->id(), type,
                  type == StartupType::Lang ? obs::Counter::HitLang
                                            : obs::Counter::HitBare);
-    const container::ContainerId cid = target->id();
-    _engine.scheduleAfter(install, [this, cid] { onInitComplete(cid); });
+    // The install covers the stages above the cached layer.
+    scheduleInit(target->id(), install,
+                 /*bare=*/false, /*lang=*/c.layer() == Layer::Bare,
+                 /*user=*/true);
     return true;
 }
 
@@ -208,14 +215,15 @@ Invoker::tryDispatchCold(const Pending& inv)
     _attachments[c->id()] = Attachment{inv, StartupType::Cold};
     noteDispatch(inv, c->id(), StartupType::Cold,
                  obs::Counter::ColdStart);
-    const container::ContainerId cid = c->id();
-    _engine.scheduleAfter(install, [this, cid] { onInitComplete(cid); });
+    scheduleInit(c->id(), install, true, true, true);
     return true;
 }
 
 void
 Invoker::onInitComplete(container::ContainerId cid)
 {
+    if (_fault != nullptr)
+        _initEvents.erase(cid);
     Container* c = _pool.byId(cid);
     if (!c || c->state() != State::Initializing)
         sim::panic("Invoker::onInitComplete: container vanished mid-init");
@@ -242,10 +250,19 @@ Invoker::startExecution(const Pending& inv, Container& c, StartupType type,
                         sim::Tick dispatchOverhead)
 {
     const auto& profile = _catalog.at(inv.function);
-    const sim::Tick execution = profile.sampleExecution(_rng);
+    sim::Tick execution = profile.sampleExecution(_rng);
     const sim::Tick bindTime = _engine.now();
     const sim::Tick startupLatency =
         (bindTime - inv.arrival) + dispatchOverhead;
+
+    if (_finalizing) {
+        // This invocation only bound because the end-of-run flush
+        // freed capacity; account it separately so throughput numbers
+        // can exclude work the live system never admitted in-band.
+        ++_finalizeDrained;
+        if (_obs != nullptr)
+            _obs->counters().bump(obs::Counter::FinalizeDrained, bindTime);
+    }
 
     policy::StartupObservation observation;
     observation.function = inv.function;
@@ -255,9 +272,42 @@ Invoker::startExecution(const Pending& inv, Container& c, StartupType type,
 
     ++_inFlight;
     const container::ContainerId cid = c.id();
-    _engine.scheduleAfter(
+
+    if (_fault != nullptr) {
+        if (_overloadUntil > bindTime) {
+            // Transient overload: everything started inside the
+            // window runs slower by the configured factor.
+            execution = static_cast<sim::Tick>(
+                static_cast<double>(execution) *
+                _fault->plan().overloadSlowdown);
+        }
+        const fault::ExecFault outcome = _fault->sampleExecFault();
+        if (outcome == fault::ExecFault::Crash) {
+            // Dies partway through; the completion never fires.
+            const sim::Tick death = std::max<sim::Tick>(
+                1, static_cast<sim::Tick>(static_cast<double>(execution) *
+                                          _fault->crashFraction()));
+            const sim::EventId ev = _engine.scheduleAfter(
+                dispatchOverhead + death,
+                [this, cid] { onExecFault(cid, false); });
+            _execs[cid] = ExecTracking{inv, ev};
+            return;
+        }
+        if (outcome == fault::ExecFault::Wedge) {
+            // Hangs forever; the execution-timeout watchdog kills it.
+            const sim::EventId ev = _engine.scheduleAfter(
+                dispatchOverhead + _fault->plan().execTimeout,
+                [this, cid] { onExecFault(cid, true); });
+            _execs[cid] = ExecTracking{inv, ev};
+            return;
+        }
+    }
+
+    const sim::EventId completion = _engine.scheduleAfter(
         dispatchOverhead + execution,
         [this, inv, cid, type, startupLatency, execution] {
+            if (_fault != nullptr)
+                _execs.erase(cid);
             Container* done = _pool.byId(cid);
             if (!done || done->state() != State::Busy)
                 sim::panic("Invoker: executing container vanished");
@@ -286,6 +336,8 @@ Invoker::startExecution(const Pending& inv, Container& c, StartupType type,
             scheduleKeepAlive(*done);
             drainQueue();
         });
+    if (_fault != nullptr)
+        _execs[cid] = ExecTracking{inv, completion};
 }
 
 void
@@ -400,6 +452,11 @@ Invoker::firePrewarm(workload::FunctionId function)
         }
     };
 
+    if (isDown()) {
+        skip(2); // node is down; pre-warms are best-effort, drop it
+        return;
+    }
+
     // Algorithm 1: skip when warm capacity for the function exists.
     if (_pool.userAvailable(function)) {
         skip(0); // warm capacity already available
@@ -430,8 +487,7 @@ Invoker::firePrewarm(workload::FunctionId function)
     const auto install = static_cast<sim::Tick>(
         static_cast<double>(coldInitLatency(profile)) *
         _policy.coldStartFactor());
-    const container::ContainerId cid = c->id();
-    _engine.scheduleAfter(install, [this, cid] { onInitComplete(cid); });
+    scheduleInit(c->id(), install, true, true, true);
 }
 
 bool
@@ -439,6 +495,13 @@ Invoker::evictToFit(double mb)
 {
     if (_pool.canFit(mb))
         return true;
+    if (_fault != nullptr && _fault->plan().shedPrewarmsUnderPressure) {
+        // Graceful degradation: speculative pre-warms are the first
+        // to go before queued user work evicts policy-ranked victims.
+        shedPrewarms(mb);
+        if (_pool.canFit(mb))
+            return true;
+    }
     std::vector<container::ContainerId> victims;
     {
         const obs::ScopedTimer timer(profiler(),
@@ -462,6 +525,297 @@ Invoker::evictToFit(double mb)
             return true;
     }
     return _pool.canFit(mb);
+}
+
+// ---- fault injection and recovery (rc::fault) --------------------------
+
+void
+Invoker::scheduleInit(container::ContainerId cid, sim::Tick install,
+                      bool bare, bool lang, bool user)
+{
+    if (_fault == nullptr) {
+        _engine.scheduleAfter(install,
+                              [this, cid] { onInitComplete(cid); });
+        return;
+    }
+    // The injector samples only over the stages this install covers,
+    // so cached layers (already proven good) cannot fail again.
+    const auto stage = _fault->sampleInitFault(bare, lang, user);
+    sim::EventId ev = sim::kNoEvent;
+    if (stage) {
+        const workload::Layer failed = *stage;
+        ev = _engine.scheduleAfter(
+            install, [this, cid, failed] { onInitFailed(cid, failed); });
+    } else {
+        ev = _engine.scheduleAfter(install,
+                                   [this, cid] { onInitComplete(cid); });
+    }
+    _initEvents[cid] = ev;
+}
+
+void
+Invoker::onInitFailed(container::ContainerId cid, workload::Layer stage)
+{
+    _initEvents.erase(cid);
+    Container* c = _pool.byId(cid);
+    if (!c || c->state() != State::Initializing)
+        sim::panic("Invoker::onInitFailed: container vanished mid-init");
+
+    if (_obs != nullptr) {
+        _obs->counters().bump(obs::Counter::FaultInjected, _engine.now());
+        _obs->emit(_engine.now(), obs::EventType::FaultInjected, cid,
+                   c->initFunction(), 0,
+                   static_cast<std::uint8_t>(stage));
+    }
+    RC_LOG(Debug, "init of container " << cid << " failed at stage "
+                  << static_cast<int>(stage));
+
+    Pending pending;
+    bool hasPending = false;
+    auto it = _attachments.find(cid);
+    if (it != _attachments.end()) {
+        pending = it->second.pending;
+        hasPending = true;
+        _attachments.erase(it);
+    }
+    _policy.onContainerFailed(*c);
+    _pool.kill(*c, obs::KillCause::InitFault);
+    if (hasPending)
+        scheduleRetry(pending);
+    drainQueue();
+}
+
+void
+Invoker::onExecFault(container::ContainerId cid, bool wedged)
+{
+    Container* c = _pool.byId(cid);
+    if (!c || c->state() != State::Busy)
+        sim::panic("Invoker::onExecFault: container not executing");
+    auto it = _execs.find(cid);
+    if (it == _execs.end())
+        sim::panic("Invoker::onExecFault: untracked execution");
+    const Pending pending = it->second.inv;
+    _execs.erase(it);
+    --_inFlight;
+
+    if (_obs != nullptr) {
+        _obs->counters().bump(obs::Counter::FaultInjected, _engine.now());
+        _obs->emit(_engine.now(), obs::EventType::FaultInjected, cid,
+                   pending.function,
+                   static_cast<std::uint8_t>(wedged ? 2 : 1), 0);
+        if (wedged) {
+            _obs->emit(_engine.now(), obs::EventType::ExecTimeoutKill,
+                       cid, pending.function);
+        }
+    }
+    _policy.onContainerFailed(*c);
+    _pool.forceKill(*c, wedged ? obs::KillCause::WedgeTimeout
+                               : obs::KillCause::ExecFault);
+    scheduleRetry(pending);
+    drainQueue();
+}
+
+void
+Invoker::scheduleRetry(Pending inv)
+{
+    ++inv.attempt;
+    if (inv.attempt > _fault->plan().maxRetries) {
+        ++_failed;
+        if (_obs != nullptr) {
+            _obs->counters().bump(obs::Counter::RetryExhausted,
+                                  _engine.now());
+            _obs->emit(_engine.now(), obs::EventType::InvocationFailed,
+                       0, inv.function,
+                       static_cast<std::uint8_t>(inv.attempt - 1));
+        }
+        RC_LOG(Debug, "invocation of f" << inv.function
+                      << " failed after " << (inv.attempt - 1)
+                      << " retries");
+        return;
+    }
+    ++_retries;
+    const sim::Tick backoff = _fault->retryBackoff(inv.attempt);
+    if (_obs != nullptr) {
+        _obs->counters().bump(obs::Counter::RetryScheduled,
+                              _engine.now());
+        _obs->emit(_engine.now(), obs::EventType::RetryScheduled, 0,
+                   inv.function, static_cast<std::uint8_t>(inv.attempt),
+                   0, sim::toSeconds(backoff));
+    }
+    _engine.scheduleAfter(backoff, [this, inv] {
+        // A retry landing during downtime simply queues: the restart
+        // drain picks it up. Never lost, never double-executed.
+        if (isDown() || !tryDispatch(inv))
+            enqueue(inv);
+    });
+}
+
+void
+Invoker::armFaults(sim::Tick horizon, bool manageNodeCrashes)
+{
+    _faultHorizon = horizon;
+    if (_fault == nullptr)
+        return;
+    const auto& plan = _fault->plan();
+    if (manageNodeCrashes && plan.nodeMtbfSeconds > 0.0)
+        armNodeCrash(_engine.now());
+    if (plan.overloadRatePerHour > 0.0)
+        armOverload(_engine.now());
+}
+
+void
+Invoker::armNodeCrash(sim::Tick from)
+{
+    // Bound the crash chain by the last arrival so the self-arming
+    // event sequence cannot keep the engine alive forever.
+    const sim::Tick at = from + _fault->nextNodeCrashDelay();
+    if (at > _faultHorizon)
+        return;
+    _engine.schedule(at, [this] { onNodeCrash(); });
+}
+
+void
+Invoker::onNodeCrash()
+{
+    const sim::Tick downUntil =
+        _engine.now() +
+        sim::fromSeconds(_fault->plan().nodeDowntimeSeconds);
+    std::vector<Pending> lost = crashImpl(downUntil);
+    for (auto& inv : lost)
+        scheduleRetry(inv);
+    // The next crash can only strike after the node is back up.
+    armNodeCrash(downUntil);
+}
+
+std::vector<Invoker::Pending>
+Invoker::crashImpl(sim::Tick downUntil)
+{
+    const sim::Tick now = _engine.now();
+
+    // Cancel every tracked init/exec completion first: once the pool
+    // dies, a stale completion would fire into a vanished container.
+    for (auto& [cid, ev] : _initEvents)
+        _engine.cancel(ev);
+    _initEvents.clear();
+
+    // Collect the invocations that lose their container, in container
+    // id order so the retry sequence is independent of hash layout.
+    std::vector<std::pair<container::ContainerId, Pending>> tagged;
+    for (auto& [cid, tracking] : _execs) {
+        _engine.cancel(tracking.event);
+        tagged.emplace_back(cid, tracking.inv);
+    }
+    _execs.clear();
+    for (auto& [cid, attachment] : _attachments)
+        tagged.emplace_back(cid, attachment.pending);
+    _attachments.clear();
+    std::sort(tagged.begin(), tagged.end(),
+              [](const auto& a, const auto& b) {
+                  return a.first < b.first;
+              });
+    _inFlight = 0;
+
+    _policy.onNodeDown(downUntil - now);
+    for (const auto id : _pool.allContainerIds()) {
+        Container* c = _pool.byId(id);
+        if (c != nullptr)
+            _pool.forceKill(*c, obs::KillCause::NodeCrash);
+    }
+
+    _downUntil = downUntil;
+    if (_obs != nullptr) {
+        _obs->counters().bump(obs::Counter::NodeCrashes, now);
+        _obs->emit(now, obs::EventType::NodeCrashed, 0, 0, 0, 0,
+                   sim::toSeconds(downUntil - now),
+                   static_cast<double>(tagged.size()));
+    }
+    RC_LOG(Debug, "node crashed; " << tagged.size()
+                  << " invocations lost their container, down for "
+                  << sim::toSeconds(downUntil - now) << " s");
+
+    _engine.schedule(downUntil, [this] {
+        if (_obs != nullptr)
+            _obs->emit(_engine.now(), obs::EventType::NodeRestarted, 0, 0);
+        drainQueue();
+    });
+
+    std::vector<Pending> lost;
+    lost.reserve(tagged.size());
+    for (auto& [cid, inv] : tagged)
+        lost.push_back(inv);
+    return lost;
+}
+
+std::vector<workload::FunctionId>
+Invoker::crashNow(sim::Tick downUntil)
+{
+    std::vector<Pending> lost = crashImpl(downUntil);
+    // Cluster failover also re-admits the queue: queued work would
+    // otherwise sit out the whole downtime on a dead node.
+    std::vector<workload::FunctionId> functions;
+    functions.reserve(lost.size() + _queue.size());
+    for (const auto& inv : lost)
+        functions.push_back(inv.function);
+    for (const auto& inv : _queue)
+        functions.push_back(inv.function);
+    _queue.clear();
+    _extracted += functions.size();
+    return functions;
+}
+
+void
+Invoker::armOverload(sim::Tick from)
+{
+    const sim::Tick at = from + _fault->nextOverloadDelay();
+    if (at > _faultHorizon)
+        return;
+    _engine.schedule(at, [this] { onOverloadStart(); });
+}
+
+void
+Invoker::onOverloadStart()
+{
+    const auto& plan = _fault->plan();
+    _overloadUntil =
+        _engine.now() + sim::fromSeconds(plan.overloadDurationSeconds);
+    if (_obs != nullptr) {
+        _obs->counters().bump(obs::Counter::FaultInjected, _engine.now());
+        _obs->emit(_engine.now(), obs::EventType::FaultInjected, 0, 0, 3,
+                   0, plan.overloadDurationSeconds, plan.overloadSlowdown);
+    }
+    armOverload(_overloadUntil);
+}
+
+void
+Invoker::shedPrewarms(double mb)
+{
+    // Idle, never-executed User containers are speculative capacity;
+    // id order keeps the shedding sequence deterministic.
+    std::vector<container::ContainerId> victims;
+    for (const Container* c : _pool.idleContainers()) {
+        if (!c->everExecuted() && c->layer() == Layer::User)
+            victims.push_back(c->id());
+    }
+    std::sort(victims.begin(), victims.end());
+    for (const auto id : victims) {
+        if (_pool.canFit(mb))
+            return;
+        Container* victim = _pool.byId(id);
+        if (!victim || victim->state() != State::Idle)
+            continue;
+        _pool.kill(*victim, obs::KillCause::MemoryPressure);
+        if (_obs != nullptr) {
+            _obs->counters().bump(obs::Counter::PrewarmShed,
+                                  _engine.now());
+        }
+    }
+}
+
+void
+Invoker::beginFinalize()
+{
+    _finalizing = true;
+    _downUntil = -1;
 }
 
 void

@@ -28,7 +28,9 @@
 
 #include <deque>
 #include <unordered_map>
+#include <vector>
 
+#include "fault/fault_injector.hh"
 #include "obs/observer.hh"
 #include "platform/metrics.hh"
 #include "platform/pool.hh"
@@ -67,6 +69,64 @@ class Invoker : public policy::PlatformView
     /** Invocations dispatched but not yet completed. */
     std::size_t inFlightInvocations() const { return _inFlight; }
 
+    // ---- fault injection and recovery (rc::fault) ----------------------
+
+    /**
+     * Install a fault injector (non-owning; nullptr = perfect
+     * machine, the default). Without an injector every fault path
+     * below is dead code behind one pointer check, so fault-free runs
+     * stay bit-identical to builds that predate rc::fault.
+     */
+    void installFaults(fault::FaultInjector* injector)
+    {
+        _fault = injector;
+    }
+
+    /**
+     * Arm time-driven faults (node crashes, overload windows) up to
+     * @p horizon — the last arrival instant, so the chain of
+     * crash/restart events cannot keep the engine alive forever.
+     * @p manageNodeCrashes is false when a cluster drives node
+     * crashes itself (it must extract and re-route the lost work).
+     */
+    void armFaults(sim::Tick horizon, bool manageNodeCrashes);
+
+    /** True while the node is down after a crash. */
+    bool isDown() const
+    {
+        return _fault != nullptr && _downUntil > _engine.now();
+    }
+
+    /**
+     * Cluster-driven node crash: kill the whole pool, cancel every
+     * tracked init/exec event, and hand back the functions of all
+     * invocations that were queued, attached to an init, or executing
+     * — the cluster re-routes them to healthy nodes. The node stays
+     * down until @p downUntil.
+     */
+    std::vector<workload::FunctionId> crashNow(sim::Tick downUntil);
+
+    /**
+     * End-of-run flush is starting: clear any down state so the queue
+     * can drain, and classify every invocation that binds from here
+     * on as finalize-drained (it only ran because the flush freed
+     * memory, not in-band).
+     */
+    void beginFinalize();
+
+    // ---- accounting (chaos invariants, reports) ------------------------
+
+    /** Invocations admitted via onArrival (retries not re-counted). */
+    std::uint64_t admittedInvocations() const { return _admitted; }
+    /** Invocations extracted by a cluster crash for re-routing. */
+    std::uint64_t extractedInvocations() const { return _extracted; }
+    /** Invocations that exhausted their retries. */
+    std::uint64_t failedInvocations() const { return _failed; }
+    /** Retries scheduled after injected faults. */
+    std::uint64_t retriesScheduled() const { return _retries; }
+    /** Invocations force-drained by end-of-run finalization. */
+    std::uint64_t finalizeDrained() const { return _finalizeDrained; }
+
     // ---- PlatformView --------------------------------------------------
 
     sim::Tick now() const override { return _engine.now(); }
@@ -90,6 +150,7 @@ class Invoker : public policy::PlatformView
         workload::FunctionId function = workload::kInvalidFunction;
         sim::Tick arrival = 0;
         sim::Tick queueWait = 0; //!< admission-queue wait before binding
+        std::uint32_t attempt = 0; //!< fault retries consumed so far
     };
 
     /** Bookkeeping for a claimed in-flight initialization. */
@@ -115,6 +176,48 @@ class Invoker : public policy::PlatformView
 
     /** Init-completion event body. */
     void onInitComplete(container::ContainerId cid);
+
+    /** Park @p inv in the admission queue (trace + counters). */
+    void enqueue(const Pending& inv);
+
+    /**
+     * Schedule the init-completion event for @p cid after @p install,
+     * or — when an injector is installed and draws a stage failure
+     * over the stages this install covers — the init-failure event.
+     */
+    void scheduleInit(container::ContainerId cid, sim::Tick install,
+                      bool bare, bool lang, bool user);
+
+    /** Injected init failure at @p stage: kill, then retry. */
+    void onInitFailed(container::ContainerId cid, workload::Layer stage);
+
+    /** Injected execution fault (crash, or wedge watchdog firing). */
+    void onExecFault(container::ContainerId cid, bool wedged);
+
+    /** Retry @p inv after capped exponential backoff, or fail it. */
+    void scheduleRetry(Pending inv);
+
+    /** Node-crash event body (internally managed crashes). */
+    void onNodeCrash();
+
+    /**
+     * Shared crash mechanics: cancel tracked events, kill the pool,
+     * go down until @p downUntil, schedule the restart drain. Returns
+     * the invocations that lost their container or init.
+     */
+    std::vector<Pending> crashImpl(sim::Tick downUntil);
+
+    /** Arm the next internally-managed node crash after @p from. */
+    void armNodeCrash(sim::Tick from);
+
+    /** Arm the next transient overload window after @p from. */
+    void armOverload(sim::Tick from);
+
+    /** Overload-window start event body. */
+    void onOverloadStart();
+
+    /** Shed idle never-executed pre-warms until @p mb fits. */
+    void shedPrewarms(double mb);
 
     /** Keep-alive: schedule / handle idle timeouts. */
     void scheduleKeepAlive(container::Container& c);
@@ -155,6 +258,28 @@ class Invoker : public policy::PlatformView
     std::unordered_map<container::ContainerId, Attachment> _attachments;
     std::size_t _inFlight = 0;
     bool _draining = false;
+
+    // ---- fault state (all dormant while _fault is nullptr) -------------
+
+    /** A tracked in-flight execution (cancellable on node crash). */
+    struct ExecTracking
+    {
+        Pending inv;
+        sim::EventId event = sim::kNoEvent;
+    };
+
+    fault::FaultInjector* _fault = nullptr;
+    sim::Tick _faultHorizon = 0;
+    sim::Tick _downUntil = -1;
+    sim::Tick _overloadUntil = -1;
+    bool _finalizing = false;
+    std::unordered_map<container::ContainerId, sim::EventId> _initEvents;
+    std::unordered_map<container::ContainerId, ExecTracking> _execs;
+    std::uint64_t _admitted = 0;
+    std::uint64_t _extracted = 0;
+    std::uint64_t _failed = 0;
+    std::uint64_t _retries = 0;
+    std::uint64_t _finalizeDrained = 0;
 };
 
 } // namespace rc::platform

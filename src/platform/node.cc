@@ -1,5 +1,7 @@
 #include "platform/node.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace rc::platform {
@@ -25,16 +27,26 @@ Node::Node(const workload::Catalog& catalog,
       _invoker(_engine, _catalog, _pool, *_policy, _metrics, _rng,
                config.observer)
 {
+    if (config.fault.active()) {
+        _injector = std::make_unique<fault::FaultInjector>(
+            config.fault, _rng.stream("fault"));
+        _invoker.installFaults(_injector.get());
+    }
 }
 
 void
 Node::run(const std::vector<trace::Arrival>& arrivals)
 {
+    sim::Tick horizon = 0;
     for (const auto& arrival : arrivals) {
+        horizon = std::max(horizon, arrival.time);
         _engine.schedule(arrival.time, [this, f = arrival.function] {
             _invoker.onArrival(f);
         });
     }
+    // Time-driven fault chains (crashes, overload windows) stop
+    // re-arming past the last arrival so the engine can drain.
+    _invoker.armFaults(horizon, /*manageNodeCrashes=*/true);
     {
         const obs::ScopedTimer timer(
             _obs != nullptr ? _obs->profiler() : nullptr,
@@ -71,6 +83,9 @@ Node::finalize()
     const obs::ScopedTimer timer(
         _obs != nullptr ? _obs->profiler() : nullptr,
         obs::Scope::Finalize);
+    // Invocations that only bind from here on are finalize-drained:
+    // they ran off the flush's freed memory, not in-band capacity.
+    _invoker.beginFinalize();
     // Kill every surviving idle container so its open idle interval
     // lands in the waste log (classified never-hit unless the
     // container was reused earlier). Policies like FaaSCache keep

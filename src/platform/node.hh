@@ -26,6 +26,7 @@
 #include <memory>
 #include <vector>
 
+#include "fault/fault_plan.hh"
 #include "platform/invoker.hh"
 #include "platform/metrics.hh"
 #include "platform/pool.hh"
@@ -49,6 +50,14 @@ struct NodeConfig
      * default — runs the node fully uninstrumented.
      */
     obs::Observer* observer = nullptr;
+    /**
+     * Fault-injection plan. The default (all knobs zero) builds no
+     * injector at all, so fault-free runs are bit-identical to a
+     * build without rc::fault. Faults draw from a dedicated Rng
+     * stream derived from @ref seed, never from the execution
+     * sampler's stream.
+     */
+    fault::FaultPlan fault;
 };
 
 /** One simulated worker node running one policy. */
@@ -95,6 +104,30 @@ class Node
         return _invoker.queuedInvocations();
     }
 
+    // ---- fault injection (rc::fault) -----------------------------------
+
+    /** Installed injector, or nullptr when the plan is all-zero. */
+    fault::FaultInjector* faultInjector() { return _injector.get(); }
+
+    /** True while the node is down after an injected crash. */
+    bool isDown() const { return _invoker.isDown(); }
+
+    /**
+     * Arm time-driven faults up to @p horizon (the last arrival
+     * instant). @p manageNodeCrashes is false when a cluster drives
+     * crashes itself; run() arms with true automatically.
+     */
+    void armFaults(sim::Tick horizon, bool manageNodeCrashes)
+    {
+        _invoker.armFaults(horizon, manageNodeCrashes);
+    }
+
+    /** Cluster-driven crash; see Invoker::crashNow. */
+    std::vector<workload::FunctionId> crashNow(sim::Tick downUntil)
+    {
+        return _invoker.crashNow(downUntil);
+    }
+
   private:
     const workload::Catalog& _catalog;
     std::unique_ptr<policy::Policy> _policy;
@@ -104,6 +137,7 @@ class Node
     ContainerPool _pool;
     Metrics _metrics;
     Invoker _invoker;
+    std::unique_ptr<fault::FaultInjector> _injector;
 };
 
 } // namespace rc::platform

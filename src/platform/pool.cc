@@ -1,5 +1,7 @@
 #include "platform/pool.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace rc::platform {
@@ -131,6 +133,17 @@ ContainerPool::byId(container::ContainerId id)
 {
     auto it = _containers.find(id);
     return it == _containers.end() ? nullptr : it->second.get();
+}
+
+std::vector<container::ContainerId>
+ContainerPool::allContainerIds() const
+{
+    std::vector<container::ContainerId> ids;
+    ids.reserve(_containers.size());
+    for (const auto& [id, c] : _containers)
+        ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    return ids;
 }
 
 Container*
@@ -375,6 +388,18 @@ ContainerPool::downgrade(Container& c)
 void
 ContainerPool::kill(Container& c, obs::KillCause cause)
 {
+    killImpl(c, cause, /*force=*/false);
+}
+
+void
+ContainerPool::forceKill(Container& c, obs::KillCause cause)
+{
+    killImpl(c, cause, /*force=*/true);
+}
+
+void
+ContainerPool::killImpl(Container& c, obs::KillCause cause, bool force)
+{
     if (c.timeoutEvent() != sim::kNoEvent) {
         _engine.cancel(c.timeoutEvent());
         c.setTimeoutEvent(sim::kNoEvent);
@@ -389,7 +414,7 @@ ContainerPool::kill(Container& c, obs::KillCause cause)
             obs::killCounter(static_cast<std::uint8_t>(cause)),
             _engine.now());
     }
-    c.kill(_engine.now());
+    c.kill(_engine.now(), force);
     for (auto& interval : c.drainIdleIntervals(false))
         _waste.record(interval);
     _usedMb -= before;

@@ -92,6 +92,13 @@ class ContainerPool
     /** Container by id; nullptr if dead/unknown. */
     container::Container* byId(container::ContainerId id);
 
+    /**
+     * Ids of every live container, ascending (creation order). Used
+     * by the node-crash fault path, which must destroy the whole pool
+     * in a deterministic order regardless of hash-map layout.
+     */
+    std::vector<container::ContainerId> allContainerIds() const;
+
     // ---- mutations -----------------------------------------------------
 
     /**
@@ -160,6 +167,14 @@ class ContainerPool
               obs::KillCause cause = obs::KillCause::Unknown);
 
     /**
+     * Fault-path kill: like kill(), but also legal on a Busy
+     * container (execution crash / watchdog / node crash). The
+     * in-flight invocation's fate is the caller's problem — the
+     * invoker retries or fails it.
+     */
+    void forceKill(container::Container& c, obs::KillCause cause);
+
+    /**
      * Attach packed-function metadata and its extra memory to an idle
      * User container (Pagurus zygote). Returns false if the extra
      * memory does not fit.
@@ -178,6 +193,9 @@ class ContainerPool
 
   private:
     void retrack(container::Container& c, double beforeMb);
+
+    void killImpl(container::Container& c, obs::KillCause cause,
+                  bool force);
 
     /** Record memory/live-count high-water marks after a mutation. */
     void trackGauges();

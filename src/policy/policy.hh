@@ -171,6 +171,25 @@ class Policy
     }
 
     /**
+     * A container was destroyed by an injected fault (init failure,
+     * execution crash, wedge timeout) rather than by a keep-alive or
+     * eviction decision. Called before the kill, so @p c is intact.
+     * Policies that learn from container lifetimes use this to keep
+     * failure kills out of their idle-timeout evidence; the default
+     * ignores it, which is correct for all stateless baselines.
+     */
+    virtual void onContainerFailed(const container::Container& c)
+    {
+        (void)c;
+    }
+
+    /**
+     * The node crashed and lost its whole pool; it restarts after
+     * @p downtime. Called once per crash, before the containers die.
+     */
+    virtual void onNodeDown(sim::Tick downtime) { (void)downtime; }
+
+    /**
      * Keep-alive TTL for a container that just became idle (after
      * execution or after a pre-warm completes). Return a negative
      * value for "no timeout" (FaaSCache keeps containers until

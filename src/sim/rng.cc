@@ -104,6 +104,25 @@ Rng::zipf(std::size_t n, double s)
 }
 
 Rng
+Rng::stream(std::string_view name) const
+{
+    // FNV-1a over the stream name, mixed with the construction seed
+    // via splitmix64-style finalization. Touching only _seed keeps
+    // this side-effect free on the parent's draw sequence.
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const char c : name) {
+        hash ^= static_cast<unsigned char>(c);
+        hash *= 0x100000001b3ULL;
+    }
+    std::uint64_t mixed = _seed ^ hash;
+    mixed += 0x9e3779b97f4a7c15ULL;
+    mixed = (mixed ^ (mixed >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    mixed = (mixed ^ (mixed >> 27)) * 0x94d049bb133111ebULL;
+    mixed ^= mixed >> 31;
+    return Rng(mixed);
+}
+
+Rng
 Rng::fork(std::uint64_t streamIndex) const
 {
     // Mix the stream index into a copy of the generator state by

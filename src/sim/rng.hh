@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <random>
+#include <string_view>
 #include <vector>
 
 namespace rc::sim {
@@ -26,7 +27,13 @@ class Rng
 {
   public:
     /** @param seed Seed for the underlying 64-bit Mersenne twister. */
-    explicit Rng(std::uint64_t seed = 0x5eed5eedULL) : _gen(seed) {}
+    explicit Rng(std::uint64_t seed = 0x5eed5eedULL)
+        : _gen(seed), _seed(seed)
+    {
+    }
+
+    /** Seed this instance was constructed with. */
+    std::uint64_t seed() const { return _seed; }
 
     /** Uniform double in [0, 1). */
     double uniform();
@@ -76,6 +83,16 @@ class Rng
 
     /** Derive an independent child stream; deterministic per index. */
     Rng fork(std::uint64_t streamIndex) const;
+
+    /**
+     * Derive an independent named sub-stream ("fault", "trace", …).
+     * Unlike fork(), the derivation uses only the construction seed —
+     * never the generator state — so taking a stream cannot perturb
+     * the sequence this instance produces, and the same (seed, name)
+     * pair always yields the same stream no matter how many draws
+     * happened before.
+     */
+    Rng stream(std::string_view name) const;
 
   private:
     std::mt19937_64 _gen;

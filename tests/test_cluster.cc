@@ -185,6 +185,44 @@ TEST_F(ClusterTest, LocalityBeatsBlindSchedulingOnStartup)
     EXPECT_LT(locality.totalStartupSeconds, rr.totalStartupSeconds);
 }
 
+TEST_F(ClusterTest, NodeCrashesFailOverWithoutLosingWork)
+{
+    const auto arrivals = smallWorkload();
+    ClusterConfig config;
+    config.nodes = 3;
+    config.node.fault.nodeMtbfSeconds = 300.0; // crashes over the hour
+    config.node.fault.nodeDowntimeSeconds = 20.0;
+    config.node.fault.maxRetries = 8;
+    const auto result =
+        Cluster(catalog, rainbowFactory(), config).run(arrivals);
+    EXPECT_GT(result.nodeCrashes, 0u);
+    EXPECT_GT(result.reroutedInvocations, 0u);
+    // Failover conservation: re-routing shifts work between nodes but
+    // every arrival still reaches exactly one terminal state.
+    EXPECT_EQ(result.invocations + result.failedInvocations +
+                  result.strandedInvocations,
+              arrivals.size());
+}
+
+TEST_F(ClusterTest, CrashScheduleIsIndependentOfScheduling)
+{
+    // Cluster crash times are pre-drawn per node from a dedicated Rng
+    // stream, so changing the routing policy must not move them.
+    const auto arrivals = smallWorkload();
+    auto crashesWith = [&](Scheduling scheduling) {
+        ClusterConfig config;
+        config.nodes = 3;
+        config.scheduling = scheduling;
+        config.node.fault.nodeMtbfSeconds = 300.0;
+        config.node.fault.nodeDowntimeSeconds = 20.0;
+        return Cluster(catalog, rainbowFactory(), config)
+            .run(arrivals)
+            .nodeCrashes;
+    };
+    EXPECT_EQ(crashesWith(Scheduling::RoundRobin),
+              crashesWith(Scheduling::LocalityAware));
+}
+
 } // namespace
 } // namespace rc::cluster
 

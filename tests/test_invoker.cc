@@ -47,6 +47,15 @@ class TestPolicy : public policy::Policy
 
     bool layerSharingEnabled() const override { return sharing; }
 
+    std::vector<container::ContainerId>
+    rankEvictionVictims(
+        const std::vector<const container::Container*>& idle) override
+    {
+        if (!evictable)
+            return {};
+        return policy::Policy::rankEvictionVictims(idle);
+    }
+
     policy::PlatformView* view() { return _view; }
 
     sim::Tick ttl = 10 * kMinute;   //!< initial (User) keep-alive
@@ -54,6 +63,7 @@ class TestPolicy : public policy::Policy
     sim::Tick bareTtl = 10 * kMinute;
     bool sharing = false;
     bool downgradeChain = false;
+    bool evictable = true; //!< false: nothing is ever policy-evictable
 };
 
 class InvokerTest : public ::testing::Test
@@ -283,6 +293,93 @@ TEST_F(InvokerTest, QueueWaitsWhenNothingEvictable)
     EXPECT_GT(rec.queueWait, 0);
     EXPECT_GE(rec.startupLatency, rec.queueWait);
     EXPECT_EQ(node->strandedInvocations(), 0u);
+}
+
+TEST_F(InvokerTest, QueueGrowsWhileNothingFrees)
+{
+    makeNode(/*budgetMb=*/430.0);
+    node->invokeNow(fid("IR-Py")); // 412 MB busy; 18 MB free
+    node->invokeNow(fid("MD-Py"));
+    EXPECT_EQ(node->invoker().queuedInvocations(), 1u);
+    node->invokeNow(fid("FC-Py"));
+    EXPECT_EQ(node->invoker().queuedInvocations(), 2u);
+    node->invokeNow(fid("GB-Py"));
+    EXPECT_EQ(node->invoker().queuedInvocations(), 3u);
+    node->engine().run();
+    node->finalize();
+    EXPECT_EQ(node->metrics().total(), 4u);
+    EXPECT_EQ(node->strandedInvocations(), 0u);
+}
+
+TEST_F(InvokerTest, QueueDrainIsStrictlyFifo)
+{
+    // 536 MB fits the busy IR-Py (412) and FC-Py (118) with 6 MB
+    // spare, so GB-Py and MD-Py queue behind them in that order.
+    makeNode(/*budgetMb=*/536.0);
+    policyPtr->ttl = kSecond;      // idle containers die quickly...
+    policyPtr->evictable = false;  // ...but are never pressure-evicted
+    node->invokeNow(fid("IR-Py"));
+    node->invokeNow(fid("FC-Py"));
+    node->invokeNow(fid("GB-Py"));
+    node->invokeNow(fid("MD-Py"));
+    EXPECT_EQ(node->invoker().queuedInvocations(), 2u);
+    // By t = 9 s FC has completed and its idle body expired, freeing
+    // 124 MB: enough for MD (106 MB) but not for the queue head GB
+    // (132 MB). Strict FIFO means MD must not jump the blocked head.
+    node->advanceTo(9 * kSecond);
+    EXPECT_EQ(node->invoker().queuedInvocations(), 2u);
+    node->engine().run(); // IR expires too; both queued entries bind
+    node->finalize();
+    EXPECT_EQ(node->metrics().total(), 4u);
+    EXPECT_EQ(node->strandedInvocations(), 0u);
+}
+
+TEST_F(InvokerTest, QueueWaitSpansBlockedInterval)
+{
+    makeNode(/*budgetMb=*/430.0);
+    node->invokeNow(fid("IR-Py"));
+    node->advanceTo(2 * kSecond); // IR still running
+    node->invokeNow(fid("MD-Py")); // queued at t = 2 s
+    node->engine().run(); // IR completes; its idle body is evicted
+    node->finalize();
+    ASSERT_EQ(node->metrics().total(), 2u);
+    const auto& ir = node->metrics().records()[0];
+    const auto& md = node->metrics().records()[1];
+    EXPECT_EQ(md.function, fid("MD-Py"));
+    // MD binds the instant IR's container frees: wait = IR's
+    // completion time minus MD's arrival.
+    EXPECT_EQ(md.queueWait, ir.endToEnd - 2 * kSecond);
+    EXPECT_GE(md.startupLatency, md.queueWait);
+}
+
+TEST_F(InvokerTest, QueueDrainsAfterEvictionFreesMemory)
+{
+    makeNode(/*budgetMb=*/430.0);
+    node->invokeNow(fid("IR-Py"));
+    node->invokeNow(fid("MD-Py")); // must wait for IR's 412 MB
+    EXPECT_EQ(node->invoker().queuedInvocations(), 1u);
+    node->engine().run();
+    node->finalize();
+    // The idle IR container was evicted under pressure to admit MD.
+    EXPECT_EQ(node->metrics().total(), 2u);
+    EXPECT_EQ(node->strandedInvocations(), 0u);
+    EXPECT_EQ(node->invoker().finalizeDrained(), 0u); // drained in-band
+}
+
+TEST_F(InvokerTest, FinalizeDrainedInvocationsAreCounted)
+{
+    makeNode(/*budgetMb=*/430.0);
+    policyPtr->ttl = -1;          // idle containers never expire...
+    policyPtr->evictable = false; // ...and are never policy-evictable
+    node->invokeNow(fid("IR-Py"));
+    node->engine().run(); // IR completes and parks at 412 MB forever
+    node->invokeNow(fid("MD-Py")); // cannot fit, cannot evict
+    node->engine().run();
+    EXPECT_EQ(node->invoker().queuedInvocations(), 1u);
+    node->finalize(); // flush kills the idle IR; MD binds off its memory
+    EXPECT_EQ(node->metrics().total(), 2u);
+    EXPECT_EQ(node->strandedInvocations(), 0u);
+    EXPECT_EQ(node->invoker().finalizeDrained(), 1u);
 }
 
 TEST_F(InvokerTest, KeepAliveTimeoutKillsContainer)

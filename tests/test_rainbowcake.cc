@@ -11,6 +11,7 @@
 #include "core/ablations.hh"
 #include "core/rainbowcake_policy.hh"
 #include "platform/node.hh"
+#include "trace/generator.hh"
 #include "trace/replay.hh"
 #include "workload/catalog.hh"
 
@@ -288,6 +289,59 @@ TEST_F(RainbowCakeTest, PrewarmCanBeDisabled)
     // Without pre-warming, 15-minute gaps exceed DS-Java's beta and
     // most arrivals degrade to partial or cold starts.
     EXPECT_LE(node->metrics().countOf(StartupType::User), 2u);
+}
+
+TEST_F(RainbowCakeTest, InjectedFaultsDoNotPolluteHistory)
+{
+    // The History Recorder learns only from arrivals: containers lost
+    // to injected faults and the retries that replace them must leave
+    // the per-function windows bit-identical to a fault-free twin fed
+    // the same arrival sequence. Otherwise every fault would teach the
+    // policy a phantom burst and skew Eq. 4's pre-warm windows.
+    trace::WorkloadTraceConfig traceConfig;
+    traceConfig.minutes = 20;
+    traceConfig.targetInvocations = 800;
+    traceConfig.seed = 29;
+    const auto arrivals = trace::expandArrivals(
+        trace::generateAzureLike(catalog, traceConfig));
+    const sim::Tick probe = 21 * kMinute; // past the last arrival
+
+    auto cleanPolicy = std::make_unique<RainbowCakePolicy>(catalog);
+    const RainbowCakePolicy* clean = cleanPolicy.get();
+    Node cleanNode(catalog, std::move(cleanPolicy));
+    cleanNode.run(arrivals);
+
+    NodeConfig faultyConfig;
+    faultyConfig.fault.userInitFailProb = 0.3;
+    faultyConfig.fault.execCrashProb = 0.2;
+    faultyConfig.fault.nodeMtbfSeconds = 200.0;
+    faultyConfig.fault.nodeDowntimeSeconds = 10.0;
+    faultyConfig.fault.maxRetries = 6;
+    auto faultyPolicy = std::make_unique<RainbowCakePolicy>(catalog);
+    const RainbowCakePolicy* faulty = faultyPolicy.get();
+    Node faultyNode(catalog, std::move(faultyPolicy), faultyConfig);
+    faultyNode.run(arrivals);
+
+    // The fault hooks fired (containers were lost, the node went
+    // down), so the equality below is not vacuous.
+    EXPECT_GT(faulty->failureKills(), 0u);
+    EXPECT_GT(faulty->nodeDownEvents(), 0u);
+    EXPECT_GT(faultyNode.invoker().retriesScheduled(), 0u);
+    EXPECT_EQ(clean->failureKills(), 0u);
+
+    for (workload::FunctionId f = 0; f < catalog.size(); ++f) {
+        EXPECT_EQ(faulty->history().arrivals(f),
+                  clean->history().arrivals(f))
+            << "function " << f;
+        const auto faultyRate = faulty->history().functionRate(f, probe);
+        const auto cleanRate = clean->history().functionRate(f, probe);
+        ASSERT_EQ(faultyRate.has_value(), cleanRate.has_value())
+            << "function " << f;
+        if (faultyRate.has_value()) {
+            EXPECT_DOUBLE_EQ(*faultyRate, *cleanRate)
+                << "function " << f;
+        }
+    }
 }
 
 } // namespace

@@ -183,5 +183,55 @@ TEST(Rng, ForkIsDeterministicPerIndex)
     EXPECT_NE(a.uniform(), c.uniform());
 }
 
+TEST(Rng, NamedStreamIsDeterministic)
+{
+    const Rng base(123);
+    Rng a = base.stream("fault");
+    Rng b = base.stream("fault");
+    for (int i = 0; i < 16; ++i)
+        EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+}
+
+TEST(Rng, DistinctStreamNamesDiverge)
+{
+    const Rng base(123);
+    Rng fault = base.stream("fault");
+    Rng trace = base.stream("trace");
+    Rng empty = base.stream("");
+    EXPECT_NE(fault.uniform(), trace.uniform());
+    EXPECT_NE(fault.uniform(), empty.uniform());
+}
+
+TEST(Rng, StreamDerivesFromConstructionSeedOnly)
+{
+    // Consuming draws from the parent must not change what its named
+    // streams produce — this is what lets a fault stream coexist with
+    // the platform's existing draws without perturbing either.
+    Rng consumed(77);
+    for (int i = 0; i < 100; ++i)
+        consumed.uniform();
+    Rng pristine(77);
+    Rng a = consumed.stream("fault");
+    Rng b = pristine.stream("fault");
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+    EXPECT_DOUBLE_EQ(a.exponential(2.0), b.exponential(2.0));
+}
+
+TEST(Rng, StreamDoesNotPerturbParent)
+{
+    Rng streamed(42);
+    Rng plain(42);
+    (void)streamed.stream("fault");
+    for (int i = 0; i < 8; ++i)
+        EXPECT_DOUBLE_EQ(streamed.uniform(), plain.uniform());
+}
+
+TEST(Rng, StreamsOfDifferentSeedsDiverge)
+{
+    Rng a = Rng(1).stream("fault");
+    Rng b = Rng(2).stream("fault");
+    EXPECT_NE(a.uniform(), b.uniform());
+}
+
 } // namespace
 } // namespace rc::sim

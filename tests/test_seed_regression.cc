@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Seed regression: pins the exact figure-style numbers of a fixed
+ * (seed, trace, baseline) sweep — a miniature of the Fig. 6/7
+ * comparison. Any change to Rng draw order (new streams must come
+ * from Rng::stream, never from interleaved draws on existing
+ * generators), trace generation, execution sampling, or the dispatch
+ * ladder shows up here as an exact-count diff before it silently
+ * shifts every figure in the evaluation.
+ *
+ * The goldens were captured from the current implementation; when a
+ * change is *intended* to move them (a new knob default, a ladder
+ * fix), re-capture and update them in the same commit with a note.
+ */
+
+#include <gtest/gtest.h>
+
+#include "exp/experiment.hh"
+#include "trace/generator.hh"
+#include "trace/replay.hh"
+#include "workload/catalog.hh"
+
+namespace rc {
+namespace {
+
+using platform::StartupType;
+
+struct Golden
+{
+    const char* policy;
+    std::uint64_t cold;
+    std::uint64_t bare;
+    std::uint64_t lang;
+    std::uint64_t user;
+    std::uint64_t load;
+    double totalStartupSeconds;
+    double meanEndToEndSeconds;
+};
+
+// Captured from the 60-minute, seed-4242 Azure-like trace below.
+constexpr Golden kGoldens[] = {
+    {"OpenWhisk", 55u, 0u, 0u, 0u, 787u, 158.3580000000006,
+     4.586525293349168},
+    {"Histogram", 62u, 0u, 0u, 1u, 779u, 189.96299999999974,
+     4.6241662315914471},
+    {"FaaSCache", 23u, 0u, 0u, 0u, 819u, 78.629999999999313,
+     4.4740489061757724},
+    {"SEUSS", 17u, 0u, 47u, 0u, 778u, 121.19068100000156,
+     4.5450349560570062},
+    {"Pagurus", 28u, 0u, 0u, 34u, 780u, 123.92800000000121,
+     4.5443838859857495},
+    {"RainbowCake", 12u, 8u, 40u, 9u, 773u, 104.50900000000136,
+     4.5205472790973884},
+};
+
+TEST(SeedRegression, BaselineFigureNumbersArePinned)
+{
+    const auto catalog = workload::Catalog::standard20();
+    trace::WorkloadTraceConfig traceConfig;
+    traceConfig.minutes = 60;
+    traceConfig.targetInvocations = 5000;
+    traceConfig.seed = 4242;
+    const auto arrivals = trace::expandArrivals(
+        trace::generateAzureLike(catalog, traceConfig));
+    ASSERT_EQ(arrivals.size(), 842u);
+
+    const auto baselines = exp::standardBaselines(catalog);
+    ASSERT_EQ(baselines.size(), std::size(kGoldens));
+    for (std::size_t i = 0; i < baselines.size(); ++i) {
+        const Golden& golden = kGoldens[i];
+        ASSERT_EQ(baselines[i].label, golden.policy);
+        const auto result =
+            exp::runExperiment(catalog, baselines[i].make, arrivals);
+        const auto& m = result.metrics;
+        EXPECT_EQ(m.total(), arrivals.size()) << golden.policy;
+        EXPECT_EQ(m.countOf(StartupType::Cold), golden.cold)
+            << golden.policy;
+        EXPECT_EQ(m.countOf(StartupType::Bare), golden.bare)
+            << golden.policy;
+        EXPECT_EQ(m.countOf(StartupType::Lang), golden.lang)
+            << golden.policy;
+        EXPECT_EQ(m.countOf(StartupType::User), golden.user)
+            << golden.policy;
+        EXPECT_EQ(m.countOf(StartupType::Load), golden.load)
+            << golden.policy;
+        EXPECT_DOUBLE_EQ(m.totalStartupSeconds(),
+                         golden.totalStartupSeconds)
+            << golden.policy;
+        EXPECT_DOUBLE_EQ(m.meanEndToEndSeconds(),
+                         golden.meanEndToEndSeconds)
+            << golden.policy;
+    }
+}
+
+} // namespace
+} // namespace rc

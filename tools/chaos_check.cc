@@ -1,0 +1,264 @@
+/**
+ * @file
+ * chaos_check — randomized fault-plan replay against platform
+ * invariants. CI runs it under ASan/UBSan with a handful of fixed
+ * seeds:
+ *
+ *   chaos_check --seed 1 [--runs 4] [--minutes 20]
+ *
+ * Each run draws a randomized FaultPlan (init failures, exec crashes,
+ * wedges, node crashes, overload windows), picks one of the six
+ * baselines, replays a generated trace on a single node and on a
+ * small cluster with failover, and asserts:
+ *
+ *  * conservation — every admitted invocation either completed,
+ *    exhausted its retries, or is accountably stranded; nothing is
+ *    lost and nothing completes twice;
+ *  * quiescence — no in-flight work or live containers survive the
+ *    end-of-run flush, and pool memory accounting returns to zero
+ *    after crash-restart cycles;
+ *  * determinism — an identical (seed, plan, policy) twin run
+ *    reproduces the exact same outcome counts and latency totals.
+ *
+ * Exit status 0 when every invariant holds for every run.
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.hh"
+#include "exp/experiment.hh"
+#include "fault/fault_plan.hh"
+#include "platform/node.hh"
+#include "sim/rng.hh"
+#include "trace/generator.hh"
+#include "trace/replay.hh"
+#include "workload/catalog.hh"
+
+namespace {
+
+using namespace rc;
+
+int gFailures = 0;
+
+void
+fail(const std::string& what)
+{
+    std::cerr << "chaos_check: FAIL: " << what << "\n";
+    ++gFailures;
+}
+
+void
+expect(bool ok, const std::string& what)
+{
+    if (!ok)
+        fail(what);
+}
+
+/** Randomize every fault class; ranges keep runs short but eventful. */
+fault::FaultPlan
+randomPlan(sim::Rng& rng)
+{
+    fault::FaultPlan plan;
+    plan.bareInitFailProb = 0.01 * rng.uniform();
+    plan.langInitFailProb = 0.02 * rng.uniform();
+    plan.userInitFailProb = 0.05 * rng.uniform();
+    plan.execCrashProb = 0.03 * rng.uniform();
+    plan.wedgeProb = 0.01 * rng.uniform();
+    plan.execTimeout = sim::fromSeconds(20.0 + 40.0 * rng.uniform());
+    plan.nodeMtbfSeconds =
+        rng.bernoulli(0.7) ? 300.0 + 900.0 * rng.uniform() : 0.0;
+    plan.nodeDowntimeSeconds = 10.0 + 50.0 * rng.uniform();
+    plan.overloadRatePerHour =
+        rng.bernoulli(0.5) ? 1.0 + 3.0 * rng.uniform() : 0.0;
+    plan.overloadDurationSeconds = 20.0 + 60.0 * rng.uniform();
+    plan.overloadSlowdown = 1.5 + rng.uniform();
+    plan.maxRetries = 1 + static_cast<std::uint32_t>(3.0 * rng.uniform());
+    plan.retryJitterFrac = 0.2 * rng.uniform();
+    return plan;
+}
+
+/** Outcome snapshot used by the determinism twin comparison. */
+struct Outcome
+{
+    std::uint64_t admitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t failed = 0;
+    std::uint64_t retries = 0;
+    std::size_t stranded = 0;
+    double totalStartupSeconds = 0.0;
+    double meanE2eSeconds = 0.0;
+
+    bool operator==(const Outcome& other) const
+    {
+        return admitted == other.admitted &&
+               completed == other.completed && failed == other.failed &&
+               retries == other.retries && stranded == other.stranded &&
+               totalStartupSeconds == other.totalStartupSeconds &&
+               meanE2eSeconds == other.meanE2eSeconds;
+    }
+};
+
+Outcome
+runNode(const workload::Catalog& catalog, const exp::NamedPolicy& policy,
+        const std::vector<trace::Arrival>& arrivals,
+        const platform::NodeConfig& config, const std::string& label)
+{
+    platform::Node node(catalog, policy.make(), config);
+    node.run(arrivals);
+
+    Outcome outcome;
+    outcome.admitted = node.invoker().admittedInvocations();
+    outcome.completed = node.metrics().total();
+    outcome.failed = node.invoker().failedInvocations();
+    outcome.retries = node.invoker().retriesScheduled();
+    outcome.stranded = node.strandedInvocations();
+    outcome.totalStartupSeconds = node.metrics().totalStartupSeconds();
+    outcome.meanE2eSeconds = node.metrics().meanEndToEndSeconds();
+
+    // Conservation: one terminal state per admitted invocation. A
+    // lost invocation shows up as admitted > accounted; a
+    // double-execution as admitted < accounted.
+    expect(outcome.admitted == arrivals.size(),
+           label + ": admitted != arrivals");
+    expect(outcome.completed + outcome.failed + outcome.stranded ==
+               outcome.admitted,
+           label + ": completed + failed + stranded != admitted");
+
+    // Quiescence: nothing in flight, nothing alive, memory balanced
+    // even across crash-restart cycles.
+    expect(node.invoker().inFlightInvocations() == 0,
+           label + ": in-flight work survived the run");
+    expect(node.pool().liveCount() == 0,
+           label + ": live containers survived finalize");
+    expect(node.pool().usedMemoryMb() < 1e-6,
+           label + ": pool memory accounting did not return to zero");
+    return outcome;
+}
+
+void
+runClusterCheck(const workload::Catalog& catalog,
+                const exp::NamedPolicy& policy,
+                const std::vector<trace::Arrival>& arrivals,
+                const platform::NodeConfig& config,
+                const std::string& label)
+{
+    cluster::ClusterConfig clusterConfig;
+    clusterConfig.nodes = 3;
+    clusterConfig.node = config;
+    clusterConfig.node.pool.memoryBudgetMb = config.pool.memoryBudgetMb;
+    cluster::Cluster cluster(catalog, policy.make, clusterConfig);
+    const auto result = cluster.run(arrivals);
+
+    // Failover conservation: every extracted invocation was re-routed
+    // (admissions exceed arrivals by exactly the re-routed count), and
+    // each arrival still reaches exactly one terminal state.
+    std::uint64_t admitted = 0;
+    std::uint64_t extracted = 0;
+    std::size_t inFlight = 0;
+    for (const auto& node : cluster.nodes()) {
+        admitted += node->invoker().admittedInvocations();
+        extracted += node->invoker().extractedInvocations();
+        inFlight += node->invoker().inFlightInvocations();
+    }
+    expect(extracted == result.reroutedInvocations,
+           label + ": extracted != rerouted");
+    expect(admitted == arrivals.size() + result.reroutedInvocations,
+           label + ": cluster admissions != arrivals + rerouted");
+    expect(result.invocations + result.failedInvocations +
+                   result.strandedInvocations + extracted ==
+               admitted,
+           label + ": cluster conservation broken");
+    expect(inFlight == 0, label + ": cluster in-flight work survived");
+}
+
+[[noreturn]] void
+usage(int code)
+{
+    std::cout << "chaos_check [--seed S] [--runs N] [--minutes M]\n";
+    std::exit(code);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::uint64_t seed = 1;
+    std::size_t runs = 4;
+    std::size_t minutes = 20;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--help" || arg == "-h")
+            usage(0);
+        if (i + 1 >= argc) {
+            std::cerr << "missing value for " << arg << "\n";
+            usage(2);
+        }
+        const std::string value = argv[++i];
+        if (arg == "--seed") {
+            seed = std::stoull(value);
+        } else if (arg == "--runs") {
+            runs = std::stoul(value);
+        } else if (arg == "--minutes") {
+            minutes = std::stoul(value);
+        } else {
+            std::cerr << "unknown option " << arg << "\n";
+            usage(2);
+        }
+    }
+
+    const workload::Catalog catalog = workload::Catalog::standard20();
+    const auto baselines = exp::standardBaselines(catalog);
+
+    for (std::size_t r = 0; r < runs; ++r) {
+        const std::uint64_t runSeed = seed + r * 7919;
+        sim::Rng rng(runSeed);
+        const fault::FaultPlan plan = randomPlan(rng);
+        const auto& policy = baselines[static_cast<std::size_t>(
+            rng.uniform() * static_cast<double>(baselines.size()))];
+
+        trace::WorkloadTraceConfig traceConfig;
+        traceConfig.minutes = minutes;
+        traceConfig.targetInvocations = minutes * 120;
+        traceConfig.seed = runSeed;
+        const auto arrivals = trace::expandArrivals(
+            trace::generateAzureLike(catalog, traceConfig));
+
+        platform::NodeConfig config;
+        config.seed = runSeed;
+        // A tight budget exercises queueing, shedding, and eviction
+        // alongside the injected faults.
+        config.pool.memoryBudgetMb = 8.0 * 1024.0;
+        config.fault = plan;
+
+        const std::string label = "seed " + std::to_string(runSeed) +
+                                  " policy " + policy.label;
+        std::cout << "chaos_check: " << label << " ("
+                  << arrivals.size() << " arrivals)\n";
+
+        const Outcome first =
+            runNode(catalog, policy, arrivals, config, label);
+        const Outcome twin =
+            runNode(catalog, policy, arrivals, config, label + " twin");
+        expect(first == twin,
+               label + ": twin run diverged (non-deterministic faults)");
+        std::cout << "chaos_check:   completed " << first.completed
+                  << ", failed " << first.failed << ", retries "
+                  << first.retries << ", stranded " << first.stranded
+                  << "\n";
+
+        runClusterCheck(catalog, policy, arrivals, config,
+                        label + " cluster");
+    }
+
+    if (gFailures == 0) {
+        std::cout << "chaos_check: all invariants held over " << runs
+                  << " runs\n";
+        return 0;
+    }
+    std::cerr << "chaos_check: " << gFailures << " invariant failures\n";
+    return 1;
+}

@@ -91,6 +91,9 @@ checkReport(const std::string& path)
         "waste_gb_seconds",
         "never_hit_waste_gb_seconds",
         "stranded",
+        "failed",
+        "retries",
+        "finalize_drained",
     };
     for (const auto& entry : policies->array) {
         const std::string name = entry.stringAt("policy", "<unnamed>");

@@ -16,6 +16,7 @@
 
 #include <cctype>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -24,6 +25,7 @@
 
 #include "core/ablations.hh"
 #include "core/checkpoint.hh"
+#include "fault/fault_plan.hh"
 #include "obs/export.hh"
 #include "obs/observer.hh"
 #include "exp/experiment.hh"
@@ -62,6 +64,7 @@ struct Options
     std::string traceOut;      // non-empty: write Chrome trace JSON
     std::string eventsOut;     // non-empty: write JSONL event dump
     std::string reportJson;    // non-empty: write machine-readable report
+    std::string faultPlan;     // non-empty: load a fault plan file
     double obsIntervalSeconds = 60.0; // counter snapshot interval
 
     /** Any artifact flag turns instrumentation on. */
@@ -103,6 +106,8 @@ usage(int code)
         "                    (schema rainbowcake-report-v1)\n"
         "  --obs-interval S  counter snapshot interval in seconds\n"
         "                    (default 60)\n"
+        "  --fault-plan FILE inject faults per the plan (flat JSON;\n"
+        "                    see src/fault/fault_plan.hh for knobs)\n"
         "  --help            this text\n";
     std::exit(code);
 }
@@ -154,6 +159,8 @@ parseArgs(int argc, char** argv)
                 options.eventsOut = need(i);
             } else if (arg == "--report-json") {
                 options.reportJson = need(i);
+            } else if (arg == "--fault-plan") {
+                options.faultPlan = need(i);
             } else if (arg == "--obs-interval") {
                 options.obsIntervalSeconds = std::stod(need(i));
                 if (options.obsIntervalSeconds <= 0.0)
@@ -349,6 +356,17 @@ main(int argc, char** argv)
 
     platform::NodeConfig nodeConfig;
     nodeConfig.pool.memoryBudgetMb = options.budgetGb * 1024.0;
+    if (!options.faultPlan.empty()) {
+        std::string error;
+        if (!fault::loadFaultPlanFile(options.faultPlan,
+                                      nodeConfig.fault, &error)) {
+            std::cerr << "bad fault plan: " << error << "\n";
+            return 2;
+        }
+        std::cout << "fault plan loaded from " << options.faultPlan
+                  << (nodeConfig.fault.active() ? "" : " (all knobs zero)")
+                  << "\n";
+    }
 
     // One Observer per run (never shared: an Observer is single-run
     // state); kept alive here because RunResult::observer only points.
@@ -399,6 +417,13 @@ main(int argc, char** argv)
         writeArtifacts(options, results);
 
     if (!options.csvDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(options.csvDir, ec);
+        if (ec) {
+            std::cerr << "cannot create --csv-dir " << options.csvDir
+                      << ": " << ec.message() << "\n";
+            return 2;
+        }
         std::ofstream summary(options.csvDir + "/summary.csv");
         exp::writeSummaryCsv(summary, results);
         for (const auto& result : results) {
