@@ -1,0 +1,118 @@
+#include "admission/admission_controller.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rc::admission {
+
+AdmissionController::AdmissionController(AdmissionPlan plan) : _plan(plan)
+{
+}
+
+bool
+AdmissionController::tryAdmit(workload::FunctionId f, sim::Tick now)
+{
+    if (_plan.functionRatePerSecond <= 0.0)
+        return true;
+    auto [it, fresh] = _buckets.try_emplace(f);
+    Bucket& bucket = it->second;
+    if (fresh) {
+        // A function's first arrival finds a full bucket: the limit
+        // constrains sustained rates, not the first burst.
+        bucket.tokens = _plan.tokenBucketBurst;
+        bucket.lastRefill = now;
+    } else {
+        const double elapsed = sim::toSeconds(now - bucket.lastRefill);
+        bucket.tokens =
+            std::min(_plan.tokenBucketBurst,
+                     bucket.tokens + elapsed * _plan.functionRatePerSecond);
+        bucket.lastRefill = now;
+    }
+    if (bucket.tokens < 1.0)
+        return false;
+    bucket.tokens -= 1.0;
+    return true;
+}
+
+bool
+AdmissionController::mayDispatch(workload::FunctionId f) const
+{
+    if (_plan.functionConcurrencyCap == 0)
+        return true;
+    const auto it = _inFlight.find(f);
+    return it == _inFlight.end() ||
+           it->second < _plan.functionConcurrencyCap;
+}
+
+void
+AdmissionController::onExecStart(workload::FunctionId f)
+{
+    if (_plan.functionConcurrencyCap == 0)
+        return;
+    ++_inFlight[f];
+}
+
+void
+AdmissionController::onExecFinish(workload::FunctionId f)
+{
+    if (_plan.functionConcurrencyCap == 0)
+        return;
+    const auto it = _inFlight.find(f);
+    if (it != _inFlight.end() && it->second > 0)
+        --it->second;
+}
+
+int
+AdmissionController::updatePressure(const PressureSample& sample,
+                                    sim::Tick now)
+{
+    (void)now;
+    const double shedFill =
+        std::min(1.0, static_cast<double>(_shedsSinceUpdate) /
+                          _plan.queueDepthScale);
+    _shedsSinceUpdate = 0;
+
+    double raw = _plan.pressureMemoryWeight * sample.memoryOccupancy +
+                 _plan.pressureQueueWeight * sample.queueFill +
+                 _plan.pressureShedWeight * shedFill;
+    if (sample.overloadWindowOpen)
+        raw += _plan.overloadPressureBias;
+    raw = std::clamp(raw, 0.0, 1.0);
+    _lastRaw = raw;
+    _smoothed = _plan.pressureSmoothing * raw +
+                (1.0 - _plan.pressureSmoothing) * _smoothed;
+
+    // Map the smoothed signal onto the ladder. Rising is immediate;
+    // falling requires clearing the threshold by the hysteresis
+    // margin so the level does not flap around a boundary.
+    const double thresholds[3] = {_plan.pressureWarn, _plan.pressureHigh,
+                                  _plan.pressureCritical};
+    int rising = 0;
+    while (rising < 3 && _smoothed >= thresholds[rising])
+        ++rising;
+    if (rising > _level) {
+        _level = rising;
+    } else if (rising < _level) {
+        int falling = _level;
+        while (falling > 0 && _smoothed <
+                                  thresholds[falling - 1] -
+                                      _plan.pressureHysteresis) {
+            --falling;
+        }
+        _level = falling;
+    }
+    return _level;
+}
+
+sim::Tick
+AdmissionController::degradeTtl(sim::Tick ttl) const
+{
+    if (ttl <= 0 || _level <= 0)
+        return ttl;
+    const double factor =
+        std::pow(_plan.ttlShrinkFactor, static_cast<double>(_level));
+    return std::max<sim::Tick>(
+        1, static_cast<sim::Tick>(static_cast<double>(ttl) * factor));
+}
+
+} // namespace rc::admission

@@ -1,0 +1,192 @@
+#include "admission/admission_plan.hh"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hh"
+
+namespace rc::admission {
+
+bool
+AdmissionPlan::active() const
+{
+    return functionRatePerSecond > 0.0 || functionConcurrencyCap > 0 ||
+           maxQueueDepth > 0 || queueDeadlineSeconds > 0.0 ||
+           breakerFailureThreshold > 0.0 || pressureControlEnabled;
+}
+
+namespace {
+
+/** One knob of the flat JSON schema. */
+struct Knob
+{
+    const char* key;
+    enum class Kind : std::uint8_t { Frac, Seconds, Count, Flag };
+    Kind kind;
+    void* target;
+};
+
+bool
+applyKnob(const Knob& knob, const obs::JsonValue& value,
+          std::string* error)
+{
+    const auto fail = [&](const std::string& what) {
+        if (error != nullptr)
+            *error = std::string(knob.key) + ": " + what;
+        return false;
+    };
+    if (knob.kind == Knob::Kind::Flag) {
+        if (value.kind != obs::JsonValue::Kind::Bool)
+            return fail("expected a boolean");
+        *static_cast<bool*>(knob.target) = value.boolean;
+        return true;
+    }
+    if (!value.isNumber())
+        return fail("expected a number");
+    const double v = value.number;
+    switch (knob.kind) {
+      case Knob::Kind::Frac:
+        if (v < 0.0 || v > 1.0)
+            return fail("must be in [0, 1]");
+        *static_cast<double*>(knob.target) = v;
+        return true;
+      case Knob::Kind::Seconds:
+        if (v < 0.0)
+            return fail("must be non-negative");
+        *static_cast<double*>(knob.target) = v;
+        return true;
+      case Knob::Kind::Count:
+        if (v < 0.0 || v != std::floor(v))
+            return fail("must be a non-negative integer");
+        *static_cast<std::uint32_t*>(knob.target) =
+            static_cast<std::uint32_t>(v);
+        return true;
+      case Knob::Kind::Flag:
+        break;
+    }
+    return fail("bad knob kind");
+}
+
+} // namespace
+
+bool
+parseAdmissionPlan(const std::string& text, AdmissionPlan& out,
+                   std::string* error)
+{
+    obs::JsonValue root;
+    if (!obs::parseJson(text, root, error))
+        return false;
+    if (!root.isObject()) {
+        if (error != nullptr)
+            *error = "admission plan must be a JSON object";
+        return false;
+    }
+
+    AdmissionPlan plan;
+    const Knob knobs[] = {
+        {"function_rate_per_second", Knob::Kind::Seconds,
+         &plan.functionRatePerSecond},
+        {"token_bucket_burst", Knob::Kind::Seconds,
+         &plan.tokenBucketBurst},
+        {"function_concurrency_cap", Knob::Kind::Count,
+         &plan.functionConcurrencyCap},
+        {"max_queue_depth", Knob::Kind::Count, &plan.maxQueueDepth},
+        {"queue_deadline_seconds", Knob::Kind::Seconds,
+         &plan.queueDeadlineSeconds},
+        {"breaker_failure_threshold", Knob::Kind::Frac,
+         &plan.breakerFailureThreshold},
+        {"breaker_window_seconds", Knob::Kind::Seconds,
+         &plan.breakerWindowSeconds},
+        {"breaker_cooloff_seconds", Knob::Kind::Seconds,
+         &plan.breakerCooloffSeconds},
+        {"breaker_min_samples", Knob::Kind::Count,
+         &plan.breakerMinSamples},
+        {"pressure_control_enabled", Knob::Kind::Flag,
+         &plan.pressureControlEnabled},
+        {"controller_interval_seconds", Knob::Kind::Seconds,
+         &plan.controllerIntervalSeconds},
+        {"pressure_smoothing", Knob::Kind::Frac,
+         &plan.pressureSmoothing},
+        {"pressure_warn", Knob::Kind::Frac, &plan.pressureWarn},
+        {"pressure_high", Knob::Kind::Frac, &plan.pressureHigh},
+        {"pressure_critical", Knob::Kind::Frac, &plan.pressureCritical},
+        {"pressure_hysteresis", Knob::Kind::Frac,
+         &plan.pressureHysteresis},
+        {"ttl_shrink_factor", Knob::Kind::Frac, &plan.ttlShrinkFactor},
+        {"overload_pressure_bias", Knob::Kind::Seconds,
+         &plan.overloadPressureBias},
+        {"pressure_memory_weight", Knob::Kind::Frac,
+         &plan.pressureMemoryWeight},
+        {"pressure_queue_weight", Knob::Kind::Frac,
+         &plan.pressureQueueWeight},
+        {"pressure_shed_weight", Knob::Kind::Frac,
+         &plan.pressureShedWeight},
+        {"queue_depth_scale", Knob::Kind::Seconds,
+         &plan.queueDepthScale},
+    };
+
+    for (const auto& [key, value] : root.object) {
+        bool known = false;
+        for (const Knob& knob : knobs) {
+            if (key == knob.key) {
+                known = true;
+                if (!applyKnob(knob, value, error))
+                    return false;
+                break;
+            }
+        }
+        if (!known) {
+            if (error != nullptr)
+                *error = "unknown admission-plan key '" + key + "'";
+            return false;
+        }
+    }
+    const auto reject = [&](const char* what) {
+        if (error != nullptr)
+            *error = what;
+        return false;
+    };
+    if (plan.tokenBucketBurst < 1.0)
+        return reject("token_bucket_burst: must be >= 1");
+    if (plan.pressureSmoothing <= 0.0)
+        return reject("pressure_smoothing: must be positive");
+    if (plan.ttlShrinkFactor <= 0.0)
+        return reject("ttl_shrink_factor: must be positive");
+    if (plan.queueDepthScale <= 0.0)
+        return reject("queue_depth_scale: must be positive");
+    if (!(plan.pressureWarn < plan.pressureHigh &&
+          plan.pressureHigh < plan.pressureCritical)) {
+        return reject("pressure thresholds must satisfy "
+                      "warn < high < critical");
+    }
+    if (plan.breakerFailureThreshold > 0.0 &&
+        plan.breakerWindowSeconds <= 0.0) {
+        return reject("breaker_window_seconds: must be positive when "
+                      "breakers are enabled");
+    }
+    if (plan.pressureControlEnabled &&
+        plan.controllerIntervalSeconds <= 0.0) {
+        return reject("controller_interval_seconds: must be positive "
+                      "when pressure control is enabled");
+    }
+    out = plan;
+    return true;
+}
+
+bool
+loadAdmissionPlanFile(const std::string& path, AdmissionPlan& out,
+                      std::string* error)
+{
+    std::ifstream in(path);
+    if (!in) {
+        if (error != nullptr)
+            *error = "cannot open " + path;
+        return false;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parseAdmissionPlan(buffer.str(), out, error);
+}
+
+} // namespace rc::admission

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * AdmissionPlan: the pure configuration half of rc::admission.
+ *
+ * A plan describes how the platform defends itself under sustained
+ * overload: per-function token-bucket rate limits and concurrency
+ * caps, a bounded admission queue with deadline-based shedding, the
+ * cluster circuit breaker, and the pressure-driven degradation ladder
+ * (see src/admission/admission_controller.hh for the ladder stages).
+ *
+ * Every knob defaults to "off", so a default-constructed plan is
+ * inert: installing it builds no controller, schedules no events, and
+ * keeps runs bit-identical to an uninstrumented platform. That is the
+ * same pay-for-what-you-use contract rc::fault established, and the
+ * zero-knob CI diff pins it for --admission-plan exactly as it does
+ * for --fault-plan.
+ *
+ * Plans load from flat snake_case JSON (rainbow_sim --admission-plan):
+ *
+ *   {"max_queue_depth": 256, "queue_deadline_seconds": 30,
+ *    "pressure_control_enabled": true}
+ *
+ * Unlike FaultPlan, an admission plan draws no randomness at all:
+ * token buckets, EWMA smoothing, and breaker windows are pure
+ * arithmetic over simulated time, so admission-controlled runs are
+ * deterministic by construction.
+ */
+
+#ifndef RC_ADMISSION_ADMISSION_PLAN_HH_
+#define RC_ADMISSION_ADMISSION_PLAN_HH_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.hh"
+
+namespace rc::admission {
+
+/** All overload-control knobs. Pure data. */
+struct AdmissionPlan
+{
+    // ---- per-function token-bucket rate limit ---------------------------
+    /** Sustained admissions per second per function; 0 disables. */
+    double functionRatePerSecond = 0.0;
+    /** Bucket capacity (burst tolerance) in tokens (>= 1). */
+    double tokenBucketBurst = 8.0;
+
+    // ---- per-function concurrency cap -----------------------------------
+    /** Max concurrent executions per function; 0 disables. */
+    std::uint32_t functionConcurrencyCap = 0;
+
+    // ---- bounded admission queue ----------------------------------------
+    /** Max queued invocations; 0 = unbounded (the legacy behaviour). */
+    std::uint32_t maxQueueDepth = 0;
+    /**
+     * Deadline-based shedding: queued work still unbound after this
+     * long is dropped (shed_deadline) instead of executing uselessly
+     * late. 0 disables.
+     */
+    double queueDeadlineSeconds = 0.0;
+
+    // ---- per-node circuit breaker (cluster scheduler) -------------------
+    /**
+     * Failure fraction over the rolling window that trips the breaker
+     * open; 0 disables breakers entirely.
+     */
+    double breakerFailureThreshold = 0.0;
+    /** Rolling observation window. */
+    double breakerWindowSeconds = 60.0;
+    /** Open -> half-open probe delay. */
+    double breakerCooloffSeconds = 30.0;
+    /** Minimum samples in the window before the breaker may trip. */
+    std::uint32_t breakerMinSamples = 20;
+
+    // ---- pressure signal and degradation ladder -------------------------
+    /** Master switch for the closed-loop pressure controller. */
+    bool pressureControlEnabled = false;
+    /** Controller recomputation period. */
+    double controllerIntervalSeconds = 10.0;
+    /** EWMA weight of the newest raw sample (0 < alpha <= 1). */
+    double pressureSmoothing = 0.5;
+    /** Ladder thresholds on the smoothed signal (warn < high < crit). */
+    double pressureWarn = 0.55;
+    double pressureHigh = 0.75;
+    double pressureCritical = 0.9;
+    /** A level is only left when pressure falls this far below it. */
+    double pressureHysteresis = 0.05;
+    /** Stage-1 keep-alive shrink factor per ladder level (0 < f <= 1). */
+    double ttlShrinkFactor = 0.5;
+    /** Extra raw pressure while an injected overload window is open. */
+    double overloadPressureBias = 0.5;
+    /** Raw-signal mix: pool memory occupancy weight. */
+    double pressureMemoryWeight = 0.6;
+    /** Raw-signal mix: queue-fill weight. */
+    double pressureQueueWeight = 0.3;
+    /** Raw-signal mix: recent-shed weight. */
+    double pressureShedWeight = 0.1;
+    /**
+     * Queue depth (and recent sheds per interval) that count as
+     * "full" when no explicit maxQueueDepth bounds the queue.
+     */
+    double queueDepthScale = 64.0;
+
+    /**
+     * True when any admission mechanism is engaged. The platform only
+     * builds a controller (and only then pays any bookkeeping or
+     * extra events) for active plans.
+     */
+    bool active() const;
+};
+
+/**
+ * Parse a plan from flat snake_case JSON text. Unknown keys fail (a
+ * typoed knob silently running unprotected would be worse). Returns
+ * false and sets @p error on malformed input.
+ */
+bool parseAdmissionPlan(const std::string& text, AdmissionPlan& out,
+                        std::string* error = nullptr);
+
+/** Load a plan from a JSON file via parseAdmissionPlan. */
+bool loadAdmissionPlanFile(const std::string& path, AdmissionPlan& out,
+                           std::string* error = nullptr);
+
+} // namespace rc::admission
+
+#endif // RC_ADMISSION_ADMISSION_PLAN_HH_

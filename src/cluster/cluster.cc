@@ -27,6 +27,17 @@ Cluster::Cluster(const workload::Catalog& catalog,
         _nodes.push_back(std::make_unique<platform::Node>(
             _catalog, factory(), nodeConfig));
     }
+    const admission::AdmissionPlan& admission = config.node.admission;
+    if (admission.breakerFailureThreshold > 0.0) {
+        admission::CircuitBreaker::Config breaker;
+        breaker.failureThreshold = admission.breakerFailureThreshold;
+        breaker.window = sim::fromSeconds(admission.breakerWindowSeconds);
+        breaker.cooloff =
+            sim::fromSeconds(admission.breakerCooloffSeconds);
+        breaker.minSamples = admission.breakerMinSamples;
+        _breakers.assign(_nodes.size(),
+                         admission::CircuitBreaker(breaker));
+    }
 }
 
 ClusterResult
@@ -51,6 +62,8 @@ Cluster::run(const std::vector<trace::Arrival>& arrivals)
         sim::Tick downUntil = 0;
     };
     std::vector<CrashEvent> crashes;
+    for (auto& node : _nodes)
+        node->armAdmission(horizon);
     const fault::FaultPlan& plan = _config.node.fault;
     if (plan.active()) {
         for (auto& node : _nodes)
@@ -81,6 +94,48 @@ Cluster::run(const std::vector<trace::Arrival>& arrivals)
         }
     }
 
+    // Circuit breakers (rc::admission): before each routing decision,
+    // feed every node's new failure/success outcomes into its breaker
+    // and compute which nodes are tripped. A tripped node stops
+    // receiving work until its cooloff elapses; the half-open probe
+    // then decides between closing and re-opening.
+    std::vector<std::uint8_t> tripped(_nodes.size(), 0);
+    std::vector<std::uint64_t> seenFailures(_nodes.size(), 0);
+    std::vector<std::uint64_t> seenSuccesses(_nodes.size(), 0);
+    std::vector<std::size_t> seenTransitions(_nodes.size(), 0);
+    const auto routeMask =
+        [&](sim::Tick when) -> const std::vector<std::uint8_t>* {
+        if (_breakers.empty())
+            return nullptr;
+        for (std::size_t i = 0; i < _nodes.size(); ++i) {
+            admission::CircuitBreaker& breaker = _breakers[i];
+            const std::uint64_t failures =
+                _nodes[i]->invoker().failedInvocations();
+            const std::uint64_t successes = _nodes[i]->metrics().total();
+            for (; seenFailures[i] < failures; ++seenFailures[i])
+                breaker.recordFailure(when);
+            for (; seenSuccesses[i] < successes; ++seenSuccesses[i])
+                breaker.recordSuccess(when);
+            tripped[i] = breaker.allows(when) ? 0 : 1;
+            const auto& transitions = breaker.transitions();
+            for (; seenTransitions[i] < transitions.size();
+                 ++seenTransitions[i]) {
+                const auto& tr = transitions[seenTransitions[i]];
+                if (_obs == nullptr)
+                    continue;
+                if (tr.to == admission::CircuitBreaker::State::Open) {
+                    _obs->counters().bump(obs::Counter::BreakerOpenTotal,
+                                          tr.at);
+                }
+                _obs->emit(tr.at, obs::EventType::BreakerStateChanged, 0,
+                           0xffffffffU, static_cast<std::uint8_t>(tr.to),
+                           static_cast<std::uint8_t>(tr.from),
+                           static_cast<double>(i));
+            }
+        }
+        return &tripped;
+    };
+
     // Fail over everything a crashing node loses: advance the whole
     // cluster to the crash instant, extract the node's queued and
     // in-flight work, and re-route it to healthy nodes immediately.
@@ -102,7 +157,7 @@ Cluster::run(const std::vector<trace::Arrival>& arrivals)
             }
             for (const auto function : lost) {
                 const std::size_t target =
-                    _scheduler.pick(_nodes, function);
+                    _scheduler.pick(_nodes, function, routeMask(ev.at));
                 ++result.reroutedInvocations;
                 if (_obs != nullptr) {
                     _obs->counters().bump(obs::Counter::FailoverRouted,
@@ -123,8 +178,8 @@ Cluster::run(const std::vector<trace::Arrival>& arrivals)
         processCrashesUntil(arrival.time);
         for (auto& node : _nodes)
             node->advanceTo(arrival.time);
-        const std::size_t target =
-            _scheduler.pick(_nodes, arrival.function);
+        const std::size_t target = _scheduler.pick(
+            _nodes, arrival.function, routeMask(arrival.time));
         if (_obs != nullptr) {
             _obs->emit(arrival.time, obs::EventType::ClusterRouted, 0,
                        arrival.function,
@@ -149,7 +204,13 @@ Cluster::run(const std::vector<trace::Arrival>& arrivals)
         result.perNodeInvocations.push_back(metrics.total());
         result.failedInvocations +=
             node->invoker().failedInvocations();
+        result.rejectedInvocations +=
+            node->invoker().rejectedInvocations();
+        result.shedDeadline += node->invoker().shedDeadlineCount();
+        result.shedPressure += node->invoker().shedPressureCount();
     }
+    for (const auto& breaker : _breakers)
+        result.breakerOpens += breaker.openCount();
     if (result.invocations > 0) {
         result.meanStartupSeconds = result.totalStartupSeconds /
             static_cast<double>(result.invocations);

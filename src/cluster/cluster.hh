@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "admission/circuit_breaker.hh"
 #include "cluster/scheduler.hh"
 #include "platform/node.hh"
 #include "trace/replay.hh"
@@ -51,6 +52,14 @@ struct ClusterResult
     std::uint64_t reroutedInvocations = 0;
     /** Invocations that exhausted their retries on some node. */
     std::uint64_t failedInvocations = 0;
+    /** Arrivals some node turned away (rc::admission). */
+    std::uint64_t rejectedInvocations = 0;
+    /** Queued work dropped at its deadline (rc::admission). */
+    std::uint64_t shedDeadline = 0;
+    /** Work shed at critical pressure (rc::admission). */
+    std::uint64_t shedPressure = 0;
+    /** Circuit-breaker open transitions across all nodes. */
+    std::uint64_t breakerOpens = 0;
 };
 
 /** A set of worker nodes behind one scheduler. */
@@ -77,11 +86,22 @@ class Cluster
         return _nodes;
     }
 
+    /**
+     * Per-node circuit breakers (rc::admission); empty unless the
+     * admission plan sets breakerFailureThreshold. Exposed so tests
+     * and the chaos harness can audit the transition history.
+     */
+    const std::vector<admission::CircuitBreaker>& breakers() const
+    {
+        return _breakers;
+    }
+
   private:
     const workload::Catalog& _catalog;
     ClusterConfig _config;
     ClusterScheduler _scheduler;
     std::vector<std::unique_ptr<platform::Node>> _nodes;
+    std::vector<admission::CircuitBreaker> _breakers;
     /**
      * Routing-event sink. Taken from ClusterConfig::node.observer;
      * the nodes themselves run uninstrumented (see Cluster ctor for

@@ -19,7 +19,8 @@ toString(Scheduling scheduling)
 
 std::size_t
 ClusterScheduler::leastLoaded(
-    const std::vector<std::unique_ptr<platform::Node>>& nodes) const
+    const std::vector<std::unique_ptr<platform::Node>>& nodes,
+    const std::vector<std::uint8_t>* tripped) const
 {
     // Two passes: prefer healthy nodes; when the whole cluster is
     // down, still place the work (it queues and drains at restart).
@@ -28,7 +29,7 @@ ClusterScheduler::leastLoaded(
         std::size_t bestInFlight = std::numeric_limits<std::size_t>::max();
         double bestMemory = std::numeric_limits<double>::max();
         for (std::size_t i = 0; i < nodes.size(); ++i) {
-            if (healthyOnly && nodes[i]->isDown())
+            if (healthyOnly && unavailable(nodes, i, tripped))
                 continue;
             const std::size_t inFlight =
                 nodes[i]->invoker().inFlightInvocations() +
@@ -50,25 +51,27 @@ ClusterScheduler::leastLoaded(
 std::size_t
 ClusterScheduler::pick(
     const std::vector<std::unique_ptr<platform::Node>>& nodes,
-    workload::FunctionId function)
+    workload::FunctionId function,
+    const std::vector<std::uint8_t>* tripped)
 {
     if (nodes.empty())
         sim::panic("ClusterScheduler::pick: no nodes");
 
     switch (_scheduling) {
       case Scheduling::RoundRobin: {
-        // Health-aware rotation: skip crashed nodes. If every node is
-        // down, rotate anyway — the pick queues and drains at restart.
+        // Health-aware rotation: skip crashed and breaker-tripped
+        // nodes. If every node is unavailable, rotate anyway — the
+        // pick queues and drains at restart.
         for (std::size_t tried = 0; tried < nodes.size(); ++tried) {
             const std::size_t i = _cursor++ % nodes.size();
-            if (!nodes[i]->isDown())
+            if (!unavailable(nodes, i, tripped))
                 return i;
         }
         return _cursor++ % nodes.size();
       }
 
       case Scheduling::LeastLoaded:
-        return leastLoaded(nodes);
+        return leastLoaded(nodes, tripped);
 
       case Scheduling::LocalityAware: {
         // 1. Locality: a node holding warm capacity for the function
@@ -76,7 +79,7 @@ ClusterScheduler::pick(
         //    Crashed nodes have no pool, but isDown() still guards
         //    the window where a pick races a pending crash.
         for (std::size_t i = 0; i < nodes.size(); ++i) {
-            if (!nodes[i]->isDown() &&
+            if (!unavailable(nodes, i, tripped) &&
                 nodes[i]->pool().userAvailable(function))
                 return i;
         }
@@ -86,16 +89,17 @@ ClusterScheduler::pick(
         const auto language =
             nodes[0]->catalog().at(function).language();
         for (std::size_t i = 0; i < nodes.size(); ++i) {
-            if (!nodes[i]->isDown() &&
+            if (!unavailable(nodes, i, tripped) &&
                 nodes[i]->pool().findIdleLang(language))
                 return i;
         }
         for (std::size_t i = 0; i < nodes.size(); ++i) {
-            if (!nodes[i]->isDown() && nodes[i]->pool().findIdleBare())
+            if (!unavailable(nodes, i, tripped) &&
+                nodes[i]->pool().findIdleBare())
                 return i;
         }
         // 3. Load: spread out.
-        return leastLoaded(nodes);
+        return leastLoaded(nodes, tripped);
       }
     }
     return 0;

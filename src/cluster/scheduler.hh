@@ -50,18 +50,31 @@ class ClusterScheduler
     /**
      * Pick the node that should serve an invocation of @p function.
      * All nodes have been advanced to the arrival time before the
-     * call, so pool states are current.
+     * call, so pool states are current. @p tripped, when non-null,
+     * marks nodes whose circuit breaker is open (rc::admission): they
+     * are treated like crashed nodes and only receive work when the
+     * whole cluster is unavailable.
      */
     std::size_t
     pick(const std::vector<std::unique_ptr<platform::Node>>& nodes,
-         workload::FunctionId function);
+         workload::FunctionId function,
+         const std::vector<std::uint8_t>* tripped = nullptr);
 
     Scheduling scheduling() const { return _scheduling; }
 
   private:
+    /** Node @p i must not receive new work (down or breaker open). */
+    static bool
+    unavailable(const std::vector<std::unique_ptr<platform::Node>>& nodes,
+                std::size_t i, const std::vector<std::uint8_t>* tripped)
+    {
+        return nodes[i]->isDown() ||
+               (tripped != nullptr && (*tripped)[i] != 0);
+    }
+
     std::size_t
-    leastLoaded(const std::vector<std::unique_ptr<platform::Node>>& nodes)
-        const;
+    leastLoaded(const std::vector<std::unique_ptr<platform::Node>>& nodes,
+                const std::vector<std::uint8_t>* tripped) const;
 
     Scheduling _scheduling;
     std::size_t _cursor = 0;

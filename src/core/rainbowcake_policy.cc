@@ -145,7 +145,13 @@ RainbowCakePolicy::keepAliveTtl(const container::Container& c)
     sim::Tick ttl = 0;
     if (!_config.sharingAwareModeling) {
         ttl = _config.fixedUserTtl;
-    } else if (c.everExecuted() && !_config.quantileBoundsUserLayer) {
+    } else if (c.everExecuted() && !_config.quantileBoundsUserLayer &&
+               pressureLevel() < 2) {
+        // At ladder level >= 2 (rc::admission) this generous branch is
+        // bypassed: the User window falls back to the quantile-bounded
+        // min(IAT, beta) below, so containers peel to the cheaper
+        // L2/L1 layers quickly and the pool caches decayed layers
+        // instead of full-window L3 containers.
         // Per §7.1, the initial keep-alive TTL of a container that
         // served an invocation is the upper bound beta(u): it may stay
         // idle until its memory cost reaches the startup cost its User

@@ -31,6 +31,11 @@ runExperiment(const workload::Catalog& catalog, const PolicyFactory& factory,
     result.failedInvocations = node.invoker().failedInvocations();
     result.retriesScheduled = node.invoker().retriesScheduled();
     result.finalizeDrained = node.invoker().finalizeDrained();
+    result.rejectedInvocations = node.invoker().rejectedInvocations();
+    result.shedDeadline = node.invoker().shedDeadlineCount();
+    result.shedPressure = node.invoker().shedPressureCount();
+    result.degradedKeepalives = node.invoker().degradedKeepalives();
+    result.peakQueueDepth = node.invoker().peakQueueDepth();
     result.observer = config.observer;
     if (config.observer != nullptr)
         result.runId = config.observer->runId();

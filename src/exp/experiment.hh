@@ -50,6 +50,13 @@ struct RunResult
     std::uint64_t retriesScheduled = 0;
     std::uint64_t finalizeDrained = 0;
 
+    /** rc::admission accounting (all zero on uncontrolled runs). */
+    std::uint64_t rejectedInvocations = 0;
+    std::uint64_t shedDeadline = 0;
+    std::uint64_t shedPressure = 0;
+    std::uint64_t degradedKeepalives = 0;
+    std::size_t peakQueueDepth = 0;
+
     /**
      * Artifact tag of this run (the observer's runId, or empty when
      * the run was uninstrumented). ParallelRunner and rainbow_sim use

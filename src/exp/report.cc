@@ -178,6 +178,12 @@ writeReportJson(std::ostream& os, const std::string& title,
            << ",\n      \"failed\": " << result.failedInvocations
            << ",\n      \"retries\": " << result.retriesScheduled
            << ",\n      \"finalize_drained\": " << result.finalizeDrained
+           << ",\n      \"rejected\": " << result.rejectedInvocations
+           << ",\n      \"shed_deadline\": " << result.shedDeadline
+           << ",\n      \"shed_pressure\": " << result.shedPressure
+           << ",\n      \"degraded_keepalives\": "
+           << result.degradedKeepalives
+           << ",\n      \"peak_queue_depth\": " << result.peakQueueDepth
            << ",\n";
         if (result.observer != nullptr)
             writeObservability(os, *result.observer, "      ");

@@ -18,6 +18,7 @@ toString(Category category)
       case Category::Policy: return "policy";
       case Category::Cluster: return "cluster";
       case Category::Fault: return "fault";
+      case Category::Admission: return "admission";
     }
     return "?";
 }
@@ -55,6 +56,10 @@ toString(EventType type)
       case EventType::NodeCrashed: return "node_crashed";
       case EventType::NodeRestarted: return "node_restarted";
       case EventType::FailoverRouted: return "failover_routed";
+      case EventType::AdmissionRejected: return "admission_rejected";
+      case EventType::InvocationShed: return "invocation_shed";
+      case EventType::PressureLevel: return "pressure_level";
+      case EventType::BreakerStateChanged: return "breaker_state_changed";
     }
     return "?";
 }
@@ -144,6 +149,11 @@ categoryOf(EventType type)
       case EventType::NodeRestarted:
       case EventType::FailoverRouted:
         return Category::Fault;
+      case EventType::AdmissionRejected:
+      case EventType::InvocationShed:
+      case EventType::PressureLevel:
+      case EventType::BreakerStateChanged:
+        return Category::Admission;
     }
     return Category::Engine;
 }
@@ -186,6 +196,11 @@ toString(Counter counter)
       case Counter::EngineExecuted: return "engine_executed";
       case Counter::EngineScheduled: return "engine_scheduled";
       case Counter::EngineCancelled: return "engine_cancelled";
+      case Counter::AdmissionRejected: return "admission_rejected";
+      case Counter::ShedDeadline: return "shed_deadline";
+      case Counter::ShedPressure: return "shed_pressure";
+      case Counter::BreakerOpenTotal: return "breaker_open_total";
+      case Counter::DegradedKeepalives: return "degraded_keepalives";
     }
     return "?";
 }
@@ -197,6 +212,7 @@ toString(Gauge gauge)
       case Gauge::QueueDepth: return "queue_depth_high_water";
       case Gauge::PoolMemoryMb: return "pool_memory_mb_high_water";
       case Gauge::LiveContainers: return "live_containers_high_water";
+      case Gauge::PressureLevel: return "pressure_level_high_water";
     }
     return "?";
 }

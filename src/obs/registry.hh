@@ -71,11 +71,19 @@ enum class Counter : std::uint8_t
     EngineExecuted,
     EngineScheduled,
     EngineCancelled,
+
+    // Overload control (rc::admission; appended after EngineCancelled
+    // so pre-admission reports keep their counter order).
+    AdmissionRejected, //!< arrivals turned away at the door
+    ShedDeadline,      //!< queued work dropped at deadline expiry
+    ShedPressure,      //!< work shed at critical pressure level
+    BreakerOpenTotal,  //!< circuit-breaker closed/half-open -> open
+    DegradedKeepalives, //!< keep-alive TTLs shrunk by the ladder
 };
 
 /** Number of counters. */
 inline constexpr std::size_t kCounterCount =
-    static_cast<std::size_t>(Counter::EngineCancelled) + 1;
+    static_cast<std::size_t>(Counter::DegradedKeepalives) + 1;
 
 /** Gauges tracked as high-water marks. */
 enum class Gauge : std::uint8_t
@@ -83,11 +91,12 @@ enum class Gauge : std::uint8_t
     QueueDepth,   //!< admission-queue length
     PoolMemoryMb, //!< pool resident memory
     LiveContainers,
+    PressureLevel, //!< degradation-ladder level (rc::admission)
 };
 
 /** Number of gauges. */
 inline constexpr std::size_t kGaugeCount =
-    static_cast<std::size_t>(Gauge::LiveContainers) + 1;
+    static_cast<std::size_t>(Gauge::PressureLevel) + 1;
 
 /** Stable snake_case names (report keys; see docs/OBSERVABILITY.md). */
 const char* toString(Counter counter);

@@ -37,10 +37,11 @@ enum class Category : std::uint8_t
     Policy,    //!< keep-alive / pre-warm / eviction decisions
     Cluster,   //!< inter-node routing
     Fault,     //!< injected failures and recovery actions
+    Admission, //!< overload control and graceful degradation
 };
 
 /** Number of categories (for mask bits and name tables). */
-inline constexpr std::size_t kCategoryCount = 7;
+inline constexpr std::size_t kCategoryCount = 8;
 
 /** What happened. Grouped by the Category it belongs to. */
 enum class EventType : std::uint8_t
@@ -93,11 +94,22 @@ enum class EventType : std::uint8_t
                           //!< arg1 = invocations sent to retry
     NodeRestarted,        //!< node back up after its downtime
     FailoverRouted,       //!< a = new node; b = crashed node
+
+    // Overload control (rc::admission; appended after FailoverRouted
+    // so pre-admission traces keep their numeric type ids).
+    AdmissionRejected,    //!< turned away at the door; a = reason
+                          //!< (0 = rate limit, 1 = queue full)
+    InvocationShed,       //!< queued/admitted work dropped; a = cause
+                          //!< (0 = deadline expired, 1 = pressure)
+    PressureLevel,        //!< ladder level changed; a = new, b = old,
+                          //!< arg0 = smoothed, arg1 = raw pressure
+    BreakerStateChanged,  //!< a = new state, b = old state
+                          //!< (CircuitBreaker::State), arg0 = node
 };
 
 /** Number of event types (for name tables). */
 inline constexpr std::size_t kEventTypeCount =
-    static_cast<std::size_t>(EventType::FailoverRouted) + 1;
+    static_cast<std::size_t>(EventType::BreakerStateChanged) + 1;
 
 /** Why a container was terminated (travels in TraceEvent::b). */
 enum class KillCause : std::uint8_t

@@ -51,16 +51,114 @@ Invoker::onArrival(workload::FunctionId function)
         _obs->emit(_engine.now(), obs::EventType::InvocationArrived, 0,
                    function);
     }
+    // History feeds before any admission decision: a degraded run must
+    // leave the policy's recorder identical to an uncontrolled one.
     _policy.onArrival(function);
     const Pending inv{function, _engine.now(), 0, 0};
-    if (isDown() || !tryDispatch(inv))
+    if (_admission != nullptr &&
+        !_admission->tryAdmit(function, _engine.now())) {
+        rejectArrival(inv, 0); // per-function rate limit
+        return;
+    }
+    if (isDown() || !tryDispatch(inv)) {
+        if (_admission != nullptr) {
+            if (_admission->shedInsteadOfQueue()) {
+                shedInvocation(inv, 1); // critical pressure: no queueing
+                return;
+            }
+            const std::uint32_t bound = _admission->plan().maxQueueDepth;
+            if (bound > 0 && _queue.size() >= bound) {
+                rejectArrival(inv, 1); // bounded queue is full
+                return;
+            }
+        }
         enqueue(inv);
+    }
+}
+
+void
+Invoker::rejectArrival(const Pending& inv, std::uint8_t reason)
+{
+    ++_rejected;
+    _admission->noteShedForPressure();
+    RC_LOG(Debug, "rejecting invocation of f" << inv.function
+                  << " (reason " << static_cast<int>(reason) << ")");
+    if (_obs != nullptr) {
+        _obs->counters().bump(obs::Counter::AdmissionRejected,
+                              _engine.now());
+        _obs->emit(_engine.now(), obs::EventType::AdmissionRejected, 0,
+                   inv.function, reason);
+    }
+}
+
+void
+Invoker::shedInvocation(const Pending& inv, std::uint8_t cause)
+{
+    _admission->noteShedForPressure();
+    if (cause == 0)
+        ++_shedDeadline;
+    else
+        ++_shedPressure;
+    RC_LOG(Debug, "shedding invocation of f" << inv.function
+                  << (cause == 0 ? " (deadline)" : " (pressure)"));
+    if (_obs != nullptr) {
+        _obs->counters().bump(cause == 0 ? obs::Counter::ShedDeadline
+                                         : obs::Counter::ShedPressure,
+                              _engine.now());
+        _obs->emit(_engine.now(), obs::EventType::InvocationShed, 0,
+                   inv.function, cause, 0,
+                   sim::toSeconds(_engine.now() - inv.arrival));
+    }
+}
+
+void
+Invoker::queueOrShed(const Pending& inv)
+{
+    if (_admission != nullptr) {
+        const std::uint32_t bound = _admission->plan().maxQueueDepth;
+        if (_admission->shedInsteadOfQueue() ||
+            (bound > 0 && _queue.size() >= bound)) {
+            // Already-admitted work (retries) cannot be "rejected";
+            // dropping it is a pressure shed either way.
+            shedInvocation(inv, 1);
+            return;
+        }
+    }
+    enqueue(inv);
+}
+
+void
+Invoker::onQueueDeadline(std::uint64_t seq)
+{
+    for (auto it = _queue.begin(); it != _queue.end(); ++it) {
+        if (it->seq != seq)
+            continue;
+        const Pending inv = *it;
+        _queue.erase(it);
+        shedInvocation(inv, 0);
+        drainQueue(); // the head may have been the expired item
+        return;
+    }
+    // Stale deadline: the item bound in time (or a crash extracted it).
 }
 
 void
 Invoker::enqueue(const Pending& inv)
 {
     _queue.push_back(inv);
+    if (_queue.size() > _peakQueueDepth)
+        _peakQueueDepth = _queue.size();
+    if (_admission != nullptr &&
+        _admission->plan().queueDeadlineSeconds > 0.0) {
+        // Tag the parked item and arm its shedding deadline; binding
+        // before expiry simply leaves a stale event behind.
+        Pending& parked = _queue.back();
+        parked.seq = _nextSeq++;
+        const std::uint64_t seq = parked.seq;
+        _engine.scheduleAfter(
+            sim::fromSeconds(_admission->plan().queueDeadlineSeconds),
+            [this, seq] { onQueueDeadline(seq); });
+    }
     RC_LOG(Debug, "queueing invocation of f" << inv.function
                   << " (queue depth " << _queue.size() << ")");
     if (_obs != nullptr) {
@@ -78,6 +176,8 @@ Invoker::tryDispatch(const Pending& inv)
 {
     if (isDown())
         return false; // crashed node: everything waits for the restart
+    if (_admission != nullptr && !_admission->mayDispatch(inv.function))
+        return false; // concurrency cap reached: wait in the queue
     const obs::ScopedTimer scanTimer(profiler(), obs::Scope::PoolScan);
     const auto& profile = _catalog.at(inv.function);
 
@@ -271,6 +371,8 @@ Invoker::startExecution(const Pending& inv, Container& c, StartupType type,
     _policy.onStartupResolved(observation);
 
     ++_inFlight;
+    if (_admission != nullptr)
+        _admission->onExecStart(inv.function);
     const container::ContainerId cid = c.id();
 
     if (_fault != nullptr) {
@@ -313,6 +415,8 @@ Invoker::startExecution(const Pending& inv, Container& c, StartupType type,
                 sim::panic("Invoker: executing container vanished");
             _pool.finishExecution(*done);
             --_inFlight;
+            if (_admission != nullptr)
+                _admission->onExecFinish(inv.function);
 
             InvocationRecord record;
             record.function = inv.function;
@@ -348,6 +452,15 @@ Invoker::scheduleKeepAlive(Container& c)
         const obs::ScopedTimer timer(profiler(),
                                      obs::Scope::PolicyKeepAlive);
         ttl = _policy.keepAliveTtl(c);
+    }
+    if (_admission != nullptr && _admission->shrinkTtls() && ttl > 0) {
+        // Ladder stage 1: idle layers decay sooner so memory drains.
+        ttl = _admission->degradeTtl(ttl);
+        ++_degradedKeepalives;
+        if (_obs != nullptr) {
+            _obs->counters().bump(obs::Counter::DegradedKeepalives,
+                                  _engine.now());
+        }
     }
     if (_obs != nullptr) {
         _obs->emit(_engine.now(), obs::EventType::KeepAliveSet, c.id(),
@@ -420,9 +533,19 @@ Invoker::onIdleTimeout(container::ContainerId cid)
 
     if (decision.nextTtl < 0)
         return;
+    sim::Tick nextTtl = decision.nextTtl;
+    if (_admission != nullptr && _admission->shrinkTtls() &&
+        nextTtl > 0) {
+        nextTtl = _admission->degradeTtl(nextTtl);
+        ++_degradedKeepalives;
+        if (_obs != nullptr) {
+            _obs->counters().bump(obs::Counter::DegradedKeepalives,
+                                  _engine.now());
+        }
+    }
     const container::ContainerId id = c->id();
     c->setTimeoutEvent(_engine.scheduleAfter(
-        decision.nextTtl, [this, id] { onIdleTimeout(id); }));
+        nextTtl, [this, id] { onIdleTimeout(id); }));
     drainQueue();
 }
 
@@ -454,6 +577,11 @@ Invoker::firePrewarm(workload::FunctionId function)
 
     if (isDown()) {
         skip(2); // node is down; pre-warms are best-effort, drop it
+        return;
+    }
+
+    if (_admission != nullptr && _admission->prewarmsSuppressed()) {
+        skip(3); // ladder stage 2: no speculation under high pressure
         return;
     }
 
@@ -495,7 +623,8 @@ Invoker::evictToFit(double mb)
 {
     if (_pool.canFit(mb))
         return true;
-    if (_fault != nullptr && _fault->plan().shedPrewarmsUnderPressure) {
+    if ((_fault != nullptr && _fault->plan().shedPrewarmsUnderPressure) ||
+        (_admission != nullptr && _admission->prewarmsSuppressed())) {
         // Graceful degradation: speculative pre-warms are the first
         // to go before queued user work evicts policy-ranked victims.
         shedPrewarms(mb);
@@ -597,6 +726,8 @@ Invoker::onExecFault(container::ContainerId cid, bool wedged)
     const Pending pending = it->second.inv;
     _execs.erase(it);
     --_inFlight;
+    if (_admission != nullptr)
+        _admission->onExecFinish(pending.function);
 
     if (_obs != nullptr) {
         _obs->counters().bump(obs::Counter::FaultInjected, _engine.now());
@@ -644,9 +775,11 @@ Invoker::scheduleRetry(Pending inv)
     }
     _engine.scheduleAfter(backoff, [this, inv] {
         // A retry landing during downtime simply queues: the restart
-        // drain picks it up. Never lost, never double-executed.
+        // drain picks it up. Never lost, never double-executed —
+        // unless the admission controller forbids queueing, in which
+        // case it is shed like any other overflow.
         if (isDown() || !tryDispatch(inv))
-            enqueue(inv);
+            queueOrShed(inv);
     });
 }
 
@@ -714,6 +847,8 @@ Invoker::crashImpl(sim::Tick downUntil)
                   return a.first < b.first;
               });
     _inFlight = 0;
+    if (_admission != nullptr)
+        _admission->resetInFlight();
 
     _policy.onNodeDown(downUntil - now);
     for (const auto id : _pool.allContainerIds()) {
@@ -784,6 +919,66 @@ Invoker::onOverloadStart()
                    0, plan.overloadDurationSeconds, plan.overloadSlowdown);
     }
     armOverload(_overloadUntil);
+}
+
+// ---- overload control (rc::admission) -----------------------------------
+
+void
+Invoker::armAdmission(sim::Tick horizon)
+{
+    _admissionHorizon = horizon;
+    if (_admission == nullptr ||
+        !_admission->plan().pressureControlEnabled)
+        return;
+    scheduleAdmissionTick(_engine.now());
+}
+
+void
+Invoker::scheduleAdmissionTick(sim::Tick from)
+{
+    // Bound the self-re-arming tick chain by the last arrival so it
+    // cannot keep the engine alive forever (same rule as armFaults).
+    const sim::Tick at =
+        from + sim::fromSeconds(
+                   _admission->plan().controllerIntervalSeconds);
+    if (at > _admissionHorizon)
+        return;
+    _engine.schedule(at, [this] { onAdmissionTick(); });
+}
+
+void
+Invoker::onAdmissionTick()
+{
+    const sim::Tick now = _engine.now();
+    admission::PressureSample sample;
+    const double budget = _pool.memoryBudgetMb();
+    sample.memoryOccupancy =
+        budget > 0.0 ? _pool.usedMemoryMb() / budget : 0.0;
+    const std::uint32_t bound = _admission->plan().maxQueueDepth;
+    const double depth = static_cast<double>(_queue.size());
+    sample.queueFill =
+        bound > 0
+            ? depth / static_cast<double>(bound)
+            : std::min(1.0, depth / _admission->plan().queueDepthScale);
+    sample.overloadWindowOpen = _overloadUntil > now;
+
+    const int before = _admission->pressureLevel();
+    const int level = _admission->updatePressure(sample, now);
+    _policy.setPressureLevel(level);
+    if (_obs != nullptr) {
+        _obs->counters().gaugeMax(obs::Gauge::PressureLevel,
+                                  static_cast<double>(level));
+        if (level != before) {
+            // Decision audit: why the ladder moved, and to where.
+            _obs->emit(now, obs::EventType::PressureLevel, 0,
+                       0xffffffffU, static_cast<std::uint8_t>(level),
+                       static_cast<std::uint8_t>(before),
+                       _admission->smoothedPressure(),
+                       _admission->lastRawPressure());
+        }
+    }
+    drainQueue(); // degradation may have freed memory since last bind
+    scheduleAdmissionTick(now);
 }
 
 void

@@ -30,6 +30,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "admission/admission_controller.hh"
 #include "fault/fault_injector.hh"
 #include "obs/observer.hh"
 #include "platform/metrics.hh"
@@ -97,6 +98,27 @@ class Invoker : public policy::PlatformView
         return _fault != nullptr && _downUntil > _engine.now();
     }
 
+    // ---- overload control (rc::admission) ------------------------------
+
+    /**
+     * Install an admission controller (non-owning; nullptr = every
+     * arrival admitted, the default). Mirrors installFaults: without a
+     * controller every admission path below is dead code behind one
+     * pointer check, so uncontrolled runs stay bit-identical to
+     * builds that predate rc::admission.
+     */
+    void installAdmission(admission::AdmissionController* controller)
+    {
+        _admission = controller;
+    }
+
+    /**
+     * Arm the closed-loop pressure controller up to @p horizon (the
+     * last arrival instant, bounding the self-re-arming tick chain).
+     * No-op without a controller or when pressure control is off.
+     */
+    void armAdmission(sim::Tick horizon);
+
     /**
      * Cluster-driven node crash: kill the whole pool, cancel every
      * tracked init/exec event, and hand back the functions of all
@@ -126,6 +148,21 @@ class Invoker : public policy::PlatformView
     std::uint64_t retriesScheduled() const { return _retries; }
     /** Invocations force-drained by end-of-run finalization. */
     std::uint64_t finalizeDrained() const { return _finalizeDrained; }
+    /** Arrivals turned away (rate limit or full queue). */
+    std::uint64_t rejectedInvocations() const { return _rejected; }
+    /** Queued work dropped because its deadline expired. */
+    std::uint64_t shedDeadlineCount() const { return _shedDeadline; }
+    /** Work shed instead of queued at critical pressure. */
+    std::uint64_t shedPressureCount() const { return _shedPressure; }
+    /** Keep-alive TTLs shrunk by the degradation ladder. */
+    std::uint64_t degradedKeepalives() const { return _degradedKeepalives; }
+    /** Deepest the admission queue ever got. */
+    std::size_t peakQueueDepth() const { return _peakQueueDepth; }
+    /** Current degradation-ladder level (0 without a controller). */
+    int pressureLevel() const
+    {
+        return _admission != nullptr ? _admission->pressureLevel() : 0;
+    }
 
     // ---- PlatformView --------------------------------------------------
 
@@ -151,6 +188,7 @@ class Invoker : public policy::PlatformView
         sim::Tick arrival = 0;
         sim::Tick queueWait = 0; //!< admission-queue wait before binding
         std::uint32_t attempt = 0; //!< fault retries consumed so far
+        std::uint64_t seq = 0; //!< deadline-shedding tag; 0 = untagged
     };
 
     /** Bookkeeping for a claimed in-flight initialization. */
@@ -179,6 +217,24 @@ class Invoker : public policy::PlatformView
 
     /** Park @p inv in the admission queue (trace + counters). */
     void enqueue(const Pending& inv);
+
+    /** Turn an arrival away at the door (rate limit / full queue). */
+    void rejectArrival(const Pending& inv, std::uint8_t reason);
+
+    /** Drop admitted work (cause 0 = deadline, 1 = pressure). */
+    void shedInvocation(const Pending& inv, std::uint8_t cause);
+
+    /** Queue @p inv, or shed it when the controller forbids queueing. */
+    void queueOrShed(const Pending& inv);
+
+    /** Deadline event body: shed the queued item tagged @p seq. */
+    void onQueueDeadline(std::uint64_t seq);
+
+    /** Arm the next pressure recomputation after @p from. */
+    void scheduleAdmissionTick(sim::Tick from);
+
+    /** Pressure-recomputation event body. */
+    void onAdmissionTick();
 
     /**
      * Schedule the init-completion event for @p cid after @p install,
@@ -280,6 +336,17 @@ class Invoker : public policy::PlatformView
     std::uint64_t _failed = 0;
     std::uint64_t _retries = 0;
     std::uint64_t _finalizeDrained = 0;
+
+    // ---- admission state (all dormant while _admission is nullptr) -----
+
+    admission::AdmissionController* _admission = nullptr;
+    sim::Tick _admissionHorizon = 0;
+    std::uint64_t _nextSeq = 1; //!< deadline tags (0 means untagged)
+    std::uint64_t _rejected = 0;
+    std::uint64_t _shedDeadline = 0;
+    std::uint64_t _shedPressure = 0;
+    std::uint64_t _degradedKeepalives = 0;
+    std::size_t _peakQueueDepth = 0;
 };
 
 } // namespace rc::platform

@@ -32,6 +32,11 @@ Node::Node(const workload::Catalog& catalog,
             config.fault, _rng.stream("fault"));
         _invoker.installFaults(_injector.get());
     }
+    if (config.admission.active()) {
+        _admission = std::make_unique<admission::AdmissionController>(
+            config.admission);
+        _invoker.installAdmission(_admission.get());
+    }
 }
 
 void
@@ -44,9 +49,11 @@ Node::run(const std::vector<trace::Arrival>& arrivals)
             _invoker.onArrival(f);
         });
     }
-    // Time-driven fault chains (crashes, overload windows) stop
-    // re-arming past the last arrival so the engine can drain.
+    // Time-driven fault chains (crashes, overload windows) and the
+    // pressure-controller tick chain stop re-arming past the last
+    // arrival so the engine can drain.
     _invoker.armFaults(horizon, /*manageNodeCrashes=*/true);
+    _invoker.armAdmission(horizon);
     {
         const obs::ScopedTimer timer(
             _obs != nullptr ? _obs->profiler() : nullptr,

@@ -26,6 +26,8 @@
 #include <memory>
 #include <vector>
 
+#include "admission/admission_controller.hh"
+#include "admission/admission_plan.hh"
 #include "fault/fault_plan.hh"
 #include "platform/invoker.hh"
 #include "platform/metrics.hh"
@@ -58,6 +60,14 @@ struct NodeConfig
      * sampler's stream.
      */
     fault::FaultPlan fault;
+    /**
+     * Overload-control plan (rc::admission). The default (all knobs
+     * zero) builds no controller at all, so uncontrolled runs are
+     * bit-identical to a build without rc::admission. The controller
+     * uses no randomness: admission-controlled runs are themselves
+     * bit-deterministic.
+     */
+    admission::AdmissionPlan admission;
 };
 
 /** One simulated worker node running one policy. */
@@ -128,6 +138,20 @@ class Node
         return _invoker.crashNow(downUntil);
     }
 
+    // ---- overload control (rc::admission) ------------------------------
+
+    /** Installed controller, or nullptr when the plan is all-zero. */
+    admission::AdmissionController* admissionController()
+    {
+        return _admission.get();
+    }
+
+    /** Arm the pressure-controller tick chain; see Invoker. */
+    void armAdmission(sim::Tick horizon)
+    {
+        _invoker.armAdmission(horizon);
+    }
+
   private:
     const workload::Catalog& _catalog;
     std::unique_ptr<policy::Policy> _policy;
@@ -138,6 +162,7 @@ class Node
     Metrics _metrics;
     Invoker _invoker;
     std::unique_ptr<fault::FaultInjector> _injector;
+    std::unique_ptr<admission::AdmissionController> _admission;
 };
 
 } // namespace rc::platform

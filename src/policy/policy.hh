@@ -190,6 +190,17 @@ class Policy
     virtual void onNodeDown(sim::Tick downtime) { (void)downtime; }
 
     /**
+     * rc::admission degradation-ladder level (0 = nominal; see
+     * admission::AdmissionController). The platform pushes the level
+     * here on every pressure recomputation; pressure-aware policies
+     * read it to trade retention for headroom (RainbowCake caches
+     * decayed L2/L1 layers instead of full-window L3 containers at
+     * level >= 2). Always 0 when no controller is installed.
+     */
+    void setPressureLevel(int level) { _pressureLevel = level; }
+    int pressureLevel() const { return _pressureLevel; }
+
+    /**
      * Keep-alive TTL for a container that just became idle (after
      * execution or after a pre-warm completes). Return a negative
      * value for "no timeout" (FaaSCache keeps containers until
@@ -287,6 +298,7 @@ class Policy
   protected:
     PlatformView* _view = nullptr;
     obs::Observer* _obs = nullptr; //!< optional trace sink, may be null
+    int _pressureLevel = 0; //!< rc::admission ladder level (0 = nominal)
 };
 
 } // namespace rc::policy

@@ -9,8 +9,10 @@
 
 #include <gtest/gtest.h>
 
+#include "admission/admission_plan.hh"
 #include "fault/fault_injector.hh"
 #include "fault/fault_plan.hh"
+#include "obs/observer.hh"
 #include "platform/node.hh"
 #include "policy/policy.hh"
 #include "sim/rng.hh"
@@ -441,6 +443,73 @@ TEST_F(FaultNodeTest, OverloadWindowsSlowExecutions)
     makeNode(FaultPlan{});
     node->run(arrivals);
     EXPECT_GT(slowed, node->metrics().meanEndToEndSeconds());
+}
+
+TEST_F(FaultNodeTest, OverloadWindowsComposeWithAdmissionControl)
+{
+    // Injected overload must show up as pressure inside rc::admission
+    // rather than bypassing the controller: while a window is open the
+    // pressure signal carries overloadPressureBias, pushing the ladder
+    // to critical and shedding work; once the window closes the ladder
+    // steps back down. The twin run without the fault plan never
+    // reaches critical, so the shedding is attributable to the
+    // injected windows alone.
+    trace::WorkloadTraceConfig traceConfig;
+    traceConfig.minutes = 20;
+    traceConfig.targetInvocations = 12000;
+    traceConfig.seed = 17;
+    const auto arrivals = trace::expandArrivals(
+        trace::generateAzureLike(catalog, traceConfig));
+
+    admission::AdmissionPlan admissionPlan;
+    admissionPlan.pressureControlEnabled = true;
+    admissionPlan.controllerIntervalSeconds = 5.0;
+    admissionPlan.pressureSmoothing = 0.8;
+    admissionPlan.pressureMemoryWeight = 0.3;
+    admissionPlan.pressureQueueWeight = 0.2;
+    admissionPlan.pressureShedWeight = 0.1;
+    admissionPlan.overloadPressureBias = 0.7;
+    admissionPlan.pressureWarn = 0.35;
+    admissionPlan.pressureHigh = 0.55;
+    admissionPlan.pressureCritical = 0.75;
+
+    // Without windows the raw signal is bounded by the memory + queue
+    // weights (0.5), strictly below critical: pressure sheds require
+    // the injected overload.
+    const auto runOnce = [&](bool withOverload, obs::Observer* obs) {
+        NodeConfig config;
+        config.seed = 1;
+        config.pool.memoryBudgetMb = 512.0;
+        config.admission = admissionPlan;
+        config.observer = obs;
+        if (withOverload) {
+            config.fault.overloadRatePerHour = 60.0;
+            config.fault.overloadDurationSeconds = 30.0;
+            config.fault.overloadSlowdown = 4.0;
+        }
+        Node node(catalog, std::make_unique<CountingPolicy>(), config);
+        node.run(arrivals);
+        return node.invoker().shedPressureCount();
+    };
+
+    obs::Observer observer;
+    const auto shedUnderOverload = runOnce(true, &observer);
+    EXPECT_GT(shedUnderOverload, 0u);
+
+    bool reachedCritical = false;
+    bool disengaged = false;
+    for (const auto& event : observer.events()) {
+        if (event.type != obs::EventType::PressureLevel)
+            continue;
+        if (event.a >= 3)
+            reachedCritical = true;
+        if (reachedCritical && event.a < event.b)
+            disengaged = true;
+    }
+    EXPECT_TRUE(reachedCritical);
+    EXPECT_TRUE(disengaged);
+
+    EXPECT_EQ(runOnce(false, nullptr), 0u);
 }
 
 TEST_F(FaultNodeTest, FaultyRunsAreDeterministicTwins)

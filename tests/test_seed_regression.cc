@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/ablations.hh"
 #include "exp/experiment.hh"
 #include "trace/generator.hh"
 #include "trace/replay.hh"
@@ -89,6 +90,85 @@ TEST(SeedRegression, BaselineFigureNumbersArePinned)
         EXPECT_DOUBLE_EQ(m.meanEndToEndSeconds(),
                          golden.meanEndToEndSeconds)
             << golden.policy;
+    }
+}
+
+// ---- rc::admission regression ----------------------------------------
+
+struct AdmissionGolden
+{
+    const char* label;
+    std::uint64_t completed;
+    std::uint64_t rejected;
+    std::uint64_t shedDeadline;
+    std::uint64_t shedPressure;
+    std::uint64_t degradedKeepalives;
+    std::size_t peakQueueDepth;
+    double totalStartupSeconds;
+    double meanEndToEndSeconds;
+};
+
+TEST(SeedRegression, AdmissionControlledNumbersArePinned)
+{
+    // RainbowCake on the same 60-minute seed-4242 trace, but squeezed
+    // into a 384 MB node so the admission machinery actually acts.
+    // Config 0 exercises the bounded queue + deadline shedding alone;
+    // config 1 adds the closed-loop pressure controller. The exact
+    // shed/reject/degrade counts pin the controller's arithmetic
+    // (token buckets, deadline events, EWMA ladder) the same way the
+    // baseline goldens pin the dispatch ladder.
+    constexpr AdmissionGolden kAdmissionGoldens[] = {
+        {"bounded-queue", 347u, 2u, 493u, 0u, 0u, 8u,
+         961.70013400000289, 3.9153391123919294},
+        {"pressure-control", 346u, 1u, 491u, 4u, 331u, 8u,
+         935.13990100000285, 3.8492131560693625},
+    };
+
+    const auto catalog = workload::Catalog::standard20();
+    trace::WorkloadTraceConfig traceConfig;
+    traceConfig.minutes = 60;
+    traceConfig.targetInvocations = 5000;
+    traceConfig.seed = 4242;
+    const auto arrivals = trace::expandArrivals(
+        trace::generateAzureLike(catalog, traceConfig));
+    ASSERT_EQ(arrivals.size(), 842u);
+
+    for (std::size_t i = 0; i < std::size(kAdmissionGoldens); ++i) {
+        const AdmissionGolden& golden = kAdmissionGoldens[i];
+        platform::NodeConfig config;
+        config.pool.memoryBudgetMb = 384.0;
+        config.admission.maxQueueDepth = 8;
+        config.admission.queueDeadlineSeconds = 30.0;
+        if (i == 1) {
+            config.admission.pressureControlEnabled = true;
+            config.admission.controllerIntervalSeconds = 10.0;
+            config.admission.pressureSmoothing = 0.5;
+            config.admission.pressureWarn = 0.3;
+            config.admission.pressureHigh = 0.5;
+            config.admission.pressureCritical = 0.7;
+        }
+        const auto result = exp::runExperiment(
+            catalog,
+            [&catalog] { return core::makeRainbowCake(catalog); },
+            arrivals, config);
+        EXPECT_EQ(result.metrics.total(), golden.completed)
+            << golden.label;
+        EXPECT_EQ(result.rejectedInvocations, golden.rejected)
+            << golden.label;
+        EXPECT_EQ(result.shedDeadline, golden.shedDeadline)
+            << golden.label;
+        EXPECT_EQ(result.shedPressure, golden.shedPressure)
+            << golden.label;
+        EXPECT_EQ(result.degradedKeepalives, golden.degradedKeepalives)
+            << golden.label;
+        EXPECT_EQ(result.peakQueueDepth, golden.peakQueueDepth)
+            << golden.label;
+        EXPECT_DOUBLE_EQ(result.metrics.totalStartupSeconds(),
+                         golden.totalStartupSeconds)
+            << golden.label;
+        EXPECT_DOUBLE_EQ(result.metrics.meanEndToEndSeconds(),
+                         golden.meanEndToEndSeconds)
+            << golden.label;
     }
 }
 

@@ -7,27 +7,40 @@
  *   chaos_check --seed 1 [--runs 4] [--minutes 20]
  *
  * Each run draws a randomized FaultPlan (init failures, exec crashes,
- * wedges, node crashes, overload windows), picks one of the six
- * baselines, replays a generated trace on a single node and on a
- * small cluster with failover, and asserts:
+ * wedges, node crashes, overload windows) and a randomized
+ * AdmissionPlan (rate limits, bounded queue, deadline shedding,
+ * breakers, pressure control), picks one of the six baselines,
+ * replays a generated trace on a single node and on a small cluster
+ * with failover, and asserts:
  *
  *  * conservation — every admitted invocation either completed,
- *    exhausted its retries, or is accountably stranded; nothing is
- *    lost and nothing completes twice;
+ *    exhausted its retries, was rejected or shed by admission
+ *    control, or is accountably stranded; nothing is lost and
+ *    nothing completes twice;
+ *  * overload invariants — the admission queue never exceeds its
+ *    configured bound, and every circuit-breaker transition history
+ *    follows the legal closed -> open -> half-open FSM;
  *  * quiescence — no in-flight work or live containers survive the
  *    end-of-run flush, and pool memory accounting returns to zero
  *    after crash-restart cycles;
  *  * determinism — an identical (seed, plan, policy) twin run
  *    reproduces the exact same outcome counts and latency totals.
  *
+ * --overload replays a 5x-denser trace against a quarter of the
+ * memory (the CI chaos job's overload-heavy configuration), forcing
+ * sustained queueing, shedding, and breaker activity.
+ *
  * Exit status 0 when every invariant holds for every run.
  */
 
+#include <algorithm>
 #include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "admission/admission_plan.hh"
+#include "admission/circuit_breaker.hh"
 #include "cluster/cluster.hh"
 #include "exp/experiment.hh"
 #include "fault/fault_plan.hh"
@@ -80,6 +93,71 @@ randomPlan(sim::Rng& rng)
     return plan;
 }
 
+/** Randomize the overload-control machinery the same way. */
+admission::AdmissionPlan
+randomAdmissionPlan(sim::Rng& rng)
+{
+    admission::AdmissionPlan plan;
+    if (rng.bernoulli(0.4)) {
+        plan.functionRatePerSecond = 0.5 + 2.0 * rng.uniform();
+        plan.tokenBucketBurst = 2.0 + 8.0 * rng.uniform();
+    }
+    if (rng.bernoulli(0.3)) {
+        plan.functionConcurrencyCap =
+            2 + static_cast<std::uint32_t>(6.0 * rng.uniform());
+    }
+    if (rng.bernoulli(0.7)) {
+        plan.maxQueueDepth =
+            8 + static_cast<std::uint32_t>(56.0 * rng.uniform());
+    }
+    if (rng.bernoulli(0.7))
+        plan.queueDeadlineSeconds = 10.0 + 50.0 * rng.uniform();
+    if (rng.bernoulli(0.5)) {
+        plan.breakerFailureThreshold = 0.3 + 0.4 * rng.uniform();
+        plan.breakerWindowSeconds = 30.0 + 60.0 * rng.uniform();
+        plan.breakerCooloffSeconds = 10.0 + 40.0 * rng.uniform();
+        plan.breakerMinSamples =
+            5 + static_cast<std::uint32_t>(15.0 * rng.uniform());
+    }
+    if (rng.bernoulli(0.7)) {
+        plan.pressureControlEnabled = true;
+        plan.controllerIntervalSeconds = 5.0 + 10.0 * rng.uniform();
+        plan.pressureSmoothing = 0.3 + 0.6 * rng.uniform();
+        plan.pressureWarn = 0.25 + 0.1 * rng.uniform();
+        plan.pressureHigh = plan.pressureWarn + 0.15 + 0.1 * rng.uniform();
+        plan.pressureCritical =
+            plan.pressureHigh + 0.15 + 0.1 * rng.uniform();
+        plan.ttlShrinkFactor = 0.3 + 0.5 * rng.uniform();
+        plan.overloadPressureBias = 0.3 + 0.5 * rng.uniform();
+    }
+    return plan;
+}
+
+/** Every recorded breaker transition must be an edge of the FSM. */
+void
+checkBreakerTransitions(const admission::CircuitBreaker& breaker,
+                        const std::string& label)
+{
+    using State = admission::CircuitBreaker::State;
+    State current = State::Closed;
+    sim::Tick last = 0;
+    for (const auto& tr : breaker.transitions()) {
+        expect(tr.from == current,
+               label + ": breaker history is not contiguous");
+        expect(tr.at >= last, label + ": breaker history out of order");
+        const bool legal =
+            (tr.from == State::Closed && tr.to == State::Open) ||
+            (tr.from == State::Open && tr.to == State::HalfOpen) ||
+            (tr.from == State::HalfOpen && tr.to == State::Open) ||
+            (tr.from == State::HalfOpen && tr.to == State::Closed);
+        expect(legal, label + ": illegal breaker transition " +
+                          std::string(toString(tr.from)) + " -> " +
+                          toString(tr.to));
+        current = tr.to;
+        last = tr.at;
+    }
+}
+
 /** Outcome snapshot used by the determinism twin comparison. */
 struct Outcome
 {
@@ -88,6 +166,11 @@ struct Outcome
     std::uint64_t failed = 0;
     std::uint64_t retries = 0;
     std::size_t stranded = 0;
+    std::uint64_t rejected = 0;
+    std::uint64_t shedDeadline = 0;
+    std::uint64_t shedPressure = 0;
+    std::uint64_t degradedKeepalives = 0;
+    std::size_t peakQueueDepth = 0;
     double totalStartupSeconds = 0.0;
     double meanE2eSeconds = 0.0;
 
@@ -96,6 +179,11 @@ struct Outcome
         return admitted == other.admitted &&
                completed == other.completed && failed == other.failed &&
                retries == other.retries && stranded == other.stranded &&
+               rejected == other.rejected &&
+               shedDeadline == other.shedDeadline &&
+               shedPressure == other.shedPressure &&
+               degradedKeepalives == other.degradedKeepalives &&
+               peakQueueDepth == other.peakQueueDepth &&
                totalStartupSeconds == other.totalStartupSeconds &&
                meanE2eSeconds == other.meanE2eSeconds;
     }
@@ -115,6 +203,11 @@ runNode(const workload::Catalog& catalog, const exp::NamedPolicy& policy,
     outcome.failed = node.invoker().failedInvocations();
     outcome.retries = node.invoker().retriesScheduled();
     outcome.stranded = node.strandedInvocations();
+    outcome.rejected = node.invoker().rejectedInvocations();
+    outcome.shedDeadline = node.invoker().shedDeadlineCount();
+    outcome.shedPressure = node.invoker().shedPressureCount();
+    outcome.degradedKeepalives = node.invoker().degradedKeepalives();
+    outcome.peakQueueDepth = node.invoker().peakQueueDepth();
     outcome.totalStartupSeconds = node.metrics().totalStartupSeconds();
     outcome.meanE2eSeconds = node.metrics().meanEndToEndSeconds();
 
@@ -123,9 +216,20 @@ runNode(const workload::Catalog& catalog, const exp::NamedPolicy& policy,
     // double-execution as admitted < accounted.
     expect(outcome.admitted == arrivals.size(),
            label + ": admitted != arrivals");
-    expect(outcome.completed + outcome.failed + outcome.stranded ==
+    expect(outcome.completed + outcome.failed + outcome.stranded +
+                   outcome.rejected + outcome.shedDeadline +
+                   outcome.shedPressure ==
                outcome.admitted,
-           label + ": completed + failed + stranded != admitted");
+           label +
+               ": completed + failed + stranded + rejected + shed "
+               "!= admitted");
+
+    // Overload invariant: the pending queue never grows past its
+    // configured bound.
+    if (config.admission.maxQueueDepth > 0) {
+        expect(outcome.peakQueueDepth <= config.admission.maxQueueDepth,
+               label + ": queue depth exceeded its bound");
+    }
 
     // Quiescence: nothing in flight, nothing alive, memory balanced
     // even across crash-restart cycles.
@@ -158,26 +262,42 @@ runClusterCheck(const workload::Catalog& catalog,
     std::uint64_t admitted = 0;
     std::uint64_t extracted = 0;
     std::size_t inFlight = 0;
+    std::size_t peakQueue = 0;
     for (const auto& node : cluster.nodes()) {
         admitted += node->invoker().admittedInvocations();
         extracted += node->invoker().extractedInvocations();
         inFlight += node->invoker().inFlightInvocations();
+        peakQueue =
+            std::max(peakQueue, node->invoker().peakQueueDepth());
     }
     expect(extracted == result.reroutedInvocations,
            label + ": extracted != rerouted");
     expect(admitted == arrivals.size() + result.reroutedInvocations,
            label + ": cluster admissions != arrivals + rerouted");
     expect(result.invocations + result.failedInvocations +
-                   result.strandedInvocations + extracted ==
+                   result.strandedInvocations + extracted +
+                   result.rejectedInvocations + result.shedDeadline +
+                   result.shedPressure ==
                admitted,
            label + ": cluster conservation broken");
     expect(inFlight == 0, label + ": cluster in-flight work survived");
+    if (config.admission.maxQueueDepth > 0) {
+        expect(peakQueue <= config.admission.maxQueueDepth,
+               label + ": cluster queue depth exceeded its bound");
+    }
+
+    // Breaker histories must follow the FSM on every node.
+    for (std::size_t n = 0; n < cluster.breakers().size(); ++n) {
+        checkBreakerTransitions(cluster.breakers()[n],
+                                label + " node " + std::to_string(n));
+    }
 }
 
 [[noreturn]] void
 usage(int code)
 {
-    std::cout << "chaos_check [--seed S] [--runs N] [--minutes M]\n";
+    std::cout << "chaos_check [--seed S] [--runs N] [--minutes M] "
+                 "[--overload]\n";
     std::exit(code);
 }
 
@@ -189,10 +309,15 @@ main(int argc, char** argv)
     std::uint64_t seed = 1;
     std::size_t runs = 4;
     std::size_t minutes = 20;
+    bool overload = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h")
             usage(0);
+        if (arg == "--overload") {
+            overload = true;
+            continue;
+        }
         if (i + 1 >= argc) {
             std::cerr << "missing value for " << arg << "\n";
             usage(2);
@@ -217,12 +342,15 @@ main(int argc, char** argv)
         const std::uint64_t runSeed = seed + r * 7919;
         sim::Rng rng(runSeed);
         const fault::FaultPlan plan = randomPlan(rng);
+        admission::AdmissionPlan admissionPlan =
+            randomAdmissionPlan(rng);
         const auto& policy = baselines[static_cast<std::size_t>(
             rng.uniform() * static_cast<double>(baselines.size()))];
 
         trace::WorkloadTraceConfig traceConfig;
         traceConfig.minutes = minutes;
-        traceConfig.targetInvocations = minutes * 120;
+        traceConfig.targetInvocations =
+            minutes * (overload ? 600 : 120);
         traceConfig.seed = runSeed;
         const auto arrivals = trace::expandArrivals(
             trace::generateAzureLike(catalog, traceConfig));
@@ -230,9 +358,23 @@ main(int argc, char** argv)
         platform::NodeConfig config;
         config.seed = runSeed;
         // A tight budget exercises queueing, shedding, and eviction
-        // alongside the injected faults.
-        config.pool.memoryBudgetMb = 8.0 * 1024.0;
+        // alongside the injected faults. The overload-heavy mode
+        // quarters it and guarantees a bounded queue plus periodic
+        // overload windows so the shedding paths always fire.
+        config.pool.memoryBudgetMb =
+            overload ? 2.0 * 1024.0 : 8.0 * 1024.0;
         config.fault = plan;
+        if (overload) {
+            if (admissionPlan.maxQueueDepth == 0)
+                admissionPlan.maxQueueDepth = 32;
+            if (admissionPlan.queueDeadlineSeconds <= 0.0)
+                admissionPlan.queueDeadlineSeconds = 30.0;
+            config.fault.overloadRatePerHour =
+                std::max(config.fault.overloadRatePerHour, 6.0);
+            config.fault.overloadSlowdown =
+                std::max(config.fault.overloadSlowdown, 3.0);
+        }
+        config.admission = admissionPlan;
 
         const std::string label = "seed " + std::to_string(runSeed) +
                                   " policy " + policy.label;
@@ -248,7 +390,9 @@ main(int argc, char** argv)
         std::cout << "chaos_check:   completed " << first.completed
                   << ", failed " << first.failed << ", retries "
                   << first.retries << ", stranded " << first.stranded
-                  << "\n";
+                  << ", rejected " << first.rejected << ", shed "
+                  << first.shedDeadline + first.shedPressure
+                  << ", peak queue " << first.peakQueueDepth << "\n";
 
         runClusterCheck(catalog, policy, arrivals, config,
                         label + " cluster");

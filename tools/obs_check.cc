@@ -17,6 +17,11 @@
  *  * events: every line parses, ticks are non-decreasing (emission
  *    order is simulated-time order), categories/types are known
  *    names.
+ *  * bench-overload: parses BENCH_overload.json from bench_overload
+ *    and asserts the headline overload claim — at 4x offered load,
+ *    RainbowCake with admission control holds a strictly lower p99
+ *    than RainbowCake without it, and every admission-controlled row
+ *    kept its queue within the configured bound.
  *
  * Exit status 0 when every requested check passes, 1 otherwise.
  */
@@ -25,6 +30,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "obs/export.hh"
 #include "obs/json.hh"
@@ -94,6 +100,11 @@ checkReport(const std::string& path)
         "failed",
         "retries",
         "finalize_drained",
+        "rejected",
+        "shed_deadline",
+        "shed_pressure",
+        "degraded_keepalives",
+        "peak_queue_depth",
     };
     for (const auto& entry : policies->array) {
         const std::string name = entry.stringAt("policy", "<unnamed>");
@@ -117,6 +128,20 @@ checkReport(const std::string& path)
             fail(path + ": policy " + name +
                  ": ladder counters cover fewer dispatches than "
                  "invocations");
+        }
+        // rc::admission counters must agree with the top-level
+        // accounting fields every report carries.
+        static const std::pair<const char*, const char*> kAdmission[] = {
+            {"admission_rejected", "rejected"},
+            {"shed_deadline", "shed_deadline"},
+            {"shed_pressure", "shed_pressure"},
+            {"degraded_keepalives", "degraded_keepalives"},
+        };
+        for (const auto& [counter, field] : kAdmission) {
+            if (counters->numberAt(counter) != entry.numberAt(field)) {
+                fail(path + ": policy " + name + ": counter " +
+                     counter + " disagrees with report field " + field);
+            }
         }
     }
     std::cout << "obs_check: report ok (" << policies->array.size()
@@ -199,11 +224,86 @@ checkEvents(const std::string& path)
               << " events)\n";
 }
 
+void
+checkBenchOverload(const std::string& path)
+{
+    bool ok = false;
+    const std::string text = slurp(path, ok);
+    if (!ok)
+        return;
+    obs::JsonValue root;
+    std::string error;
+    if (!obs::parseJson(text, root, &error)) {
+        fail(path + ": " + error);
+        return;
+    }
+    if (root.stringAt("schema") != "rainbowcake-bench-overload-v1") {
+        fail(path + ": schema is not rainbowcake-bench-overload-v1");
+        return;
+    }
+    const obs::JsonValue* rows = root.find("rows");
+    if (!rows || !rows->isArray() || rows->array.empty()) {
+        fail(path + ": missing or empty rows array");
+        return;
+    }
+    static const char* kRowKeys[] = {
+        "policy",        "admission",  "load",
+        "p99_e2e_seconds", "mean_e2e_seconds", "completed",
+        "rejected",      "shed_deadline", "shed_pressure",
+        "peak_queue",    "max_queue_depth", "stranded",
+    };
+    double p99With = -1.0;
+    double p99Without = -1.0;
+    for (const auto& row : rows->array) {
+        const std::string policy = row.stringAt("policy", "<unnamed>");
+        for (const char* key : kRowKeys) {
+            if (!row.find(key))
+                fail(path + ": row " + policy + " lacks key " + key);
+        }
+        const obs::JsonValue* admissionField = row.find("admission");
+        const bool admission =
+            admissionField &&
+            (admissionField->kind == obs::JsonValue::Kind::Bool
+                 ? admissionField->boolean
+                 : admissionField->number != 0.0);
+        const double load = row.numberAt("load");
+        // Bounded-queue invariant for every admission-controlled row.
+        const double bound = row.numberAt("max_queue_depth");
+        if (admission && bound > 0.0 &&
+            row.numberAt("peak_queue") > bound) {
+            fail(path + ": row " + policy + " load " +
+                 std::to_string(load) + " exceeded its queue bound");
+        }
+        if (policy == "RainbowCake" && load == 4.0) {
+            if (admission)
+                p99With = row.numberAt("p99_e2e_seconds");
+            else
+                p99Without = row.numberAt("p99_e2e_seconds");
+        }
+    }
+    if (p99With < 0.0 || p99Without < 0.0) {
+        fail(path + ": missing RainbowCake rows at 4x load");
+        return;
+    }
+    // The headline claim: admission control buys a strictly better
+    // tail under sustained 4x overload.
+    if (!(p99With < p99Without)) {
+        fail(path + ": admission p99 " + std::to_string(p99With) +
+             " is not below no-admission p99 " +
+             std::to_string(p99Without) + " at 4x load");
+    }
+    if (gFailures == 0) {
+        std::cout << "obs_check: bench-overload ok (" << rows->array.size()
+                  << " rows, 4x p99 " << p99With << " < " << p99Without
+                  << ")\n";
+    }
+}
+
 [[noreturn]] void
 usage(int code)
 {
     std::cout << "obs_check [--report FILE] [--trace FILE] "
-                 "[--events FILE]\n";
+                 "[--events FILE] [--bench-overload FILE]\n";
     std::exit(code);
 }
 
@@ -228,6 +328,8 @@ main(int argc, char** argv)
             checkTrace(value);
         } else if (arg == "--events") {
             checkEvents(value);
+        } else if (arg == "--bench-overload") {
+            checkBenchOverload(value);
         } else {
             std::cerr << "unknown option " << arg << "\n";
             usage(2);

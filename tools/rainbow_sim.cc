@@ -23,6 +23,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "admission/admission_plan.hh"
 #include "core/ablations.hh"
 #include "core/checkpoint.hh"
 #include "fault/fault_plan.hh"
@@ -65,6 +66,7 @@ struct Options
     std::string eventsOut;     // non-empty: write JSONL event dump
     std::string reportJson;    // non-empty: write machine-readable report
     std::string faultPlan;     // non-empty: load a fault plan file
+    std::string admissionPlan; // non-empty: load an admission plan file
     double obsIntervalSeconds = 60.0; // counter snapshot interval
 
     /** Any artifact flag turns instrumentation on. */
@@ -108,6 +110,9 @@ usage(int code)
         "                    (default 60)\n"
         "  --fault-plan FILE inject faults per the plan (flat JSON;\n"
         "                    see src/fault/fault_plan.hh for knobs)\n"
+        "  --admission-plan FILE\n"
+        "                    overload control per the plan (flat JSON;\n"
+        "                    see src/admission/admission_plan.hh)\n"
         "  --help            this text\n";
     std::exit(code);
 }
@@ -161,6 +166,8 @@ parseArgs(int argc, char** argv)
                 options.reportJson = need(i);
             } else if (arg == "--fault-plan") {
                 options.faultPlan = need(i);
+            } else if (arg == "--admission-plan") {
+                options.admissionPlan = need(i);
             } else if (arg == "--obs-interval") {
                 options.obsIntervalSeconds = std::stod(need(i));
                 if (options.obsIntervalSeconds <= 0.0)
@@ -365,6 +372,20 @@ main(int argc, char** argv)
         }
         std::cout << "fault plan loaded from " << options.faultPlan
                   << (nodeConfig.fault.active() ? "" : " (all knobs zero)")
+                  << "\n";
+    }
+    if (!options.admissionPlan.empty()) {
+        std::string error;
+        if (!admission::loadAdmissionPlanFile(options.admissionPlan,
+                                              nodeConfig.admission,
+                                              &error)) {
+            std::cerr << "bad admission plan: " << error << "\n";
+            return 2;
+        }
+        std::cout << "admission plan loaded from "
+                  << options.admissionPlan
+                  << (nodeConfig.admission.active() ? ""
+                                                    : " (all knobs zero)")
                   << "\n";
     }
 
