@@ -85,17 +85,19 @@ ClusterScheduler::pick(
         }
         // 2. Sharing: the node with the best layer-sharing
         //    opportunity — an idle Lang container of the function's
-        //    language beats an idle Bare container.
+        //    language beats an idle Bare container. The per-language
+        //    availability summary answers in O(1) per node, instead
+        //    of probing each pool for an actual container.
         const auto language =
             nodes[0]->catalog().at(function).language();
         for (std::size_t i = 0; i < nodes.size(); ++i) {
             if (!unavailable(nodes, i, tripped) &&
-                nodes[i]->pool().findIdleLang(language))
+                nodes[i]->pool().idleLangCount(language) > 0)
                 return i;
         }
         for (std::size_t i = 0; i < nodes.size(); ++i) {
             if (!unavailable(nodes, i, tripped) &&
-                nodes[i]->pool().findIdleBare())
+                nodes[i]->pool().idleBareCount() > 0)
                 return i;
         }
         // 3. Load: spread out.

@@ -32,6 +32,10 @@
 #include "workload/function_profile.hh"
 #include "workload/types.hh"
 
+namespace rc::platform {
+class ContainerPool;
+} // namespace rc::platform
+
 namespace rc::container {
 
 /** Stable identifier of a container instance. */
@@ -192,6 +196,28 @@ class Container
   private:
     void closeIdleInterval(sim::Tick now);
     void openIdleInterval(sim::Tick now);
+
+    /**
+     * Intrusive links for the owning pool's lookup indices (idle
+     * lists, unclaimed-init lists; see platform/pool.hh). Maintained
+     * exclusively by ContainerPool on state transitions; the
+     * container itself never touches them. Living here keeps index
+     * maintenance allocation-free: joining or leaving an index is a
+     * handful of pointer writes, never a node allocation.
+     */
+    struct PoolHooks
+    {
+        Container* bucketPrev = nullptr; //!< per-key bucket list
+        Container* bucketNext = nullptr;
+        Container* idlePrev = nullptr;   //!< global idle list
+        Container* idleNext = nullptr;
+        Container* userPrev = nullptr;   //!< global idle-User list
+        Container* userNext = nullptr;
+        std::uint8_t bucket = 0;    //!< pool-private membership tag
+        std::uint32_t bucketKey = 0; //!< key the bucket was filed under
+    };
+    friend class rc::platform::ContainerPool;
+    PoolHooks _poolHooks;
 
     ContainerId _id;
     State _state = State::Initializing;

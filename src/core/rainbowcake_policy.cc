@@ -189,17 +189,12 @@ RainbowCakePolicy::onIdleExpired(const container::Container& c)
     // next keep-alive window at the downgraded type — unless the
     // shared pool the container would join is already saturated, in
     // which case terminating is strictly cheaper.
+    // The expiring container itself still sits at c.layer(), never at
+    // `next`, so the platform's O(1) per-layer count needs no
+    // self-exclusion.
     const Layer next = workload::layerBelow(c.layer());
-    std::size_t poolMates = 0;
-    for (const auto* other : _view->idleContainers()) {
-        if (other->id() == c.id() || other->layer() != next)
-            continue;
-        if (next == Layer::Lang &&
-            (!other->language() || *other->language() != *c.language())) {
-            continue;
-        }
-        ++poolMates;
-    }
+    const std::size_t poolMates = _view->idleCountAtLayer(
+        next, next == Layer::Lang ? c.language() : std::nullopt);
     if (poolMates >= _config.maxIdleSharedPerGroup)
         return policy::IdleDecision::kill(obs::KillCause::PoolSaturated);
 

@@ -1,9 +1,13 @@
 #include "obs/export.hh"
 
+#include <algorithm>
 #include <istream>
-#include <map>
 #include <ostream>
 #include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "obs/json.hh"
 #include "platform/startup_type.hh"
@@ -181,8 +185,20 @@ void
 writeChromeTrace(std::ostream& os, const Observer& observer)
 {
     std::vector<ChromeEvent> out;
-    std::map<std::uint64_t, ContainerTrack> tracks;
-    std::map<std::uint32_t, bool> functionNamed;
+    // Tracks live in a flat vector with a hash index; the vector is
+    // sorted by container id once at the end, when the trailing
+    // close-span events are emitted, instead of paying an ordered-map
+    // lookup on every event.
+    std::vector<std::pair<std::uint64_t, ContainerTrack>> trackStore;
+    std::unordered_map<std::uint64_t, std::size_t> trackIndex;
+    const auto trackOf = [&](std::uint64_t cid) -> ContainerTrack& {
+        const auto [it, fresh] =
+            trackIndex.try_emplace(cid, trackStore.size());
+        if (fresh)
+            trackStore.emplace_back(cid, ContainerTrack{});
+        return trackStore[it->second].second;
+    };
+    std::unordered_set<std::uint32_t> functionNamed;
     sim::Tick lastTick = 0;
 
     out.push_back({processName(kPidContainers, "containers")});
@@ -215,7 +231,7 @@ writeChromeTrace(std::ostream& os, const Observer& observer)
         lastTick = event.tick;
         switch (event.type) {
           case EventType::ContainerCreated: {
-            ContainerTrack& track = tracks[event.container];
+            ContainerTrack& track = trackOf(event.container);
             nameTrack(event.container, track);
             track.phase = ContainerTrack::Phase::Init;
             track.since = event.tick;
@@ -224,7 +240,7 @@ writeChromeTrace(std::ostream& os, const Observer& observer)
             break;
           }
           case EventType::ContainerInitDone: {
-            ContainerTrack& track = tracks[event.container];
+            ContainerTrack& track = trackOf(event.container);
             closeSpan(event.container, track, event.tick);
             track.phase = ContainerTrack::Phase::Idle;
             track.since = event.tick;
@@ -233,7 +249,7 @@ writeChromeTrace(std::ostream& os, const Observer& observer)
           }
           case EventType::ContainerUpgrade:
           case EventType::ContainerRepurpose: {
-            ContainerTrack& track = tracks[event.container];
+            ContainerTrack& track = trackOf(event.container);
             closeSpan(event.container, track, event.tick);
             track.phase = ContainerTrack::Phase::Init;
             track.since = event.tick;
@@ -242,21 +258,21 @@ writeChromeTrace(std::ostream& os, const Observer& observer)
             break;
           }
           case EventType::ContainerExecBegin: {
-            ContainerTrack& track = tracks[event.container];
+            ContainerTrack& track = trackOf(event.container);
             closeSpan(event.container, track, event.tick);
             track.phase = ContainerTrack::Phase::Busy;
             track.since = event.tick;
             break;
           }
           case EventType::ContainerExecEnd: {
-            ContainerTrack& track = tracks[event.container];
+            ContainerTrack& track = trackOf(event.container);
             closeSpan(event.container, track, event.tick);
             track.phase = ContainerTrack::Phase::Idle;
             track.since = event.tick;
             break;
           }
           case EventType::ContainerDowngraded: {
-            ContainerTrack& track = tracks[event.container];
+            ContainerTrack& track = trackOf(event.container);
             closeSpan(event.container, track, event.tick);
             track.phase = ContainerTrack::Phase::Idle;
             track.since = event.tick;
@@ -264,7 +280,7 @@ writeChromeTrace(std::ostream& os, const Observer& observer)
             break;
           }
           case EventType::ContainerKilled: {
-            ContainerTrack& track = tracks[event.container];
+            ContainerTrack& track = trackOf(event.container);
             closeSpan(event.container, track, event.tick);
             track.phase = ContainerTrack::Phase::None;
             std::ostringstream args;
@@ -286,8 +302,7 @@ writeChromeTrace(std::ostream& os, const Observer& observer)
             // slice spans arrival -> completion on the function track.
             const sim::Tick e2e = sim::fromSeconds(event.arg1);
             const sim::Tick start = event.tick - e2e;
-            if (!functionNamed[event.function]) {
-                functionNamed[event.function] = true;
+            if (functionNamed.insert(event.function).second) {
                 out.push_back({threadName(kPidInvocations, event.function,
                                           functionLabel(event.function))});
             }
@@ -414,8 +429,13 @@ writeChromeTrace(std::ostream& os, const Observer& observer)
         }
     }
 
-    // Close spans of containers alive at the end of the trace.
-    for (auto& [cid, track] : tracks)
+    // Close spans of containers alive at the end of the trace, in
+    // ascending container-id order as the ordered map used to give.
+    std::sort(trackStore.begin(), trackStore.end(),
+              [](const auto& a, const auto& b) {
+                  return a.first < b.first;
+              });
+    for (auto& [cid, track] : trackStore)
         closeSpan(cid, track, lastTick);
 
     os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";

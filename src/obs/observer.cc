@@ -201,6 +201,7 @@ toString(Counter counter)
       case Counter::ShedPressure: return "shed_pressure";
       case Counter::BreakerOpenTotal: return "breaker_open_total";
       case Counter::DegradedKeepalives: return "degraded_keepalives";
+      case Counter::DispatchLookups: return "dispatch_lookups";
     }
     return "?";
 }

@@ -79,11 +79,15 @@ enum class Counter : std::uint8_t
     ShedPressure,      //!< work shed at critical pressure level
     BreakerOpenTotal,  //!< circuit-breaker closed/half-open -> open
     DegradedKeepalives, //!< keep-alive TTLs shrunk by the ladder
+
+    // Dispatch hot path (appended after DegradedKeepalives so older
+    // reports keep their counter order).
+    DispatchLookups, //!< pool index lookups run by tryDispatch
 };
 
 /** Number of counters. */
 inline constexpr std::size_t kCounterCount =
-    static_cast<std::size_t>(Counter::DegradedKeepalives) + 1;
+    static_cast<std::size_t>(Counter::DispatchLookups) + 1;
 
 /** Gauges tracked as high-water marks. */
 enum class Gauge : std::uint8_t

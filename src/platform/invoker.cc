@@ -179,6 +179,8 @@ Invoker::tryDispatch(const Pending& inv)
     if (_admission != nullptr && !_admission->mayDispatch(inv.function))
         return false; // concurrency cap reached: wait in the queue
     const obs::ScopedTimer scanTimer(profiler(), obs::Scope::PoolScan);
+    if (_obs != nullptr)
+        _obs->counters().bump(obs::Counter::DispatchLookups, _engine.now());
     const auto& profile = _catalog.at(inv.function);
 
     // 1. Idle User container of this function: complete warm start.
@@ -203,7 +205,11 @@ Invoker::tryDispatch(const Pending& inv)
     }
 
     // 3. Policy-approved foreign User container (zygote sharing).
-    for (Container* c : _pool.idleForeignUsers(inv.function)) {
+    // The scratch buffer stays valid across beginRepurpose below: the
+    // loop returns right after consuming a candidate, so it never
+    // reads the (now stale) buffer again.
+    _pool.idleForeignUsers(inv.function, _foreignScratch);
+    for (Container* c : _foreignScratch) {
         if (!_policy.allowForeignUserContainer(*c, inv.function))
             continue;
         const sim::Tick specialize =
@@ -518,8 +524,10 @@ Invoker::onIdleTimeout(container::ContainerId cid)
             _pool.setPacked(*c, std::move(decision.packedFunctions),
                             decision.packedMemoryMb)) {
             // The zygote's image is wiped of the owner's code: every
-            // claimant (owner included) pays the specialize cost.
-            c->demoteToZygote();
+            // claimant (owner included) pays the specialize cost. The
+            // pool mediates so its per-function indices re-file the
+            // container under the ownerless key.
+            _pool.demoteToZygote(*c);
             break;
         }
         // Packing impossible (wrong layer or no memory): recycling
@@ -635,7 +643,8 @@ Invoker::evictToFit(double mb)
     {
         const obs::ScopedTimer timer(profiler(),
                                      obs::Scope::PolicyEvictRank);
-        victims = _policy.rankEvictionVictims(_pool.idleContainers());
+        _pool.collectIdle(_idleScratch);
+        victims = _policy.rankEvictionVictims(_idleScratch);
     }
     for (const auto id : victims) {
         Container* victim = _pool.byId(id);
@@ -986,13 +995,13 @@ Invoker::shedPrewarms(double mb)
 {
     // Idle, never-executed User containers are speculative capacity;
     // id order keeps the shedding sequence deterministic.
-    std::vector<container::ContainerId> victims;
-    for (const Container* c : _pool.idleContainers()) {
-        if (!c->everExecuted() && c->layer() == Layer::User)
-            victims.push_back(c->id());
-    }
-    std::sort(victims.begin(), victims.end());
-    for (const auto id : victims) {
+    _victimScratch.clear();
+    _pool.forEachIdle([this](const Container& c) {
+        if (!c.everExecuted() && c.layer() == Layer::User)
+            _victimScratch.push_back(c.id());
+    });
+    std::sort(_victimScratch.begin(), _victimScratch.end());
+    for (const auto id : _victimScratch) {
         if (_pool.canFit(mb))
             return;
         Container* victim = _pool.byId(id);

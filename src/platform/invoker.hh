@@ -179,6 +179,13 @@ class Invoker : public policy::PlatformView
     {
         return _pool.idleContainers();
     }
+    std::size_t
+    idleCountAtLayer(workload::Layer layer,
+                     std::optional<workload::Language> language)
+        const override
+    {
+        return _pool.idleCountAtLayer(layer, language);
+    }
 
   private:
     /** An invocation waiting to be bound to a container. */
@@ -314,6 +321,13 @@ class Invoker : public policy::PlatformView
     std::unordered_map<container::ContainerId, Attachment> _attachments;
     std::size_t _inFlight = 0;
     bool _draining = false;
+
+    // Reusable scratch for the dispatch/eviction hot paths: cleared
+    // and refilled on each use so steady-state lookups allocate
+    // nothing once the buffers reach their high-water capacity.
+    std::vector<container::Container*> _foreignScratch;
+    std::vector<const container::Container*> _idleScratch;
+    std::vector<container::ContainerId> _victimScratch;
 
     // ---- fault state (all dormant while _fault is nullptr) -------------
 

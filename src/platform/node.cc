@@ -98,18 +98,30 @@ Node::finalize()
     // container was reused earlier). Policies like FaaSCache keep
     // containers without timeouts, so this flush is what bounds
     // their accounted waste at the end of the run.
-    bool killed = true;
-    while (killed) {
-        killed = false;
-        for (const auto* c : _pool.idleContainers()) {
-            container::Container* victim = _pool.byId(c->id());
+    // Collect the victims first (killing invalidates any live idle
+    // view), then kill each one that is still idle. One pass over the
+    // idle index replaces the old kill-one-then-rescan loop that was
+    // quadratic in the surviving pool size.
+    std::vector<container::ContainerId> victims;
+    const auto collectVictims = [this, &victims] {
+        victims.clear();
+        _pool.forEachIdle([&victims](const container::Container& c) {
+            victims.push_back(c.id());
+        });
+    };
+    const auto killVictims = [this, &victims] {
+        bool killed = false;
+        for (const auto id : victims) {
+            container::Container* victim = _pool.byId(id);
             if (victim && victim->state() == container::State::Idle) {
                 _pool.kill(*victim, obs::KillCause::Finalize);
                 killed = true;
-                break; // idleContainers() view invalidated; rescan
             }
         }
-    }
+        return killed;
+    };
+    collectVictims();
+    killVictims();
     // Retry anything stranded in the admission queue now that memory
     // freed, and run the events that dispatch may have produced. A
     // retried invocation can leave fresh idle containers behind, so
@@ -118,14 +130,8 @@ Node::finalize()
     while (true) {
         _invoker.retryQueued();
         _engine.run();
-        bool killed = false;
-        for (const auto* c : _pool.idleContainers()) {
-            container::Container* victim = _pool.byId(c->id());
-            if (victim && victim->state() == container::State::Idle) {
-                _pool.kill(*victim, obs::KillCause::Finalize);
-                killed = true;
-            }
-        }
+        collectVictims();
+        const bool killed = killVictims();
         const std::size_t after = _invoker.queuedInvocations();
         if (!killed && after == before)
             break;

@@ -1,6 +1,8 @@
 #include "platform/pool.hh"
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 
 #include "sim/logging.hh"
 
@@ -9,6 +11,24 @@ namespace rc::platform {
 using container::Container;
 using container::State;
 using workload::Layer;
+
+namespace {
+
+/** Ascending idleSince; ties keep insertion order (new goes last). */
+bool
+idleBefore(const Container& a, const Container& b)
+{
+    return a.idleSince() < b.idleSince();
+}
+
+/** Ascending createdAt; ties keep insertion order (new goes last). */
+bool
+createdBefore(const Container& a, const Container& b)
+{
+    return a.createdAt() < b.createdAt();
+}
+
+} // namespace
 
 ContainerPool::ContainerPool(sim::Engine& engine, PoolConfig config,
                              obs::Observer* observer)
@@ -28,77 +48,155 @@ ContainerPool::trackGauges()
                               static_cast<double>(_containers.size()));
 }
 
+// ---- index maintenance -----------------------------------------------------
+
+void
+ContainerPool::unindex(Container& c)
+{
+    Hooks& h = hooks(c);
+    switch (static_cast<IndexBucket>(h.bucket)) {
+      case IndexBucket::None:
+        break;
+      case IndexBucket::IdleUser:
+        _idleUsers[h.bucketKey].remove(&c);
+        _idleUserAll.remove(&c);
+        _idleAll.remove(&c);
+        break;
+      case IndexBucket::IdleLang:
+        _idleLangs[h.bucketKey].remove(&c);
+        _idleAll.remove(&c);
+        break;
+      case IndexBucket::IdleBare:
+        _idleBare.remove(&c);
+        _idleAll.remove(&c);
+        break;
+      case IndexBucket::UnclaimedInit:
+        _unclaimedInits[h.bucketKey].remove(&c);
+        break;
+      case IndexBucket::Busy: {
+        auto it = _busyByFunction.find(h.bucketKey);
+        if (it == _busyByFunction.end() || it->second == 0)
+            sim::panic("ContainerPool: busy count underflow");
+        if (--it->second == 0)
+            _busyByFunction.erase(it);
+        break;
+      }
+    }
+    h.bucket = static_cast<std::uint8_t>(IndexBucket::None);
+    h.bucketKey = 0;
+}
+
+void
+ContainerPool::reindex(Container& c)
+{
+    Hooks& h = hooks(c);
+    switch (c.state()) {
+      case State::Idle:
+        _idleAll.insertOrdered(&c, idleBefore);
+        if (c.layer() == Layer::User) {
+            h.bucket = static_cast<std::uint8_t>(IndexBucket::IdleUser);
+            h.bucketKey = c.function();
+            _idleUsers[c.function()].insertOrdered(&c, idleBefore);
+            _idleUserAll.insertOrdered(&c, idleBefore);
+        } else if (c.layer() == Layer::Lang) {
+            h.bucket = static_cast<std::uint8_t>(IndexBucket::IdleLang);
+            h.bucketKey = static_cast<std::uint32_t>(
+                workload::languageIndex(*c.language()));
+            _idleLangs[h.bucketKey].insertOrdered(&c, idleBefore);
+        } else {
+            h.bucket = static_cast<std::uint8_t>(IndexBucket::IdleBare);
+            h.bucketKey = 0;
+            _idleBare.insertOrdered(&c, idleBefore);
+        }
+        break;
+
+      case State::Initializing:
+        if (c.targetLayer() == Layer::User &&
+            _claimed.find(c.id()) == _claimed.end()) {
+            h.bucket =
+                static_cast<std::uint8_t>(IndexBucket::UnclaimedInit);
+            h.bucketKey = c.initFunction();
+            _unclaimedInits[c.initFunction()].insertOrdered(
+                &c, createdBefore);
+        }
+        break;
+
+      case State::Busy:
+        h.bucket = static_cast<std::uint8_t>(IndexBucket::Busy);
+        h.bucketKey = c.function();
+        ++_busyByFunction[c.function()];
+        break;
+
+      case State::Dead:
+        break;
+    }
+}
+
+void
+ContainerPool::noteMutation()
+{
+    if (_config.auditEveryMutations == 0)
+        return;
+    if (++_mutations % _config.auditEveryMutations == 0)
+        auditIndices();
+}
+
+// ---- lookup ----------------------------------------------------------------
+
 Container*
 ContainerPool::findIdleUser(workload::FunctionId function)
 {
-    Container* best = nullptr;
-    for (auto& [id, c] : _containers) {
-        if (c->state() == State::Idle && c->layer() == Layer::User &&
-            c->function() == function) {
-            // Prefer the most recently idled container (LIFO keeps
-            // the working set warm and lets older ones expire).
-            if (!best || c->idleSince() > best->idleSince())
-                best = c.get();
-        }
-    }
-    return best;
+    auto it = _idleUsers.find(function);
+    return it == _idleUsers.end() ? nullptr : it->second.tail;
 }
 
 std::vector<Container*>
 ContainerPool::idleForeignUsers(workload::FunctionId function)
 {
     std::vector<Container*> out;
-    for (auto& [id, c] : _containers) {
-        if (c->state() == State::Idle && c->layer() == Layer::User &&
-            c->function() != function) {
-            out.push_back(c.get());
-        }
-    }
+    idleForeignUsers(function, out);
     return out;
+}
+
+void
+ContainerPool::idleForeignUsers(workload::FunctionId function,
+                                std::vector<Container*>& out)
+{
+    out.clear();
+    for (Container* c = _idleUserAll.head; c != nullptr;
+         c = hooks(*c).userNext) {
+        if (c->function() != function)
+            out.push_back(c);
+    }
+    // Candidates are returned in creation order (ascending id): the
+    // zygote-sharing ladder takes the first policy-approved match, so
+    // the order is behaviorally significant and must be deterministic.
+    // The walk gathers them in idleSince order; the sort costs
+    // O(k log k) on the handful of idle foreign Users, still
+    // proportional to the result, never to the pool.
+    std::sort(out.begin(), out.end(),
+              [](const Container* a, const Container* b) {
+                  return a->id() < b->id();
+              });
 }
 
 Container*
 ContainerPool::findIdleLang(workload::Language language)
 {
-    Container* best = nullptr;
-    for (auto& [id, c] : _containers) {
-        if (c->state() == State::Idle && c->layer() == Layer::Lang &&
-            c->language() && *c->language() == language) {
-            if (!best || c->idleSince() > best->idleSince())
-                best = c.get();
-        }
-    }
-    return best;
+    return _idleLangs[workload::languageIndex(language)].tail;
 }
 
 Container*
 ContainerPool::findIdleBare()
 {
-    Container* best = nullptr;
-    for (auto& [id, c] : _containers) {
-        if (c->state() == State::Idle && c->layer() == Layer::Bare) {
-            if (!best || c->idleSince() > best->idleSince())
-                best = c.get();
-        }
-    }
-    return best;
+    return _idleBare.tail;
 }
 
 Container*
 ContainerPool::findUnclaimedInit(workload::FunctionId function)
 {
-    Container* best = nullptr;
-    for (auto& [id, c] : _containers) {
-        if (c->state() == State::Initializing &&
-            c->targetLayer() == Layer::User &&
-            c->initFunction() == function &&
-            _claimed.find(c->id()) == _claimed.end()) {
-            // Prefer the oldest in-flight init: it finishes soonest.
-            if (!best || c->createdAt() < best->createdAt())
-                best = c.get();
-        }
-    }
-    return best;
+    auto it = _unclaimedInits.find(function);
+    return it == _unclaimedInits.end() ? nullptr : it->second.head;
 }
 
 bool
@@ -108,24 +206,54 @@ ContainerPool::userAvailable(workload::FunctionId function)
     // busy container is warm — it will serve again the moment it
     // finishes — so idle, in-flight, and executing containers all
     // count.
-    if (findIdleUser(function) || findUnclaimedInit(function))
-        return true;
-    for (auto& [id, c] : _containers) {
-        if (c->state() == State::Busy && c->function() == function)
-            return true;
-    }
-    return false;
+    return findIdleUser(function) != nullptr ||
+           findUnclaimedInit(function) != nullptr ||
+           _busyByFunction.find(function) != _busyByFunction.end();
 }
 
 std::vector<const Container*>
 ContainerPool::idleContainers() const
 {
     std::vector<const Container*> out;
-    for (const auto& [id, c] : _containers) {
-        if (c->state() == State::Idle)
-            out.push_back(c.get());
-    }
+    collectIdle(out);
     return out;
+}
+
+void
+ContainerPool::collectIdle(std::vector<const Container*>& out) const
+{
+    out.clear();
+    if (out.capacity() < _idleAll.count)
+        out.reserve(_idleAll.count);
+    forEachIdle([&out](const Container& c) { out.push_back(&c); });
+}
+
+std::size_t
+ContainerPool::idleCountAtLayer(
+    Layer layer, std::optional<workload::Language> language) const
+{
+    switch (layer) {
+      case Layer::User: {
+        std::size_t n = 0;
+        for (const auto& [function, list] : _idleUsers)
+            n += list.count;
+        return n;
+      }
+      case Layer::Lang:
+        if (language)
+            return _idleLangs[workload::languageIndex(*language)].count;
+        else {
+            std::size_t n = 0;
+            for (const auto& list : _idleLangs)
+                n += list.count;
+            return n;
+        }
+      case Layer::Bare:
+        return _idleBare.count;
+      case Layer::None:
+        return 0;
+    }
+    return 0;
 }
 
 Container*
@@ -146,6 +274,8 @@ ContainerPool::allContainerIds() const
     return ids;
 }
 
+// ---- mutations -------------------------------------------------------------
+
 Container*
 ContainerPool::create(const workload::FunctionProfile& profile,
                       Layer target, bool claimed)
@@ -161,6 +291,7 @@ ContainerPool::create(const workload::FunctionProfile& profile,
     _usedMb += raw->memoryMb();
     if (claimed)
         _claimed.insert(raw->id());
+    reindex(*raw);
     if (_obs != nullptr) {
         _obs->emit(_engine.now(), obs::EventType::ContainerCreated,
                    raw->id(), profile.id(),
@@ -168,6 +299,7 @@ ContainerPool::create(const workload::FunctionProfile& profile,
                    claimed ? 1 : 0, raw->memoryMb());
         trackGauges();
     }
+    noteMutation();
     return raw;
 }
 
@@ -178,6 +310,9 @@ ContainerPool::claim(Container& c)
         sim::panic("ContainerPool::claim: container not initializing");
     if (!_claimed.insert(c.id()).second)
         sim::panic("ContainerPool::claim: already claimed");
+    unindex(c); // leaves the unclaimed-init index, if it was in it
+    reindex(c);
+    noteMutation();
 }
 
 bool
@@ -229,7 +364,9 @@ ContainerPool::beginUpgrade(Container& c,
         c.setTimeoutEvent(sim::kNoEvent);
     }
     const auto fromLayer = static_cast<std::uint8_t>(c.layer());
+    unindex(c);
     c.beginUpgrade(profile, target, _engine.now());
+    reindex(c);
     for (auto& interval : c.drainIdleIntervals(true))
         _waste.record(interval);
     retrack(c, before);
@@ -240,6 +377,7 @@ ContainerPool::beginUpgrade(Container& c,
                    c.memoryMb());
         trackGauges();
     }
+    noteMutation();
     return true;
 }
 
@@ -259,7 +397,11 @@ ContainerPool::forkFrom(Container& source,
     Container* clone = create(profile, Layer::User, /*claimed=*/true);
     if (!clone)
         return nullptr;
+    // The shared hit refreshes the template's idle interval, so it
+    // moves to the most-recently-idled end of its index lists.
+    unindex(source);
     source.markSharedHit(_engine.now());
+    reindex(source);
     for (auto& interval : source.drainIdleIntervals(true))
         _waste.record(interval);
     if (_obs != nullptr) {
@@ -270,6 +412,7 @@ ContainerPool::forkFrom(Container& source,
                    static_cast<std::uint8_t>(source.layer()), 0,
                    static_cast<double>(clone->id()));
     }
+    noteMutation();
     return clone;
 }
 
@@ -293,7 +436,9 @@ ContainerPool::beginRepurpose(Container& c,
         _engine.cancel(c.timeoutEvent());
         c.setTimeoutEvent(sim::kNoEvent);
     }
+    unindex(c);
     c.beginRepurpose(profile, _engine.now());
+    reindex(c);
     for (auto& interval : c.drainIdleIntervals(true))
         _waste.record(interval);
     retrack(c, before);
@@ -302,6 +447,7 @@ ContainerPool::beginRepurpose(Container& c,
                    c.id(), profile.id(), 0, 0, c.memoryMb());
         trackGauges();
     }
+    noteMutation();
     return true;
 }
 
@@ -316,6 +462,7 @@ ContainerPool::setPacked(Container& c,
         return false;
     c.setPackedFunctions(std::move(packed), packedMemoryMb);
     retrack(c, before);
+    noteMutation();
     return true;
 }
 
@@ -328,6 +475,7 @@ ContainerPool::setAuxiliaryMemory(Container& c, double mb)
         return false;
     c.setAuxiliaryMemoryMb(mb);
     retrack(c, before);
+    noteMutation();
     return true;
 }
 
@@ -335,8 +483,10 @@ void
 ContainerPool::finishInit(Container& c)
 {
     const double before = c.memoryMb();
+    unindex(c);
     c.finishInit(_engine.now());
     _claimed.erase(c.id());
+    reindex(c);
     retrack(c, before);
     if (_obs != nullptr) {
         _obs->emit(_engine.now(), obs::EventType::ContainerInitDone,
@@ -344,6 +494,7 @@ ContainerPool::finishInit(Container& c)
                    static_cast<std::uint8_t>(c.layer()), 0, c.memoryMb());
         trackGauges();
     }
+    noteMutation();
 }
 
 void
@@ -353,36 +504,57 @@ ContainerPool::beginExecution(Container& c)
         _engine.cancel(c.timeoutEvent());
         c.setTimeoutEvent(sim::kNoEvent);
     }
+    unindex(c);
     c.beginExecution(_engine.now());
+    reindex(c);
     for (auto& interval : c.drainIdleIntervals(true))
         _waste.record(interval);
     if (_obs != nullptr) {
         _obs->emit(_engine.now(), obs::EventType::ContainerExecBegin,
                    c.id(), c.function());
     }
+    noteMutation();
 }
 
 void
 ContainerPool::finishExecution(Container& c)
 {
+    unindex(c);
     c.finishExecution(_engine.now());
+    reindex(c);
     if (_obs != nullptr) {
         _obs->emit(_engine.now(), obs::EventType::ContainerExecEnd,
                    c.id(), c.function());
     }
+    noteMutation();
 }
 
 void
 ContainerPool::downgrade(Container& c)
 {
     const double before = c.memoryMb();
+    unindex(c);
     c.downgrade(_engine.now());
+    reindex(c);
     retrack(c, before);
     if (_obs != nullptr) {
         _obs->emit(_engine.now(), obs::EventType::ContainerDowngraded,
                    c.id(), c.function(),
                    static_cast<std::uint8_t>(c.layer()), 0, c.memoryMb());
     }
+    noteMutation();
+}
+
+void
+ContainerPool::demoteToZygote(Container& c)
+{
+    // The owner wipe does not refresh idleSince, so the container
+    // keeps its position in the global idle lists but re-files from
+    // the owner's idle-User bucket into the kInvalidFunction one.
+    unindex(c);
+    c.demoteToZygote();
+    reindex(c);
+    noteMutation();
 }
 
 void
@@ -404,6 +576,7 @@ ContainerPool::killImpl(Container& c, obs::KillCause cause, bool force)
         _engine.cancel(c.timeoutEvent());
         c.setTimeoutEvent(sim::kNoEvent);
     }
+    unindex(c);
     const double before = c.memoryMb();
     if (_obs != nullptr) {
         _obs->emit(_engine.now(), obs::EventType::ContainerKilled,
@@ -422,6 +595,188 @@ ContainerPool::killImpl(Container& c, obs::KillCause cause, bool force)
         _usedMb = 0.0;
     _claimed.erase(c.id());
     _containers.erase(c.id());
+    noteMutation();
+}
+
+// ---- invariants ------------------------------------------------------------
+
+void
+ContainerPool::auditIndices() const
+{
+    const auto fail = [](const std::string& what) {
+        sim::panic("ContainerPool::auditIndices: " + what);
+    };
+
+    // 1. Every list node must be alive, correctly tagged, correctly
+    //    keyed, and ordered; collect per-list totals as we go.
+    std::size_t idleSeen = 0;
+    {
+        sim::Tick last = -1;
+        for (const Container* c = _idleAll.head; c != nullptr;
+             c = hooks(*c).idleNext) {
+            if (c->state() != State::Idle)
+                fail("non-idle container in the global idle list");
+            if (c->idleSince() < last)
+                fail("global idle list out of idleSince order");
+            last = c->idleSince();
+            ++idleSeen;
+        }
+        if (idleSeen != _idleAll.count)
+            fail("global idle list count mismatch");
+    }
+    {
+        std::size_t seen = 0;
+        sim::Tick last = -1;
+        for (const Container* c = _idleUserAll.head; c != nullptr;
+             c = hooks(*c).userNext) {
+            if (c->state() != State::Idle || c->layer() != Layer::User)
+                fail("non-idle-User container in the idle-User list");
+            if (c->idleSince() < last)
+                fail("idle-User list out of idleSince order");
+            last = c->idleSince();
+            ++seen;
+        }
+        if (seen != _idleUserAll.count)
+            fail("idle-User list count mismatch");
+    }
+    const auto auditBucket = [&](const BucketList& list,
+                                 IndexBucket bucket, std::uint32_t key) {
+        std::size_t seen = 0;
+        sim::Tick last = -1;
+        for (const Container* c = list.head; c != nullptr;
+             c = hooks(*c).bucketNext) {
+            const Hooks& h = hooks(*c);
+            if (h.bucket != static_cast<std::uint8_t>(bucket) ||
+                h.bucketKey != key) {
+                fail("bucket tag/key mismatch on container " +
+                     std::to_string(c->id()));
+            }
+            const sim::Tick order =
+                bucket == IndexBucket::UnclaimedInit ? c->createdAt()
+                                                     : c->idleSince();
+            if (order < last)
+                fail("bucket list out of order");
+            last = order;
+            ++seen;
+        }
+        if (seen != list.count)
+            fail("bucket list count mismatch");
+    };
+    for (const auto& [function, list] : _idleUsers)
+        auditBucket(list, IndexBucket::IdleUser, function);
+    for (std::size_t i = 0; i < _idleLangs.size(); ++i) {
+        auditBucket(_idleLangs[i], IndexBucket::IdleLang,
+                    static_cast<std::uint32_t>(i));
+    }
+    auditBucket(_idleBare, IndexBucket::IdleBare, 0);
+    for (const auto& [function, list] : _unclaimedInits)
+        auditBucket(list, IndexBucket::UnclaimedInit, function);
+
+    // 2. Brute-force scan of the container map: the tag each
+    //    container carries must match the one its state implies, and
+    //    the per-key totals must match the list counts.
+    std::unordered_map<workload::FunctionId, std::size_t> idleUserBrute;
+    std::array<std::size_t, workload::kLanguageCount> idleLangBrute{};
+    std::size_t idleBareBrute = 0;
+    std::unordered_map<workload::FunctionId, std::size_t> unclaimedBrute;
+    std::unordered_map<workload::FunctionId, std::uint32_t> busyBrute;
+    std::size_t idleBrute = 0;
+    double usedBrute = 0.0;
+    for (const auto& [id, c] : _containers) {
+        usedBrute += c->memoryMb();
+        IndexBucket expected = IndexBucket::None;
+        std::uint32_t expectedKey = 0;
+        switch (c->state()) {
+          case State::Idle:
+            ++idleBrute;
+            if (c->layer() == Layer::User) {
+                expected = IndexBucket::IdleUser;
+                expectedKey = c->function();
+                ++idleUserBrute[c->function()];
+            } else if (c->layer() == Layer::Lang) {
+                expected = IndexBucket::IdleLang;
+                expectedKey = static_cast<std::uint32_t>(
+                    workload::languageIndex(*c->language()));
+                ++idleLangBrute[expectedKey];
+            } else {
+                expected = IndexBucket::IdleBare;
+                ++idleBareBrute;
+            }
+            break;
+          case State::Initializing:
+            if (c->targetLayer() == Layer::User &&
+                _claimed.find(id) == _claimed.end()) {
+                expected = IndexBucket::UnclaimedInit;
+                expectedKey = c->initFunction();
+                ++unclaimedBrute[c->initFunction()];
+            }
+            break;
+          case State::Busy:
+            expected = IndexBucket::Busy;
+            expectedKey = c->function();
+            ++busyBrute[c->function()];
+            break;
+          case State::Dead:
+            fail("dead container still in the map");
+            break;
+        }
+        const Hooks& h = hooks(*c);
+        if (h.bucket != static_cast<std::uint8_t>(expected) ||
+            h.bucketKey != expectedKey) {
+            fail("container " + std::to_string(id) +
+                 " filed in the wrong index for its state");
+        }
+    }
+    if (idleBrute != _idleAll.count)
+        fail("global idle list disagrees with brute-force idle count");
+    std::size_t idleUserTotal = 0;
+    for (const auto& [function, n] : idleUserBrute) {
+        idleUserTotal += n;
+        auto it = _idleUsers.find(function);
+        if (it == _idleUsers.end() || it->second.count != n)
+            fail("idle-User bucket count disagrees with brute force");
+    }
+    if (idleUserTotal != _idleUserAll.count)
+        fail("idle-User list disagrees with brute-force count");
+    for (const auto& [function, list] : _idleUsers) {
+        if (list.count != 0 &&
+            idleUserBrute.find(function) == idleUserBrute.end())
+            fail("stale idle-User bucket entry");
+    }
+    for (std::size_t i = 0; i < _idleLangs.size(); ++i) {
+        if (_idleLangs[i].count != idleLangBrute[i])
+            fail("idle-Lang bucket count disagrees with brute force");
+    }
+    if (_idleBare.count != idleBareBrute)
+        fail("idle-Bare list disagrees with brute force");
+    for (const auto& [function, n] : unclaimedBrute) {
+        auto it = _unclaimedInits.find(function);
+        if (it == _unclaimedInits.end() || it->second.count != n)
+            fail("unclaimed-init bucket disagrees with brute force");
+    }
+    for (const auto& [function, list] : _unclaimedInits) {
+        if (list.count != 0 &&
+            unclaimedBrute.find(function) == unclaimedBrute.end())
+            fail("stale unclaimed-init bucket entry");
+    }
+    if (busyBrute.size() != _busyByFunction.size())
+        fail("busy-count map size disagrees with brute force");
+    for (const auto& [function, n] : busyBrute) {
+        auto it = _busyByFunction.find(function);
+        if (it == _busyByFunction.end() || it->second != n)
+            fail("busy count disagrees with brute force");
+    }
+
+    // 3. Claim set and memory accounting.
+    for (const auto id : _claimed) {
+        auto it = _containers.find(id);
+        if (it == _containers.end())
+            fail("claimed id without a container");
+        if (it->second->state() != State::Initializing)
+            fail("claimed container is not initializing");
+    }
+    if (std::abs(usedBrute - _usedMb) > 1e-3)
+        fail("memory accounting drifted from brute-force sum");
 }
 
 } // namespace rc::platform

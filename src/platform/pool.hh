@@ -1,6 +1,7 @@
 /**
  * @file
- * The container pool: storage, lookup, memory accounting, waste log.
+ * The container pool: storage, indexed lookup, memory accounting,
+ * waste log.
  *
  * The pool owns every container on the worker node, enforces the
  * node's memory budget (initializations reserve the target layer's
@@ -8,15 +9,45 @@
  * policies need, and maintains the idle-memory waste log that
  * produces the Fig. 8 green/red split.
  *
- * Container counts on one node are at most a few thousand, so the
- * lookups are deliberate linear scans: simple, exact, and cheap
- * relative to event dispatch.
+ * Lookups used to be linear scans over the container map on the
+ * theory that a few thousand containers per node kept them cheap.
+ * They are not: every dispatch walks the whole ladder, the cluster
+ * scheduler probes every node per placement, and eviction ranking
+ * materialized a fresh vector per call, so pool scans dominated
+ * per-event cost at fleet scale (the same lesson Serv-Drishti and
+ * Pagurus report). The pool now maintains intrusive, insertion-
+ * ordered index lists updated on every state transition:
+ *
+ *  * per-function idle-User lists (zygotes file under
+ *    kInvalidFunction after demoteToZygote),
+ *  * per-language idle-Lang lists and one idle-Bare free list,
+ *  * per-function unclaimed in-flight-init lists (pre-warm latching),
+ *  * a global idle list and a global idle-User list (eviction
+ *    ranking, foreign-user sharing), and
+ *  * per-function busy counts.
+ *
+ * Each idle list is kept ordered by idleSince (ascending, ties in
+ * insertion order), so "most recently idled" is the tail; unclaimed-
+ * init lists are ordered by createdAt, so "finishes soonest" is the
+ * head. That makes findIdleUser / findIdleLang / findIdleBare /
+ * findUnclaimedInit / userAvailable O(1) and idleForeignUsers
+ * proportional to the number of idle User containers — and every
+ * candidate order deterministic by construction (insertion-ordered,
+ * never hash-ordered), which the bit-identical seed goldens rely on.
+ * The links live inside Container (PoolHooks), so index maintenance
+ * is a handful of pointer writes and never allocates.
+ *
+ * auditIndices() cross-validates every index against a brute-force
+ * scan of the container map; chaos_check enables it periodically via
+ * PoolConfig::auditEveryMutations.
  */
 
 #ifndef RC_PLATFORM_POOL_HH_
 #define RC_PLATFORM_POOL_HH_
 
+#include <array>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -34,6 +65,13 @@ struct PoolConfig
 {
     /** Memory available for containers, in MB (paper: 240 GB node). */
     double memoryBudgetMb = 240.0 * 1024.0;
+
+    /**
+     * Run auditIndices() after every N pool mutations (0 = never).
+     * Debug/chaos harness knob: the audit is a brute-force scan, so
+     * production configs leave it off.
+     */
+    std::uint32_t auditEveryMutations = 0;
 };
 
 /** Owner of all container instances on a node. */
@@ -58,17 +96,28 @@ class ContainerPool
     /** Number of live (non-dead) containers. */
     std::size_t liveCount() const { return _containers.size(); }
 
-    // ---- lookup --------------------------------------------------------
+    // ---- lookup (all O(1) unless noted) --------------------------------
 
-    /** Idle full container owned by @p function; nullptr if none. */
+    /**
+     * Idle full container owned by @p function; nullptr if none.
+     * Prefers the most recently idled container (LIFO keeps the
+     * working set warm and lets older ones expire).
+     */
     container::Container* findIdleUser(workload::FunctionId function);
 
     /**
-     * Idle full container owned by another function (candidate for
-     * Pagurus-style sharing); all of them, for the policy to filter.
+     * Idle full containers owned by other functions (candidates for
+     * Pagurus-style sharing), in creation order (ascending id): the
+     * dispatch ladder consumes the first policy-approved candidate,
+     * so the order is part of observable behavior. The allocating
+     * form is for tests; hot paths use the scratch-buffer overload,
+     * which only allocates until @p out's capacity warms up. Cost:
+     * proportional to the number of idle User containers.
      */
     std::vector<container::Container*>
     idleForeignUsers(workload::FunctionId function);
+    void idleForeignUsers(workload::FunctionId function,
+                          std::vector<container::Container*>& out);
 
     /** Idle Lang container of @p language; nullptr if none. */
     container::Container* findIdleLang(workload::Language language);
@@ -79,15 +128,54 @@ class ContainerPool
     /**
      * Unclaimed container currently initializing toward a User layer
      * of @p function (an in-flight pre-warm); nullptr if none.
+     * Prefers the oldest in-flight init: it finishes soonest.
      */
     container::Container*
     findUnclaimedInit(workload::FunctionId function);
 
-    /** True if an idle or unclaimed in-flight User container exists. */
+    /** True if an idle, in-flight, or busy User container exists. */
     bool userAvailable(workload::FunctionId function);
 
-    /** All idle containers (const view, for policy eviction ranking). */
+    /**
+     * All idle containers, least recently idled first (const view,
+     * for policy eviction ranking). The allocating form is the
+     * PlatformView-compatible one; collectIdle() reuses @p out.
+     */
     std::vector<const container::Container*> idleContainers() const;
+    void collectIdle(std::vector<const container::Container*>& out) const;
+
+    /** Visit every idle container, least recently idled first. */
+    template <class F>
+    void
+    forEachIdle(F&& fn) const
+    {
+        for (const container::Container* c = _idleAll.head; c != nullptr;
+             c = c->_poolHooks.idleNext) {
+            fn(*c);
+        }
+    }
+
+    /** Number of idle containers (any layer). */
+    std::size_t idleCount() const { return _idleAll.count; }
+
+    /**
+     * Number of idle containers at @p layer; for Layer::Lang,
+     * restricted to @p language. The per-node per-language
+     * availability summary the cluster scheduler and RainbowCake's
+     * shared-pool saturation check consult instead of scanning.
+     */
+    std::size_t
+    idleCountAtLayer(workload::Layer layer,
+                     std::optional<workload::Language> language) const;
+
+    /** Idle Lang containers of @p language (availability summary). */
+    std::size_t idleLangCount(workload::Language language) const
+    {
+        return _idleLangs[workload::languageIndex(language)].count;
+    }
+
+    /** Idle Bare containers (availability summary). */
+    std::size_t idleBareCount() const { return _idleBare.count; }
 
     /** Container by id; nullptr if dead/unknown. */
     container::Container* byId(container::ContainerId id);
@@ -158,6 +246,15 @@ class ContainerPool
     void downgrade(container::Container& c);
 
     /**
+     * Wipe the owner of an idle User container (Pagurus re-packing):
+     * the container re-files under kInvalidFunction in the idle-User
+     * index, so the former owner also goes through the foreign-user
+     * path. Must go through the pool — Container::demoteToZygote
+     * alone would leave the per-function index stale.
+     */
+    void demoteToZygote(container::Container& c);
+
+    /**
      * Terminate a container: releases memory, flushes its idle
      * intervals (never-hit unless already classified), cancels any
      * pending timeout event, and destroys it. @p cause is recorded in
@@ -191,7 +288,110 @@ class ContainerPool
     /** Closed, classified idle intervals (Fig. 8 data). */
     const stats::IntervalLog& wasteLog() const { return _waste; }
 
+    // ---- invariants ----------------------------------------------------
+
+    /**
+     * Cross-validate every index against a brute-force scan of the
+     * container map: membership, tags, keys, ordering, busy counts,
+     * claim set, and memory accounting. Panics on the first
+     * inconsistency. chaos_check runs this periodically (see
+     * PoolConfig::auditEveryMutations); tests call it directly.
+     */
+    void auditIndices() const;
+
   private:
+    using Hooks = container::Container::PoolHooks;
+
+    /** Which index a container is filed in (Hooks::bucket). */
+    enum class IndexBucket : std::uint8_t
+    {
+        None,          //!< busy-claimed init or mid-transition
+        IdleUser,      //!< _idleUsers[function] (+ both global lists)
+        IdleLang,      //!< _idleLangs[language] (+ global idle list)
+        IdleBare,      //!< _idleBare (+ global idle list)
+        UnclaimedInit, //!< _unclaimedInits[initFunction]
+        Busy,          //!< counted in _busyByFunction
+    };
+
+    /** Friend-access bridge for the nested list type. */
+    static Hooks& hooks(container::Container& c) { return c._poolHooks; }
+    static const Hooks& hooks(const container::Container& c)
+    {
+        return c._poolHooks;
+    }
+
+    /**
+     * Intrusive doubly-linked list over one pair of PoolHooks links.
+     * Insertion keeps a caller-chosen ascending order (idleSince for
+     * idle lists, createdAt for init lists); the common case — the
+     * new node carries the largest key — appends in O(1).
+     */
+    template <container::Container* Hooks::*PrevM,
+              container::Container* Hooks::*NextM>
+    struct List
+    {
+        container::Container* head = nullptr;
+        container::Container* tail = nullptr;
+        std::size_t count = 0;
+
+        bool empty() const { return count == 0; }
+
+        /** Insert @p c before all nodes @p less orders it before. */
+        template <class Less>
+        void
+        insertOrdered(container::Container* c, Less less)
+        {
+            container::Container* at = tail;
+            while (at != nullptr && less(*c, *at))
+                at = hooks(*at).*PrevM;
+            // c goes immediately after `at` (nullptr -> new head).
+            container::Container* next =
+                at != nullptr ? hooks(*at).*NextM : head;
+            hooks(*c).*PrevM = at;
+            hooks(*c).*NextM = next;
+            if (at != nullptr)
+                hooks(*at).*NextM = c;
+            else
+                head = c;
+            if (next != nullptr)
+                hooks(*next).*PrevM = c;
+            else
+                tail = c;
+            ++count;
+        }
+
+        void
+        remove(container::Container* c)
+        {
+            container::Container* prev = hooks(*c).*PrevM;
+            container::Container* next = hooks(*c).*NextM;
+            if (prev != nullptr)
+                hooks(*prev).*NextM = next;
+            else
+                head = next;
+            if (next != nullptr)
+                hooks(*next).*PrevM = prev;
+            else
+                tail = prev;
+            hooks(*c).*PrevM = nullptr;
+            hooks(*c).*NextM = nullptr;
+            --count;
+        }
+    };
+
+    using BucketList = List<&Hooks::bucketPrev, &Hooks::bucketNext>;
+    using IdleList = List<&Hooks::idlePrev, &Hooks::idleNext>;
+    using UserList = List<&Hooks::userPrev, &Hooks::userNext>;
+
+    /** Remove @p c from whichever index its tag says it is in. */
+    void unindex(container::Container& c);
+
+    /** File @p c in the index its current state belongs to. */
+    void reindex(container::Container& c);
+
+    /** Audit hook: every mutator calls this once on completion. */
+    void noteMutation();
+
     void retrack(container::Container& c, double beforeMb);
 
     void killImpl(container::Container& c, obs::KillCause cause,
@@ -209,6 +409,17 @@ class ContainerPool
                        std::unique_ptr<container::Container>> _containers;
     std::unordered_set<container::ContainerId> _claimed;
     stats::IntervalLog _waste;
+
+    // ---- lookup indices (insertion-ordered; see file header) -----------
+
+    std::unordered_map<workload::FunctionId, BucketList> _idleUsers;
+    std::array<BucketList, workload::kLanguageCount> _idleLangs;
+    BucketList _idleBare;
+    std::unordered_map<workload::FunctionId, BucketList> _unclaimedInits;
+    IdleList _idleAll;
+    UserList _idleUserAll;
+    std::unordered_map<workload::FunctionId, std::uint32_t> _busyByFunction;
+    std::uint64_t _mutations = 0;
 };
 
 } // namespace rc::platform

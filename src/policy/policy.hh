@@ -124,6 +124,28 @@ class PlatformView
     /** Idle containers currently in the pool (for custom eviction). */
     virtual std::vector<const container::Container*>
     idleContainers() const = 0;
+
+    /**
+     * Number of idle containers at @p layer, optionally narrowed to
+     * @p language (meaningful for Lang). The platform answers this
+     * from its pool indices in O(1); the default derives it from
+     * idleContainers() for views that don't override it.
+     */
+    virtual std::size_t
+    idleCountAtLayer(workload::Layer layer,
+                     std::optional<workload::Language> language) const
+    {
+        std::size_t n = 0;
+        for (const auto* c : idleContainers()) {
+            if (c->layer() != layer)
+                continue;
+            if (language &&
+                (!c->language() || *c->language() != *language))
+                continue;
+            ++n;
+        }
+        return n;
+    }
 };
 
 /** Outcome of one resolved invocation, passed to observation hooks. */

@@ -260,5 +260,234 @@ TEST_F(PoolTest, ByIdReturnsNullForDead)
     EXPECT_EQ(pool->byId(424242), nullptr);
 }
 
+// ---- lookup indices ----------------------------------------------------
+
+TEST_F(PoolTest, IndicesTrackEveryLifecycleTransition)
+{
+    const auto f = profile("IR-Py").id();
+
+    // Unclaimed init -> claim -> idle.
+    Container* c = pool->create(profile("IR-Py"), Layer::User, false);
+    ASSERT_NE(c, nullptr);
+    pool->auditIndices();
+    pool->claim(*c);
+    pool->auditIndices();
+    pool->finishInit(*c);
+    pool->auditIndices();
+    EXPECT_EQ(pool->findIdleUser(f), c);
+    EXPECT_EQ(pool->idleCount(), 1u);
+
+    // Idle -> busy -> idle.
+    pool->beginExecution(*c);
+    pool->auditIndices();
+    EXPECT_EQ(pool->findIdleUser(f), nullptr);
+    EXPECT_TRUE(pool->userAvailable(f)); // busy still counts
+    pool->finishExecution(*c);
+    pool->auditIndices();
+    EXPECT_EQ(pool->findIdleUser(f), c);
+
+    // Peel User -> Lang -> Bare, then expire.
+    pool->downgrade(*c);
+    pool->auditIndices();
+    EXPECT_EQ(pool->findIdleUser(f), nullptr);
+    EXPECT_EQ(pool->findIdleLang(workload::Language::Python), c);
+    EXPECT_EQ(pool->idleLangCount(workload::Language::Python), 1u);
+    pool->downgrade(*c);
+    pool->auditIndices();
+    EXPECT_EQ(pool->findIdleLang(workload::Language::Python), nullptr);
+    EXPECT_EQ(pool->findIdleBare(), c);
+    EXPECT_EQ(pool->idleBareCount(), 1u);
+    pool->kill(*c);
+    pool->auditIndices();
+    EXPECT_EQ(pool->findIdleBare(), nullptr);
+    EXPECT_EQ(pool->idleCount(), 0u);
+}
+
+TEST_F(PoolTest, ForceKillUnindexesBusyContainer)
+{
+    const auto f = profile("IR-Py").id();
+    Container& c = makeIdle("IR-Py");
+    pool->beginExecution(c);
+    EXPECT_TRUE(pool->userAvailable(f));
+    pool->auditIndices();
+    pool->forceKill(c, obs::KillCause::ExecFault);
+    pool->auditIndices();
+    EXPECT_FALSE(pool->userAvailable(f));
+    EXPECT_EQ(pool->liveCount(), 0u);
+}
+
+TEST_F(PoolTest, UpgradeMovesContainerOutOfLangIndex)
+{
+    Container& c = makeIdle("IR-Py", Layer::Lang);
+    EXPECT_EQ(pool->findIdleLang(workload::Language::Python), &c);
+    ASSERT_TRUE(pool->beginUpgrade(c, profile("IR-Py"), Layer::User));
+    pool->auditIndices();
+    EXPECT_EQ(pool->findIdleLang(workload::Language::Python), nullptr);
+    // Upgrades start unclaimed, so the in-flight init is latchable.
+    EXPECT_EQ(pool->findUnclaimedInit(profile("IR-Py").id()), &c);
+    pool->finishInit(c);
+    pool->auditIndices();
+    EXPECT_EQ(pool->findIdleUser(profile("IR-Py").id()), &c);
+}
+
+TEST_F(PoolTest, ForkRefreshesTemplateIndexPosition)
+{
+    Container& older = makeIdle("IR-Py", Layer::Lang);
+    engine.runUntil(10 * kSecond);
+    Container& fresh = makeIdle("MD-Py", Layer::Lang);
+    EXPECT_EQ(pool->findIdleLang(workload::Language::Python), &fresh);
+
+    engine.runUntil(20 * kSecond);
+    Container* clone = pool->forkFrom(older, profile("FC-Py"));
+    ASSERT_NE(clone, nullptr);
+    pool->auditIndices();
+    EXPECT_TRUE(pool->isClaimed(*clone));
+    // The shared hit reopened the template's idle interval at t=20s,
+    // so it is now the most recently idled Lang container.
+    EXPECT_EQ(pool->findIdleLang(workload::Language::Python), &older);
+}
+
+TEST_F(PoolTest, RepurposeRefilesUnderNewOwner)
+{
+    const auto from = profile("MD-Py").id();
+    const auto to = profile("IR-Py").id();
+    Container& c = makeIdle("MD-Py");
+    ASSERT_TRUE(pool->beginRepurpose(c, profile("IR-Py")));
+    pool->auditIndices();
+    EXPECT_EQ(pool->findIdleUser(from), nullptr);
+    EXPECT_EQ(pool->findUnclaimedInit(to), &c);
+    pool->claim(c);
+    pool->finishInit(c);
+    pool->auditIndices();
+    EXPECT_EQ(pool->findIdleUser(to), &c);
+    EXPECT_EQ(pool->findIdleUser(from), nullptr);
+}
+
+TEST_F(PoolTest, DemoteToZygoteRefilesOwnerless)
+{
+    const auto f = profile("IR-Py").id();
+    Container& c = makeIdle("IR-Py");
+    pool->demoteToZygote(c);
+    pool->auditIndices();
+    // The former owner lost its warm container...
+    EXPECT_EQ(pool->findIdleUser(f), nullptr);
+    EXPECT_FALSE(pool->userAvailable(f));
+    // ...but the zygote is a foreign-user candidate for everyone.
+    const auto foreign = pool->idleForeignUsers(f);
+    ASSERT_EQ(foreign.size(), 1u);
+    EXPECT_EQ(foreign[0], &c);
+    EXPECT_EQ(foreign[0]->function(), workload::kInvalidFunction);
+}
+
+TEST_F(PoolTest, ForeignCandidateOrderIsCreationOrder)
+{
+    // Scramble the idle order so it disagrees with creation order:
+    // the first-created container idles again last.
+    Container& a = makeIdle("IR-Py");
+    Container& b = makeIdle("MD-Py");
+    Container& c = makeIdle("FC-Py");
+    engine.runUntil(5 * kSecond);
+    pool->beginExecution(a);
+    engine.runUntil(10 * kSecond);
+    pool->finishExecution(a); // a: newest idleSince, smallest id
+    pool->auditIndices();
+
+    const auto foreign = pool->idleForeignUsers(profile("DG-Java").id());
+    ASSERT_EQ(foreign.size(), 3u);
+    EXPECT_EQ(foreign[0], &a);
+    EXPECT_EQ(foreign[1], &b);
+    EXPECT_EQ(foreign[2], &c);
+}
+
+TEST_F(PoolTest, CollectIdleReusesScratchCapacity)
+{
+    makeIdle("IR-Py");
+    makeIdle("MD-Py", Layer::Lang);
+    makeIdle("AC-Js", Layer::Bare);
+
+    std::vector<const Container*> scratch;
+    pool->collectIdle(scratch);
+    ASSERT_EQ(scratch.size(), 3u);
+    const auto capacity = scratch.capacity();
+    const auto* data = scratch.data();
+    // Steady state: the warmed-up buffer is refilled in place.
+    pool->collectIdle(scratch);
+    EXPECT_EQ(scratch.size(), 3u);
+    EXPECT_EQ(scratch.capacity(), capacity);
+    EXPECT_EQ(scratch.data(), data);
+
+    // Same containers as the allocating view, same (idleSince) order.
+    EXPECT_EQ(pool->idleContainers(), scratch);
+
+    std::size_t visited = 0;
+    sim::Tick last = -1;
+    pool->forEachIdle([&](const Container& c) {
+        EXPECT_EQ(&c, scratch[visited]);
+        EXPECT_GE(c.idleSince(), last);
+        last = c.idleSince();
+        ++visited;
+    });
+    EXPECT_EQ(visited, scratch.size());
+}
+
+TEST_F(PoolTest, PerLayerIdleCountsMatchScan)
+{
+    makeIdle("IR-Py");
+    makeIdle("IR-Py");
+    makeIdle("MD-Py", Layer::Lang);
+    makeIdle("DG-Java", Layer::Lang);
+    makeIdle("AC-Js", Layer::Bare);
+    Container& busy = makeIdle("FC-Py");
+    pool->beginExecution(busy);
+
+    EXPECT_EQ(pool->idleCount(), 5u);
+    EXPECT_EQ(pool->idleCountAtLayer(Layer::User, std::nullopt), 2u);
+    EXPECT_EQ(pool->idleCountAtLayer(Layer::Lang, std::nullopt), 2u);
+    EXPECT_EQ(pool->idleCountAtLayer(Layer::Lang,
+                                     workload::Language::Python), 1u);
+    EXPECT_EQ(pool->idleCountAtLayer(Layer::Lang,
+                                     workload::Language::Java), 1u);
+    EXPECT_EQ(pool->idleCountAtLayer(Layer::Bare, std::nullopt), 1u);
+    EXPECT_EQ(pool->idleLangCount(workload::Language::NodeJs), 0u);
+    EXPECT_EQ(pool->idleBareCount(), 1u);
+    pool->auditIndices();
+}
+
+TEST_F(PoolTest, ContinuousAuditSurvivesMixedChurn)
+{
+    // auditEveryMutations=1 cross-validates the indices after every
+    // single mutation of a busy lifecycle mix.
+    PoolConfig config;
+    config.memoryBudgetMb = 4096.0;
+    config.auditEveryMutations = 1;
+    ContainerPool audited(engine, config);
+
+    Container* a = audited.create(profile("IR-Py"), Layer::User, false);
+    ASSERT_NE(a, nullptr);
+    audited.claim(*a);
+    audited.finishInit(*a);
+    audited.beginExecution(*a);
+    audited.finishExecution(*a);
+
+    Container* lang = audited.create(profile("MD-Py"), Layer::Lang, false);
+    ASSERT_NE(lang, nullptr);
+    audited.finishInit(*lang);
+    Container* clone = audited.forkFrom(*lang, profile("FC-Py"));
+    ASSERT_NE(clone, nullptr);
+    audited.finishInit(*clone);
+
+    audited.demoteToZygote(*a);
+    ASSERT_TRUE(audited.beginRepurpose(*a, profile("MD-Py")));
+    audited.claim(*a);
+    audited.finishInit(*a);
+
+    audited.downgrade(*clone);
+    audited.forceKill(*lang, obs::KillCause::NodeCrash);
+    audited.kill(*clone);
+    audited.kill(*a);
+    EXPECT_EQ(audited.liveCount(), 0u);
+    EXPECT_LT(audited.usedMemoryMb(), 1e-9);
+}
+
 } // namespace
 } // namespace rc::platform

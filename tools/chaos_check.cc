@@ -363,6 +363,12 @@ main(int argc, char** argv)
         // overload windows so the shedding paths always fire.
         config.pool.memoryBudgetMb =
             overload ? 2.0 * 1024.0 : 8.0 * 1024.0;
+        // Cross-validate the pool's intrusive lookup indices against
+        // a brute-force scan of the container map every few mutations
+        // (auditIndices panics on any divergence); chaos runs churn
+        // every FSM transition, which is exactly where a stale index
+        // entry would hide.
+        config.pool.auditEveryMutations = 64;
         config.fault = plan;
         if (overload) {
             if (admissionPlan.maxQueueDepth == 0)

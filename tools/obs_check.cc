@@ -129,6 +129,15 @@ checkReport(const std::string& path)
                  ": ladder counters cover fewer dispatches than "
                  "invocations");
         }
+        // Every ladder outcome was preceded by a pool lookup, so the
+        // dispatch-lookup counter must cover the ladder sum (requeued
+        // invocations look up more than once). Gated on key presence:
+        // reports written before the counter existed stay valid.
+        if (counters->find("dispatch_lookups") != nullptr &&
+            counters->numberAt("dispatch_lookups") < ladder) {
+            fail(path + ": policy " + name +
+                 ": dispatch_lookups undercounts the ladder sum");
+        }
         // rc::admission counters must agree with the top-level
         // accounting fields every report carries.
         static const std::pair<const char*, const char*> kAdmission[] = {
