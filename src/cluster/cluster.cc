@@ -8,6 +8,36 @@
 
 namespace rc::cluster {
 
+std::vector<CrashEvent>
+drawCrashSchedule(const fault::FaultPlan& plan, std::uint64_t seed,
+                  std::size_t nodes, sim::Tick horizon)
+{
+    std::vector<CrashEvent> crashes;
+    if (!plan.active() || plan.nodeMtbfSeconds <= 0.0)
+        return crashes;
+    const sim::Rng base(seed);
+    const sim::Tick downtime = sim::fromSeconds(plan.nodeDowntimeSeconds);
+    for (std::size_t i = 0; i < nodes; ++i) {
+        sim::Rng rng =
+            base.stream("cluster-fault-node-" + std::to_string(i));
+        sim::Tick t = 0;
+        while (true) {
+            const double gap =
+                rng.exponential(1.0 / plan.nodeMtbfSeconds);
+            t += std::max<sim::Tick>(1, sim::fromSeconds(gap));
+            if (t > horizon)
+                break;
+            crashes.push_back(CrashEvent{t, i, t + downtime});
+            t += downtime; // next crash after the restart
+        }
+    }
+    std::sort(crashes.begin(), crashes.end(),
+              [](const CrashEvent& a, const CrashEvent& b) {
+                  return a.at != b.at ? a.at < b.at : a.node < b.node;
+              });
+    return crashes;
+}
+
 Cluster::Cluster(const workload::Catalog& catalog,
                  const PolicyFactory& factory, ClusterConfig config)
     : _catalog(catalog), _config(config), _scheduler(config.scheduling)
@@ -53,46 +83,16 @@ Cluster::run(const std::vector<trace::Arrival>& arrivals)
     // The cluster owns node crashes: it must observe each one to
     // fail the lost work over, so nodes arm only their local fault
     // chains (init/exec faults, overload windows) and the crash
-    // schedule is pre-drawn here from a dedicated per-node stream.
-    // Pre-drawing keeps the schedule independent of routing noise.
-    struct CrashEvent
-    {
-        sim::Tick at = 0;
-        std::size_t node = 0;
-        sim::Tick downUntil = 0;
-    };
-    std::vector<CrashEvent> crashes;
+    // schedule is pre-drawn from a dedicated per-node stream.
     for (auto& node : _nodes)
         node->armAdmission(horizon);
     const fault::FaultPlan& plan = _config.node.fault;
     if (plan.active()) {
         for (auto& node : _nodes)
             node->armFaults(horizon, /*manageNodeCrashes=*/false);
-        if (plan.nodeMtbfSeconds > 0.0) {
-            const sim::Rng base(_config.node.seed);
-            const sim::Tick downtime =
-                sim::fromSeconds(plan.nodeDowntimeSeconds);
-            for (std::size_t i = 0; i < _nodes.size(); ++i) {
-                sim::Rng rng = base.stream("cluster-fault-node-" +
-                                           std::to_string(i));
-                sim::Tick t = 0;
-                while (true) {
-                    const double gap =
-                        rng.exponential(1.0 / plan.nodeMtbfSeconds);
-                    t += std::max<sim::Tick>(1, sim::fromSeconds(gap));
-                    if (t > horizon)
-                        break;
-                    crashes.push_back(CrashEvent{t, i, t + downtime});
-                    t += downtime; // next crash after the restart
-                }
-            }
-            std::sort(crashes.begin(), crashes.end(),
-                      [](const CrashEvent& a, const CrashEvent& b) {
-                          return a.at != b.at ? a.at < b.at
-                                              : a.node < b.node;
-                      });
-        }
     }
+    const std::vector<CrashEvent> crashes = drawCrashSchedule(
+        plan, _config.node.seed, _nodes.size(), horizon);
 
     // Circuit breakers (rc::admission): before each routing decision,
     // feed every node's new failure/success outcomes into its breaker
@@ -208,6 +208,9 @@ Cluster::run(const std::vector<trace::Arrival>& arrivals)
             node->invoker().rejectedInvocations();
         result.shedDeadline += node->invoker().shedDeadlineCount();
         result.shedPressure += node->invoker().shedPressureCount();
+        result.admittedInvocations +=
+            node->invoker().admittedInvocations();
+        result.engineEvents += node->engine().executedEvents();
     }
     for (const auto& breaker : _breakers)
         result.breakerOpens += breaker.openCount();

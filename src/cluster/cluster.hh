@@ -60,7 +60,37 @@ struct ClusterResult
     std::uint64_t shedPressure = 0;
     /** Circuit-breaker open transitions across all nodes. */
     std::uint64_t breakerOpens = 0;
+    /** Arrivals admitted across all nodes (incl. re-routed work). */
+    std::uint64_t admittedInvocations = 0;
+    /** Discrete events executed across all node engines. */
+    std::uint64_t engineEvents = 0;
+    /**
+     * Barrier windows the sharded core processed (0 on the legacy
+     * serial path). Shard-count independent, so it doubles as a
+     * determinism pin in report CSVs.
+     */
+    std::uint64_t windows = 0;
 };
+
+/** One pre-drawn node crash (cluster-managed fault injection). */
+struct CrashEvent
+{
+    sim::Tick at = 0;
+    std::size_t node = 0;
+    sim::Tick downUntil = 0;
+};
+
+/**
+ * Pre-draw the per-node crash schedule for @p nodes nodes up to
+ * @p horizon, exactly as Cluster::run does: one dedicated Rng stream
+ * per node derived from @p seed, crashes sorted by (time, node).
+ * Pre-drawing keeps the schedule independent of routing noise — and,
+ * for the sharded core, independent of the shard partitioning.
+ */
+std::vector<CrashEvent> drawCrashSchedule(const fault::FaultPlan& plan,
+                                          std::uint64_t seed,
+                                          std::size_t nodes,
+                                          sim::Tick horizon);
 
 /** A set of worker nodes behind one scheduler. */
 class Cluster

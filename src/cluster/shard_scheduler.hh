@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Barrier-time scheduling for the sharded cluster core.
+ *
+ * The legacy ClusterScheduler inspects live node objects, which
+ * forces the whole cluster onto one timeline (every node must be
+ * advanced to the arrival instant before each pick). The sharded
+ * core instead routes against *summaries*: per-node PODs captured by
+ * each shard at the last barrier. Decisions therefore see state that
+ * is up to one lookahead window stale — exactly the information a
+ * real inter-node scheduler would have, since placement messages take
+ * a network hop anyway.
+ *
+ * Every rule here is a pure function of the summary array plus the
+ * scheduler's own deterministic state (rotation cursor, affinity
+ * map), so routing is bit-identical for any shard or thread count.
+ * Locality is approximated by *affinity*: a function is routed back
+ * to the node that served it last, which is where its warm User
+ * container lives unless the pool evicted it. Within a routing
+ * window the scheduler also models its own placements (in-flight
+ * bump, idle-capacity decrement) so a burst does not dogpile one
+ * node just because summaries refresh only at barriers.
+ */
+
+#ifndef RC_CLUSTER_SHARD_SCHEDULER_HH_
+#define RC_CLUSTER_SHARD_SCHEDULER_HH_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cluster/scheduler.hh"
+#include "workload/catalog.hh"
+#include "workload/types.hh"
+
+namespace rc::cluster {
+
+/**
+ * Barrier-time snapshot of one node, written by the owning shard at
+ * the end of each window and read by the coordinator. POD on purpose:
+ * shards fill disjoint slots of one flat vector, no locks needed.
+ */
+struct NodeSummary
+{
+    /** Node is crashed (no new work). */
+    std::uint8_t down = 0;
+    /** Circuit breaker open (set by the coordinator, not the shard). */
+    std::uint8_t tripped = 0;
+    /** In-flight plus queued invocations (load signal). */
+    std::uint32_t inFlightPlusQueued = 0;
+    /** Pool resident memory (tie-break for least-loaded). */
+    double usedMemoryMb = 0.0;
+    /** Idle Bare containers available for sharing. */
+    std::uint32_t idleBare = 0;
+    /** Idle Lang containers per language. */
+    std::array<std::uint32_t, workload::kLanguageCount> idleLang{};
+    /** Cumulative invoker failures (circuit-breaker feed). */
+    std::uint64_t failures = 0;
+    /** Cumulative completed invocations (circuit-breaker feed). */
+    std::uint64_t successes = 0;
+};
+
+/** Deterministic summary-based router (same modes as the legacy one). */
+class ShardScheduler
+{
+  public:
+    ShardScheduler(Scheduling scheduling, const workload::Catalog& catalog);
+
+    /**
+     * Pick the node to serve @p function given barrier summaries
+     * @p nodes. Mutates the chosen summary (in-window placement
+     * model) and the affinity map. Deterministic.
+     */
+    std::size_t pick(std::vector<NodeSummary>& nodes,
+                     workload::FunctionId function);
+
+    Scheduling scheduling() const { return _scheduling; }
+
+  private:
+    static bool
+    unavailable(const NodeSummary& s)
+    {
+        return s.down != 0 || s.tripped != 0;
+    }
+
+    std::size_t leastLoaded(const std::vector<NodeSummary>& nodes) const;
+
+    /** Record a placement in the in-window model. */
+    void place(NodeSummary& node, workload::FunctionId function,
+               std::size_t index);
+
+    Scheduling _scheduling;
+    const workload::Catalog& _catalog;
+    std::size_t _cursor = 0;
+    /** function -> node + 1 that served it last (0 = never placed). */
+    std::vector<std::uint32_t> _affinity;
+};
+
+} // namespace rc::cluster
+
+#endif // RC_CLUSTER_SHARD_SCHEDULER_HH_

@@ -1,0 +1,404 @@
+#include "cluster/sharded_cluster.hh"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <thread>
+
+#include "sim/logging.hh"
+
+namespace rc::cluster {
+
+namespace {
+
+/** Threads actually worth spawning for @p shards partitions. */
+std::size_t
+defaultThreads(std::size_t shards)
+{
+    const std::size_t hw = std::thread::hardware_concurrency();
+    return std::max<std::size_t>(1, std::min(shards, hw == 0 ? 1 : hw));
+}
+
+} // namespace
+
+ShardedCluster::ShardedCluster(const workload::Catalog& catalog,
+                               const PolicyFactory& factory,
+                               ClusterConfig config, ShardedConfig sharded)
+    : _catalog(catalog), _config(config), _sharded(sharded),
+      _scheduler(config.scheduling, catalog)
+{
+    if (config.nodes == 0)
+        sim::fatal("ShardedCluster: need at least one node");
+    // Same observer rule as the legacy Cluster: one Observer cannot
+    // span several engine timelines, so nodes run uninstrumented and
+    // the configured observer collects cluster-level events only —
+    // emitted exclusively by the single-threaded coordinator.
+    _obs = config.node.observer;
+    for (std::size_t i = 0; i < config.nodes; ++i) {
+        platform::NodeConfig nodeConfig = config.node;
+        nodeConfig.seed = config.node.seed + i; // independent exec draws
+        nodeConfig.observer = nullptr;
+        _nodes.push_back(std::make_unique<platform::Node>(
+            _catalog, factory(), nodeConfig));
+    }
+    const admission::AdmissionPlan& admission = config.node.admission;
+    if (admission.breakerFailureThreshold > 0.0) {
+        admission::CircuitBreaker::Config breaker;
+        breaker.failureThreshold = admission.breakerFailureThreshold;
+        breaker.window = sim::fromSeconds(admission.breakerWindowSeconds);
+        breaker.cooloff =
+            sim::fromSeconds(admission.breakerCooloffSeconds);
+        breaker.minSamples = admission.breakerMinSamples;
+        _breakers.assign(_nodes.size(),
+                         admission::CircuitBreaker(breaker));
+    }
+
+    _lookahead = _sharded.lookahead > 0
+                     ? _sharded.lookahead
+                     : core::CostModel(_sharded.cost).crossShardLookahead();
+
+    // Round-robin node -> shard assignment balances load; the mapping
+    // never influences results (see header), only wall-clock.
+    const std::size_t shards =
+        std::max<std::size_t>(1, std::min(_sharded.shards, _nodes.size()));
+    _shards.resize(shards);
+    for (std::size_t i = 0; i < _nodes.size(); ++i)
+        _shards[i % shards].nodes.push_back(i);
+    _threads = _sharded.threads > 0
+                   ? std::min(_sharded.threads, shards)
+                   : defaultThreads(shards);
+
+    _summaries.resize(_nodes.size());
+    _inboxes.resize(_nodes.size());
+    _seenFailures.assign(_nodes.size(), 0);
+    _seenSuccesses.assign(_nodes.size(), 0);
+    _seenTransitions.assign(_nodes.size(), 0);
+}
+
+NodeSummary
+ShardedCluster::captureSummary(platform::Node& node) const
+{
+    NodeSummary s;
+    s.down = node.isDown() ? 1 : 0;
+    s.inFlightPlusQueued = static_cast<std::uint32_t>(
+        node.invoker().inFlightInvocations() +
+        node.invoker().queuedInvocations());
+    s.usedMemoryMb = node.pool().usedMemoryMb();
+    s.idleBare = static_cast<std::uint32_t>(node.pool().idleBareCount());
+    for (std::size_t l = 0; l < workload::kLanguageCount; ++l) {
+        s.idleLang[l] = static_cast<std::uint32_t>(
+            node.pool().idleLangCount(static_cast<workload::Language>(l)));
+    }
+    s.failures = node.invoker().failedInvocations();
+    s.successes = node.metrics().total();
+    return s;
+}
+
+void
+ShardedCluster::runShardWindow(Shard& shard, sim::Tick windowEnd)
+{
+    const sim::Tick failoverHop = std::max(
+        _lookahead, sim::fromMillis(_sharded.cost.failoverHopMillis));
+    for (const std::size_t index : shard.nodes) {
+        platform::Node& node = *_nodes[index];
+        std::vector<ShardInput>& inbox = _inboxes[index];
+        // Idle fast path: a node with no inputs and no event due
+        // before the barrier does nothing this window, and its
+        // summary cannot have changed — skip it entirely. The check
+        // reads only this node's state, so it is independent of the
+        // shard partitioning.
+        if (inbox.empty() && node.engine().nextEventAt() >= windowEnd)
+            continue;
+        if (!inbox.empty()) {
+            // The coordinator appends per stream (failover, arrivals,
+            // crashes), so a node's inbox can interleave; one sort
+            // restores the global (tick, kind, seq) drain order.
+            std::sort(inbox.begin(), inbox.end(), shardInputBefore);
+            for (const ShardInput& input : inbox) {
+                node.advanceTo(input.tick);
+                if (input.kind == ShardInput::kCrash) {
+                    const auto lost = node.crashNow(input.downUntil);
+                    shard.crashLog.push_back(
+                        {input.tick, static_cast<std::uint32_t>(index),
+                         input.downUntil,
+                         static_cast<std::uint32_t>(lost.size())});
+                    // Displaced work re-enters at the next barrier,
+                    // one failover hop after the crash. The hop is
+                    // >= the lookahead by construction, so delivery
+                    // never lands inside this window.
+                    std::uint32_t i = 0;
+                    for (const auto function : lost) {
+                        shard.outbox.push_back(
+                            {std::max(windowEnd,
+                                      input.tick + failoverHop),
+                             input.tick,
+                             static_cast<std::uint32_t>(index), i++,
+                             function});
+                    }
+                } else {
+                    node.invokeNow(input.function);
+                }
+            }
+            inbox.clear();
+        }
+        // Windows are half-open: drain everything strictly before the
+        // barrier, then publish this node's summary slot.
+        node.advanceTo(windowEnd - 1);
+        _summaries[index] = captureSummary(node);
+    }
+}
+
+void
+ShardedCluster::refreshBreakers(sim::Tick now)
+{
+    if (_breakers.empty())
+        return;
+    for (std::size_t i = 0; i < _nodes.size(); ++i) {
+        admission::CircuitBreaker& breaker = _breakers[i];
+        // Feed outcome deltas from the barrier summaries — the
+        // sharded analogue of the legacy per-arrival breaker feed.
+        for (; _seenFailures[i] < _summaries[i].failures;
+             ++_seenFailures[i])
+            breaker.recordFailure(now);
+        for (; _seenSuccesses[i] < _summaries[i].successes;
+             ++_seenSuccesses[i])
+            breaker.recordSuccess(now);
+        _summaries[i].tripped = breaker.allows(now) ? 0 : 1;
+        const auto& transitions = breaker.transitions();
+        for (; _seenTransitions[i] < transitions.size();
+             ++_seenTransitions[i]) {
+            const auto& tr = transitions[_seenTransitions[i]];
+            if (_obs == nullptr)
+                continue;
+            if (tr.to == admission::CircuitBreaker::State::Open) {
+                _obs->counters().bump(obs::Counter::BreakerOpenTotal,
+                                      tr.at);
+            }
+            _obs->emit(tr.at, obs::EventType::BreakerStateChanged, 0,
+                       0xffffffffU, static_cast<std::uint8_t>(tr.to),
+                       static_cast<std::uint8_t>(tr.from),
+                       static_cast<double>(i));
+        }
+    }
+}
+
+ClusterResult
+ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
+{
+    ClusterResult result;
+    result.schedulingName = toString(_config.scheduling);
+
+    sim::Tick horizon = 0;
+    for (const auto& arrival : arrivals)
+        horizon = std::max(horizon, arrival.time);
+
+    for (auto& node : _nodes)
+        node->armAdmission(horizon);
+    const fault::FaultPlan& plan = _config.node.fault;
+    if (plan.active()) {
+        for (auto& node : _nodes)
+            node->armFaults(horizon, /*manageNodeCrashes=*/false);
+    }
+    const std::vector<CrashEvent> crashes = drawCrashSchedule(
+        plan, _config.node.seed, _nodes.size(), horizon);
+
+    const sim::Tick L = _lookahead;
+    // Staleness cap, rounded up to whole windows so every barrier
+    // stays on the lookahead grid.
+    const sim::Tick maxStride =
+        std::max(L, (_sharded.maxSummaryStaleness + L - 1) / L * L);
+
+    for (std::size_t i = 0; i < _nodes.size(); ++i)
+        _summaries[i] = captureSummary(*_nodes[i]);
+
+    sim::ShardExecutor executor(_threads);
+    const auto windowRound = [this](sim::Tick windowEnd) {
+        return [this, windowEnd](std::size_t s) {
+            runShardWindow(_shards[s], windowEnd);
+        };
+    };
+
+    std::vector<FailoverItem> pendingFailover;
+    std::size_t arrivalIdx = 0;
+    std::size_t crashIdx = 0;
+    std::size_t failIdx = 0;
+    std::uint64_t seq = 0;
+    sim::Tick lastBarrier = 0;
+    constexpr sim::Tick kNever = std::numeric_limits<sim::Tick>::max();
+
+    while (true) {
+        sim::Tick nextTick = kNever;
+        if (arrivalIdx < arrivals.size())
+            nextTick = std::min(nextTick, arrivals[arrivalIdx].time);
+        if (crashIdx < crashes.size())
+            nextTick = std::min(nextTick, crashes[crashIdx].at);
+        if (failIdx < pendingFailover.size())
+            nextTick =
+                std::min(nextTick, pendingFailover[failIdx].deliverAt);
+        if (nextTick == kNever)
+            break;
+
+        sim::Tick windowStart = nextTick / L * L;
+        windowStart = std::min(windowStart, lastBarrier + maxStride);
+        const sim::Tick windowEnd = windowStart + L;
+        ++result.windows;
+
+        // ---- coordinator phase (single-threaded) --------------------
+        refreshBreakers(windowStart);
+        // Drain the three input streams due this window in one merged
+        // (tick, class) order — crashes outrank failover deliveries,
+        // which outrank fresh arrivals at the same instant, matching
+        // the legacy serial cluster.
+        while (true) {
+            const sim::Tick crashAt = crashIdx < crashes.size()
+                                          ? crashes[crashIdx].at
+                                          : kNever;
+            const sim::Tick failAt =
+                failIdx < pendingFailover.size()
+                    ? pendingFailover[failIdx].deliverAt
+                    : kNever;
+            const sim::Tick arriveAt = arrivalIdx < arrivals.size()
+                                           ? arrivals[arrivalIdx].time
+                                           : kNever;
+            const sim::Tick due =
+                std::min(crashAt, std::min(failAt, arriveAt));
+            if (due >= windowEnd)
+                break;
+            if (crashAt == due) {
+                const CrashEvent& ev = crashes[crashIdx++];
+                // Routing inside this window must already see the
+                // node as gone; the summary refresh at the barrier
+                // re-evaluates isDown() for the windows that follow.
+                _summaries[ev.node].down = 1;
+                _inboxes[ev.node].push_back(
+                    {ev.at, seq++, workload::kInvalidFunction,
+                     ev.downUntil, ShardInput::kCrash});
+            } else if (failAt == due) {
+                const FailoverItem& item = pendingFailover[failIdx++];
+                const std::size_t target =
+                    _scheduler.pick(_summaries, item.function);
+                ++result.reroutedInvocations;
+                if (_obs != nullptr) {
+                    _obs->counters().bump(obs::Counter::FailoverRouted,
+                                          item.deliverAt);
+                    _obs->emit(item.deliverAt,
+                               obs::EventType::FailoverRouted, 0,
+                               item.function,
+                               static_cast<std::uint8_t>(target),
+                               static_cast<std::uint8_t>(item.fromNode));
+                }
+                _inboxes[target].push_back({item.deliverAt, seq++,
+                                            item.function, 0,
+                                            ShardInput::kInvoke});
+            } else {
+                const trace::Arrival& arrival = arrivals[arrivalIdx++];
+                const std::size_t target =
+                    _scheduler.pick(_summaries, arrival.function);
+                if (_obs != nullptr) {
+                    _obs->emit(arrival.time,
+                               obs::EventType::ClusterRouted, 0,
+                               arrival.function,
+                               static_cast<std::uint8_t>(target));
+                }
+                _inboxes[target].push_back({arrival.time, seq++,
+                                            arrival.function, 0,
+                                            ShardInput::kInvoke});
+            }
+        }
+
+        // ---- parallel phase -----------------------------------------
+        executor.runRound(_shards.size(), windowRound(windowEnd));
+
+        // ---- merge phase (single-threaded, sort-once) ---------------
+        // Crash log: merged by (tick, node), independent of which
+        // shard observed what.
+        std::vector<CrashRecord> crashed;
+        for (Shard& shard : _shards) {
+            crashed.insert(crashed.end(), shard.crashLog.begin(),
+                           shard.crashLog.end());
+            shard.crashLog.clear();
+        }
+        std::sort(crashed.begin(), crashed.end(),
+                  [](const CrashRecord& a, const CrashRecord& b) {
+                      return a.at != b.at ? a.at < b.at
+                                          : a.node < b.node;
+                  });
+        for (const CrashRecord& record : crashed) {
+            ++result.nodeCrashes;
+            if (_obs != nullptr) {
+                _obs->counters().bump(obs::Counter::NodeCrashes,
+                                      record.at);
+                _obs->emit(record.at, obs::EventType::NodeCrashed, 0, 0,
+                           static_cast<std::uint8_t>(record.node), 0,
+                           sim::toSeconds(record.downUntil - record.at),
+                           static_cast<double>(record.lost));
+            }
+        }
+        // Outboxes: displaced work queues for re-routing, ordered by
+        // (crash tick, node, position) — again partition-independent.
+        pendingFailover.erase(pendingFailover.begin(),
+                              pendingFailover.begin() +
+                                  static_cast<std::ptrdiff_t>(failIdx));
+        failIdx = 0;
+        bool grew = false;
+        for (Shard& shard : _shards) {
+            if (!shard.outbox.empty()) {
+                pendingFailover.insert(pendingFailover.end(),
+                                       shard.outbox.begin(),
+                                       shard.outbox.end());
+                shard.outbox.clear();
+                grew = true;
+            }
+        }
+        if (grew) {
+            std::sort(pendingFailover.begin(), pendingFailover.end(),
+                      [](const FailoverItem& a, const FailoverItem& b) {
+                          if (a.deliverAt != b.deliverAt)
+                              return a.deliverAt < b.deliverAt;
+                          if (a.crashAt != b.crashAt)
+                              return a.crashAt < b.crashAt;
+                          if (a.fromNode != b.fromNode)
+                              return a.fromNode < b.fromNode;
+                          return a.index < b.index;
+                      });
+        }
+        lastBarrier = windowEnd;
+    }
+
+    // Drain: no cross-shard input remains, so every node can run to
+    // completion and flush independently.
+    executor.runRound(_shards.size(), [this](std::size_t s) {
+        for (const std::size_t index : _shards[s].nodes) {
+            _nodes[index]->engine().run();
+            _nodes[index]->finalize();
+        }
+    });
+
+    for (const auto& node : _nodes) {
+        const auto& metrics = node->metrics();
+        result.invocations += metrics.total();
+        result.coldStarts += metrics.countOf(platform::StartupType::Cold);
+        result.totalStartupSeconds += metrics.totalStartupSeconds();
+        result.totalWasteMbSeconds +=
+            node->pool().wasteLog().totalWasteMbSeconds();
+        result.strandedInvocations += node->strandedInvocations();
+        result.perNodeInvocations.push_back(metrics.total());
+        result.failedInvocations += node->invoker().failedInvocations();
+        result.rejectedInvocations +=
+            node->invoker().rejectedInvocations();
+        result.shedDeadline += node->invoker().shedDeadlineCount();
+        result.shedPressure += node->invoker().shedPressureCount();
+        result.admittedInvocations +=
+            node->invoker().admittedInvocations();
+        result.engineEvents += node->engine().executedEvents();
+    }
+    for (const auto& breaker : _breakers)
+        result.breakerOpens += breaker.openCount();
+    if (result.invocations > 0) {
+        result.meanStartupSeconds = result.totalStartupSeconds /
+            static_cast<double>(result.invocations);
+    }
+    return result;
+}
+
+} // namespace rc::cluster

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Sharded conservative-synchronization cluster core: one cluster run
+ * on all cores, bit-identical at any shard and thread count.
+ *
+ * The legacy Cluster steps every node on one thread, advancing the
+ * whole fleet to each arrival instant. The sharded core partitions
+ * nodes into shards (node i -> shard i % shards), each stepping its
+ * nodes' engines on a worker thread, and synchronizes them on a
+ * barrier grid whose pitch is the *lookahead* L — the minimum
+ * cross-node hop latency from the cost model. Because no effect can
+ * cross nodes faster than L, a shard may run a whole window
+ * [W, W + L) without observing the others.
+ *
+ * All cross-shard interaction is mediated by the single-threaded
+ * coordinator at barriers:
+ *
+ *  - arrivals in the window are routed against barrier-time node
+ *    summaries (ShardScheduler) and appended to per-node inboxes;
+ *  - pre-drawn node crashes are appended to the owning node's inbox;
+ *  - work lost to a crash surfaces in the shard's outbox and is
+ *    re-routed at the next barrier, delivered one failover hop after
+ *    the crash (never earlier than the next window);
+ *  - each shard's crash log and outbox are merged sort-once in a
+ *    partition-independent order, and inboxes are drained in
+ *    (tick, kind, sequence) order, where the sequence is assigned by
+ *    the coordinator.
+ *
+ * Determinism argument (DESIGN.md §11): every coordinator decision is
+ * a pure function of the trace, the pre-drawn crash schedule, and
+ * node summaries; every node's event sequence is a pure function of
+ * its inbox, drained in an order fixed by (tick, kind, seq); and all
+ * merge orders are keyed by (tick, node) rather than by shard. None
+ * of these depend on how nodes are grouped into shards or on how
+ * many threads step them, so report CSVs are byte-identical at any
+ * --shards / thread count. The seed-regression suite pins this at
+ * shards = 1, 2, 8.
+ */
+
+#ifndef RC_CLUSTER_SHARDED_CLUSTER_HH_
+#define RC_CLUSTER_SHARDED_CLUSTER_HH_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.hh"
+#include "cluster/shard_scheduler.hh"
+#include "core/cost_model.hh"
+#include "sim/shard_executor.hh"
+
+namespace rc::cluster {
+
+/** Sharded-execution knobs (on top of a ClusterConfig). */
+struct ShardedConfig
+{
+    /** Number of node partitions; clamped to [1, nodes]. */
+    std::size_t shards = 1;
+    /**
+     * Worker threads stepping the shards; 0 picks
+     * min(shards, hardware concurrency). Never affects results.
+     */
+    std::size_t threads = 0;
+    /**
+     * Barrier-grid pitch in ticks; 0 derives the conservative
+     * lookahead from the cost model's cross-node hop latencies.
+     */
+    sim::Tick lookahead = 0;
+    /**
+     * Summaries are refreshed at least this often while input
+     * remains, even across windows with no arrivals (rounded up to a
+     * whole number of lookahead windows). Bounds routing staleness on
+     * sparse traces.
+     */
+    sim::Tick maxSummaryStaleness = sim::kSecond;
+    /** Source of the hop latencies when lookahead is derived. */
+    core::CostConfig cost;
+};
+
+/**
+ * One cross-shard message: an invocation delivered to a node, or a
+ * pre-drawn crash instant. Inboxes are drained in shardInputBefore
+ * order, which is independent of the shard partitioning.
+ */
+struct ShardInput
+{
+    sim::Tick tick = 0;
+    /** Coordinator-assigned global sequence (deterministic). */
+    std::uint64_t seq = 0;
+    workload::FunctionId function = workload::kInvalidFunction;
+    /** Crash only: restart instant. */
+    sim::Tick downUntil = 0;
+    /** 0 = crash, 1 = invocation; crashes first at equal ticks. */
+    std::uint8_t kind = 1;
+
+    static constexpr std::uint8_t kCrash = 0;
+    static constexpr std::uint8_t kInvoke = 1;
+};
+
+/**
+ * The inbox drain order: (tick, kind, seq). Matches the legacy serial
+ * cluster, which processes crashes due at an arrival instant before
+ * the arrival itself. The seq tie-break is assigned globally by the
+ * coordinator, so the order never depends on the partitioning.
+ */
+inline bool
+shardInputBefore(const ShardInput& a, const ShardInput& b)
+{
+    if (a.tick != b.tick)
+        return a.tick < b.tick;
+    if (a.kind != b.kind)
+        return a.kind < b.kind;
+    return a.seq < b.seq;
+}
+
+/** A Cluster stepped by shards between conservative barriers. */
+class ShardedCluster
+{
+  public:
+    using PolicyFactory = Cluster::PolicyFactory;
+
+    ShardedCluster(const workload::Catalog& catalog,
+                   const PolicyFactory& factory, ClusterConfig config,
+                   ShardedConfig sharded = {});
+
+    /** Route and replay @p arrivals to completion on all nodes. */
+    ClusterResult run(const std::vector<trace::Arrival>& arrivals);
+
+    /** Effective barrier-grid pitch in ticks. */
+    sim::Tick lookahead() const { return _lookahead; }
+
+    /** Effective shard count after clamping. */
+    std::size_t shardCount() const { return _shards.size(); }
+
+    /** Worker threads the run will use. */
+    std::size_t threadCount() const { return _threads; }
+
+    /** Nodes (for inspection in tests). */
+    const std::vector<std::unique_ptr<platform::Node>>& nodes() const
+    {
+        return _nodes;
+    }
+
+    /** Per-node circuit breakers (empty unless the plan arms them). */
+    const std::vector<admission::CircuitBreaker>& breakers() const
+    {
+        return _breakers;
+    }
+
+  private:
+    /** Work a crash displaced, awaiting re-route at the next barrier. */
+    struct FailoverItem
+    {
+        sim::Tick deliverAt = 0;
+        sim::Tick crashAt = 0;
+        std::uint32_t fromNode = 0;
+        /** Position within the crash's lost list (merge tie-break). */
+        std::uint32_t index = 0;
+        workload::FunctionId function = workload::kInvalidFunction;
+    };
+
+    /** Crash observed inside a shard window (merged sort-once). */
+    struct CrashRecord
+    {
+        sim::Tick at = 0;
+        std::uint32_t node = 0;
+        sim::Tick downUntil = 0;
+        std::uint32_t lost = 0;
+    };
+
+    /** Per-shard state; every field is touched only by its shard's
+     *  worker during a window and only by the coordinator between
+     *  windows (the executor's barrier orders the two). */
+    struct Shard
+    {
+        std::vector<std::size_t> nodes;
+        std::vector<CrashRecord> crashLog;
+        std::vector<FailoverItem> outbox;
+    };
+
+    NodeSummary captureSummary(platform::Node& node) const;
+    void runShardWindow(Shard& shard, sim::Tick windowEnd);
+    void refreshBreakers(sim::Tick now);
+
+    const workload::Catalog& _catalog;
+    ClusterConfig _config;
+    ShardedConfig _sharded;
+    sim::Tick _lookahead = 0;
+    std::size_t _threads = 1;
+    ShardScheduler _scheduler;
+    std::vector<std::unique_ptr<platform::Node>> _nodes;
+    std::vector<admission::CircuitBreaker> _breakers;
+    obs::Observer* _obs = nullptr;
+
+    std::vector<Shard> _shards;
+    std::vector<NodeSummary> _summaries;
+    std::vector<std::vector<ShardInput>> _inboxes; //!< node-indexed
+
+    // Circuit-breaker feeds (coordinator-only).
+    std::vector<std::uint64_t> _seenFailures;
+    std::vector<std::uint64_t> _seenSuccesses;
+    std::vector<std::size_t> _seenTransitions;
+};
+
+} // namespace rc::cluster
+
+#endif // RC_CLUSTER_SHARDED_CLUSTER_HH_

@@ -1,0 +1,60 @@
+#include "exp/cluster_run.hh"
+
+#include <ostream>
+
+namespace rc::exp {
+
+cluster::ClusterResult
+runCluster(const workload::Catalog& catalog, const PolicyFactory& factory,
+           const std::vector<trace::Arrival>& arrivals,
+           const ClusterRunConfig& config)
+{
+    cluster::ClusterConfig clusterConfig;
+    clusterConfig.nodes = config.nodes;
+    clusterConfig.node = config.node;
+    clusterConfig.scheduling = config.scheduling;
+    if (config.shards == 0) {
+        cluster::Cluster cluster(catalog, factory, clusterConfig);
+        return cluster.run(arrivals);
+    }
+    cluster::ShardedConfig sharded;
+    sharded.shards = config.shards;
+    sharded.threads = config.threads;
+    sharded.cost = config.cost;
+    cluster::ShardedCluster cluster(catalog, factory, clusterConfig,
+                                    sharded);
+    return cluster.run(arrivals);
+}
+
+void
+writeClusterSummaryCsv(std::ostream& out,
+                       const cluster::ClusterResult& result)
+{
+    out << "scheduling,nodes,windows,invocations,cold,mean_startup_s,"
+           "total_startup_s,waste_gbs,stranded,crashes,rerouted,failed,"
+           "rejected,shed_deadline,shed_pressure,breaker_opens,admitted,"
+           "engine_events\n";
+    out << result.schedulingName << ','
+        << result.perNodeInvocations.size() << ',' << result.windows
+        << ',' << result.invocations << ',' << result.coldStarts << ','
+        << result.meanStartupSeconds << ','
+        << result.totalStartupSeconds << ','
+        << result.totalWasteMbSeconds / 1024.0 << ','
+        << result.strandedInvocations << ',' << result.nodeCrashes << ','
+        << result.reroutedInvocations << ',' << result.failedInvocations
+        << ',' << result.rejectedInvocations << ','
+        << result.shedDeadline << ',' << result.shedPressure << ','
+        << result.breakerOpens << ',' << result.admittedInvocations
+        << ',' << result.engineEvents << '\n';
+}
+
+void
+writeClusterPerNodeCsv(std::ostream& out,
+                       const cluster::ClusterResult& result)
+{
+    out << "node,invocations\n";
+    for (std::size_t i = 0; i < result.perNodeInvocations.size(); ++i)
+        out << i << ',' << result.perNodeInvocations[i] << '\n';
+}
+
+} // namespace rc::exp

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Cluster-mode experiment harness: one entry point that picks the
+ * legacy serial core or the sharded parallel core, plus the CSV
+ * writers the determinism suite diffs byte-for-byte.
+ */
+
+#ifndef RC_EXP_CLUSTER_RUN_HH_
+#define RC_EXP_CLUSTER_RUN_HH_
+
+#include <iosfwd>
+
+#include "cluster/sharded_cluster.hh"
+#include "exp/experiment.hh"
+
+namespace rc::exp {
+
+/** Cluster-run knobs on top of the shared node configuration. */
+struct ClusterRunConfig
+{
+    /** Number of worker nodes. */
+    std::size_t nodes = 4;
+    /** Routing policy. */
+    cluster::Scheduling scheduling = cluster::Scheduling::LocalityAware;
+    /**
+     * Node partitions for the sharded core; 0 selects the legacy
+     * serial Cluster (exact-state routing), >= 1 the sharded core
+     * (barrier-time summary routing). The two cores are distinct
+     * semantics: results are bit-identical across shard *counts*, not
+     * across the 0 / >= 1 boundary.
+     */
+    std::size_t shards = 0;
+    /** Worker threads for the sharded core; 0 picks automatically. */
+    std::size_t threads = 0;
+    /** Per-node configuration. */
+    platform::NodeConfig node;
+    /** Hop latencies the sharded core derives its lookahead from. */
+    core::CostConfig cost;
+};
+
+/** Run @p factory's policy over @p arrivals on a cluster. */
+cluster::ClusterResult
+runCluster(const workload::Catalog& catalog, const PolicyFactory& factory,
+           const std::vector<trace::Arrival>& arrivals,
+           const ClusterRunConfig& config);
+
+/**
+ * One header + one row, every ClusterResult aggregate:
+ * scheduling,nodes,windows,invocations,cold,mean_startup_s,
+ * total_startup_s,waste_gbs,stranded,crashes,rerouted,failed,
+ * rejected,shed_deadline,shed_pressure,breaker_opens,admitted,
+ * engine_events
+ *
+ * All sums are accumulated in node order regardless of shard count,
+ * so the bytes written here are the determinism pin.
+ */
+void writeClusterSummaryCsv(std::ostream& out,
+                            const cluster::ClusterResult& result);
+
+/** One row per node: node,invocations (load-balance view). */
+void writeClusterPerNodeCsv(std::ostream& out,
+                            const cluster::ClusterResult& result);
+
+} // namespace rc::exp
+
+#endif // RC_EXP_CLUSTER_RUN_HH_

@@ -38,6 +38,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "sim/inplace_callback.hh"
@@ -128,6 +129,21 @@ class Engine
 
     /** Number of live (scheduled, non-cancelled) events. */
     std::size_t pendingEvents() const { return _live; }
+
+    /**
+     * Earliest pending tick, or Tick's max when the queue is empty.
+     * Conservative: the front bucket may hold only cancelled events,
+     * so the returned tick can be earlier than the next event that
+     * will actually fire — callers may poll too early, never too
+     * late. The sharded cluster core uses this to skip idle nodes in
+     * a barrier window without touching the heap.
+     */
+    Tick
+    nextEventAt() const
+    {
+        return _heap.empty() ? std::numeric_limits<Tick>::max()
+                             : _heap[0].when;
+    }
 
   private:
     static constexpr std::uint32_t kNil = 0xffffffffu;

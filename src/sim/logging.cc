@@ -1,5 +1,6 @@
 #include "sim/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <stdexcept>
 
@@ -7,7 +8,10 @@ namespace rc::sim {
 
 namespace {
 
-LogLevel gLevel = LogLevel::Quiet;
+// Atomic because the sharded cluster core evaluates RC_LOG gates on
+// worker threads while a caller may flip the level; relaxed order is
+// enough — the level is a filter, not a synchronization point.
+std::atomic<LogLevel> gLevel{LogLevel::Quiet};
 
 const char*
 levelName(LogLevel level)
@@ -26,19 +30,20 @@ levelName(LogLevel level)
 LogLevel
 logLevel()
 {
-    return gLevel;
+    return gLevel.load(std::memory_order_relaxed);
 }
 
 void
 setLogLevel(LogLevel level)
 {
-    gLevel = level;
+    gLevel.store(level, std::memory_order_relaxed);
 }
 
 bool
 logEnabled(LogLevel level)
 {
-    return level >= gLevel && gLevel != LogLevel::Quiet &&
+    const LogLevel current = gLevel.load(std::memory_order_relaxed);
+    return level >= current && current != LogLevel::Quiet &&
            level != LogLevel::Quiet;
 }
 

@@ -1,0 +1,101 @@
+#include "sim/shard_executor.hh"
+
+namespace rc::sim {
+
+ShardExecutor::ShardExecutor(std::size_t workers)
+    : _workers(workers == 0 ? 1 : workers)
+{
+    if (_workers == 1)
+        return; // inline mode: no threads at all
+    _threads.reserve(_workers);
+    for (std::size_t i = 0; i < _workers; ++i)
+        _threads.emplace_back([this] { workerLoop(); });
+}
+
+ShardExecutor::~ShardExecutor()
+{
+    if (_threads.empty())
+        return;
+    {
+        const std::lock_guard<std::mutex> lock(_mutex);
+        _stopping = true;
+        ++_generation;
+    }
+    _start.notify_all();
+    for (auto& thread : _threads)
+        thread.join();
+}
+
+void
+ShardExecutor::drainInline()
+{
+    const RoundFn& fn = *_fn;
+    std::size_t i;
+    while ((i = _cursor.fetch_add(1, std::memory_order_relaxed)) < _count)
+        fn(i);
+}
+
+void
+ShardExecutor::runRound(std::size_t count, const RoundFn& fn)
+{
+    if (count == 0)
+        return;
+    _fn = &fn;
+    _count = count;
+    _cursor.store(0, std::memory_order_relaxed);
+    _error = nullptr;
+
+    if (_threads.empty()) {
+        // Inline mode; exceptions propagate naturally.
+        drainInline();
+        _fn = nullptr;
+        return;
+    }
+
+    std::uint64_t round;
+    {
+        const std::lock_guard<std::mutex> lock(_mutex);
+        round = ++_generation;
+        _active = _threads.size();
+    }
+    _start.notify_all();
+    {
+        std::unique_lock<std::mutex> lock(_mutex);
+        _done.wait(lock, [this] { return _active == 0; });
+    }
+    (void)round;
+    _fn = nullptr;
+    if (_error)
+        std::rethrow_exception(_error);
+}
+
+void
+ShardExecutor::workerLoop()
+{
+    std::uint64_t seen = 0;
+    while (true) {
+        {
+            std::unique_lock<std::mutex> lock(_mutex);
+            _start.wait(lock, [this, seen] {
+                return _generation != seen;
+            });
+            seen = _generation;
+            if (_stopping)
+                return;
+        }
+        try {
+            drainInline();
+        } catch (...) {
+            const std::lock_guard<std::mutex> lock(_mutex);
+            if (!_error)
+                _error = std::current_exception();
+        }
+        {
+            const std::lock_guard<std::mutex> lock(_mutex);
+            if (--_active == 0)
+                _done.notify_all();
+        }
+    }
+}
+
+} // namespace rc::sim

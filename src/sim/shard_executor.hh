@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Persistent worker crew for sharded simulation rounds.
+ *
+ * A sharded cluster run alternates short serial coordinator phases
+ * with parallel shard phases, thousands of times per run. Spawning
+ * threads per phase would dominate the run, so the executor keeps a
+ * fixed crew alive and hands it one *round* at a time: runRound(n, fn)
+ * invokes fn(i) for every i in [0, n) across the crew and returns
+ * when all of them finished. The mutex/condition-variable handshake
+ * on both edges of a round gives the caller the happens-before
+ * guarantees it needs: everything the workers wrote during the round
+ * is visible to the caller after runRound returns, and everything the
+ * caller wrote before runRound is visible to the workers.
+ *
+ * Determinism: the executor never influences results. Work items are
+ * pulled from an atomic cursor, so *which* worker runs an item (and
+ * in what interleaving) varies between executions — callers must only
+ * submit items that touch disjoint state (rc::cluster shards do:
+ * every node belongs to exactly one shard). Built with one worker,
+ * the executor runs rounds inline on the calling thread, which keeps
+ * `--shards 1` runs literally single-threaded.
+ */
+
+#ifndef RC_SIM_SHARD_EXECUTOR_HH_
+#define RC_SIM_SHARD_EXECUTOR_HH_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace rc::sim {
+
+/** Fixed crew of workers executing synchronized rounds. */
+class ShardExecutor
+{
+  public:
+    using RoundFn = std::function<void(std::size_t)>;
+
+    /**
+     * @param workers  Crew size; clamped to at least 1. With one
+     *                 worker no thread is ever spawned and rounds run
+     *                 inline on the caller.
+     */
+    explicit ShardExecutor(std::size_t workers);
+
+    ShardExecutor(const ShardExecutor&) = delete;
+    ShardExecutor& operator=(const ShardExecutor&) = delete;
+
+    ~ShardExecutor();
+
+    /** Crew size (1 means inline execution). */
+    std::size_t workers() const { return _workers; }
+
+    /**
+     * Run @p fn(i) for every i in [0, count) and wait for completion.
+     * Items are claimed through an atomic cursor, so @p fn must be
+     * safe to call concurrently for distinct indices. The first
+     * exception a round throws is rethrown here after every worker
+     * went back to sleep.
+     */
+    void runRound(std::size_t count, const RoundFn& fn);
+
+  private:
+    void workerLoop();
+    void drainInline();
+
+    std::size_t _workers;
+    std::vector<std::thread> _threads;
+
+    std::mutex _mutex;
+    std::condition_variable _start;
+    std::condition_variable _done;
+    std::uint64_t _generation = 0; //!< bumps once per round
+    std::size_t _active = 0;       //!< workers still in the round
+    bool _stopping = false;
+
+    const RoundFn* _fn = nullptr;
+    std::size_t _count = 0;
+    std::atomic<std::size_t> _cursor{0};
+    std::exception_ptr _error;
+};
+
+} // namespace rc::sim
+
+#endif // RC_SIM_SHARD_EXECUTOR_HH_

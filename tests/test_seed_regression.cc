@@ -15,7 +15,10 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
+
 #include "core/ablations.hh"
+#include "exp/cluster_run.hh"
 #include "exp/experiment.hh"
 #include "trace/generator.hh"
 #include "trace/replay.hh"
@@ -169,6 +172,70 @@ TEST(SeedRegression, AdmissionControlledNumbersArePinned)
         EXPECT_DOUBLE_EQ(result.metrics.meanEndToEndSeconds(),
                          golden.meanEndToEndSeconds)
             << golden.label;
+    }
+}
+
+// ---- sharded parallel cluster core regression ------------------------
+
+TEST(SeedRegression, ShardedClusterNumbersArePinnedAtAnyShardCount)
+{
+    // RainbowCake on the same 60-minute seed-4242 trace, routed
+    // across an 8-node cluster under a chaos plan (node crashes +
+    // exec faults), replayed on the sharded parallel core at
+    // shards = 1, 2, 8. The report CSV must be byte-identical at
+    // every shard count — that is the core's central contract — and
+    // must match the golden below exactly. Re-capture the golden in
+    // the same commit when a change intentionally moves it.
+    const auto catalog = workload::Catalog::standard20();
+    trace::WorkloadTraceConfig traceConfig;
+    traceConfig.minutes = 60;
+    traceConfig.targetInvocations = 5000;
+    traceConfig.seed = 4242;
+    const auto arrivals = trace::expandArrivals(
+        trace::generateAzureLike(catalog, traceConfig));
+    ASSERT_EQ(arrivals.size(), 842u);
+
+    std::string golden;
+    for (const std::size_t shards : {1u, 2u, 8u}) {
+        exp::ClusterRunConfig config;
+        config.nodes = 8;
+        config.shards = shards;
+        config.threads = shards == 1 ? 1 : 0; // 0: auto thread count
+        config.node.pool.memoryBudgetMb = 8192.0;
+        config.node.fault.nodeMtbfSeconds = 600.0;
+        config.node.fault.nodeDowntimeSeconds = 30.0;
+        config.node.fault.execCrashProb = 0.01;
+        config.node.fault.maxRetries = 2;
+        const auto result = exp::runCluster(
+            catalog,
+            [&catalog] { return core::makeRainbowCake(catalog); },
+            arrivals, config);
+
+        EXPECT_EQ(result.invocations, 842u) << shards;
+        EXPECT_EQ(result.coldStarts, 53u) << shards;
+        EXPECT_EQ(result.nodeCrashes, 54u) << shards;
+        EXPECT_EQ(result.reroutedInvocations, 5u) << shards;
+        EXPECT_EQ(result.failedInvocations, 0u) << shards;
+        EXPECT_EQ(result.strandedInvocations, 0u) << shards;
+        EXPECT_EQ(result.windows, 3905u) << shards;
+        EXPECT_EQ(result.admittedInvocations, 847u) << shards;
+        EXPECT_EQ(result.engineEvents, 1957u) << shards;
+        EXPECT_DOUBLE_EQ(result.totalStartupSeconds,
+                         198.22020799999987)
+            << shards;
+        EXPECT_DOUBLE_EQ(result.totalWasteMbSeconds, 8113892.5099859992)
+            << shards;
+        EXPECT_DOUBLE_EQ(result.meanStartupSeconds,
+                         0.23541592399049865)
+            << shards;
+
+        std::ostringstream csv;
+        exp::writeClusterSummaryCsv(csv, result);
+        exp::writeClusterPerNodeCsv(csv, result);
+        if (shards == 1)
+            golden = csv.str();
+        else
+            EXPECT_EQ(csv.str(), golden) << shards << " shards";
     }
 }
 

@@ -1,0 +1,268 @@
+/**
+ * @file
+ * Sharded parallel cluster core: determinism across shard and thread
+ * counts, conservative-lookahead derivation, failover delivery
+ * timing, and conservation of invocations under chaos.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/ablations.hh"
+#include "exp/cluster_run.hh"
+#include "exp/experiment.hh"
+#include "obs/observer.hh"
+#include "trace/generator.hh"
+#include "trace/replay.hh"
+#include "workload/catalog.hh"
+
+namespace rc {
+namespace {
+
+std::vector<trace::Arrival>
+standardArrivals(std::size_t minutes = 30, std::uint64_t seed = 4242)
+{
+    const auto catalog = workload::Catalog::standard20();
+    trace::WorkloadTraceConfig config;
+    config.minutes = minutes;
+    config.targetInvocations = minutes * 40;
+    config.seed = seed;
+    return trace::expandArrivals(
+        trace::generateAzureLike(catalog, config));
+}
+
+fault::FaultPlan
+chaosPlan()
+{
+    fault::FaultPlan plan;
+    plan.nodeMtbfSeconds = 300.0;
+    plan.nodeDowntimeSeconds = 20.0;
+    plan.execCrashProb = 0.02;
+    plan.maxRetries = 2;
+    return plan;
+}
+
+/** Full-fidelity fingerprint of a ClusterResult: the summary CSV row
+ *  plus the per-node load vector, byte for byte. */
+std::string
+fingerprint(const cluster::ClusterResult& result)
+{
+    std::ostringstream out;
+    exp::writeClusterSummaryCsv(out, result);
+    exp::writeClusterPerNodeCsv(out, result);
+    return out.str();
+}
+
+cluster::ClusterResult
+runSharded(const std::vector<trace::Arrival>& arrivals,
+           std::size_t shards, std::size_t threads,
+           cluster::Scheduling scheduling,
+           const platform::NodeConfig& node = {})
+{
+    const auto catalog = workload::Catalog::standard20();
+    exp::ClusterRunConfig config;
+    config.nodes = 12;
+    config.scheduling = scheduling;
+    config.shards = shards;
+    config.threads = threads;
+    config.node = node;
+    config.node.pool.memoryBudgetMb = 8192.0;
+    return exp::runCluster(
+        catalog,
+        [catalog] { return core::makeRainbowCake(catalog); }, arrivals,
+        config);
+}
+
+TEST(ShardedCluster, LookaheadIsTheMinimumCrossNodeHop)
+{
+    core::CostConfig cost; // defaults: dispatch 25, failover 50, net 5
+    EXPECT_EQ(core::CostModel(cost).crossShardLookahead(),
+              sim::fromMillis(5.0));
+    cost.networkHopMillis = 100.0;
+    EXPECT_EQ(core::CostModel(cost).crossShardLookahead(),
+              sim::fromMillis(25.0));
+
+    const auto catalog = workload::Catalog::standard20();
+    cluster::ClusterConfig clusterConfig;
+    clusterConfig.nodes = 4;
+    cluster::ShardedConfig sharded;
+    sharded.shards = 2;
+    sharded.cost = cost;
+    cluster::ShardedCluster cluster(
+        catalog, [&catalog] { return core::makeRainbowCake(catalog); },
+        clusterConfig, sharded);
+    EXPECT_EQ(cluster.lookahead(), sim::fromMillis(25.0));
+
+    // An explicit lookahead overrides the derivation.
+    sharded.lookahead = sim::fromMillis(2.0);
+    cluster::ShardedCluster pinned(
+        catalog, [&catalog] { return core::makeRainbowCake(catalog); },
+        clusterConfig, sharded);
+    EXPECT_EQ(pinned.lookahead(), sim::fromMillis(2.0));
+}
+
+TEST(ShardedCluster, ShardCountIsClampedToNodes)
+{
+    const auto catalog = workload::Catalog::standard20();
+    cluster::ClusterConfig clusterConfig;
+    clusterConfig.nodes = 3;
+    cluster::ShardedConfig sharded;
+    sharded.shards = 16;
+    cluster::ShardedCluster cluster(
+        catalog, [&catalog] { return core::makeRainbowCake(catalog); },
+        clusterConfig, sharded);
+    EXPECT_EQ(cluster.shardCount(), 3u);
+    EXPECT_LE(cluster.threadCount(), 3u);
+}
+
+TEST(ShardedCluster, FaultFreeRunCompletesEveryArrival)
+{
+    const auto arrivals = standardArrivals();
+    const auto result = runSharded(
+        arrivals, 2, 2, cluster::Scheduling::LocalityAware);
+    EXPECT_EQ(result.invocations, arrivals.size());
+    EXPECT_EQ(result.admittedInvocations, arrivals.size());
+    EXPECT_EQ(result.strandedInvocations, 0u);
+    EXPECT_GT(result.windows, 0u);
+    EXPECT_GT(result.engineEvents, 0u);
+}
+
+TEST(ShardedCluster, ResultsAreBitIdenticalAtAnyShardCount)
+{
+    const auto arrivals = standardArrivals();
+    platform::NodeConfig node;
+    node.fault = chaosPlan();
+    for (const auto scheduling : {cluster::Scheduling::RoundRobin,
+                                  cluster::Scheduling::LeastLoaded,
+                                  cluster::Scheduling::LocalityAware}) {
+        const auto one =
+            runSharded(arrivals, 1, 1, scheduling, node);
+        const auto two =
+            runSharded(arrivals, 2, 2, scheduling, node);
+        const auto eight =
+            runSharded(arrivals, 8, 4, scheduling, node);
+        // The chaos plan must actually exercise the cross-shard
+        // machinery for the comparison to mean anything.
+        EXPECT_GT(one.nodeCrashes, 0u);
+        const std::string golden = fingerprint(one);
+        EXPECT_EQ(fingerprint(two), golden)
+            << cluster::toString(scheduling) << " shards=2";
+        EXPECT_EQ(fingerprint(eight), golden)
+            << cluster::toString(scheduling) << " shards=8";
+    }
+}
+
+TEST(ShardedCluster, ResultsAreBitIdenticalAtAnyThreadCount)
+{
+    const auto arrivals = standardArrivals();
+    platform::NodeConfig node;
+    node.fault = chaosPlan();
+    const auto serial = runSharded(
+        arrivals, 8, 1, cluster::Scheduling::LocalityAware, node);
+    const auto parallel = runSharded(
+        arrivals, 8, 8, cluster::Scheduling::LocalityAware, node);
+    EXPECT_EQ(fingerprint(parallel), fingerprint(serial));
+}
+
+TEST(ShardedCluster, BreakerStateIsIdenticalAcrossShardCounts)
+{
+    const auto arrivals = standardArrivals();
+    platform::NodeConfig node;
+    node.fault.execCrashProb = 0.6;
+    node.fault.maxRetries = 0;
+    node.admission.breakerFailureThreshold = 0.3;
+    node.admission.breakerWindowSeconds = 120.0;
+    node.admission.breakerCooloffSeconds = 30.0;
+    node.admission.breakerMinSamples = 5;
+    const auto one = runSharded(
+        arrivals, 1, 1, cluster::Scheduling::LeastLoaded, node);
+    const auto eight = runSharded(
+        arrivals, 8, 4, cluster::Scheduling::LeastLoaded, node);
+    EXPECT_GT(one.breakerOpens, 0u);
+    EXPECT_EQ(fingerprint(eight), fingerprint(one));
+}
+
+TEST(ShardedCluster, FailoverDeliveryWaitsAtLeastOneLookahead)
+{
+    // Work displaced by a crash must not reappear before the next
+    // barrier: its delivery is one failover hop (>= the lookahead)
+    // after the crash. The observer sees both sides of each hop.
+    const auto catalog = workload::Catalog::standard20();
+    obs::ObserverConfig obsConfig;
+    obsConfig.traceEnabled = true;
+    obs::Observer observer(obsConfig);
+
+    cluster::ClusterConfig clusterConfig;
+    clusterConfig.nodes = 6;
+    clusterConfig.node.pool.memoryBudgetMb = 8192.0;
+    clusterConfig.node.fault = chaosPlan();
+    clusterConfig.node.observer = &observer;
+    cluster::ShardedConfig sharded;
+    sharded.shards = 3;
+    cluster::ShardedCluster cluster(
+        catalog, [&catalog] { return core::makeRainbowCake(catalog); },
+        clusterConfig, sharded);
+    const auto arrivals = standardArrivals();
+    const auto result = cluster.run(arrivals);
+    ASSERT_GT(result.nodeCrashes, 0u);
+
+    const sim::Tick lookahead = cluster.lookahead();
+    std::size_t failovers = 0;
+    for (const auto& event : observer.events()) {
+        if (event.type != obs::EventType::FailoverRouted)
+            continue;
+        ++failovers;
+        // Some crash of the source node precedes the delivery by at
+        // least the lookahead.
+        bool matched = false;
+        for (const auto& crash : observer.events()) {
+            if (crash.type == obs::EventType::NodeCrashed &&
+                crash.a == event.b &&
+                crash.tick + lookahead <= event.tick) {
+                matched = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(matched) << "failover at " << event.tick;
+    }
+    EXPECT_EQ(failovers, result.reroutedInvocations);
+}
+
+TEST(ShardedCluster, ChaosRunConservesEveryInvocation)
+{
+    const auto catalog = workload::Catalog::standard20();
+    cluster::ClusterConfig clusterConfig;
+    clusterConfig.nodes = 9;
+    clusterConfig.node.pool.memoryBudgetMb = 8192.0;
+    clusterConfig.node.fault = chaosPlan();
+    clusterConfig.node.admission.maxQueueDepth = 64;
+    clusterConfig.node.admission.queueDeadlineSeconds = 120.0;
+    cluster::ShardedConfig sharded;
+    sharded.shards = 4;
+    cluster::ShardedCluster cluster(
+        catalog, [&catalog] { return core::makeRainbowCake(catalog); },
+        clusterConfig, sharded);
+    const auto arrivals = standardArrivals();
+    const auto result = cluster.run(arrivals);
+
+    std::uint64_t admitted = 0;
+    std::uint64_t extracted = 0;
+    for (const auto& node : cluster.nodes()) {
+        admitted += node->invoker().admittedInvocations();
+        extracted += node->invoker().extractedInvocations();
+    }
+    EXPECT_EQ(admitted, result.admittedInvocations);
+    EXPECT_EQ(extracted, result.reroutedInvocations);
+    EXPECT_EQ(admitted, arrivals.size() + result.reroutedInvocations);
+    EXPECT_EQ(result.invocations + result.failedInvocations +
+                  result.strandedInvocations + extracted +
+                  result.rejectedInvocations + result.shedDeadline +
+                  result.shedPressure,
+              admitted);
+}
+
+} // namespace
+} // namespace rc

@@ -30,18 +30,29 @@
  * memory (the CI chaos job's overload-heavy configuration), forcing
  * sustained queueing, shedding, and breaker activity.
  *
+ * --shards N additionally replays every run on the sharded parallel
+ * cluster core (ShardedCluster) at N shards and again at 1 shard,
+ * asserting the same conservation/breaker invariants on both plus the
+ * sharded core's own contract: the report fingerprint is
+ * bit-identical at any shard count. CI runs this configuration under
+ * ThreadSanitizer so the worker/coordinator handshake is exercised
+ * with real fault churn.
+ *
  * Exit status 0 when every invariant holds for every run.
  */
 
 #include <algorithm>
 #include <cstring>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "admission/admission_plan.hh"
 #include "admission/circuit_breaker.hh"
 #include "cluster/cluster.hh"
+#include "cluster/sharded_cluster.hh"
+#include "exp/cluster_run.hh"
 #include "exp/experiment.hh"
 #include "fault/fault_plan.hh"
 #include "platform/node.hh"
@@ -293,11 +304,83 @@ runClusterCheck(const workload::Catalog& catalog,
     }
 }
 
+/**
+ * Replay the run on the sharded parallel core. Beyond the serial
+ * cluster's conservation and breaker invariants, the sharded core
+ * promises bit-identical reports at any shard count — checked here by
+ * fingerprinting the run at @p shards against a 1-shard twin.
+ */
+void
+runShardedClusterCheck(const workload::Catalog& catalog,
+                       const exp::NamedPolicy& policy,
+                       const std::vector<trace::Arrival>& arrivals,
+                       const platform::NodeConfig& config,
+                       std::size_t shards, const std::string& label)
+{
+    cluster::ClusterConfig clusterConfig;
+    // Enough nodes that the requested shard count survives clamping.
+    clusterConfig.nodes = std::max<std::size_t>(4, shards);
+    clusterConfig.node = config;
+
+    std::string fingerprints[2];
+    const std::size_t counts[2] = {1, shards};
+    for (std::size_t pass = 0; pass < 2; ++pass) {
+        cluster::ShardedConfig sharded;
+        sharded.shards = counts[pass];
+        cluster::ShardedCluster cluster(catalog, policy.make,
+                                        clusterConfig, sharded);
+        const auto result = cluster.run(arrivals);
+        const std::string passLabel = label + " shards=" +
+                                      std::to_string(counts[pass]);
+
+        std::uint64_t admitted = 0;
+        std::uint64_t extracted = 0;
+        std::size_t inFlight = 0;
+        std::size_t peakQueue = 0;
+        for (const auto& node : cluster.nodes()) {
+            admitted += node->invoker().admittedInvocations();
+            extracted += node->invoker().extractedInvocations();
+            inFlight += node->invoker().inFlightInvocations();
+            peakQueue =
+                std::max(peakQueue, node->invoker().peakQueueDepth());
+        }
+        expect(extracted == result.reroutedInvocations,
+               passLabel + ": extracted != rerouted");
+        expect(admitted ==
+                   arrivals.size() + result.reroutedInvocations,
+               passLabel + ": admissions != arrivals + rerouted");
+        expect(result.invocations + result.failedInvocations +
+                       result.strandedInvocations + extracted +
+                       result.rejectedInvocations +
+                       result.shedDeadline + result.shedPressure ==
+                   admitted,
+               passLabel + ": conservation broken");
+        expect(inFlight == 0,
+               passLabel + ": in-flight work survived");
+        if (config.admission.maxQueueDepth > 0) {
+            expect(peakQueue <= config.admission.maxQueueDepth,
+                   passLabel + ": queue depth exceeded its bound");
+        }
+        for (std::size_t n = 0; n < cluster.breakers().size(); ++n) {
+            checkBreakerTransitions(cluster.breakers()[n],
+                                    passLabel + " node " +
+                                        std::to_string(n));
+        }
+
+        std::ostringstream out;
+        exp::writeClusterSummaryCsv(out, result);
+        exp::writeClusterPerNodeCsv(out, result);
+        fingerprints[pass] = out.str();
+    }
+    expect(fingerprints[0] == fingerprints[1],
+           label + ": sharded report diverges from the 1-shard run");
+}
+
 [[noreturn]] void
 usage(int code)
 {
     std::cout << "chaos_check [--seed S] [--runs N] [--minutes M] "
-                 "[--overload]\n";
+                 "[--overload] [--shards N]\n";
     std::exit(code);
 }
 
@@ -309,6 +392,7 @@ main(int argc, char** argv)
     std::uint64_t seed = 1;
     std::size_t runs = 4;
     std::size_t minutes = 20;
+    std::size_t shards = 0;
     bool overload = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -329,6 +413,8 @@ main(int argc, char** argv)
             runs = std::stoul(value);
         } else if (arg == "--minutes") {
             minutes = std::stoul(value);
+        } else if (arg == "--shards") {
+            shards = std::stoul(value);
         } else {
             std::cerr << "unknown option " << arg << "\n";
             usage(2);
@@ -402,6 +488,10 @@ main(int argc, char** argv)
 
         runClusterCheck(catalog, policy, arrivals, config,
                         label + " cluster");
+        if (shards > 0) {
+            runShardedClusterCheck(catalog, policy, arrivals, config,
+                                   shards, label + " sharded");
+        }
     }
 
     if (gFailures == 0) {

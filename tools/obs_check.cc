@@ -22,15 +22,24 @@
  *    RainbowCake with admission control holds a strictly lower p99
  *    than RainbowCake without it, and every admission-controlled row
  *    kept its queue within the configured bound.
+ *  * fleet: parses the cluster_summary.csv a `rainbow_sim --nodes N
+ *    [--shards S]` run writes and asserts fleet-level invocation
+ *    conservation — every admitted invocation reached exactly one
+ *    terminal state (completed + failed + stranded + rerouted +
+ *    rejected + shed_deadline + shed_pressure == admitted). CI runs
+ *    this against sharded-core output so a counter-merge bug at the
+ *    barrier cannot land silently.
  *
  * Exit status 0 when every requested check passes, 1 otherwise.
  */
 
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "obs/export.hh"
 #include "obs/json.hh"
@@ -308,11 +317,95 @@ checkBenchOverload(const std::string& path)
     }
 }
 
+/** Split one CSV line on commas (no quoting in our artifacts). */
+std::vector<std::string>
+splitCsv(const std::string& line)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    std::istringstream in(line);
+    while (std::getline(in, cell, ','))
+        cells.push_back(cell);
+    return cells;
+}
+
+void
+checkFleetSummary(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        fail("cannot open " + path);
+        return;
+    }
+    std::string header;
+    std::string row;
+    if (!std::getline(in, header) || !std::getline(in, row)) {
+        fail(path + ": expected a header and a summary row");
+        return;
+    }
+    const auto names = splitCsv(header);
+    const auto cells = splitCsv(row);
+    if (names.size() != cells.size()) {
+        fail(path + ": header/row column count mismatch");
+        return;
+    }
+    std::map<std::string, std::string> columns;
+    for (std::size_t i = 0; i < names.size(); ++i)
+        columns[names[i]] = cells[i];
+
+    std::map<std::string, unsigned long long> counters;
+    for (const char* key :
+         {"nodes", "windows", "invocations", "stranded", "rerouted",
+          "failed", "rejected", "shed_deadline", "shed_pressure",
+          "admitted", "engine_events"}) {
+        const auto it = columns.find(key);
+        if (it == columns.end()) {
+            fail(path + ": summary lacks column " + key);
+            return;
+        }
+        try {
+            counters[key] = std::stoull(it->second);
+        } catch (const std::exception&) {
+            fail(path + ": column " + key + " is not a count: " +
+                 it->second);
+            return;
+        }
+    }
+
+    if (counters["nodes"] == 0)
+        fail(path + ": zero nodes");
+    if (counters["windows"] == 0)
+        fail(path + ": zero windows");
+    if (counters["invocations"] == 0)
+        fail(path + ": zero completed invocations");
+
+    // Fleet conservation: each admitted invocation reached exactly
+    // one terminal state. A counter-merge bug in the sharded core
+    // (dropped outbox entry, double-counted crash loss) breaks this
+    // identity in one direction or the other.
+    const unsigned long long accounted =
+        counters["invocations"] + counters["failed"] +
+        counters["stranded"] + counters["rerouted"] +
+        counters["rejected"] + counters["shed_deadline"] +
+        counters["shed_pressure"];
+    if (accounted != counters["admitted"]) {
+        fail(path + ": fleet conservation broken: " +
+             std::to_string(accounted) + " accounted vs " +
+             std::to_string(counters["admitted"]) + " admitted");
+    }
+    if (gFailures == 0) {
+        std::cout << "obs_check: fleet ok (" << counters["admitted"]
+                  << " admitted on " << counters["nodes"]
+                  << " nodes, conservation holds)\n";
+    }
+}
+
 [[noreturn]] void
 usage(int code)
 {
     std::cout << "obs_check [--report FILE] [--trace FILE] "
-                 "[--events FILE] [--bench-overload FILE]\n";
+                 "[--events FILE] [--bench-overload FILE] "
+                 "[--fleet FILE]\n";
     std::exit(code);
 }
 
@@ -339,6 +432,8 @@ main(int argc, char** argv)
             checkEvents(value);
         } else if (arg == "--bench-overload") {
             checkBenchOverload(value);
+        } else if (arg == "--fleet") {
+            checkFleetSummary(value);
         } else {
             std::cerr << "unknown option " << arg << "\n";
             usage(2);

@@ -29,6 +29,7 @@
 #include "fault/fault_plan.hh"
 #include "obs/export.hh"
 #include "obs/observer.hh"
+#include "exp/cluster_run.hh"
 #include "exp/experiment.hh"
 #include "exp/parallel_runner.hh"
 #include "exp/csv.hh"
@@ -68,6 +69,9 @@ struct Options
     std::string faultPlan;     // non-empty: load a fault plan file
     std::string admissionPlan; // non-empty: load an admission plan file
     double obsIntervalSeconds = 60.0; // counter snapshot interval
+    std::size_t nodes = 0;     // > 0: cluster mode
+    std::size_t shards = 0;    // > 0: sharded parallel cluster core
+    std::string scheduling = "locality-aware"; // cluster routing
 
     /** Any artifact flag turns instrumentation on. */
     bool
@@ -108,6 +112,13 @@ usage(int code)
         "                    (schema rainbowcake-report-v1)\n"
         "  --obs-interval S  counter snapshot interval in seconds\n"
         "                    (default 60)\n"
+        "  --nodes N         cluster mode: route the trace across N\n"
+        "                    worker nodes (budget-gb is per node)\n"
+        "  --shards N        cluster mode: step nodes in N parallel\n"
+        "                    shards (results are bit-identical at any\n"
+        "                    N >= 1; 0 = legacy serial core)\n"
+        "  --scheduling P    round-robin | least-loaded |\n"
+        "                    locality-aware (default)\n"
         "  --fault-plan FILE inject faults per the plan (flat JSON;\n"
         "                    see src/fault/fault_plan.hh for knobs)\n"
         "  --admission-plan FILE\n"
@@ -168,6 +179,14 @@ parseArgs(int argc, char** argv)
                 options.faultPlan = need(i);
             } else if (arg == "--admission-plan") {
                 options.admissionPlan = need(i);
+            } else if (arg == "--nodes") {
+                options.nodes = static_cast<std::size_t>(
+                    std::stoul(need(i)));
+            } else if (arg == "--shards") {
+                options.shards = static_cast<std::size_t>(
+                    std::stoul(need(i)));
+            } else if (arg == "--scheduling") {
+                options.scheduling = need(i);
             } else if (arg == "--obs-interval") {
                 options.obsIntervalSeconds = std::stod(need(i));
                 if (options.obsIntervalSeconds <= 0.0)
@@ -191,6 +210,76 @@ parseArgs(int argc, char** argv)
         usage(2);
     }
     return options;
+}
+
+cluster::Scheduling
+parseScheduling(const std::string& name)
+{
+    if (name == "round-robin")
+        return cluster::Scheduling::RoundRobin;
+    if (name == "least-loaded")
+        return cluster::Scheduling::LeastLoaded;
+    if (name == "locality-aware")
+        return cluster::Scheduling::LocalityAware;
+    std::cerr << "unknown scheduling '" << name << "'\n";
+    usage(2);
+}
+
+/** Cluster mode: route the trace across nodes, print, dump CSVs. */
+int
+runClusterMode(const Options& options, const workload::Catalog& catalog,
+               const trace::TraceSet& traceSet,
+               const platform::NodeConfig& nodeConfig,
+               const exp::PolicyFactory& factory)
+{
+    exp::ClusterRunConfig config;
+    config.nodes = options.nodes;
+    config.scheduling = parseScheduling(options.scheduling);
+    config.shards = options.shards;
+    config.threads = options.threads;
+    config.node = nodeConfig;
+
+    const auto arrivals = trace::expandArrivals(traceSet);
+    const auto result =
+        exp::runCluster(catalog, factory, arrivals, config);
+
+    std::cout << "cluster: " << options.nodes << " nodes, "
+              << result.schedulingName << " routing";
+    if (options.shards > 0)
+        std::cout << ", " << options.shards << " shards ("
+                  << result.windows << " windows)";
+    std::cout << "\n"
+              << "  invocations " << result.invocations << " (cold "
+              << result.coldStarts << ", mean startup "
+              << result.meanStartupSeconds << " s)\n"
+              << "  waste " << result.totalWasteMbSeconds / 1024.0
+              << " GB*s, stranded " << result.strandedInvocations
+              << "\n"
+              << "  crashes " << result.nodeCrashes << ", rerouted "
+              << result.reroutedInvocations << ", failed "
+              << result.failedInvocations << "\n"
+              << "  rejected " << result.rejectedInvocations
+              << ", shed " << result.shedDeadline << "+"
+              << result.shedPressure << ", breaker opens "
+              << result.breakerOpens << "\n"
+              << "  admitted " << result.admittedInvocations
+              << ", engine events " << result.engineEvents << "\n";
+
+    if (!options.csvDir.empty()) {
+        std::error_code ec;
+        std::filesystem::create_directories(options.csvDir, ec);
+        if (ec) {
+            std::cerr << "cannot create --csv-dir " << options.csvDir
+                      << ": " << ec.message() << "\n";
+            return 2;
+        }
+        std::ofstream summary(options.csvDir + "/cluster_summary.csv");
+        exp::writeClusterSummaryCsv(summary, result);
+        std::ofstream perNode(options.csvDir + "/cluster_per_node.csv");
+        exp::writeClusterPerNodeCsv(perNode, result);
+        std::cout << "\nCSV dumps written to " << options.csvDir << "\n";
+    }
+    return 0;
 }
 
 exp::PolicyFactory
@@ -344,6 +433,10 @@ int
 main(int argc, char** argv)
 {
     const Options options = parseArgs(argc, argv);
+    if (options.shards > 0 && options.nodes == 0) {
+        std::cerr << "--shards requires --nodes\n";
+        return 2;
+    }
     workload::Catalog catalog = workload::Catalog::standard20();
     if (!options.catalogFile.empty()) {
         std::ifstream in(options.catalogFile);
@@ -389,6 +482,11 @@ main(int argc, char** argv)
                   << "\n";
     }
 
+    if (options.nodes > 0) {
+        return runClusterMode(
+            options, catalog, traceSet, nodeConfig,
+            makeFactory(options.policy, catalog, options.checkpoint));
+    }
     // One Observer per run (never shared: an Observer is single-run
     // state); kept alive here because RunResult::observer only points.
     std::vector<std::unique_ptr<obs::Observer>> observers;
