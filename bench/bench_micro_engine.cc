@@ -345,6 +345,53 @@ main(int argc, char** argv)
                          onSec / offSec, "x", 1});
     }
 
+    // (e) Span overhead: the same run with a spans-only Observer
+    // (event trace and profiling off) vs uninstrumented. Spans cost
+    // one 64-byte append per stage boundary plus the live-cursor map;
+    // the budget below is deliberately generous (the measured ratio
+    // sits near 1.0x) so CI flags a real hot-path regression, not
+    // scheduler noise.
+    {
+        const auto catalog = workload::Catalog::standard20();
+        trace::WorkloadTraceConfig traceConfig;
+        traceConfig.minutes = quick ? 60 : 240;
+        traceConfig.targetInvocations = quick ? 3000u : 20000u;
+        traceConfig.seed = 5;
+        const auto arrivals = trace::expandArrivals(
+            trace::generateAzureLike(catalog, traceConfig));
+        const auto rainbowcake = exp::standardBaselines(catalog).back();
+        const int obsReps = quick ? 3 : 5;
+        const double offSec = bestSeconds(obsReps, [&] {
+            exp::runExperiment(catalog, rainbowcake.make, arrivals);
+        });
+        const double spanSec = bestSeconds(obsReps, [&] {
+            obs::ObserverConfig config;
+            config.traceEnabled = false;
+            config.profilingEnabled = false;
+            config.spansEnabled = true;
+            obs::Observer observer(config);
+            platform::NodeConfig node;
+            node.observer = &observer;
+            exp::runExperiment(catalog, rainbowcake.make, arrivals,
+                               node);
+        });
+        const double ratio = spanSec / offSec;
+        report(records, {"span_overhead", "uninstrumented_wall_clock",
+                         offSec, "s", 1});
+        report(records, {"span_overhead", "spans_only_wall_clock",
+                         spanSec, "s", 1});
+        report(records, {"span_overhead", "overhead_ratio", ratio, "x",
+                         1});
+        constexpr double kSpanOverheadBudget = 2.0;
+        if (ratio > kSpanOverheadBudget) {
+            std::cerr << "span_overhead: ratio " << ratio
+                      << "x exceeds the pinned budget "
+                      << kSpanOverheadBudget << "x\n";
+            writeJson(outPath, records);
+            return 1;
+        }
+    }
+
     writeJson(outPath, records);
     std::cout << "wrote " << records.size() << " records to " << outPath
               << "\n";

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <string>
+#include <utility>
 
 #include "sim/logging.hh"
 #include "sim/rng.hh"
+#include "stats/quantile_sketch.hh"
 
 namespace rc::cluster {
 
@@ -48,12 +50,29 @@ Cluster::Cluster(const workload::Catalog& catalog,
     // engine timeline (ticks would interleave non-monotonically) and
     // pools restart container ids at 1 (ids would collide). The
     // cluster therefore keeps the configured observer for its own
-    // routing events only and runs the nodes uninstrumented.
+    // routing events only and runs the nodes uninstrumented — except
+    // for spans, whose node-stamped identities survive merging: when
+    // the configured observer has spans enabled, each node gets a
+    // private span-only Observer and run() folds the buffers back
+    // into _obs with one deterministic sort.
     _obs = config.node.observer;
+    const bool spans = _obs != nullptr && _obs->spansEnabled();
     for (std::size_t i = 0; i < config.nodes; ++i) {
         platform::NodeConfig nodeConfig = config.node;
         nodeConfig.seed = config.node.seed + i; // independent exec draws
         nodeConfig.observer = nullptr;
+        if (spans) {
+            obs::ObserverConfig spanConfig;
+            spanConfig.traceEnabled = false;
+            spanConfig.profilingEnabled = false;
+            spanConfig.counterInterval = _obs->config().counterInterval;
+            spanConfig.spansEnabled = true;
+            spanConfig.maxSpans = _obs->config().maxSpans;
+            auto nodeObs = std::make_unique<obs::Observer>(spanConfig);
+            nodeObs->setSpanNode(static_cast<std::uint16_t>(i));
+            nodeConfig.observer = nodeObs.get();
+            _nodeObservers.push_back(std::move(nodeObs));
+        }
         _nodes.push_back(std::make_unique<platform::Node>(
             _catalog, factory(), nodeConfig));
     }
@@ -155,19 +174,23 @@ Cluster::run(const std::vector<trace::Arrival>& arrivals)
                            sim::toSeconds(ev.downUntil - ev.at),
                            static_cast<double>(lost.size()));
             }
-            for (const auto function : lost) {
-                const std::size_t target =
-                    _scheduler.pick(_nodes, function, routeMask(ev.at));
+            for (const auto& ticket : lost) {
+                const std::size_t target = _scheduler.pick(
+                    _nodes, ticket.function, routeMask(ev.at));
                 ++result.reroutedInvocations;
                 if (_obs != nullptr) {
                     _obs->counters().bump(obs::Counter::FailoverRouted,
                                           ev.at);
                     _obs->emit(ev.at, obs::EventType::FailoverRouted, 0,
-                               function,
+                               ticket.function,
                                static_cast<std::uint8_t>(target),
                                static_cast<std::uint8_t>(ev.node));
                 }
-                _nodes[target]->invokeNow(function);
+                // The re-issued invocation's root span chains to the
+                // root the crash closed (outcome rerouted), so the
+                // retry is attributable to the originating arrival.
+                _nodes[target]->invokeNow(ticket.function,
+                                          ticket.originSpan);
             }
         }
     };
@@ -193,8 +216,17 @@ Cluster::run(const std::vector<trace::Arrival>& arrivals)
         node->finalize();
     }
 
+    // Fleet latency sketch: one QuantileSketch per node, merged in
+    // node-index order. Bucket-wise merge is commutative and
+    // associative, so the result is identical no matter how the
+    // fleet was partitioned — the sharded core relies on this.
+    stats::QuantileSketch e2eSketch;
     for (const auto& node : _nodes) {
         const auto& metrics = node->metrics();
+        stats::QuantileSketch nodeSketch;
+        for (const auto& record : metrics.records())
+            nodeSketch.add(sim::toSeconds(record.endToEnd));
+        e2eSketch.merge(nodeSketch);
         result.invocations += metrics.total();
         result.coldStarts += metrics.countOf(platform::StartupType::Cold);
         result.totalStartupSeconds += metrics.totalStartupSeconds();
@@ -217,6 +249,23 @@ Cluster::run(const std::vector<trace::Arrival>& arrivals)
     if (result.invocations > 0) {
         result.meanStartupSeconds = result.totalStartupSeconds /
             static_cast<double>(result.invocations);
+    }
+    if (e2eSketch.count() > 0) {
+        result.e2eP50Seconds = e2eSketch.median();
+        result.e2eP99Seconds = e2eSketch.p99();
+    }
+    // Fold the per-node span buffers into the routing observer. The
+    // sort key (invocation id, span id) embeds the node index, so the
+    // merged dump is byte-identical however the run was partitioned.
+    if (!_nodeObservers.empty()) {
+        std::vector<obs::Span> all;
+        std::uint64_t dropped = 0;
+        for (auto& nodeObs : _nodeObservers) {
+            const auto& spans = nodeObs->spans();
+            all.insert(all.end(), spans.begin(), spans.end());
+            dropped += nodeObs->droppedSpans();
+        }
+        _obs->absorbSpans(std::move(all), dropped, horizon);
     }
     return result;
 }

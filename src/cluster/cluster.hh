@@ -70,6 +70,15 @@ struct ClusterResult
      * determinism pin in report CSVs.
      */
     std::uint64_t windows = 0;
+    /**
+     * Fleet end-to-end latency p50/p99 in seconds, from per-node
+     * stats::QuantileSketch instances merged in node order (1%
+     * relative error; merge-order independent by construction). Not
+     * part of the pinned CSV columns — exact percentiles stay where
+     * goldens pin them.
+     */
+    double e2eP50Seconds = 0.0;
+    double e2eP99Seconds = 0.0;
 };
 
 /** One pre-drawn node crash (cluster-managed fault injection). */
@@ -138,6 +147,13 @@ class Cluster
      * why one Observer cannot span several engine timelines).
      */
     obs::Observer* _obs = nullptr;
+    /**
+     * Span-only per-node observers, built only when _obs has spans
+     * enabled. Span identities are node-stamped and partition
+     * independent, so these buffers — unlike events — can be merged
+     * into _obs with one sort after the run (Observer::absorbSpans).
+     */
+    std::vector<std::unique_ptr<obs::Observer>> _nodeObservers;
 };
 
 } // namespace rc::cluster

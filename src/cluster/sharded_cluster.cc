@@ -4,8 +4,10 @@
 #include <limits>
 #include <string>
 #include <thread>
+#include <utility>
 
 #include "sim/logging.hh"
+#include "stats/quantile_sketch.hh"
 
 namespace rc::cluster {
 
@@ -32,12 +34,28 @@ ShardedCluster::ShardedCluster(const workload::Catalog& catalog,
     // Same observer rule as the legacy Cluster: one Observer cannot
     // span several engine timelines, so nodes run uninstrumented and
     // the configured observer collects cluster-level events only —
-    // emitted exclusively by the single-threaded coordinator.
+    // emitted exclusively by the single-threaded coordinator. Spans
+    // are the exception: each node gets a private span-only Observer
+    // (touched only by that node's shard worker), merged after the
+    // drain on partition-independent keys.
     _obs = config.node.observer;
+    const bool spans = _obs != nullptr && _obs->spansEnabled();
     for (std::size_t i = 0; i < config.nodes; ++i) {
         platform::NodeConfig nodeConfig = config.node;
         nodeConfig.seed = config.node.seed + i; // independent exec draws
         nodeConfig.observer = nullptr;
+        if (spans) {
+            obs::ObserverConfig spanConfig;
+            spanConfig.traceEnabled = false;
+            spanConfig.profilingEnabled = false;
+            spanConfig.counterInterval = _obs->config().counterInterval;
+            spanConfig.spansEnabled = true;
+            spanConfig.maxSpans = _obs->config().maxSpans;
+            auto nodeObs = std::make_unique<obs::Observer>(spanConfig);
+            nodeObs->setSpanNode(static_cast<std::uint16_t>(i));
+            nodeConfig.observer = nodeObs.get();
+            _nodeObservers.push_back(std::move(nodeObs));
+        }
         _nodes.push_back(std::make_unique<platform::Node>(
             _catalog, factory(), nodeConfig));
     }
@@ -127,16 +145,16 @@ ShardedCluster::runShardWindow(Shard& shard, sim::Tick windowEnd)
                     // >= the lookahead by construction, so delivery
                     // never lands inside this window.
                     std::uint32_t i = 0;
-                    for (const auto function : lost) {
+                    for (const auto& ticket : lost) {
                         shard.outbox.push_back(
                             {std::max(windowEnd,
                                       input.tick + failoverHop),
                              input.tick,
                              static_cast<std::uint32_t>(index), i++,
-                             function});
+                             ticket.function, ticket.originSpan});
                     }
                 } else {
-                    node.invokeNow(input.function);
+                    node.invokeNow(input.function, input.originSpan);
                 }
             }
             inbox.clear();
@@ -289,7 +307,8 @@ ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
                 }
                 _inboxes[target].push_back({item.deliverAt, seq++,
                                             item.function, 0,
-                                            ShardInput::kInvoke});
+                                            ShardInput::kInvoke,
+                                            item.originSpan});
             } else {
                 const trace::Arrival& arrival = arrivals[arrivalIdx++];
                 const std::size_t target =
@@ -374,8 +393,15 @@ ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
         }
     });
 
+    // Fleet latency sketch, merged in node-index order (see Cluster);
+    // the bucket-wise merge is shard-count independent.
+    stats::QuantileSketch e2eSketch;
     for (const auto& node : _nodes) {
         const auto& metrics = node->metrics();
+        stats::QuantileSketch nodeSketch;
+        for (const auto& record : metrics.records())
+            nodeSketch.add(sim::toSeconds(record.endToEnd));
+        e2eSketch.merge(nodeSketch);
         result.invocations += metrics.total();
         result.coldStarts += metrics.countOf(platform::StartupType::Cold);
         result.totalStartupSeconds += metrics.totalStartupSeconds();
@@ -397,6 +423,24 @@ ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
     if (result.invocations > 0) {
         result.meanStartupSeconds = result.totalStartupSeconds /
             static_cast<double>(result.invocations);
+    }
+    if (e2eSketch.count() > 0) {
+        result.e2eP50Seconds = e2eSketch.median();
+        result.e2eP99Seconds = e2eSketch.p99();
+    }
+    // Merge the per-node span buffers into the routing observer. Span
+    // identities embed (node, local seq), and absorbSpans sorts on
+    // (invocation, id), so the merged dump is byte-identical at any
+    // --shards / thread count.
+    if (!_nodeObservers.empty()) {
+        std::vector<obs::Span> all;
+        std::uint64_t dropped = 0;
+        for (auto& nodeObs : _nodeObservers) {
+            const auto& spans = nodeObs->spans();
+            all.insert(all.end(), spans.begin(), spans.end());
+            dropped += nodeObs->droppedSpans();
+        }
+        _obs->absorbSpans(std::move(all), dropped, horizon);
     }
     return result;
 }

@@ -92,6 +92,12 @@ struct ShardInput
     sim::Tick downUntil = 0;
     /** 0 = crash, 1 = invocation; crashes first at equal ticks. */
     std::uint8_t kind = 1;
+    /**
+     * Invoke only: root span this delivery chains to (failover
+     * re-issue), 0 for fresh arrivals. Span ids embed (node, local
+     * seq), so the value is independent of the shard partitioning.
+     */
+    std::uint64_t originSpan = 0;
 
     static constexpr std::uint8_t kCrash = 0;
     static constexpr std::uint8_t kInvoke = 1;
@@ -157,6 +163,8 @@ class ShardedCluster
         /** Position within the crash's lost list (merge tie-break). */
         std::uint32_t index = 0;
         workload::FunctionId function = workload::kInvalidFunction;
+        /** Root span the crash closed (rerouted); chains the retry. */
+        std::uint64_t originSpan = 0;
     };
 
     /** Crash observed inside a shard window (merged sort-once). */
@@ -191,6 +199,13 @@ class ShardedCluster
     std::vector<std::unique_ptr<platform::Node>> _nodes;
     std::vector<admission::CircuitBreaker> _breakers;
     obs::Observer* _obs = nullptr;
+    /**
+     * Span-only per-node observers (same scheme as Cluster): each
+     * node buffers its own spans during the parallel phase — no
+     * shared state — and run() merges them into _obs sort-once on
+     * partition-independent keys after the drain.
+     */
+    std::vector<std::unique_ptr<obs::Observer>> _nodeObservers;
 
     std::vector<Shard> _shards;
     std::vector<NodeSummary> _summaries;

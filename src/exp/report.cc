@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <map>
 #include <ostream>
 
 #include "obs/json.hh"
+#include "stats/quantile_sketch.hh"
 #include "stats/table.hh"
 
 namespace rc::exp {
@@ -132,7 +134,39 @@ writeObservability(std::ostream& os, const obs::Observer& observer,
        << indent << "\"events_recorded\": " << observer.events().size()
        << ",\n"
        << indent << "\"events_dropped\": " << observer.droppedEvents()
+       << ",\n"
+       << indent << "\"spans_recorded\": " << observer.spans().size()
+       << ",\n"
+       << indent << "\"spans_dropped\": " << observer.droppedSpans()
        << ",\n";
+}
+
+/**
+ * Per-function end-to-end latency tracks from mergeable quantile
+ * sketches (1% relative error). These complement — never replace —
+ * the exact percentiles above: goldens pin the exact values, the
+ * sketch section is what fleet-scale aggregation can actually merge.
+ */
+void
+writeFunctionLatency(std::ostream& os, const platform::Metrics& metrics,
+                     const char* indent)
+{
+    std::map<workload::FunctionId, stats::QuantileSketch> sketches;
+    for (const auto& record : metrics.records())
+        sketches[record.function].add(sim::toSeconds(record.endToEnd));
+    os << indent << "\"function_latency\": [";
+    bool first = true;
+    for (const auto& [function, sketch] : sketches) {
+        os << (first ? "" : ", ") << "{\"function\": " << function
+           << ", \"count\": " << sketch.count()
+           << ", \"sketch_p50_s\": ";
+        writeNumber(os, sketch.median());
+        os << ", \"sketch_p99_s\": ";
+        writeNumber(os, sketch.p99());
+        os << '}';
+        first = false;
+    }
+    os << "],\n";
 }
 
 } // namespace
@@ -185,6 +219,7 @@ writeReportJson(std::ostream& os, const std::string& title,
            << result.degradedKeepalives
            << ",\n      \"peak_queue_depth\": " << result.peakQueueDepth
            << ",\n";
+        writeFunctionLatency(os, m, "      ");
         if (result.observer != nullptr)
             writeObservability(os, *result.observer, "      ");
         os << "      \"instrumented\": "

@@ -1,6 +1,7 @@
 #include "obs/export.hh"
 
 #include <algorithm>
+#include <cstdlib>
 #include <istream>
 #include <ostream>
 #include <sstream>
@@ -67,6 +68,7 @@ constexpr int kPidInvocations = 2;
 constexpr int kPidPolicy = 3;
 constexpr int kPidCluster = 4;
 constexpr int kPidFaults = 5;
+constexpr int kPidSpans = 6;
 
 /** One emitted Chrome event, buffered so metadata can come first. */
 struct ChromeEvent
@@ -438,6 +440,43 @@ writeChromeTrace(std::ostream& os, const Observer& observer)
     for (auto& [cid, track] : trackStore)
         closeSpan(cid, track, lastTick);
 
+    // Invocation spans: one row per invocation, the root slice with
+    // its stage slices nested inside by interval containment. Sorted
+    // by (invocation, id) so roots precede their stages and output is
+    // independent of buffer order.
+    if (!observer.spans().empty()) {
+        out.push_back({processName(kPidSpans, "spans")});
+        std::vector<Span> spans(observer.spans().begin(),
+                                observer.spans().end());
+        std::sort(spans.begin(), spans.end(), spanBefore);
+        for (const Span& span : spans) {
+            std::ostringstream args;
+            if (span.stage == SpanStage::Invocation) {
+                args << "\"function\": \""
+                     << functionLabel(span.function)
+                     << "\", \"outcome\": \""
+                     << toString(static_cast<SpanOutcome>(span.info))
+                     << "\", \"node\": " << span.node
+                     << ", \"parent\": " << span.parent;
+                out.push_back({slice("inv " + functionLabel(span.function),
+                                     kPidSpans, span.invocation,
+                                     span.start, span.end, args.str())});
+                continue;
+            }
+            args << "\"function\": \"" << functionLabel(span.function)
+                 << "\", \"container\": " << span.container
+                 << ", \"attempt\": "
+                 << static_cast<int>(span.attempt);
+            if ((span.flags & kSpanAborted) != 0)
+                args << ", \"aborted\": true";
+            out.push_back(
+                {slice(toString(span.stage), kPidSpans, span.invocation,
+                       span.start, span.end, args.str(),
+                       (span.flags & kSpanAborted) != 0 ? "terrible"
+                                                        : nullptr)});
+        }
+    }
+
     os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
     for (std::size_t i = 0; i < out.size(); ++i) {
         os << "  " << out[i].json << (i + 1 < out.size() ? "," : "")
@@ -508,6 +547,115 @@ parseJsonlEvents(std::istream& in, std::string* error)
         events.push_back(event);
     }
     return events;
+}
+
+namespace {
+
+/**
+ * Exact unsigned parse of a numeric member on a dump line. The DOM
+ * parser stores numbers as double, which silently rounds ids past
+ * 2^53; span ids embed (node << 48), so large fleets need the exact
+ * path. The dumps are machine-written with a fixed `"key": value`
+ * layout, making a textual scan reliable.
+ */
+bool
+exactU64At(const std::string& line, const char* key, std::uint64_t* out)
+{
+    const std::string needle = std::string("\"") + key + "\": ";
+    const std::size_t pos = line.find(needle);
+    if (pos == std::string::npos)
+        return false;
+    const char* cursor = line.c_str() + pos + needle.size();
+    char* end = nullptr;
+    *out = std::strtoull(cursor, &end, 10);
+    return end != cursor;
+}
+
+} // namespace
+
+void
+writeJsonlSpans(std::ostream& os, const Observer& observer)
+{
+    std::vector<Span> spans(observer.spans().begin(),
+                            observer.spans().end());
+    std::sort(spans.begin(), spans.end(), spanBefore);
+    os << "{\"schema\": \"rainbowcake-spans-v1\", \"spans\": "
+       << spans.size() << ", \"dropped\": " << observer.droppedSpans()
+       << "}\n";
+    for (const Span& span : spans) {
+        os << "{\"id\": " << span.id << ", \"parent\": " << span.parent
+           << ", \"invocation\": " << span.invocation
+           << ", \"container\": " << span.container
+           << ", \"start\": " << span.start << ", \"end\": " << span.end
+           << ", \"function\": " << span.function
+           << ", \"node\": " << span.node << ", \"stage\": \""
+           << toString(span.stage)
+           << "\", \"info\": " << static_cast<int>(span.info)
+           << ", \"attempt\": " << static_cast<int>(span.attempt)
+           << ", \"flags\": " << static_cast<int>(span.flags) << "}\n";
+    }
+}
+
+std::vector<Span>
+parseJsonlSpans(std::istream& in, std::string* error,
+                std::uint64_t* dropped)
+{
+    const auto fail = [&](std::size_t lineNo, const std::string& what) {
+        if (error != nullptr)
+            *error = "line " + std::to_string(lineNo) + ": " + what;
+        return std::vector<Span>{};
+    };
+    std::string line;
+    std::size_t lineNo = 0;
+    if (!std::getline(in, line))
+        return fail(1, "empty span dump (no header)");
+    ++lineNo;
+    JsonValue header;
+    std::string parseError;
+    if (!parseJson(line, header, &parseError) || !header.isObject())
+        return fail(lineNo, parseError.empty() ? "not an object"
+                                               : parseError);
+    if (header.stringAt("schema") != "rainbowcake-spans-v1")
+        return fail(lineNo, "unexpected schema '" +
+                                header.stringAt("schema") + "'");
+    if (dropped != nullptr) {
+        std::uint64_t value = 0;
+        exactU64At(line, "dropped", &value);
+        *dropped = value;
+    }
+    std::vector<Span> spans;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        if (line.empty())
+            continue;
+        JsonValue value;
+        if (!parseJson(line, value, &parseError) || !value.isObject())
+            return fail(lineNo, parseError.empty() ? "not an object"
+                                                   : parseError);
+        Span span;
+        if (!exactU64At(line, "id", &span.id) ||
+            !exactU64At(line, "parent", &span.parent) ||
+            !exactU64At(line, "invocation", &span.invocation) ||
+            !exactU64At(line, "container", &span.container)) {
+            return fail(lineNo, "missing span id field");
+        }
+        span.start = static_cast<sim::Tick>(value.numberAt("start"));
+        span.end = static_cast<sim::Tick>(value.numberAt("end"));
+        span.function =
+            static_cast<std::uint32_t>(value.numberAt("function"));
+        span.node = static_cast<std::uint16_t>(value.numberAt("node"));
+        span.info = static_cast<std::uint8_t>(value.numberAt("info"));
+        span.attempt =
+            static_cast<std::uint8_t>(value.numberAt("attempt"));
+        span.flags = static_cast<std::uint8_t>(value.numberAt("flags"));
+        SpanStage stage;
+        const std::string stageName = value.stringAt("stage");
+        if (!spanStageFromString(stageName, &stage))
+            return fail(lineNo, "unknown span stage '" + stageName + "'");
+        span.stage = stage;
+        spans.push_back(span);
+    }
+    return spans;
 }
 
 } // namespace rc::obs

@@ -14,6 +14,13 @@
  *    stable string names from trace_event.hh. parseJsonlEvents()
  *    re-ingests the dump, and the round-trip is pinned by tests so
  *    external notebooks can rely on the schema.
+ *
+ *  * JSONL span dump (`rainbowcake-spans-v1`): a header object
+ *    carrying the schema tag and drop count, then one object per
+ *    Span, sorted by (invocation, id) so dumps from sharded runs are
+ *    byte-identical at any shard count. parseJsonlSpans()
+ *    re-ingests it; tools/trace_analyze folds it into the
+ *    `rainbowcake-attribution-v1` report.
  */
 
 #ifndef RC_OBS_EXPORT_HH_
@@ -42,6 +49,25 @@ void writeJsonlEvents(std::ostream& os, const Observer& observer);
  */
 std::vector<TraceEvent> parseJsonlEvents(std::istream& in,
                                          std::string* error = nullptr);
+
+/**
+ * Write the `rainbowcake-spans-v1` JSONL span dump of @p observer:
+ * one header line (schema, span and drop counts), then one object
+ * per span in (invocation, id) order regardless of buffer order.
+ */
+void writeJsonlSpans(std::ostream& os, const Observer& observer);
+
+/**
+ * Parse a `rainbowcake-spans-v1` dump back into Spans.
+ *
+ * @param in       Stream positioned at the header line.
+ * @param error    Optional; receives a line-tagged message on failure.
+ * @param dropped  Optional; receives the header's drop count.
+ * @return Parsed spans; empty (with @p error set) on parse failure.
+ */
+std::vector<Span> parseJsonlSpans(std::istream& in,
+                                  std::string* error = nullptr,
+                                  std::uint64_t* dropped = nullptr);
 
 } // namespace rc::obs
 

@@ -1,5 +1,7 @@
 #include "obs/observer.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace rc::obs {
@@ -202,6 +204,7 @@ toString(Counter counter)
       case Counter::BreakerOpenTotal: return "breaker_open_total";
       case Counter::DegradedKeepalives: return "degraded_keepalives";
       case Counter::DispatchLookups: return "dispatch_lookups";
+      case Counter::TraceDropped: return "trace_dropped";
     }
     return "?";
 }
@@ -269,10 +272,28 @@ Observer::recordEngineStats(sim::Tick now, std::uint64_t executed,
 }
 
 void
+Observer::absorbSpans(std::vector<Span> spans, std::uint64_t dropped,
+                      sim::Tick when)
+{
+    if (!_config.spansEnabled)
+        return;
+    std::sort(spans.begin(), spans.end(),
+              [](const Span& a, const Span& b) { return spanBefore(a, b); });
+    for (const auto& span : spans)
+        emitSpan(span);
+    if (dropped != 0) {
+        _droppedSpans += dropped;
+        _registry.bump(Counter::TraceDropped, when, dropped);
+    }
+}
+
+void
 Observer::reset()
 {
     _events.clear();
     _dropped = 0;
+    _spans.clear();
+    _droppedSpans = 0;
     _registry = Registry(_config.counterInterval);
     _profiler = Profiler();
 }

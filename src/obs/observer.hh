@@ -29,6 +29,7 @@
 
 #include "obs/profiler.hh"
 #include "obs/registry.hh"
+#include "obs/span.hh"
 #include "obs/trace_event.hh"
 
 namespace rc::obs {
@@ -44,10 +45,14 @@ struct ObserverConfig
     sim::Tick counterInterval = 60 * sim::kSecond;
     /**
      * Hard cap on buffered events; 0 = unlimited. When the cap is
-     * hit, further events are dropped and counted (droppedEvents()),
-     * never silently lost.
+     * hit, further events are dropped and counted (droppedEvents()
+     * and Counter::TraceDropped), never silently lost.
      */
     std::size_t maxEvents = 0;
+    /** Record per-invocation Spans (off by default, like nothing). */
+    bool spansEnabled = false;
+    /** Hard cap on buffered spans; 0 = unlimited. Same drop rules. */
+    std::size_t maxSpans = 0;
 };
 
 /** Per-run event buffer + counters + profiler. */
@@ -67,10 +72,49 @@ class Observer
             return;
         if (_config.maxEvents != 0 && _events.size() >= _config.maxEvents) {
             ++_dropped;
+            _registry.bump(Counter::TraceDropped, event.tick);
             return;
         }
         _events.push_back(event);
     }
+
+    /** Append one finished span (no-op unless spans are enabled). */
+    void
+    emitSpan(const Span& span)
+    {
+        if (!_config.spansEnabled)
+            return;
+        if (_config.maxSpans != 0 && _spans.size() >= _config.maxSpans) {
+            ++_droppedSpans;
+            _registry.bump(Counter::TraceDropped, span.end);
+            return;
+        }
+        _spans.push_back(span);
+    }
+
+    /** Whether emitSpan() records anything (invoker fast-path gate). */
+    bool spansEnabled() const { return _config.spansEnabled; }
+
+    /** All recorded spans, in emission order. */
+    const std::vector<Span>& spans() const { return _spans; }
+
+    /** Spans dropped by the maxSpans cap (plus absorbed drops). */
+    std::uint64_t droppedSpans() const { return _droppedSpans; }
+
+    /** Node index stamped into this observer's span identities. */
+    std::uint16_t spanNode() const { return _spanNode; }
+    void setSpanNode(std::uint16_t node) { _spanNode = node; }
+
+    /**
+     * Fold per-node span buffers into this observer: sorts @p spans
+     * on the partition-independent (invocation, id) key, appends
+     * through the maxSpans cap, and accounts @p dropped upstream
+     * drops at time @p when. The cluster harnesses call this once
+     * after a run, so merged dumps are byte-identical at any shard
+     * count.
+     */
+    void absorbSpans(std::vector<Span> spans, std::uint64_t dropped,
+                     sim::Tick when);
 
     /** Convenience emit, fills the common fields. */
     void
@@ -130,6 +174,9 @@ class Observer
     ObserverConfig _config;
     std::vector<TraceEvent> _events;
     std::uint64_t _dropped = 0;
+    std::vector<Span> _spans;
+    std::uint64_t _droppedSpans = 0;
+    std::uint16_t _spanNode = 0;
     Registry _registry;
     Profiler _profiler;
     std::string _runId;

@@ -83,11 +83,15 @@ enum class Counter : std::uint8_t
     // Dispatch hot path (appended after DegradedKeepalives so older
     // reports keep their counter order).
     DispatchLookups, //!< pool index lookups run by tryDispatch
+
+    // Buffer health (appended after DispatchLookups so older reports
+    // keep their counter order).
+    TraceDropped, //!< events/spans dropped by the buffer caps
 };
 
 /** Number of counters. */
 inline constexpr std::size_t kCounterCount =
-    static_cast<std::size_t>(Counter::DispatchLookups) + 1;
+    static_cast<std::size_t>(Counter::TraceDropped) + 1;
 
 /** Gauges tracked as high-water marks. */
 enum class Gauge : std::uint8_t

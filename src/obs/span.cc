@@ -1,0 +1,168 @@
+#include "obs/span.hh"
+
+#include <algorithm>
+#include <cstddef>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace rc::obs {
+
+const char*
+toString(SpanStage stage)
+{
+    switch (stage) {
+    case SpanStage::Invocation: return "invocation";
+    case SpanStage::Queue: return "queue";
+    case SpanStage::Backoff: return "backoff";
+    case SpanStage::InitWait: return "init_wait";
+    case SpanStage::InitBare: return "init_bare";
+    case SpanStage::InitLang: return "init_lang";
+    case SpanStage::InitUser: return "init_user";
+    case SpanStage::Dispatch: return "dispatch";
+    case SpanStage::Exec: return "exec";
+    }
+    return "unknown";
+}
+
+const char*
+toString(SpanOutcome outcome)
+{
+    switch (outcome) {
+    case SpanOutcome::None: return "none";
+    case SpanOutcome::Completed: return "completed";
+    case SpanOutcome::Failed: return "failed";
+    case SpanOutcome::Rejected: return "rejected";
+    case SpanOutcome::ShedDeadline: return "shed_deadline";
+    case SpanOutcome::ShedPressure: return "shed_pressure";
+    case SpanOutcome::Rerouted: return "rerouted";
+    case SpanOutcome::Stranded: return "stranded";
+    }
+    return "unknown";
+}
+
+bool
+spanStageFromString(const std::string& name, SpanStage* out)
+{
+    for (std::size_t i = 0; i < kSpanStageCount; ++i) {
+        const auto stage = static_cast<SpanStage>(i);
+        if (name == toString(stage)) {
+            *out = stage;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+spanOutcomeFromString(const std::string& name, SpanOutcome* out)
+{
+    for (std::size_t i = 0; i < kSpanOutcomeCount; ++i) {
+        const auto outcome = static_cast<SpanOutcome>(i);
+        if (name == toString(outcome)) {
+            *out = outcome;
+            return true;
+        }
+    }
+    return false;
+}
+
+namespace {
+
+bool
+failSpan(const Span& span, const char* what, std::string* error)
+{
+    if (error != nullptr) {
+        std::ostringstream os;
+        os << "span " << span.id << " (invocation " << span.invocation
+           << ", stage " << toString(span.stage) << "): " << what;
+        *error = os.str();
+    }
+    return false;
+}
+
+} // namespace
+
+bool
+validateSpanTree(const std::vector<Span>& spans, std::string* error)
+{
+    // Pass 1: index the roots and check per-span basics.
+    std::unordered_map<std::uint64_t, const Span*> roots;
+    roots.reserve(spans.size() / 2 + 1);
+    for (const auto& span : spans) {
+        if (span.end < span.start)
+            return failSpan(span, "ends before it starts", error);
+        if (span.stage != SpanStage::Invocation)
+            continue;
+        if (span.info == 0 ||
+            span.info >= static_cast<std::uint8_t>(kSpanOutcomeCount))
+            return failSpan(span, "root without a valid outcome", error);
+        if (!roots.emplace(span.invocation, &span).second)
+            return failSpan(span, "second root for one invocation", error);
+        if ((span.invocation << 8 | 1U) != span.id)
+            return failSpan(span, "root id is not seq 1", error);
+    }
+
+    // Pass 2: parent links. Stage spans must hang off their own
+    // invocation's root; root parents must be another root's id (the
+    // failover chain) or 0.
+    std::unordered_set<std::uint64_t> rootIds;
+    rootIds.reserve(roots.size());
+    for (const auto& [invocation, root] : roots)
+        rootIds.insert(root->id);
+    for (const auto& span : spans) {
+        if (span.stage == SpanStage::Invocation) {
+            if (span.parent != 0 && rootIds.count(span.parent) == 0)
+                return failSpan(span, "chained parent is not a root",
+                                error);
+            if (span.parent == span.id)
+                return failSpan(span, "root parented to itself", error);
+            continue;
+        }
+        const auto it = roots.find(span.invocation);
+        if (it == roots.end())
+            return failSpan(span, "stage span without a root", error);
+        if (span.parent != it->second->id)
+            return failSpan(span, "stage span not parented to its root",
+                            error);
+    }
+
+    // Pass 3: conservation. Per invocation, stage spans sorted by id
+    // (emission order) must tile [root.start, root.end] exactly.
+    std::vector<const Span*> sorted;
+    sorted.reserve(spans.size());
+    for (const auto& span : spans)
+        sorted.push_back(&span);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const Span* a, const Span* b) { return spanBefore(*a, *b); });
+    std::size_t i = 0;
+    while (i < sorted.size()) {
+        const std::uint64_t invocation = sorted[i]->invocation;
+        const Span* root = roots.at(invocation);
+        sim::Tick cursor = root->start;
+        bool sawStage = false;
+        for (; i < sorted.size() && sorted[i]->invocation == invocation;
+             ++i) {
+            const Span& span = *sorted[i];
+            if (span.stage == SpanStage::Invocation)
+                continue;
+            if (span.start != cursor)
+                return failSpan(span, "gap or overlap in stage tiling",
+                                error);
+            if (span.end > root->end)
+                return failSpan(span, "stage span outruns its root",
+                                error);
+            cursor = span.end;
+            sawStage = true;
+        }
+        if (cursor != root->end)
+            return failSpan(*root, "stage spans do not reach the root end",
+                            error);
+        if (!sawStage && root->end != root->start)
+            return failSpan(*root, "non-empty root without stage spans",
+                            error);
+    }
+    return true;
+}
+
+} // namespace rc::obs

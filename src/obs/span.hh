@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Per-invocation spans: causal stage records for cold-start
+ * attribution.
+ *
+ * A Span is a closed interval of one invocation's life — queue wait,
+ * per-layer init (Bare/Lang/User), the in-flight-init latch wait,
+ * dispatch overhead, execution, retry backoff — plus one root span
+ * per invocation covering [arrival, terminal]. The invoker emits
+ * stage spans retroactively, at the simulated instant each stage
+ * ends, so the dump needs no open/close bookkeeping and every span
+ * is final when it lands in the buffer.
+ *
+ * Identity scheme (partition-independent, the PR 6 recipe): an
+ * invocation id is `(node << 40) | localSeq` where localSeq is a
+ * per-invoker arrival counter, and a span id is
+ * `(invocation << 8) | seq` with the root always at seq 1. Both
+ * depend only on the owning node's deterministic event order, never
+ * on shard count or thread schedule, so per-node span buffers merged
+ * with one sort on (invocation, id) are byte-identical at any
+ * `--shards`.
+ *
+ * Causal links: every stage span's `parent` is its invocation's root
+ * span id. A root span's `parent` is 0, except for cluster failover
+ * re-routes, where the re-issued invocation's root points at the
+ * root span of the invocation lost in the crash — so a retry chain
+ * across nodes is still a single rooted tree.
+ *
+ * Conservation invariant (checked by `obs_check --spans` and
+ * validateSpanTree()): each invocation's stage spans, sorted by id,
+ * tile the root interval exactly — first starts at root.start, each
+ * next starts where the previous ended, last ends at root.end.
+ * Zero-length stages are skipped at emission, which cannot open a
+ * gap because the next stage starts at the same tick.
+ */
+
+#ifndef RC_OBS_SPAN_HH_
+#define RC_OBS_SPAN_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/time.hh"
+
+namespace rc::obs {
+
+/** What part of an invocation's life a span covers. */
+enum class SpanStage : std::uint8_t
+{
+    Invocation, //!< root: [arrival, terminal]; info = SpanOutcome
+    Queue,      //!< parked in the admission queue
+    Backoff,    //!< retry backoff wait after a fault
+    InitWait,   //!< latched onto another invocation's in-flight init
+    InitBare,   //!< Bare-layer container init share
+    InitLang,   //!< Lang-layer init share (bare->lang + lang init)
+    InitUser,   //!< User-layer init share (lang->user + user init)
+    Dispatch,   //!< container-bind overhead (userToRun)
+    Exec,       //!< function execution
+};
+
+/** Number of span stages. */
+inline constexpr std::size_t kSpanStageCount =
+    static_cast<std::size_t>(SpanStage::Exec) + 1;
+
+/** How a root span's invocation ended (Span::info on roots). */
+enum class SpanOutcome : std::uint8_t
+{
+    None,         //!< not a root span
+    Completed,    //!< execution finished
+    Failed,       //!< retry budget exhausted
+    Rejected,     //!< admission turned the arrival away
+    ShedDeadline, //!< queued work dropped at deadline expiry
+    ShedPressure, //!< shed at critical pressure level
+    Rerouted,     //!< lost in a node crash, re-issued elsewhere
+    Stranded,     //!< still queued when the run ended
+};
+
+/** Number of span outcomes. */
+inline constexpr std::size_t kSpanOutcomeCount =
+    static_cast<std::size_t>(SpanOutcome::Stranded) + 1;
+
+/** Span::flags bit: the stage was cut short by a fault or crash. */
+inline constexpr std::uint8_t kSpanAborted = 0x01;
+
+/** One closed interval of an invocation's life. POD, 64 bytes. */
+struct Span
+{
+    std::uint64_t id = 0;         //!< (invocation << 8) | seq
+    std::uint64_t parent = 0;     //!< root span id; 0 for chain roots
+    std::uint64_t invocation = 0; //!< (node << 40) | local arrival seq
+    std::uint64_t container = 0;  //!< bound container id, 0 if none
+    sim::Tick start = 0;
+    sim::Tick end = 0;
+    std::uint32_t function = 0;
+    std::uint16_t node = 0;    //!< owning node index (0 single-node)
+    SpanStage stage = SpanStage::Invocation;
+    std::uint8_t info = 0;     //!< roots: SpanOutcome; aborted: layer
+    std::uint8_t attempt = 0;  //!< retry attempt the stage belongs to
+    std::uint8_t flags = 0;    //!< kSpanAborted
+};
+
+static_assert(sizeof(Span) == 64, "Span is sized for bulk buffering");
+
+/** Stable snake_case stage names (span dump / attribution keys). */
+const char* toString(SpanStage stage);
+
+/** Stable snake_case outcome names. */
+const char* toString(SpanOutcome outcome);
+
+/** Inverse of toString(SpanStage); false if @p name is unknown. */
+bool spanStageFromString(const std::string& name, SpanStage* out);
+
+/** Inverse of toString(SpanOutcome); false if unknown. */
+bool spanOutcomeFromString(const std::string& name, SpanOutcome* out);
+
+/** Ordering key for dumps and merges: (invocation, id). */
+inline bool
+spanBefore(const Span& a, const Span& b)
+{
+    if (a.invocation != b.invocation)
+        return a.invocation < b.invocation;
+    return a.id < b.id;
+}
+
+/**
+ * Validate the span-tree invariants over a whole dump: exactly one
+ * root per invocation; every stage span parented to its root; root
+ * parents resolving to another root in the dump (or 0); and the
+ * conservation tiling described in the file header. Returns true if
+ * all hold; otherwise false with a description in @p error.
+ */
+bool validateSpanTree(const std::vector<Span>& spans, std::string* error);
+
+} // namespace rc::obs
+
+#endif // RC_OBS_SPAN_HH_

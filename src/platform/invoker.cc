@@ -26,10 +26,149 @@ Invoker::noteDispatch(const Pending& inv, container::ContainerId cid,
 {
     if (_obs == nullptr)
         return;
+    if (_obs->spansEnabled()) {
+        // Any time between the last stage and this binding was spent
+        // waiting in the queue (zero-length waits are skipped).
+        emitStageSpan(inv, obs::SpanStage::Queue, _engine.now());
+    }
     _obs->counters().bump(counter, _engine.now());
     _obs->emit(_engine.now(), obs::EventType::InvocationDispatched, cid,
                inv.function, static_cast<std::uint8_t>(type), 0,
                sim::toSeconds(inv.queueWait));
+}
+
+// ---- span tracing --------------------------------------------------------
+
+namespace {
+
+/** Span stage for an init aborted at @p layer. */
+obs::SpanStage
+initStageForLayer(workload::Layer layer)
+{
+    switch (layer) {
+      case Layer::Bare: return obs::SpanStage::InitBare;
+      case Layer::Lang: return obs::SpanStage::InitLang;
+      default: return obs::SpanStage::InitUser;
+    }
+}
+
+} // namespace
+
+void
+Invoker::emitStageSpan(const Pending& inv, obs::SpanStage stage,
+                       sim::Tick end, std::uint64_t container,
+                       bool aborted, std::uint8_t info)
+{
+    if (inv.id == 0)
+        return;
+    const auto it = _liveSpans.find(inv.id);
+    if (it == _liveSpans.end())
+        return;
+    LiveSpan& live = it->second;
+    const sim::Tick start = live.lastEnd;
+    live.lastEnd = end;
+    if (end == start)
+        return;
+    if (live.nextSeq > 0xff)
+        return; // id space exhausted (>254 stages); tree check flags it
+    obs::Span span;
+    span.id = (inv.id << 8) | live.nextSeq++;
+    span.parent = (inv.id << 8) | 1U;
+    span.invocation = inv.id;
+    span.container = container;
+    span.start = start;
+    span.end = end;
+    span.function = inv.function;
+    span.node = _obs->spanNode();
+    span.stage = stage;
+    span.info = info;
+    span.attempt = static_cast<std::uint8_t>(
+        std::min<std::uint32_t>(inv.attempt, 0xff));
+    span.flags = aborted ? obs::kSpanAborted : 0;
+    _obs->emitSpan(span);
+}
+
+void
+Invoker::emitInitSpans(const Pending& inv, StartupType type,
+                       std::uint64_t container, sim::Tick end)
+{
+    const auto it = _liveSpans.find(inv.id);
+    if (it == _liveSpans.end())
+        return;
+    const sim::Tick start = it->second.lastEnd;
+    const sim::Tick total = end - start;
+    const auto& costs = _catalog.at(inv.function).costs();
+    // The layers this install actually built, per the lookup ladder;
+    // the elapsed interval is split across them proportionally to the
+    // catalog stage costs so per-layer attribution matches the cost
+    // model even when policies scale or bias the install.
+    const sim::Tick wLang = costs.bareToLang + costs.langInit;
+    const sim::Tick wUser = costs.langToUser + costs.userInit;
+    switch (type) {
+      case StartupType::Load:
+        emitStageSpan(inv, obs::SpanStage::InitWait, end, container);
+        return;
+      case StartupType::User: // foreign-User specialize (Pagurus)
+      case StartupType::Lang: // langToUser + userInit on a Lang hit
+        emitStageSpan(inv, obs::SpanStage::InitUser, end, container);
+        return;
+      case StartupType::Bare: {
+        const sim::Tick sum = wLang + wUser;
+        const sim::Tick langPart = sum > 0 ? total * wLang / sum : 0;
+        emitStageSpan(inv, obs::SpanStage::InitLang, start + langPart,
+                      container);
+        emitStageSpan(inv, obs::SpanStage::InitUser, end, container);
+        return;
+      }
+      case StartupType::Cold: {
+        const sim::Tick wBare = costs.bareInit;
+        const sim::Tick sum = wBare + wLang + wUser;
+        const sim::Tick barePart = sum > 0 ? total * wBare / sum : 0;
+        const sim::Tick langPart = sum > 0 ? total * wLang / sum : 0;
+        emitStageSpan(inv, obs::SpanStage::InitBare, start + barePart,
+                      container);
+        emitStageSpan(inv, obs::SpanStage::InitLang,
+                      start + barePart + langPart, container);
+        emitStageSpan(inv, obs::SpanStage::InitUser, end, container);
+        return;
+      }
+    }
+}
+
+std::uint64_t
+Invoker::closeRootSpan(const Pending& inv, obs::SpanOutcome outcome)
+{
+    if (inv.id == 0)
+        return 0;
+    const auto it = _liveSpans.find(inv.id);
+    if (it == _liveSpans.end())
+        return 0;
+    obs::Span span;
+    span.id = (inv.id << 8) | 1U;
+    span.parent = it->second.origin;
+    span.invocation = inv.id;
+    span.start = inv.arrival;
+    span.end = _engine.now();
+    span.function = inv.function;
+    span.node = _obs->spanNode();
+    span.stage = obs::SpanStage::Invocation;
+    span.info = static_cast<std::uint8_t>(outcome);
+    span.attempt = static_cast<std::uint8_t>(
+        std::min<std::uint32_t>(inv.attempt, 0xff));
+    _obs->emitSpan(span);
+    _liveSpans.erase(it);
+    return span.id;
+}
+
+void
+Invoker::closeStrandedSpans()
+{
+    if (!spansOn())
+        return;
+    for (const auto& inv : _queue) {
+        emitStageSpan(inv, obs::SpanStage::Queue, _engine.now());
+        closeRootSpan(inv, obs::SpanOutcome::Stranded);
+    }
 }
 
 sim::Tick
@@ -44,7 +183,7 @@ Invoker::coldInitLatency(const workload::FunctionProfile& p) const
 }
 
 void
-Invoker::onArrival(workload::FunctionId function)
+Invoker::onArrival(workload::FunctionId function, std::uint64_t originSpan)
 {
     ++_admitted;
     if (_obs != nullptr) {
@@ -54,7 +193,13 @@ Invoker::onArrival(workload::FunctionId function)
     // History feeds before any admission decision: a degraded run must
     // leave the policy's recorder identical to an uncontrolled one.
     _policy.onArrival(function);
-    const Pending inv{function, _engine.now(), 0, 0};
+    Pending inv{function, _engine.now(), 0, 0};
+    if (spansOn()) {
+        inv.id = nextInvocationId();
+        LiveSpan& live = _liveSpans[inv.id];
+        live.lastEnd = _engine.now();
+        live.origin = originSpan;
+    }
     if (_admission != nullptr &&
         !_admission->tryAdmit(function, _engine.now())) {
         rejectArrival(inv, 0); // per-function rate limit
@@ -80,6 +225,8 @@ void
 Invoker::rejectArrival(const Pending& inv, std::uint8_t reason)
 {
     ++_rejected;
+    if (spansOn())
+        closeRootSpan(inv, obs::SpanOutcome::Rejected);
     _admission->noteShedForPressure();
     RC_LOG(Debug, "rejecting invocation of f" << inv.function
                   << " (reason " << static_cast<int>(reason) << ")");
@@ -94,6 +241,11 @@ Invoker::rejectArrival(const Pending& inv, std::uint8_t reason)
 void
 Invoker::shedInvocation(const Pending& inv, std::uint8_t cause)
 {
+    if (spansOn()) {
+        emitStageSpan(inv, obs::SpanStage::Queue, _engine.now());
+        closeRootSpan(inv, cause == 0 ? obs::SpanOutcome::ShedDeadline
+                                      : obs::SpanOutcome::ShedPressure);
+    }
     _admission->noteShedForPressure();
     if (cause == 0)
         ++_shedDeadline;
@@ -345,6 +497,10 @@ Invoker::onInitComplete(container::ContainerId cid)
     }
     const Attachment attachment = it->second;
     _attachments.erase(it);
+    if (spansOn()) {
+        emitInitSpans(attachment.pending, attachment.type, cid,
+                      _engine.now());
+    }
     _pool.beginExecution(*c);
     startExecution(attachment.pending, *c, attachment.type,
                    _catalog.at(attachment.pending.function)
@@ -441,6 +597,16 @@ Invoker::startExecution(const Pending& inv, Container& c, StartupType type,
                            static_cast<std::uint8_t>(type), 0,
                            sim::toSeconds(record.startupLatency),
                            sim::toSeconds(record.endToEnd));
+                if (_obs->spansEnabled()) {
+                    // The execution interval is the trailing part of
+                    // the event; whatever preceded it since the last
+                    // stage (= bind time) is dispatch overhead.
+                    emitStageSpan(inv, obs::SpanStage::Dispatch,
+                                  _engine.now() - execution, cid);
+                    emitStageSpan(inv, obs::SpanStage::Exec,
+                                  _engine.now(), cid);
+                    closeRootSpan(inv, obs::SpanOutcome::Completed);
+                }
             }
 
             scheduleKeepAlive(*done);
@@ -714,6 +880,15 @@ Invoker::onInitFailed(container::ContainerId cid, workload::Layer stage)
     if (it != _attachments.end()) {
         pending = it->second.pending;
         hasPending = true;
+        if (spansOn()) {
+            const auto spanStage =
+                it->second.type == StartupType::Load
+                    ? obs::SpanStage::InitWait
+                    : initStageForLayer(stage);
+            emitStageSpan(pending, spanStage, _engine.now(), cid,
+                          /*aborted=*/true,
+                          static_cast<std::uint8_t>(stage));
+        }
         _attachments.erase(it);
     }
     _policy.onContainerFailed(*c);
@@ -748,6 +923,10 @@ Invoker::onExecFault(container::ContainerId cid, bool wedged)
                        cid, pending.function);
         }
     }
+    if (spansOn()) {
+        emitStageSpan(pending, obs::SpanStage::Exec, _engine.now(), cid,
+                      /*aborted=*/true, wedged ? 2 : 1);
+    }
     _policy.onContainerFailed(*c);
     _pool.forceKill(*c, wedged ? obs::KillCause::WedgeTimeout
                                : obs::KillCause::ExecFault);
@@ -761,6 +940,8 @@ Invoker::scheduleRetry(Pending inv)
     ++inv.attempt;
     if (inv.attempt > _fault->plan().maxRetries) {
         ++_failed;
+        if (spansOn())
+            closeRootSpan(inv, obs::SpanOutcome::Failed);
         if (_obs != nullptr) {
             _obs->counters().bump(obs::Counter::RetryExhausted,
                                   _engine.now());
@@ -787,6 +968,8 @@ Invoker::scheduleRetry(Pending inv)
         // drain picks it up. Never lost, never double-executed —
         // unless the admission controller forbids queueing, in which
         // case it is shed like any other overflow.
+        if (spansOn())
+            emitStageSpan(inv, obs::SpanStage::Backoff, _engine.now());
         if (isDown() || !tryDispatch(inv))
             queueOrShed(inv);
     });
@@ -842,19 +1025,48 @@ Invoker::crashImpl(sim::Tick downUntil)
 
     // Collect the invocations that lose their container, in container
     // id order so the retry sequence is independent of hash layout.
-    std::vector<std::pair<container::ContainerId, Pending>> tagged;
+    struct Lost
+    {
+        container::ContainerId cid;
+        Pending inv;
+        obs::SpanStage stage;
+    };
+    std::vector<Lost> tagged;
     for (auto& [cid, tracking] : _execs) {
         _engine.cancel(tracking.event);
-        tagged.emplace_back(cid, tracking.inv);
+        tagged.push_back(Lost{cid, tracking.inv, obs::SpanStage::Exec});
     }
     _execs.clear();
-    for (auto& [cid, attachment] : _attachments)
-        tagged.emplace_back(cid, attachment.pending);
+    for (auto& [cid, attachment] : _attachments) {
+        // The whole install is cut short; charge it to the wait stage
+        // for latched invocations and to the first layer being built
+        // otherwise (attribution folds aborted spans into "retry").
+        obs::SpanStage stage = obs::SpanStage::InitUser;
+        switch (attachment.type) {
+          case StartupType::Load:
+            stage = obs::SpanStage::InitWait;
+            break;
+          case StartupType::Cold:
+            stage = obs::SpanStage::InitBare;
+            break;
+          case StartupType::Bare:
+            stage = obs::SpanStage::InitLang;
+            break;
+          default:
+            break;
+        }
+        tagged.push_back(Lost{cid, attachment.pending, stage});
+    }
     _attachments.clear();
     std::sort(tagged.begin(), tagged.end(),
-              [](const auto& a, const auto& b) {
-                  return a.first < b.first;
+              [](const Lost& a, const Lost& b) {
+                  return a.cid < b.cid;
               });
+    if (spansOn()) {
+        for (const auto& lost : tagged)
+            emitStageSpan(lost.inv, lost.stage, now, lost.cid,
+                          /*aborted=*/true);
+    }
     _inFlight = 0;
     if (_admission != nullptr)
         _admission->resetInFlight();
@@ -885,26 +1097,32 @@ Invoker::crashImpl(sim::Tick downUntil)
 
     std::vector<Pending> lost;
     lost.reserve(tagged.size());
-    for (auto& [cid, inv] : tagged)
-        lost.push_back(inv);
+    for (auto& entry : tagged)
+        lost.push_back(entry.inv);
     return lost;
 }
 
-std::vector<workload::FunctionId>
+std::vector<FailoverTicket>
 Invoker::crashNow(sim::Tick downUntil)
 {
     std::vector<Pending> lost = crashImpl(downUntil);
     // Cluster failover also re-admits the queue: queued work would
     // otherwise sit out the whole downtime on a dead node.
-    std::vector<workload::FunctionId> functions;
-    functions.reserve(lost.size() + _queue.size());
-    for (const auto& inv : lost)
-        functions.push_back(inv.function);
-    for (const auto& inv : _queue)
-        functions.push_back(inv.function);
+    std::vector<FailoverTicket> tickets;
+    tickets.reserve(lost.size() + _queue.size());
+    for (const auto& inv : lost) {
+        tickets.push_back(FailoverTicket{
+            inv.function, closeRootSpan(inv, obs::SpanOutcome::Rerouted)});
+    }
+    for (const auto& inv : _queue) {
+        if (spansOn())
+            emitStageSpan(inv, obs::SpanStage::Queue, _engine.now());
+        tickets.push_back(FailoverTicket{
+            inv.function, closeRootSpan(inv, obs::SpanOutcome::Rerouted)});
+    }
     _queue.clear();
-    _extracted += functions.size();
-    return functions;
+    _extracted += tickets.size();
+    return tickets;
 }
 
 void

@@ -42,6 +42,17 @@
 
 namespace rc::platform {
 
+/**
+ * An invocation extracted by a cluster crash for re-routing, with the
+ * span identity of the lost invocation so the re-issued one's root
+ * can chain back to it (0 when span tracing is off).
+ */
+struct FailoverTicket
+{
+    workload::FunctionId function = workload::kInvalidFunction;
+    std::uint64_t originSpan = 0;
+};
+
 /** Event-driven invocation orchestrator; one per worker node. */
 class Invoker : public policy::PlatformView
 {
@@ -58,8 +69,13 @@ class Invoker : public policy::PlatformView
     Invoker(const Invoker&) = delete;
     Invoker& operator=(const Invoker&) = delete;
 
-    /** Handle an invocation arriving now. */
-    void onArrival(workload::FunctionId function);
+    /**
+     * Handle an invocation arriving now. @p originSpan links the new
+     * invocation's root span to the root of an invocation lost in a
+     * node crash (cluster failover re-routes); 0 = fresh arrival.
+     */
+    void onArrival(workload::FunctionId function,
+                   std::uint64_t originSpan = 0);
 
     /** Invocations currently waiting for memory. */
     std::size_t queuedInvocations() const { return _queue.size(); }
@@ -126,7 +142,14 @@ class Invoker : public policy::PlatformView
      * — the cluster re-routes them to healthy nodes. The node stays
      * down until @p downUntil.
      */
-    std::vector<workload::FunctionId> crashNow(sim::Tick downUntil);
+    std::vector<FailoverTicket> crashNow(sim::Tick downUntil);
+
+    /**
+     * Close the spans of invocations still queued when the run ends
+     * (outcome Stranded). Called once after the finalize drain; no-op
+     * unless span tracing is on.
+     */
+    void closeStrandedSpans();
 
     /**
      * End-of-run flush is starting: clear any down state so the queue
@@ -196,6 +219,7 @@ class Invoker : public policy::PlatformView
         sim::Tick queueWait = 0; //!< admission-queue wait before binding
         std::uint32_t attempt = 0; //!< fault retries consumed so far
         std::uint64_t seq = 0; //!< deadline-shedding tag; 0 = untagged
+        std::uint64_t id = 0; //!< span invocation id; 0 = spans off
     };
 
     /** Bookkeeping for a claimed in-flight initialization. */
@@ -302,6 +326,48 @@ class Invoker : public policy::PlatformView
     void noteDispatch(const Pending& inv, container::ContainerId cid,
                       StartupType type, obs::Counter counter);
 
+    // ---- span tracing (all dormant unless the observer enables it) -----
+
+    /** Fast gate for every span emission site. */
+    bool spansOn() const
+    {
+        return _obs != nullptr && _obs->spansEnabled();
+    }
+
+    /** Mint the next invocation id: (node << 40) | local sequence. */
+    std::uint64_t nextInvocationId()
+    {
+        return (static_cast<std::uint64_t>(_obs->spanNode()) << 40) |
+               _nextInvocationId++;
+    }
+
+    /**
+     * Emit one stage span covering [lastEnd, @p end] of @p inv's
+     * timeline and advance the cursor. Zero-length stages are
+     * skipped (the next stage starts at the same tick, so the
+     * conservation tiling stays gapless).
+     */
+    void emitStageSpan(const Pending& inv, obs::SpanStage stage,
+                       sim::Tick end, std::uint64_t container = 0,
+                       bool aborted = false, std::uint8_t info = 0);
+
+    /**
+     * Emit the per-layer init spans for a completed install: the
+     * elapsed [lastEnd, @p end] interval split across the layers the
+     * startup type actually built, proportionally to their catalog
+     * costs (deterministic integer arithmetic).
+     */
+    void emitInitSpans(const Pending& inv, StartupType type,
+                       std::uint64_t container, sim::Tick end);
+
+    /**
+     * Emit @p inv's root span [arrival, now] with @p outcome and
+     * forget its live state. Returns the root span id (0 when spans
+     * are off) so crashNow can hand it to the failover ticket.
+     */
+    std::uint64_t closeRootSpan(const Pending& inv,
+                                obs::SpanOutcome outcome);
+
     /** Profiler of the attached observer, or nullptr. */
     obs::Profiler*
     profiler()
@@ -361,6 +427,19 @@ class Invoker : public policy::PlatformView
     std::uint64_t _shedPressure = 0;
     std::uint64_t _degradedKeepalives = 0;
     std::size_t _peakQueueDepth = 0;
+
+    // ---- span state (all dormant while spans are off) ------------------
+
+    /** Per-live-invocation span bookkeeping, keyed by Pending::id. */
+    struct LiveSpan
+    {
+        sim::Tick lastEnd = 0;      //!< end of the last emitted stage
+        std::uint64_t origin = 0;   //!< chained parent root span id
+        std::uint32_t nextSeq = 2;  //!< next span seq (root takes 1)
+    };
+
+    std::unordered_map<std::uint64_t, LiveSpan> _liveSpans;
+    std::uint64_t _nextInvocationId = 1;
 };
 
 } // namespace rc::platform

@@ -73,9 +73,9 @@ Node::run(const std::vector<trace::Arrival>& arrivals)
 }
 
 void
-Node::invokeNow(workload::FunctionId function)
+Node::invokeNow(workload::FunctionId function, std::uint64_t originSpan)
 {
-    _invoker.onArrival(function);
+    _invoker.onArrival(function, originSpan);
 }
 
 void
@@ -139,6 +139,9 @@ Node::finalize()
             break;
         before = after;
     }
+    // Whatever is still queued will never bind: close its spans as
+    // stranded so the dump's conservation invariant covers it too.
+    _invoker.closeStrandedSpans();
 }
 
 } // namespace rc::platform

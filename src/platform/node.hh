@@ -88,8 +88,13 @@ class Node
      */
     void run(const std::vector<trace::Arrival>& arrivals);
 
-    /** Inject a single invocation at the current simulated time. */
-    void invokeNow(workload::FunctionId function);
+    /**
+     * Inject a single invocation at the current simulated time.
+     * @p originSpan chains the invocation's root span to a root lost
+     * in a crash (cluster failover); 0 = fresh arrival.
+     */
+    void invokeNow(workload::FunctionId function,
+                   std::uint64_t originSpan = 0);
 
     /** Advance simulated time, draining due events. */
     void advanceTo(sim::Tick when);
@@ -133,7 +138,7 @@ class Node
     }
 
     /** Cluster-driven crash; see Invoker::crashNow. */
-    std::vector<workload::FunctionId> crashNow(sim::Tick downUntil)
+    std::vector<FailoverTicket> crashNow(sim::Tick downUntil)
     {
         return _invoker.crashNow(downUntil);
     }

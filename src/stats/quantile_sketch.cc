@@ -1,0 +1,82 @@
+#include "stats/quantile_sketch.hh"
+
+#include <cassert>
+#include <cmath>
+
+namespace rc::stats {
+
+QuantileSketch::QuantileSketch(double relativeError)
+    : _alpha(relativeError),
+      _gamma((1.0 + relativeError) / (1.0 - relativeError)),
+      _logGamma(std::log(_gamma))
+{
+    assert(relativeError > 0.0 && relativeError < 1.0);
+}
+
+void
+QuantileSketch::add(double x)
+{
+    ++_count;
+    if (!(x > 0.0)) {
+        ++_zeros;
+        return;
+    }
+    const auto key =
+        static_cast<std::int32_t>(std::ceil(std::log(x) / _logGamma));
+    ++_buckets[key];
+}
+
+void
+QuantileSketch::merge(const QuantileSketch& other)
+{
+    assert(_alpha == other._alpha &&
+           "merging sketches with different accuracies");
+    _count += other._count;
+    _zeros += other._zeros;
+    for (const auto& [key, n] : other._buckets)
+        _buckets[key] += n;
+}
+
+double
+QuantileSketch::quantile(double q) const
+{
+    if (_count == 0)
+        return 0.0;
+    if (q < 0.0)
+        q = 0.0;
+    if (q > 1.0)
+        q = 1.0;
+    // Target the sample at rank floor(q * (count - 1)) of the sorted
+    // stream; zeros sort first.
+    const auto rank = static_cast<std::uint64_t>(
+        q * static_cast<double>(_count - 1));
+    if (rank < _zeros)
+        return 0.0;
+    std::uint64_t cumulative = _zeros;
+    for (const auto& [key, n] : _buckets) {
+        cumulative += n;
+        if (cumulative > rank) {
+            // Midpoint of bucket (gamma^(k-1), gamma^k]: within
+            // alpha (relatively) of every sample in the bucket.
+            return 2.0 * std::pow(_gamma, static_cast<double>(key)) /
+                   (_gamma + 1.0);
+        }
+    }
+    // Unreachable when counts are consistent; return the top bucket.
+    return _buckets.empty()
+               ? 0.0
+               : 2.0 * std::pow(_gamma,
+                                static_cast<double>(
+                                    _buckets.rbegin()->first)) /
+                     (_gamma + 1.0);
+}
+
+void
+QuantileSketch::reset()
+{
+    _count = 0;
+    _zeros = 0;
+    _buckets.clear();
+}
+
+} // namespace rc::stats

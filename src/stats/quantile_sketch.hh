@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Mergeable relative-error quantile sketch (DDSketch-style).
+ *
+ * stats::Percentile keeps every sample exact, which is the right call
+ * where goldens pin figure numbers but an O(n)-memory wall for the
+ * fleet-scale runs ROADMAP items 1–2 aim at. QuantileSketch instead
+ * buckets positive samples on a logarithmic grid with ratio
+ * gamma = (1 + alpha) / (1 - alpha): any quantile estimate is within
+ * relative error alpha of some sample at the queried rank, using
+ * O(log(max/min) / alpha) buckets regardless of sample count.
+ *
+ * Determinism contract (same spirit as the sharded cluster's
+ * sort-once merges): buckets live in a std::map keyed by the integer
+ * log index, merge() adds counts bucket-wise, and quantile() walks
+ * the map in key order — so merging per-node sketches in any order
+ * yields bit-identical results, and a merged sketch equals the
+ * sketch of the concatenated stream.
+ */
+
+#ifndef RC_STATS_QUANTILE_SKETCH_HH_
+#define RC_STATS_QUANTILE_SKETCH_HH_
+
+#include <cstdint>
+#include <map>
+
+namespace rc::stats {
+
+/** Mergeable quantile sketch with bounded relative error. */
+class QuantileSketch
+{
+  public:
+    /** @param relativeError  Accuracy alpha in (0, 1); default 1%. */
+    explicit QuantileSketch(double relativeError = 0.01);
+
+    /** Add one sample; values <= 0 land in a dedicated zero bucket. */
+    void add(double x);
+
+    /**
+     * Fold @p other into this sketch (bucket-wise count addition).
+     * Both sketches must share the same relative error; merging is
+     * commutative and associative, so merge order never matters.
+     */
+    void merge(const QuantileSketch& other);
+
+    /**
+     * Quantile @p q in [0, 1]; 0 when empty. The returned value is
+     * within relativeError() (relatively) of the sample at rank
+     * floor(q * (count - 1)) of the sorted stream.
+     */
+    double quantile(double q) const;
+
+    /** Convenience: 50th / 99th percentiles. */
+    double median() const { return quantile(0.5); }
+    double p99() const { return quantile(0.99); }
+
+    /** Total samples absorbed (including zero/negative ones). */
+    std::uint64_t count() const { return _count; }
+
+    /** Configured accuracy alpha. */
+    double relativeError() const { return _alpha; }
+
+    /** Number of log-grid buckets currently held. */
+    std::size_t bucketCount() const { return _buckets.size(); }
+
+    /** Drop all samples, keeping the accuracy setting. */
+    void reset();
+
+  private:
+    double _alpha;
+    double _gamma;
+    double _logGamma;
+    std::uint64_t _count = 0;
+    std::uint64_t _zeros = 0;
+    std::map<std::int32_t, std::uint64_t> _buckets;
+};
+
+} // namespace rc::stats
+
+#endif // RC_STATS_QUANTILE_SKETCH_HH_

@@ -8,10 +8,15 @@
 
 #include <sstream>
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
 #include "stats/accumulator.hh"
 #include "stats/histogram.hh"
 #include "stats/interval_log.hh"
 #include "stats/percentile.hh"
+#include "stats/quantile_sketch.hh"
 #include "stats/table.hh"
 #include "stats/time_series.hh"
 
@@ -312,6 +317,116 @@ TEST(IntervalLog, TimelineSelectsClasses)
     EXPECT_NEAR(green.total(), log.hitWasteMbSeconds(), 1e-6);
     const auto red = log.timeline(IntervalLog::Select::NeverHit);
     EXPECT_NEAR(red.total(), log.neverHitWasteMbSeconds(), 1e-6);
+}
+
+// ---- QuantileSketch ----------------------------------------------------
+
+namespace {
+
+/** Deterministic heavy-tailed sample stream (no global RNG state). */
+std::vector<double>
+skewedSamples(std::size_t n)
+{
+    std::vector<double> xs;
+    xs.reserve(n);
+    std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+    for (std::size_t i = 0; i < n; ++i) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        const double u =
+            static_cast<double>(state >> 11) / 9007199254740992.0;
+        // Exponential of an exponential: spans several decades, like
+        // end-to-end latencies mixing warm hits and cold inits.
+        xs.push_back(0.001 * std::exp(6.0 * u));
+    }
+    return xs;
+}
+
+/** The sample the sketch contract targets: sorted[floor(q*(n-1))]. */
+double
+floorRankQuantile(std::vector<double> xs, double q)
+{
+    std::sort(xs.begin(), xs.end());
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(xs.size() - 1));
+    return xs[rank];
+}
+
+} // namespace
+
+TEST(QuantileSketch, EmptyIsZero)
+{
+    QuantileSketch sketch;
+    EXPECT_EQ(sketch.count(), 0u);
+    EXPECT_DOUBLE_EQ(sketch.quantile(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(sketch.p99(), 0.0);
+}
+
+TEST(QuantileSketch, RelativeErrorBoundHolds)
+{
+    const auto xs = skewedSamples(5000);
+    QuantileSketch sketch;
+    for (const double x : xs)
+        sketch.add(x);
+    EXPECT_EQ(sketch.count(), xs.size());
+    for (const double q : {0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+        const double exact = floorRankQuantile(xs, q);
+        const double approx = sketch.quantile(q);
+        EXPECT_LE(std::abs(approx - exact),
+                  sketch.relativeError() * exact + 1e-12)
+            << "q=" << q;
+    }
+}
+
+TEST(QuantileSketch, MergeIsOrderIndependentAndLossless)
+{
+    const auto xs = skewedSamples(4000);
+    QuantileSketch whole;
+    std::vector<QuantileSketch> parts(4);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        whole.add(xs[i]);
+        parts[i % parts.size()].add(xs[i]);
+    }
+    QuantileSketch forward, backward;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        forward.merge(parts[i]);
+        backward.merge(parts[parts.size() - 1 - i]);
+    }
+    EXPECT_EQ(forward.count(), whole.count());
+    EXPECT_EQ(forward.bucketCount(), whole.bucketCount());
+    for (const double q : {0.01, 0.25, 0.5, 0.75, 0.99}) {
+        // Bit-identical, not merely close: bucket-wise addition makes
+        // the merged sketch equal the sketch of the whole stream.
+        EXPECT_DOUBLE_EQ(forward.quantile(q), backward.quantile(q));
+        EXPECT_DOUBLE_EQ(forward.quantile(q), whole.quantile(q));
+    }
+}
+
+TEST(QuantileSketch, ZerosSortFirst)
+{
+    QuantileSketch sketch;
+    for (int i = 0; i < 50; ++i)
+        sketch.add(0.0);
+    for (int i = 0; i < 50; ++i)
+        sketch.add(10.0);
+    EXPECT_EQ(sketch.count(), 100u);
+    EXPECT_DOUBLE_EQ(sketch.quantile(0.25), 0.0);
+    const double high = sketch.quantile(0.75);
+    EXPECT_NEAR(high, 10.0, sketch.relativeError() * 10.0);
+    // Negative values are clamped into the zero bucket too.
+    sketch.add(-3.0);
+    EXPECT_DOUBLE_EQ(sketch.quantile(0.0), 0.0);
+}
+
+TEST(QuantileSketch, ResetKeepsAccuracySetting)
+{
+    QuantileSketch sketch(0.05);
+    sketch.add(1.0);
+    sketch.reset();
+    EXPECT_EQ(sketch.count(), 0u);
+    EXPECT_EQ(sketch.bucketCount(), 0u);
+    EXPECT_DOUBLE_EQ(sketch.relativeError(), 0.05);
+    sketch.add(2.0);
+    EXPECT_NEAR(sketch.median(), 2.0, 0.05 * 2.0);
 }
 
 // ---- Table -------------------------------------------------------------

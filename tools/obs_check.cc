@@ -17,6 +17,20 @@
  *  * events: every line parses, ticks are non-decreasing (emission
  *    order is simulated-time order), categories/types are known
  *    names.
+ *  * spans: the rainbowcake-spans-v1 dump parses, recorded no drops
+ *    (CI runs with unbounded span buffers, so any drop is a bug),
+ *    lines are in (invocation, id) order, and the span-tree
+ *    invariants hold — one root per invocation, causal parent links,
+ *    and the conservation tiling: each invocation's stage spans sum
+ *    exactly to its end-to-end interval.
+ *  * attribution: the rainbowcake-attribution-v1 report parses,
+ *    every run carries the required keys, outcome counts sum to the
+ *    invocation count, and the component totals conserve the
+ *    end-to-end total. When --report is also given (single-policy
+ *    artifacts), the attribution totals are cross-validated against
+ *    the report's counters: completed/failed/rejected/shed/stranded
+ *    outcomes must equal the report fields and the span counts must
+ *    match spans_recorded/spans_dropped.
  *  * bench-overload: parses BENCH_overload.json from bench_overload
  *    and asserts the headline overload claim — at 4x offered load,
  *    RainbowCake with admission control holds a strictly lower p99
@@ -41,8 +55,11 @@
 #include <utility>
 #include <vector>
 
+#include <cmath>
+
 #include "obs/export.hh"
 #include "obs/json.hh"
+#include "obs/span.hh"
 #include "obs/trace_event.hh"
 
 namespace {
@@ -161,6 +178,19 @@ checkReport(const std::string& path)
                      counter + " disagrees with report field " + field);
             }
         }
+        // CI runs with unbounded buffers: any recorded drop means an
+        // artifact silently lost data. Gated on key presence so
+        // reports written before the fields existed stay valid.
+        for (const char* key : {"events_dropped", "spans_dropped"}) {
+            if (entry.find(key) != nullptr && entry.numberAt(key) > 0.0)
+                fail(path + ": policy " + name + ": " + key + " is " +
+                     std::to_string(entry.numberAt(key)));
+        }
+        if (counters->find("trace_dropped") != nullptr &&
+            counters->numberAt("trace_dropped") > 0.0) {
+            fail(path + ": policy " + name +
+                 ": trace_dropped counter is nonzero");
+        }
     }
     std::cout << "obs_check: report ok (" << policies->array.size()
               << " policies)\n";
@@ -240,6 +270,192 @@ checkEvents(const std::string& path)
     }
     std::cout << "obs_check: events ok (" << events.size()
               << " events)\n";
+}
+
+void
+checkSpans(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        fail("cannot open " + path);
+        return;
+    }
+    std::string error;
+    std::uint64_t dropped = 0;
+    const auto spans = obs::parseJsonlSpans(in, &error, &dropped);
+    if (!error.empty()) {
+        fail(path + ": " + error);
+        return;
+    }
+    if (dropped > 0) {
+        fail(path + ": " + std::to_string(dropped) +
+             " spans dropped (CI span buffers must be unbounded)");
+    }
+    if (spans.empty()) {
+        fail(path + ": no spans");
+        return;
+    }
+    for (std::size_t i = 1; i < spans.size(); ++i) {
+        if (obs::spanBefore(spans[i], spans[i - 1])) {
+            fail(path + ": dump is not in (invocation, id) order at "
+                 "line " + std::to_string(i + 2));
+            return;
+        }
+    }
+    if (!obs::validateSpanTree(spans, &error)) {
+        fail(path + ": " + error);
+        return;
+    }
+    if (gFailures == 0) {
+        std::cout << "obs_check: spans ok (" << spans.size()
+                  << " spans, tree + conservation hold)\n";
+    }
+}
+
+/** Attribution outcome fields that mirror report counters. */
+constexpr const char* kOutcomeNames[] = {
+    "completed", "failed",   "rejected", "shed_deadline",
+    "shed_pressure", "rerouted", "stranded",
+};
+
+void
+checkAttribution(const std::string& path)
+{
+    bool ok = false;
+    const std::string text = slurp(path, ok);
+    if (!ok)
+        return;
+    obs::JsonValue root;
+    std::string error;
+    if (!obs::parseJson(text, root, &error)) {
+        fail(path + ": " + error);
+        return;
+    }
+    if (root.stringAt("schema") != "rainbowcake-attribution-v1") {
+        fail(path + ": schema is not rainbowcake-attribution-v1");
+        return;
+    }
+    const obs::JsonValue* runs = root.find("runs");
+    if (!runs || !runs->isArray() || runs->array.empty()) {
+        fail(path + ": missing or empty runs array");
+        return;
+    }
+    for (const auto& run : runs->array) {
+        const std::string label = run.stringAt("label", "<unnamed>");
+        for (const char* key : {"spans", "dropped", "invocations",
+                                "outcomes", "e2e", "components",
+                                "functions"}) {
+            if (!run.find(key))
+                fail(path + ": run " + label + " lacks key " + key);
+        }
+        const obs::JsonValue* outcomes = run.find("outcomes");
+        if (outcomes != nullptr) {
+            double sum = 0.0;
+            for (const char* name : kOutcomeNames)
+                sum += outcomes->numberAt(name);
+            if (sum != run.numberAt("invocations")) {
+                fail(path + ": run " + label +
+                     ": outcome counts do not sum to invocations");
+            }
+        }
+        // Conservation, fleet-wide: per invocation the components
+        // tile [arrival, terminal] exactly, so the component totals
+        // must reproduce the end-to-end total (tolerance covers the
+        // different double summation orders).
+        const obs::JsonValue* e2e = run.find("e2e");
+        const obs::JsonValue* components = run.find("components");
+        if (e2e != nullptr && components != nullptr) {
+            if (e2e->numberAt("count") != run.numberAt("invocations")) {
+                fail(path + ": run " + label +
+                     ": e2e count disagrees with invocations");
+            }
+            double componentTotal = 0.0;
+            for (const auto& [name, track] : components->object)
+                componentTotal += track.numberAt("total_s");
+            const double e2eTotal = e2e->numberAt("total_s");
+            const double slack =
+                1e-6 * std::max(1.0, std::abs(e2eTotal));
+            if (std::abs(componentTotal - e2eTotal) > slack) {
+                fail(path + ": run " + label +
+                     ": components total " +
+                     std::to_string(componentTotal) +
+                     " s does not conserve e2e total " +
+                     std::to_string(e2eTotal) + " s");
+            }
+        }
+        if (run.numberAt("dropped") > 0.0)
+            fail(path + ": run " + label + ": attribution built from "
+                 "a dump with drops");
+    }
+    if (gFailures == 0) {
+        std::cout << "obs_check: attribution ok ("
+                  << runs->array.size() << " runs, conservation holds)\n";
+    }
+}
+
+/**
+ * Cross-validate a single-policy report against a single-run
+ * attribution: the span outcomes and the report's own accounting
+ * fields describe the same run, so they must agree exactly.
+ */
+void
+crossCheckAttribution(const std::string& reportPath,
+                      const std::string& attributionPath)
+{
+    bool ok = false;
+    const std::string reportText = slurp(reportPath, ok);
+    if (!ok)
+        return;
+    const std::string attributionText = slurp(attributionPath, ok);
+    if (!ok)
+        return;
+    obs::JsonValue report;
+    obs::JsonValue attribution;
+    if (!obs::parseJson(reportText, report) ||
+        !obs::parseJson(attributionText, attribution))
+        return; // the per-artifact checks already failed loudly
+    const obs::JsonValue* policies = report.find("policies");
+    const obs::JsonValue* runs = attribution.find("runs");
+    if (!policies || !policies->isArray() || !runs || !runs->isArray())
+        return;
+    if (policies->array.size() != 1 || runs->array.size() != 1) {
+        std::cout << "obs_check: cross-check skipped (needs exactly "
+                     "one policy and one attribution run)\n";
+        return;
+    }
+    const obs::JsonValue& policy = policies->array.front();
+    const obs::JsonValue& run = runs->array.front();
+    const obs::JsonValue* outcomes = run.find("outcomes");
+    if (outcomes == nullptr) {
+        fail(attributionPath + ": run lacks outcomes");
+        return;
+    }
+    static const std::pair<const char*, const char*> kPairs[] = {
+        {"completed", "invocations"}, {"failed", "failed"},
+        {"rejected", "rejected"},     {"shed_deadline", "shed_deadline"},
+        {"shed_pressure", "shed_pressure"}, {"stranded", "stranded"},
+    };
+    for (const auto& [outcome, field] : kPairs) {
+        if (outcomes->numberAt(outcome) != policy.numberAt(field)) {
+            fail("cross-check: attribution outcome " +
+                 std::string(outcome) + " (" +
+                 std::to_string(outcomes->numberAt(outcome)) +
+                 ") disagrees with report field " + field + " (" +
+                 std::to_string(policy.numberAt(field)) + ")");
+        }
+    }
+    if (policy.find("spans_recorded") != nullptr &&
+        policy.numberAt("spans_recorded") != run.numberAt("spans")) {
+        fail("cross-check: attribution span count disagrees with "
+             "report spans_recorded");
+    }
+    if (policy.find("spans_dropped") != nullptr &&
+        policy.numberAt("spans_dropped") != run.numberAt("dropped")) {
+        fail("cross-check: attribution drop count disagrees with "
+             "report spans_dropped");
+    }
+    if (gFailures == 0)
+        std::cout << "obs_check: attribution/report cross-check ok\n";
 }
 
 void
@@ -404,8 +620,11 @@ checkFleetSummary(const std::string& path)
 usage(int code)
 {
     std::cout << "obs_check [--report FILE] [--trace FILE] "
-                 "[--events FILE] [--bench-overload FILE] "
-                 "[--fleet FILE]\n";
+                 "[--events FILE] [--spans FILE] "
+                 "[--attribution FILE] [--bench-overload FILE] "
+                 "[--fleet FILE]\n"
+                 "  --report + --attribution together also "
+                 "cross-validate the two.\n";
     std::exit(code);
 }
 
@@ -415,6 +634,8 @@ int
 main(int argc, char** argv)
 {
     bool any = false;
+    std::string reportPath;
+    std::string attributionPath;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (i + 1 >= argc) {
@@ -425,11 +646,17 @@ main(int argc, char** argv)
         }
         const std::string value = argv[++i];
         if (arg == "--report") {
+            reportPath = value;
             checkReport(value);
         } else if (arg == "--trace") {
             checkTrace(value);
         } else if (arg == "--events") {
             checkEvents(value);
+        } else if (arg == "--spans") {
+            checkSpans(value);
+        } else if (arg == "--attribution") {
+            attributionPath = value;
+            checkAttribution(value);
         } else if (arg == "--bench-overload") {
             checkBenchOverload(value);
         } else if (arg == "--fleet") {
@@ -442,5 +669,7 @@ main(int argc, char** argv)
     }
     if (!any)
         usage(2);
+    if (!reportPath.empty() && !attributionPath.empty())
+        crossCheckAttribution(reportPath, attributionPath);
     return gFailures == 0 ? 0 : 1;
 }

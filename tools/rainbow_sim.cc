@@ -65,7 +65,10 @@ struct Options
     std::size_t threads = 0;   // 0: ParallelRunner default
     std::string traceOut;      // non-empty: write Chrome trace JSON
     std::string eventsOut;     // non-empty: write JSONL event dump
+    std::string spansOut;      // non-empty: write JSONL span dump
     std::string reportJson;    // non-empty: write machine-readable report
+    std::size_t maxEvents = 0; // event-buffer cap; 0 = unlimited
+    std::size_t maxSpans = 0;  // span-buffer cap; 0 = unlimited
     std::string faultPlan;     // non-empty: load a fault plan file
     std::string admissionPlan; // non-empty: load an admission plan file
     double obsIntervalSeconds = 60.0; // counter snapshot interval
@@ -78,7 +81,7 @@ struct Options
     observabilityEnabled() const
     {
         return !traceOut.empty() || !eventsOut.empty() ||
-               !reportJson.empty();
+               !spansOut.empty() || !reportJson.empty();
     }
 };
 
@@ -107,6 +110,12 @@ usage(int code)
         "  --trace-out FILE  write a Chrome trace (Perfetto-loadable);\n"
         "                    with --all, files are tagged per policy\n"
         "  --events-out FILE write a JSONL structured event dump\n"
+        "  --spans-out FILE  write a JSONL per-invocation span dump\n"
+        "                    (schema rainbowcake-spans-v1; feed it to\n"
+        "                    trace_analyze for cold-start attribution)\n"
+        "  --max-events N    cap the event buffer at N (0 = unlimited);\n"
+        "                    overflow counts into trace_dropped\n"
+        "  --max-spans N     cap the span buffer at N (0 = unlimited)\n"
         "  --report-json FILE\n"
         "                    write the comparison as JSON\n"
         "                    (schema rainbowcake-report-v1)\n"
@@ -173,6 +182,14 @@ parseArgs(int argc, char** argv)
                 options.traceOut = need(i);
             } else if (arg == "--events-out") {
                 options.eventsOut = need(i);
+            } else if (arg == "--spans-out") {
+                options.spansOut = need(i);
+            } else if (arg == "--max-events") {
+                options.maxEvents = static_cast<std::size_t>(
+                    std::stoul(need(i)));
+            } else if (arg == "--max-spans") {
+                options.maxSpans = static_cast<std::size_t>(
+                    std::stoul(need(i)));
             } else if (arg == "--report-json") {
                 options.reportJson = need(i);
             } else if (arg == "--fault-plan") {
@@ -225,11 +242,14 @@ parseScheduling(const std::string& name)
     usage(2);
 }
 
+obs::ObserverConfig observerConfig(const Options& options);
+std::string policySlug(const std::string& name);
+
 /** Cluster mode: route the trace across nodes, print, dump CSVs. */
 int
 runClusterMode(const Options& options, const workload::Catalog& catalog,
                const trace::TraceSet& traceSet,
-               const platform::NodeConfig& nodeConfig,
+               platform::NodeConfig nodeConfig,
                const exp::PolicyFactory& factory)
 {
     exp::ClusterRunConfig config;
@@ -237,6 +257,17 @@ runClusterMode(const Options& options, const workload::Catalog& catalog,
     config.scheduling = parseScheduling(options.scheduling);
     config.shards = options.shards;
     config.threads = options.threads;
+
+    // The cluster harness keeps this observer for routing events and
+    // for the merged per-node span buffers (the nodes themselves run
+    // uninstrumented; see Cluster's ctor).
+    std::unique_ptr<obs::Observer> observer;
+    if (options.observabilityEnabled()) {
+        observer = std::make_unique<obs::Observer>(
+            observerConfig(options));
+        observer->setRunId(policySlug(options.policy));
+        nodeConfig.observer = observer.get();
+    }
     config.node = nodeConfig;
 
     const auto arrivals = trace::expandArrivals(traceSet);
@@ -263,7 +294,47 @@ runClusterMode(const Options& options, const workload::Catalog& catalog,
               << result.shedPressure << ", breaker opens "
               << result.breakerOpens << "\n"
               << "  admitted " << result.admittedInvocations
-              << ", engine events " << result.engineEvents << "\n";
+              << ", engine events " << result.engineEvents << "\n"
+              << "  e2e sketch p50 " << result.e2eP50Seconds
+              << " s, p99 " << result.e2eP99Seconds << " s\n";
+
+    if (observer != nullptr) {
+        if (!options.traceOut.empty()) {
+            std::ofstream out(options.traceOut);
+            if (!out) {
+                std::cerr << "cannot write " << options.traceOut << "\n";
+                return 2;
+            }
+            obs::writeChromeTrace(out, *observer);
+            std::cout << "chrome trace written to " << options.traceOut
+                      << "\n";
+        }
+        if (!options.eventsOut.empty()) {
+            std::ofstream out(options.eventsOut);
+            if (!out) {
+                std::cerr << "cannot write " << options.eventsOut
+                          << "\n";
+                return 2;
+            }
+            obs::writeJsonlEvents(out, *observer);
+            std::cout << "event dump written to " << options.eventsOut
+                      << "\n";
+        }
+        if (!options.spansOut.empty()) {
+            std::ofstream out(options.spansOut);
+            if (!out) {
+                std::cerr << "cannot write " << options.spansOut << "\n";
+                return 2;
+            }
+            obs::writeJsonlSpans(out, *observer);
+            std::cout << "span dump written to " << options.spansOut
+                      << "\n";
+        }
+        if (!options.reportJson.empty()) {
+            std::cerr << "--report-json is per-policy output; not "
+                         "written in cluster mode\n";
+        }
+    }
 
     if (!options.csvDir.empty()) {
         std::error_code ec;
@@ -377,6 +448,9 @@ observerConfig(const Options& options)
         !options.traceOut.empty() || !options.eventsOut.empty();
     config.profilingEnabled = true;
     config.counterInterval = sim::fromSeconds(options.obsIntervalSeconds);
+    config.maxEvents = options.maxEvents;
+    config.spansEnabled = !options.spansOut.empty();
+    config.maxSpans = options.maxSpans;
     return config;
 }
 
@@ -412,6 +486,17 @@ writeArtifacts(const Options& options,
             }
             obs::writeJsonlEvents(out, *observer);
             std::cout << "event dump written to " << path << "\n";
+        }
+        if (!options.spansOut.empty()) {
+            const std::string path =
+                taggedPath(options.spansOut, result.runId, multiple);
+            std::ofstream out(path);
+            if (!out) {
+                std::cerr << "cannot write " << path << "\n";
+                std::exit(2);
+            }
+            obs::writeJsonlSpans(out, *observer);
+            std::cout << "span dump written to " << path << "\n";
         }
     }
     // The report aggregates all runs, so it is written once, last —

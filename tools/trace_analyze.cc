@@ -1,0 +1,363 @@
+/**
+ * @file
+ * trace_analyze — fold a `rainbowcake-spans-v1` span dump into a
+ * `rainbowcake-attribution-v1` cold-start attribution report.
+ *
+ *   trace_analyze [--out FILE] [--allow-drops] SPANS.jsonl [MORE...]
+ *
+ * Each input file becomes one run entry (CI feeds one tagged dump per
+ * policy). Per run, every invocation's end-to-end latency is broken
+ * into the span stages that tile its root interval — queue wait,
+ * per-layer init (bare/lang/user), in-flight-init latch wait,
+ * dispatch overhead, execution — plus a `retry` component that pools
+ * backoff waits and aborted attempts. The report carries fleet-wide
+ * and per-function breakdowns; distribution latencies (p50/p99) come
+ * from mergeable quantile sketches (1% relative error), means are
+ * exact.
+ *
+ * The tool re-validates the span-tree invariants (one root per
+ * invocation, causal parent links, conservation tiling) and exits
+ * nonzero if any fail, if per-invocation components do not sum
+ * exactly to the root interval, or if the dump recorded drops
+ * (incomplete dumps cannot be attributed; --allow-drops overrides).
+ */
+
+#include <array>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/export.hh"
+#include "obs/json.hh"
+#include "obs/span.hh"
+#include "sim/time.hh"
+#include "stats/quantile_sketch.hh"
+
+namespace {
+
+using namespace rc;
+
+/** Attribution components: the span stages plus pooled `retry`. */
+enum class Component : std::size_t
+{
+    Queue,
+    InitWait,
+    InitBare,
+    InitLang,
+    InitUser,
+    Dispatch,
+    Exec,
+    Retry,
+};
+
+constexpr std::size_t kComponentCount =
+    static_cast<std::size_t>(Component::Retry) + 1;
+
+const char*
+componentName(std::size_t c)
+{
+    static const char* kNames[kComponentCount] = {
+        "queue",    "init_wait", "init_bare", "init_lang",
+        "init_user", "dispatch",  "exec",      "retry",
+    };
+    return kNames[c];
+}
+
+/** Stage -> component; aborted attempts and backoff pool as retry. */
+std::size_t
+componentOf(const obs::Span& span)
+{
+    if ((span.flags & obs::kSpanAborted) != 0 ||
+        span.stage == obs::SpanStage::Backoff)
+        return static_cast<std::size_t>(Component::Retry);
+    switch (span.stage) {
+      case obs::SpanStage::Queue:
+        return static_cast<std::size_t>(Component::Queue);
+      case obs::SpanStage::InitWait:
+        return static_cast<std::size_t>(Component::InitWait);
+      case obs::SpanStage::InitBare:
+        return static_cast<std::size_t>(Component::InitBare);
+      case obs::SpanStage::InitLang:
+        return static_cast<std::size_t>(Component::InitLang);
+      case obs::SpanStage::InitUser:
+        return static_cast<std::size_t>(Component::InitUser);
+      case obs::SpanStage::Dispatch:
+        return static_cast<std::size_t>(Component::Dispatch);
+      case obs::SpanStage::Exec:
+        return static_cast<std::size_t>(Component::Exec);
+      case obs::SpanStage::Backoff:
+      case obs::SpanStage::Invocation: break;
+    }
+    return static_cast<std::size_t>(Component::Retry);
+}
+
+/** One latency track: exact count/total, sketched distribution. */
+struct Track
+{
+    std::uint64_t count = 0;
+    double totalSeconds = 0.0;
+    stats::QuantileSketch sketch;
+
+    void
+    add(double seconds)
+    {
+        ++count;
+        totalSeconds += seconds;
+        sketch.add(seconds);
+    }
+
+    double mean() const
+    {
+        return count > 0 ? totalSeconds / static_cast<double>(count)
+                         : 0.0;
+    }
+};
+
+struct FunctionStats
+{
+    std::uint64_t invocations = 0;
+    Track e2e;
+    std::array<double, kComponentCount> componentSeconds{};
+};
+
+struct RunStats
+{
+    std::string label;
+    std::string source;
+    std::size_t spans = 0;
+    std::uint64_t dropped = 0;
+    std::uint64_t invocations = 0;
+    std::array<std::uint64_t, obs::kSpanOutcomeCount> outcomes{};
+    Track e2e;
+    std::array<Track, kComponentCount> components;
+    std::map<std::uint32_t, FunctionStats> functions;
+};
+
+std::string
+labelOf(const std::string& path)
+{
+    std::string stem = path;
+    const auto slash = stem.rfind('/');
+    if (slash != std::string::npos)
+        stem = stem.substr(slash + 1);
+    const auto dot = stem.rfind('.');
+    if (dot != std::string::npos && dot > 0)
+        stem = stem.substr(0, dot);
+    return stem;
+}
+
+/** Analyze one dump; false (with message on stderr) on any failure. */
+bool
+analyzeFile(const std::string& path, bool allowDrops, RunStats& run)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::cerr << "trace_analyze: cannot open " << path << "\n";
+        return false;
+    }
+    std::string error;
+    std::uint64_t dropped = 0;
+    const auto spans = obs::parseJsonlSpans(in, &error, &dropped);
+    if (!error.empty()) {
+        std::cerr << "trace_analyze: " << path << ": " << error << "\n";
+        return false;
+    }
+    if (dropped > 0 && !allowDrops) {
+        std::cerr << "trace_analyze: " << path << ": " << dropped
+                  << " spans dropped; attribution would be incomplete "
+                     "(raise --max-spans, or pass --allow-drops)\n";
+        return false;
+    }
+    if (!obs::validateSpanTree(spans, &error)) {
+        std::cerr << "trace_analyze: " << path << ": " << error << "\n";
+        return false;
+    }
+
+    run.label = labelOf(path);
+    run.source = path;
+    run.spans = spans.size();
+    run.dropped = dropped;
+
+    // validateSpanTree proved the (invocation, id) sort and the
+    // conservation tiling, so one linear pass attributes everything:
+    // spans of one invocation are contiguous with the root first.
+    std::size_t i = 0;
+    while (i < spans.size()) {
+        const obs::Span& root = spans[i];
+        const double e2e = sim::toSeconds(root.end - root.start);
+        ++run.invocations;
+        ++run.outcomes[root.info % obs::kSpanOutcomeCount];
+        run.e2e.add(e2e);
+        FunctionStats& fn = run.functions[root.function];
+        ++fn.invocations;
+        fn.e2e.add(e2e);
+
+        std::array<double, kComponentCount> parts{};
+        double sum = 0.0;
+        for (++i; i < spans.size() &&
+                  spans[i].invocation == root.invocation;
+             ++i) {
+            const obs::Span& span = spans[i];
+            const double seconds = sim::toSeconds(span.end - span.start);
+            parts[componentOf(span)] += seconds;
+            sum += seconds;
+        }
+        // Redundant with the tree check's tiling pass, but this is
+        // the exact identity the report publishes, so enforce it in
+        // the tool that writes the report too.
+        if (sim::fromSeconds(sum) != root.end - root.start &&
+            std::abs(sum - e2e) > 1e-9) {
+            std::cerr << "trace_analyze: " << path << ": invocation "
+                      << root.invocation << ": components sum to "
+                      << sum << " s but end-to-end is " << e2e << " s\n";
+            return false;
+        }
+        for (std::size_t c = 0; c < kComponentCount; ++c) {
+            if (parts[c] <= 0.0)
+                continue;
+            run.components[c].add(parts[c]);
+            fn.componentSeconds[c] += parts[c];
+        }
+    }
+    return true;
+}
+
+void
+writeTrack(std::ostream& os, const Track& track)
+{
+    os << "{\"count\": " << track.count << ", \"total_s\": "
+       << track.totalSeconds << ", \"mean_s\": " << track.mean()
+       << ", \"p50_s\": "
+       << (track.count > 0 ? track.sketch.median() : 0.0)
+       << ", \"p99_s\": " << (track.count > 0 ? track.sketch.p99() : 0.0)
+       << "}";
+}
+
+void
+writeReport(std::ostream& os, const std::vector<RunStats>& runs)
+{
+    os << "{\n  \"schema\": \"rainbowcake-attribution-v1\",\n"
+       << "  \"runs\": [\n";
+    for (std::size_t r = 0; r < runs.size(); ++r) {
+        const RunStats& run = runs[r];
+        os << "    {\n      \"label\": \"" << obs::jsonEscape(run.label)
+           << "\",\n      \"source\": \"" << obs::jsonEscape(run.source)
+           << "\",\n      \"spans\": " << run.spans
+           << ",\n      \"dropped\": " << run.dropped
+           << ",\n      \"invocations\": " << run.invocations
+           << ",\n      \"outcomes\": {";
+        bool first = true;
+        for (std::size_t o = 1; o < obs::kSpanOutcomeCount; ++o) {
+            os << (first ? "" : ", ") << '"'
+               << obs::toString(static_cast<obs::SpanOutcome>(o))
+               << "\": " << run.outcomes[o];
+            first = false;
+        }
+        os << "},\n      \"e2e\": ";
+        writeTrack(os, run.e2e);
+        os << ",\n      \"components\": {";
+        for (std::size_t c = 0; c < kComponentCount; ++c) {
+            os << (c == 0 ? "" : ", ") << '"' << componentName(c)
+               << "\": ";
+            writeTrack(os, run.components[c]);
+        }
+        os << "},\n      \"functions\": [\n";
+        std::size_t f = 0;
+        for (const auto& [function, fn] : run.functions) {
+            os << "        {\"function\": " << function
+               << ", \"invocations\": " << fn.invocations
+               << ", \"mean_e2e_s\": " << fn.e2e.mean()
+               << ", \"p50_e2e_s\": " << fn.e2e.sketch.median()
+               << ", \"p99_e2e_s\": " << fn.e2e.sketch.p99()
+               << ", \"mean_components_s\": {";
+            for (std::size_t c = 0; c < kComponentCount; ++c) {
+                os << (c == 0 ? "" : ", ") << '"' << componentName(c)
+                   << "\": "
+                   << (fn.invocations > 0
+                           ? fn.componentSeconds[c] /
+                                 static_cast<double>(fn.invocations)
+                           : 0.0);
+            }
+            os << "}}" << (++f < run.functions.size() ? "," : "")
+               << "\n";
+        }
+        os << "      ]\n    }" << (r + 1 < runs.size() ? "," : "")
+           << "\n";
+    }
+    os << "  ]\n}\n";
+}
+
+[[noreturn]] void
+usage(int code)
+{
+    std::cout << "trace_analyze [--out FILE] [--allow-drops] "
+                 "SPANS.jsonl [MORE.jsonl ...]\n"
+                 "  Folds rainbowcake-spans-v1 dumps into a\n"
+                 "  rainbowcake-attribution-v1 report (stdout unless\n"
+                 "  --out). Exits nonzero on malformed dumps, span-tree\n"
+                 "  violations, or recorded drops.\n";
+    std::exit(code);
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::string outPath;
+    bool allowDrops = false;
+    std::vector<std::string> inputs;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--out") {
+            if (i + 1 >= argc) {
+                std::cerr << "missing value for --out\n";
+                usage(2);
+            }
+            outPath = argv[++i];
+        } else if (arg == "--allow-drops") {
+            allowDrops = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(0);
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "unknown option " << arg << "\n";
+            usage(2);
+        } else {
+            inputs.push_back(arg);
+        }
+    }
+    if (inputs.empty())
+        usage(2);
+
+    std::vector<RunStats> runs;
+    for (const auto& path : inputs) {
+        RunStats run;
+        if (!analyzeFile(path, allowDrops, run))
+            return 1;
+        runs.push_back(std::move(run));
+    }
+
+    if (outPath.empty()) {
+        writeReport(std::cout, runs);
+    } else {
+        std::ofstream out(outPath);
+        if (!out) {
+            std::cerr << "trace_analyze: cannot write " << outPath
+                      << "\n";
+            return 1;
+        }
+        writeReport(out, runs);
+        std::cout << "attribution report written to " << outPath << "\n";
+    }
+    for (const auto& run : runs) {
+        std::cout << "trace_analyze: " << run.label << ": "
+                  << run.invocations << " invocations, mean e2e "
+                  << run.e2e.mean() << " s (p99 "
+                  << (run.e2e.count > 0 ? run.e2e.sketch.p99() : 0.0)
+                  << " s)\n";
+    }
+    return 0;
+}
