@@ -79,6 +79,36 @@ struct ClusterResult
      */
     double e2eP50Seconds = 0.0;
     double e2eP99Seconds = 0.0;
+
+    // ---- gray-failure / tail-tolerance (sharded core only) -------------
+
+    /** Invocations cancelled as losing hedge attempts. */
+    std::uint64_t cancelledInvocations = 0;
+    /** Hedge attempts launched / won / cancelled / lost. The identity
+     *  launched == won + cancelled + lost always holds. */
+    std::uint64_t hedgesLaunched = 0;
+    std::uint64_t hedgesWon = 0;
+    std::uint64_t hedgesCancelled = 0;
+    std::uint64_t hedgesLost = 0;
+    /** Both sides of a hedge pair completed (cancel raced the win). */
+    std::uint64_t duplicateCompletions = 0;
+    /** Execution seconds burnt by cancelled / duplicate attempts. */
+    double wastedExecSeconds = 0.0;
+    /** Execution seconds of all completed invocations (waste base). */
+    double totalExecSeconds = 0.0;
+    /** Latency-quarantine FSM activity. */
+    std::uint64_t quarantines = 0;
+    std::uint64_t probes = 0;
+    std::uint64_t readmits = 0;
+    /** Scheduled partitions that started. */
+    std::uint64_t partitions = 0;
+    /** Messages the gray network delayed / dropped-and-retransmitted. */
+    std::uint64_t msgsDelayed = 0;
+    std::uint64_t msgsDropped = 0;
+    /** Request-level end-to-end p99.9 (hedges merge into requests). */
+    double e2eP999Seconds = 0.0;
+    /** Primary dispatches routed to a quarantined node (must be 0). */
+    std::uint64_t quarantineViolations = 0;
 };
 
 /** One pre-drawn node crash (cluster-managed fault injection). */

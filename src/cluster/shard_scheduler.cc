@@ -117,4 +117,18 @@ ShardScheduler::pick(std::vector<NodeSummary>& nodes,
     return 0;
 }
 
+std::size_t
+ShardScheduler::pickAvoiding(std::vector<NodeSummary>& nodes,
+                             workload::FunctionId function,
+                             std::size_t avoid)
+{
+    if (avoid >= nodes.size())
+        return pick(nodes, function);
+    const std::uint8_t saved = nodes[avoid].down;
+    nodes[avoid].down = 1;
+    const std::size_t i = pick(nodes, function);
+    nodes[avoid].down = saved;
+    return i;
+}
+
 } // namespace rc::cluster

@@ -46,6 +46,10 @@ struct NodeSummary
     std::uint8_t down = 0;
     /** Circuit breaker open (set by the coordinator, not the shard). */
     std::uint8_t tripped = 0;
+    /** Latency-quarantined straggler (coordinator; primaries avoid). */
+    std::uint8_t quarantined = 0;
+    /** Inside a scheduled network partition (coordinator). */
+    std::uint8_t severed = 0;
     /** In-flight plus queued invocations (load signal). */
     std::uint32_t inFlightPlusQueued = 0;
     /** Pool resident memory (tie-break for least-loaded). */
@@ -74,13 +78,25 @@ class ShardScheduler
     std::size_t pick(std::vector<NodeSummary>& nodes,
                      workload::FunctionId function);
 
+    /**
+     * pick() with node @p avoid off the table (hedged dispatch must
+     * land on a different node than the primary). Implemented by
+     * temporarily marking @p avoid down, so every mode's avoidance
+     * logic applies unchanged. May still return @p avoid when it is
+     * the only candidate — the caller skips the hedge in that case.
+     */
+    std::size_t pickAvoiding(std::vector<NodeSummary>& nodes,
+                             workload::FunctionId function,
+                             std::size_t avoid);
+
     Scheduling scheduling() const { return _scheduling; }
 
   private:
     static bool
     unavailable(const NodeSummary& s)
     {
-        return s.down != 0 || s.tripped != 0;
+        return s.down != 0 || s.tripped != 0 || s.quarantined != 0 ||
+               s.severed != 0;
     }
 
     std::size_t leastLoaded(const std::vector<NodeSummary>& nodes) const;

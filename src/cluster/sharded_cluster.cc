@@ -91,6 +91,30 @@ ShardedCluster::ShardedCluster(const workload::Catalog& catalog,
     _seenFailures.assign(_nodes.size(), 0);
     _seenSuccesses.assign(_nodes.size(), 0);
     _seenTransitions.assign(_nodes.size(), 0);
+
+    // Gray-failure network model + tail-tolerant dispatch. Armed only
+    // when the plan's network dimension is active; a zero-knob plan
+    // builds none of this, draws nothing, and stays bit-identical to
+    // an unplanned run.
+    if (_config.node.fault.network.active()) {
+        _net = &_config.node.fault.network;
+        _netSampler = std::make_unique<fault::NetworkSampler>(
+            *_net, sim::Rng(_config.node.seed).stream("net"));
+        NodeHealthTracker::Config health;
+        health.enabled = _net->quarantineEnabled;
+        health.latencyFactor = _net->quarantineLatencyFactor;
+        health.minSamples = _net->quarantineMinSamples;
+        health.drain = sim::fromSeconds(_net->quarantineDrainSeconds);
+        health.probeCount = _net->quarantineProbeCount;
+        health.readmitFactor = _net->quarantineReadmitFactor;
+        _health =
+            std::make_unique<NodeHealthTracker>(health, _nodes.size());
+        _severed.assign(_nodes.size(), 0);
+        _functionSketches.assign(_catalog.size(),
+                                 stats::QuantileSketch());
+        for (auto& node : _nodes)
+            node->enableTicketing();
+    }
 }
 
 NodeSummary
@@ -151,10 +175,14 @@ ShardedCluster::runShardWindow(Shard& shard, sim::Tick windowEnd)
                                       input.tick + failoverHop),
                              input.tick,
                              static_cast<std::uint32_t>(index), i++,
-                             ticket.function, ticket.originSpan});
+                             ticket.function, ticket.originSpan,
+                             ticket.ticket});
                     }
+                } else if (input.kind == ShardInput::kInvoke) {
+                    node.invokeNow(input.function, input.originSpan,
+                                   input.ticket);
                 } else {
-                    node.invokeNow(input.function, input.originSpan);
+                    node.cancelTicket(input.ticket);
                 }
             }
             inbox.clear();
@@ -219,6 +247,22 @@ ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
     }
     const std::vector<CrashEvent> crashes = drawCrashSchedule(
         plan, _config.node.seed, _nodes.size(), horizon);
+    if (ticketing()) {
+        _degradedSchedule = fault::drawDegradedWindows(
+            *_net, _config.node.seed, _nodes.size(), horizon);
+        _partitions = fault::drawPartitionSchedule(
+            *_net, _config.node.seed, _nodes.size(), horizon);
+        std::vector<std::vector<platform::DegradedSpan>> perNode(
+            _nodes.size());
+        for (const auto& w : _degradedSchedule) {
+            perNode[w.node].push_back(
+                {w.start, w.end, w.execFactor, w.initFactor});
+        }
+        for (std::size_t i = 0; i < _nodes.size(); ++i) {
+            if (!perNode[i].empty())
+                _nodes[i]->setDegradedWindows(std::move(perNode[i]));
+        }
+    }
 
     const sim::Tick L = _lookahead;
     // Staleness cap, rounded up to whole windows so every barrier
@@ -253,6 +297,61 @@ ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
         if (failIdx < pendingFailover.size())
             nextTick =
                 std::min(nextTick, pendingFailover[failIdx].deliverAt);
+        if (_deliveryIdx < _pendingDeliveries.size()) {
+            nextTick = std::min(
+                nextTick, _pendingDeliveries[_deliveryIdx].deliverAt);
+        }
+        if (ticketing()) {
+            // Partition flips and outstanding ticket watches (hedge
+            // deadlines, pending cancels) keep the barrier grid
+            // stepping even with no routable input left.
+            if (_partitionIdx < _partitions.size())
+                nextTick =
+                    std::min(nextTick, _partitions[_partitionIdx].start);
+            for (const std::size_t pi : _activePartitions) {
+                // A partition lifts at the first barrier at or after
+                // its end (applyPartitions tests end <= windowStart),
+                // so propose that grid point — proposing the raw end
+                // tick would floor back into a window that can never
+                // clear it.
+                const sim::Tick end = _partitions[pi].end;
+                nextTick = std::min(nextTick, (end + L - 1) / L * L);
+            }
+            if (!_watches.empty()) {
+                // Wake at the next instant the coordinator can act on
+                // a watch: a queued cancel input (pushed at the last
+                // barrier), the next node event (the earliest a new
+                // ticket outcome can surface), or the earliest hedge
+                // deadline. All three read per-node / coordinator
+                // state only, so the barrier schedule — and with it
+                // hedge timing — is identical at any shard count.
+                for (std::size_t i = 0; i < _nodes.size(); ++i) {
+                    nextTick = std::min(
+                        nextTick, _inboxes[i].empty()
+                                      ? _nodes[i]->engine().nextEventAt()
+                                      : lastBarrier);
+                }
+                if (_net->hedgeEnabled) {
+                    for (const auto& [ticket, watch] : _watches) {
+                        if (watch.resolved || watch.hedgeTicket != 0 ||
+                            watch.isProbe || watch.primaryDone)
+                            continue;
+                        const auto& sketch =
+                            _functionSketches[watch.function];
+                        if (sketch.count() < _net->hedgeMinSamples)
+                            continue;
+                        const double budget = std::max(
+                            sketch.p99() * _net->hedgeLatencyFactor,
+                            _net->hedgeMinBudgetMs / 1000.0);
+                        nextTick = std::min(
+                            nextTick,
+                            std::max(watch.sentAt +
+                                         sim::fromSeconds(budget),
+                                     lastBarrier));
+                    }
+                }
+            }
+        }
         if (nextTick == kNever)
             break;
 
@@ -263,6 +362,21 @@ ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
 
         // ---- coordinator phase (single-threaded) --------------------
         refreshBreakers(windowStart);
+        if (ticketing()) {
+            applyPartitions(windowStart, windowEnd, result);
+            emitDegradedEvents(windowEnd);
+            _health->refresh(windowStart);
+            emitHealthTransitions();
+            for (std::size_t i = 0; i < _nodes.size(); ++i) {
+                _summaries[i].severed = _severed[i];
+                _summaries[i].quarantined =
+                    _health->state(i) !=
+                            NodeHealthTracker::State::Healthy
+                        ? 1
+                        : 0;
+            }
+            launchHedges(windowStart, windowEnd, seq, result);
+        }
         // Drain the three input streams due this window in one merged
         // (tick, class) order — crashes outrank failover deliveries,
         // which outrank fresh arrivals at the same instant, matching
@@ -275,11 +389,15 @@ ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
                 failIdx < pendingFailover.size()
                     ? pendingFailover[failIdx].deliverAt
                     : kNever;
+            const sim::Tick deliverAt =
+                _deliveryIdx < _pendingDeliveries.size()
+                    ? _pendingDeliveries[_deliveryIdx].deliverAt
+                    : kNever;
             const sim::Tick arriveAt = arrivalIdx < arrivals.size()
                                            ? arrivals[arrivalIdx].time
                                            : kNever;
-            const sim::Tick due =
-                std::min(crashAt, std::min(failAt, arriveAt));
+            const sim::Tick due = std::min(
+                std::min(crashAt, deliverAt), std::min(failAt, arriveAt));
             if (due >= windowEnd)
                 break;
             if (crashAt == due) {
@@ -305,24 +423,120 @@ ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
                                static_cast<std::uint8_t>(target),
                                static_cast<std::uint8_t>(item.fromNode));
                 }
+                if (item.ticket != 0) {
+                    // The re-issued attempt keeps its ticket; the
+                    // watch follows it to the new node.
+                    const auto it = _ticketToPrimary.find(item.ticket);
+                    if (it != _ticketToPrimary.end()) {
+                        Watch& watch = _watches.at(it->second);
+                        if (item.ticket == watch.hedgeTicket) {
+                            watch.hedgeNode =
+                                static_cast<std::uint32_t>(target);
+                        } else {
+                            watch.primaryNode =
+                                static_cast<std::uint32_t>(target);
+                        }
+                    }
+                }
                 _inboxes[target].push_back({item.deliverAt, seq++,
                                             item.function, 0,
                                             ShardInput::kInvoke,
-                                            item.originSpan});
+                                            item.originSpan,
+                                            item.ticket});
+            } else if (deliverAt == due) {
+                const Delivery& d = _pendingDeliveries[_deliveryIdx++];
+                _inboxes[d.node].push_back({d.deliverAt, seq++,
+                                            d.function, 0,
+                                            ShardInput::kInvoke,
+                                            d.originSpan, d.ticket});
             } else {
                 const trace::Arrival& arrival = arrivals[arrivalIdx++];
-                const std::size_t target =
-                    _scheduler.pick(_summaries, arrival.function);
+                std::size_t target = 0;
+                bool probe = false;
+                if (ticketing()) {
+                    // Probation trickle: the lowest-index reachable
+                    // node waiting on a readmission probe takes this
+                    // arrival instead of the normal pick.
+                    for (std::size_t i = 0; i < _nodes.size(); ++i) {
+                        if (_health->wantsProbe(i) &&
+                            _summaries[i].down == 0 &&
+                            _summaries[i].tripped == 0 &&
+                            _summaries[i].severed == 0) {
+                            target = i;
+                            probe = true;
+                            break;
+                        }
+                    }
+                }
+                if (!probe)
+                    target = _scheduler.pick(_summaries, arrival.function);
                 if (_obs != nullptr) {
                     _obs->emit(arrival.time,
                                obs::EventType::ClusterRouted, 0,
                                arrival.function,
                                static_cast<std::uint8_t>(target));
                 }
-                _inboxes[target].push_back({arrival.time, seq++,
-                                            arrival.function, 0,
-                                            ShardInput::kInvoke});
+                if (!ticketing()) {
+                    _inboxes[target].push_back({arrival.time, seq++,
+                                                arrival.function, 0,
+                                                ShardInput::kInvoke});
+                    continue;
+                }
+                if (probe) {
+                    _health->noteProbeSent(target);
+                    if (_obs != nullptr) {
+                        _obs->counters().bump(obs::Counter::NodeProbes,
+                                              arrival.time);
+                        _obs->emit(arrival.time,
+                                   obs::EventType::NodeProbed, 0,
+                                   arrival.function,
+                                   static_cast<std::uint8_t>(target));
+                    }
+                } else if (_health->quarantined(target)) {
+                    // The scheduler only lands on a quarantined node
+                    // when nothing else is available; with a healthy
+                    // alternative up this counts as a violation
+                    // (chaos_check --gray pins it at zero).
+                    for (std::size_t i = 0; i < _nodes.size(); ++i) {
+                        if (_summaries[i].down == 0 &&
+                            _summaries[i].tripped == 0 &&
+                            _summaries[i].severed == 0 &&
+                            _summaries[i].quarantined == 0) {
+                            ++_quarantineViolations;
+                            break;
+                        }
+                    }
+                }
+                const std::uint64_t ticket = _nextTicket++;
+                Watch watch;
+                watch.function = arrival.function;
+                watch.arrival = arrival.time;
+                watch.sentAt = arrival.time;
+                watch.primaryTicket = ticket;
+                watch.primaryNode = static_cast<std::uint32_t>(target);
+                watch.isProbe = probe;
+                _watches.emplace(ticket, watch);
+                _ticketToPrimary.emplace(ticket, ticket);
+                if (probe) {
+                    _probeTickets.emplace(
+                        ticket, static_cast<std::uint32_t>(target));
+                }
+                sendInvoke(target, arrival.function, 0, ticket,
+                           arrival.time, windowEnd, seq);
             }
+        }
+        if (ticketing() && _deliveryIdx < _pendingDeliveries.size()) {
+            // New sends may have parked out-of-order relative to the
+            // undelivered backlog; one sort restores (deliverAt,
+            // sendSeq) before the next window reads the front.
+            std::sort(_pendingDeliveries.begin() +
+                          static_cast<std::ptrdiff_t>(_deliveryIdx),
+                      _pendingDeliveries.end(),
+                      [](const Delivery& a, const Delivery& b) {
+                          if (a.deliverAt != b.deliverAt)
+                              return a.deliverAt < b.deliverAt;
+                          return a.sendSeq < b.sendSeq;
+                      });
         }
 
         // ---- parallel phase -----------------------------------------
@@ -381,6 +595,14 @@ ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
                           return a.index < b.index;
                       });
         }
+        if (ticketing()) {
+            _pendingDeliveries.erase(
+                _pendingDeliveries.begin(),
+                _pendingDeliveries.begin() +
+                    static_cast<std::ptrdiff_t>(_deliveryIdx));
+            _deliveryIdx = 0;
+            processOutcomes(windowEnd, seq, result);
+        }
         lastBarrier = windowEnd;
     }
 
@@ -392,6 +614,19 @@ ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
             _nodes[index]->finalize();
         }
     });
+
+    if (ticketing()) {
+        // The drain turned every live ticket terminal (completed,
+        // failed, or stranded-shed); one final sweep settles the
+        // remaining hedge pairs. Cancels it would issue have no
+        // window left to run in — their losers are already terminal
+        // in this same batch — so drop the dead inbox inputs.
+        processOutcomes(lastBarrier, seq, result);
+        for (auto& inbox : _inboxes)
+            inbox.clear();
+        emitDegradedEvents(std::numeric_limits<sim::Tick>::max());
+        emitHealthTransitions();
+    }
 
     // Fleet latency sketch, merged in node-index order (see Cluster);
     // the bucket-wise merge is shard-count independent.
@@ -417,6 +652,7 @@ ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
         result.admittedInvocations +=
             node->invoker().admittedInvocations();
         result.engineEvents += node->engine().executedEvents();
+        result.cancelledInvocations += node->cancelledInvocations();
     }
     for (const auto& breaker : _breakers)
         result.breakerOpens += breaker.openCount();
@@ -427,6 +663,25 @@ ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
     if (e2eSketch.count() > 0) {
         result.e2eP50Seconds = e2eSketch.median();
         result.e2eP99Seconds = e2eSketch.p99();
+    }
+    if (ticketing()) {
+        // Under hedging the node-level sketch double-counts duplicate
+        // attempts; the request-level sketch (winner per ticket) is
+        // the meaningful latency distribution, so it supplies the
+        // percentiles instead.
+        if (_requestSketch.count() > 0) {
+            result.e2eP50Seconds = _requestSketch.median();
+            result.e2eP99Seconds = _requestSketch.p99();
+            result.e2eP999Seconds = _requestSketch.quantile(0.999);
+        }
+        if (_health != nullptr) {
+            result.quarantines = _health->quarantines();
+            result.probes = _health->probes();
+            result.readmits = _health->readmits();
+        }
+        result.msgsDelayed = _msgsDelayed;
+        result.msgsDropped = _msgsDropped;
+        result.quarantineViolations = _quarantineViolations;
     }
     // Merge the per-node span buffers into the routing observer. Span
     // identities embed (node, local seq), and absorbSpans sorts on
@@ -443,6 +698,409 @@ ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
         _obs->absorbSpans(std::move(all), dropped, horizon);
     }
     return result;
+}
+
+// ---- gray network / tail tolerance (coordinator only) ------------------
+
+void
+ShardedCluster::sendInvoke(std::size_t node, workload::FunctionId function,
+                           std::uint64_t originSpan, std::uint64_t ticket,
+                           sim::Tick sendAt, sim::Tick windowEnd,
+                           std::uint64_t& seq)
+{
+    const fault::NetworkSampler::Delivery link = _netSampler->sample();
+    if (link.delay > 0) {
+        ++_msgsDelayed;
+        if (_obs != nullptr) {
+            _obs->counters().bump(obs::Counter::MsgsDelayed, sendAt);
+            _obs->emit(sendAt, obs::EventType::MsgDelayed, 0, function,
+                       static_cast<std::uint8_t>(node), 0,
+                       sim::toSeconds(link.delay));
+        }
+    }
+    if (link.drops > 0) {
+        _msgsDropped += link.drops;
+        if (_obs != nullptr) {
+            _obs->counters().bump(obs::Counter::MsgsDropped, sendAt,
+                                  link.drops);
+            _obs->emit(sendAt, obs::EventType::MsgDropped, 0, function,
+                       static_cast<std::uint8_t>(node),
+                       static_cast<std::uint8_t>(
+                           std::min<std::uint32_t>(link.drops, 255)),
+                       sim::toSeconds(link.delay));
+        }
+    }
+    const sim::Tick deliverAt = sendAt + link.delay;
+    if (deliverAt < windowEnd) {
+        _inboxes[node].push_back({deliverAt, seq++, function, 0,
+                                  ShardInput::kInvoke, originSpan, ticket});
+    } else {
+        // Crosses the barrier: park it; the main loop's nextTick scan
+        // and the per-window drain pick it up in (deliverAt, sendSeq)
+        // order.
+        _pendingDeliveries.push_back(
+            {deliverAt, seq++, static_cast<std::uint32_t>(node), function,
+             originSpan, ticket});
+    }
+}
+
+void
+ShardedCluster::applyPartitions(sim::Tick windowStart, sim::Tick windowEnd,
+                                ClusterResult& result)
+{
+    for (auto it = _activePartitions.begin();
+         it != _activePartitions.end();) {
+        const fault::PartitionEvent& ev = _partitions[*it];
+        if (ev.end <= windowStart) {
+            for (const std::uint32_t n : ev.nodes)
+                _severed[n] = 0;
+            if (_obs != nullptr) {
+                _obs->emit(ev.end, obs::EventType::PartitionEnd, 0,
+                           0xffffffffU,
+                           static_cast<std::uint8_t>(ev.nodes.size()));
+            }
+            it = _activePartitions.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    while (_partitionIdx < _partitions.size() &&
+           _partitions[_partitionIdx].start < windowEnd) {
+        const fault::PartitionEvent& ev = _partitions[_partitionIdx];
+        for (const std::uint32_t n : ev.nodes)
+            _severed[n] = 1;
+        ++result.partitions;
+        if (_obs != nullptr) {
+            _obs->counters().bump(obs::Counter::PartitionsStarted,
+                                  ev.start);
+            _obs->emit(ev.start, obs::EventType::PartitionStart, 0,
+                       0xffffffffU,
+                       static_cast<std::uint8_t>(ev.nodes.size()), 0,
+                       sim::toSeconds(ev.end - ev.start));
+        }
+        _activePartitions.push_back(_partitionIdx);
+        ++_partitionIdx;
+    }
+}
+
+void
+ShardedCluster::emitDegradedEvents(sim::Tick end)
+{
+    while (_degradedEmitted < _degradedSchedule.size() &&
+           _degradedSchedule[_degradedEmitted].start < end) {
+        const fault::DegradedWindow& w =
+            _degradedSchedule[_degradedEmitted++];
+        if (_obs != nullptr) {
+            _obs->emit(w.start, obs::EventType::NodeDegraded, 0,
+                       0xffffffffU, static_cast<std::uint8_t>(w.node), 0,
+                       sim::toSeconds(w.end - w.start), w.execFactor);
+        }
+    }
+}
+
+void
+ShardedCluster::emitHealthTransitions()
+{
+    if (_health == nullptr)
+        return;
+    for (const NodeHealthTracker::Transition& tr :
+         _health->drainTransitions()) {
+        if (_obs == nullptr)
+            continue;
+        using State = NodeHealthTracker::State;
+        if (tr.to == State::Quarantined) {
+            _obs->counters().bump(obs::Counter::NodeQuarantines, tr.at);
+            _obs->emit(tr.at, obs::EventType::NodeQuarantined, 0,
+                       0xffffffffU, static_cast<std::uint8_t>(tr.node),
+                       static_cast<std::uint8_t>(tr.from),
+                       static_cast<double>(tr.node),
+                       _health->ewma(tr.node));
+        } else if (tr.to == State::Healthy) {
+            _obs->counters().bump(obs::Counter::NodeReadmits, tr.at);
+            _obs->emit(tr.at, obs::EventType::NodeReadmitted, 0,
+                       0xffffffffU, static_cast<std::uint8_t>(tr.node), 0,
+                       static_cast<double>(tr.node));
+        }
+        // Quarantined -> Probation flips silently; the NodeProbed
+        // events that follow tell the story.
+    }
+}
+
+void
+ShardedCluster::launchHedges(sim::Tick now, sim::Tick windowEnd,
+                             std::uint64_t& seq, ClusterResult& result)
+{
+    if (!_net->hedgeEnabled)
+        return;
+    // _watches is ordered by primary ticket = issue order, so the scan
+    // order (and thus the sampler draw order in sendInvoke) is a pure
+    // function of coordinator state.
+    for (auto& [primaryTicket, watch] : _watches) {
+        if (watch.resolved || watch.hedgeTicket != 0 || watch.isProbe ||
+            watch.primaryDone)
+            continue;
+        const stats::QuantileSketch& sketch =
+            _functionSketches[watch.function];
+        if (sketch.count() < _net->hedgeMinSamples)
+            continue;
+        const double budgetSeconds =
+            std::max(sketch.p99() * _net->hedgeLatencyFactor,
+                     _net->hedgeMinBudgetMs / 1000.0);
+        if (now < watch.sentAt + sim::fromSeconds(budgetSeconds))
+            continue;
+        const std::size_t target = _scheduler.pickAvoiding(
+            _summaries, watch.function, watch.primaryNode);
+        // pickAvoiding falls back to the primary when nothing else is
+        // reachable; hedging onto the same node (or a straggler) is
+        // worse than waiting, so skip and re-try next barrier.
+        if (target == watch.primaryNode || _health->quarantined(target))
+            continue;
+        watch.hedgeTicket = _nextTicket++;
+        watch.hedgeNode = static_cast<std::uint32_t>(target);
+        _ticketToPrimary.emplace(watch.hedgeTicket, primaryTicket);
+        ++result.hedgesLaunched;
+        if (_obs != nullptr) {
+            _obs->counters().bump(obs::Counter::HedgesLaunched, now);
+            _obs->emit(now, obs::EventType::HedgeLaunched,
+                       watch.primaryRoot, watch.function,
+                       static_cast<std::uint8_t>(target),
+                       static_cast<std::uint8_t>(watch.primaryNode),
+                       sim::toSeconds(now - watch.sentAt));
+        }
+        sendInvoke(target, watch.function, watch.primaryRoot,
+                   watch.hedgeTicket, now, windowEnd, seq);
+    }
+}
+
+void
+ShardedCluster::noteSideDone(Watch& watch, bool hedgeSide,
+                             ClusterResult& result, sim::Tick at)
+{
+    if (hedgeSide) {
+        if (watch.hedgeDone)
+            return;
+        watch.hedgeDone = true;
+        // A hedge that turned terminal without winning is a lost
+        // hedge: the speculation bought nothing.
+        ++result.hedgesLost;
+        if (_obs != nullptr) {
+            _obs->counters().bump(obs::Counter::HedgesLost, at);
+            _obs->emit(at, obs::EventType::HedgeLost, watch.primaryRoot,
+                       watch.function,
+                       static_cast<std::uint8_t>(watch.hedgeNode));
+        }
+    } else {
+        watch.primaryDone = true;
+    }
+}
+
+void
+ShardedCluster::eraseWatchIfComplete(std::uint64_t primaryTicket)
+{
+    const auto it = _watches.find(primaryTicket);
+    if (it == _watches.end())
+        return;
+    const Watch& watch = it->second;
+    const bool hedgeDone =
+        watch.hedgeTicket == 0 || watch.hedgeDone;
+    if (!watch.primaryDone || !hedgeDone)
+        return;
+    _ticketToPrimary.erase(watch.primaryTicket);
+    if (watch.hedgeTicket != 0)
+        _ticketToPrimary.erase(watch.hedgeTicket);
+    _probeTickets.erase(watch.primaryTicket);
+    _watches.erase(it);
+}
+
+void
+ShardedCluster::processOutcomes(sim::Tick barrier, std::uint64_t& seq,
+                                ClusterResult& result)
+{
+    struct Tagged
+    {
+        platform::TicketOutcome outcome;
+        std::uint32_t node = 0;
+    };
+    // Drain per node in node-index order, then impose the global
+    // (at, ticket, kind) order — both independent of the sharding.
+    std::vector<Tagged> batch;
+    for (std::size_t i = 0; i < _nodes.size(); ++i) {
+        for (const platform::TicketOutcome& outcome :
+             _nodes[i]->drainTicketOutcomes())
+            batch.push_back({outcome, static_cast<std::uint32_t>(i)});
+    }
+    if (batch.empty())
+        return;
+    std::sort(batch.begin(), batch.end(),
+              [](const Tagged& a, const Tagged& b) {
+                  if (a.outcome.at != b.outcome.at)
+                      return a.outcome.at < b.outcome.at;
+                  if (a.outcome.ticket != b.outcome.ticket)
+                      return a.outcome.ticket < b.outcome.ticket;
+                  return a.outcome.kind < b.outcome.kind;
+              });
+
+    // Issue a loser cancel for the next window. The loser may live on
+    // any node, so the cancel routes like any other cross-shard input.
+    const auto issueCancel = [this, barrier, &seq](std::uint32_t node,
+                                                   std::uint64_t ticket) {
+        _inboxes[node].push_back({barrier, seq++,
+                                  workload::kInvalidFunction, 0,
+                                  ShardInput::kCancel, 0, ticket});
+    };
+
+    for (const Tagged& tagged : batch) {
+        const platform::TicketOutcome& o = tagged.outcome;
+        const auto pit = _ticketToPrimary.find(o.ticket);
+
+        if (o.kind == platform::TicketOutcome::kAdmitted) {
+            if (pit == _ticketToPrimary.end())
+                continue;
+            Watch& watch = _watches.at(pit->second);
+            const bool hedgeSide = o.ticket == watch.hedgeTicket;
+            if (hedgeSide) {
+                watch.hedgeAdmitted = true;
+            } else {
+                watch.primaryAdmitted = true;
+                if (watch.primaryRoot == 0)
+                    watch.primaryRoot = o.rootSpan;
+            }
+            // The winner committed while this loser was still in
+            // flight: the deferred cancel lands now that the node
+            // holds the ticket.
+            const bool sideDone =
+                hedgeSide ? watch.hedgeDone : watch.primaryDone;
+            if (watch.resolved && !sideDone) {
+                issueCancel(tagged.node, o.ticket);
+                watch.cancelIssued = true;
+            }
+            continue;
+        }
+
+        if (o.kind == platform::TicketOutcome::kCompleted) {
+            // Health + budget feeds see every completion, including
+            // duplicates — the node really did take that long.
+            if (_health != nullptr)
+                _health->recordLatency(tagged.node, o.latencySeconds,
+                                       o.at);
+            result.totalExecSeconds += o.execSeconds;
+            if (pit == _ticketToPrimary.end())
+                continue;
+            Watch& watch = _watches.at(pit->second);
+            const bool hedgeSide = o.ticket == watch.hedgeTicket;
+            _functionSketches[watch.function].add(o.latencySeconds);
+            if (!watch.resolved) {
+                // First winner commits the request.
+                watch.resolved = true;
+                watch.e2eSeconds = sim::toSeconds(o.at - watch.arrival);
+                _requestSketch.add(watch.e2eSeconds);
+                if (hedgeSide) {
+                    watch.hedgeDone = true;
+                    ++result.hedgesWon;
+                    if (_obs != nullptr) {
+                        _obs->counters().bump(obs::Counter::HedgesWon,
+                                              o.at);
+                        _obs->emit(o.at, obs::EventType::HedgeWon,
+                                   watch.primaryRoot, watch.function,
+                                   static_cast<std::uint8_t>(
+                                       tagged.node));
+                    }
+                } else {
+                    watch.primaryDone = true;
+                }
+                // Deterministic loser cancellation. Every dispatch is
+                // always delivered (messages delay, never vanish), so
+                // admitted == arrivals + rerouted + hedges_launched
+                // stays an exact identity: the cancel goes to the
+                // loser's node if it has admitted, and is deferred to
+                // its kAdmitted otherwise.
+                const bool loserIsHedge = !hedgeSide;
+                const bool loserLive =
+                    loserIsHedge
+                        ? (watch.hedgeTicket != 0 && !watch.hedgeDone)
+                        : !watch.primaryDone;
+                if (loserLive && !watch.cancelIssued) {
+                    const bool loserAdmitted = loserIsHedge
+                                                   ? watch.hedgeAdmitted
+                                                   : watch.primaryAdmitted;
+                    if (loserAdmitted) {
+                        issueCancel(loserIsHedge ? watch.hedgeNode
+                                                 : watch.primaryNode,
+                                    loserIsHedge ? watch.hedgeTicket
+                                                 : watch.primaryTicket);
+                        watch.cancelIssued = true;
+                    }
+                    // else: still in flight; the cancel is issued when
+                    // its kAdmitted surfaces at a later barrier.
+                }
+            } else {
+                // Both sides completed: the cancel raced the loser's
+                // finish. All of its execution is waste.
+                ++result.duplicateCompletions;
+                result.wastedExecSeconds += o.execSeconds;
+                if (hedgeSide) {
+                    if (!watch.hedgeDone) {
+                        watch.hedgeDone = true;
+                        ++result.hedgesLost;
+                        if (_obs != nullptr) {
+                            _obs->counters().bump(
+                                obs::Counter::HedgesLost, o.at);
+                            _obs->emit(o.at, obs::EventType::HedgeLost,
+                                       watch.primaryRoot, watch.function,
+                                       static_cast<std::uint8_t>(
+                                           watch.hedgeNode));
+                        }
+                    }
+                } else {
+                    watch.primaryDone = true;
+                }
+            }
+            eraseWatchIfComplete(pit->second);
+            continue;
+        }
+
+        if (o.kind == platform::TicketOutcome::kCancelled) {
+            result.wastedExecSeconds += o.execSeconds;
+            const auto probeIt = _probeTickets.find(o.ticket);
+            if (probeIt != _probeTickets.end()) {
+                _health->noteProbeAborted(probeIt->second);
+                _probeTickets.erase(probeIt);
+            }
+            if (pit == _ticketToPrimary.end())
+                continue;
+            Watch& watch = _watches.at(pit->second);
+            if (o.ticket == watch.hedgeTicket) {
+                if (!watch.hedgeDone) {
+                    watch.hedgeDone = true;
+                    ++result.hedgesCancelled;
+                    if (_obs != nullptr) {
+                        _obs->counters().bump(
+                            obs::Counter::HedgesCancelled, o.at);
+                        _obs->emit(o.at, obs::EventType::HedgeCancelled,
+                                   watch.primaryRoot, watch.function,
+                                   static_cast<std::uint8_t>(
+                                       watch.hedgeNode));
+                    }
+                }
+            } else {
+                watch.primaryDone = true;
+            }
+            eraseWatchIfComplete(pit->second);
+            continue;
+        }
+
+        // kFailed / kShed: the attempt died without completing.
+        const auto probeIt = _probeTickets.find(o.ticket);
+        if (probeIt != _probeTickets.end()) {
+            _health->noteProbeAborted(probeIt->second);
+            _probeTickets.erase(probeIt);
+        }
+        if (pit == _ticketToPrimary.end())
+            continue;
+        Watch& watch = _watches.at(pit->second);
+        noteSideDone(watch, o.ticket == watch.hedgeTicket, result, o.at);
+        eraseWatchIfComplete(pit->second);
+    }
 }
 
 } // namespace rc::cluster

@@ -41,13 +41,18 @@
 #define RC_CLUSTER_SHARDED_CLUSTER_HH_
 
 #include <cstdint>
+#include <map>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/cluster.hh"
+#include "cluster/node_health.hh"
 #include "cluster/shard_scheduler.hh"
 #include "core/cost_model.hh"
+#include "fault/network_plan.hh"
 #include "sim/shard_executor.hh"
+#include "stats/quantile_sketch.hh"
 
 namespace rc::cluster {
 
@@ -90,17 +95,25 @@ struct ShardInput
     workload::FunctionId function = workload::kInvalidFunction;
     /** Crash only: restart instant. */
     sim::Tick downUntil = 0;
-    /** 0 = crash, 1 = invocation; crashes first at equal ticks. */
+    /** 0 = crash, 1 = invocation, 2 = hedge cancel; ascending order
+     *  at equal ticks (crashes first, cancels last). */
     std::uint8_t kind = 1;
     /**
      * Invoke only: root span this delivery chains to (failover
-     * re-issue), 0 for fresh arrivals. Span ids embed (node, local
-     * seq), so the value is independent of the shard partitioning.
+     * re-issue or hedge primary), 0 for fresh arrivals. Span ids
+     * embed (node, local seq), so the value is independent of the
+     * shard partitioning.
      */
     std::uint64_t originSpan = 0;
+    /**
+     * Invoke: coordinator watch ticket (0 = untracked). Cancel: the
+     * ticket to cancel.
+     */
+    std::uint64_t ticket = 0;
 
     static constexpr std::uint8_t kCrash = 0;
     static constexpr std::uint8_t kInvoke = 1;
+    static constexpr std::uint8_t kCancel = 2;
 };
 
 /**
@@ -165,6 +178,8 @@ class ShardedCluster
         workload::FunctionId function = workload::kInvalidFunction;
         /** Root span the crash closed (rerouted); chains the retry. */
         std::uint64_t originSpan = 0;
+        /** Cluster watch ticket the invocation carried; 0 = none. */
+        std::uint64_t ticket = 0;
     };
 
     /** Crash observed inside a shard window (merged sort-once). */
@@ -186,9 +201,102 @@ class ShardedCluster
         std::vector<FailoverItem> outbox;
     };
 
+    /**
+     * A scheduler->node message in flight through the gray network:
+     * routing picked the node at send time; delivery lands after the
+     * sampled link delay. Processed in (deliverAt, sendSeq) order.
+     */
+    struct Delivery
+    {
+        sim::Tick deliverAt = 0;
+        std::uint64_t sendSeq = 0; //!< coordinator send order
+        std::uint32_t node = 0;
+        workload::FunctionId function = workload::kInvalidFunction;
+        std::uint64_t originSpan = 0;
+        std::uint64_t ticket = 0;
+    };
+
+    /**
+     * Coordinator-side state of one ticketed request: the primary
+     * attempt, the optional hedge attempt, and the first-winner-
+     * commits resolution. Keyed by the primary ticket in an ordered
+     * map, so the per-barrier hedge-deadline scan iterates in ticket
+     * (= issue) order regardless of hash layouts.
+     */
+    struct Watch
+    {
+        workload::FunctionId function = workload::kInvalidFunction;
+        sim::Tick arrival = 0;   //!< trace arrival (request e2e base)
+        sim::Tick sentAt = 0;    //!< primary send instant
+        std::uint64_t primaryTicket = 0;
+        std::uint64_t hedgeTicket = 0; //!< 0 until a hedge launches
+        std::uint32_t primaryNode = 0;
+        std::uint32_t hedgeNode = 0;
+        std::uint64_t primaryRoot = 0; //!< root span id (spans on)
+        bool primaryDone = false;
+        bool hedgeDone = false;
+        /** kAdmitted seen for the side — the loser cancel can only be
+         *  delivered to a node that has the ticket live. A loser still
+         *  in flight gets its cancel deferred to its admission. */
+        bool primaryAdmitted = false;
+        bool hedgeAdmitted = false;
+        bool resolved = false;    //!< a winner committed
+        bool cancelIssued = false;
+        bool isProbe = false;     //!< quarantine probe (never hedged)
+        bool failover = false;    //!< re-routed off a crash (no e2e base)
+        double e2eSeconds = -1.0; //!< winner request-level latency
+    };
+
     NodeSummary captureSummary(platform::Node& node) const;
     void runShardWindow(Shard& shard, sim::Tick windowEnd);
     void refreshBreakers(sim::Tick now);
+
+    // ---- gray network / tail tolerance (coordinator only) --------------
+
+    /** True when ticketed dispatch is on (plan.network.active()). */
+    bool ticketing() const { return _net != nullptr; }
+
+    /**
+     * Route one invoke to @p node through the gray network: samples
+     * the link delay, emits delay/drop events, and either delivers
+     * into the node's inbox (deliverAt < @p windowEnd) or parks the
+     * message in _pendingDeliveries for a later window.
+     */
+    void sendInvoke(std::size_t node, workload::FunctionId function,
+                    std::uint64_t originSpan, std::uint64_t ticket,
+                    sim::Tick sendAt, sim::Tick windowEnd,
+                    std::uint64_t& seq);
+
+    /** Apply partition ends due by @p windowStart and starts due
+     *  before @p windowEnd to the per-node severed flags. */
+    void applyPartitions(sim::Tick windowStart, sim::Tick windowEnd,
+                         ClusterResult& result);
+
+    /** Emit NodeDegraded events for windows starting before @p end. */
+    void emitDegradedEvents(sim::Tick end);
+
+    /**
+     * Process ticket outcomes drained from every node at a barrier:
+     * first-winner-commits hedge resolution, loser cancellation,
+     * latency feeds (function sketches, node health), and the
+     * counter/event bookkeeping.
+     */
+    void processOutcomes(sim::Tick barrier, std::uint64_t& seq,
+                         ClusterResult& result);
+
+    /** Launch hedges for watches past their latency budget. */
+    void launchHedges(sim::Tick now, sim::Tick windowEnd,
+                      std::uint64_t& seq, ClusterResult& result);
+
+    /** One attempt of @p watch turned terminal without completing. */
+    void noteSideDone(Watch& watch, bool hedgeSide, ClusterResult& result,
+                      sim::Tick at);
+
+    /** Emit quarantine FSM transitions accumulated in the tracker. */
+    void emitHealthTransitions();
+
+    /** Drop a fully-terminal watch and its ticket mappings. */
+    void eraseWatchIfComplete(std::uint64_t primaryTicket);
 
     const workload::Catalog& _catalog;
     ClusterConfig _config;
@@ -215,6 +323,34 @@ class ShardedCluster
     std::vector<std::uint64_t> _seenFailures;
     std::vector<std::uint64_t> _seenSuccesses;
     std::vector<std::size_t> _seenTransitions;
+
+    // ---- gray network / tail tolerance (coordinator-only) --------------
+
+    /** Non-null only when the fault plan's network dimension is
+     *  active; every path below is dead code otherwise. */
+    const fault::NetworkPlan* _net = nullptr;
+    std::unique_ptr<fault::NetworkSampler> _netSampler;
+    std::unique_ptr<NodeHealthTracker> _health;
+    std::vector<fault::DegradedWindow> _degradedSchedule;
+    std::size_t _degradedEmitted = 0;
+    std::vector<fault::PartitionEvent> _partitions;
+    std::size_t _partitionIdx = 0;     //!< next partition to start
+    std::vector<std::size_t> _activePartitions; //!< started, not ended
+    std::vector<std::uint8_t> _severed; //!< per-node partition flag
+    std::vector<Delivery> _pendingDeliveries; //!< (deliverAt, sendSeq)
+    std::size_t _deliveryIdx = 0;
+    std::uint64_t _nextTicket = 1;
+    std::map<std::uint64_t, Watch> _watches; //!< by primary ticket
+    std::unordered_map<std::uint64_t, std::uint64_t> _ticketToPrimary;
+    /** Per-function completed-latency sketches (hedge budgets). */
+    std::vector<stats::QuantileSketch> _functionSketches;
+    /** Request-level end-to-end latencies (winner per request). */
+    stats::QuantileSketch _requestSketch;
+    /** Probe tickets in flight, by node (probe-abort bookkeeping). */
+    std::unordered_map<std::uint64_t, std::uint32_t> _probeTickets;
+    std::uint64_t _msgsDelayed = 0;
+    std::uint64_t _msgsDropped = 0;
+    std::uint64_t _quarantineViolations = 0;
 };
 
 } // namespace rc::cluster

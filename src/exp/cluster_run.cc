@@ -1,5 +1,6 @@
 #include "exp/cluster_run.hh"
 
+#include <algorithm>
 #include <ostream>
 
 namespace rc::exp {
@@ -13,12 +14,17 @@ runCluster(const workload::Catalog& catalog, const PolicyFactory& factory,
     clusterConfig.nodes = config.nodes;
     clusterConfig.node = config.node;
     clusterConfig.scheduling = config.scheduling;
-    if (config.shards == 0) {
+    // The gray network model (ticketed dispatch, hedging, quarantine)
+    // lives in the sharded coordinator only; a network-active plan
+    // silently upgrades the legacy serial selection to one shard,
+    // which steps nodes serially anyway.
+    const bool wantsNetwork = config.node.fault.network.active();
+    if (config.shards == 0 && !wantsNetwork) {
         cluster::Cluster cluster(catalog, factory, clusterConfig);
         return cluster.run(arrivals);
     }
     cluster::ShardedConfig sharded;
-    sharded.shards = config.shards;
+    sharded.shards = std::max<std::size_t>(1, config.shards);
     sharded.threads = config.threads;
     sharded.cost = config.cost;
     cluster::ShardedCluster cluster(catalog, factory, clusterConfig,
@@ -33,7 +39,9 @@ writeClusterSummaryCsv(std::ostream& out,
     out << "scheduling,nodes,windows,invocations,cold,mean_startup_s,"
            "total_startup_s,waste_gbs,stranded,crashes,rerouted,failed,"
            "rejected,shed_deadline,shed_pressure,breaker_opens,admitted,"
-           "engine_events\n";
+           "engine_events,cancelled,hedges_launched,hedges_won,"
+           "hedges_cancelled,hedges_lost,duplicates,wasted_exec_s,"
+           "quarantines,probes,partitions,msgs_delayed,msgs_dropped\n";
     out << result.schedulingName << ','
         << result.perNodeInvocations.size() << ',' << result.windows
         << ',' << result.invocations << ',' << result.coldStarts << ','
@@ -45,7 +53,13 @@ writeClusterSummaryCsv(std::ostream& out,
         << ',' << result.rejectedInvocations << ','
         << result.shedDeadline << ',' << result.shedPressure << ','
         << result.breakerOpens << ',' << result.admittedInvocations
-        << ',' << result.engineEvents << '\n';
+        << ',' << result.engineEvents << ','
+        << result.cancelledInvocations << ',' << result.hedgesLaunched
+        << ',' << result.hedgesWon << ',' << result.hedgesCancelled
+        << ',' << result.hedgesLost << ',' << result.duplicateCompletions
+        << ',' << result.wastedExecSeconds << ',' << result.quarantines
+        << ',' << result.probes << ',' << result.partitions << ','
+        << result.msgsDelayed << ',' << result.msgsDropped << '\n';
 }
 
 void

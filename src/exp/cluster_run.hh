@@ -27,7 +27,9 @@ struct ClusterRunConfig
      * serial Cluster (exact-state routing), >= 1 the sharded core
      * (barrier-time summary routing). The two cores are distinct
      * semantics: results are bit-identical across shard *counts*, not
-     * across the 0 / >= 1 boundary.
+     * across the 0 / >= 1 boundary. A network-active fault plan
+     * (gray failures / hedging) upgrades 0 to 1 shard — the ticketed
+     * dispatch path lives in the sharded coordinator only.
      */
     std::size_t shards = 0;
     /** Worker threads for the sharded core; 0 picks automatically. */
@@ -49,7 +51,9 @@ runCluster(const workload::Catalog& catalog, const PolicyFactory& factory,
  * scheduling,nodes,windows,invocations,cold,mean_startup_s,
  * total_startup_s,waste_gbs,stranded,crashes,rerouted,failed,
  * rejected,shed_deadline,shed_pressure,breaker_opens,admitted,
- * engine_events
+ * engine_events,cancelled,hedges_launched,hedges_won,
+ * hedges_cancelled,hedges_lost,duplicates,wasted_exec_s,quarantines,
+ * probes,partitions,msgs_delayed,msgs_dropped
  *
  * All sums are accumulated in node order regardless of shard count,
  * so the bytes written here are the determinism pin.

@@ -117,6 +117,54 @@ parseFaultPlan(const std::string& text, FaultPlan& out, std::string* error)
         {"retry_jitter_frac", Knob::Kind::Prob, &plan.retryJitterFrac},
         {"shed_prewarms_under_pressure", Knob::Kind::Flag,
          &plan.shedPrewarmsUnderPressure},
+        // ---- network gray-failure knobs (NetworkPlan) ------------------
+        {"net_link_delay_mean_ms", Knob::Kind::Seconds,
+         &plan.network.linkDelayMeanMs},
+        {"net_link_delay_cv", Knob::Kind::Seconds,
+         &plan.network.linkDelayCv},
+        {"net_heavy_tail_prob", Knob::Kind::Prob,
+         &plan.network.linkHeavyTailProb},
+        {"net_heavy_tail_factor", Knob::Kind::Seconds,
+         &plan.network.linkHeavyTailFactor},
+        {"net_msg_drop_prob", Knob::Kind::Prob,
+         &plan.network.msgDropProb},
+        {"net_msg_retransmit_ms", Knob::Kind::Seconds,
+         &plan.network.msgRetransmitMs},
+        {"net_degraded_rate_per_hour", Knob::Kind::Seconds,
+         &plan.network.degradedRatePerHour},
+        {"net_degraded_duration_seconds", Knob::Kind::Seconds,
+         &plan.network.degradedDurationSeconds},
+        {"net_degraded_exec_slowdown", Knob::Kind::Seconds,
+         &plan.network.degradedExecSlowdown},
+        {"net_degraded_init_slowdown", Knob::Kind::Seconds,
+         &plan.network.degradedInitSlowdown},
+        {"net_partition_rate_per_hour", Knob::Kind::Seconds,
+         &plan.network.partitionRatePerHour},
+        {"net_partition_duration_seconds", Knob::Kind::Seconds,
+         &plan.network.partitionDurationSeconds},
+        {"net_partition_fraction", Knob::Kind::Prob,
+         &plan.network.partitionFraction},
+        // ---- tail-tolerance mitigation knobs ---------------------------
+        {"hedge_enabled", Knob::Kind::Flag,
+         &plan.network.hedgeEnabled},
+        {"hedge_latency_factor", Knob::Kind::Seconds,
+         &plan.network.hedgeLatencyFactor},
+        {"hedge_min_samples", Knob::Kind::Count,
+         &plan.network.hedgeMinSamples},
+        {"hedge_min_budget_ms", Knob::Kind::Seconds,
+         &plan.network.hedgeMinBudgetMs},
+        {"quarantine_enabled", Knob::Kind::Flag,
+         &plan.network.quarantineEnabled},
+        {"quarantine_latency_factor", Knob::Kind::Seconds,
+         &plan.network.quarantineLatencyFactor},
+        {"quarantine_min_samples", Knob::Kind::Count,
+         &plan.network.quarantineMinSamples},
+        {"quarantine_drain_seconds", Knob::Kind::Seconds,
+         &plan.network.quarantineDrainSeconds},
+        {"quarantine_probe_count", Knob::Kind::Count,
+         &plan.network.quarantineProbeCount},
+        {"quarantine_readmit_factor", Knob::Kind::Seconds,
+         &plan.network.quarantineReadmitFactor},
     };
 
     for (const auto& [key, value] : root.object) {
@@ -140,6 +188,26 @@ parseFaultPlan(const std::string& text, FaultPlan& out, std::string* error)
             *error = "overload_slowdown: must be >= 1";
         return false;
     }
+    const auto reject = [&](const char* what) {
+        if (error != nullptr)
+            *error = what;
+        return false;
+    };
+    if (plan.network.degradedExecSlowdown < 1.0)
+        return reject("net_degraded_exec_slowdown: must be >= 1");
+    if (plan.network.degradedInitSlowdown < 1.0)
+        return reject("net_degraded_init_slowdown: must be >= 1");
+    if (plan.network.linkHeavyTailFactor < 1.0)
+        return reject("net_heavy_tail_factor: must be >= 1");
+    if (plan.network.hedgeLatencyFactor < 1.0)
+        return reject("hedge_latency_factor: must be >= 1");
+    if (plan.network.quarantineLatencyFactor < 1.0)
+        return reject("quarantine_latency_factor: must be >= 1");
+    if (plan.network.quarantineReadmitFactor < 1.0)
+        return reject("quarantine_readmit_factor: must be >= 1");
+    if (plan.network.quarantineProbeCount == 0 &&
+        plan.network.quarantineEnabled)
+        return reject("quarantine_probe_count: must be >= 1");
     out = plan;
     return true;
 }

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <string>
 
+#include "fault/network_plan.hh"
 #include "sim/time.hh"
 
 namespace rc::fault {
@@ -74,10 +75,21 @@ struct FaultPlan
      */
     bool shedPrewarmsUnderPressure = true;
 
+    // ---- gray failures + tail-tolerant mitigations ---------------------
+    /**
+     * The network dimension: link jitter, message loss, degraded-node
+     * windows, partitions, and the hedging/quarantine mitigations.
+     * Cluster-level — consumed by the ShardedCluster coordinator, not
+     * by the node-local injector, so it does not participate in
+     * active() below.
+     */
+    NetworkPlan network;
+
     /**
      * True when any fault-generating knob is set — the platform only
      * installs an injector (and only then pays any bookkeeping) for
-     * active plans.
+     * active plans. Network knobs are deliberately excluded: they
+     * gate coordinator machinery via network.active() instead.
      */
     bool active() const;
 };

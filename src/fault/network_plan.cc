@@ -1,0 +1,142 @@
+#include "fault/network_plan.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace rc::fault {
+
+bool
+NetworkPlan::activeInjection() const
+{
+    return linkDelayMeanMs > 0.0 || msgDropProb > 0.0 ||
+           degradedRatePerHour > 0.0 || partitionRatePerHour > 0.0;
+}
+
+bool
+NetworkPlan::mitigationEnabled() const
+{
+    return hedgeEnabled || quarantineEnabled;
+}
+
+bool
+NetworkPlan::active() const
+{
+    return activeInjection() || mitigationEnabled();
+}
+
+NetworkSampler::NetworkSampler(const NetworkPlan& plan, sim::Rng rng)
+    : _plan(plan), _rng(rng)
+{
+}
+
+NetworkSampler::Delivery
+NetworkSampler::sample()
+{
+    Delivery d;
+    if (_plan.linkDelayMeanMs > 0.0) {
+        double ms = _rng.lognormalMeanCv(_plan.linkDelayMeanMs,
+                                         _plan.linkDelayCv);
+        if (_plan.linkHeavyTailProb > 0.0 &&
+            _rng.bernoulli(_plan.linkHeavyTailProb))
+            ms *= _plan.linkHeavyTailFactor;
+        d.delay = sim::fromSeconds(ms / 1000.0);
+    }
+    if (_plan.msgDropProb > 0.0) {
+        // Retransmit until delivered; cap the geometric series so a
+        // drop probability of 1 still terminates (and still delays).
+        constexpr std::uint32_t kMaxRetransmits = 8;
+        while (d.drops < kMaxRetransmits &&
+               _rng.bernoulli(_plan.msgDropProb)) {
+            ++d.drops;
+            d.delay += sim::fromSeconds(_plan.msgRetransmitMs / 1000.0);
+        }
+    }
+    return d;
+}
+
+std::vector<DegradedWindow>
+drawDegradedWindows(const NetworkPlan& plan, std::uint64_t seed,
+                    std::size_t nodes, sim::Tick horizon)
+{
+    std::vector<DegradedWindow> windows;
+    if (plan.degradedRatePerHour <= 0.0 || nodes == 0 || horizon <= 0)
+        return windows;
+    const sim::Rng base(seed);
+    const double meanGapSeconds = 3600.0 / plan.degradedRatePerHour;
+    const sim::Tick duration = std::max<sim::Tick>(
+        1, sim::fromSeconds(plan.degradedDurationSeconds));
+    for (std::size_t i = 0; i < nodes; ++i) {
+        sim::Rng rng = base.stream("net-degraded-node-" +
+                                   std::to_string(i));
+        sim::Tick t = 0;
+        while (true) {
+            t += std::max<sim::Tick>(
+                1, sim::fromSeconds(
+                       rng.exponential(1.0 / meanGapSeconds)));
+            if (t >= horizon)
+                break;
+            DegradedWindow w;
+            w.start = t;
+            w.end = t + duration;
+            w.node = static_cast<std::uint32_t>(i);
+            w.execFactor = plan.degradedExecSlowdown;
+            w.initFactor = plan.degradedInitSlowdown;
+            windows.push_back(w);
+            t = w.end; // windows on one node never overlap
+        }
+    }
+    std::sort(windows.begin(), windows.end(),
+              [](const DegradedWindow& a, const DegradedWindow& b) {
+                  return a.start != b.start ? a.start < b.start
+                                            : a.node < b.node;
+              });
+    return windows;
+}
+
+std::vector<PartitionEvent>
+drawPartitionSchedule(const NetworkPlan& plan, std::uint64_t seed,
+                      std::size_t nodes, sim::Tick horizon)
+{
+    std::vector<PartitionEvent> events;
+    if (plan.partitionRatePerHour <= 0.0 || nodes == 0 || horizon <= 0)
+        return events;
+    const std::size_t severCount = std::min(
+        nodes,
+        static_cast<std::size_t>(
+            std::ceil(plan.partitionFraction *
+                      static_cast<double>(nodes))));
+    if (severCount == 0)
+        return events;
+    sim::Rng rng = sim::Rng(seed).stream("net-partition");
+    const double meanGapSeconds = 3600.0 / plan.partitionRatePerHour;
+    const sim::Tick duration = std::max<sim::Tick>(
+        1, sim::fromSeconds(plan.partitionDurationSeconds));
+    sim::Tick t = 0;
+    while (true) {
+        t += std::max<sim::Tick>(
+            1,
+            sim::fromSeconds(rng.exponential(1.0 / meanGapSeconds)));
+        if (t >= horizon)
+            break;
+        PartitionEvent ev;
+        ev.start = t;
+        ev.end = t + duration;
+        // Floyd-style distinct sampling, deterministic in draw order.
+        while (ev.nodes.size() < severCount) {
+            const auto pick = static_cast<std::uint32_t>(
+                rng.uniform(0.0, static_cast<double>(nodes)));
+            const auto clamped = std::min(
+                pick, static_cast<std::uint32_t>(nodes - 1));
+            if (std::find(ev.nodes.begin(), ev.nodes.end(), clamped) ==
+                ev.nodes.end())
+                ev.nodes.push_back(clamped);
+        }
+        std::sort(ev.nodes.begin(), ev.nodes.end());
+        t = ev.end; // partitions never overlap in time
+        events.push_back(std::move(ev));
+    }
+    return events;
+}
+
+} // namespace rc::fault

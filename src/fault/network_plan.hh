@@ -1,0 +1,175 @@
+/**
+ * @file
+ * NetworkPlan: the gray-failure half of rc::fault.
+ *
+ * Where FaultPlan describes *binary* faults (an init fails, a node
+ * crashes), NetworkPlan describes the degraded-but-alive substrate
+ * that dominates production tail latency: jittery links, dropped and
+ * retransmitted messages, slow-but-up nodes, and partial partitions
+ * that sever a node set from the scheduler without killing it.
+ *
+ * Like FaultPlan it is pure data: every injection knob defaults to
+ * zero, so a default-constructed plan draws nothing and keeps runs
+ * bit-identical to an unplanned platform (the zero-knob CI diff pins
+ * this). All randomness is drawn by the cluster coordinator from
+ * dedicated Rng streams ("net", "net-degraded-node-N",
+ * "net-partition"), never from node-local generators, so gray plans
+ * stay byte-identical at any --shards.
+ *
+ * The mitigation knobs (hedge_*, quarantine_*) configure the
+ * tail-tolerant scheduler that defeats gray failures: hedged dispatch
+ * past a function's observed p99, and latency-keyed quarantine with
+ * probe-based readmission. They are part of the plan so a single JSON
+ * file describes both the attack and the defense.
+ *
+ * Knobs ride in the same flat snake_case JSON as FaultPlan:
+ *
+ *   {"net_degraded_rate_per_hour": 6, "net_degraded_exec_slowdown": 8,
+ *    "hedge_enabled": true, "quarantine_enabled": true}
+ */
+
+#ifndef RC_FAULT_NETWORK_PLAN_HH_
+#define RC_FAULT_NETWORK_PLAN_HH_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/time.hh"
+
+namespace rc::fault {
+
+/** Gray-failure injection + tail-tolerance mitigation knobs. */
+struct NetworkPlan
+{
+    // ---- link latency (per scheduler->node message) --------------------
+    /** Mean one-way link delay; 0 disables delay draws entirely. */
+    double linkDelayMeanMs = 0.0;
+    /** Coefficient of variation of the lognormal delay body. */
+    double linkDelayCv = 0.5;
+    /** Heavy-tail mixture: with this probability a delay draw is
+     *  multiplied by linkHeavyTailFactor (the "gray link" mode). */
+    double linkHeavyTailProb = 0.0;
+    double linkHeavyTailFactor = 10.0;
+
+    // ---- message loss --------------------------------------------------
+    /** Per-message drop probability; a dropped message is retransmitted
+     *  after msgRetransmitMs (messages delay, they never vanish). */
+    double msgDropProb = 0.0;
+    double msgRetransmitMs = 200.0;
+
+    // ---- degraded-node windows (slow, not dead) ------------------------
+    /** Mean degraded windows per node-hour; 0 disables them. */
+    double degradedRatePerHour = 0.0;
+    double degradedDurationSeconds = 60.0;
+    /** Execution-time multiplier inside a window (>= 1). */
+    double degradedExecSlowdown = 4.0;
+    /** Init/install-time multiplier inside a window (>= 1). */
+    double degradedInitSlowdown = 4.0;
+
+    // ---- scheduled partitions ------------------------------------------
+    /** Mean partitions per hour (cluster-wide); 0 disables them. */
+    double partitionRatePerHour = 0.0;
+    double partitionDurationSeconds = 30.0;
+    /** Fraction of nodes severed by each partition (0..1). */
+    double partitionFraction = 0.25;
+
+    // ---- mitigation: hedged dispatch -----------------------------------
+    bool hedgeEnabled = false;
+    /** Hedge budget = observed p99 * this factor (>= 1). */
+    double hedgeLatencyFactor = 1.0;
+    /** Completions a function needs before its p99 is trusted. */
+    std::uint32_t hedgeMinSamples = 50;
+    /** Budget floor: never hedge sooner than this. */
+    double hedgeMinBudgetMs = 250.0;
+
+    // ---- mitigation: latency quarantine --------------------------------
+    bool quarantineEnabled = false;
+    /** Quarantine when node EWMA > factor * fleet-median EWMA. */
+    double quarantineLatencyFactor = 3.0;
+    /** Completions a node needs before its EWMA is trusted. */
+    std::uint32_t quarantineMinSamples = 30;
+    /** Drain period before a quarantined node enters probation. */
+    double quarantineDrainSeconds = 30.0;
+    /** Consecutive healthy probes required for readmission. */
+    std::uint32_t quarantineProbeCount = 5;
+    /** A probe is healthy when latency <= factor * fleet median. */
+    double quarantineReadmitFactor = 1.5;
+
+    /** True when any gray-failure injection knob is set. */
+    bool activeInjection() const;
+    /** True when hedging or quarantine is switched on. */
+    bool mitigationEnabled() const;
+    /** activeInjection() || mitigationEnabled(). */
+    bool active() const;
+};
+
+/**
+ * Stateful per-message delivery sampler, owned by the single-threaded
+ * cluster coordinator. Draws happen in routing order, which is a pure
+ * function of coordinator state — never of the shard partitioning —
+ * so delivery schedules are identical at any shard count. Draws only
+ * what the plan enables: a plan with zero link knobs consumes no
+ * randomness at all.
+ */
+class NetworkSampler
+{
+  public:
+    NetworkSampler(const NetworkPlan& plan, sim::Rng rng);
+
+    struct Delivery
+    {
+        sim::Tick delay = 0;      //!< total added latency
+        std::uint32_t drops = 0;  //!< retransmissions that preceded it
+    };
+
+    /** Sample the link delay + retransmit count for one message. */
+    Delivery sample();
+
+  private:
+    NetworkPlan _plan;
+    sim::Rng _rng;
+};
+
+/** One degraded window on one node. */
+struct DegradedWindow
+{
+    sim::Tick start = 0;
+    sim::Tick end = 0;
+    std::uint32_t node = 0;
+    double execFactor = 1.0;
+    double initFactor = 1.0;
+};
+
+/**
+ * Pre-draw the degraded-window schedule for @p nodes nodes up to
+ * @p horizon. Each node draws from its own stream
+ * ("net-degraded-node-N") derived from @p seed, mirroring
+ * drawCrashSchedule, so the schedule is independent of sharding.
+ * Windows are sorted by (start, node); per-node windows are disjoint.
+ */
+std::vector<DegradedWindow>
+drawDegradedWindows(const NetworkPlan& plan, std::uint64_t seed,
+                    std::size_t nodes, sim::Tick horizon);
+
+/** One scheduled partition: @p nodes are severed during [start,end). */
+struct PartitionEvent
+{
+    sim::Tick start = 0;
+    sim::Tick end = 0;
+    std::vector<std::uint32_t> nodes; //!< severed set, ascending
+};
+
+/**
+ * Pre-draw the partition schedule (cluster-wide, stream
+ * "net-partition"). Each partition severs ceil(partitionFraction *
+ * nodes) distinct nodes chosen uniformly. Sorted by start; partitions
+ * never overlap in time.
+ */
+std::vector<PartitionEvent>
+drawPartitionSchedule(const NetworkPlan& plan, std::uint64_t seed,
+                      std::size_t nodes, sim::Tick horizon);
+
+} // namespace rc::fault
+
+#endif // RC_FAULT_NETWORK_PLAN_HH_

@@ -62,6 +62,18 @@ toString(EventType type)
       case EventType::InvocationShed: return "invocation_shed";
       case EventType::PressureLevel: return "pressure_level";
       case EventType::BreakerStateChanged: return "breaker_state_changed";
+      case EventType::HedgeLaunched: return "hedge_launched";
+      case EventType::HedgeWon: return "hedge_won";
+      case EventType::HedgeCancelled: return "hedge_cancelled";
+      case EventType::HedgeLost: return "hedge_lost";
+      case EventType::NodeQuarantined: return "node_quarantined";
+      case EventType::NodeProbed: return "node_probed";
+      case EventType::NodeReadmitted: return "node_readmitted";
+      case EventType::PartitionStart: return "partition_start";
+      case EventType::PartitionEnd: return "partition_end";
+      case EventType::MsgDelayed: return "msg_delayed";
+      case EventType::MsgDropped: return "msg_dropped";
+      case EventType::NodeDegraded: return "node_degraded";
     }
     return "?";
 }
@@ -81,6 +93,7 @@ toString(KillCause cause)
       case KillCause::ExecFault: return "exec_fault";
       case KillCause::WedgeTimeout: return "wedge_timeout";
       case KillCause::NodeCrash: return "node_crash";
+      case KillCause::HedgeCancel: return "hedge_cancel";
     }
     return "?";
 }
@@ -156,6 +169,20 @@ categoryOf(EventType type)
       case EventType::PressureLevel:
       case EventType::BreakerStateChanged:
         return Category::Admission;
+      case EventType::HedgeLaunched:
+      case EventType::HedgeWon:
+      case EventType::HedgeCancelled:
+      case EventType::HedgeLost:
+      case EventType::NodeQuarantined:
+      case EventType::NodeProbed:
+      case EventType::NodeReadmitted:
+        return Category::Cluster;
+      case EventType::PartitionStart:
+      case EventType::PartitionEnd:
+      case EventType::MsgDelayed:
+      case EventType::MsgDropped:
+      case EventType::NodeDegraded:
+        return Category::Fault;
     }
     return Category::Engine;
 }
@@ -205,6 +232,17 @@ toString(Counter counter)
       case Counter::DegradedKeepalives: return "degraded_keepalives";
       case Counter::DispatchLookups: return "dispatch_lookups";
       case Counter::TraceDropped: return "trace_dropped";
+      case Counter::HedgesLaunched: return "hedges_launched";
+      case Counter::HedgesWon: return "hedges_won";
+      case Counter::HedgesCancelled: return "hedges_cancelled";
+      case Counter::HedgesLost: return "hedges_lost";
+      case Counter::NodeQuarantines: return "node_quarantines";
+      case Counter::NodeProbes: return "node_probes";
+      case Counter::NodeReadmits: return "node_readmits";
+      case Counter::MsgsDelayed: return "msgs_delayed";
+      case Counter::MsgsDropped: return "msgs_dropped";
+      case Counter::PartitionsStarted: return "partitions_started";
+      case Counter::KillHedgeCancel: return "kill_hedge_cancel";
     }
     return "?";
 }
@@ -232,6 +270,10 @@ killCounter(std::uint8_t cause)
 {
     if (cause >= kKillCauseCount)
         return Counter::KillUnknown;
+    // HedgeCancel was appended after the contiguous Kill* block froze;
+    // it lives out-of-block at the end of the counter enum.
+    if (cause == static_cast<std::uint8_t>(KillCause::HedgeCancel))
+        return Counter::KillHedgeCancel;
     return static_cast<Counter>(
         static_cast<std::size_t>(Counter::KillUnknown) + cause);
 }

@@ -87,11 +87,26 @@ enum class Counter : std::uint8_t
     // Buffer health (appended after DispatchLookups so older reports
     // keep their counter order).
     TraceDropped, //!< events/spans dropped by the buffer caps
+
+    // Gray-failure network model + tail-tolerant dispatch (appended
+    // after TraceDropped so older reports keep their counter order).
+    HedgesLaunched,   //!< speculative second attempts dispatched
+    HedgesWon,        //!< hedge completed before its primary
+    HedgesCancelled,  //!< losing attempts cancelled in time
+    HedgesLost,       //!< losers that finished anyway (duplicates)
+    NodeQuarantines,  //!< latency-keyed quarantine entries
+    NodeProbes,       //!< probe dispatches to probation nodes
+    NodeReadmits,     //!< probation passed, node healthy again
+    MsgsDelayed,      //!< messages that drew a nonzero link delay
+    MsgsDropped,      //!< messages that needed >= 1 retransmit
+    PartitionsStarted, //!< scheduled partitions that opened
+    KillHedgeCancel,  //!< containers killed by hedge cancellation
+                      //!< (out-of-block home for KillCause::HedgeCancel)
 };
 
 /** Number of counters. */
 inline constexpr std::size_t kCounterCount =
-    static_cast<std::size_t>(Counter::TraceDropped) + 1;
+    static_cast<std::size_t>(Counter::KillHedgeCancel) + 1;
 
 /** Gauges tracked as high-water marks. */
 enum class Gauge : std::uint8_t

@@ -37,6 +37,7 @@ toString(SpanOutcome outcome)
     case SpanOutcome::ShedPressure: return "shed_pressure";
     case SpanOutcome::Rerouted: return "rerouted";
     case SpanOutcome::Stranded: return "stranded";
+    case SpanOutcome::Cancelled: return "cancelled";
     }
     return "unknown";
 }

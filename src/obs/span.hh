@@ -74,11 +74,12 @@ enum class SpanOutcome : std::uint8_t
     ShedPressure, //!< shed at critical pressure level
     Rerouted,     //!< lost in a node crash, re-issued elsewhere
     Stranded,     //!< still queued when the run ended
+    Cancelled,    //!< losing hedge attempt cancelled by the scheduler
 };
 
 /** Number of span outcomes. */
 inline constexpr std::size_t kSpanOutcomeCount =
-    static_cast<std::size_t>(SpanOutcome::Stranded) + 1;
+    static_cast<std::size_t>(SpanOutcome::Cancelled) + 1;
 
 /** Span::flags bit: the stage was cut short by a fault or crash. */
 inline constexpr std::uint8_t kSpanAborted = 0x01;

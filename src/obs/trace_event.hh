@@ -105,11 +105,29 @@ enum class EventType : std::uint8_t
                           //!< arg0 = smoothed, arg1 = raw pressure
     BreakerStateChanged,  //!< a = new state, b = old state
                           //!< (CircuitBreaker::State), arg0 = node
+
+    // Gray-failure network model + tail-tolerant dispatch (appended
+    // after BreakerStateChanged so earlier traces keep their ids).
+    HedgeLaunched,        //!< a = hedge node, b = primary node,
+                          //!< arg0 = primary's wait so far (s)
+    HedgeWon,             //!< hedge completed first; a = hedge node
+    HedgeCancelled,       //!< loser cancelled; a = its node
+    HedgeLost,            //!< loser finished anyway (duplicate work)
+    NodeQuarantined,      //!< arg0 = node, arg1 = its EWMA latency (s)
+    NodeProbed,           //!< probe routed to a probation node;
+                          //!< arg0 = node
+    NodeReadmitted,       //!< probation passed; arg0 = node
+    PartitionStart,       //!< a = severed-node count
+    PartitionEnd,         //!< a = restored-node count
+    MsgDelayed,           //!< a = target node; arg0 = delay (s)
+    MsgDropped,           //!< a = target node, b = retransmit count
+    NodeDegraded,         //!< gray window opened; arg0 = node,
+                          //!< arg1 = exec slowdown factor
 };
 
 /** Number of event types (for name tables). */
 inline constexpr std::size_t kEventTypeCount =
-    static_cast<std::size_t>(EventType::BreakerStateChanged) + 1;
+    static_cast<std::size_t>(EventType::NodeDegraded) + 1;
 
 /** Why a container was terminated (travels in TraceEvent::b). */
 enum class KillCause : std::uint8_t
@@ -125,11 +143,14 @@ enum class KillCause : std::uint8_t
     ExecFault,      //!< injected mid-execution crash (rc::fault)
     WedgeTimeout,   //!< execution watchdog killed a wedged container
     NodeCrash,      //!< whole-node failure took the pool down
+    HedgeCancel,    //!< losing hedge attempt cancelled mid-flight
+                    //!< (appended after NodeCrash; killCounter maps
+                    //!< it out-of-block to Counter::KillHedgeCancel)
 };
 
 /** Number of kill causes (for counter arrays and name tables). */
 inline constexpr std::size_t kKillCauseCount =
-    static_cast<std::size_t>(KillCause::NodeCrash) + 1;
+    static_cast<std::size_t>(KillCause::HedgeCancel) + 1;
 
 /** One structured trace record; POD, fixed size, no ownership. */
 struct TraceEvent

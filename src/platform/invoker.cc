@@ -163,11 +163,13 @@ Invoker::closeRootSpan(const Pending& inv, obs::SpanOutcome outcome)
 void
 Invoker::closeStrandedSpans()
 {
-    if (!spansOn())
-        return;
     for (const auto& inv : _queue) {
-        emitStageSpan(inv, obs::SpanStage::Queue, _engine.now());
-        closeRootSpan(inv, obs::SpanOutcome::Stranded);
+        if (spansOn()) {
+            emitStageSpan(inv, obs::SpanStage::Queue, _engine.now());
+            closeRootSpan(inv, obs::SpanOutcome::Stranded);
+        }
+        // Stranded work is terminal for the cluster's hedge ledger too.
+        noteTicketTerminal(inv, TicketOutcome::kShed, 0.0, 0.0);
     }
 }
 
@@ -183,7 +185,8 @@ Invoker::coldInitLatency(const workload::FunctionProfile& p) const
 }
 
 void
-Invoker::onArrival(workload::FunctionId function, std::uint64_t originSpan)
+Invoker::onArrival(workload::FunctionId function, std::uint64_t originSpan,
+                   std::uint64_t ticket)
 {
     ++_admitted;
     if (_obs != nullptr) {
@@ -194,11 +197,21 @@ Invoker::onArrival(workload::FunctionId function, std::uint64_t originSpan)
     // leave the policy's recorder identical to an uncontrolled one.
     _policy.onArrival(function);
     Pending inv{function, _engine.now(), 0, 0};
+    inv.ticket = ticket;
     if (spansOn()) {
         inv.id = nextInvocationId();
         LiveSpan& live = _liveSpans[inv.id];
         live.lastEnd = _engine.now();
         live.origin = originSpan;
+    }
+    if (ticket != 0) {
+        _liveTickets.insert(ticket);
+        TicketOutcome admitted;
+        admitted.ticket = ticket;
+        admitted.at = _engine.now();
+        admitted.kind = TicketOutcome::kAdmitted;
+        admitted.rootSpan = inv.id != 0 ? ((inv.id << 8) | 1U) : 0;
+        _ticketLog.push_back(admitted);
     }
     if (_admission != nullptr &&
         !_admission->tryAdmit(function, _engine.now())) {
@@ -225,6 +238,7 @@ void
 Invoker::rejectArrival(const Pending& inv, std::uint8_t reason)
 {
     ++_rejected;
+    noteTicketTerminal(inv, TicketOutcome::kShed, 0.0, 0.0);
     if (spansOn())
         closeRootSpan(inv, obs::SpanOutcome::Rejected);
     _admission->noteShedForPressure();
@@ -241,6 +255,7 @@ Invoker::rejectArrival(const Pending& inv, std::uint8_t reason)
 void
 Invoker::shedInvocation(const Pending& inv, std::uint8_t cause)
 {
+    noteTicketTerminal(inv, TicketOutcome::kShed, 0.0, 0.0);
     if (spansOn()) {
         emitStageSpan(inv, obs::SpanStage::Queue, _engine.now());
         closeRootSpan(inv, cause == 0 ? obs::SpanOutcome::ShedDeadline
@@ -480,7 +495,7 @@ Invoker::tryDispatchCold(const Pending& inv)
 void
 Invoker::onInitComplete(container::ContainerId cid)
 {
-    if (_fault != nullptr)
+    if (trackingEvents())
         _initEvents.erase(cid);
     Container* c = _pool.byId(cid);
     if (!c || c->state() != State::Initializing)
@@ -513,6 +528,14 @@ Invoker::startExecution(const Pending& inv, Container& c, StartupType type,
 {
     const auto& profile = _catalog.at(inv.function);
     sim::Tick execution = profile.sampleExecution(_rng);
+    if (!_degraded.empty()) {
+        // Gray window: the node is slow, not down — stretch the run.
+        const double gray = degradedExecFactor();
+        if (gray > 1.0) {
+            execution = static_cast<sim::Tick>(
+                static_cast<double>(execution) * gray);
+        }
+    }
     const sim::Tick bindTime = _engine.now();
     const sim::Tick startupLatency =
         (bindTime - inv.arrival) + dispatchOverhead;
@@ -554,7 +577,7 @@ Invoker::startExecution(const Pending& inv, Container& c, StartupType type,
             const sim::EventId ev = _engine.scheduleAfter(
                 dispatchOverhead + death,
                 [this, cid] { onExecFault(cid, false); });
-            _execs[cid] = ExecTracking{inv, ev};
+            _execs[cid] = ExecTracking{inv, ev, bindTime};
             return;
         }
         if (outcome == fault::ExecFault::Wedge) {
@@ -562,7 +585,7 @@ Invoker::startExecution(const Pending& inv, Container& c, StartupType type,
             const sim::EventId ev = _engine.scheduleAfter(
                 dispatchOverhead + _fault->plan().execTimeout,
                 [this, cid] { onExecFault(cid, true); });
-            _execs[cid] = ExecTracking{inv, ev};
+            _execs[cid] = ExecTracking{inv, ev, bindTime};
             return;
         }
     }
@@ -570,7 +593,7 @@ Invoker::startExecution(const Pending& inv, Container& c, StartupType type,
     const sim::EventId completion = _engine.scheduleAfter(
         dispatchOverhead + execution,
         [this, inv, cid, type, startupLatency, execution] {
-            if (_fault != nullptr)
+            if (trackingEvents())
                 _execs.erase(cid);
             Container* done = _pool.byId(cid);
             if (!done || done->state() != State::Busy)
@@ -589,6 +612,9 @@ Invoker::startExecution(const Pending& inv, Container& c, StartupType type,
             record.execution = execution;
             record.endToEnd = _engine.now() - inv.arrival;
             _metrics.record(record);
+            noteTicketTerminal(inv, TicketOutcome::kCompleted,
+                               sim::toSeconds(record.endToEnd),
+                               sim::toSeconds(execution));
 
             if (_obs != nullptr) {
                 _obs->emit(_engine.now(),
@@ -612,8 +638,8 @@ Invoker::startExecution(const Pending& inv, Container& c, StartupType type,
             scheduleKeepAlive(*done);
             drainQueue();
         });
-    if (_fault != nullptr)
-        _execs[cid] = ExecTracking{inv, completion};
+    if (trackingEvents())
+        _execs[cid] = ExecTracking{inv, completion, bindTime};
 }
 
 void
@@ -837,9 +863,19 @@ void
 Invoker::scheduleInit(container::ContainerId cid, sim::Tick install,
                       bool bare, bool lang, bool user)
 {
+    if (!_degraded.empty()) {
+        // Gray window: installs crawl by the configured factor.
+        const double gray = degradedInitFactor();
+        if (gray > 1.0) {
+            install = static_cast<sim::Tick>(
+                static_cast<double>(install) * gray);
+        }
+    }
     if (_fault == nullptr) {
-        _engine.scheduleAfter(install,
-                              [this, cid] { onInitComplete(cid); });
+        const sim::EventId ev = _engine.scheduleAfter(
+            install, [this, cid] { onInitComplete(cid); });
+        if (_ticketing)
+            _initEvents[cid] = ev;
         return;
     }
     // The injector samples only over the stages this install covers,
@@ -940,6 +976,7 @@ Invoker::scheduleRetry(Pending inv)
     ++inv.attempt;
     if (inv.attempt > _fault->plan().maxRetries) {
         ++_failed;
+        noteTicketTerminal(inv, TicketOutcome::kFailed, 0.0, 0.0);
         if (spansOn())
             closeRootSpan(inv, obs::SpanOutcome::Failed);
         if (_obs != nullptr) {
@@ -968,6 +1005,18 @@ Invoker::scheduleRetry(Pending inv)
         // drain picks it up. Never lost, never double-executed —
         // unless the admission controller forbids queueing, in which
         // case it is shed like any other overflow.
+        if (inv.ticket != 0 && _pendingCancels.count(inv.ticket) != 0) {
+            // A hedge cancel arrived while this attempt was waiting
+            // out its backoff: it dies here instead of re-dispatching.
+            ++_cancelled;
+            if (spansOn()) {
+                emitStageSpan(inv, obs::SpanStage::Backoff,
+                              _engine.now());
+                closeRootSpan(inv, obs::SpanOutcome::Cancelled);
+            }
+            noteTicketTerminal(inv, TicketOutcome::kCancelled, 0.0, 0.0);
+            return;
+        }
         if (spansOn())
             emitStageSpan(inv, obs::SpanStage::Backoff, _engine.now());
         if (isDown() || !tryDispatch(inv))
@@ -1111,14 +1160,26 @@ Invoker::crashNow(sim::Tick downUntil)
     std::vector<FailoverTicket> tickets;
     tickets.reserve(lost.size() + _queue.size());
     for (const auto& inv : lost) {
+        if (inv.ticket != 0) {
+            // The watch ticket leaves with the work; the coordinator
+            // re-points it at whichever node the failover lands on.
+            _liveTickets.erase(inv.ticket);
+            _pendingCancels.erase(inv.ticket);
+        }
         tickets.push_back(FailoverTicket{
-            inv.function, closeRootSpan(inv, obs::SpanOutcome::Rerouted)});
+            inv.function, closeRootSpan(inv, obs::SpanOutcome::Rerouted),
+            inv.ticket});
     }
     for (const auto& inv : _queue) {
+        if (inv.ticket != 0) {
+            _liveTickets.erase(inv.ticket);
+            _pendingCancels.erase(inv.ticket);
+        }
         if (spansOn())
             emitStageSpan(inv, obs::SpanStage::Queue, _engine.now());
         tickets.push_back(FailoverTicket{
-            inv.function, closeRootSpan(inv, obs::SpanOutcome::Rerouted)});
+            inv.function, closeRootSpan(inv, obs::SpanOutcome::Rerouted),
+            inv.ticket});
     }
     _queue.clear();
     _extracted += tickets.size();
@@ -1238,6 +1299,167 @@ Invoker::beginFinalize()
 {
     _finalizing = true;
     _downUntil = -1;
+}
+
+// ---- cluster tail-tolerance (ticketed dispatch) --------------------------
+
+void
+Invoker::noteTicketTerminal(const Pending& inv, std::uint8_t kind,
+                            double latencySeconds, double execSeconds)
+{
+    if (inv.ticket == 0)
+        return;
+    _liveTickets.erase(inv.ticket);
+    _pendingCancels.erase(inv.ticket);
+    TicketOutcome out;
+    out.ticket = inv.ticket;
+    out.at = _engine.now();
+    out.kind = kind;
+    out.latencySeconds = latencySeconds;
+    out.execSeconds = execSeconds;
+    _ticketLog.push_back(out);
+}
+
+void
+Invoker::cancelTicket(std::uint64_t ticket)
+{
+    if (ticket == 0 || _liveTickets.count(ticket) == 0) {
+        // Already terminal (the race is benign: the coordinator sees
+        // the completed outcome and books the duplicate), or never
+        // admitted here. Either way there is nothing to unwind.
+        return;
+    }
+
+    // 1. Still parked in the admission queue: pure bookkeeping.
+    for (auto it = _queue.begin(); it != _queue.end(); ++it) {
+        if (it->ticket != ticket)
+            continue;
+        const Pending inv = *it;
+        _queue.erase(it);
+        ++_cancelled;
+        if (spansOn()) {
+            emitStageSpan(inv, obs::SpanStage::Queue, _engine.now());
+            closeRootSpan(inv, obs::SpanOutcome::Cancelled);
+        }
+        noteTicketTerminal(inv, TicketOutcome::kCancelled, 0.0, 0.0);
+        return;
+    }
+
+    // 2. Attached to a claimed in-flight init. The match is unique
+    // (one live attempt per ticket), so map iteration order is
+    // immaterial to the result.
+    for (auto it = _attachments.begin(); it != _attachments.end(); ++it) {
+        if (it->second.pending.ticket != ticket)
+            continue;
+        const container::ContainerId cid = it->first;
+        const Attachment attachment = it->second;
+        _attachments.erase(it);
+        Container* c = _pool.byId(cid);
+        if (c == nullptr || c->state() != State::Initializing)
+            sim::panic("Invoker::cancelTicket: attachment container "
+                       "vanished");
+        if (spansOn()) {
+            obs::SpanStage stage = obs::SpanStage::InitUser;
+            switch (attachment.type) {
+              case StartupType::Load:
+                stage = obs::SpanStage::InitWait;
+                break;
+              case StartupType::Cold:
+                stage = obs::SpanStage::InitBare;
+                break;
+              case StartupType::Bare:
+                stage = obs::SpanStage::InitLang;
+                break;
+              default:
+                break;
+            }
+            emitStageSpan(attachment.pending, stage, _engine.now(), cid,
+                          /*aborted=*/true);
+            closeRootSpan(attachment.pending, obs::SpanOutcome::Cancelled);
+        }
+        if (attachment.type == StartupType::Load) {
+            // The install belongs to a pre-warm this attempt merely
+            // latched onto: release the claim and let it finish as an
+            // unclaimed pre-warm for the next arrival. Its (possibly
+            // untracked) init event stays armed on purpose.
+            _pool.unclaim(*c);
+        } else {
+            // The install ran solely for this attempt: cancel its
+            // completion and kill the half-built container.
+            const auto ev = _initEvents.find(cid);
+            if (ev != _initEvents.end()) {
+                _engine.cancel(ev->second);
+                _initEvents.erase(ev);
+            }
+            _pool.kill(*c, obs::KillCause::HedgeCancel);
+        }
+        ++_cancelled;
+        noteTicketTerminal(attachment.pending, TicketOutcome::kCancelled,
+                           0.0, 0.0);
+        drainQueue();
+        return;
+    }
+
+    // 3. Executing: cancel the completion, kill the container, and
+    // book the machine time burnt so far as wasted work.
+    for (auto it = _execs.begin(); it != _execs.end(); ++it) {
+        if (it->second.inv.ticket != ticket)
+            continue;
+        const container::ContainerId cid = it->first;
+        const ExecTracking tracking = it->second;
+        _execs.erase(it);
+        Container* c = _pool.byId(cid);
+        if (c == nullptr || c->state() != State::Busy)
+            sim::panic("Invoker::cancelTicket: tracked execution "
+                       "without a busy container");
+        _engine.cancel(tracking.event);
+        --_inFlight;
+        if (_admission != nullptr)
+            _admission->onExecFinish(tracking.inv.function);
+        const double wasted =
+            sim::toSeconds(_engine.now() - tracking.started);
+        if (spansOn()) {
+            emitStageSpan(tracking.inv, obs::SpanStage::Exec,
+                          _engine.now(), cid, /*aborted=*/true);
+            closeRootSpan(tracking.inv, obs::SpanOutcome::Cancelled);
+        }
+        ++_cancelled;
+        _pool.forceKill(*c, obs::KillCause::HedgeCancel);
+        noteTicketTerminal(tracking.inv, TicketOutcome::kCancelled, 0.0,
+                           wasted);
+        drainQueue();
+        return;
+    }
+
+    // 4. Live but not bound anywhere: the attempt is waiting out a
+    // retry backoff. Flag it; the backoff body cancels it on firing.
+    _pendingCancels.insert(ticket);
+}
+
+double
+Invoker::degradedExecFactor()
+{
+    const sim::Tick now = _engine.now();
+    while (_degradedCursor < _degraded.size() &&
+           _degraded[_degradedCursor].end <= now)
+        ++_degradedCursor;
+    if (_degradedCursor < _degraded.size() &&
+        _degraded[_degradedCursor].start <= now)
+        return _degraded[_degradedCursor].execFactor;
+    return 1.0;
+}
+
+double
+Invoker::degradedInitFactor()
+{
+    const sim::Tick now = _engine.now();
+    while (_degradedCursor < _degraded.size() &&
+           _degraded[_degradedCursor].end <= now)
+        ++_degradedCursor;
+    if (_degradedCursor < _degraded.size() &&
+        _degraded[_degradedCursor].start <= now)
+        return _degraded[_degradedCursor].initFactor;
+    return 1.0;
 }
 
 void

@@ -28,6 +28,7 @@
 
 #include <deque>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "admission/admission_controller.hh"
@@ -51,6 +52,44 @@ struct FailoverTicket
 {
     workload::FunctionId function = workload::kInvalidFunction;
     std::uint64_t originSpan = 0;
+    /** Cluster watch ticket the invocation carries; 0 = untracked. */
+    std::uint64_t ticket = 0;
+};
+
+/**
+ * One terminal (or admission) fact about a ticketed invocation,
+ * reported back to the cluster coordinator. The coordinator drains
+ * these at every barrier in node-index order, so the stream is a pure
+ * function of simulated state — never of the shard partitioning.
+ */
+struct TicketOutcome
+{
+    static constexpr std::uint8_t kAdmitted = 0;  //!< dispatched here
+    static constexpr std::uint8_t kCompleted = 1; //!< finished cleanly
+    static constexpr std::uint8_t kFailed = 2;    //!< retries exhausted
+    static constexpr std::uint8_t kShed = 3;      //!< rejected / shed /
+                                                  //!< stranded
+    static constexpr std::uint8_t kCancelled = 4; //!< hedge cancel
+
+    std::uint64_t ticket = 0;
+    sim::Tick at = 0;             //!< node-local event time
+    std::uint64_t rootSpan = 0;   //!< root span id (kAdmitted only)
+    double latencySeconds = 0.0;  //!< node e2e (kCompleted only)
+    double execSeconds = 0.0;     //!< exec run time; for kCancelled the
+                                  //!< wasted partial execution
+    std::uint8_t kind = kAdmitted;
+};
+
+/**
+ * One degraded ("gray") window on this node: execution and init run
+ * slower by the given factors while now is inside [start, end).
+ */
+struct DegradedSpan
+{
+    sim::Tick start = 0;
+    sim::Tick end = 0;
+    double execFactor = 1.0;
+    double initFactor = 1.0;
 };
 
 /** Event-driven invocation orchestrator; one per worker node. */
@@ -72,10 +111,56 @@ class Invoker : public policy::PlatformView
     /**
      * Handle an invocation arriving now. @p originSpan links the new
      * invocation's root span to the root of an invocation lost in a
-     * node crash (cluster failover re-routes); 0 = fresh arrival.
+     * node crash (cluster failover re-routes) or to the primary of a
+     * hedge pair; 0 = fresh arrival. @p ticket is the cluster watch
+     * ticket (0 = untracked; every nonzero ticket reports admission
+     * and its terminal outcome through drainTicketOutcomes()).
      */
     void onArrival(workload::FunctionId function,
-                   std::uint64_t originSpan = 0);
+                   std::uint64_t originSpan = 0,
+                   std::uint64_t ticket = 0);
+
+    // ---- cluster tail-tolerance (ticketed dispatch) --------------------
+
+    /**
+     * Switch on ticket/exec-event tracking before the run starts.
+     * Called once by the sharded cluster when the fault plan's network
+     * dimension is active; without it the ticket paths below are dead
+     * code behind `ticket == 0` checks, so zero-knob network plans
+     * stay bit-identical to unplanned runs.
+     */
+    void enableTicketing() { _ticketing = true; }
+
+    /**
+     * Deterministically cancel the live invocation carrying
+     * @p ticket: remove it from the admission queue, abandon its
+     * claimed init, or kill its executing container (KillCause::
+     * HedgeCancel), closing its root span with outcome Cancelled. An
+     * already-terminal ticket is a no-op (the coordinator counts the
+     * duplicate completion instead); a ticket waiting out a retry
+     * backoff is cancelled when the backoff fires.
+     */
+    void cancelTicket(std::uint64_t ticket);
+
+    /** Move out the outcome log accumulated since the last drain. */
+    std::vector<TicketOutcome> drainTicketOutcomes()
+    {
+        return std::move(_ticketLog);
+    }
+
+    /**
+     * Install this node's pre-drawn gray windows (sorted by start,
+     * non-overlapping). Execution and init sampled inside a window are
+     * stretched by its factors — the node is slow, not down.
+     */
+    void setDegradedWindows(std::vector<DegradedSpan> windows)
+    {
+        _degraded = std::move(windows);
+        _degradedCursor = 0;
+    }
+
+    /** Invocations cancelled via cancelTicket. */
+    std::uint64_t cancelledInvocations() const { return _cancelled; }
 
     /** Invocations currently waiting for memory. */
     std::size_t queuedInvocations() const { return _queue.size(); }
@@ -220,6 +305,7 @@ class Invoker : public policy::PlatformView
         std::uint32_t attempt = 0; //!< fault retries consumed so far
         std::uint64_t seq = 0; //!< deadline-shedding tag; 0 = untagged
         std::uint64_t id = 0; //!< span invocation id; 0 = spans off
+        std::uint64_t ticket = 0; //!< cluster watch ticket; 0 = none
     };
 
     /** Bookkeeping for a claimed in-flight initialization. */
@@ -402,7 +488,14 @@ class Invoker : public policy::PlatformView
     {
         Pending inv;
         sim::EventId event = sim::kNoEvent;
+        sim::Tick started = 0; //!< for wasted-work accounting
     };
+
+    /** True when init/exec events must be cancellable. */
+    bool trackingEvents() const
+    {
+        return _fault != nullptr || _ticketing;
+    }
 
     fault::FaultInjector* _fault = nullptr;
     sim::Tick _faultHorizon = 0;
@@ -416,6 +509,24 @@ class Invoker : public policy::PlatformView
     std::uint64_t _failed = 0;
     std::uint64_t _retries = 0;
     std::uint64_t _finalizeDrained = 0;
+
+    // ---- cluster tail-tolerance state (dormant while !_ticketing) ------
+
+    /** Record a terminal outcome for a ticketed invocation. */
+    void noteTicketTerminal(const Pending& inv, std::uint8_t kind,
+                            double latencySeconds, double execSeconds);
+
+    /** Exec / init stretch factor of the gray window covering now. */
+    double degradedExecFactor();
+    double degradedInitFactor();
+
+    bool _ticketing = false;
+    std::vector<TicketOutcome> _ticketLog;
+    std::unordered_set<std::uint64_t> _liveTickets;
+    std::unordered_set<std::uint64_t> _pendingCancels;
+    std::uint64_t _cancelled = 0;
+    std::vector<DegradedSpan> _degraded;
+    std::size_t _degradedCursor = 0;
 
     // ---- admission state (all dormant while _admission is nullptr) -----
 

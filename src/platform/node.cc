@@ -73,9 +73,10 @@ Node::run(const std::vector<trace::Arrival>& arrivals)
 }
 
 void
-Node::invokeNow(workload::FunctionId function, std::uint64_t originSpan)
+Node::invokeNow(workload::FunctionId function, std::uint64_t originSpan,
+                std::uint64_t ticket)
 {
-    _invoker.onArrival(function, originSpan);
+    _invoker.onArrival(function, originSpan, ticket);
 }
 
 void

@@ -91,10 +91,42 @@ class Node
     /**
      * Inject a single invocation at the current simulated time.
      * @p originSpan chains the invocation's root span to a root lost
-     * in a crash (cluster failover); 0 = fresh arrival.
+     * in a crash (cluster failover) or to a hedge's primary; 0 =
+     * fresh arrival. @p ticket is the cluster watch ticket (0 =
+     * untracked).
      */
     void invokeNow(workload::FunctionId function,
-                   std::uint64_t originSpan = 0);
+                   std::uint64_t originSpan = 0,
+                   std::uint64_t ticket = 0);
+
+    // ---- cluster tail-tolerance (ticketed dispatch) --------------------
+
+    /** Switch on ticket tracking; see Invoker::enableTicketing. */
+    void enableTicketing() { _invoker.enableTicketing(); }
+
+    /** Cancel the live invocation carrying @p ticket; see Invoker. */
+    void cancelTicket(std::uint64_t ticket)
+    {
+        _invoker.cancelTicket(ticket);
+    }
+
+    /** Move out ticket outcomes accumulated since the last drain. */
+    std::vector<TicketOutcome> drainTicketOutcomes()
+    {
+        return _invoker.drainTicketOutcomes();
+    }
+
+    /** Install this node's gray windows; see Invoker. */
+    void setDegradedWindows(std::vector<DegradedSpan> windows)
+    {
+        _invoker.setDegradedWindows(std::move(windows));
+    }
+
+    /** Invocations cancelled via cancelTicket. */
+    std::uint64_t cancelledInvocations() const
+    {
+        return _invoker.cancelledInvocations();
+    }
 
     /** Advance simulated time, draining due events. */
     void advanceTo(sim::Tick when);

@@ -322,6 +322,18 @@ ContainerPool::isClaimed(const Container& c) const
 }
 
 void
+ContainerPool::unclaim(Container& c)
+{
+    if (c.state() != State::Initializing)
+        sim::panic("ContainerPool::unclaim: container not initializing");
+    if (_claimed.erase(c.id()) == 0)
+        sim::panic("ContainerPool::unclaim: container not claimed");
+    unindex(c);
+    reindex(c); // re-files into the unclaimed-init index
+    noteMutation();
+}
+
+void
 ContainerPool::retrack(Container& c, double beforeMb)
 {
     _usedMb += c.memoryMb() - beforeMb;

@@ -208,6 +208,14 @@ class ContainerPool
     bool isClaimed(const container::Container& c) const;
 
     /**
+     * Release the claim on an in-flight container without killing it:
+     * the init keeps running and the container re-files as an
+     * unclaimed pre-warm the next arrival can latch onto. Inverse of
+     * claim(); used when a hedge cancel abandons a Load attachment.
+     */
+    void unclaim(container::Container& c);
+
+    /**
      * Begin upgrading an idle container toward @p target for
      * @p profile (partial warm start). Returns false without side
      * effects if the memory delta does not fit.

@@ -239,5 +239,125 @@ TEST(SeedRegression, ShardedClusterNumbersArePinnedAtAnyShardCount)
     }
 }
 
+// ---- gray-failure network model regression ---------------------------
+
+TEST(SeedRegression, ZeroKnobNetworkPlanIsByteIdenticalToNoPlan)
+{
+    // A default-constructed NetworkPlan must be indistinguishable
+    // from no plan at all: network.active() stays false, no ticketing
+    // machinery is armed, no Rng stream is consumed, and the report
+    // CSV is byte-identical. This pins the pay-for-what-you-use gate
+    // against regressions (an unconditional draw or an active()
+    // default flip would show up here).
+    const auto catalog = workload::Catalog::standard20();
+    trace::WorkloadTraceConfig traceConfig;
+    traceConfig.minutes = 60;
+    traceConfig.targetInvocations = 5000;
+    traceConfig.seed = 4242;
+    const auto arrivals = trace::expandArrivals(
+        trace::generateAzureLike(catalog, traceConfig));
+
+    const auto runWith = [&](bool assignNetwork) {
+        exp::ClusterRunConfig config;
+        config.nodes = 8;
+        config.shards = 2;
+        config.node.pool.memoryBudgetMb = 8192.0;
+        config.node.fault.nodeMtbfSeconds = 600.0;
+        config.node.fault.nodeDowntimeSeconds = 30.0;
+        config.node.fault.execCrashProb = 0.01;
+        config.node.fault.maxRetries = 2;
+        if (assignNetwork)
+            config.node.fault.network = fault::NetworkPlan{};
+        const auto result = exp::runCluster(
+            catalog,
+            [&catalog] { return core::makeRainbowCake(catalog); },
+            arrivals, config);
+        std::ostringstream csv;
+        exp::writeClusterSummaryCsv(csv, result);
+        exp::writeClusterPerNodeCsv(csv, result);
+        return csv.str();
+    };
+    EXPECT_EQ(runWith(true), runWith(false));
+}
+
+TEST(SeedRegression, GrayPlanNumbersArePinnedAtAnyShardCount)
+{
+    // The same 60-minute seed-4242 trace on an 8-node cluster, now
+    // under an active gray plan: jittery heavy-tailed links, message
+    // drops, degraded-node windows, scheduled partitions, hedged
+    // dispatch, and latency quarantine all at once. The CSV must stay
+    // byte-identical at shards = 1, 2, 8 and match the golden counts
+    // exactly. Re-capture in the same commit when a change
+    // intentionally moves them.
+    const auto catalog = workload::Catalog::standard20();
+    trace::WorkloadTraceConfig traceConfig;
+    traceConfig.minutes = 60;
+    traceConfig.targetInvocations = 5000;
+    traceConfig.seed = 4242;
+    const auto arrivals = trace::expandArrivals(
+        trace::generateAzureLike(catalog, traceConfig));
+    ASSERT_EQ(arrivals.size(), 842u);
+
+    std::string golden;
+    for (const std::size_t shards : {1u, 2u, 8u}) {
+        exp::ClusterRunConfig config;
+        config.nodes = 8;
+        config.shards = shards;
+        config.threads = shards == 1 ? 1 : 0; // 0: auto thread count
+        config.node.pool.memoryBudgetMb = 8192.0;
+        fault::NetworkPlan& net = config.node.fault.network;
+        net.linkDelayMeanMs = 5.0;
+        net.linkHeavyTailProb = 0.05;
+        net.linkHeavyTailFactor = 40.0;
+        net.msgDropProb = 0.02;
+        net.degradedRatePerHour = 12.0;
+        net.degradedDurationSeconds = 120.0;
+        net.degradedExecSlowdown = 8.0;
+        net.degradedInitSlowdown = 8.0;
+        net.partitionRatePerHour = 4.0;
+        net.partitionDurationSeconds = 20.0;
+        net.hedgeEnabled = true;
+        net.hedgeLatencyFactor = 1.0;
+        net.hedgeMinSamples = 20;
+        net.hedgeMinBudgetMs = 100.0;
+        net.quarantineEnabled = true;
+        net.quarantineMinSamples = 10;
+        net.quarantineDrainSeconds = 30.0;
+        net.quarantineProbeCount = 3;
+        const auto result = exp::runCluster(
+            catalog,
+            [&catalog] { return core::makeRainbowCake(catalog); },
+            arrivals, config);
+
+        EXPECT_EQ(result.invocations, 842u) << shards;
+        EXPECT_EQ(result.hedgesLaunched, 57u) << shards;
+        EXPECT_EQ(result.hedgesWon, 28u) << shards;
+        EXPECT_EQ(result.hedgesCancelled, 29u) << shards;
+        EXPECT_EQ(result.hedgesLost, 0u) << shards;
+        EXPECT_EQ(result.quarantines, 18u) << shards;
+        EXPECT_EQ(result.partitions, 3u) << shards;
+        EXPECT_EQ(result.msgsDelayed, 899u) << shards;
+        EXPECT_EQ(result.msgsDropped, 15u) << shards;
+        EXPECT_EQ(result.cancelledInvocations, 57u) << shards;
+        EXPECT_EQ(result.quarantineViolations, 0u) << shards;
+        EXPECT_EQ(result.hedgesLaunched,
+                  result.hedgesWon + result.hedgesCancelled +
+                      result.hedgesLost)
+            << shards;
+        EXPECT_EQ(result.admittedInvocations,
+                  arrivals.size() + result.reroutedInvocations +
+                      result.hedgesLaunched)
+            << shards;
+
+        std::ostringstream csv;
+        exp::writeClusterSummaryCsv(csv, result);
+        exp::writeClusterPerNodeCsv(csv, result);
+        if (shards == 1)
+            golden = csv.str();
+        else
+            EXPECT_EQ(csv.str(), golden) << shards << " shards";
+    }
+}
+
 } // namespace
 } // namespace rc

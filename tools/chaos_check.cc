@@ -104,6 +104,54 @@ randomPlan(sim::Rng& rng)
     return plan;
 }
 
+/** Randomize the gray-failure network plan the same way. */
+fault::NetworkPlan
+randomNetworkPlan(sim::Rng& rng)
+{
+    fault::NetworkPlan net;
+    // Always keep the link jittery so the plan is active and every
+    // dispatch goes through the ticket protocol.
+    net.linkDelayMeanMs = 1.0 + 9.0 * rng.uniform();
+    net.linkDelayCv = 0.3 + 0.7 * rng.uniform();
+    if (rng.bernoulli(0.7)) {
+        net.linkHeavyTailProb = 0.02 + 0.08 * rng.uniform();
+        net.linkHeavyTailFactor = 10.0 + 40.0 * rng.uniform();
+    }
+    if (rng.bernoulli(0.5)) {
+        net.msgDropProb = 0.03 * rng.uniform();
+        net.msgRetransmitMs = 50.0 + 250.0 * rng.uniform();
+    }
+    if (rng.bernoulli(0.7)) {
+        net.degradedRatePerHour = 6.0 + 18.0 * rng.uniform();
+        net.degradedDurationSeconds = 60.0 + 120.0 * rng.uniform();
+        net.degradedExecSlowdown = 4.0 + 8.0 * rng.uniform();
+        net.degradedInitSlowdown = 4.0 + 8.0 * rng.uniform();
+    }
+    if (rng.bernoulli(0.5)) {
+        net.partitionRatePerHour = 2.0 + 4.0 * rng.uniform();
+        net.partitionDurationSeconds = 10.0 + 30.0 * rng.uniform();
+        net.partitionFraction = 0.125 + 0.25 * rng.uniform();
+    }
+    if (rng.bernoulli(0.8)) {
+        net.hedgeEnabled = true;
+        net.hedgeLatencyFactor = 1.0 + rng.uniform();
+        net.hedgeMinSamples =
+            10 + static_cast<std::uint32_t>(30.0 * rng.uniform());
+        net.hedgeMinBudgetMs = 50.0 + 150.0 * rng.uniform();
+    }
+    if (rng.bernoulli(0.8)) {
+        net.quarantineEnabled = true;
+        net.quarantineLatencyFactor = 2.0 + 2.0 * rng.uniform();
+        net.quarantineMinSamples =
+            5 + static_cast<std::uint32_t>(25.0 * rng.uniform());
+        net.quarantineDrainSeconds = 10.0 + 40.0 * rng.uniform();
+        net.quarantineProbeCount =
+            1 + static_cast<std::uint32_t>(4.0 * rng.uniform());
+        net.quarantineReadmitFactor = 1.2 + 0.6 * rng.uniform();
+    }
+    return net;
+}
+
 /** Randomize the overload-control machinery the same way. */
 admission::AdmissionPlan
 randomAdmissionPlan(sim::Rng& rng)
@@ -376,11 +424,93 @@ runShardedClusterCheck(const workload::Catalog& catalog,
            label + ": sharded report diverges from the 1-shard run");
 }
 
+/**
+ * Gray-failure mode: a randomized NetworkPlan (injection + hedging +
+ * quarantine) on the sharded core. Beyond conservation, the ticket
+ * protocol promises exact hedge-pair accounting — no attempt is lost
+ * or double-counted even when partitions, degraded windows, and
+ * crashes interleave — and the shard 1-vs-4 twin must stay
+ * byte-identical.
+ */
+void
+runGrayClusterCheck(const workload::Catalog& catalog,
+                    const exp::NamedPolicy& policy,
+                    const std::vector<trace::Arrival>& arrivals,
+                    const platform::NodeConfig& config,
+                    const std::string& label)
+{
+    cluster::ClusterConfig clusterConfig;
+    clusterConfig.nodes = 8;
+    clusterConfig.node = config;
+
+    std::string fingerprints[2];
+    const std::size_t counts[2] = {1, 4};
+    for (std::size_t pass = 0; pass < 2; ++pass) {
+        cluster::ShardedConfig sharded;
+        sharded.shards = counts[pass];
+        cluster::ShardedCluster cluster(catalog, policy.make,
+                                        clusterConfig, sharded);
+        const auto result = cluster.run(arrivals);
+        const std::string passLabel =
+            label + " shards=" + std::to_string(counts[pass]);
+
+        std::uint64_t admitted = 0;
+        std::uint64_t extracted = 0;
+        std::size_t inFlight = 0;
+        for (const auto& node : cluster.nodes()) {
+            admitted += node->invoker().admittedInvocations();
+            extracted += node->invoker().extractedInvocations();
+            inFlight += node->invoker().inFlightInvocations();
+        }
+        // Every dispatch — primary, failover re-issue, or hedge — is
+        // delivered and admitted exactly once; messages delay, they
+        // never vanish.
+        expect(admitted == arrivals.size() +
+                               result.reroutedInvocations +
+                               result.hedgesLaunched,
+               passLabel + ": admissions != arrivals + rerouted + "
+                           "hedges");
+        // Conservation under partitions: every admitted attempt
+        // terminates exactly one way. Duplicate completions of a
+        // hedge pair both count as completions, so they need no term.
+        expect(result.invocations + result.failedInvocations +
+                       result.strandedInvocations + extracted +
+                       result.rejectedInvocations +
+                       result.shedDeadline + result.shedPressure +
+                       result.cancelledInvocations ==
+                   admitted,
+               passLabel + ": gray conservation broken");
+        // Hedge pairs settle exactly once: won, cancelled, or lost.
+        expect(result.hedgesLaunched ==
+                   result.hedgesWon + result.hedgesCancelled +
+                       result.hedgesLost,
+               passLabel + ": hedge pair double-counted or lost");
+        expect(result.duplicateCompletions <= result.hedgesLaunched,
+               passLabel + ": more duplicates than hedges");
+        expect(result.wastedExecSeconds <=
+                   result.totalExecSeconds + 1e-9,
+               passLabel + ": wasted work exceeds total work");
+        // A quarantined node may only receive probes (or serve as the
+        // route of last resort when no healthy node remains).
+        expect(result.quarantineViolations == 0,
+               passLabel + ": quarantined node took a primary "
+                           "dispatch");
+        expect(inFlight == 0, passLabel + ": in-flight work survived");
+
+        std::ostringstream out;
+        exp::writeClusterSummaryCsv(out, result);
+        exp::writeClusterPerNodeCsv(out, result);
+        fingerprints[pass] = out.str();
+    }
+    expect(fingerprints[0] == fingerprints[1],
+           label + ": gray report diverges from the 1-shard run");
+}
+
 [[noreturn]] void
 usage(int code)
 {
     std::cout << "chaos_check [--seed S] [--runs N] [--minutes M] "
-                 "[--overload] [--shards N]\n";
+                 "[--overload] [--gray] [--shards N]\n";
     std::exit(code);
 }
 
@@ -394,12 +524,17 @@ main(int argc, char** argv)
     std::size_t minutes = 20;
     std::size_t shards = 0;
     bool overload = false;
+    bool gray = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h")
             usage(0);
         if (arg == "--overload") {
             overload = true;
+            continue;
+        }
+        if (arg == "--gray") {
+            gray = true;
             continue;
         }
         if (i + 1 >= argc) {
@@ -467,11 +602,22 @@ main(int argc, char** argv)
                 std::max(config.fault.overloadSlowdown, 3.0);
         }
         config.admission = admissionPlan;
+        if (gray)
+            config.fault.network = randomNetworkPlan(rng);
 
         const std::string label = "seed " + std::to_string(runSeed) +
                                   " policy " + policy.label;
         std::cout << "chaos_check: " << label << " ("
                   << arrivals.size() << " arrivals)\n";
+
+        if (gray) {
+            // Gray mode exercises the network plan on the sharded
+            // core only — the serial node/cluster cores do not speak
+            // the ticket protocol.
+            runGrayClusterCheck(catalog, policy, arrivals, config,
+                                label + " gray");
+            continue;
+        }
 
         const Outcome first =
             runNode(catalog, policy, arrivals, config, label);

@@ -261,12 +261,67 @@ checkEvents(const std::string& path)
         return;
     }
     sim::Tick last = events.front().tick;
+    // Quarantine lifecycle per node: probes and readmissions are only
+    // legal while the node is out of rotation, and a readmission needs
+    // at least one probe behind it. A second NodeQuarantined without
+    // an intervening readmission is the probation-breach edge and is
+    // legal.
+    std::map<std::uint8_t, bool> inQuarantine;
+    std::map<std::uint8_t, std::uint64_t> probesSinceQuarantine;
+    std::uint64_t hedgesLaunched = 0;
+    std::uint64_t hedgesWon = 0;
+    std::uint64_t hedgesCancelled = 0;
+    std::uint64_t hedgesLost = 0;
     for (const auto& event : events) {
         if (event.tick < last) {
             fail(path + ": ticks go backwards");
             return;
         }
         last = event.tick;
+        switch (event.type) {
+        case obs::EventType::NodeQuarantined:
+            inQuarantine[event.a] = true;
+            probesSinceQuarantine[event.a] = 0;
+            break;
+        case obs::EventType::NodeProbed:
+            if (!inQuarantine[event.a]) {
+                fail(path + ": node " + std::to_string(event.a) +
+                     " probed while healthy");
+            }
+            ++probesSinceQuarantine[event.a];
+            break;
+        case obs::EventType::NodeReadmitted:
+            if (!inQuarantine[event.a]) {
+                fail(path + ": node " + std::to_string(event.a) +
+                     " readmitted while healthy");
+            } else if (probesSinceQuarantine[event.a] == 0) {
+                fail(path + ": node " + std::to_string(event.a) +
+                     " readmitted without a probe");
+            }
+            inQuarantine[event.a] = false;
+            break;
+        case obs::EventType::HedgeLaunched:
+            ++hedgesLaunched;
+            break;
+        case obs::EventType::HedgeWon:
+            ++hedgesWon;
+            break;
+        case obs::EventType::HedgeCancelled:
+            ++hedgesCancelled;
+            break;
+        case obs::EventType::HedgeLost:
+            ++hedgesLost;
+            break;
+        default:
+            break;
+        }
+    }
+    if (hedgesLaunched != hedgesWon + hedgesCancelled + hedgesLost) {
+        fail(path + ": hedge event identity broken: " +
+             std::to_string(hedgesLaunched) + " launched vs " +
+             std::to_string(hedgesWon) + " won + " +
+             std::to_string(hedgesCancelled) + " cancelled + " +
+             std::to_string(hedgesLost) + " lost");
     }
     std::cout << "obs_check: events ok (" << events.size()
               << " events)\n";
@@ -573,7 +628,10 @@ checkFleetSummary(const std::string& path)
     for (const char* key :
          {"nodes", "windows", "invocations", "stranded", "rerouted",
           "failed", "rejected", "shed_deadline", "shed_pressure",
-          "admitted", "engine_events"}) {
+          "admitted", "engine_events", "cancelled", "hedges_launched",
+          "hedges_won", "hedges_cancelled", "hedges_lost", "duplicates",
+          "quarantines", "probes", "partitions", "msgs_delayed",
+          "msgs_dropped"}) {
         const auto it = columns.find(key);
         if (it == columns.end()) {
             fail(path + ": summary lacks column " + key);
@@ -603,11 +661,27 @@ checkFleetSummary(const std::string& path)
         counters["invocations"] + counters["failed"] +
         counters["stranded"] + counters["rerouted"] +
         counters["rejected"] + counters["shed_deadline"] +
-        counters["shed_pressure"];
+        counters["shed_pressure"] + counters["cancelled"];
     if (accounted != counters["admitted"]) {
         fail(path + ": fleet conservation broken: " +
              std::to_string(accounted) + " accounted vs " +
              std::to_string(counters["admitted"]) + " admitted");
+    }
+    // Hedge pairs settle exactly once: the winner commits and the
+    // loser is either cancelled in time or finishes as a duplicate.
+    if (counters["hedges_launched"] !=
+        counters["hedges_won"] + counters["hedges_cancelled"] +
+            counters["hedges_lost"]) {
+        fail(path + ": hedge identity broken: " +
+             std::to_string(counters["hedges_launched"]) +
+             " launched vs " + std::to_string(counters["hedges_won"]) +
+             " won + " + std::to_string(counters["hedges_cancelled"]) +
+             " cancelled + " + std::to_string(counters["hedges_lost"]) +
+             " lost");
+    }
+    if (counters["duplicates"] > counters["hedges_launched"]) {
+        fail(path + ": more duplicate completions than hedges "
+                    "launched");
     }
     if (gFailures == 0) {
         std::cout << "obs_check: fleet ok (" << counters["admitted"]
