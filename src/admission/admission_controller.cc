@@ -101,7 +101,9 @@ AdmissionController::updatePressure(const PressureSample& sample,
         }
         _level = falling;
     }
-    return _level;
+    // Report the floored level: policies and the pressure trace see
+    // the ladder the node actually runs at, not the measured half.
+    return effectiveLevel();
 }
 
 sim::Tick

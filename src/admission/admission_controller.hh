@@ -95,14 +95,27 @@ class AdmissionController
      */
     int updatePressure(const PressureSample& sample, sim::Tick now);
 
-    int pressureLevel() const { return _level; }
+    int pressureLevel() const { return effectiveLevel(); }
     double smoothedPressure() const { return _smoothed; }
     double lastRawPressure() const { return _lastRaw; }
 
     /** Ladder stage queries the invoker consults on its hot paths. */
-    bool shrinkTtls() const { return _level >= 1; }
-    bool prewarmsSuppressed() const { return _level >= 2; }
-    bool shedInsteadOfQueue() const { return _level >= 3; }
+    bool shrinkTtls() const { return effectiveLevel() >= 1; }
+    bool prewarmsSuppressed() const { return effectiveLevel() >= 2; }
+    bool shedInsteadOfQueue() const { return effectiveLevel() >= 3; }
+
+    /**
+     * Recovery backpressure: pin the ladder at least at @p level while
+     * part of the fleet is down or warming (the cluster recovery
+     * orchestrator sets this from the unavailable-node fraction, and
+     * clears it back to 0 once the fleet is whole). The measured
+     * signal still raises the level above the floor; the floor only
+     * stops the survivors from speculating while they carry the
+     * displaced load. 0 without an orchestrator, so admission-only
+     * runs are untouched.
+     */
+    void setRecoveryFloor(int level) { _recoveryFloor = level; }
+    int recoveryFloor() const { return _recoveryFloor; }
 
     /**
      * Stage 1: shrink a keep-alive TTL by ttlShrinkFactor per ladder
@@ -118,6 +131,12 @@ class AdmissionController
     void noteShedForPressure() { ++_shedsSinceUpdate; }
 
   private:
+    /** Measured ladder level, clamped from below by the recovery floor. */
+    int effectiveLevel() const
+    {
+        return _level > _recoveryFloor ? _level : _recoveryFloor;
+    }
+
     /** Lazy-refill token bucket. */
     struct Bucket
     {
@@ -132,6 +151,7 @@ class AdmissionController
     double _smoothed = 0.0;
     double _lastRaw = 0.0;
     int _level = 0;
+    int _recoveryFloor = 0;
     std::uint64_t _shedsSinceUpdate = 0;
 };
 

@@ -109,6 +109,47 @@ struct ClusterResult
     double e2eP999Seconds = 0.0;
     /** Primary dispatches routed to a quarantined node (must be 0). */
     std::uint64_t quarantineViolations = 0;
+
+    // ---- correlated domains / recovery (fault::DomainPlan) -------------
+
+    /** Correlated outage waves that struck (whole domains at once). */
+    std::uint64_t domainOutages = 0;
+    /** Per-node outage episodes (one per node per struck wave). */
+    std::uint64_t outageNodeEpisodes = 0;
+    /** Planned per-node upgrade drains that started. */
+    std::uint64_t upgradeEpisodes = 0;
+    /** Drains that emptied gracefully / hit the timeout kill. The
+     *  identity drained + killed == upgradeEpisodes always holds. */
+    std::uint64_t nodesDrained = 0;
+    std::uint64_t nodesKilled = 0;
+    /** Episodes brought back to Up (== outage + upgrade episodes). */
+    std::uint64_t recoveredNodes = 0;
+    /** Total seconds nodes waited for a staged-rejoin token. */
+    double rejoinWaitSeconds = 0.0;
+    /** Census prewarm layers issued / reused / evicted / wasted. The
+     *  identity issued == hit + evicted + wasted always holds. */
+    std::uint64_t prewarmLayers = 0;
+    std::uint64_t prewarmHit = 0;
+    std::uint64_t prewarmEvicted = 0;
+    std::uint64_t prewarmWasted = 0;
+    /** Memory the wasted prewarms held when they died. */
+    double prewarmWastedMb = 0.0;
+    /** Client retry-feedback re-submissions dispatched. */
+    std::uint64_t retriesFeedback = 0;
+    /** Request-level p99 / p99.9 over the recovery window only —
+     *  completions at or after the first correlated strike. 0 when no
+     *  outage struck. Whole-run quantiles blur every arm into the
+     *  common outage-phase pain; these isolate the tail the rejoin
+     *  policy actually controls. */
+    double recoveryP99Seconds = 0.0;
+    double recoveryP999Seconds = 0.0;
+    /** Seconds from the first outage until the fleet durably
+     *  completes >= 90% of the load clients offer it (trailing
+     *  completions/offered ratio over 10 s buckets; every later
+     *  bucket holds the floor). 0 when there was no outage or the
+     *  ratio never dipped; a run that ends still collapsed reports
+     *  the whole remaining window. */
+    double timeToGoodputSeconds = 0.0;
 };
 
 /** One pre-drawn node crash (cluster-managed fault injection). */

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The conservation identities every validator checks, in one place.
+ *
+ * Four families of identities pin the simulator's accounting:
+ *
+ *   base/node      completed + failed + stranded + rejected + shed
+ *                  == admitted, and admitted == arrivals;
+ *   fleet          invocations + failed + stranded + rerouted +
+ *                  rejected + shed (+ cancelled on the gray core)
+ *                  == admitted;
+ *   admission      admitted == arrivals + rerouted (+ hedges launched
+ *                  + feedback retries on the gray/recovery core);
+ *   hedge          launched == won + cancelled + lost;
+ *   recovery       every outaged or drained node rejoins exactly
+ *                  once, every planned drain ends gracefully or by
+ *                  the timeout kill, and every recovery-prewarmed
+ *                  layer is eventually hit, evicted, or wasted.
+ *
+ * obs_check, chaos_check, and the tests used to restate these sums
+ * independently, which is exactly how a fourth identity would drift:
+ * one validator learns the new term, the others silently keep
+ * passing. They all include this header now, so an identity has one
+ * definition or it has none.
+ */
+
+#ifndef RC_CLUSTER_CONSERVATION_HH_
+#define RC_CLUSTER_CONSERVATION_HH_
+
+#include <cstdint>
+
+namespace rc::cluster::conservation {
+
+/** Terminal outcomes of one node: sum must equal its admissions. */
+inline bool
+nodeConservation(std::uint64_t completed, std::uint64_t failed,
+                 std::uint64_t stranded, std::uint64_t rejected,
+                 std::uint64_t shedDeadline, std::uint64_t shedPressure,
+                 std::uint64_t admitted)
+{
+    return completed + failed + stranded + rejected + shedDeadline +
+               shedPressure ==
+           admitted;
+}
+
+/**
+ * Fleet-wide terminal outcomes: work extracted by a crash (rerouted)
+ * is a terminal fact on the crashed node, and @p cancelled covers
+ * losing hedge attempts (0 on the non-gray cores).
+ */
+inline bool
+fleetConservation(std::uint64_t invocations, std::uint64_t failed,
+                  std::uint64_t stranded, std::uint64_t rerouted,
+                  std::uint64_t rejected, std::uint64_t shedDeadline,
+                  std::uint64_t shedPressure, std::uint64_t cancelled,
+                  std::uint64_t admitted)
+{
+    return invocations + failed + stranded + rerouted + rejected +
+               shedDeadline + shedPressure + cancelled ==
+           admitted;
+}
+
+/**
+ * Every admission has exactly one source: a fresh arrival, a crash
+ * re-route, a hedge launch, or a client feedback retry (the last two
+ * are 0 outside the gray/recovery core).
+ */
+inline bool
+admissionIdentity(std::uint64_t admitted, std::uint64_t arrivals,
+                  std::uint64_t rerouted, std::uint64_t hedgesLaunched,
+                  std::uint64_t feedbackRetries)
+{
+    return admitted ==
+           arrivals + rerouted + hedgesLaunched + feedbackRetries;
+}
+
+/** Every hedge resolves exactly one way. */
+inline bool
+hedgeIdentity(std::uint64_t launched, std::uint64_t won,
+              std::uint64_t cancelled, std::uint64_t lost)
+{
+    return launched == won + cancelled + lost;
+}
+
+/**
+ * Recovery: every episode (correlated-outage node or planned
+ * upgrade) rejoins exactly once, and every planned drain terminates —
+ * gracefully drained or killed at the drain timeout.
+ */
+inline bool
+recoveryIdentity(std::uint64_t recoveredNodes,
+                 std::uint64_t outageNodeEpisodes,
+                 std::uint64_t upgradeEpisodes,
+                 std::uint64_t nodesDrained, std::uint64_t nodesKilled)
+{
+    return recoveredNodes == outageNodeEpisodes + upgradeEpisodes &&
+           nodesDrained + nodesKilled == upgradeEpisodes;
+}
+
+/** Every recovery-prewarmed layer is hit, evicted, or wasted. */
+inline bool
+prewarmIdentity(std::uint64_t issued, std::uint64_t hit,
+                std::uint64_t evicted, std::uint64_t wasted)
+{
+    return issued == hit + evicted + wasted;
+}
+
+} // namespace rc::cluster::conservation
+
+#endif // RC_CLUSTER_CONSERVATION_HH_

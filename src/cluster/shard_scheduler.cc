@@ -80,9 +80,16 @@ ShardScheduler::pick(std::vector<NodeSummary>& nodes,
       case Scheduling::LocalityAware: {
         // 1. Affinity: the node that served this function last holds
         //    its warm User container unless the pool evicted it.
+        //    Past saturation the warm hit is a mirage — the backlog
+        //    ahead of this request will claim the container long
+        //    before it runs — and pinning only deepens the hot node's
+        //    queue. After a correlated outage every affinity points
+        //    at a survivor, so without this spill rejoined nodes
+        //    never see traffic and the fleet cannot re-balance.
         if (function < _affinity.size() && _affinity[function] != 0) {
             const std::size_t i = _affinity[function] - 1;
-            if (i < nodes.size() && !unavailable(nodes[i])) {
+            if (i < nodes.size() && !unavailable(nodes[i]) &&
+                nodes[i].inFlightPlusQueued < kAffinitySpillDepth) {
                 place(nodes[i], function, i);
                 return i;
             }

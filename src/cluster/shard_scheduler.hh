@@ -50,6 +50,13 @@ struct NodeSummary
     std::uint8_t quarantined = 0;
     /** Inside a scheduled network partition (coordinator). */
     std::uint8_t severed = 0;
+    /**
+     * Draining before a planned upgrade, waiting for a staged-rejoin
+     * token, or warming its census layers back up (coordinator). The
+     * scheduler routes around it until the recovery orchestrator
+     * clears the flag.
+     */
+    std::uint8_t recovering = 0;
     /** In-flight plus queued invocations (load signal). */
     std::uint32_t inFlightPlusQueued = 0;
     /** Pool resident memory (tie-break for least-loaded). */
@@ -58,6 +65,8 @@ struct NodeSummary
     std::uint32_t idleBare = 0;
     /** Idle Lang containers per language. */
     std::array<std::uint32_t, workload::kLanguageCount> idleLang{};
+    /** Idle User containers, all functions (recovery census-met feed). */
+    std::uint32_t idleUser = 0;
     /** Cumulative invoker failures (circuit-breaker feed). */
     std::uint64_t failures = 0;
     /** Cumulative completed invocations (circuit-breaker feed). */
@@ -68,6 +77,20 @@ struct NodeSummary
 class ShardScheduler
 {
   public:
+    /**
+     * Affinity saturation spill: LocalityAware stops honoring the
+     * affinity hint once the pinned node's in-flight-plus-queued
+     * backlog reaches this depth and falls through to the sharing and
+     * least-loaded rules instead. A warm container behind a backlog
+     * this deep is a mirage (the queue ahead will claim it), and
+     * after a correlated outage every affinity points at a survivor,
+     * so unbounded pinning would starve rejoined nodes forever. The
+     * threshold is far above steady-state depths (a node runs a
+     * handful of requests at a time), so it only bites under genuine
+     * overload.
+     */
+    static constexpr std::uint32_t kAffinitySpillDepth = 16;
+
     ShardScheduler(Scheduling scheduling, const workload::Catalog& catalog);
 
     /**
@@ -96,7 +119,7 @@ class ShardScheduler
     unavailable(const NodeSummary& s)
     {
         return s.down != 0 || s.tripped != 0 || s.quarantined != 0 ||
-               s.severed != 0;
+               s.severed != 0 || s.recovering != 0;
     }
 
     std::size_t leastLoaded(const std::vector<NodeSummary>& nodes) const;

@@ -92,21 +92,33 @@ ShardedCluster::ShardedCluster(const workload::Catalog& catalog,
     _seenSuccesses.assign(_nodes.size(), 0);
     _seenTransitions.assign(_nodes.size(), 0);
 
-    // Gray-failure network model + tail-tolerant dispatch. Armed only
-    // when the plan's network dimension is active; a zero-knob plan
-    // builds none of this, draws nothing, and stays bit-identical to
-    // an unplanned run.
-    if (_config.node.fault.network.active()) {
+    // Gray-failure network model + tail-tolerant dispatch. Ticketed
+    // dispatch is armed when either the network plan or the domain
+    // plan is active (recovery orchestration and retry feedback track
+    // requests end-to-end just like hedging does); the net-only
+    // machinery — link sampling, hedges, partitions, quarantine —
+    // stays gated on the network plan. A zero-knob fault plan builds
+    // none of this, draws nothing, and stays bit-identical to an
+    // unplanned run.
+    if (_config.node.fault.network.active())
         _net = &_config.node.fault.network;
+    _ticketed = _net != nullptr || _config.node.fault.domain.active();
+    if (_ticketed) {
+        // With no network plan the sampler wraps an all-zero plan: it
+        // consumes no randomness and delivers everything instantly.
         _netSampler = std::make_unique<fault::NetworkSampler>(
-            *_net, sim::Rng(_config.node.seed).stream("net"));
+            _config.node.fault.network,
+            sim::Rng(_config.node.seed).stream("net"));
         NodeHealthTracker::Config health;
-        health.enabled = _net->quarantineEnabled;
-        health.latencyFactor = _net->quarantineLatencyFactor;
-        health.minSamples = _net->quarantineMinSamples;
-        health.drain = sim::fromSeconds(_net->quarantineDrainSeconds);
-        health.probeCount = _net->quarantineProbeCount;
-        health.readmitFactor = _net->quarantineReadmitFactor;
+        if (_net != nullptr) {
+            health.enabled = _net->quarantineEnabled;
+            health.latencyFactor = _net->quarantineLatencyFactor;
+            health.minSamples = _net->quarantineMinSamples;
+            health.drain =
+                sim::fromSeconds(_net->quarantineDrainSeconds);
+            health.probeCount = _net->quarantineProbeCount;
+            health.readmitFactor = _net->quarantineReadmitFactor;
+        }
         _health =
             std::make_unique<NodeHealthTracker>(health, _nodes.size());
         _severed.assign(_nodes.size(), 0);
@@ -131,6 +143,8 @@ ShardedCluster::captureSummary(platform::Node& node) const
         s.idleLang[l] = static_cast<std::uint32_t>(
             node.pool().idleLangCount(static_cast<workload::Language>(l)));
     }
+    s.idleUser = static_cast<std::uint32_t>(
+        node.pool().idleCountAtLayer(workload::Layer::User, std::nullopt));
     s.failures = node.invoker().failedInvocations();
     s.successes = node.metrics().total();
     return s;
@@ -181,6 +195,12 @@ ShardedCluster::runShardWindow(Shard& shard, sim::Tick windowEnd)
                 } else if (input.kind == ShardInput::kInvoke) {
                     node.invokeNow(input.function, input.originSpan,
                                    input.ticket);
+                } else if (input.kind == ShardInput::kPrewarm) {
+                    // Census warm-up: downUntil carries the Layer.
+                    node.recoveryPrewarm(
+                        input.function,
+                        static_cast<workload::Layer>(
+                            static_cast<std::uint8_t>(input.downUntil)));
                 } else {
                     node.cancelTicket(input.ticket);
                 }
@@ -245,9 +265,32 @@ ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
         for (auto& node : _nodes)
             node->armFaults(horizon, /*manageNodeCrashes=*/false);
     }
-    const std::vector<CrashEvent> crashes = drawCrashSchedule(
+    std::vector<CrashEvent> crashes = drawCrashSchedule(
         plan, _config.node.seed, _nodes.size(), horizon);
-    if (ticketing()) {
+    if (plan.domain.active()) {
+        _recovery = std::make_unique<RecoveryOrchestrator>(
+            plan.domain, _catalog, _config.node.seed, _nodes.size(),
+            horizon, _obs);
+        // Correlated-outage crashes ride the same pre-drawn crash
+        // stream as independent MTBF crashes; one merge restores the
+        // (at, node) order both sources already obey.
+        const auto& outageCrashes = _recovery->outageCrashes();
+        if (!outageCrashes.empty()) {
+            // The recovery-window latency sketch starts collecting at
+            // the first correlated strike (the stream is (at, node)
+            // sorted, so front() is earliest).
+            _recoveryFrom = outageCrashes.front().at;
+            crashes.insert(crashes.end(), outageCrashes.begin(),
+                           outageCrashes.end());
+            std::stable_sort(crashes.begin(), crashes.end(),
+                             [](const CrashEvent& a,
+                                const CrashEvent& b) {
+                                 return a.at != b.at ? a.at < b.at
+                                                     : a.node < b.node;
+                             });
+        }
+    }
+    if (_net != nullptr) {
         _degradedSchedule = fault::drawDegradedWindows(
             *_net, _config.node.seed, _nodes.size(), horizon);
         _partitions = fault::drawPartitionSchedule(
@@ -315,7 +358,7 @@ ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
                 // tick would floor back into a window that can never
                 // clear it.
                 const sim::Tick end = _partitions[pi].end;
-                nextTick = std::min(nextTick, (end + L - 1) / L * L);
+                nextTick = std::min(nextTick, alignToBarrier(end, L));
             }
             if (!_watches.empty()) {
                 // Wake at the next instant the coordinator can act on
@@ -331,7 +374,7 @@ ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
                                       ? _nodes[i]->engine().nextEventAt()
                                       : lastBarrier);
                 }
-                if (_net->hedgeEnabled) {
+                if (_net != nullptr && _net->hedgeEnabled) {
                     for (const auto& [ticket, watch] : _watches) {
                         if (watch.resolved || watch.hedgeTicket != 0 ||
                             watch.isProbe || watch.primaryDone)
@@ -352,6 +395,31 @@ ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
                 }
             }
         }
+        if (_recovery != nullptr) {
+            // Recovery deadlines gate on windowStart >= deadline, so
+            // propose the grid point at-or-after them — the raw tick
+            // would floor back into a window that can never clear it
+            // (the same trap as partition ends above).
+            const sim::Tick recoveryAt = _recovery->nextActionAt();
+            if (recoveryAt != kNever)
+                nextTick =
+                    std::min(nextTick, alignToBarrier(recoveryAt, L));
+            if (_recovery->needsNodeProgress()) {
+                // Draining and warming complete through node-local
+                // events (executions finishing, prewarm inits); keep
+                // barriers stepping with them so the FSM observes
+                // progress promptly.
+                for (std::size_t i = 0; i < _nodes.size(); ++i) {
+                    nextTick = std::min(
+                        nextTick, _inboxes[i].empty()
+                                      ? _nodes[i]->engine().nextEventAt()
+                                      : lastBarrier);
+                }
+            }
+        }
+        if (_feedbackIdx < _feedbackQueue.size())
+            nextTick =
+                std::min(nextTick, _feedbackQueue[_feedbackIdx].at);
         if (nextTick == kNever)
             break;
 
@@ -375,8 +443,16 @@ ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
                         ? 1
                         : 0;
             }
-            launchHedges(windowStart, windowEnd, seq, result);
         }
+        // Recovery FSM runs before routing (hedges, retries, arrivals)
+        // so every dispatch this window sees the recovering flags; it
+        // runs before the crash drain so census snapshots still read
+        // pre-failure summaries.
+        if (_recovery != nullptr)
+            applyRecovery(windowStart, windowEnd, seq);
+        if (_net != nullptr)
+            launchHedges(windowStart, windowEnd, seq, result);
+        drainFeedbackRetries(windowEnd, seq, result);
         // Drain the three input streams due this window in one merged
         // (tick, class) order — crashes outrank failover deliveries,
         // which outrank fresh arrivals at the same instant, matching
@@ -451,6 +527,7 @@ ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
                                             d.originSpan, d.ticket});
             } else {
                 const trace::Arrival& arrival = arrivals[arrivalIdx++];
+                ++_offeredLoad;
                 std::size_t target = 0;
                 bool probe = false;
                 if (ticketing()) {
@@ -627,6 +704,22 @@ ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
         emitDegradedEvents(std::numeric_limits<sim::Tick>::max());
         emitHealthTransitions();
     }
+    if (_recovery != nullptr) {
+        // Close every in-flight episode so the recovery conservation
+        // identities hold however the horizon cut the schedule.
+        _recovery->finishPending(lastBarrier);
+        _recovery->report(result);
+        result.retriesFeedback = _retriesFeedback;
+        for (const auto& node : _nodes) {
+            result.prewarmLayers += node->recoveryPrewarmsIssued();
+            result.prewarmHit += node->pool().recoveryPrewarmHits();
+            result.prewarmEvicted +=
+                node->pool().recoveryPrewarmEvicted();
+            result.prewarmWasted += node->pool().recoveryPrewarmWasted();
+            result.prewarmWastedMb +=
+                node->pool().recoveryPrewarmWastedMb();
+        }
+    }
 
     // Fleet latency sketch, merged in node-index order (see Cluster);
     // the bucket-wise merge is shard-count independent.
@@ -673,6 +766,10 @@ ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
             result.e2eP50Seconds = _requestSketch.median();
             result.e2eP99Seconds = _requestSketch.p99();
             result.e2eP999Seconds = _requestSketch.quantile(0.999);
+        }
+        if (_recoverySketch.count() > 0) {
+            result.recoveryP99Seconds = _recoverySketch.p99();
+            result.recoveryP999Seconds = _recoverySketch.quantile(0.999);
         }
         if (_health != nullptr) {
             result.quarantines = _health->quarantines();
@@ -994,6 +1091,8 @@ ShardedCluster::processOutcomes(sim::Tick barrier, std::uint64_t& seq,
                 watch.resolved = true;
                 watch.e2eSeconds = sim::toSeconds(o.at - watch.arrival);
                 _requestSketch.add(watch.e2eSeconds);
+                if (o.at >= _recoveryFrom)
+                    _recoverySketch.add(watch.e2eSeconds);
                 if (hedgeSide) {
                     watch.hedgeDone = true;
                     ++result.hedgesWon;
@@ -1099,7 +1198,158 @@ ShardedCluster::processOutcomes(sim::Tick barrier, std::uint64_t& seq,
             continue;
         Watch& watch = _watches.at(pit->second);
         noteSideDone(watch, o.ticket == watch.hedgeTicket, result, o.at);
+        // Every attempt is terminal and none completed: the request
+        // failed at the client, which re-submits after its backoff
+        // when retry feedback is armed.
+        if (!watch.resolved && watch.primaryDone &&
+            (watch.hedgeTicket == 0 || watch.hedgeDone)) {
+            scheduleFeedbackRetry(watch, o.at);
+        }
         eraseWatchIfComplete(pit->second);
+    }
+}
+
+// ---- recovery orchestration (coordinator only) --------------------------
+
+LayerCensus
+ShardedCluster::censusOf(std::size_t index) const
+{
+    // Count every live container at the layer it has installed (or is
+    // installing toward): busy User containers are warm capital just
+    // as much as idle ones — at outage time under load they are MOST
+    // of the working set. Iteration is in ascending container-id
+    // (creation) order and functions accumulate into a sorted map, so
+    // the census is identical at any shard count.
+    LayerCensus census;
+    platform::Node& node = *_nodes[index];
+    std::map<workload::FunctionId, std::uint32_t> users;
+    for (const container::ContainerId id :
+         node.pool().allContainerIds()) {
+        const container::Container* c = node.pool().byId(id);
+        if (c == nullptr || c->state() == container::State::Dead)
+            continue;
+        const workload::Layer layer =
+            c->state() == container::State::Initializing
+                ? c->targetLayer()
+                : c->layer();
+        switch (layer) {
+        case workload::Layer::Bare:
+            ++census.bare;
+            break;
+        case workload::Layer::Lang:
+            if (c->language()) {
+                ++census.lang[workload::languageIndex(*c->language())];
+            }
+            break;
+        case workload::Layer::User:
+            ++users[c->function()];
+            break;
+        case workload::Layer::None:
+            break;
+        }
+    }
+    census.user.assign(users.begin(), users.end());
+    return census;
+}
+
+void
+ShardedCluster::applyRecovery(sim::Tick windowStart, sim::Tick windowEnd,
+                              std::uint64_t& seq)
+{
+    std::vector<RecoveryAction> actions;
+    const int floor = _recovery->onBarrier(
+        windowStart, windowEnd, _summaries, _offeredLoad,
+        [this](std::size_t index) { return censusOf(index); }, actions);
+    for (const RecoveryAction& action : actions) {
+        if (action.kind == RecoveryAction::kCrashNode) {
+            // A drain end restarts the node through the ordinary
+            // crash path: warm state is torn down and anything still
+            // in flight (timeout kill) fails over like a crash.
+            _summaries[action.node].down = 1;
+            _inboxes[action.node].push_back(
+                {action.at, seq++, workload::kInvalidFunction,
+                 action.downUntil, ShardInput::kCrash});
+        } else {
+            _inboxes[action.node].push_back(
+                {action.at, seq++, action.function,
+                 static_cast<sim::Tick>(
+                     static_cast<std::uint8_t>(action.layer)),
+                 ShardInput::kPrewarm});
+        }
+    }
+    if (floor != _recoveryFloor) {
+        _recoveryFloor = floor;
+        for (auto& node : _nodes)
+            node->setRecoveryPressureFloor(floor);
+    }
+}
+
+void
+ShardedCluster::scheduleFeedbackRetry(const Watch& watch, sim::Tick at)
+{
+    if (_recovery == nullptr)
+        return;
+    const fault::DomainPlan& plan = _config.node.fault.domain;
+    if (!plan.retryFeedbackEnabled || watch.isProbe ||
+        watch.feedbackAttempt >= plan.retryMaxAttempts)
+        return;
+    const sim::Tick backoff = std::max<sim::Tick>(
+        1, sim::fromSeconds(plan.retryBackoffSeconds));
+    _feedbackQueue.push_back(
+        {at + backoff, _feedbackSeq++, watch.function,
+         watch.feedbackAttempt + 1});
+}
+
+void
+ShardedCluster::drainFeedbackRetries(sim::Tick windowEnd,
+                                     std::uint64_t& seq,
+                                     ClusterResult& result)
+{
+    (void)result;
+    if (_feedbackIdx >= _feedbackQueue.size())
+        return;
+    // Outcomes drain in (at, ...) order with a constant backoff, so
+    // the tail is already sorted; the sort is a cheap invariant guard
+    // (its (at, seq) key is a total order, so it cannot perturb
+    // determinism either way).
+    std::sort(_feedbackQueue.begin() +
+                  static_cast<std::ptrdiff_t>(_feedbackIdx),
+              _feedbackQueue.end(),
+              [](const FeedbackRetry& a, const FeedbackRetry& b) {
+                  return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+              });
+    while (_feedbackIdx < _feedbackQueue.size() &&
+           _feedbackQueue[_feedbackIdx].at < windowEnd) {
+        const FeedbackRetry retry = _feedbackQueue[_feedbackIdx++];
+        const std::size_t target =
+            _scheduler.pick(_summaries, retry.function);
+        ++_retriesFeedback;
+        ++_offeredLoad;
+        if (_obs != nullptr) {
+            _obs->counters().bump(obs::Counter::RecoveryRetries,
+                                  retry.at);
+            _obs->emit(retry.at, obs::EventType::RecoveryRetry, 0,
+                       retry.function,
+                       static_cast<std::uint8_t>(target),
+                       static_cast<std::uint8_t>(
+                           std::min<std::uint32_t>(retry.attempt, 255)));
+        }
+        const std::uint64_t ticket = _nextTicket++;
+        Watch watch;
+        watch.function = retry.function;
+        watch.arrival = retry.at;
+        watch.sentAt = retry.at;
+        watch.primaryTicket = ticket;
+        watch.primaryNode = static_cast<std::uint32_t>(target);
+        watch.feedbackAttempt = retry.attempt;
+        _watches.emplace(ticket, watch);
+        _ticketToPrimary.emplace(ticket, ticket);
+        sendInvoke(target, retry.function, 0, ticket, retry.at,
+                   windowEnd, seq);
+    }
+    if (_feedbackIdx == _feedbackQueue.size()) {
+        _feedbackQueue.clear();
+        _feedbackIdx = 0;
     }
 }
 

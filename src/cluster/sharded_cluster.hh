@@ -41,6 +41,7 @@
 #define RC_CLUSTER_SHARDED_CLUSTER_HH_
 
 #include <cstdint>
+#include <limits>
 #include <map>
 #include <memory>
 #include <unordered_map>
@@ -48,6 +49,7 @@
 
 #include "cluster/cluster.hh"
 #include "cluster/node_health.hh"
+#include "cluster/recovery_orchestrator.hh"
 #include "cluster/shard_scheduler.hh"
 #include "core/cost_model.hh"
 #include "fault/network_plan.hh"
@@ -93,10 +95,12 @@ struct ShardInput
     /** Coordinator-assigned global sequence (deterministic). */
     std::uint64_t seq = 0;
     workload::FunctionId function = workload::kInvalidFunction;
-    /** Crash only: restart instant. */
+    /** Crash: restart instant. Recovery prewarm: the Layer to
+     *  install, cast — the field is otherwise unused by that kind. */
     sim::Tick downUntil = 0;
-    /** 0 = crash, 1 = invocation, 2 = hedge cancel; ascending order
-     *  at equal ticks (crashes first, cancels last). */
+    /** 0 = crash, 1 = invocation, 2 = hedge cancel, 3 = recovery
+     *  prewarm; ascending order at equal ticks (crashes first,
+     *  prewarms last). */
     std::uint8_t kind = 1;
     /**
      * Invoke only: root span this delivery chains to (failover
@@ -114,7 +118,21 @@ struct ShardInput
     static constexpr std::uint8_t kCrash = 0;
     static constexpr std::uint8_t kInvoke = 1;
     static constexpr std::uint8_t kCancel = 2;
+    static constexpr std::uint8_t kPrewarm = 3;
 };
+
+/**
+ * Round @p tick up to the barrier grid: the smallest multiple of
+ * @p pitch that is >= @p tick. Window-end alignment must use this —
+ * feeding a raw (unaligned) end tick into the nextTick scan would
+ * propose a barrier off the grid, and the window containing it would
+ * then be skipped entirely (the PR 8 partition-end wakeup bug).
+ */
+inline sim::Tick
+alignToBarrier(sim::Tick tick, sim::Tick pitch)
+{
+    return (tick + pitch - 1) / pitch * pitch;
+}
 
 /**
  * The inbox drain order: (tick, kind, seq). Matches the legacy serial
@@ -245,6 +263,17 @@ class ShardedCluster
         bool isProbe = false;     //!< quarantine probe (never hedged)
         bool failover = false;    //!< re-routed off a crash (no e2e base)
         double e2eSeconds = -1.0; //!< winner request-level latency
+        /** Client retry-feedback generation (0 = original request). */
+        std::uint32_t feedbackAttempt = 0;
+    };
+
+    /** One client retry-feedback re-submission awaiting dispatch. */
+    struct FeedbackRetry
+    {
+        sim::Tick at = 0;        //!< backoff expiry
+        std::uint64_t seq = 0;   //!< enqueue order (tie-break)
+        workload::FunctionId function = workload::kInvalidFunction;
+        std::uint32_t attempt = 0;
     };
 
     NodeSummary captureSummary(platform::Node& node) const;
@@ -253,8 +282,12 @@ class ShardedCluster
 
     // ---- gray network / tail tolerance (coordinator only) --------------
 
-    /** True when ticketed dispatch is on (plan.network.active()). */
-    bool ticketing() const { return _net != nullptr; }
+    /** True when ticketed dispatch is on: the network plan or the
+     *  domain plan is active (both track requests end-to-end). */
+    bool ticketing() const { return _ticketed; }
+
+    /** True when a DomainPlan drives a recovery orchestrator. */
+    bool domainActive() const { return _recovery != nullptr; }
 
     /**
      * Route one invoke to @p node through the gray network: samples
@@ -297,6 +330,31 @@ class ShardedCluster
 
     /** Drop a fully-terminal watch and its ticket mappings. */
     void eraseWatchIfComplete(std::uint64_t primaryTicket);
+
+    // ---- recovery orchestration (coordinator only) ----------------------
+
+    /**
+     * Coordinator-phase recovery step: run the orchestrator FSM,
+     * convert its actions into shard inputs (drain-end crashes,
+     * census prewarms), and propagate the admission pressure floor to
+     * every node when it changes.
+     */
+    void applyRecovery(sim::Tick windowStart, sim::Tick windowEnd,
+                       std::uint64_t& seq);
+
+    /** Live layer census of node @p index (coordinator phase only:
+     *  single-threaded, node advanced to the last barrier). */
+    LayerCensus censusOf(std::size_t index) const;
+
+    /** A ticketed request failed terminally: enqueue the client's
+     *  re-submission after the retry backoff (no-op unless the plan
+     *  arms retry feedback or the attempt budget is spent). */
+    void scheduleFeedbackRetry(const Watch& watch, sim::Tick at);
+
+    /** Dispatch feedback retries whose backoff expired before
+     *  @p windowEnd, exactly like fresh arrivals. */
+    void drainFeedbackRetries(sim::Tick windowEnd, std::uint64_t& seq,
+                              ClusterResult& result);
 
     const workload::Catalog& _catalog;
     ClusterConfig _config;
@@ -346,11 +404,39 @@ class ShardedCluster
     std::vector<stats::QuantileSketch> _functionSketches;
     /** Request-level end-to-end latencies (winner per request). */
     stats::QuantileSketch _requestSketch;
+    /** Same feed, restricted to completions at or after the first
+     *  correlated outage — the storm-window tail the recovery arms
+     *  actually differ on (whole-run quantiles are dominated by
+     *  outage-phase pain common to every recovery policy). 0.1%
+     *  relative error: recovery policies move this tail by fractions
+     *  of a percent, inside the default 1% grid's bucket width. */
+    stats::QuantileSketch _recoverySketch{0.001};
+    /** First correlated strike; completions from here feed
+     *  _recoverySketch (never when no outage is scheduled). */
+    sim::Tick _recoveryFrom = std::numeric_limits<sim::Tick>::max();
     /** Probe tickets in flight, by node (probe-abort bookkeeping). */
     std::unordered_map<std::uint64_t, std::uint32_t> _probeTickets;
     std::uint64_t _msgsDelayed = 0;
     std::uint64_t _msgsDropped = 0;
     std::uint64_t _quarantineViolations = 0;
+
+    // ---- recovery orchestration (coordinator-only) ----------------------
+
+    /** Ticketed dispatch armed (network or domain plan active). */
+    bool _ticketed = false;
+    /** Non-null only when the domain plan is active. */
+    std::unique_ptr<RecoveryOrchestrator> _recovery;
+    /** Admission pressure floor currently applied to the fleet. */
+    int _recoveryFloor = 0;
+    /** Feedback retries in (at, seq) order; _feedbackIdx = next due. */
+    std::vector<FeedbackRetry> _feedbackQueue;
+    std::size_t _feedbackIdx = 0;
+    std::uint64_t _feedbackSeq = 0;
+    std::uint64_t _retriesFeedback = 0;
+    /** Requests dispatched so far (fresh arrivals + feedback retries;
+     *  failovers and hedges re-issue a counted request). The recovery
+     *  orchestrator's goodput-ratio denominator. */
+    std::uint64_t _offeredLoad = 0;
 };
 
 } // namespace rc::cluster

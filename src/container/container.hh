@@ -193,6 +193,17 @@ class Container
     /** True if an idle interval is currently open. */
     bool idleIntervalOpen() const { return _idleOpen; }
 
+    /**
+     * Provenance tag for recovery warm-ups: containers created from a
+     * rejoining node's pre-failure layer census carry this flag until
+     * first use, so the pool can classify every census prewarm as
+     * eventually hit, evicted, or wasted (the prewarm conservation
+     * identity).
+     */
+    bool recoveryPrewarmed() const { return _recoveryPrewarmed; }
+    void markRecoveryPrewarmed() { _recoveryPrewarmed = true; }
+    void clearRecoveryPrewarmed() { _recoveryPrewarmed = false; }
+
   private:
     void closeIdleInterval(sim::Tick now);
     void openIdleInterval(sim::Tick now);
@@ -239,6 +250,7 @@ class Container
     sim::Tick _createdAt = 0;
     sim::Tick _idleSince = 0;
     bool _idleOpen = false;
+    bool _recoveryPrewarmed = false;
     std::uint64_t _executions = 0;
     sim::EventId _timeoutEvent = sim::kNoEvent;
 

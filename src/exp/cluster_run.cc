@@ -15,11 +15,13 @@ runCluster(const workload::Catalog& catalog, const PolicyFactory& factory,
     clusterConfig.node = config.node;
     clusterConfig.scheduling = config.scheduling;
     // The gray network model (ticketed dispatch, hedging, quarantine)
-    // lives in the sharded coordinator only; a network-active plan
+    // and the recovery orchestrator (correlated domains) live in the
+    // sharded coordinator only; a network- or domain-active plan
     // silently upgrades the legacy serial selection to one shard,
     // which steps nodes serially anyway.
-    const bool wantsNetwork = config.node.fault.network.active();
-    if (config.shards == 0 && !wantsNetwork) {
+    const bool wantsCoordinator = config.node.fault.network.active() ||
+                                  config.node.fault.domain.active();
+    if (config.shards == 0 && !wantsCoordinator) {
         cluster::Cluster cluster(catalog, factory, clusterConfig);
         return cluster.run(arrivals);
     }
@@ -41,7 +43,12 @@ writeClusterSummaryCsv(std::ostream& out,
            "rejected,shed_deadline,shed_pressure,breaker_opens,admitted,"
            "engine_events,cancelled,hedges_launched,hedges_won,"
            "hedges_cancelled,hedges_lost,duplicates,wasted_exec_s,"
-           "quarantines,probes,partitions,msgs_delayed,msgs_dropped\n";
+           "quarantines,probes,partitions,msgs_delayed,msgs_dropped,"
+           "domain_outages,outage_episodes,upgrade_episodes,"
+           "nodes_drained,nodes_killed,recovered_nodes,rejoin_wait_s,"
+           "prewarm_layers,prewarm_hit,prewarm_evicted,prewarm_wasted,"
+           "prewarm_wasted_mb,retries_feedback,time_to_goodput_s,"
+           "recovery_p99_s,recovery_p999_s\n";
     out << result.schedulingName << ','
         << result.perNodeInvocations.size() << ',' << result.windows
         << ',' << result.invocations << ',' << result.coldStarts << ','
@@ -59,7 +66,17 @@ writeClusterSummaryCsv(std::ostream& out,
         << ',' << result.hedgesLost << ',' << result.duplicateCompletions
         << ',' << result.wastedExecSeconds << ',' << result.quarantines
         << ',' << result.probes << ',' << result.partitions << ','
-        << result.msgsDelayed << ',' << result.msgsDropped << '\n';
+        << result.msgsDelayed << ',' << result.msgsDropped << ','
+        << result.domainOutages << ',' << result.outageNodeEpisodes
+        << ',' << result.upgradeEpisodes << ',' << result.nodesDrained
+        << ',' << result.nodesKilled << ',' << result.recoveredNodes
+        << ',' << result.rejoinWaitSeconds << ','
+        << result.prewarmLayers << ',' << result.prewarmHit << ','
+        << result.prewarmEvicted << ',' << result.prewarmWasted << ','
+        << result.prewarmWastedMb << ',' << result.retriesFeedback
+        << ',' << result.timeToGoodputSeconds << ','
+        << result.recoveryP99Seconds << ','
+        << result.recoveryP999Seconds << '\n';
 }
 
 void

@@ -28,8 +28,10 @@ struct ClusterRunConfig
      * (barrier-time summary routing). The two cores are distinct
      * semantics: results are bit-identical across shard *counts*, not
      * across the 0 / >= 1 boundary. A network-active fault plan
-     * (gray failures / hedging) upgrades 0 to 1 shard — the ticketed
-     * dispatch path lives in the sharded coordinator only.
+     * (gray failures / hedging) or a domain-active one (correlated
+     * outages / recovery orchestration) upgrades 0 to 1 shard — the
+     * ticketed dispatch path and the recovery orchestrator live in
+     * the sharded coordinator only.
      */
     std::size_t shards = 0;
     /** Worker threads for the sharded core; 0 picks automatically. */
@@ -53,7 +55,11 @@ runCluster(const workload::Catalog& catalog, const PolicyFactory& factory,
  * rejected,shed_deadline,shed_pressure,breaker_opens,admitted,
  * engine_events,cancelled,hedges_launched,hedges_won,
  * hedges_cancelled,hedges_lost,duplicates,wasted_exec_s,quarantines,
- * probes,partitions,msgs_delayed,msgs_dropped
+ * probes,partitions,msgs_delayed,msgs_dropped,domain_outages,
+ * outage_episodes,upgrade_episodes,nodes_drained,nodes_killed,
+ * recovered_nodes,rejoin_wait_s,prewarm_layers,prewarm_hit,
+ * prewarm_evicted,prewarm_wasted,prewarm_wasted_mb,retries_feedback,
+ * time_to_goodput_s,recovery_p99_s,recovery_p999_s
  *
  * All sums are accumulated in node order regardless of shard count,
  * so the bytes written here are the determinism pin.

@@ -1,0 +1,420 @@
+#include "fault/domain_plan.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "obs/json.hh"
+
+namespace rc::fault {
+
+bool
+DomainPlan::active() const
+{
+    return outageRatePerHour > 0.0 || upgradeRatePerHour > 0.0 ||
+           !outages.empty();
+}
+
+std::vector<std::uint32_t>
+domainMembers(const DomainPlan& plan, std::uint32_t domain,
+              std::size_t nodeCount)
+{
+    std::vector<std::uint32_t> members;
+    if (!plan.domains.empty()) {
+        if (domain < plan.domains.size())
+            members = plan.domains[domain];
+        std::sort(members.begin(), members.end());
+        return members;
+    }
+    const std::uint32_t count = std::max<std::uint32_t>(
+        1, plan.domainCount);
+    for (std::size_t i = domain; i < nodeCount; i += count)
+        members.push_back(static_cast<std::uint32_t>(i));
+    return members;
+}
+
+namespace {
+
+std::uint32_t
+effectiveDomainCount(const DomainPlan& plan)
+{
+    if (!plan.domains.empty())
+        return static_cast<std::uint32_t>(plan.domains.size());
+    return std::max<std::uint32_t>(1, plan.domainCount);
+}
+
+} // namespace
+
+std::vector<DomainOutage>
+drawOutageSchedule(const DomainPlan& plan, std::uint64_t seed,
+                   std::size_t nodes, sim::Tick horizon)
+{
+    std::vector<DomainOutage> schedule;
+    if (nodes == 0)
+        return schedule;
+    const std::uint32_t domainCount = effectiveDomainCount(plan);
+    const sim::Tick duration = std::max<sim::Tick>(
+        1, sim::fromSeconds(plan.outageDurationSeconds));
+    if (plan.outageRatePerHour > 0.0 && horizon > 0) {
+        sim::Rng rng = sim::Rng(seed).stream("domain-outage");
+        const double meanGapSeconds = 3600.0 / plan.outageRatePerHour;
+        sim::Tick t = 0;
+        while (true) {
+            t += std::max<sim::Tick>(
+                1,
+                sim::fromSeconds(rng.exponential(1.0 / meanGapSeconds)));
+            if (t >= horizon)
+                break;
+            const auto domain = static_cast<std::uint32_t>(
+                std::min<std::int64_t>(
+                    domainCount - 1,
+                    rng.uniformInt(0, domainCount - 1)));
+            DomainOutage ev;
+            ev.at = t;
+            ev.downUntil = t + duration;
+            ev.nodes = domainMembers(plan, domain, nodes);
+            t = ev.downUntil; // correlated waves never overlap
+            if (!ev.nodes.empty())
+                schedule.push_back(std::move(ev));
+        }
+    }
+    for (const ScriptedOutage& scripted : plan.outages) {
+        DomainOutage ev;
+        ev.at = sim::fromSeconds(scripted.startSeconds);
+        ev.downUntil = ev.at + std::max<sim::Tick>(
+            1, sim::fromSeconds(scripted.durationSeconds));
+        ev.nodes = domainMembers(plan, scripted.domain, nodes);
+        if (!ev.nodes.empty())
+            schedule.push_back(std::move(ev));
+    }
+    std::sort(schedule.begin(), schedule.end(),
+              [](const DomainOutage& a, const DomainOutage& b) {
+                  if (a.at != b.at)
+                      return a.at < b.at;
+                  return a.nodes.front() < b.nodes.front();
+              });
+    return schedule;
+}
+
+std::vector<UpgradeDrain>
+drawUpgradeSchedule(const DomainPlan& plan, std::uint64_t seed,
+                    std::size_t nodes, sim::Tick horizon)
+{
+    std::vector<UpgradeDrain> schedule;
+    if (plan.upgradeRatePerHour <= 0.0 || nodes == 0 || horizon <= 0)
+        return schedule;
+    const std::uint32_t domainCount = effectiveDomainCount(plan);
+    sim::Rng rng = sim::Rng(seed).stream("domain-upgrade");
+    const double meanGapSeconds = 3600.0 / plan.upgradeRatePerHour;
+    const sim::Tick stagger = std::max<sim::Tick>(
+        1, sim::fromSeconds(plan.upgradeStaggerSeconds));
+    const sim::Tick downtime = std::max<sim::Tick>(
+        1, sim::fromSeconds(plan.upgradeDurationSeconds));
+    const sim::Tick drainBound = std::max<sim::Tick>(
+        1, sim::fromSeconds(plan.drainTimeoutSeconds));
+    sim::Tick t = 0;
+    while (true) {
+        t += std::max<sim::Tick>(
+            1, sim::fromSeconds(rng.exponential(1.0 / meanGapSeconds)));
+        if (t >= horizon)
+            break;
+        const auto domain = static_cast<std::uint32_t>(
+            std::min<std::int64_t>(domainCount - 1,
+                                   rng.uniformInt(0, domainCount - 1)));
+        const auto members = domainMembers(plan, domain, nodes);
+        sim::Tick waveEnd = t;
+        for (std::size_t k = 0; k < members.size(); ++k) {
+            UpgradeDrain drain;
+            drain.drainAt = t + static_cast<sim::Tick>(k) * stagger;
+            drain.node = members[k];
+            drain.restartDowntime = downtime;
+            waveEnd = std::max(waveEnd, drain.drainAt + drainBound +
+                                            downtime);
+            schedule.push_back(drain);
+        }
+        t = waveEnd; // the next wave starts after this one fully ends
+    }
+    std::sort(schedule.begin(), schedule.end(),
+              [](const UpgradeDrain& a, const UpgradeDrain& b) {
+                  if (a.drainAt != b.drainAt)
+                      return a.drainAt < b.drainAt;
+                  return a.node < b.node;
+              });
+    return schedule;
+}
+
+namespace {
+
+bool
+fail(std::string* error, const std::string& what)
+{
+    if (error != nullptr)
+        *error = what;
+    return false;
+}
+
+bool
+readNumber(const obs::JsonValue& value, const char* key, double& out,
+           std::string* error)
+{
+    if (!value.isNumber())
+        return fail(error, std::string(key) + ": expected a number");
+    if (value.number < 0.0)
+        return fail(error,
+                    std::string(key) + ": must be non-negative");
+    out = value.number;
+    return true;
+}
+
+bool
+readCount(const obs::JsonValue& value, const char* key,
+          std::uint32_t& out, std::string* error)
+{
+    if (!value.isNumber() || value.number < 0.0 ||
+        value.number != std::floor(value.number)) {
+        return fail(error, std::string(key) +
+                               ": must be a non-negative integer");
+    }
+    out = static_cast<std::uint32_t>(value.number);
+    return true;
+}
+
+bool
+readFlag(const obs::JsonValue& value, const char* key, bool& out,
+         std::string* error)
+{
+    if (value.kind != obs::JsonValue::Kind::Bool)
+        return fail(error, std::string(key) + ": expected a boolean");
+    out = value.boolean;
+    return true;
+}
+
+bool
+parseDomainsArray(const obs::JsonValue& value, DomainPlan& plan,
+                  std::string* error)
+{
+    if (!value.isArray())
+        return fail(error, "domains: expected an array of arrays");
+    for (const auto& group : value.array) {
+        if (!group.isArray())
+            return fail(error, "domains: expected an array of arrays");
+        std::vector<std::uint32_t> members;
+        for (const auto& id : group.array) {
+            if (!id.isNumber() || id.number < 0.0 ||
+                id.number != std::floor(id.number)) {
+                return fail(error, "domains: node ids must be "
+                                   "non-negative integers");
+            }
+            members.push_back(static_cast<std::uint32_t>(id.number));
+        }
+        plan.domains.push_back(std::move(members));
+    }
+    if (plan.domains.empty())
+        return fail(error, "domains: must not be empty when present");
+    return true;
+}
+
+bool
+parseOutagesArray(const obs::JsonValue& value, DomainPlan& plan,
+                  std::string* error)
+{
+    if (!value.isArray())
+        return fail(error, "outages: expected an array of objects");
+    for (const auto& entry : value.array) {
+        if (!entry.isObject())
+            return fail(error, "outages: expected an array of objects");
+        ScriptedOutage outage;
+        bool sawStart = false;
+        bool sawDuration = false;
+        for (const auto& [key, v] : entry.object) {
+            if (key == "start_seconds") {
+                if (!readNumber(v, "outages.start_seconds",
+                                outage.startSeconds, error))
+                    return false;
+                sawStart = true;
+            } else if (key == "duration_seconds") {
+                if (!readNumber(v, "outages.duration_seconds",
+                                outage.durationSeconds, error))
+                    return false;
+                sawDuration = true;
+            } else if (key == "domain") {
+                if (!readCount(v, "outages.domain", outage.domain,
+                               error))
+                    return false;
+            } else {
+                return fail(error,
+                            "outages: unknown key '" + key + "'");
+            }
+        }
+        if (!sawStart || !sawDuration) {
+            return fail(error, "outages: each window needs "
+                               "start_seconds and duration_seconds");
+        }
+        if (outage.durationSeconds <= 0.0)
+            return fail(error,
+                        "outages: duration_seconds must be positive");
+        plan.outages.push_back(outage);
+    }
+    return true;
+}
+
+/** Scripted windows of one domain must not overlap: a node cannot be
+ *  struck again while still down from the previous window. */
+bool
+checkOutageOverlap(const DomainPlan& plan, std::string* error)
+{
+    std::vector<ScriptedOutage> sorted = plan.outages;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const ScriptedOutage& a, const ScriptedOutage& b) {
+                  return a.startSeconds < b.startSeconds;
+              });
+    for (std::size_t i = 0; i + 1 < sorted.size(); ++i) {
+        for (std::size_t j = i + 1; j < sorted.size(); ++j) {
+            if (sorted[i].domain != sorted[j].domain)
+                continue;
+            if (sorted[i].startSeconds + sorted[i].durationSeconds >
+                sorted[j].startSeconds) {
+                return fail(error,
+                            "outages: overlapping windows in domain " +
+                                std::to_string(sorted[i].domain));
+            }
+            break; // only the next window of this domain can overlap
+        }
+    }
+    return true;
+}
+
+} // namespace
+
+bool
+parseDomainPlan(const std::string& text, DomainPlan& out,
+                std::string* error)
+{
+    obs::JsonValue root;
+    if (!obs::parseJson(text, root, error))
+        return false;
+    if (!root.isObject())
+        return fail(error, "domain plan must be a JSON object");
+
+    DomainPlan plan;
+    for (const auto& [key, value] : root.object) {
+        bool ok = true;
+        if (key == "domain_count")
+            ok = readCount(value, "domain_count", plan.domainCount,
+                           error);
+        else if (key == "outage_rate_per_hour")
+            ok = readNumber(value, "outage_rate_per_hour",
+                            plan.outageRatePerHour, error);
+        else if (key == "outage_duration_seconds")
+            ok = readNumber(value, "outage_duration_seconds",
+                            plan.outageDurationSeconds, error);
+        else if (key == "upgrade_rate_per_hour")
+            ok = readNumber(value, "upgrade_rate_per_hour",
+                            plan.upgradeRatePerHour, error);
+        else if (key == "upgrade_duration_seconds")
+            ok = readNumber(value, "upgrade_duration_seconds",
+                            plan.upgradeDurationSeconds, error);
+        else if (key == "upgrade_stagger_seconds")
+            ok = readNumber(value, "upgrade_stagger_seconds",
+                            plan.upgradeStaggerSeconds, error);
+        else if (key == "drain_timeout_seconds")
+            ok = readNumber(value, "drain_timeout_seconds",
+                            plan.drainTimeoutSeconds, error);
+        else if (key == "staged_rejoin")
+            ok = readFlag(value, "staged_rejoin", plan.stagedRejoin,
+                          error);
+        else if (key == "rejoin_tokens_per_second")
+            ok = readNumber(value, "rejoin_tokens_per_second",
+                            plan.rejoinTokensPerSecond, error);
+        else if (key == "prewarm_enabled")
+            ok = readFlag(value, "prewarm_enabled", plan.prewarmEnabled,
+                          error);
+        else if (key == "prewarm_max_layers")
+            ok = readCount(value, "prewarm_max_layers",
+                           plan.prewarmMaxLayers, error);
+        else if (key == "warmup_timeout_seconds")
+            ok = readNumber(value, "warmup_timeout_seconds",
+                            plan.warmupTimeoutSeconds, error);
+        else if (key == "retry_feedback_enabled")
+            ok = readFlag(value, "retry_feedback_enabled",
+                          plan.retryFeedbackEnabled, error);
+        else if (key == "retry_backoff_seconds")
+            ok = readNumber(value, "retry_backoff_seconds",
+                            plan.retryBackoffSeconds, error);
+        else if (key == "retry_max_attempts")
+            ok = readCount(value, "retry_max_attempts",
+                           plan.retryMaxAttempts, error);
+        else if (key == "domains")
+            ok = parseDomainsArray(value, plan, error);
+        else if (key == "outages")
+            ok = parseOutagesArray(value, plan, error);
+        else
+            ok = fail(error, "unknown domain-plan key '" + key + "'");
+        if (!ok)
+            return false;
+    }
+    if (plan.domainCount == 0)
+        return fail(error, "domain_count: must be >= 1");
+    if (plan.stagedRejoin && plan.rejoinTokensPerSecond <= 0.0 &&
+        plan.active()) {
+        return fail(error,
+                    "rejoin_tokens_per_second: must be positive when "
+                    "staged_rejoin is on");
+    }
+    if (!checkOutageOverlap(plan, error))
+        return false;
+    out = plan;
+    return true;
+}
+
+bool
+loadDomainPlanFile(const std::string& path, DomainPlan& out,
+                   std::string* error)
+{
+    std::ifstream in(path);
+    if (!in)
+        return fail(error, "cannot open " + path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parseDomainPlan(buffer.str(), out, error);
+}
+
+bool
+validateDomainPlan(const DomainPlan& plan, std::size_t nodeCount,
+                   std::string* error)
+{
+    if (plan.domainCount > nodeCount && plan.domains.empty()) {
+        return fail(error, "domain_count " +
+                               std::to_string(plan.domainCount) +
+                               " exceeds node count " +
+                               std::to_string(nodeCount));
+    }
+    for (std::size_t d = 0; d < plan.domains.size(); ++d) {
+        for (const std::uint32_t id : plan.domains[d]) {
+            if (id >= nodeCount) {
+                return fail(error,
+                            "domains: unknown node id " +
+                                std::to_string(id) + " in domain " +
+                                std::to_string(d) + " (cluster has " +
+                                std::to_string(nodeCount) + " nodes)");
+            }
+        }
+    }
+    const std::uint32_t count =
+        plan.domains.empty() ? plan.domainCount
+                             : static_cast<std::uint32_t>(
+                                   plan.domains.size());
+    for (const ScriptedOutage& outage : plan.outages) {
+        if (outage.domain >= count) {
+            return fail(error, "outages: unknown domain " +
+                                   std::to_string(outage.domain) +
+                                   " (plan has " +
+                                   std::to_string(count) +
+                                   " domains)");
+        }
+    }
+    return true;
+}
+
+} // namespace rc::fault

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * DomainPlan: correlated failure domains for the cluster core.
+ *
+ * Where FaultPlan draws *independent* per-node crashes (MTBF) and
+ * NetworkPlan describes a degraded substrate, DomainPlan describes
+ * *correlated* events: a zone power loss takes a whole failure domain
+ * down at once, and a rolling upgrade drains a domain's nodes one by
+ * one. Both erase the in-memory layer caches RainbowCake's benefit
+ * lives in, so mass rejoin triggers a cold-start storm — the
+ * metastable collapse the RecoveryOrchestrator (src/cluster) exists
+ * to defeat.
+ *
+ * Like the other plans it is pure data: every knob defaults to zero /
+ * inert, so a default-constructed plan draws nothing and keeps runs
+ * bit-identical to an unplanned platform (pinned by the zero-knob
+ * seed-regression golden). All randomness is pre-drawn on dedicated
+ * streams ("domain-outage", "domain-upgrade") derived from the node
+ * seed, never from node-local generators, so domain plans stay
+ * byte-identical at any --shards.
+ *
+ * Unlike FaultPlan's flat knob JSON, a domain plan may carry nested
+ * arrays (explicit domain membership, scripted outage windows), so it
+ * loads from its own file (rainbow_sim --domain-plan):
+ *
+ *   {"domain_count": 2, "outage_rate_per_hour": 1.0,
+ *    "outage_duration_seconds": 120, "staged_rejoin": true,
+ *    "rejoin_tokens_per_second": 0.5, "prewarm_enabled": true,
+ *    "domains": [[0, 1, 2, 3], [4, 5, 6, 7]],
+ *    "outages": [{"start_seconds": 600, "duration_seconds": 90,
+ *                 "domain": 0}]}
+ */
+
+#ifndef RC_FAULT_DOMAIN_PLAN_HH_
+#define RC_FAULT_DOMAIN_PLAN_HH_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/rng.hh"
+#include "sim/time.hh"
+
+namespace rc::fault {
+
+/** One scripted correlated-outage window (plan input). */
+struct ScriptedOutage
+{
+    double startSeconds = 0.0;
+    double durationSeconds = 0.0;
+    std::uint32_t domain = 0;
+};
+
+/** Correlated failure-domain + recovery-orchestration knobs. */
+struct DomainPlan
+{
+    // ---- domain topology -----------------------------------------------
+    /** Failure domains; node i belongs to domain i % domainCount
+     *  unless @ref domains overrides the mapping. */
+    std::uint32_t domainCount = 1;
+    /** Explicit membership: domains[d] lists the node ids of domain
+     *  d. Empty = use the modulo mapping above. */
+    std::vector<std::vector<std::uint32_t>> domains;
+
+    // ---- correlated outages --------------------------------------------
+    /** Mean correlated outages per hour (cluster-wide); 0 disables
+     *  random draws. */
+    double outageRatePerHour = 0.0;
+    /** Downtime of every node in the struck domain. */
+    double outageDurationSeconds = 60.0;
+    /** Scripted outage windows replayed verbatim (in addition to any
+     *  random draws); windows of one domain must not overlap. */
+    std::vector<ScriptedOutage> outages;
+
+    // ---- rolling upgrades ----------------------------------------------
+    /** Mean rolling-upgrade waves per hour; 0 disables them. */
+    double upgradeRatePerHour = 0.0;
+    /** Per-node restart downtime once its drain completes. */
+    double upgradeDurationSeconds = 30.0;
+    /** Stagger between successive node drains inside one wave. */
+    double upgradeStaggerSeconds = 10.0;
+    /** A draining node still busy after this long is killed (its
+     *  in-flight work fails over like a crash). */
+    double drainTimeoutSeconds = 30.0;
+
+    // ---- staged rejoin ---------------------------------------------------
+    /** Token-gate readmission instead of thundering-herd re-entry. */
+    bool stagedRejoin = true;
+    /** Readmission tokens per second (> 0; one node per token). */
+    double rejoinTokensPerSecond = 1.0;
+
+    // ---- layer-census warm-up -------------------------------------------
+    /** Rebuild Bare/Lang pools from the pre-failure census before the
+     *  scheduler routes traffic to a rejoined node. */
+    bool prewarmEnabled = true;
+    /** Cap on prewarmed layers per rejoining node. */
+    std::uint32_t prewarmMaxLayers = 64;
+    /** A warming node is routed to again after at most this long. */
+    double warmupTimeoutSeconds = 15.0;
+
+    // ---- client retry feedback ------------------------------------------
+    /** Re-submit failed/shed requests after a backoff — the feedback
+     *  loop that turns a restart storm into goodput collapse. */
+    bool retryFeedbackEnabled = false;
+    double retryBackoffSeconds = 1.0;
+    /** Re-submissions per original request (0 = no feedback). */
+    std::uint32_t retryMaxAttempts = 1;
+
+    /** True when any outage/upgrade source is armed. */
+    bool active() const;
+};
+
+/** One correlated outage: every node in @p nodes crashes at @p at. */
+struct DomainOutage
+{
+    sim::Tick at = 0;
+    sim::Tick downUntil = 0;
+    std::vector<std::uint32_t> nodes; //!< struck set, ascending
+};
+
+/** One planned per-node drain inside a rolling-upgrade wave. */
+struct UpgradeDrain
+{
+    sim::Tick drainAt = 0;       //!< stop dispatch, finish in-flight
+    std::uint32_t node = 0;
+    sim::Tick restartDowntime = 0; //!< downtime once the drain ends
+};
+
+/** Node ids of domain @p domain under @p plan (ascending). */
+std::vector<std::uint32_t> domainMembers(const DomainPlan& plan,
+                                         std::uint32_t domain,
+                                         std::size_t nodeCount);
+
+/**
+ * Pre-draw the correlated-outage schedule up to @p horizon: random
+ * waves on stream "domain-outage" (exponential gaps, uniform domain
+ * pick, never overlapping in time) merged with the plan's scripted
+ * outages, sorted by (at, first node). Draws nothing when the rate
+ * is zero.
+ */
+std::vector<DomainOutage> drawOutageSchedule(const DomainPlan& plan,
+                                             std::uint64_t seed,
+                                             std::size_t nodes,
+                                             sim::Tick horizon);
+
+/**
+ * Pre-draw the rolling-upgrade schedule up to @p horizon on stream
+ * "domain-upgrade": each wave picks a domain uniformly and drains its
+ * nodes upgradeStaggerSeconds apart; waves never overlap.
+ */
+std::vector<UpgradeDrain> drawUpgradeSchedule(const DomainPlan& plan,
+                                              std::uint64_t seed,
+                                              std::size_t nodes,
+                                              sim::Tick horizon);
+
+/**
+ * Parse a domain plan from JSON text. Unknown keys, negative rates,
+ * and overlapping scripted windows of one domain all fail (a typoed
+ * or contradictory plan silently running is worse than an error).
+ */
+bool parseDomainPlan(const std::string& text, DomainPlan& out,
+                     std::string* error = nullptr);
+
+/** Load a plan from a JSON file via parseDomainPlan. */
+bool loadDomainPlanFile(const std::string& path, DomainPlan& out,
+                        std::string* error = nullptr);
+
+/**
+ * Validate the plan against the actual cluster size: explicit domain
+ * membership and scripted outages must reference known node ids, and
+ * domainCount cannot exceed the node count. Returns false and sets
+ * @p error on violation (the driver exits non-zero).
+ */
+bool validateDomainPlan(const DomainPlan& plan, std::size_t nodeCount,
+                        std::string* error = nullptr);
+
+} // namespace rc::fault
+
+#endif // RC_FAULT_DOMAIN_PLAN_HH_

@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <string>
 
+#include "fault/domain_plan.hh"
 #include "fault/network_plan.hh"
 #include "sim/time.hh"
 
@@ -84,6 +85,16 @@ struct FaultPlan
      * active() below.
      */
     NetworkPlan network;
+
+    /**
+     * The correlated-failure dimension: failure domains, correlated
+     * outages, rolling upgrades, and the recovery-orchestration knobs
+     * (staged rejoin, layer-census warm-up, retry feedback). Cluster-
+     * level like @ref network — consumed by the ShardedCluster
+     * coordinator, so it does not participate in active() either; it
+     * gates the orchestrator via domain.active().
+     */
+    DomainPlan domain;
 
     /**
      * True when any fault-generating knob is set — the platform only

@@ -74,6 +74,12 @@ toString(EventType type)
       case EventType::MsgDelayed: return "msg_delayed";
       case EventType::MsgDropped: return "msg_dropped";
       case EventType::NodeDegraded: return "node_degraded";
+      case EventType::DomainOutage: return "domain_outage";
+      case EventType::NodeDrainStarted: return "node_drain_started";
+      case EventType::NodeDrained: return "node_drained";
+      case EventType::NodeRejoinGranted: return "node_rejoin_granted";
+      case EventType::NodeWarmupDone: return "node_warmup_done";
+      case EventType::RecoveryRetry: return "recovery_retry";
     }
     return "?";
 }
@@ -182,6 +188,12 @@ categoryOf(EventType type)
       case EventType::MsgDelayed:
       case EventType::MsgDropped:
       case EventType::NodeDegraded:
+      case EventType::DomainOutage:
+      case EventType::NodeDrainStarted:
+      case EventType::NodeDrained:
+      case EventType::NodeRejoinGranted:
+      case EventType::NodeWarmupDone:
+      case EventType::RecoveryRetry:
         return Category::Fault;
     }
     return Category::Engine;
@@ -243,6 +255,11 @@ toString(Counter counter)
       case Counter::MsgsDropped: return "msgs_dropped";
       case Counter::PartitionsStarted: return "partitions_started";
       case Counter::KillHedgeCancel: return "kill_hedge_cancel";
+      case Counter::DomainOutages: return "domain_outages";
+      case Counter::NodesDrained: return "nodes_drained";
+      case Counter::NodesRejoined: return "nodes_rejoined";
+      case Counter::RecoveryPrewarms: return "recovery_prewarms";
+      case Counter::RecoveryRetries: return "recovery_retries";
     }
     return "?";
 }

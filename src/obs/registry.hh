@@ -102,11 +102,20 @@ enum class Counter : std::uint8_t
     PartitionsStarted, //!< scheduled partitions that opened
     KillHedgeCancel,  //!< containers killed by hedge cancellation
                       //!< (out-of-block home for KillCause::HedgeCancel)
+
+    // Correlated failure domains + recovery orchestration (appended
+    // after KillHedgeCancel so older reports keep their counter
+    // order).
+    DomainOutages,    //!< correlated outage waves that struck
+    NodesDrained,     //!< planned drains that ended (graceful or kill)
+    NodesRejoined,    //!< readmission tokens granted
+    RecoveryPrewarms, //!< census layers prewarmed on rejoining nodes
+    RecoveryRetries,  //!< client feedback re-submissions
 };
 
 /** Number of counters. */
 inline constexpr std::size_t kCounterCount =
-    static_cast<std::size_t>(Counter::KillHedgeCancel) + 1;
+    static_cast<std::size_t>(Counter::RecoveryRetries) + 1;
 
 /** Gauges tracked as high-water marks. */
 enum class Gauge : std::uint8_t

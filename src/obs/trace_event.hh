@@ -123,11 +123,26 @@ enum class EventType : std::uint8_t
     MsgDropped,           //!< a = target node, b = retransmit count
     NodeDegraded,         //!< gray window opened; arg0 = node,
                           //!< arg1 = exec slowdown factor
+
+    // Correlated failure domains + recovery orchestration (appended
+    // after NodeDegraded so earlier traces keep their ids).
+    DomainOutage,         //!< correlated outage struck; a = node
+                          //!< count, arg0 = downtime (s)
+    NodeDrainStarted,     //!< planned upgrade: dispatch stopped;
+                          //!< arg0 = node
+    NodeDrained,          //!< drain ended; a = 1 when the timeout
+                          //!< killed it, 0 graceful; arg0 = node
+    NodeRejoinGranted,    //!< readmission token granted; arg0 = node,
+                          //!< arg1 = rejoin wait (s)
+    NodeWarmupDone,       //!< census warm-up finished; arg0 = node,
+                          //!< arg1 = layers prewarmed
+    RecoveryRetry,        //!< client feedback re-submitted a failed /
+                          //!< shed request; a = attempt number
 };
 
 /** Number of event types (for name tables). */
 inline constexpr std::size_t kEventTypeCount =
-    static_cast<std::size_t>(EventType::NodeDegraded) + 1;
+    static_cast<std::size_t>(EventType::RecoveryRetry) + 1;
 
 /** Why a container was terminated (travels in TraceEvent::b). */
 enum class KillCause : std::uint8_t

@@ -818,6 +818,60 @@ Invoker::firePrewarm(workload::FunctionId function)
     scheduleInit(c->id(), install, true, true, true);
 }
 
+void
+Invoker::recoveryPrewarm(workload::FunctionId function, Layer layer)
+{
+    ++_recoveryPrewarmsIssued;
+    if (_obs != nullptr) {
+        _obs->counters().bump(obs::Counter::RecoveryPrewarms,
+                              _engine.now());
+    }
+    if (layer == Layer::None)
+        sim::panic("Invoker::recoveryPrewarm: layer None");
+    // Best-effort: a vetoed prewarm is wasted, never deferred. Note
+    // that the ladder's prewarmsSuppressed() stage deliberately does
+    // NOT veto here — the whole point of the census warm-up is to
+    // rebuild layers while the fleet is still under recovery
+    // pressure; suppressing it would recreate the cold-cache storm
+    // the orchestrator exists to avoid.
+    const auto& profile = _catalog.at(function);
+    if (isDown() || !_policy.acceptsRecoveryPrewarm(layer) ||
+        !_pool.canFit(profile.memoryAtLayer(layer))) {
+        _pool.noteRecoveryPrewarmWasted();
+        return;
+    }
+    Container* c = _pool.create(profile, layer, /*claimed=*/false);
+    if (!c) {
+        _pool.noteRecoveryPrewarmWasted();
+        return;
+    }
+    _pool.markRecoveryPrewarmed(*c);
+    if (_obs != nullptr) {
+        _obs->emit(_engine.now(), obs::EventType::PrewarmFired, c->id(),
+                   function, static_cast<std::uint8_t>(layer), 1);
+    }
+    const auto& costs = profile.costs();
+    sim::Tick install = costs.bareInit;
+    const bool lang = layer != Layer::Bare;
+    const bool user = layer == Layer::User;
+    if (lang)
+        install += costs.bareToLang + costs.langInit;
+    if (user)
+        install += costs.langToUser + costs.userInit;
+    install = static_cast<sim::Tick>(static_cast<double>(install) *
+                                     _policy.coldStartFactor());
+    scheduleInit(c->id(), install, true, lang, user);
+}
+
+void
+Invoker::setRecoveryPressureFloor(int level)
+{
+    if (_admission == nullptr)
+        return;
+    _admission->setRecoveryFloor(level);
+    _policy.setPressureLevel(_admission->pressureLevel());
+}
+
 bool
 Invoker::evictToFit(double mb)
 {

@@ -236,6 +236,34 @@ class Invoker : public policy::PlatformView
      */
     void closeStrandedSpans();
 
+    // ---- recovery orchestration (fault::DomainPlan) --------------------
+
+    /**
+     * Rebuild one idle container at @p layer from a rejoining node's
+     * pre-failure layer census; @p function supplies the profile
+     * whose stage costs and language drive the install (and owns the
+     * container when @p layer is User).
+     * Best-effort like a policy pre-warm — a down node, a policy
+     * veto, or a memory veto counts the layer straight into the
+     * wasted bucket of the prewarm conservation identity instead of
+     * evicting or queueing.
+     */
+    void recoveryPrewarm(workload::FunctionId function,
+                         workload::Layer layer);
+
+    /**
+     * Recovery backpressure: pin the admission ladder at least at
+     * @p level (see AdmissionController::setRecoveryFloor). No-op
+     * without an admission controller.
+     */
+    void setRecoveryPressureFloor(int level);
+
+    /** Census prewarms issued on this node (incl. vetoed ones). */
+    std::uint64_t recoveryPrewarmsIssued() const
+    {
+        return _recoveryPrewarmsIssued;
+    }
+
     /**
      * End-of-run flush is starting: clear any down state so the queue
      * can drain, and classify every invocation that binds from here
@@ -509,6 +537,7 @@ class Invoker : public policy::PlatformView
     std::uint64_t _failed = 0;
     std::uint64_t _retries = 0;
     std::uint64_t _finalizeDrained = 0;
+    std::uint64_t _recoveryPrewarmsIssued = 0;
 
     // ---- cluster tail-tolerance state (dormant while !_ticketing) ------
 

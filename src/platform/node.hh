@@ -175,6 +175,27 @@ class Node
         return _invoker.crashNow(downUntil);
     }
 
+    // ---- recovery orchestration (fault::DomainPlan) --------------------
+
+    /** Census warm-up of one layer; see Invoker::recoveryPrewarm. */
+    void recoveryPrewarm(workload::FunctionId function,
+                         workload::Layer layer)
+    {
+        _invoker.recoveryPrewarm(function, layer);
+    }
+
+    /** Recovery backpressure floor; see Invoker. */
+    void setRecoveryPressureFloor(int level)
+    {
+        _invoker.setRecoveryPressureFloor(level);
+    }
+
+    /** Census prewarms issued on this node (incl. vetoed ones). */
+    std::uint64_t recoveryPrewarmsIssued() const
+    {
+        return _invoker.recoveryPrewarmsIssued();
+    }
+
     // ---- overload control (rc::admission) ------------------------------
 
     /** Installed controller, or nullptr when the plan is all-zero. */

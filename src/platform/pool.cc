@@ -310,6 +310,7 @@ ContainerPool::claim(Container& c)
         sim::panic("ContainerPool::claim: container not initializing");
     if (!_claimed.insert(c.id()).second)
         sim::panic("ContainerPool::claim: already claimed");
+    noteRecoveryUse(c);
     unindex(c); // leaves the unclaimed-init index, if it was in it
     reindex(c);
     noteMutation();
@@ -376,6 +377,7 @@ ContainerPool::beginUpgrade(Container& c,
         c.setTimeoutEvent(sim::kNoEvent);
     }
     const auto fromLayer = static_cast<std::uint8_t>(c.layer());
+    noteRecoveryUse(c);
     unindex(c);
     c.beginUpgrade(profile, target, _engine.now());
     reindex(c);
@@ -411,6 +413,7 @@ ContainerPool::forkFrom(Container& source,
         return nullptr;
     // The shared hit refreshes the template's idle interval, so it
     // moves to the most-recently-idled end of its index lists.
+    noteRecoveryUse(source);
     unindex(source);
     source.markSharedHit(_engine.now());
     reindex(source);
@@ -448,6 +451,7 @@ ContainerPool::beginRepurpose(Container& c,
         _engine.cancel(c.timeoutEvent());
         c.setTimeoutEvent(sim::kNoEvent);
     }
+    noteRecoveryUse(c);
     unindex(c);
     c.beginRepurpose(profile, _engine.now());
     reindex(c);
@@ -516,6 +520,7 @@ ContainerPool::beginExecution(Container& c)
         _engine.cancel(c.timeoutEvent());
         c.setTimeoutEvent(sim::kNoEvent);
     }
+    noteRecoveryUse(c);
     unindex(c);
     c.beginExecution(_engine.now());
     reindex(c);
@@ -590,6 +595,19 @@ ContainerPool::killImpl(Container& c, obs::KillCause cause, bool force)
     }
     unindex(c);
     const double before = c.memoryMb();
+    // A recovery prewarm dying unused resolves its classification:
+    // memory-pressure kills are evictions (it made room for real
+    // work), everything else — TTL expiry, finalize, faults — wasted.
+    if (c.recoveryPrewarmed()) {
+        if (cause == obs::KillCause::MemoryPressure ||
+            cause == obs::KillCause::PoolSaturated) {
+            ++_prewarmEvicted;
+        } else {
+            ++_prewarmWasted;
+            _prewarmWastedMb += before;
+        }
+        c.clearRecoveryPrewarmed();
+    }
     if (_obs != nullptr) {
         _obs->emit(_engine.now(), obs::EventType::ContainerKilled,
                    c.id(), c.function(),

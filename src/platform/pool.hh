@@ -296,6 +296,32 @@ class ContainerPool
     /** Closed, classified idle intervals (Fig. 8 data). */
     const stats::IntervalLog& wasteLog() const { return _waste; }
 
+    // ---- recovery prewarm provenance -----------------------------------
+
+    /**
+     * Tag @p c as a recovery warm-up container (created from a
+     * rejoining node's pre-failure layer census). The pool classifies
+     * every tagged container exactly once: hit on first reuse, evicted
+     * when killed for memory/saturation, wasted otherwise — the
+     * prewarm conservation identity chaos_check fuzzes.
+     */
+    void markRecoveryPrewarmed(container::Container& c)
+    {
+        c.markRecoveryPrewarmed();
+    }
+
+    /**
+     * Count a census prewarm that never produced a container (memory
+     * veto, policy veto, node down) straight into the wasted bucket.
+     */
+    void noteRecoveryPrewarmWasted() { ++_prewarmWasted; }
+
+    std::uint64_t recoveryPrewarmHits() const { return _prewarmHits; }
+    std::uint64_t recoveryPrewarmEvicted() const { return _prewarmEvicted; }
+    std::uint64_t recoveryPrewarmWasted() const { return _prewarmWasted; }
+    /** Memory held by wasted (never reused) census prewarms, in MB. */
+    double recoveryPrewarmWastedMb() const { return _prewarmWastedMb; }
+
     // ---- invariants ----------------------------------------------------
 
     /**
@@ -405,6 +431,15 @@ class ContainerPool
     void killImpl(container::Container& c, obs::KillCause cause,
                   bool force);
 
+    /** First reuse of a recovery prewarm: count the hit, drop the tag. */
+    void noteRecoveryUse(container::Container& c)
+    {
+        if (c.recoveryPrewarmed()) {
+            ++_prewarmHits;
+            c.clearRecoveryPrewarmed();
+        }
+    }
+
     /** Record memory/live-count high-water marks after a mutation. */
     void trackGauges();
 
@@ -428,6 +463,12 @@ class ContainerPool
     UserList _idleUserAll;
     std::unordered_map<workload::FunctionId, std::uint32_t> _busyByFunction;
     std::uint64_t _mutations = 0;
+
+    // ---- recovery prewarm provenance (see markRecoveryPrewarmed) -------
+    std::uint64_t _prewarmHits = 0;
+    std::uint64_t _prewarmEvicted = 0;
+    std::uint64_t _prewarmWasted = 0;
+    double _prewarmWastedMb = 0.0;
 };
 
 } // namespace rc::platform

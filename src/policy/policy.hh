@@ -242,6 +242,20 @@ class Policy
     virtual bool layerSharingEnabled() const { return false; }
 
     /**
+     * Whether a recovery-orchestrated census warm-up may rebuild an
+     * idle container at @p layer on this node after a rejoin. Partial
+     * (Bare/Lang) prewarms are only useful to policies that dispatch
+     * through layer sharing, so the default follows that flag; full-
+     * container policies would never claim them and the memory would
+     * be pure waste.
+     */
+    virtual bool acceptsRecoveryPrewarm(workload::Layer layer) const
+    {
+        (void)layer;
+        return layerSharingEnabled();
+    }
+
+    /**
      * Whether @p c may serve @p function through a policy-specific
      * sharing path even though its User layer belongs to another
      * function (Pagurus zygotes). Default: no.

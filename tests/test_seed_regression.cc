@@ -359,5 +359,116 @@ TEST(SeedRegression, GrayPlanNumbersArePinnedAtAnyShardCount)
     }
 }
 
+// ---- correlated-domain recovery regression ---------------------------
+
+TEST(SeedRegression, ZeroKnobDomainPlanIsByteIdenticalToNoPlan)
+{
+    // A default-constructed DomainPlan must be indistinguishable from
+    // no plan at all: active() stays false, no orchestrator is built,
+    // no Rng stream is consumed, and the report CSV is byte-identical.
+    // Pins the pay-for-what-you-use gate for the recovery subsystem.
+    const auto catalog = workload::Catalog::standard20();
+    trace::WorkloadTraceConfig traceConfig;
+    traceConfig.minutes = 60;
+    traceConfig.targetInvocations = 5000;
+    traceConfig.seed = 4242;
+    const auto arrivals = trace::expandArrivals(
+        trace::generateAzureLike(catalog, traceConfig));
+
+    const auto runWith = [&](bool assignDomain) {
+        exp::ClusterRunConfig config;
+        config.nodes = 8;
+        config.shards = 2;
+        config.node.pool.memoryBudgetMb = 8192.0;
+        config.node.fault.nodeMtbfSeconds = 600.0;
+        config.node.fault.nodeDowntimeSeconds = 30.0;
+        config.node.fault.execCrashProb = 0.01;
+        config.node.fault.maxRetries = 2;
+        if (assignDomain)
+            config.node.fault.domain = fault::DomainPlan{};
+        const auto result = exp::runCluster(
+            catalog,
+            [&catalog] { return core::makeRainbowCake(catalog); },
+            arrivals, config);
+        std::ostringstream csv;
+        exp::writeClusterSummaryCsv(csv, result);
+        exp::writeClusterPerNodeCsv(csv, result);
+        return csv.str();
+    };
+    EXPECT_EQ(runWith(true), runWith(false));
+}
+
+TEST(SeedRegression, DomainOutageNumbersArePinnedAtAnyShardCount)
+{
+    // The same 60-minute seed-4242 trace on an 8-node / 2-domain
+    // cluster with a scripted correlated outage at 600 s and the full
+    // recovery stack armed: staged rejoin, layer-census prewarm,
+    // rolling upgrades, and client retry feedback. The CSV must stay
+    // byte-identical at shards = 1, 2, 8 and match the golden counts
+    // exactly. Re-capture in the same commit when a change
+    // intentionally moves them.
+    const auto catalog = workload::Catalog::standard20();
+    trace::WorkloadTraceConfig traceConfig;
+    traceConfig.minutes = 60;
+    traceConfig.targetInvocations = 5000;
+    traceConfig.seed = 4242;
+    const auto arrivals = trace::expandArrivals(
+        trace::generateAzureLike(catalog, traceConfig));
+    ASSERT_EQ(arrivals.size(), 842u);
+
+    std::string golden;
+    for (const std::size_t shards : {1u, 2u, 8u}) {
+        exp::ClusterRunConfig config;
+        config.nodes = 8;
+        config.shards = shards;
+        config.threads = shards == 1 ? 1 : 0; // 0: auto thread count
+        config.node.pool.memoryBudgetMb = 8192.0;
+        fault::DomainPlan& plan = config.node.fault.domain;
+        plan.domainCount = 2;
+        plan.outages.push_back({600.0, 120.0, 0});
+        plan.upgradeRatePerHour = 1.0;
+        plan.upgradeDurationSeconds = 20.0;
+        plan.upgradeStaggerSeconds = 10.0;
+        plan.drainTimeoutSeconds = 30.0;
+        plan.stagedRejoin = true;
+        plan.rejoinTokensPerSecond = 0.5;
+        plan.prewarmEnabled = true;
+        plan.prewarmMaxLayers = 32;
+        plan.warmupTimeoutSeconds = 15.0;
+        plan.retryFeedbackEnabled = true;
+        plan.retryBackoffSeconds = 2.0;
+        plan.retryMaxAttempts = 2;
+        const auto result = exp::runCluster(
+            catalog,
+            [&catalog] { return core::makeRainbowCake(catalog); },
+            arrivals, config);
+
+        EXPECT_EQ(result.domainOutages, 1u) << shards;
+        EXPECT_EQ(result.outageNodeEpisodes, 4u) << shards;
+        EXPECT_EQ(result.recoveredNodes,
+                  result.outageNodeEpisodes + result.upgradeEpisodes)
+            << shards;
+        EXPECT_EQ(result.nodesDrained + result.nodesKilled,
+                  result.upgradeEpisodes)
+            << shards;
+        EXPECT_EQ(result.prewarmLayers,
+                  result.prewarmHit + result.prewarmEvicted +
+                      result.prewarmWasted)
+            << shards;
+        EXPECT_EQ(result.admittedInvocations,
+                  arrivals.size() + result.reroutedInvocations +
+                      result.hedgesLaunched + result.retriesFeedback)
+            << shards;
+
+        std::ostringstream csv;
+        exp::writeClusterSummaryCsv(csv, result);
+        exp::writeClusterPerNodeCsv(csv, result);
+        if (shards == 1)
+            golden = csv.str();
+        else
+            EXPECT_EQ(csv.str(), golden) << shards << " shards";
+    }
+}
+
 } // namespace
 } // namespace rc

@@ -118,6 +118,59 @@ TEST(ShardedCluster, ShardCountIsClampedToNodes)
     EXPECT_LE(cluster.threadCount(), 3u);
 }
 
+TEST(ShardedCluster, AlignToBarrierRoundsUpToTheGrid)
+{
+    // The window-end alignment helper behind every externally-timed
+    // wakeup (partition ends, outage ends, rejoin grants). An exact
+    // grid point must stay put; anything else rounds *up* — rounding
+    // down would schedule a barrier in the past and the event's
+    // window would be skipped entirely (the partition-end wakeup bug).
+    EXPECT_EQ(cluster::alignToBarrier(0, 100), 0);
+    EXPECT_EQ(cluster::alignToBarrier(100, 100), 100);
+    EXPECT_EQ(cluster::alignToBarrier(1, 100), 100);
+    EXPECT_EQ(cluster::alignToBarrier(99, 100), 100);
+    EXPECT_EQ(cluster::alignToBarrier(101, 100), 200);
+    EXPECT_EQ(cluster::alignToBarrier(250, 100), 300);
+    // Pitch 1 is the identity: every tick is on the grid.
+    EXPECT_EQ(cluster::alignToBarrier(12345, 1), 12345);
+}
+
+TEST(ShardedCluster, OffGridPartitionEndsStillWakeTheCluster)
+{
+    // Regression for the partition-end wakeup bug: with a coarse
+    // explicit lookahead, a partition whose end falls between
+    // barriers must still be lifted at the next barrier — the severed
+    // nodes rejoin and finish the run — rather than the end window
+    // being skipped and the nodes staying severed forever.
+    const auto catalog = workload::Catalog::standard20();
+    cluster::ClusterConfig clusterConfig;
+    clusterConfig.nodes = 8;
+    clusterConfig.node.pool.memoryBudgetMb = 8192.0;
+    fault::NetworkPlan& net = clusterConfig.node.fault.network;
+    net.partitionRatePerHour = 12.0;
+    // Deliberately off the 250 ms barrier grid below.
+    net.partitionDurationSeconds = 17.3;
+    cluster::ShardedConfig sharded;
+    sharded.shards = 4;
+    sharded.lookahead = sim::fromMillis(250.0);
+
+    cluster::ShardedCluster cluster(
+        catalog, [&catalog] { return core::makeRainbowCake(catalog); },
+        clusterConfig, sharded);
+    const auto arrivals = standardArrivals();
+    const auto result = cluster.run(arrivals);
+
+    ASSERT_GT(result.partitions, 0u);
+    // Every arrival reaches a terminal outcome: nothing stays wedged
+    // behind a partition that was never lifted.
+    EXPECT_EQ(result.strandedInvocations, 0u);
+    EXPECT_EQ(result.invocations + result.failedInvocations +
+                  result.reroutedInvocations + result.rejectedInvocations +
+                  result.shedDeadline + result.shedPressure +
+                  result.cancelledInvocations,
+              result.admittedInvocations);
+}
+
 TEST(ShardedCluster, FaultFreeRunCompletesEveryArrival)
 {
     const auto arrivals = standardArrivals();

@@ -2,12 +2,15 @@
  * @file
  * bench_diff — compare two benchmark snapshots and print regressions.
  *
- * Both inputs are BENCH_*.json files in the shared schema
+ * Both inputs are BENCH_*.json files, either the shared flat schema
  * `[{bench, metric, value, unit, threads}, ...]` as written by
- * bench_micro_engine, bench_micro_pool, and bench_scale_fleet. The
- * tool joins records on (bench, metric, threads) and reports every
- * pair whose value moved against that metric's "good" direction by
- * more than the tolerance.
+ * bench_micro_engine, bench_micro_pool, bench_scale_fleet, and
+ * bench_recovery_storm, or the `rainbowcake-bench-overload-v1`
+ * object schema bench_overload writes ({schema, rows: [...]}); rows
+ * are flattened into one record per (row, numeric field) so the two
+ * shapes diff identically. The tool joins records on (bench, metric,
+ * threads) and reports every pair whose value moved against that
+ * metric's "good" direction by more than the tolerance.
  *
  *   bench_diff OLD.json NEW.json [--tolerance PCT] [--fail-on-regression]
  *
@@ -59,9 +62,54 @@ loadSnapshot(const std::string& path, std::map<Key, Record>& out)
         std::cerr << "bench_diff: " << path << ": " << error << "\n";
         return false;
     }
+    // bench_overload writes an object: {schema:
+    // "rainbowcake-bench-overload-v1", rows: [{policy, admission,
+    // load, p99_e2e_seconds, ...}]}. Flatten each row's numeric
+    // fields into flat-schema records keyed by a synthetic bench name
+    // so both snapshot shapes join the same way.
+    if (root.isObject() &&
+        root.stringAt("schema") == "rainbowcake-bench-overload-v1") {
+        const rc::obs::JsonValue* rows = root.find("rows");
+        if (!rows || !rows->isArray()) {
+            std::cerr << "bench_diff: " << path
+                      << ": overload snapshot lacks a rows array\n";
+            return false;
+        }
+        for (const auto& row : rows->array) {
+            if (!row.isObject())
+                continue;
+            const rc::obs::JsonValue* admissionField =
+                row.find("admission");
+            const bool admission =
+                admissionField &&
+                (admissionField->kind ==
+                         rc::obs::JsonValue::Kind::Bool
+                     ? admissionField->boolean
+                     : admissionField->number != 0.0);
+            std::ostringstream bench;
+            bench << "overload/" << row.stringAt("policy", "<unnamed>")
+                  << (admission ? "+admission" : "") << "@"
+                  << row.numberAt("load") << "x";
+            for (const auto& [name, field] : row.object) {
+                if (field.kind != rc::obs::JsonValue::Kind::Number ||
+                    name == "load")
+                    continue;
+                Record record;
+                record.bench = bench.str();
+                record.metric = name;
+                record.value = field.number;
+                if (name.find("seconds") != std::string::npos)
+                    record.unit = "seconds";
+                out[{record.bench, record.metric, record.threads}] =
+                    record;
+            }
+        }
+        return true;
+    }
     if (!root.isArray()) {
         std::cerr << "bench_diff: " << path
-                  << ": expected a top-level array\n";
+                  << ": expected a top-level array or an overload "
+                     "snapshot object\n";
         return false;
     }
     for (const auto& entry : root.array) {
@@ -82,9 +130,21 @@ loadSnapshot(const std::string& path, std::map<Key, Record>& out)
 bool
 lowerIsBetter(const Record& record)
 {
+    // Recovery latency first: time_to_goodput is a time even though
+    // it names goodput.
+    if (record.metric.find("time_to") != std::string::npos)
+        return true;
+    // Throughput-style names win over the substring scan below:
+    // "goodput_per_second" must stay higher-is-better even though its
+    // unit mentions seconds.
+    for (const char* needle : {"goodput", "completed", "throughput"}) {
+        if (record.metric.find(needle) != std::string::npos)
+            return false;
+    }
     for (const char* needle :
          {"seconds", "us_per", "us/", "ns/", "wall", "latency",
-          "cold"}) {
+          "cold", "p99", "p999", "time_to", "queue", "wasted",
+          "shed", "rejected", "stranded"}) {
         if (record.metric.find(needle) != std::string::npos ||
             record.unit.find(needle) != std::string::npos)
             return true;

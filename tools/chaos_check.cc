@@ -30,6 +30,13 @@
  * memory (the CI chaos job's overload-heavy configuration), forcing
  * sustained queueing, shedding, and breaker activity.
  *
+ * --domains draws a randomized DomainPlan (correlated outages,
+ * rolling upgrades, staged rejoin, recovery prewarms, client retry
+ * feedback) on top of the fault/admission plans and replays it on the
+ * sharded core at 1 and 4 shards, asserting the recovery and prewarm
+ * conservation identities from cluster/conservation.hh plus the
+ * byte-identical-fingerprint contract.
+ *
  * --shards N additionally replays every run on the sharded parallel
  * cluster core (ShardedCluster) at N shards and again at 1 shard,
  * asserting the same conservation/breaker invariants on both plus the
@@ -51,9 +58,11 @@
 #include "admission/admission_plan.hh"
 #include "admission/circuit_breaker.hh"
 #include "cluster/cluster.hh"
+#include "cluster/conservation.hh"
 #include "cluster/sharded_cluster.hh"
 #include "exp/cluster_run.hh"
 #include "exp/experiment.hh"
+#include "fault/domain_plan.hh"
 #include "fault/fault_plan.hh"
 #include "platform/node.hh"
 #include "sim/rng.hh"
@@ -150,6 +159,45 @@ randomNetworkPlan(sim::Rng& rng)
         net.quarantineReadmitFactor = 1.2 + 0.6 * rng.uniform();
     }
     return net;
+}
+
+/** Randomize the correlated-domain + recovery machinery the same way. */
+fault::DomainPlan
+randomDomainPlan(sim::Rng& rng)
+{
+    fault::DomainPlan plan;
+    plan.domainCount =
+        2 + static_cast<std::uint32_t>(2.0 * rng.uniform());
+    // Always keep at least one outage source armed so every run
+    // exercises the orchestrator FSM end to end.
+    plan.outageRatePerHour = 2.0 + 6.0 * rng.uniform();
+    plan.outageDurationSeconds = 30.0 + 90.0 * rng.uniform();
+    if (rng.bernoulli(0.5)) {
+        fault::ScriptedOutage scripted;
+        scripted.startSeconds = 120.0 + 240.0 * rng.uniform();
+        scripted.durationSeconds = 45.0 + 60.0 * rng.uniform();
+        scripted.domain = 0;
+        plan.outages.push_back(scripted);
+    }
+    if (rng.bernoulli(0.6)) {
+        plan.upgradeRatePerHour = 1.0 + 3.0 * rng.uniform();
+        plan.upgradeDurationSeconds = 15.0 + 30.0 * rng.uniform();
+        plan.upgradeStaggerSeconds = 5.0 + 15.0 * rng.uniform();
+        plan.drainTimeoutSeconds = 10.0 + 30.0 * rng.uniform();
+    }
+    plan.stagedRejoin = rng.bernoulli(0.7);
+    plan.rejoinTokensPerSecond = 0.25 + 1.75 * rng.uniform();
+    plan.prewarmEnabled = rng.bernoulli(0.8);
+    plan.prewarmMaxLayers =
+        1 + static_cast<std::uint32_t>(7.0 * rng.uniform());
+    plan.warmupTimeoutSeconds = 5.0 + 20.0 * rng.uniform();
+    if (rng.bernoulli(0.6)) {
+        plan.retryFeedbackEnabled = true;
+        plan.retryBackoffSeconds = 0.5 + 2.0 * rng.uniform();
+        plan.retryMaxAttempts =
+            1 + static_cast<std::uint32_t>(2.0 * rng.uniform());
+    }
+    return plan;
 }
 
 /** Randomize the overload-control machinery the same way. */
@@ -273,12 +321,13 @@ runNode(const workload::Catalog& catalog, const exp::NamedPolicy& policy,
     // Conservation: one terminal state per admitted invocation. A
     // lost invocation shows up as admitted > accounted; a
     // double-execution as admitted < accounted.
-    expect(outcome.admitted == arrivals.size(),
+    expect(cluster::conservation::admissionIdentity(
+               outcome.admitted, arrivals.size(), 0, 0, 0),
            label + ": admitted != arrivals");
-    expect(outcome.completed + outcome.failed + outcome.stranded +
-                   outcome.rejected + outcome.shedDeadline +
-                   outcome.shedPressure ==
-               outcome.admitted,
+    expect(cluster::conservation::nodeConservation(
+               outcome.completed, outcome.failed, outcome.stranded,
+               outcome.rejected, outcome.shedDeadline,
+               outcome.shedPressure, outcome.admitted),
            label +
                ": completed + failed + stranded + rejected + shed "
                "!= admitted");
@@ -331,13 +380,15 @@ runClusterCheck(const workload::Catalog& catalog,
     }
     expect(extracted == result.reroutedInvocations,
            label + ": extracted != rerouted");
-    expect(admitted == arrivals.size() + result.reroutedInvocations,
+    expect(cluster::conservation::admissionIdentity(
+               admitted, arrivals.size(), result.reroutedInvocations,
+               0, 0),
            label + ": cluster admissions != arrivals + rerouted");
-    expect(result.invocations + result.failedInvocations +
-                   result.strandedInvocations + extracted +
-                   result.rejectedInvocations + result.shedDeadline +
-                   result.shedPressure ==
-               admitted,
+    expect(cluster::conservation::fleetConservation(
+               result.invocations, result.failedInvocations,
+               result.strandedInvocations, extracted,
+               result.rejectedInvocations, result.shedDeadline,
+               result.shedPressure, 0, admitted),
            label + ": cluster conservation broken");
     expect(inFlight == 0, label + ": cluster in-flight work survived");
     if (config.admission.maxQueueDepth > 0) {
@@ -394,14 +445,15 @@ runShardedClusterCheck(const workload::Catalog& catalog,
         }
         expect(extracted == result.reroutedInvocations,
                passLabel + ": extracted != rerouted");
-        expect(admitted ==
-                   arrivals.size() + result.reroutedInvocations,
+        expect(cluster::conservation::admissionIdentity(
+                   admitted, arrivals.size(),
+                   result.reroutedInvocations, 0, 0),
                passLabel + ": admissions != arrivals + rerouted");
-        expect(result.invocations + result.failedInvocations +
-                       result.strandedInvocations + extracted +
-                       result.rejectedInvocations +
-                       result.shedDeadline + result.shedPressure ==
-                   admitted,
+        expect(cluster::conservation::fleetConservation(
+                   result.invocations, result.failedInvocations,
+                   result.strandedInvocations, extracted,
+                   result.rejectedInvocations, result.shedDeadline,
+                   result.shedPressure, 0, admitted),
                passLabel + ": conservation broken");
         expect(inFlight == 0,
                passLabel + ": in-flight work survived");
@@ -465,25 +517,26 @@ runGrayClusterCheck(const workload::Catalog& catalog,
         // Every dispatch — primary, failover re-issue, or hedge — is
         // delivered and admitted exactly once; messages delay, they
         // never vanish.
-        expect(admitted == arrivals.size() +
-                               result.reroutedInvocations +
-                               result.hedgesLaunched,
+        expect(cluster::conservation::admissionIdentity(
+                   admitted, arrivals.size(),
+                   result.reroutedInvocations, result.hedgesLaunched,
+                   result.retriesFeedback),
                passLabel + ": admissions != arrivals + rerouted + "
                            "hedges");
         // Conservation under partitions: every admitted attempt
         // terminates exactly one way. Duplicate completions of a
         // hedge pair both count as completions, so they need no term.
-        expect(result.invocations + result.failedInvocations +
-                       result.strandedInvocations + extracted +
-                       result.rejectedInvocations +
-                       result.shedDeadline + result.shedPressure +
-                       result.cancelledInvocations ==
-                   admitted,
+        expect(cluster::conservation::fleetConservation(
+                   result.invocations, result.failedInvocations,
+                   result.strandedInvocations, extracted,
+                   result.rejectedInvocations, result.shedDeadline,
+                   result.shedPressure, result.cancelledInvocations,
+                   admitted),
                passLabel + ": gray conservation broken");
         // Hedge pairs settle exactly once: won, cancelled, or lost.
-        expect(result.hedgesLaunched ==
-                   result.hedgesWon + result.hedgesCancelled +
-                       result.hedgesLost,
+        expect(cluster::conservation::hedgeIdentity(
+                   result.hedgesLaunched, result.hedgesWon,
+                   result.hedgesCancelled, result.hedgesLost),
                passLabel + ": hedge pair double-counted or lost");
         expect(result.duplicateCompletions <= result.hedgesLaunched,
                passLabel + ": more duplicates than hedges");
@@ -506,11 +559,97 @@ runGrayClusterCheck(const workload::Catalog& catalog,
            label + ": gray report diverges from the 1-shard run");
 }
 
+/**
+ * Correlated-domain mode: a randomized DomainPlan (outage waves,
+ * rolling upgrades, staged rejoin, recovery prewarms, retry feedback)
+ * on the sharded core. Beyond fleet conservation, the recovery
+ * orchestrator promises exact episode accounting — every outaged or
+ * drained node rejoins exactly once, every drain terminates, every
+ * prewarm settles — and the shard 1-vs-4 twin must stay
+ * byte-identical even though recovery decisions are made at barriers.
+ */
+void
+runDomainClusterCheck(const workload::Catalog& catalog,
+                      const exp::NamedPolicy& policy,
+                      const std::vector<trace::Arrival>& arrivals,
+                      const platform::NodeConfig& config,
+                      std::size_t shards, const std::string& label)
+{
+    cluster::ClusterConfig clusterConfig;
+    clusterConfig.nodes = 8;
+    clusterConfig.node = config;
+
+    std::string fingerprints[2];
+    const std::size_t counts[2] = {1, std::max<std::size_t>(2, shards)};
+    for (std::size_t pass = 0; pass < 2; ++pass) {
+        cluster::ShardedConfig sharded;
+        sharded.shards = counts[pass];
+        cluster::ShardedCluster cluster(catalog, policy.make,
+                                        clusterConfig, sharded);
+        const auto result = cluster.run(arrivals);
+        const std::string passLabel =
+            label + " shards=" + std::to_string(counts[pass]);
+
+        std::uint64_t admitted = 0;
+        std::uint64_t extracted = 0;
+        std::size_t inFlight = 0;
+        for (const auto& node : cluster.nodes()) {
+            admitted += node->invoker().admittedInvocations();
+            extracted += node->invoker().extractedInvocations();
+            inFlight += node->invoker().inFlightInvocations();
+        }
+        // Every admission has exactly one source: an arrival, a crash
+        // re-route, or a client feedback retry (no hedging without a
+        // network plan).
+        expect(cluster::conservation::admissionIdentity(
+                   admitted, arrivals.size(),
+                   result.reroutedInvocations, result.hedgesLaunched,
+                   result.retriesFeedback),
+               passLabel + ": admissions != arrivals + rerouted + "
+                           "retries");
+        expect(cluster::conservation::fleetConservation(
+                   result.invocations, result.failedInvocations,
+                   result.strandedInvocations, extracted,
+                   result.rejectedInvocations, result.shedDeadline,
+                   result.shedPressure, result.cancelledInvocations,
+                   admitted),
+               passLabel + ": domain conservation broken");
+        // Recovery accounting: every episode the orchestrator started
+        // finished exactly once, and every planned drain terminated
+        // gracefully or by the timeout kill.
+        expect(cluster::conservation::recoveryIdentity(
+                   result.recoveredNodes, result.outageNodeEpisodes,
+                   result.upgradeEpisodes, result.nodesDrained,
+                   result.nodesKilled),
+               passLabel + ": recovery identity broken");
+        expect(cluster::conservation::prewarmIdentity(
+                   result.prewarmLayers, result.prewarmHit,
+                   result.prewarmEvicted, result.prewarmWasted),
+               passLabel + ": prewarm identity broken");
+        expect(result.rejoinWaitSeconds >= 0.0,
+               passLabel + ": negative rejoin wait");
+        expect(inFlight == 0, passLabel + ": in-flight work survived");
+
+        for (std::size_t n = 0; n < cluster.breakers().size(); ++n) {
+            checkBreakerTransitions(cluster.breakers()[n],
+                                    passLabel + " node " +
+                                        std::to_string(n));
+        }
+
+        std::ostringstream out;
+        exp::writeClusterSummaryCsv(out, result);
+        exp::writeClusterPerNodeCsv(out, result);
+        fingerprints[pass] = out.str();
+    }
+    expect(fingerprints[0] == fingerprints[1],
+           label + ": domain report diverges from the 1-shard run");
+}
+
 [[noreturn]] void
 usage(int code)
 {
     std::cout << "chaos_check [--seed S] [--runs N] [--minutes M] "
-                 "[--overload] [--gray] [--shards N]\n";
+                 "[--overload] [--gray] [--domains] [--shards N]\n";
     std::exit(code);
 }
 
@@ -525,6 +664,7 @@ main(int argc, char** argv)
     std::size_t shards = 0;
     bool overload = false;
     bool gray = false;
+    bool domains = false;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--help" || arg == "-h")
@@ -535,6 +675,10 @@ main(int argc, char** argv)
         }
         if (arg == "--gray") {
             gray = true;
+            continue;
+        }
+        if (arg == "--domains") {
+            domains = true;
             continue;
         }
         if (i + 1 >= argc) {
@@ -604,11 +748,23 @@ main(int argc, char** argv)
         config.admission = admissionPlan;
         if (gray)
             config.fault.network = randomNetworkPlan(rng);
+        if (domains)
+            config.fault.domain = randomDomainPlan(rng);
 
         const std::string label = "seed " + std::to_string(runSeed) +
                                   " policy " + policy.label;
         std::cout << "chaos_check: " << label << " ("
                   << arrivals.size() << " arrivals)\n";
+
+        if (domains) {
+            // Domain mode exercises the recovery orchestrator on the
+            // sharded core only — the serial cores have no
+            // coordinator to host it.
+            runDomainClusterCheck(catalog, policy, arrivals, config,
+                                  shards == 0 ? 4 : shards,
+                                  label + " domains");
+            continue;
+        }
 
         if (gray) {
             // Gray mode exercises the network plan on the sharded

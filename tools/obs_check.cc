@@ -42,7 +42,10 @@
  *    terminal state (completed + failed + stranded + rerouted +
  *    rejected + shed_deadline + shed_pressure == admitted). CI runs
  *    this against sharded-core output so a counter-merge bug at the
- *    barrier cannot land silently.
+ *    barrier cannot land silently. The recovery and prewarm
+ *    identities from cluster/conservation.hh are checked too: every
+ *    outage/upgrade episode rejoins exactly once and every recovery
+ *    prewarm is hit, evicted, or wasted.
  *
  * Exit status 0 when every requested check passes, 1 otherwise.
  */
@@ -57,6 +60,7 @@
 
 #include <cmath>
 
+#include "cluster/conservation.hh"
 #include "obs/export.hh"
 #include "obs/json.hh"
 #include "obs/span.hh"
@@ -316,7 +320,9 @@ checkEvents(const std::string& path)
             break;
         }
     }
-    if (hedgesLaunched != hedgesWon + hedgesCancelled + hedgesLost) {
+    if (!cluster::conservation::hedgeIdentity(hedgesLaunched, hedgesWon,
+                                              hedgesCancelled,
+                                              hedgesLost)) {
         fail(path + ": hedge event identity broken: " +
              std::to_string(hedgesLaunched) + " launched vs " +
              std::to_string(hedgesWon) + " won + " +
@@ -631,7 +637,10 @@ checkFleetSummary(const std::string& path)
           "admitted", "engine_events", "cancelled", "hedges_launched",
           "hedges_won", "hedges_cancelled", "hedges_lost", "duplicates",
           "quarantines", "probes", "partitions", "msgs_delayed",
-          "msgs_dropped"}) {
+          "msgs_dropped", "domain_outages", "outage_episodes",
+          "upgrade_episodes", "nodes_drained", "nodes_killed",
+          "recovered_nodes", "prewarm_layers", "prewarm_hit",
+          "prewarm_evicted", "prewarm_wasted", "retries_feedback"}) {
         const auto it = columns.find(key);
         if (it == columns.end()) {
             fail(path + ": summary lacks column " + key);
@@ -657,27 +666,54 @@ checkFleetSummary(const std::string& path)
     // one terminal state. A counter-merge bug in the sharded core
     // (dropped outbox entry, double-counted crash loss) breaks this
     // identity in one direction or the other.
-    const unsigned long long accounted =
-        counters["invocations"] + counters["failed"] +
-        counters["stranded"] + counters["rerouted"] +
-        counters["rejected"] + counters["shed_deadline"] +
-        counters["shed_pressure"] + counters["cancelled"];
-    if (accounted != counters["admitted"]) {
-        fail(path + ": fleet conservation broken: " +
-             std::to_string(accounted) + " accounted vs " +
-             std::to_string(counters["admitted"]) + " admitted");
+    if (!cluster::conservation::fleetConservation(
+            counters["invocations"], counters["failed"],
+            counters["stranded"], counters["rerouted"],
+            counters["rejected"], counters["shed_deadline"],
+            counters["shed_pressure"], counters["cancelled"],
+            counters["admitted"])) {
+        fail(path + ": fleet conservation broken against admitted " +
+             std::to_string(counters["admitted"]));
     }
     // Hedge pairs settle exactly once: the winner commits and the
     // loser is either cancelled in time or finishes as a duplicate.
-    if (counters["hedges_launched"] !=
-        counters["hedges_won"] + counters["hedges_cancelled"] +
-            counters["hedges_lost"]) {
+    if (!cluster::conservation::hedgeIdentity(
+            counters["hedges_launched"], counters["hedges_won"],
+            counters["hedges_cancelled"], counters["hedges_lost"])) {
         fail(path + ": hedge identity broken: " +
              std::to_string(counters["hedges_launched"]) +
              " launched vs " + std::to_string(counters["hedges_won"]) +
              " won + " + std::to_string(counters["hedges_cancelled"]) +
              " cancelled + " + std::to_string(counters["hedges_lost"]) +
              " lost");
+    }
+    // Recovery: every outage/upgrade episode rejoins exactly once and
+    // every planned drain ends gracefully or by the timeout kill.
+    if (!cluster::conservation::recoveryIdentity(
+            counters["recovered_nodes"], counters["outage_episodes"],
+            counters["upgrade_episodes"], counters["nodes_drained"],
+            counters["nodes_killed"])) {
+        fail(path + ": recovery identity broken: " +
+             std::to_string(counters["recovered_nodes"]) +
+             " recovered vs " +
+             std::to_string(counters["outage_episodes"]) +
+             " outage + " +
+             std::to_string(counters["upgrade_episodes"]) +
+             " upgrade episodes (" +
+             std::to_string(counters["nodes_drained"]) + " drained, " +
+             std::to_string(counters["nodes_killed"]) + " killed)");
+    }
+    // Every recovery prewarm settles exactly once: claimed by a
+    // dispatch, evicted under pressure, or wasted.
+    if (!cluster::conservation::prewarmIdentity(
+            counters["prewarm_layers"], counters["prewarm_hit"],
+            counters["prewarm_evicted"], counters["prewarm_wasted"])) {
+        fail(path + ": prewarm identity broken: " +
+             std::to_string(counters["prewarm_layers"]) +
+             " issued vs " + std::to_string(counters["prewarm_hit"]) +
+             " hit + " + std::to_string(counters["prewarm_evicted"]) +
+             " evicted + " +
+             std::to_string(counters["prewarm_wasted"]) + " wasted");
     }
     if (counters["duplicates"] > counters["hedges_launched"]) {
         fail(path + ": more duplicate completions than hedges "

@@ -26,6 +26,7 @@
 #include "admission/admission_plan.hh"
 #include "core/ablations.hh"
 #include "core/checkpoint.hh"
+#include "fault/domain_plan.hh"
 #include "fault/fault_plan.hh"
 #include "obs/export.hh"
 #include "obs/observer.hh"
@@ -71,6 +72,7 @@ struct Options
     std::size_t maxSpans = 0;  // span-buffer cap; 0 = unlimited
     std::string faultPlan;     // non-empty: load a fault plan file
     std::string admissionPlan; // non-empty: load an admission plan file
+    std::string domainPlan;    // non-empty: load a domain plan file
     double obsIntervalSeconds = 60.0; // counter snapshot interval
     std::size_t nodes = 0;     // > 0: cluster mode
     std::size_t shards = 0;    // > 0: sharded parallel cluster core
@@ -133,6 +135,10 @@ usage(int code)
         "  --admission-plan FILE\n"
         "                    overload control per the plan (flat JSON;\n"
         "                    see src/admission/admission_plan.hh)\n"
+        "  --domain-plan FILE\n"
+        "                    correlated failure domains + recovery\n"
+        "                    orchestration (nested JSON; see\n"
+        "                    src/fault/domain_plan.hh); needs --nodes\n"
         "  --help            this text\n";
     std::exit(code);
 }
@@ -196,6 +202,8 @@ parseArgs(int argc, char** argv)
                 options.faultPlan = need(i);
             } else if (arg == "--admission-plan") {
                 options.admissionPlan = need(i);
+            } else if (arg == "--domain-plan") {
+                options.domainPlan = need(i);
             } else if (arg == "--nodes") {
                 options.nodes = static_cast<std::size_t>(
                     std::stoul(need(i)));
@@ -564,6 +572,28 @@ main(int argc, char** argv)
                   << options.admissionPlan
                   << (nodeConfig.admission.active() ? ""
                                                     : " (all knobs zero)")
+                  << "\n";
+    }
+    if (!options.domainPlan.empty()) {
+        if (options.nodes == 0) {
+            std::cerr << "--domain-plan requires --nodes\n";
+            return 2;
+        }
+        std::string error;
+        if (!fault::loadDomainPlanFile(options.domainPlan,
+                                       nodeConfig.fault.domain,
+                                       &error)) {
+            std::cerr << "bad domain plan: " << error << "\n";
+            return 2;
+        }
+        if (!fault::validateDomainPlan(nodeConfig.fault.domain,
+                                       options.nodes, &error)) {
+            std::cerr << "bad domain plan: " << error << "\n";
+            return 2;
+        }
+        std::cout << "domain plan loaded from " << options.domainPlan
+                  << (nodeConfig.fault.domain.active()
+                          ? "" : " (all knobs zero)")
                   << "\n";
     }
 
