@@ -18,14 +18,25 @@
  * conservation. Speedup needs cores: on an N-core host the 8-shard
  * run uses min(8, N) threads.
  *
+ * Tier 3 (mega, streaming): 5k nodes / 100M invocations (--quick
+ * shrinks both) pulled straight from the minute-bucketed TraceSet —
+ * the arrival vector is never materialized, and an RSS gate pins
+ * that: building the streaming source must cost a small constant,
+ * not the O(trace) a 100M-arrival expansion would (~1.6 GB). Runs
+ * with coordinator phase timings on and reports the measured serial
+ * fraction per shard count.
+ *
  * Every measurement is appended to `BENCH_fleet.json` with the
  * schema `{bench, metric, value, unit, threads}` so the performance
  * trajectory is tracked PR-over-PR.
  *
  * Flags:
- *   --quick     small cluster tier + skip the 200/500 fleets (CI)
+ *   --quick     small cluster/mega tiers + skip the 200/500 fleets
+ *               (CI)
  *   --out PATH  JSON output path (default BENCH_fleet.json)
  */
+
+#include <sys/resource.h>
 
 #include <cctype>
 #include <chrono>
@@ -42,6 +53,7 @@
 #include "exp/parallel_runner.hh"
 #include "policy/openwhisk_fixed.hh"
 #include "stats/table.hh"
+#include "trace/arrival_source.hh"
 #include "trace/generator.hh"
 #include "trace/replay.hh"
 #include "workload/catalog.hh"
@@ -96,6 +108,60 @@ fingerprint(const cluster::ClusterResult& result)
     return out.str();
 }
 
+/** Process peak RSS in KB (Linux ru_maxrss unit). Monotone. */
+std::uint64_t
+peakRssKb()
+{
+    struct rusage usage{};
+    getrusage(RUSAGE_SELF, &usage);
+    return static_cast<std::uint64_t>(usage.ru_maxrss);
+}
+
+/** Terminal-state conservation over one ClusterResult. */
+bool
+conservationHolds(const cluster::ClusterResult& result)
+{
+    return result.invocations + result.failedInvocations +
+            result.strandedInvocations + result.reroutedInvocations +
+            result.rejectedInvocations + result.shedDeadline +
+            result.shedPressure ==
+        result.admittedInvocations;
+}
+
+/**
+ * Generate a TraceSet that actually carries >= @p invocations. The
+ * generator's sparse-tail archetypes arrive at fixed IATs, so the
+ * realized count undershoots large targets (only the head scales
+ * with the target); rescale until the bucketed count — no arrival
+ * expansion needed to know it — reaches the advertised volume.
+ */
+trace::TraceSet
+makeScaledTrace(const workload::Catalog& catalog, std::size_t minutes,
+                std::uint64_t invocations)
+{
+    const auto make = [&](std::uint64_t target) {
+        trace::WorkloadTraceConfig traceConfig;
+        traceConfig.minutes = minutes;
+        traceConfig.targetInvocations = target;
+        traceConfig.seed = 99;
+        return trace::generateAzureLike(catalog, traceConfig);
+    };
+    std::uint64_t target = invocations;
+    auto traceSet = make(target);
+    for (int pass = 0;
+         pass < 3 && traceSet.totalInvocations() < invocations; ++pass) {
+        // 2% overshoot so rounding in the head rates cannot leave the
+        // realized count just under the advertised floor.
+        target = static_cast<std::uint64_t>(
+                     static_cast<double>(target) * 1.02 *
+                     (static_cast<double>(invocations) /
+                      static_cast<double>(traceSet.totalInvocations()))) +
+            1;
+        traceSet = make(target);
+    }
+    return traceSet;
+}
+
 /** Tier 2: the sharded-core cluster-scale benchmark. */
 void
 runClusterTier(bool quick, std::vector<BenchRecord>& records)
@@ -110,31 +176,8 @@ runClusterTier(bool quick, std::vector<BenchRecord>& records)
               << " functions\n";
     const auto catalog =
         workload::Catalog::syntheticFleet(functions, 7);
-    // The generator's sparse-tail archetypes arrive at fixed IATs, so
-    // the realized count undershoots large targets (only the head
-    // scales with the target). Rescale the target until the realized
-    // trace actually carries the advertised invocation volume.
-    const auto makeArrivals = [&](std::uint64_t target) {
-        trace::WorkloadTraceConfig traceConfig;
-        traceConfig.minutes = minutes;
-        traceConfig.targetInvocations = target;
-        traceConfig.seed = 99;
-        return trace::expandArrivals(
-            trace::generateAzureLike(catalog, traceConfig));
-    };
-    std::uint64_t target = invocations;
-    auto arrivals = makeArrivals(target);
-    for (int pass = 0; pass < 3 && arrivals.size() < invocations;
-         ++pass) {
-        // 2% overshoot so rounding in the head rates cannot leave the
-        // realized count just under the advertised floor.
-        target = static_cast<std::uint64_t>(
-                     static_cast<double>(target) * 1.02 *
-                     (static_cast<double>(invocations) /
-                      static_cast<double>(arrivals.size()))) +
-            1;
-        arrivals = makeArrivals(target);
-    }
+    const auto arrivals = trace::expandArrivals(
+        makeScaledTrace(catalog, minutes, invocations));
     std::cout << "trace: " << arrivals.size() << " arrivals\n";
 
     double baseSeconds = 0.0;
@@ -183,13 +226,7 @@ runClusterTier(bool quick, std::vector<BenchRecord>& records)
             deterministic =
                 deterministic && fingerprint(result) == golden;
         }
-        conserved = conserved &&
-            result.invocations + result.failedInvocations +
-                    result.strandedInvocations +
-                    result.reroutedInvocations +
-                    result.rejectedInvocations + result.shedDeadline +
-                    result.shedPressure ==
-                result.admittedInvocations;
+        conserved = conserved && conservationHolds(result);
     }
     report(records, {"fleet_cluster", "deterministic_across_shards",
                      deterministic ? 1.0 : 0.0, "bool", 1});
@@ -197,6 +234,128 @@ runClusterTier(bool quick, std::vector<BenchRecord>& records)
                      conserved ? 1.0 : 0.0, "bool", 1});
     if (!deterministic || !conserved) {
         std::cerr << "FAIL: cluster tier determinism/conservation "
+                     "violated\n";
+        std::exit(1);
+    }
+}
+
+/** Tier 3: the 5k-node / 100M-invocation streaming tier. */
+void
+runMegaTier(bool quick, std::vector<BenchRecord>& records)
+{
+    const std::size_t nodes = quick ? 256 : 5000;
+    const std::size_t functions = quick ? 120 : 600;
+    const std::size_t minutes = quick ? 20 : 120;
+    const std::uint64_t invocations = quick ? 300'000 : 100'000'000;
+
+    std::cout << "\nmega tier (streaming): " << nodes << " nodes, "
+              << invocations << " invocations, " << functions
+              << " functions\n";
+    const auto catalog =
+        workload::Catalog::syntheticFleet(functions, 11);
+
+    // RSS gate: bucketed generation plus the streaming source must
+    // cost a small constant — materializing the expansion instead
+    // would show up here as sizeof(Arrival) * invocations (~1.6 GB at
+    // the full tier). ru_maxrss is a process-lifetime peak, so the
+    // gate measures the delta across exactly this phase.
+    const std::uint64_t rssBeforeKb = peakRssKb();
+    const auto traceSet = makeScaledTrace(catalog, minutes, invocations);
+    const std::uint64_t total = traceSet.totalInvocations();
+    {
+        const trace::TraceSetArrivalSource probe(traceSet);
+        if (probe.total() != total) {
+            std::cerr << "FAIL: streaming source disagrees with the "
+                         "bucketed invocation count\n";
+            std::exit(1);
+        }
+    }
+    const double sourceRssMb =
+        static_cast<double>(peakRssKb() - rssBeforeKb) / 1024.0;
+    const double materializedMb = static_cast<double>(total) *
+        static_cast<double>(sizeof(trace::Arrival)) / (1024.0 * 1024.0);
+    std::cout << "trace: " << total << " invocations (bucketed), "
+              << "source peak-RSS delta " << sourceRssMb
+              << " MB vs materialized ~" << materializedMb << " MB\n";
+    report(records, {"mega_cluster", "source_rss_delta_mb", sourceRssMb,
+                     "MB", 1});
+    if (!quick && sourceRssMb > 512.0) {
+        std::cerr << "FAIL: streaming source RSS delta " << sourceRssMb
+                  << " MB — the trace is being materialized\n";
+        std::exit(1);
+    }
+
+    double baseSeconds = 0.0;
+    std::string golden;
+    bool deterministic = true;
+    bool conserved = true;
+    for (const std::size_t shards : {1u, 2u, 8u}) {
+        exp::ClusterRunConfig config;
+        config.nodes = nodes;
+        config.shards = shards;
+        config.phaseTimings = true;
+        config.node.pool.memoryBudgetMb = 4.0 * 1024.0;
+        config.node.fault.nodeMtbfSeconds = 7200.0;
+        config.node.fault.nodeDowntimeSeconds = 30.0;
+        config.node.fault.maxRetries = 2;
+
+        // A fresh source per run replays the identical stream; the
+        // TraceSet copy is the per-minute buckets, not the expansion.
+        trace::TraceSetArrivalSource source(traceSet);
+        const auto start = Clock::now();
+        const auto result = exp::runCluster(
+            catalog,
+            [&catalog] { return core::makeRainbowCake(catalog); },
+            source, config);
+        const double seconds =
+            std::chrono::duration<double>(Clock::now() - start)
+                .count();
+        const std::size_t threads = std::min<std::size_t>(
+            shards,
+            std::max<unsigned>(1, std::thread::hardware_concurrency()));
+
+        const std::string label =
+            "mega_cluster_" + std::to_string(shards) + "shard";
+        report(records,
+               {label, "events_per_sec",
+                static_cast<double>(result.engineEvents) / seconds,
+                "events/s", threads});
+        report(records, {label, "wall_seconds", seconds, "s", threads});
+        report(records, {label, "serial_fraction",
+                         result.serialFraction, "ratio", threads});
+        report(records,
+               {label, "coordinator_drain_seconds",
+                static_cast<double>(result.coordinatorDrainNs) / 1e9,
+                "s", threads});
+        report(records,
+               {label, "route_seconds",
+                static_cast<double>(result.routeNs) / 1e9, "s",
+                threads});
+        report(records,
+               {label, "summary_capture_seconds",
+                static_cast<double>(result.summaryCaptureNs) / 1e9, "s",
+                threads});
+        if (shards == 1) {
+            baseSeconds = seconds;
+            golden = fingerprint(result);
+        } else {
+            report(records,
+                   {label, "speedup_vs_1shard", baseSeconds / seconds,
+                    "x", threads});
+            deterministic =
+                deterministic && fingerprint(result) == golden;
+        }
+        conserved = conserved && conservationHolds(result);
+    }
+    report(records, {"mega_cluster", "peak_rss_mb",
+                     static_cast<double>(peakRssKb()) / 1024.0, "MB",
+                     1});
+    report(records, {"mega_cluster", "deterministic_across_shards",
+                     deterministic ? 1.0 : 0.0, "bool", 1});
+    report(records, {"mega_cluster", "conservation_holds",
+                     conserved ? 1.0 : 0.0, "bool", 1});
+    if (!deterministic || !conserved) {
+        std::cerr << "FAIL: mega tier determinism/conservation "
                      "violated\n";
         std::exit(1);
     }
@@ -329,6 +488,7 @@ main(int argc, char** argv)
                  "microseconds.\n";
 
     runClusterTier(quick, records);
+    runMegaTier(quick, records);
 
     writeJson(outPath, records);
     std::cout << "wrote " << records.size() << " records to " << outPath

@@ -150,6 +150,28 @@ struct ClusterResult
      *  ratio never dipped; a run that ends still collapsed reports
      *  the whole remaining window. */
     double timeToGoodputSeconds = 0.0;
+
+    // ---- coordinator phase timing (sharded core, wall clock) -----------
+    // Populated only when ShardedConfig::phaseTimings is on. These are
+    // host wall-clock measurements — nondeterministic by nature — so,
+    // like the e2e percentile fields above, they are never part of the
+    // pinned CSV columns.
+
+    /** Total ns spent in the single-threaded coordinator: barrier
+     *  scans, routing, pre-binning, and merge phases. */
+    std::uint64_t coordinatorDrainNs = 0;
+    /** Subset of the above: the merged crash/failover/delivery/
+     *  arrival routing drain plus the per-shard bin distribution. */
+    std::uint64_t routeNs = 0;
+    /** Subset of the above: merging the workers' summary deltas into
+     *  the coordinator's summary table. */
+    std::uint64_t summaryCaptureNs = 0;
+    /** Total ns spent inside parallel shard rounds. */
+    std::uint64_t parallelNs = 0;
+    /** coordinatorDrainNs / (coordinatorDrainNs + parallelNs): the
+     *  measured Amdahl serial fraction of the run. 0 when timing was
+     *  off or the run had no windows. */
+    double serialFraction = 0.0;
 };
 
 /** One pre-drawn node crash (cluster-managed fault injection). */

@@ -1,6 +1,7 @@
 #include "cluster/sharded_cluster.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <limits>
 #include <string>
 #include <thread>
@@ -87,7 +88,8 @@ ShardedCluster::ShardedCluster(const workload::Catalog& catalog,
                    : defaultThreads(shards);
 
     _summaries.resize(_nodes.size());
-    _inboxes.resize(_nodes.size());
+    _pendingInputs.assign(_nodes.size(), 0);
+    _summaryStamps.assign(_nodes.size(), 0);
     _seenFailures.assign(_nodes.size(), 0);
     _seenSuccesses.assign(_nodes.size(), 0);
     _seenTransitions.assign(_nodes.size(), 0);
@@ -155,22 +157,44 @@ ShardedCluster::runShardWindow(Shard& shard, sim::Tick windowEnd)
 {
     const sim::Tick failoverHop = std::max(
         _lookahead, sim::fromMillis(_sharded.cost.failoverHopMillis));
+    // The coordinator appends the bin per stream (failover, arrivals,
+    // crashes), so inputs interleave; one sort groups the bin by node
+    // and restores the global (tick, kind, seq) drain order within
+    // each node — exactly the order the old per-node inbox sort
+    // produced (the node major key is determinism-irrelevant: node
+    // states are disjoint).
+    std::sort(shard.bin.begin(), shard.bin.end(),
+              [](const RoutedInput& a, const RoutedInput& b) {
+                  if (a.node != b.node)
+                      return a.node < b.node;
+                  return shardInputBefore(a.input, b.input);
+              });
+    std::size_t cursor = 0;
+    sim::Tick shardNext = std::numeric_limits<sim::Tick>::max();
     for (const std::size_t index : shard.nodes) {
         platform::Node& node = *_nodes[index];
-        std::vector<ShardInput>& inbox = _inboxes[index];
+        const std::size_t begin = cursor;
+        while (cursor < shard.bin.size() &&
+               shard.bin[cursor].node == index)
+            ++cursor;
         // Idle fast path: a node with no inputs and no event due
-        // before the barrier does nothing this window, and its
-        // summary cannot have changed — skip it entirely. The check
-        // reads only this node's state, so it is independent of the
-        // shard partitioning.
-        if (inbox.empty() && node.engine().nextEventAt() >= windowEnd)
-            continue;
-        if (!inbox.empty()) {
-            // The coordinator appends per stream (failover, arrivals,
-            // crashes), so a node's inbox can interleave; one sort
-            // restores the global (tick, kind, seq) drain order.
-            std::sort(inbox.begin(), inbox.end(), shardInputBefore);
-            for (const ShardInput& input : inbox) {
+        // before the barrier does nothing this window, so its change
+        // stamp cannot have moved (events and coordinator mutations
+        // are the only stamp sources, and both come through here) —
+        // skip it without even reading the stamp. The check reads
+        // only this node's state, so it is independent of the shard
+        // partitioning. fullSummaryCapture disables the shortcut so
+        // the identity test exercises the full re-walk.
+        if (cursor == begin && !_sharded.fullSummaryCapture) {
+            const sim::Tick next = node.engine().nextEventAt();
+            if (next >= windowEnd) {
+                shardNext = std::min(shardNext, next);
+                continue;
+            }
+        }
+        {
+            for (std::size_t k = begin; k < cursor; ++k) {
+                const ShardInput& input = shard.bin[k].input;
                 node.advanceTo(input.tick);
                 if (input.kind == ShardInput::kCrash) {
                     const auto lost = node.crashNow(input.downUntil);
@@ -205,13 +229,26 @@ ShardedCluster::runShardWindow(Shard& shard, sim::Tick windowEnd)
                     node.cancelTicket(input.ticket);
                 }
             }
-            inbox.clear();
+            // Windows are half-open: drain everything strictly
+            // before the barrier.
+            node.advanceTo(windowEnd - 1);
         }
-        // Windows are half-open: drain everything strictly before the
-        // barrier, then publish this node's summary slot.
-        node.advanceTo(windowEnd - 1);
-        _summaries[index] = captureSummary(node);
+        // Delta capture: publish the summary only when the node's
+        // change stamp moved since the last capture. An untouched
+        // node's summary is bitwise what the coordinator already
+        // holds, so skipping it cannot change results (the
+        // fullSummaryCapture identity test pins this).
+        const std::uint64_t stamp = node.summaryStamp();
+        if (stamp != _summaryStamps[index] ||
+            _sharded.fullSummaryCapture) {
+            _summaryStamps[index] = stamp;
+            shard.summaryScratch.emplace_back(
+                static_cast<std::uint32_t>(index), captureSummary(node));
+        }
+        shardNext = std::min(shardNext, node.engine().nextEventAt());
     }
+    shard.bin.clear();
+    shard.nextEventAt = shardNext;
 }
 
 void
@@ -251,12 +288,17 @@ ShardedCluster::refreshBreakers(sim::Tick now)
 ClusterResult
 ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
 {
+    trace::VectorArrivalSource source(arrivals);
+    return run(source);
+}
+
+ClusterResult
+ShardedCluster::run(trace::ArrivalSource& source)
+{
     ClusterResult result;
     result.schedulingName = toString(_config.scheduling);
 
-    sim::Tick horizon = 0;
-    for (const auto& arrival : arrivals)
-        horizon = std::max(horizon, arrival.time);
+    const sim::Tick horizon = source.horizon();
 
     for (auto& node : _nodes)
         node->armAdmission(horizon);
@@ -313,28 +355,56 @@ ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
     const sim::Tick maxStride =
         std::max(L, (_sharded.maxSummaryStaleness + L - 1) / L * L);
 
-    for (std::size_t i = 0; i < _nodes.size(); ++i)
+    constexpr sim::Tick kNever = std::numeric_limits<sim::Tick>::max();
+    for (std::size_t i = 0; i < _nodes.size(); ++i) {
         _summaries[i] = captureSummary(*_nodes[i]);
+        _summaryStamps[i] = _nodes[i]->summaryStamp();
+    }
+    for (Shard& shard : _shards) {
+        shard.nextEventAt = kNever;
+        for (const std::size_t i : shard.nodes) {
+            shard.nextEventAt = std::min(
+                shard.nextEventAt, _nodes[i]->engine().nextEventAt());
+        }
+    }
 
     sim::ShardExecutor executor(_threads);
-    const auto windowRound = [this](sim::Tick windowEnd) {
-        return [this, windowEnd](std::size_t s) {
-            runShardWindow(_shards[s], windowEnd);
+    // One round closure reused by every window (no per-window
+    // std::function allocation); the coordinator updates
+    // roundWindowEnd and _activeShards between rounds.
+    sim::Tick roundWindowEnd = 0;
+    const sim::ShardExecutor::RoundFn shardRound =
+        [this, &roundWindowEnd](std::size_t i) {
+            runShardWindow(_shards[_activeShards[i]], roundWindowEnd);
         };
+
+    // Coordinator-phase wall-clock breakdown. Gated: the numbers are
+    // nondeterministic and the clock reads are not free, so only
+    // bench/instrumented runs pay for them.
+    const bool timing = _sharded.phaseTimings;
+    const auto nowNs = [] {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
     };
+    std::uint64_t coordNs = 0;
+    std::uint64_t routedNs = 0;
+    std::uint64_t summaryNs = 0;
+    std::uint64_t parallelNs = 0;
 
     std::vector<FailoverItem> pendingFailover;
-    std::size_t arrivalIdx = 0;
+    std::vector<CrashRecord> crashed; // merge scratch, reused per window
     std::size_t crashIdx = 0;
     std::size_t failIdx = 0;
     std::uint64_t seq = 0;
     sim::Tick lastBarrier = 0;
-    constexpr sim::Tick kNever = std::numeric_limits<sim::Tick>::max();
 
     while (true) {
+        const std::uint64_t tWindow = timing ? nowNs() : 0;
         sim::Tick nextTick = kNever;
-        if (arrivalIdx < arrivals.size())
-            nextTick = std::min(nextTick, arrivals[arrivalIdx].time);
+        if (!source.done())
+            nextTick = std::min(nextTick, source.peek().time);
         if (crashIdx < crashes.size())
             nextTick = std::min(nextTick, crashes[crashIdx].at);
         if (failIdx < pendingFailover.size())
@@ -370,7 +440,7 @@ ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
                 // hedge timing — is identical at any shard count.
                 for (std::size_t i = 0; i < _nodes.size(); ++i) {
                     nextTick = std::min(
-                        nextTick, _inboxes[i].empty()
+                        nextTick, _pendingInputs[i] == 0
                                       ? _nodes[i]->engine().nextEventAt()
                                       : lastBarrier);
                 }
@@ -411,7 +481,7 @@ ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
                 // progress promptly.
                 for (std::size_t i = 0; i < _nodes.size(); ++i) {
                     nextTick = std::min(
-                        nextTick, _inboxes[i].empty()
+                        nextTick, _pendingInputs[i] == 0
                                       ? _nodes[i]->engine().nextEventAt()
                                       : lastBarrier);
                 }
@@ -435,14 +505,6 @@ ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
             emitDegradedEvents(windowEnd);
             _health->refresh(windowStart);
             emitHealthTransitions();
-            for (std::size_t i = 0; i < _nodes.size(); ++i) {
-                _summaries[i].severed = _severed[i];
-                _summaries[i].quarantined =
-                    _health->state(i) !=
-                            NodeHealthTracker::State::Healthy
-                        ? 1
-                        : 0;
-            }
         }
         // Recovery FSM runs before routing (hedges, retries, arrivals)
         // so every dispatch this window sees the recovering flags; it
@@ -453,6 +515,7 @@ ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
         if (_net != nullptr)
             launchHedges(windowStart, windowEnd, seq, result);
         drainFeedbackRetries(windowEnd, seq, result);
+        const std::uint64_t tRoute = timing ? nowNs() : 0;
         // Drain the three input streams due this window in one merged
         // (tick, class) order — crashes outrank failover deliveries,
         // which outrank fresh arrivals at the same instant, matching
@@ -469,9 +532,8 @@ ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
                 _deliveryIdx < _pendingDeliveries.size()
                     ? _pendingDeliveries[_deliveryIdx].deliverAt
                     : kNever;
-            const sim::Tick arriveAt = arrivalIdx < arrivals.size()
-                                           ? arrivals[arrivalIdx].time
-                                           : kNever;
+            const sim::Tick arriveAt =
+                !source.done() ? source.peek().time : kNever;
             const sim::Tick due = std::min(
                 std::min(crashAt, deliverAt), std::min(failAt, arriveAt));
             if (due >= windowEnd)
@@ -482,9 +544,9 @@ ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
                 // node as gone; the summary refresh at the barrier
                 // re-evaluates isDown() for the windows that follow.
                 _summaries[ev.node].down = 1;
-                _inboxes[ev.node].push_back(
-                    {ev.at, seq++, workload::kInvalidFunction,
-                     ev.downUntil, ShardInput::kCrash});
+                queueInput(ev.node,
+                           {ev.at, seq++, workload::kInvalidFunction,
+                            ev.downUntil, ShardInput::kCrash});
             } else if (failAt == due) {
                 const FailoverItem& item = pendingFailover[failIdx++];
                 const std::size_t target =
@@ -514,19 +576,18 @@ ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
                         }
                     }
                 }
-                _inboxes[target].push_back({item.deliverAt, seq++,
-                                            item.function, 0,
-                                            ShardInput::kInvoke,
-                                            item.originSpan,
-                                            item.ticket});
+                queueInput(target, {item.deliverAt, seq++,
+                                    item.function, 0,
+                                    ShardInput::kInvoke,
+                                    item.originSpan, item.ticket});
             } else if (deliverAt == due) {
                 const Delivery& d = _pendingDeliveries[_deliveryIdx++];
-                _inboxes[d.node].push_back({d.deliverAt, seq++,
-                                            d.function, 0,
-                                            ShardInput::kInvoke,
-                                            d.originSpan, d.ticket});
+                queueInput(d.node, {d.deliverAt, seq++, d.function, 0,
+                                    ShardInput::kInvoke, d.originSpan,
+                                    d.ticket});
             } else {
-                const trace::Arrival& arrival = arrivals[arrivalIdx++];
+                const trace::Arrival arrival = source.peek();
+                source.pop();
                 ++_offeredLoad;
                 std::size_t target = 0;
                 bool probe = false;
@@ -554,9 +615,9 @@ ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
                                static_cast<std::uint8_t>(target));
                 }
                 if (!ticketing()) {
-                    _inboxes[target].push_back({arrival.time, seq++,
-                                                arrival.function, 0,
-                                                ShardInput::kInvoke});
+                    queueInput(target, {arrival.time, seq++,
+                                        arrival.function, 0,
+                                        ShardInput::kInvoke});
                     continue;
                 }
                 if (probe) {
@@ -616,13 +677,74 @@ ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
                       });
         }
 
+        // ---- pre-binning: one batch pass routes the whole window ----
+        // Appending into per-shard bins here (capacity reserved from
+        // the previous window's high-water mark) replaces the old
+        // per-arrival push into N node inboxes; the worker regroups
+        // its bin by node with a single sort.
+        const std::size_t shardCount = _shards.size();
+        if (!_routeScratch.empty()) {
+            for (Shard& shard : _shards)
+                shard.bin.reserve(shard.binHighWater);
+            for (const RoutedInput& r : _routeScratch) {
+                _shards[r.node % shardCount].bin.push_back(r);
+                _pendingInputs[r.node] = 0;
+            }
+            for (Shard& shard : _shards) {
+                shard.binHighWater =
+                    std::max(shard.binHighWater, shard.bin.size());
+            }
+            _routeScratch.clear();
+        }
+        // Shards with no input and no due node events would only run
+        // every node's idle fast path; skip them wholesale. The test
+        // knob forces full participation so identity tests exercise
+        // the no-skip path.
+        _activeShards.clear();
+        for (std::size_t s = 0; s < shardCount; ++s) {
+            if (_sharded.fullSummaryCapture || !_shards[s].bin.empty() ||
+                _shards[s].nextEventAt < windowEnd)
+                _activeShards.push_back(s);
+        }
+        if (timing)
+            routedNs += nowNs() - tRoute;
+
         // ---- parallel phase -----------------------------------------
-        executor.runRound(_shards.size(), windowRound(windowEnd));
+        roundWindowEnd = windowEnd;
+        const std::uint64_t tParallel = timing ? nowNs() : 0;
+        if (timing)
+            coordNs += tParallel - tWindow;
+        if (!_activeShards.empty())
+            executor.runRound(_activeShards.size(), shardRound);
+        const std::uint64_t tMerge = timing ? nowNs() : 0;
+        if (timing)
+            parallelNs += tMerge - tParallel;
 
         // ---- merge phase (single-threaded, sort-once) ---------------
+        // Summary deltas: patch the coordinator's table in place from
+        // the entries the workers flagged dirty, preserving the
+        // coordinator-owned flags (tripped, severed, quarantined) that
+        // nodes never track — refreshBreakers, applyPartitions, and
+        // emitHealthTransitions keep those current themselves.
+        for (Shard& shard : _shards) {
+            for (const auto& [index, fresh] : shard.summaryScratch) {
+                NodeSummary& slot = _summaries[index];
+                const std::uint8_t tripped = slot.tripped;
+                const std::uint8_t severed = slot.severed;
+                const std::uint8_t quarantined = slot.quarantined;
+                slot = fresh;
+                slot.tripped = tripped;
+                slot.severed = severed;
+                slot.quarantined = quarantined;
+            }
+            shard.summaryScratch.clear();
+        }
+        if (timing)
+            summaryNs += nowNs() - tMerge;
+
         // Crash log: merged by (tick, node), independent of which
         // shard observed what.
-        std::vector<CrashRecord> crashed;
+        crashed.clear();
         for (Shard& shard : _shards) {
             crashed.insert(crashed.end(), shard.crashLog.begin(),
                            shard.crashLog.end());
@@ -681,16 +803,21 @@ ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
             processOutcomes(windowEnd, seq, result);
         }
         lastBarrier = windowEnd;
+        if (timing)
+            coordNs += nowNs() - tMerge;
     }
 
     // Drain: no cross-shard input remains, so every node can run to
     // completion and flush independently.
+    const std::uint64_t tDrain = timing ? nowNs() : 0;
     executor.runRound(_shards.size(), [this](std::size_t s) {
         for (const std::size_t index : _shards[s].nodes) {
             _nodes[index]->engine().run();
             _nodes[index]->finalize();
         }
     });
+    if (timing)
+        parallelNs += nowNs() - tDrain;
 
     if (ticketing()) {
         // The drain turned every live ticket terminal (completed,
@@ -699,8 +826,8 @@ ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
         // window left to run in — their losers are already terminal
         // in this same batch — so drop the dead inbox inputs.
         processOutcomes(lastBarrier, seq, result);
-        for (auto& inbox : _inboxes)
-            inbox.clear();
+        _routeScratch.clear();
+        std::fill(_pendingInputs.begin(), _pendingInputs.end(), 0);
         emitDegradedEvents(std::numeric_limits<sim::Tick>::max());
         emitHealthTransitions();
     }
@@ -794,6 +921,26 @@ ShardedCluster::run(const std::vector<trace::Arrival>& arrivals)
         }
         _obs->absorbSpans(std::move(all), dropped, horizon);
     }
+    if (timing) {
+        result.coordinatorDrainNs = coordNs;
+        result.routeNs = routedNs;
+        result.summaryCaptureNs = summaryNs;
+        result.parallelNs = parallelNs;
+        if (coordNs + parallelNs > 0) {
+            result.serialFraction =
+                static_cast<double>(coordNs) /
+                static_cast<double>(coordNs + parallelNs);
+        }
+        if (_obs != nullptr) {
+            obs::Registry& counters = _obs->counters();
+            counters.gaugeMax(obs::Gauge::CoordinatorDrainNs,
+                              static_cast<double>(coordNs));
+            counters.gaugeMax(obs::Gauge::RouteNs,
+                              static_cast<double>(routedNs));
+            counters.gaugeMax(obs::Gauge::SummaryCaptureNs,
+                              static_cast<double>(summaryNs));
+        }
+    }
     return result;
 }
 
@@ -829,8 +976,8 @@ ShardedCluster::sendInvoke(std::size_t node, workload::FunctionId function,
     }
     const sim::Tick deliverAt = sendAt + link.delay;
     if (deliverAt < windowEnd) {
-        _inboxes[node].push_back({deliverAt, seq++, function, 0,
-                                  ShardInput::kInvoke, originSpan, ticket});
+        queueInput(node, {deliverAt, seq++, function, 0,
+                          ShardInput::kInvoke, originSpan, ticket});
     } else {
         // Crosses the barrier: park it; the main loop's nextTick scan
         // and the per-window drain pick it up in (deliverAt, sendSeq)
@@ -849,8 +996,10 @@ ShardedCluster::applyPartitions(sim::Tick windowStart, sim::Tick windowEnd,
          it != _activePartitions.end();) {
         const fault::PartitionEvent& ev = _partitions[*it];
         if (ev.end <= windowStart) {
-            for (const std::uint32_t n : ev.nodes)
+            for (const std::uint32_t n : ev.nodes) {
                 _severed[n] = 0;
+                _summaries[n].severed = 0;
+            }
             if (_obs != nullptr) {
                 _obs->emit(ev.end, obs::EventType::PartitionEnd, 0,
                            0xffffffffU,
@@ -864,8 +1013,10 @@ ShardedCluster::applyPartitions(sim::Tick windowStart, sim::Tick windowEnd,
     while (_partitionIdx < _partitions.size() &&
            _partitions[_partitionIdx].start < windowEnd) {
         const fault::PartitionEvent& ev = _partitions[_partitionIdx];
-        for (const std::uint32_t n : ev.nodes)
+        for (const std::uint32_t n : ev.nodes) {
             _severed[n] = 1;
+            _summaries[n].severed = 1;
+        }
         ++result.partitions;
         if (_obs != nullptr) {
             _obs->counters().bump(obs::Counter::PartitionsStarted,
@@ -902,6 +1053,12 @@ ShardedCluster::emitHealthTransitions()
         return;
     for (const NodeHealthTracker::Transition& tr :
          _health->drainTransitions()) {
+        // The summary table tracks quarantine by transition delta:
+        // workers never see the flag, and the delta merge preserves
+        // it, so patching here (every state change logs a transition)
+        // replaces the old full-fleet re-sync each window.
+        _summaries[tr.node].quarantined =
+            tr.to != NodeHealthTracker::State::Healthy ? 1 : 0;
         if (_obs == nullptr)
             continue;
         using State = NodeHealthTracker::State;
@@ -1013,14 +1170,12 @@ void
 ShardedCluster::processOutcomes(sim::Tick barrier, std::uint64_t& seq,
                                 ClusterResult& result)
 {
-    struct Tagged
-    {
-        platform::TicketOutcome outcome;
-        std::uint32_t node = 0;
-    };
     // Drain per node in node-index order, then impose the global
     // (at, ticket, kind) order — both independent of the sharding.
-    std::vector<Tagged> batch;
+    // The batch lives in a member scratch vector so its capacity is
+    // reused across windows.
+    std::vector<TaggedOutcome>& batch = _outcomeScratch;
+    batch.clear();
     for (std::size_t i = 0; i < _nodes.size(); ++i) {
         for (const platform::TicketOutcome& outcome :
              _nodes[i]->drainTicketOutcomes())
@@ -1029,7 +1184,7 @@ ShardedCluster::processOutcomes(sim::Tick barrier, std::uint64_t& seq,
     if (batch.empty())
         return;
     std::sort(batch.begin(), batch.end(),
-              [](const Tagged& a, const Tagged& b) {
+              [](const TaggedOutcome& a, const TaggedOutcome& b) {
                   if (a.outcome.at != b.outcome.at)
                       return a.outcome.at < b.outcome.at;
                   if (a.outcome.ticket != b.outcome.ticket)
@@ -1041,12 +1196,11 @@ ShardedCluster::processOutcomes(sim::Tick barrier, std::uint64_t& seq,
     // any node, so the cancel routes like any other cross-shard input.
     const auto issueCancel = [this, barrier, &seq](std::uint32_t node,
                                                    std::uint64_t ticket) {
-        _inboxes[node].push_back({barrier, seq++,
-                                  workload::kInvalidFunction, 0,
-                                  ShardInput::kCancel, 0, ticket});
+        queueInput(node, {barrier, seq++, workload::kInvalidFunction, 0,
+                          ShardInput::kCancel, 0, ticket});
     };
 
-    for (const Tagged& tagged : batch) {
+    for (const TaggedOutcome& tagged : batch) {
         const platform::TicketOutcome& o = tagged.outcome;
         const auto pit = _ticketToPrimary.find(o.ticket);
 
@@ -1266,15 +1420,15 @@ ShardedCluster::applyRecovery(sim::Tick windowStart, sim::Tick windowEnd,
             // crash path: warm state is torn down and anything still
             // in flight (timeout kill) fails over like a crash.
             _summaries[action.node].down = 1;
-            _inboxes[action.node].push_back(
-                {action.at, seq++, workload::kInvalidFunction,
-                 action.downUntil, ShardInput::kCrash});
+            queueInput(action.node,
+                       {action.at, seq++, workload::kInvalidFunction,
+                        action.downUntil, ShardInput::kCrash});
         } else {
-            _inboxes[action.node].push_back(
-                {action.at, seq++, action.function,
-                 static_cast<sim::Tick>(
-                     static_cast<std::uint8_t>(action.layer)),
-                 ShardInput::kPrewarm});
+            queueInput(action.node,
+                       {action.at, seq++, action.function,
+                        static_cast<sim::Tick>(
+                            static_cast<std::uint8_t>(action.layer)),
+                        ShardInput::kPrewarm});
         }
     }
     if (floor != _recoveryFloor) {

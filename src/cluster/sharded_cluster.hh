@@ -49,6 +49,7 @@
 
 #include "cluster/cluster.hh"
 #include "cluster/node_health.hh"
+#include "trace/arrival_source.hh"
 #include "cluster/recovery_orchestrator.hh"
 #include "cluster/shard_scheduler.hh"
 #include "core/cost_model.hh"
@@ -82,6 +83,24 @@ struct ShardedConfig
     sim::Tick maxSummaryStaleness = sim::kSecond;
     /** Source of the hop latencies when lookahead is derived. */
     core::CostConfig cost;
+    /**
+     * Collect coordinator/parallel phase wall-clock timings into the
+     * ClusterResult (and the coordinator_drain_ns / route_ns /
+     * summary_capture_ns gauges when an observer is attached). Off by
+     * default: the per-window clock reads cost ~1% on short windows
+     * and the numbers are nondeterministic, so only bench and
+     * instrumented runs turn this on. Never affects results.
+     */
+    bool phaseTimings = false;
+    /**
+     * Test knob: capture every node's summary at every barrier the
+     * shard runs instead of only nodes whose summaryStamp changed.
+     * The delta-identity test pins full == delta byte-for-byte; it
+     * also forces every shard to run every window (the active-shard
+     * skip would otherwise starve the full capture). Never changes
+     * results by design — only wall clock.
+     */
+    bool fullSummaryCapture = false;
 };
 
 /**
@@ -160,8 +179,20 @@ class ShardedCluster
                    const PolicyFactory& factory, ClusterConfig config,
                    ShardedConfig sharded = {});
 
-    /** Route and replay @p arrivals to completion on all nodes. */
+    /** Route and replay @p arrivals to completion on all nodes.
+     *  Compatibility shim over the streaming overload (wraps the
+     *  vector in a trace::VectorArrivalSource). */
     ClusterResult run(const std::vector<trace::Arrival>& arrivals);
+
+    /**
+     * Route and replay @p source to completion on all nodes, pulling
+     * one arrival at a time: the cluster holds only the current
+     * window's arrivals, so RSS is O(window) regardless of trace
+     * length. Yields byte-identical results to the vector overload
+     * for the same arrival sequence (pinned by the streaming
+     * equivalence golden).
+     */
+    ClusterResult run(trace::ArrivalSource& source);
 
     /** Effective barrier-grid pitch in ticks. */
     sim::Tick lookahead() const { return _lookahead; }
@@ -209,6 +240,13 @@ class ShardedCluster
         std::uint32_t lost = 0;
     };
 
+    /** One routed input awaiting distribution into its shard's bin. */
+    struct RoutedInput
+    {
+        ShardInput input;
+        std::uint32_t node = 0;
+    };
+
     /** Per-shard state; every field is touched only by its shard's
      *  worker during a window and only by the coordinator between
      *  windows (the executor's barrier orders the two). */
@@ -217,6 +255,22 @@ class ShardedCluster
         std::vector<std::size_t> nodes;
         std::vector<CrashRecord> crashLog;
         std::vector<FailoverItem> outbox;
+        /** Inputs pre-binned for the coming window: the coordinator
+         *  fills it in one batch pass between rounds, the worker
+         *  drains and clears it during the round (capacity persists
+         *  across windows). */
+        std::vector<RoutedInput> bin;
+        /** Bin high-water mark; reserved ahead of each distribution
+         *  so steady-state windows never reallocate. */
+        std::size_t binHighWater = 0;
+        /** (node, summary) pairs captured this window — only nodes
+         *  whose summaryStamp moved (delta capture). The coordinator
+         *  merges them into _summaries after the round. */
+        std::vector<std::pair<std::uint32_t, NodeSummary>> summaryScratch;
+        /** Min engine nextEventAt across the shard's nodes as of the
+         *  last round it ran; the coordinator skips the shard while
+         *  this stays at/past the barrier and its bin is empty. */
+        sim::Tick nextEventAt = std::numeric_limits<sim::Tick>::max();
     };
 
     /**
@@ -279,6 +333,20 @@ class ShardedCluster
     NodeSummary captureSummary(platform::Node& node) const;
     void runShardWindow(Shard& shard, sim::Tick windowEnd);
     void refreshBreakers(sim::Tick now);
+
+    /**
+     * Queue one cross-shard input for the next parallel round. The
+     * input lands in _routeScratch (one flat append, no per-node
+     * vector churn) and is distributed into its shard's bin in one
+     * batch pass right before the round. The caller stamps seq at
+     * creation, exactly as the per-inbox pushes used to.
+     */
+    void queueInput(std::size_t node, const ShardInput& input)
+    {
+        _routeScratch.push_back(
+            {input, static_cast<std::uint32_t>(node)});
+        ++_pendingInputs[node];
+    }
 
     // ---- gray network / tail tolerance (coordinator only) --------------
 
@@ -375,7 +443,24 @@ class ShardedCluster
 
     std::vector<Shard> _shards;
     std::vector<NodeSummary> _summaries;
-    std::vector<std::vector<ShardInput>> _inboxes; //!< node-indexed
+    /** Inputs queued since the last round, awaiting pre-binning. */
+    std::vector<RoutedInput> _routeScratch;
+    /** Per-node count of queued-not-yet-binned inputs. The barrier
+     *  scans only test zero/nonzero — this replaces the per-node
+     *  inbox emptiness peeks of the old design. */
+    std::vector<std::uint32_t> _pendingInputs;
+    /** Shards selected for the current round (skip-idle subset). */
+    std::vector<std::size_t> _activeShards;
+    /** Last captured Node::summaryStamp per node. Written only by the
+     *  owning shard's worker during a round (disjoint per shard). */
+    std::vector<std::uint64_t> _summaryStamps;
+    /** processOutcomes batch scratch (capacity reused per barrier). */
+    struct TaggedOutcome
+    {
+        platform::TicketOutcome outcome;
+        std::uint32_t node = 0;
+    };
+    std::vector<TaggedOutcome> _outcomeScratch;
 
     // Circuit-breaker feeds (coordinator-only).
     std::vector<std::uint64_t> _seenFailures;

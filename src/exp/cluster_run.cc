@@ -29,9 +29,28 @@ runCluster(const workload::Catalog& catalog, const PolicyFactory& factory,
     sharded.shards = std::max<std::size_t>(1, config.shards);
     sharded.threads = config.threads;
     sharded.cost = config.cost;
+    sharded.phaseTimings = config.phaseTimings;
     cluster::ShardedCluster cluster(catalog, factory, clusterConfig,
                                     sharded);
     return cluster.run(arrivals);
+}
+
+cluster::ClusterResult
+runCluster(const workload::Catalog& catalog, const PolicyFactory& factory,
+           trace::ArrivalSource& source, const ClusterRunConfig& config)
+{
+    cluster::ClusterConfig clusterConfig;
+    clusterConfig.nodes = config.nodes;
+    clusterConfig.node = config.node;
+    clusterConfig.scheduling = config.scheduling;
+    cluster::ShardedConfig sharded;
+    sharded.shards = std::max<std::size_t>(1, config.shards);
+    sharded.threads = config.threads;
+    sharded.cost = config.cost;
+    sharded.phaseTimings = config.phaseTimings;
+    cluster::ShardedCluster cluster(catalog, factory, clusterConfig,
+                                    sharded);
+    return cluster.run(source);
 }
 
 void

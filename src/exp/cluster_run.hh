@@ -40,6 +40,13 @@ struct ClusterRunConfig
     platform::NodeConfig node;
     /** Hop latencies the sharded core derives its lookahead from. */
     core::CostConfig cost;
+    /**
+     * Measure the coordinator-phase wall-clock breakdown (sharded
+     * core only; see ClusterResult::coordinatorDrainNs). Off by
+     * default: the numbers are host-dependent and benchmarks are the
+     * only consumer.
+     */
+    bool phaseTimings = false;
 };
 
 /** Run @p factory's policy over @p arrivals on a cluster. */
@@ -47,6 +54,18 @@ cluster::ClusterResult
 runCluster(const workload::Catalog& catalog, const PolicyFactory& factory,
            const std::vector<trace::Arrival>& arrivals,
            const ClusterRunConfig& config);
+
+/**
+ * Streaming variant: pull arrivals from @p source instead of a
+ * materialized vector, so resident memory stays O(window) regardless
+ * of trace length. Always runs the sharded core (shards clamped to
+ * >= 1): the legacy serial Cluster routes on exact state at each
+ * arrival and has no windowed consumption to stream into. Results are
+ * bit-identical to the vector overload with the same shard count.
+ */
+cluster::ClusterResult
+runCluster(const workload::Catalog& catalog, const PolicyFactory& factory,
+           trace::ArrivalSource& source, const ClusterRunConfig& config);
 
 /**
  * One header + one row, every ClusterResult aggregate:

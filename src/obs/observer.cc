@@ -272,6 +272,9 @@ toString(Gauge gauge)
       case Gauge::PoolMemoryMb: return "pool_memory_mb_high_water";
       case Gauge::LiveContainers: return "live_containers_high_water";
       case Gauge::PressureLevel: return "pressure_level_high_water";
+      case Gauge::CoordinatorDrainNs: return "coordinator_drain_ns";
+      case Gauge::RouteNs: return "route_ns";
+      case Gauge::SummaryCaptureNs: return "summary_capture_ns";
     }
     return "?";
 }

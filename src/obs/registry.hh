@@ -124,11 +124,19 @@ enum class Gauge : std::uint8_t
     PoolMemoryMb, //!< pool resident memory
     LiveContainers,
     PressureLevel, //!< degradation-ladder level (rc::admission)
+
+    // Coordinator phase timing, sharded core (appended after
+    // PressureLevel so older reports keep their gauge order). These
+    // are run totals in wall-clock ns, set once at end of run and
+    // only when ShardedConfig::phaseTimings is on.
+    CoordinatorDrainNs, //!< single-threaded coordinator time
+    RouteNs,            //!< routing drain + bin distribution subset
+    SummaryCaptureNs,   //!< summary delta merge subset
 };
 
 /** Number of gauges. */
 inline constexpr std::size_t kGaugeCount =
-    static_cast<std::size_t>(Gauge::PressureLevel) + 1;
+    static_cast<std::size_t>(Gauge::SummaryCaptureNs) + 1;
 
 /** Stable snake_case names (report keys; see docs/OBSERVABILITY.md). */
 const char* toString(Counter counter);

@@ -76,6 +76,7 @@ void
 Node::invokeNow(workload::FunctionId function, std::uint64_t originSpan,
                 std::uint64_t ticket)
 {
+    ++_externalOps;
     _invoker.onArrival(function, originSpan, ticket);
 }
 

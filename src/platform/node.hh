@@ -107,6 +107,7 @@ class Node
     /** Cancel the live invocation carrying @p ticket; see Invoker. */
     void cancelTicket(std::uint64_t ticket)
     {
+        ++_externalOps;
         _invoker.cancelTicket(ticket);
     }
 
@@ -145,6 +146,19 @@ class Node
     /** Observability sink the node was built with (may be nullptr). */
     obs::Observer* observer() { return _obs; }
 
+    /**
+     * Monotone change stamp over everything a cluster NodeSummary
+     * reads: moves on every executed engine event and on every
+     * coordinator-facing mutation (invokeNow, crashNow, cancelTicket,
+     * recoveryPrewarm). Two reads returning the same value guarantee
+     * the summary did not change in between — the dirty bit the
+     * sharded core's delta capture keys on (DESIGN.md §15).
+     */
+    std::uint64_t summaryStamp() const
+    {
+        return _engine.executedEvents() + _externalOps;
+    }
+
     /** Invocations still queued when the run ended (should be 0). */
     std::size_t strandedInvocations() const
     {
@@ -172,6 +186,7 @@ class Node
     /** Cluster-driven crash; see Invoker::crashNow. */
     std::vector<FailoverTicket> crashNow(sim::Tick downUntil)
     {
+        ++_externalOps;
         return _invoker.crashNow(downUntil);
     }
 
@@ -181,6 +196,7 @@ class Node
     void recoveryPrewarm(workload::FunctionId function,
                          workload::Layer layer)
     {
+        ++_externalOps;
         _invoker.recoveryPrewarm(function, layer);
     }
 
@@ -221,6 +237,8 @@ class Node
     Invoker _invoker;
     std::unique_ptr<fault::FaultInjector> _injector;
     std::unique_ptr<admission::AdmissionController> _admission;
+    /** Coordinator-facing mutations since construction (summaryStamp). */
+    std::uint64_t _externalOps = 0;
 };
 
 } // namespace rc::platform

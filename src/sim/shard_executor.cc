@@ -45,8 +45,12 @@ ShardExecutor::runRound(std::size_t count, const RoundFn& fn)
     _cursor.store(0, std::memory_order_relaxed);
     _error = nullptr;
 
-    if (_threads.empty()) {
-        // Inline mode; exceptions propagate naturally.
+    if (count == 1 || _threads.empty()) {
+        // Inline mode, and the fast path for single-task rounds: with
+        // one task the caller's thread beats a park/notify handshake.
+        // Safe with live workers — they are parked between rounds, and
+        // the next round's mutex handshake publishes whatever the
+        // inline task wrote.
         drainInline();
         _fn = nullptr;
         return;

@@ -20,6 +20,7 @@
 #include "core/ablations.hh"
 #include "exp/cluster_run.hh"
 #include "exp/experiment.hh"
+#include "trace/arrival_source.hh"
 #include "trace/generator.hh"
 #include "trace/replay.hh"
 #include "workload/catalog.hh"
@@ -468,6 +469,74 @@ TEST(SeedRegression, DomainOutageNumbersArePinnedAtAnyShardCount)
         else
             EXPECT_EQ(csv.str(), golden) << shards << " shards";
     }
+}
+
+// ---- streaming-tier regression ---------------------------------------
+
+TEST(SeedRegression, StreamingTierNumbersArePinnedAtAnyShardCount)
+{
+    // A miniature of the bench mega tier: a 64-node fleet fed by the
+    // pull-based TraceSetArrivalSource (arrivals never materialized),
+    // rare chaos crashes, phase timings enabled — so the delta
+    // summary capture, active-shard skipping, and pre-binning paths
+    // all run with real crash traffic. The CSV must stay
+    // byte-identical at shards = 1, 2, 8, match the pinned counts,
+    // and match a materialized expandArrivals run of the same trace.
+    const auto catalog = workload::Catalog::standard20();
+    trace::WorkloadTraceConfig traceConfig;
+    traceConfig.minutes = 60;
+    traceConfig.targetInvocations = 5000;
+    traceConfig.seed = 4242;
+    const auto traceSet =
+        trace::generateAzureLike(catalog, traceConfig);
+
+    const auto configure = [](std::size_t shards) {
+        exp::ClusterRunConfig config;
+        config.nodes = 64;
+        config.shards = shards;
+        config.threads = shards == 1 ? 1 : 0; // 0: auto thread count
+        config.phaseTimings = true;
+        config.node.pool.memoryBudgetMb = 4096.0;
+        config.node.fault.nodeMtbfSeconds = 7200.0;
+        config.node.fault.nodeDowntimeSeconds = 30.0;
+        config.node.fault.maxRetries = 2;
+        return config;
+    };
+
+    std::string golden;
+    for (const std::size_t shards : {1u, 2u, 8u}) {
+        trace::TraceSetArrivalSource source(traceSet);
+        const auto result = exp::runCluster(
+            catalog,
+            [&catalog] { return core::makeRainbowCake(catalog); },
+            source, configure(shards));
+
+        EXPECT_EQ(result.invocations, 842u) << shards;
+        EXPECT_EQ(result.coldStarts, 19u) << shards;
+        EXPECT_EQ(result.nodeCrashes, 26u) << shards;
+        EXPECT_EQ(result.engineEvents, 1958u) << shards;
+        // Timings populate but never touch the pinned bytes.
+        EXPECT_GT(result.coordinatorDrainNs, 0u) << shards;
+        EXPECT_GT(result.parallelNs, 0u) << shards;
+
+        std::ostringstream csv;
+        exp::writeClusterSummaryCsv(csv, result);
+        exp::writeClusterPerNodeCsv(csv, result);
+        if (shards == 1)
+            golden = csv.str();
+        else
+            EXPECT_EQ(csv.str(), golden) << shards << " shards";
+    }
+
+    // The legacy materialized-vector contract yields the same bytes.
+    const auto arrivals = trace::expandArrivals(traceSet);
+    const auto result = exp::runCluster(
+        catalog, [&catalog] { return core::makeRainbowCake(catalog); },
+        arrivals, configure(2));
+    std::ostringstream csv;
+    exp::writeClusterSummaryCsv(csv, result);
+    exp::writeClusterPerNodeCsv(csv, result);
+    EXPECT_EQ(csv.str(), golden) << "materialized";
 }
 
 } // namespace

@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -15,6 +16,8 @@
 #include "exp/cluster_run.hh"
 #include "exp/experiment.hh"
 #include "obs/observer.hh"
+#include "platform/node.hh"
+#include "trace/arrival_source.hh"
 #include "trace/generator.hh"
 #include "trace/replay.hh"
 #include "workload/catalog.hh"
@@ -315,6 +318,212 @@ TEST(ShardedCluster, ChaosRunConservesEveryInvocation)
                   result.rejectedInvocations + result.shedDeadline +
                   result.shedPressure,
               admitted);
+}
+
+// ---- streaming arrivals + delta summaries (coordinator scaling) --------
+
+trace::TraceSet
+standardTraceSet(std::size_t minutes = 30, std::uint64_t seed = 4242)
+{
+    const auto catalog = workload::Catalog::standard20();
+    trace::WorkloadTraceConfig config;
+    config.minutes = minutes;
+    config.targetInvocations = minutes * 40;
+    config.seed = seed;
+    return trace::generateAzureLike(catalog, config);
+}
+
+/** A small gray plan: ticketed dispatch, hedges, quarantine, delays. */
+fault::NetworkPlan
+streamGrayPlan()
+{
+    fault::NetworkPlan net;
+    net.linkDelayMeanMs = 5.0;
+    net.linkHeavyTailProb = 0.05;
+    net.linkHeavyTailFactor = 40.0;
+    net.msgDropProb = 0.02;
+    net.partitionRatePerHour = 4.0;
+    net.partitionDurationSeconds = 20.0;
+    net.hedgeEnabled = true;
+    net.hedgeLatencyFactor = 1.0;
+    net.hedgeMinSamples = 20;
+    net.hedgeMinBudgetMs = 100.0;
+    net.quarantineEnabled = true;
+    net.quarantineLatencyFactor = 3.0;
+    net.quarantineMinSamples = 10;
+    net.quarantineDrainSeconds = 30.0;
+    return net;
+}
+
+TEST(ArrivalSource, StreamsTheExactExpandArrivalsSequence)
+{
+    const auto traceSet = standardTraceSet();
+    const auto expected = trace::expandArrivals(traceSet);
+    ASSERT_FALSE(expected.empty());
+    sim::Tick horizon = 0;
+    for (const auto& arrival : expected)
+        horizon = std::max(horizon, arrival.time);
+
+    trace::TraceSetArrivalSource source(traceSet);
+    EXPECT_EQ(source.total(), expected.size());
+    EXPECT_EQ(source.horizon(), horizon);
+    std::size_t i = 0;
+    while (!source.done()) {
+        ASSERT_LT(i, expected.size());
+        EXPECT_EQ(source.peek().time, expected[i].time) << "at " << i;
+        EXPECT_EQ(source.peek().function, expected[i].function)
+            << "at " << i;
+        source.pop();
+        ++i;
+    }
+    EXPECT_EQ(i, expected.size());
+
+    // reset() rewinds to an identical replay.
+    source.reset();
+    ASSERT_FALSE(source.done());
+    EXPECT_EQ(source.peek().time, expected.front().time);
+    EXPECT_EQ(source.peek().function, expected.front().function);
+}
+
+TEST(ArrivalSource, VectorAdapterMatchesItsBackingVector)
+{
+    const auto expected = standardArrivals();
+    trace::VectorArrivalSource source(expected);
+    EXPECT_EQ(source.total(), expected.size());
+    std::size_t i = 0;
+    while (!source.done()) {
+        EXPECT_EQ(source.peek().time, expected[i].time);
+        source.pop();
+        ++i;
+    }
+    EXPECT_EQ(i, expected.size());
+}
+
+TEST(ShardedCluster, StreamingRunIsByteIdenticalToMaterialized)
+{
+    // The pull-based source must reproduce the vector contract's
+    // results byte for byte — under chaos (crashes + failover) and
+    // under a gray network plan (ticketed dispatch, hedges,
+    // partitions), at more than one shard count.
+    const auto catalog = workload::Catalog::standard20();
+    const auto traceSet = standardTraceSet();
+    const auto arrivals = trace::expandArrivals(traceSet);
+
+    platform::NodeConfig chaos;
+    chaos.fault = chaosPlan();
+    platform::NodeConfig gray;
+    gray.fault.network = streamGrayPlan();
+
+    for (const platform::NodeConfig& node : {chaos, gray}) {
+        for (const std::size_t shards : {1u, 4u}) {
+            const auto materialized = runSharded(
+                arrivals, shards, 1, cluster::Scheduling::LocalityAware,
+                node);
+            exp::ClusterRunConfig config;
+            config.nodes = 12;
+            config.shards = shards;
+            config.threads = 1;
+            config.node = node;
+            config.node.pool.memoryBudgetMb = 8192.0;
+            trace::TraceSetArrivalSource source(traceSet);
+            const auto streamed = exp::runCluster(
+                catalog,
+                [catalog] { return core::makeRainbowCake(catalog); },
+                source, config);
+            EXPECT_EQ(fingerprint(streamed), fingerprint(materialized))
+                << shards << " shards";
+        }
+    }
+}
+
+TEST(ShardedCluster, DeltaSummaryCaptureMatchesFullCapture)
+{
+    // The dirty-bit delta capture must be invisible: forcing a full
+    // summary re-walk every window (the old behavior) yields the same
+    // bytes under chaos at any shard count.
+    const auto catalog = workload::Catalog::standard20();
+    const auto arrivals = standardArrivals();
+    for (const std::size_t shards : {1u, 4u}) {
+        std::string prints[2];
+        for (int full = 0; full < 2; ++full) {
+            cluster::ClusterConfig clusterConfig;
+            clusterConfig.nodes = 12;
+            clusterConfig.node.pool.memoryBudgetMb = 8192.0;
+            clusterConfig.node.fault = chaosPlan();
+            cluster::ShardedConfig sharded;
+            sharded.shards = shards;
+            sharded.fullSummaryCapture = full == 1;
+            cluster::ShardedCluster cluster(
+                catalog,
+                [&catalog] { return core::makeRainbowCake(catalog); },
+                clusterConfig, sharded);
+            prints[full] = fingerprint(cluster.run(arrivals));
+        }
+        EXPECT_EQ(prints[0], prints[1]) << shards << " shards";
+    }
+}
+
+TEST(Node, SummaryStampMovesOnlyWithObservableWork)
+{
+    const auto catalog = workload::Catalog::standard20();
+    platform::NodeConfig config;
+    config.pool.memoryBudgetMb = 8192.0;
+    platform::Node node(catalog, core::makeRainbowCake(catalog),
+                        config);
+
+    // Idle time advance executes nothing: the stamp must hold, so an
+    // idle node is never re-captured at a barrier.
+    const std::uint64_t fresh = node.summaryStamp();
+    node.advanceTo(sim::fromSeconds(10.0));
+    EXPECT_EQ(node.summaryStamp(), fresh);
+
+    // A coordinator-facing mutation moves it immediately...
+    node.invokeNow(0);
+    const std::uint64_t afterInvoke = node.summaryStamp();
+    EXPECT_GT(afterInvoke, fresh);
+
+    // ...and so does executing the events that invocation scheduled.
+    node.engine().run();
+    EXPECT_GT(node.summaryStamp(), afterInvoke);
+
+    // Quiescent again: another idle advance keeps it fixed.
+    const std::uint64_t drained = node.summaryStamp();
+    node.advanceTo(node.engine().now() + sim::fromSeconds(60.0));
+    EXPECT_EQ(node.summaryStamp(), drained);
+}
+
+TEST(ShardedCluster, PhaseTimingsPopulateOnlyWhenEnabled)
+{
+    const auto catalog = workload::Catalog::standard20();
+    const auto arrivals = standardArrivals();
+    exp::ClusterRunConfig config;
+    config.nodes = 12;
+    config.shards = 4;
+    config.threads = 1;
+    config.node.pool.memoryBudgetMb = 8192.0;
+    const auto factory = [catalog] {
+        return core::makeRainbowCake(catalog);
+    };
+
+    config.phaseTimings = true;
+    const auto timed = exp::runCluster(catalog, factory, arrivals,
+                                       config);
+    EXPECT_GT(timed.coordinatorDrainNs, 0u);
+    EXPECT_GT(timed.parallelNs, 0u);
+    EXPECT_GE(timed.coordinatorDrainNs,
+              timed.routeNs + timed.summaryCaptureNs);
+    EXPECT_GT(timed.serialFraction, 0.0);
+    EXPECT_LT(timed.serialFraction, 1.0);
+
+    config.phaseTimings = false;
+    const auto untimed = exp::runCluster(catalog, factory, arrivals,
+                                         config);
+    EXPECT_EQ(untimed.coordinatorDrainNs, 0u);
+    EXPECT_EQ(untimed.parallelNs, 0u);
+    EXPECT_EQ(untimed.serialFraction, 0.0);
+
+    // The clock reads never leak into the pinned bytes.
+    EXPECT_EQ(fingerprint(timed), fingerprint(untimed));
 }
 
 } // namespace

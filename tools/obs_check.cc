@@ -45,11 +45,15 @@
  *    barrier cannot land silently. The recovery and prewarm
  *    identities from cluster/conservation.hh are checked too: every
  *    outage/upgrade episode rejoins exactly once and every recovery
- *    prewarm is hit, evicted, or wasted.
+ *    prewarm is hit, evicted, or wasted. When the run was made with
+ *    --phase-timings, the coordinator_phases.csv sidecar next to the
+ *    summary is validated as well (subsets within totals, serial
+ *    fraction a consistent ratio).
  *
  * Exit status 0 when every requested check passes, 1 otherwise.
  */
 
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -606,6 +610,74 @@ splitCsv(const std::string& line)
     return cells;
 }
 
+/**
+ * Validate the coordinator_phases.csv sidecar: subsets must not
+ * exceed their total, the serial fraction must be a valid ratio, and
+ * it must agree with the phase totals it claims to summarize.
+ */
+void
+checkCoordinatorPhases(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        fail("cannot open " + path);
+        return;
+    }
+    std::string header;
+    std::string row;
+    if (!std::getline(in, header) || !std::getline(in, row)) {
+        fail(path + ": expected a header and a row");
+        return;
+    }
+    if (header != "coordinator_drain_ns,route_ns,summary_capture_ns,"
+                  "parallel_ns,serial_fraction") {
+        fail(path + ": unexpected header: " + header);
+        return;
+    }
+    const auto cells = splitCsv(row);
+    if (cells.size() != 5) {
+        fail(path + ": expected 5 columns, got " +
+             std::to_string(cells.size()));
+        return;
+    }
+    double coordinator = 0.0;
+    double route = 0.0;
+    double summary = 0.0;
+    double parallel = 0.0;
+    double fraction = 0.0;
+    try {
+        coordinator = std::stod(cells[0]);
+        route = std::stod(cells[1]);
+        summary = std::stod(cells[2]);
+        parallel = std::stod(cells[3]);
+        fraction = std::stod(cells[4]);
+    } catch (const std::exception&) {
+        fail(path + ": non-numeric cell in " + row);
+        return;
+    }
+    if (coordinator <= 0.0 || parallel <= 0.0)
+        fail(path + ": phase totals must be positive: " + row);
+    if (route + summary > coordinator) {
+        fail(path + ": route + summary exceed the coordinator total: " +
+             row);
+    }
+    if (fraction < 0.0 || fraction > 1.0)
+        fail(path + ": serial fraction outside [0, 1]: " + row);
+    // The printed fraction is coordinator / (coordinator + parallel);
+    // allow slack for the CSV's default float precision.
+    if (coordinator + parallel > 0.0) {
+        const double expected = coordinator / (coordinator + parallel);
+        if (fraction > expected + 0.01 || fraction < expected - 0.01) {
+            fail(path + ": serial fraction inconsistent with phase "
+                        "totals: " + row);
+        }
+    }
+    if (gFailures == 0) {
+        std::cout << "obs_check: coordinator phases ok (serial "
+                     "fraction " << fraction << ")\n";
+    }
+}
+
 void
 checkFleetSummary(const std::string& path)
 {
@@ -719,6 +791,16 @@ checkFleetSummary(const std::string& path)
         fail(path + ": more duplicate completions than hedges "
                     "launched");
     }
+    // Coordinator phase sidecar (written by rainbow_sim under
+    // --phase-timings only): wall-clock numbers are host-dependent,
+    // but the internal accounting must still be consistent. Gated on
+    // existence like every other optional artifact.
+    const std::filesystem::path sidecar =
+        std::filesystem::path(path).parent_path() /
+        "coordinator_phases.csv";
+    if (std::filesystem::exists(sidecar))
+        checkCoordinatorPhases(sidecar.string());
+
     if (gFailures == 0) {
         std::cout << "obs_check: fleet ok (" << counters["admitted"]
                   << " admitted on " << counters["nodes"]

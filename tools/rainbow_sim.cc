@@ -37,6 +37,7 @@
 #include "exp/report.hh"
 #include "exp/standard_traces.hh"
 #include "stats/table.hh"
+#include "trace/arrival_source.hh"
 #include "trace/azure_io.hh"
 #include "trace/replay.hh"
 #include "trace/generator.hh"
@@ -76,6 +77,8 @@ struct Options
     double obsIntervalSeconds = 60.0; // counter snapshot interval
     std::size_t nodes = 0;     // > 0: cluster mode
     std::size_t shards = 0;    // > 0: sharded parallel cluster core
+    bool stream = false;       // cluster mode: pull-based arrivals
+    bool phaseTimings = false; // cluster mode: coordinator breakdown
     std::string scheduling = "locality-aware"; // cluster routing
 
     /** Any artifact flag turns instrumentation on. */
@@ -128,6 +131,15 @@ usage(int code)
         "  --shards N        cluster mode: step nodes in N parallel\n"
         "                    shards (results are bit-identical at any\n"
         "                    N >= 1; 0 = legacy serial core)\n"
+        "  --stream          cluster mode: pull arrivals from the\n"
+        "                    trace lazily instead of materializing\n"
+        "                    them (O(window) memory, bit-identical\n"
+        "                    results; always uses the sharded core)\n"
+        "  --phase-timings   cluster mode: measure the coordinator\n"
+        "                    wall-clock breakdown and, with --csv-dir,\n"
+        "                    write coordinator_phases.csv (the numbers\n"
+        "                    are host-dependent; the pinned CSVs stay\n"
+        "                    byte-identical either way)\n"
         "  --scheduling P    round-robin | least-loaded |\n"
         "                    locality-aware (default)\n"
         "  --fault-plan FILE inject faults per the plan (flat JSON;\n"
@@ -210,6 +222,10 @@ parseArgs(int argc, char** argv)
             } else if (arg == "--shards") {
                 options.shards = static_cast<std::size_t>(
                     std::stoul(need(i)));
+            } else if (arg == "--stream") {
+                options.stream = true;
+            } else if (arg == "--phase-timings") {
+                options.phaseTimings = true;
             } else if (arg == "--scheduling") {
                 options.scheduling = need(i);
             } else if (arg == "--obs-interval") {
@@ -277,10 +293,19 @@ runClusterMode(const Options& options, const workload::Catalog& catalog,
         nodeConfig.observer = observer.get();
     }
     config.node = nodeConfig;
+    config.phaseTimings = options.phaseTimings;
 
-    const auto arrivals = trace::expandArrivals(traceSet);
-    const auto result =
-        exp::runCluster(catalog, factory, arrivals, config);
+    cluster::ClusterResult result;
+    if (options.stream) {
+        // Pull-based: the coordinator holds only the current window's
+        // arrivals; the TraceSet's per-minute buckets are the compact
+        // backing store.
+        trace::TraceSetArrivalSource source(traceSet);
+        result = exp::runCluster(catalog, factory, source, config);
+    } else {
+        const auto arrivals = trace::expandArrivals(traceSet);
+        result = exp::runCluster(catalog, factory, arrivals, config);
+    }
 
     std::cout << "cluster: " << options.nodes << " nodes, "
               << result.schedulingName << " routing";
@@ -305,6 +330,13 @@ runClusterMode(const Options& options, const workload::Catalog& catalog,
               << ", engine events " << result.engineEvents << "\n"
               << "  e2e sketch p50 " << result.e2eP50Seconds
               << " s, p99 " << result.e2eP99Seconds << " s\n";
+    if (options.phaseTimings) {
+        std::cout << "  coordinator " << result.coordinatorDrainNs
+                  << " ns (route " << result.routeNs << ", summary "
+                  << result.summaryCaptureNs << "), parallel "
+                  << result.parallelNs << " ns, serial fraction "
+                  << result.serialFraction << "\n";
+    }
 
     if (observer != nullptr) {
         if (!options.traceOut.empty()) {
@@ -356,6 +388,18 @@ runClusterMode(const Options& options, const workload::Catalog& catalog,
         exp::writeClusterSummaryCsv(summary, result);
         std::ofstream perNode(options.csvDir + "/cluster_per_node.csv");
         exp::writeClusterPerNodeCsv(perNode, result);
+        if (options.phaseTimings) {
+            // Sidecar, never part of the byte-diffed determinism set:
+            // wall-clock numbers differ run to run by construction.
+            std::ofstream phases(options.csvDir +
+                                 "/coordinator_phases.csv");
+            phases << "coordinator_drain_ns,route_ns,"
+                      "summary_capture_ns,parallel_ns,serial_fraction\n"
+                   << result.coordinatorDrainNs << ','
+                   << result.routeNs << ',' << result.summaryCaptureNs
+                   << ',' << result.parallelNs << ','
+                   << result.serialFraction << '\n';
+        }
         std::cout << "\nCSV dumps written to " << options.csvDir << "\n";
     }
     return 0;
@@ -528,6 +572,10 @@ main(int argc, char** argv)
     const Options options = parseArgs(argc, argv);
     if (options.shards > 0 && options.nodes == 0) {
         std::cerr << "--shards requires --nodes\n";
+        return 2;
+    }
+    if ((options.stream || options.phaseTimings) && options.nodes == 0) {
+        std::cerr << "--stream and --phase-timings require --nodes\n";
         return 2;
     }
     workload::Catalog catalog = workload::Catalog::standard20();
